@@ -1,0 +1,445 @@
+// Package beas is a bounded-evaluation SQL engine: a Go reproduction of
+// BEAS (Cao et al., SIGMOD 2017). Given an access schema — a set of
+// access constraints R(X → Y, N) pairing cardinality guarantees with hash
+// indices — BEAS answers SQL queries by fetching a bounded fraction D_Q
+// of the database, with the bound deduced before execution from the query
+// and the constraints alone, no matter how large the database grows.
+//
+// Basic use:
+//
+//	db := beas.NewDB()
+//	db.MustCreateTable("call", "pnum INT", "recnum INT", "date INT", "region STRING")
+//	// ... load data ...
+//	db.MustRegisterConstraint("call({pnum, date} -> {recnum, region}, 500)")
+//	res, err := db.Query(`SELECT region FROM call WHERE pnum = 42 AND date = 20160304`)
+//
+// Query automatically uses a bounded plan when the query is covered by
+// the registered access schema, and falls back to a partially bounded
+// plan executed by the built-in conventional engine otherwise. Check
+// decides coverage and deduces the access bound without executing
+// anything; QueryApprox trades a fetch budget for a deterministic
+// accuracy lower bound.
+package beas
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+
+	"github.com/bounded-eval/beas/internal/access"
+	"github.com/bounded-eval/beas/internal/analyze"
+	"github.com/bounded-eval/beas/internal/discovery"
+	"github.com/bounded-eval/beas/internal/engine"
+	"github.com/bounded-eval/beas/internal/schema"
+	"github.com/bounded-eval/beas/internal/sqlparser"
+	"github.com/bounded-eval/beas/internal/storage"
+	"github.com/bounded-eval/beas/internal/value"
+)
+
+// DB is a BEAS database: schemas, data, the access schema with its
+// indices, and the query services (BE Checker / Planner / Executor plus
+// the conventional fallback engine).
+type DB struct {
+	mu     sync.RWMutex
+	schema *schema.Database
+	store  *storage.Store
+	access *access.Schema
+	// fallback executes non-covered (sub-)queries; it uses the strongest
+	// conventional profile.
+	fallback *engine.Engine
+
+	// planCache memoises parse + analysis per SQL text; catalogVersion
+	// invalidates it on any schema or access-schema change.
+	planCache      sync.Map // string -> *cachedParse
+	catalogVersion uint64
+}
+
+type cachedParse struct {
+	version uint64
+	p       *parsed
+}
+
+// bumpCatalog invalidates cached plans after DDL or access-schema
+// changes. Callers hold db.mu.
+func (db *DB) bumpCatalog() {
+	db.catalogVersion++
+	db.planCache.Range(func(k, _ any) bool {
+		db.planCache.Delete(k)
+		return true
+	})
+}
+
+// NewDB creates an empty database.
+func NewDB() *DB {
+	db := &DB{}
+	db.schema, _ = schema.NewDatabase()
+	db.store = storage.NewStore(db.schema)
+	db.access = access.NewSchema(db.store)
+	db.fallback = engine.New(db.store, engine.ProfilePostgres)
+	return db
+}
+
+// CreateTable adds a relation. Each column is declared as "name TYPE"
+// with TYPE one of INT, FLOAT, STRING, BOOL (with common SQL aliases).
+func (db *DB) CreateTable(name string, columns ...string) error {
+	attrs := make([]schema.Attribute, len(columns))
+	for i, col := range columns {
+		fields := strings.Fields(col)
+		if len(fields) != 2 {
+			return fmt.Errorf("beas: column %q must be \"name TYPE\"", col)
+		}
+		kind, err := value.ParseKind(fields[1])
+		if err != nil {
+			return err
+		}
+		attrs[i] = schema.Attribute{Name: fields[0], Kind: kind}
+	}
+	rel, err := schema.NewRelation(name, attrs...)
+	if err != nil {
+		return err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := db.schema.Add(rel); err != nil {
+		return err
+	}
+	if _, err := db.store.AddTable(rel); err != nil {
+		return err
+	}
+	db.bumpCatalog()
+	return nil
+}
+
+// MustCreateTable is CreateTable that panics on error.
+func (db *DB) MustCreateTable(name string, columns ...string) {
+	if err := db.CreateTable(name, columns...); err != nil {
+		panic(err)
+	}
+}
+
+// Insert adds one row; values are Go natives (int, int64, float64,
+// string, bool, nil).
+func (db *DB) Insert(table string, values ...any) error {
+	db.mu.RLock()
+	t, ok := db.store.Table(table)
+	db.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("beas: no table %q", table)
+	}
+	row := make(value.Row, len(values))
+	for i, v := range values {
+		vv, err := ToValue(v)
+		if err != nil {
+			return fmt.Errorf("beas: inserting into %s: %w", table, err)
+		}
+		row[i] = vv
+	}
+	return t.Insert(row)
+}
+
+// MustInsert is Insert that panics on error.
+func (db *DB) MustInsert(table string, values ...any) {
+	if err := db.Insert(table, values...); err != nil {
+		panic(err)
+	}
+}
+
+// Delete removes rows from a table matching a simple conjunctive
+// condition given as column=value pairs, and reports how many were
+// removed. Constraint indices are maintained incrementally.
+func (db *DB) Delete(table string, where map[string]any) (int, error) {
+	db.mu.RLock()
+	t, ok := db.store.Table(table)
+	db.mu.RUnlock()
+	if !ok {
+		return 0, fmt.Errorf("beas: no table %q", table)
+	}
+	type cond struct {
+		pos int
+		val value.Value
+	}
+	var conds []cond
+	for col, v := range where {
+		pos, ok := t.Rel.AttrIndex(col)
+		if !ok {
+			return 0, fmt.Errorf("beas: table %s has no column %q", table, col)
+		}
+		vv, err := ToValue(v)
+		if err != nil {
+			return 0, err
+		}
+		conds = append(conds, cond{pos: pos, val: vv})
+	}
+	return t.Delete(func(r value.Row) bool {
+		for _, c := range conds {
+			if !value.Equal(r[c.pos], c.val) {
+				return false
+			}
+		}
+		return true
+	}), nil
+}
+
+// LoadCSV loads a CSV file (header row mapping to column names) into a
+// table.
+func (db *DB) LoadCSV(table, path string) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.store.LoadCSVFile(table, path)
+}
+
+// SaveCSV writes a table to a CSV file.
+func (db *DB) SaveCSV(table, path string) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.store.SaveCSVFile(table, path)
+}
+
+// RowCount returns the number of rows in a table.
+func (db *DB) RowCount(table string) (int, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.store.Table(table)
+	if !ok {
+		return 0, fmt.Errorf("beas: no table %q", table)
+	}
+	return t.Len(), nil
+}
+
+// TotalRows returns the number of rows across all tables.
+func (db *DB) TotalRows() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.store.TotalRows()
+}
+
+// RegisterConstraint parses and registers an access constraint in the
+// paper's notation, e.g. "call({pnum, date} -> {recnum, region}, 500)".
+// The instance must conform to the declared bound N.
+func (db *DB) RegisterConstraint(spec string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	c, err := access.ParseConstraint(db.schema, spec)
+	if err != nil {
+		return err
+	}
+	if _, err := db.access.Register(c, false); err != nil {
+		return err
+	}
+	db.bumpCatalog()
+	return nil
+}
+
+// MustRegisterConstraint is RegisterConstraint that panics on error.
+func (db *DB) MustRegisterConstraint(spec string) {
+	if err := db.RegisterConstraint(spec); err != nil {
+		panic(err)
+	}
+}
+
+// RegisterConstraintAuto registers a constraint whose bound N is widened
+// to the maximum observed in the data ("aggregated from historical
+// datasets", paper Example 1). It returns the effective constraint.
+func (db *DB) RegisterConstraintAuto(rel string, x, y []string, n int) (string, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	c, err := access.NewConstraint(db.schema, rel, x, y, n)
+	if err != nil {
+		return "", err
+	}
+	if _, err := db.access.Register(c, true); err != nil {
+		return "", err
+	}
+	db.bumpCatalog()
+	return c.String(), nil
+}
+
+// DropConstraint removes a previously registered constraint (given in the
+// paper's notation).
+func (db *DB) DropConstraint(spec string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	c, err := access.ParseConstraint(db.schema, spec)
+	if err != nil {
+		return err
+	}
+	if !db.access.Unregister(c) {
+		return fmt.Errorf("beas: constraint %v is not registered", c)
+	}
+	db.bumpCatalog()
+	return nil
+}
+
+// Retighten adjusts every registered constraint's bound N to the exact
+// maximum observed in the current data and clears violation state — the
+// Maintenance module's periodic constraint adjustment. Tighter bounds
+// make every deduced access bound M tighter. It returns the adjusted
+// constraints in the paper's notation.
+func (db *DB) Retighten() []string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	out := db.access.Retighten()
+	db.bumpCatalog()
+	return out
+}
+
+// SaveAccessSchema writes the registered access schema to a file, one
+// constraint per line in the paper's notation.
+func (db *DB) SaveAccessSchema(path string) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := db.access.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadAccessSchema reads a constraint file (as written by
+// SaveAccessSchema or cmd/tlcgen) and registers every constraint,
+// building its index and verifying conformance.
+func (db *DB) LoadAccessSchema(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	cons, err := access.ReadConstraints(db.schema, f)
+	if err != nil {
+		return err
+	}
+	for _, c := range cons {
+		if _, err := db.access.Register(c, false); err != nil {
+			return err
+		}
+	}
+	db.bumpCatalog()
+	return nil
+}
+
+// Constraints lists the registered access constraints in the paper's
+// notation.
+func (db *DB) Constraints() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	cons := db.access.Constraints()
+	out := make([]string, len(cons))
+	for i, c := range cons {
+		out[i] = c.String()
+	}
+	return out
+}
+
+// AccessSchemaFootprint returns the total number of distinct (X, Y) pairs
+// stored across all constraint indices.
+func (db *DB) AccessSchemaFootprint() int64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.access.Footprint()
+}
+
+// Conforms verifies D |= A and returns the violations if any.
+func (db *DB) Conforms() (bool, []string) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	ok, viols := db.access.Conforms()
+	out := make([]string, len(viols))
+	for i, v := range viols {
+		out[i] = v.String()
+	}
+	return ok, out
+}
+
+// DiscoverOptions configures access-schema discovery.
+type DiscoverOptions struct {
+	// Workload is the historical query patterns (SQL).
+	Workload []string
+	// MaxN rejects candidate constraints with larger exact bounds
+	// (default 10000).
+	MaxN int
+	// Budget caps the total index footprint in stored entries (0 =
+	// unlimited).
+	Budget int64
+	// Register, when set, registers the selected constraints (building
+	// their indices).
+	Register bool
+}
+
+// Discover mines an access schema from the data and workload (the AS
+// Catalog's Discovery module). It returns the selected constraints in the
+// paper's notation and a textual report.
+func (db *DB) Discover(opts DiscoverOptions) ([]string, string, error) {
+	var queries []*analyze.Query
+	db.mu.RLock()
+	for _, sql := range opts.Workload {
+		stmt, err := sqlparser.Parse(sql)
+		if err != nil {
+			db.mu.RUnlock()
+			return nil, "", fmt.Errorf("beas: workload query %q: %w", sql, err)
+		}
+		for s := stmt; s != nil; s = s.Union {
+			q, err := analyze.Analyze(s.Select, db.schema)
+			if err != nil {
+				db.mu.RUnlock()
+				return nil, "", fmt.Errorf("beas: workload query %q: %w", sql, err)
+			}
+			queries = append(queries, q)
+		}
+	}
+	cands, report, err := discovery.Discover(db.store, queries, discovery.Options{
+		MaxN:   opts.MaxN,
+		Budget: opts.Budget,
+	})
+	db.mu.RUnlock()
+	if err != nil {
+		return nil, "", err
+	}
+	specs := make([]string, len(cands))
+	for i, c := range cands {
+		specs[i] = c.Constraint.String()
+	}
+	if opts.Register {
+		db.mu.Lock()
+		for _, c := range cands {
+			if _, err := db.access.Register(c.Constraint, true); err != nil {
+				db.mu.Unlock()
+				return specs, report.String(), err
+			}
+		}
+		db.mu.Unlock()
+	}
+	return specs, report.String(), nil
+}
+
+// ToValue converts a Go native to a BEAS value.
+func ToValue(v any) (value.Value, error) {
+	switch x := v.(type) {
+	case nil:
+		return value.NewNull(), nil
+	case int:
+		return value.NewInt(int64(x)), nil
+	case int32:
+		return value.NewInt(int64(x)), nil
+	case int64:
+		return value.NewInt(x), nil
+	case float32:
+		return value.NewFloat(float64(x)), nil
+	case float64:
+		return value.NewFloat(x), nil
+	case string:
+		return value.NewString(x), nil
+	case bool:
+		return value.NewBool(x), nil
+	case value.Value:
+		return x, nil
+	default:
+		return value.Value{}, fmt.Errorf("beas: unsupported Go type %T", v)
+	}
+}

@@ -1,0 +1,173 @@
+package beas
+
+import (
+	"strings"
+	"testing"
+)
+
+// example2DB builds the three-relation schema of the paper's Example 1
+// with the access schema A0 (ψ1, ψ2, ψ3) and a small dataset in which the
+// Example 2 query has a known answer.
+func example2DB(t testing.TB) *DB {
+	t.Helper()
+	db := NewDB()
+	db.MustCreateTable("call",
+		"pnum INT", "recnum INT", "date INT", "region STRING")
+	db.MustCreateTable("package",
+		"pnum INT", "pid STRING", "start INT", "end INT", "year INT")
+	db.MustCreateTable("business",
+		"pnum INT", "type STRING", "region STRING")
+
+	// Businesses: banks in region "r0", plus noise.
+	db.MustInsert("business", 100, "bank", "r0")
+	db.MustInsert("business", 101, "bank", "r0")
+	db.MustInsert("business", 102, "hospital", "r0")
+	db.MustInsert("business", 103, "bank", "r9")
+
+	// Packages: 100 and 101 hold package c0 in 2016 covering month 3;
+	// 101 also holds a different package.
+	db.MustInsert("package", 100, "c0", 1, 6, 2016)
+	db.MustInsert("package", 101, "c0", 2, 4, 2016)
+	db.MustInsert("package", 101, "c9", 7, 12, 2016)
+	db.MustInsert("package", 102, "c0", 1, 12, 2016)
+	db.MustInsert("package", 103, "c0", 1, 12, 2015)
+
+	// Calls on date 3 (stand-in for d0): pnum 100 called two regions,
+	// pnum 101 called one; noise on other dates/callers.
+	db.MustInsert("call", 100, 555, 3, "east")
+	db.MustInsert("call", 100, 556, 3, "west")
+	db.MustInsert("call", 101, 557, 3, "east")
+	db.MustInsert("call", 102, 558, 3, "north")
+	db.MustInsert("call", 100, 559, 4, "south")
+
+	db.MustRegisterConstraint("call({pnum, date} -> {recnum, region}, 500)")
+	db.MustRegisterConstraint("package({pnum, year} -> {pid, start, end}, 12)")
+	db.MustRegisterConstraint("business({type, region} -> pnum, 2000)")
+	return db
+}
+
+// example2SQL is the query Q of the paper's Example 2 with t0 = 'bank',
+// r0 = 'r0', d0 = 3, c0 = 'c0'.
+const example2SQL = `
+SELECT call.region
+FROM call, package, business
+WHERE business.type = 'bank' AND business.region = 'r0'
+  AND business.pnum = call.pnum AND call.date = 3
+  AND call.pnum = package.pnum AND package.year = 2016
+  AND package.start <= 3 AND package.end >= 3
+  AND package.pid = 'c0'`
+
+func TestExample2Covered(t *testing.T) {
+	db := example2DB(t)
+	info, err := db.Check(example2SQL)
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if !info.Covered {
+		t.Fatalf("Example 2 query must be covered under A0; reason: %s", info.Reason)
+	}
+	if info.ConstraintsUsed != 3 {
+		t.Errorf("ConstraintsUsed = %d, want 3", info.ConstraintsUsed)
+	}
+	// Dedup-key bound: business ≤ 1·2000, package ≤ 2000·12 = 24000,
+	// call ≤ 2000·500 = 1e6; total 1_026_000. (The paper quotes the looser
+	// row-driven call bound 2000·12·500 = 12e6.)
+	if info.Bound != 2000+24000+1000000 {
+		t.Errorf("Bound = %d, want 1026000", info.Bound)
+	}
+	if !info.WithinBudget(2_000_000) {
+		t.Errorf("query should fit a 2M-tuple budget")
+	}
+	if info.WithinBudget(1000) {
+		t.Errorf("query should not fit a 1k-tuple budget")
+	}
+}
+
+func TestExample2BoundedAnswer(t *testing.T) {
+	db := example2DB(t)
+	res, err := db.QueryBounded(example2SQL)
+	if err != nil {
+		t.Fatalf("QueryBounded: %v", err)
+	}
+	got := rowsToStrings(res)
+	want := map[string]bool{"east": true, "west": true}
+	if len(got) != 3 {
+		t.Fatalf("got %d rows (%v), want 3 (east, west, east)", len(got), got)
+	}
+	for _, g := range got {
+		if !want[g] {
+			t.Errorf("unexpected region %q", g)
+		}
+	}
+	if res.Stats.Mode != ModeBounded {
+		t.Errorf("Mode = %s, want %s", res.Stats.Mode, ModeBounded)
+	}
+	if res.Stats.TuplesFetched == 0 {
+		t.Errorf("expected fetch accounting, got 0")
+	}
+	// The plan must touch only a handful of tuples in this tiny dataset.
+	if res.Stats.TuplesFetched > 20 {
+		t.Errorf("TuplesFetched = %d, want a small bounded number", res.Stats.TuplesFetched)
+	}
+}
+
+func TestExample2MatchesBaselines(t *testing.T) {
+	db := example2DB(t)
+	bounded, err := db.QueryBounded(example2SQL)
+	if err != nil {
+		t.Fatalf("QueryBounded: %v", err)
+	}
+	for _, base := range []Baseline{BaselinePostgres, BaselineMySQL, BaselineMariaDB} {
+		conv, err := db.QueryBaseline(example2SQL, base)
+		if err != nil {
+			t.Fatalf("QueryBaseline(%s): %v", base, err)
+		}
+		if !sameBag(rowsToStrings(bounded), rowsToStrings(conv)) {
+			t.Errorf("%s result differs: bounded=%v conventional=%v",
+				base, rowsToStrings(bounded), rowsToStrings(conv))
+		}
+	}
+}
+
+func TestExplainExample2(t *testing.T) {
+	db := example2DB(t)
+	text, err := db.Explain(example2SQL)
+	if err != nil {
+		t.Fatalf("Explain: %v", err)
+	}
+	for _, want := range []string{"boundedly evaluable", "fetch business", "fetch package", "fetch call"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Explain output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// rowsToStrings flattens single-column results.
+func rowsToStrings(r *Result) []string {
+	out := make([]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		parts := make([]string, len(row))
+		for i, v := range row {
+			parts[i] = v.String()
+		}
+		out = append(out, strings.Join(parts, "|"))
+	}
+	return out
+}
+
+func sameBag(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	count := make(map[string]int)
+	for _, x := range a {
+		count[x]++
+	}
+	for _, x := range b {
+		count[x]--
+		if count[x] < 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,242 @@
+// Command beas is an interactive shell over a BEAS database — the
+// counterpart of the demo portal of paper §4: enter SQL, check bounded
+// evaluability, inspect bounded plans and compare against the emulated
+// conventional engines.
+//
+// Usage:
+//
+//	beas -tlc 2                 # start on a generated TLC instance
+//	beas -data ./tlcdata        # start on CSVs written by tlcgen
+//
+// Shell commands:
+//
+//	SELECT ...;                 run a query (bounded when covered)
+//	\check SELECT ...;          BE Checker verdict + deduced bound only
+//	\explain SELECT ...;        the plan Query would use
+//	\baseline pg|mysql|mariadb SELECT ...;  run on an emulated DBMS
+//	\approx BUDGET SELECT ...;  resource-bounded approximation
+//	\constraints                list the access schema
+//	\queries                    list the built-in TLC queries
+//	\q NAME                     run a built-in TLC query (e.g. \q Q1)
+//	\tables                     list tables and row counts
+//	\quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	beas "github.com/bounded-eval/beas"
+)
+
+func main() {
+	tlcScale := flag.Int("tlc", 0, "generate a TLC instance at this scale and start on it")
+	dataDir := flag.String("data", "", "directory of CSVs + access_schema.txt (from tlcgen)")
+	flag.Parse()
+
+	db, err := openDB(*tlcScale, *dataDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "beas:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("BEAS shell — %d rows loaded, %d access constraints registered\n",
+		db.TotalRows(), len(db.Constraints()))
+	fmt.Println(`type SQL terminated by ';', or \help`)
+	repl(db)
+}
+
+func openDB(tlcScale int, dataDir string) (*beas.DB, error) {
+	if tlcScale > 0 {
+		fmt.Printf("generating TLC benchmark at scale %d...\n", tlcScale)
+		return beas.NewTLCDB(tlcScale)
+	}
+	if dataDir == "" {
+		fmt.Println("no -tlc or -data given; generating TLC at scale 1")
+		return beas.NewTLCDB(1)
+	}
+	// Load CSVs written by tlcgen into an empty TLC schema.
+	db := beas.NewTLCSchemaDB()
+	for _, table := range db.TableNames() {
+		path := filepath.Join(dataDir, table+".csv")
+		if _, err := os.Stat(path); err != nil {
+			fmt.Printf("  (skipping %s: %v)\n", table, err)
+			continue
+		}
+		if err := db.LoadCSV(table, path); err != nil {
+			return nil, err
+		}
+		n, _ := db.RowCount(table)
+		fmt.Printf("  loaded %-14s %8d rows\n", table, n)
+	}
+	asPath := filepath.Join(dataDir, "access_schema.txt")
+	if f, err := os.Open(asPath); err == nil {
+		sc := bufio.NewScanner(f)
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			if err := db.RegisterConstraint(line); err != nil {
+				fmt.Printf("  (constraint %s: %v)\n", line, err)
+				continue
+			}
+		}
+		f.Close()
+	}
+	return db, nil
+}
+
+func repl(db *beas.DB) {
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := "beas> "
+	for {
+		fmt.Print(prompt)
+		if !sc.Scan() {
+			fmt.Println()
+			return
+		}
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
+			if !command(db, trimmed) {
+				return
+			}
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if strings.HasSuffix(trimmed, ";") {
+			sql := strings.TrimSuffix(strings.TrimSpace(buf.String()), ";")
+			buf.Reset()
+			prompt = "beas> "
+			runSQL(db, sql)
+			continue
+		}
+		if buf.Len() > 0 {
+			prompt = "  ... "
+		}
+	}
+}
+
+func runSQL(db *beas.DB, sql string) {
+	res, err := db.Query(sql)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Print(res.String())
+	fmt.Printf("mode: %s  fetched: %d  scanned: %d  time: %s\n",
+		res.Stats.Mode, res.Stats.TuplesFetched, res.Stats.TuplesScanned, res.Stats.Duration)
+}
+
+// command handles a backslash command; returns false to quit.
+func command(db *beas.DB, line string) bool {
+	cmd, rest, _ := strings.Cut(line, " ")
+	rest = strings.TrimSuffix(strings.TrimSpace(rest), ";")
+	switch cmd {
+	case "\\quit", "\\exit":
+		return false
+	case "\\help":
+		fmt.Println(`commands:
+  SELECT ...;                 run a query (bounded when covered)
+  \check SELECT ...           BE Checker verdict + deduced bound (no execution)
+  \explain SELECT ...         the plan Query would use
+  \baseline pg|mysql|mariadb SELECT ...
+  \approx BUDGET SELECT ...   resource-bounded approximation
+  \constraints  \queries  \q NAME  \tables  \quit`)
+	case "\\constraints":
+		for _, c := range db.Constraints() {
+			fmt.Println(" ", c)
+		}
+	case "\\tables":
+		for _, name := range db.TableNames() {
+			n, _ := db.RowCount(name)
+			fmt.Printf("  %-14s %8d rows\n", name, n)
+		}
+		fmt.Printf("  total rows: %d, index footprint: %d entries\n", db.TotalRows(), db.AccessSchemaFootprint())
+	case "\\queries":
+		for _, q := range beas.TLCQueries() {
+			fmt.Printf("  %-4s covered=%-5v %s\n", q.Name, q.Covered, q.Description)
+		}
+	case "\\q":
+		name := strings.TrimSpace(rest)
+		for _, q := range beas.TLCQueries() {
+			if strings.EqualFold(q.Name, name) {
+				fmt.Println(q.SQL)
+				runSQL(db, q.SQL)
+				return true
+			}
+		}
+		fmt.Printf("unknown built-in query %q (try \\queries)\n", name)
+	case "\\check":
+		info, err := db.Check(rest)
+		if err != nil {
+			fmt.Println("error:", err)
+			return true
+		}
+		if info.Covered {
+			fmt.Printf("covered: fetches at most %d tuples via %d constraints\n", info.Bound, info.ConstraintsUsed)
+		} else {
+			fmt.Printf("not covered: %s\n", info.Reason)
+		}
+	case "\\explain":
+		text, err := db.Explain(rest)
+		if err != nil {
+			fmt.Println("error:", err)
+			return true
+		}
+		fmt.Print(text)
+	case "\\baseline":
+		name, sql, ok := strings.Cut(rest, " ")
+		if !ok {
+			fmt.Println("usage: \\baseline pg|mysql|mariadb SELECT ...")
+			return true
+		}
+		base := beas.BaselinePostgres
+		switch strings.ToLower(name) {
+		case "pg", "postgres", "postgresql":
+		case "mysql":
+			base = beas.BaselineMySQL
+		case "mariadb":
+			base = beas.BaselineMariaDB
+		default:
+			fmt.Printf("unknown baseline %q\n", name)
+			return true
+		}
+		res, err := db.QueryBaseline(sql, base)
+		if err != nil {
+			fmt.Println("error:", err)
+			return true
+		}
+		fmt.Print(res.String())
+		fmt.Printf("scanned: %d  time: %s\n", res.Stats.TuplesScanned, res.Stats.Duration)
+	case "\\approx":
+		budgetStr, sql, ok := strings.Cut(rest, " ")
+		if !ok {
+			fmt.Println("usage: \\approx BUDGET SELECT ...")
+			return true
+		}
+		budget, err := strconv.ParseInt(budgetStr, 10, 64)
+		if err != nil {
+			fmt.Printf("bad budget %q\n", budgetStr)
+			return true
+		}
+		res, cov, err := db.QueryApprox(sql, budget)
+		if err != nil {
+			fmt.Println("error:", err)
+			return true
+		}
+		fmt.Print(res.String())
+		fmt.Printf("coverage >= %.3f (exact: %v)  fetched: %d\n", cov, cov >= 1, res.Stats.TuplesFetched)
+	default:
+		fmt.Printf("unknown command %s (try \\help)\n", cmd)
+	}
+	return true
+}

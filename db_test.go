@@ -1,0 +1,335 @@
+package beas
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// smallDB builds a tiny single-table database used by the facade tests.
+func smallDB(t *testing.T) *DB {
+	t.Helper()
+	db := NewDB()
+	db.MustCreateTable("call", "pnum INT", "recnum INT", "date INT", "region STRING")
+	db.MustInsert("call", 1, 100, 20240101, "east")
+	db.MustInsert("call", 1, 101, 20240101, "west")
+	db.MustInsert("call", 2, 102, 20240102, "east")
+	db.MustRegisterConstraint("call({pnum, date} -> {recnum, region}, 100)")
+	return db
+}
+
+func TestCreateTableValidation(t *testing.T) {
+	db := NewDB()
+	if err := db.CreateTable("t", "noTypeHere"); err == nil {
+		t.Error("malformed column spec should fail")
+	}
+	if err := db.CreateTable("t", "a BLOB"); err == nil {
+		t.Error("unknown type should fail")
+	}
+	if err := db.CreateTable("t", "a INT"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateTable("t", "a INT"); err == nil {
+		t.Error("duplicate table should fail")
+	}
+}
+
+func TestInsertValidation(t *testing.T) {
+	db := smallDB(t)
+	if err := db.Insert("ghost", 1); err == nil {
+		t.Error("insert into missing table should fail")
+	}
+	if err := db.Insert("call", "not-an-int", 1, 2, "r"); err == nil {
+		t.Error("type mismatch should fail")
+	}
+	if err := db.Insert("call", 1, 2, 3); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+	type weird struct{}
+	if err := db.Insert("call", weird{}, 1, 2, "r"); err == nil {
+		t.Error("unsupported Go type should fail")
+	}
+}
+
+func TestDeleteMaintainsIndexes(t *testing.T) {
+	db := smallDB(t)
+	sql := "SELECT recnum FROM call WHERE pnum = 1 AND date = 20240101"
+	res, err := db.QueryBounded(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	n, err := db.Delete("call", map[string]any{"recnum": 100})
+	if err != nil || n != 1 {
+		t.Fatalf("Delete = %d, %v", n, err)
+	}
+	res, err = db.QueryBounded(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].I != 101 {
+		t.Errorf("index not maintained after delete: %v", res.Rows)
+	}
+	if _, err := db.Delete("call", map[string]any{"ghost": 1}); err == nil {
+		t.Error("delete on missing column should fail")
+	}
+	if _, err := db.Delete("ghost", nil); err == nil {
+		t.Error("delete on missing table should fail")
+	}
+}
+
+func TestInsertMaintainsIndexes(t *testing.T) {
+	db := smallDB(t)
+	db.MustInsert("call", 1, 103, 20240101, "north")
+	res, err := db.QueryBounded("SELECT recnum FROM call WHERE pnum = 1 AND date = 20240101")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Errorf("rows after insert = %d, want 3", len(res.Rows))
+	}
+}
+
+func TestRegisterConstraintErrors(t *testing.T) {
+	db := smallDB(t)
+	if err := db.RegisterConstraint("garbage"); err == nil {
+		t.Error("malformed constraint should fail")
+	}
+	if err := db.RegisterConstraint("call({pnum, date} -> {recnum, region}, 100)"); err == nil {
+		t.Error("duplicate constraint should fail")
+	}
+	// Declared N below the data's real cardinality fails strictly.
+	if err := db.RegisterConstraint("call({date} -> {recnum}, 1)"); err == nil {
+		t.Error("non-conforming constraint should fail")
+	}
+	// But auto-widening picks up the real bound.
+	spec, err := db.RegisterConstraintAuto("call", []string{"date"}, []string{"recnum"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(spec, "2") {
+		t.Errorf("auto-widened spec = %q, want N = 2", spec)
+	}
+}
+
+func TestDropConstraint(t *testing.T) {
+	db := smallDB(t)
+	spec := db.Constraints()[0]
+	if err := db.DropConstraint(spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DropConstraint(spec); err == nil {
+		t.Error("double drop should fail")
+	}
+	info, err := db.Check("SELECT recnum FROM call WHERE pnum = 1 AND date = 20240101")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Covered {
+		t.Error("query must lose coverage once the constraint is dropped")
+	}
+}
+
+func TestQueryBoundedRejectsUncovered(t *testing.T) {
+	db := smallDB(t)
+	if _, err := db.QueryBounded("SELECT region FROM call WHERE recnum = 100"); err == nil {
+		t.Error("QueryBounded on uncovered query should fail")
+	}
+}
+
+func TestUnion(t *testing.T) {
+	db := smallDB(t)
+	sql := `SELECT region FROM call WHERE pnum = 1 AND date = 20240101
+	        UNION SELECT region FROM call WHERE pnum = 2 AND date = 20240102`
+	info, err := db.Check(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Covered {
+		t.Fatalf("union of covered branches must be covered: %s", info.Reason)
+	}
+	res, err := db.Query(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// east, west from branch 1; east from branch 2 deduplicates.
+	if len(res.Rows) != 2 {
+		t.Errorf("UNION rows = %v", rowsToStrings(res))
+	}
+	all, err := db.Query(strings.Replace(sql, "UNION", "UNION ALL", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all.Rows) != 3 {
+		t.Errorf("UNION ALL rows = %v", rowsToStrings(all))
+	}
+	if _, err := db.Query("SELECT region FROM call UNION SELECT region, pnum FROM call"); err == nil {
+		t.Error("arity mismatch across UNION should fail")
+	}
+}
+
+func TestCSVRoundTripThroughFacade(t *testing.T) {
+	db := smallDB(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "call.csv")
+	if err := db.SaveCSV("call", path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+	db2 := NewDB()
+	db2.MustCreateTable("call", "pnum INT", "recnum INT", "date INT", "region STRING")
+	if err := db2.LoadCSV("call", path); err != nil {
+		t.Fatal(err)
+	}
+	n, _ := db2.RowCount("call")
+	if n != 3 {
+		t.Errorf("round trip rows = %d", n)
+	}
+	if err := db2.LoadCSV("ghost", path); err == nil {
+		t.Error("loading into missing table should fail")
+	}
+}
+
+func TestResultString(t *testing.T) {
+	db := smallDB(t)
+	res, err := db.Query("SELECT recnum, region FROM call WHERE pnum = 1 AND date = 20240101 ORDER BY recnum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.String()
+	for _, want := range []string{"recnum", "region", "100", "east", "(2 rows)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Result.String() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestExplainUncovered(t *testing.T) {
+	db := smallDB(t)
+	text, err := db.Explain("SELECT region FROM call WHERE recnum = 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "not covered") {
+		t.Errorf("Explain = %q", text)
+	}
+}
+
+func TestEmptyGuaranteedThroughFacade(t *testing.T) {
+	db := smallDB(t)
+	res, err := db.Query("SELECT region FROM call WHERE pnum = 1 AND pnum = 2 AND date = 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 || res.Stats.TuplesFetched != 0 {
+		t.Errorf("contradiction should touch no data: %+v", res.Stats)
+	}
+	info, err := db.Check("SELECT region FROM call WHERE pnum = 1 AND pnum = 2 AND date = 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.EmptyGuaranteed || !info.WithinBudget(0) {
+		t.Errorf("CheckInfo = %+v", info)
+	}
+}
+
+func TestQueryApproxRequiresCoverage(t *testing.T) {
+	db := smallDB(t)
+	if _, _, err := db.QueryApprox("SELECT region FROM call WHERE recnum = 5", 10); err == nil {
+		t.Error("approximation of uncovered query should fail")
+	}
+}
+
+func TestQueryBaselineUnknownProfile(t *testing.T) {
+	db := smallDB(t)
+	if _, err := db.QueryBaseline("SELECT region FROM call WHERE pnum = 1", Baseline("oracle")); err == nil {
+		t.Error("unknown baseline should fail")
+	}
+}
+
+func TestParseErrorsSurface(t *testing.T) {
+	db := smallDB(t)
+	if _, err := db.Query("SELEC region FROM call"); err == nil {
+		t.Error("syntax error should surface")
+	}
+	if _, err := db.Check("SELECT ghost FROM call"); err == nil {
+		t.Error("resolution error should surface")
+	}
+}
+
+func TestConformsSurfacesViolations(t *testing.T) {
+	db := smallDB(t)
+	ok, viols := db.Conforms()
+	if !ok || len(viols) != 0 {
+		t.Fatalf("fresh db should conform: %v", viols)
+	}
+	// Drive a bucket over its bound: the strict index records violations.
+	if err := db.RegisterConstraint("call({pnum} -> {recnum}, 2)"); err != nil {
+		t.Fatal(err)
+	}
+	db.MustInsert("call", 1, 500, 20240103, "east")
+	db.MustInsert("call", 1, 501, 20240104, "east")
+	ok, viols = db.Conforms()
+	if ok || len(viols) == 0 {
+		t.Error("violation must be reported after overflowing inserts")
+	}
+}
+
+func TestAccessSchemaFootprint(t *testing.T) {
+	db := smallDB(t)
+	if db.AccessSchemaFootprint() != 3 {
+		t.Errorf("footprint = %d, want 3 distinct (X, Y) pairs", db.AccessSchemaFootprint())
+	}
+}
+
+func TestToValueConversions(t *testing.T) {
+	for _, v := range []any{nil, 1, int32(2), int64(3), float32(1.5), 2.5, "s", true} {
+		if _, err := ToValue(v); err != nil {
+			t.Errorf("ToValue(%T): %v", v, err)
+		}
+	}
+	if _, err := ToValue(struct{}{}); err == nil {
+		t.Error("ToValue on struct should fail")
+	}
+}
+
+func TestBagSemanticsThroughBoundedPlans(t *testing.T) {
+	// Duplicate base rows must survive bounded evaluation (the index
+	// stores distinct partial tuples with witness counts).
+	db := NewDB()
+	db.MustCreateTable("t", "k INT", "v STRING")
+	db.MustInsert("t", 1, "x")
+	db.MustInsert("t", 1, "x") // exact duplicate
+	db.MustInsert("t", 1, "y")
+	db.MustRegisterConstraint("t({k} -> {v}, 10)")
+
+	res, err := db.QueryBounded("SELECT v FROM t WHERE k = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Errorf("bag semantics lost: %v", rowsToStrings(res))
+	}
+	if res.Stats.TuplesFetched != 2 {
+		t.Errorf("index should fetch 2 distinct partial tuples, fetched %d", res.Stats.TuplesFetched)
+	}
+	cnt, err := db.QueryBounded("SELECT COUNT(*) FROM t WHERE k = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cnt.Rows[0][0].I != 3 {
+		t.Errorf("COUNT(*) = %v, want 3", cnt.Rows[0][0])
+	}
+	dis, err := db.QueryBounded("SELECT COUNT(DISTINCT v) FROM t WHERE k = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dis.Rows[0][0].I != 2 {
+		t.Errorf("COUNT(DISTINCT v) = %v, want 2", dis.Rows[0][0])
+	}
+}

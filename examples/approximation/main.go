@@ -1,0 +1,41 @@
+// Resource-bounded approximation: when the fetch budget is smaller than
+// the deduced bound M, BEAS returns a subset of the exact answer with a
+// deterministic accuracy lower bound.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	beas "github.com/bounded-eval/beas"
+)
+
+func main() {
+	fmt.Println("generating the TLC benchmark (scale 3)...")
+	db := beas.MustNewTLCDB(3)
+
+	var sql string
+	for _, q := range beas.TLCQueries() {
+		if q.Name == "Q1" {
+			sql = q.SQL
+		}
+	}
+
+	exact, err := db.QueryBounded(sql)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("exact answer: %d rows, %d tuples fetched\n\n",
+		len(exact.Rows), exact.Stats.TuplesFetched)
+
+	fmt.Printf("%-16s %-14s %-12s %s\n", "budget (tuples)", "rows returned", "coverage >=", "exact?")
+	for _, budget := range []int64{8, 32, 64, 96, 128, 192, 256, 1024} {
+		res, coverage, err := db.QueryApprox(sql, budget)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-16d %-14d %-12.3f %v\n", budget, len(res.Rows), coverage, coverage >= 1)
+	}
+	fmt.Println("\nanswers are always subsets of the exact answer; coverage is a")
+	fmt.Println("deterministic lower bound on the fraction of relevant data examined.")
+}

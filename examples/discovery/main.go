@@ -1,0 +1,70 @@
+// Access schema discovery: mine access constraints from a dataset and a
+// historical query load, under a storage budget — the Discovery module of
+// BEAS's AS Catalog.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	beas "github.com/bounded-eval/beas"
+)
+
+func main() {
+	fmt.Println("generating the TLC benchmark (scale 1)...")
+	db := beas.MustNewTLCDB(1)
+
+	// Throw away the reference access schema: discovery starts from the
+	// data and the workload only.
+	for _, c := range db.Constraints() {
+		if err := db.DropConstraint(c); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("constraints registered: %d (dropped the reference schema)\n\n", len(db.Constraints()))
+
+	// The historical query load: the 10 coverable built-in queries.
+	var workload []string
+	for _, q := range beas.TLCQueries()[:10] {
+		workload = append(workload, q.SQL)
+	}
+
+	// Unlimited budget first, then a tight one.
+	for _, budget := range []int64{0, 6000} {
+		label := "unlimited storage"
+		if budget > 0 {
+			label = fmt.Sprintf("budget: %d index entries", budget)
+		}
+		fmt.Println("discovering with", label)
+		specs, report, err := db.Discover(beas.DiscoverOptions{
+			Workload: workload,
+			Budget:   budget,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(report)
+		fmt.Println()
+		_ = specs
+	}
+
+	// Register the discovered schema and verify it actually covers the
+	// workload.
+	specs, _, err := db.Discover(beas.DiscoverOptions{Workload: workload, Register: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("registered %d discovered constraints; re-checking the workload:\n", len(specs))
+	covered := 0
+	for i, sql := range workload {
+		info, err := db.Check(sql)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if info.Covered {
+			covered++
+		}
+		fmt.Printf("  Q%-3d covered=%v bound=%d\n", i+1, info.Covered, info.Bound)
+	}
+	fmt.Printf("%d/%d workload queries covered by the discovered schema\n", covered, len(workload))
+}

@@ -1,0 +1,57 @@
+// Quickstart: create a schema, load data, register an access constraint,
+// and watch BEAS answer a query by touching a bounded number of tuples.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	beas "github.com/bounded-eval/beas"
+)
+
+func main() {
+	db := beas.NewDB()
+
+	// A single relation: who called whom, when, and where.
+	db.MustCreateTable("call",
+		"pnum INT", "recnum INT", "date INT", "region STRING")
+
+	// Load a few thousand rows; the planted rows for number 42 on one day
+	// are the only ones a bounded plan will ever touch.
+	for i := 0; i < 20000; i++ {
+		db.MustInsert("call", 1000+i%500, 2000+i%700, 20240101+i%30, "r"+fmt.Sprint(i%10))
+	}
+	db.MustInsert("call", 42, 7001, 20240115, "east")
+	db.MustInsert("call", 42, 7002, 20240115, "west")
+
+	// The access constraint ψ: every number calls at most 500 distinct
+	// (recnum, region) pairs per day, and an index retrieves them.
+	db.MustRegisterConstraint("call({pnum, date} -> {recnum, region}, 500)")
+
+	sql := `SELECT recnum, region FROM call WHERE pnum = 42 AND date = 20240115`
+
+	// 1. Decide bounded evaluability and the bound M without executing.
+	info, err := db.Check(sql)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("covered: %v — the plan fetches at most %d tuples, no matter how big the table grows\n",
+		info.Covered, info.Bound)
+
+	// 2. Execute the bounded plan.
+	res, err := db.Query(sql)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.String())
+	fmt.Printf("mode=%s, tuples fetched=%d (table has %d rows)\n",
+		res.Stats.Mode, res.Stats.TuplesFetched, db.TotalRows())
+
+	// 3. Compare with a conventional engine that must scan the table.
+	conv, err := db.QueryBaseline(sql, beas.BaselinePostgres)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("conventional engine scanned %d rows for the same answer\n",
+		conv.Stats.TuplesScanned)
+}

@@ -1,0 +1,395 @@
+package access
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"github.com/bounded-eval/beas/internal/schema"
+	"github.com/bounded-eval/beas/internal/storage"
+	"github.com/bounded-eval/beas/internal/value"
+)
+
+func testDB(t *testing.T) (*schema.Database, *storage.Store) {
+	t.Helper()
+	db, err := schema.NewDatabase(
+		schema.MustRelation("call",
+			schema.Attribute{Name: "pnum", Kind: value.Int},
+			schema.Attribute{Name: "date", Kind: value.Int},
+			schema.Attribute{Name: "recnum", Kind: value.Int},
+			schema.Attribute{Name: "region", Kind: value.String},
+		),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, storage.NewStore(db)
+}
+
+func callRow(p, d, r int64, reg string) value.Row {
+	return value.Row{value.NewInt(p), value.NewInt(d), value.NewInt(r), value.NewString(reg)}
+}
+
+func TestNewConstraintValidation(t *testing.T) {
+	db, _ := testDB(t)
+	if _, err := NewConstraint(db, "nosuch", []string{"a"}, []string{"b"}, 1); err == nil {
+		t.Error("unknown relation should fail")
+	}
+	if _, err := NewConstraint(db, "call", []string{"ghost"}, []string{"recnum"}, 1); err == nil {
+		t.Error("unknown X attribute should fail")
+	}
+	if _, err := NewConstraint(db, "call", []string{"pnum"}, []string{"ghost"}, 1); err == nil {
+		t.Error("unknown Y attribute should fail")
+	}
+	if _, err := NewConstraint(db, "call", []string{"pnum", "PNUM"}, []string{"recnum"}, 1); err == nil {
+		t.Error("duplicate X attribute should fail")
+	}
+	if _, err := NewConstraint(db, "call", []string{"pnum"}, nil, 1); err == nil {
+		t.Error("empty Y should fail")
+	}
+	if _, err := NewConstraint(db, "call", []string{"pnum"}, []string{"recnum"}, 0); err == nil {
+		t.Error("non-positive N should fail")
+	}
+	// Names are canonicalised to schema case.
+	c, err := NewConstraint(db, "CALL", []string{"PNUM"}, []string{"RECNUM"}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Rel != "call" || c.X[0] != "pnum" || c.Y[0] != "recnum" {
+		t.Errorf("canonicalisation failed: %+v", c)
+	}
+	// Empty X is allowed: a whole-relation cardinality constraint.
+	if _, err := NewConstraint(db, "call", nil, []string{"region"}, 10); err != nil {
+		t.Errorf("empty X should be allowed: %v", err)
+	}
+}
+
+func TestParseConstraint(t *testing.T) {
+	db, _ := testDB(t)
+	c, err := ParseConstraint(db, "call({pnum, date} -> {recnum, region}, 500)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.N != 500 || len(c.X) != 2 || len(c.Y) != 2 {
+		t.Errorf("parsed = %+v", c)
+	}
+	// Singleton sets without braces.
+	c2, err := ParseConstraint(db, "call(pnum -> recnum, 7)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.X[0] != "pnum" || c2.Y[0] != "recnum" || c2.N != 7 {
+		t.Errorf("parsed = %+v", c2)
+	}
+	// Round trip through String.
+	c3, err := ParseConstraint(db, c.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c3.ID() != c.ID() {
+		t.Errorf("String/Parse round trip changed identity: %v vs %v", c, c3)
+	}
+	for _, bad := range []string{
+		"call",
+		"call()",
+		"call(pnum, 5)",
+		"call(pnum -> recnum)",
+		"call(pnum -> recnum, x)",
+	} {
+		if _, err := ParseConstraint(db, bad); err == nil {
+			t.Errorf("ParseConstraint(%q) should fail", bad)
+		}
+	}
+}
+
+func TestConstraintPredicates(t *testing.T) {
+	db, _ := testDB(t)
+	c, _ := NewConstraint(db, "call", []string{"pnum", "date"}, []string{"recnum"}, 5)
+	if !c.HasX("PNUM") || c.HasX("recnum") || !c.HasY("recnum") {
+		t.Error("HasX/HasY broken")
+	}
+	if !c.Covers([]string{"pnum", "recnum"}) || c.Covers([]string{"region"}) {
+		t.Error("Covers broken")
+	}
+}
+
+func TestBuildIndexAndFetch(t *testing.T) {
+	db, store := testDB(t)
+	tab := store.MustTable("call")
+	// pnum 1 on date 10 called 2 distinct (recnum, region) pairs; one is
+	// duplicated and must be deduplicated by the index.
+	rows := []value.Row{
+		callRow(1, 10, 100, "east"),
+		callRow(1, 10, 100, "east"),
+		callRow(1, 10, 101, "west"),
+		callRow(1, 11, 102, "east"),
+		callRow(2, 10, 100, "east"),
+	}
+	for _, r := range rows {
+		if err := tab.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, _ := NewConstraint(db, "call", []string{"pnum", "date"}, []string{"recnum", "region"}, 2)
+	idx, err := BuildIndex(c, tab, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, n := idx.Fetch([]value.Value{value.NewInt(1), value.NewInt(10)})
+	if n != 2 || len(got) != 2 {
+		t.Fatalf("Fetch = %d tuples (%v)", n, got)
+	}
+	if idx.Buckets() != 3 || idx.Tuples() != 4 {
+		t.Errorf("Buckets=%d Tuples=%d", idx.Buckets(), idx.Tuples())
+	}
+	if _, n := idx.Fetch([]value.Value{value.NewInt(9), value.NewInt(9)}); n != 0 {
+		t.Error("missing key should fetch nothing")
+	}
+	if !idx.Contains([]value.Value{value.NewInt(2), value.NewInt(10)}) {
+		t.Error("Contains failed")
+	}
+}
+
+func TestBuildIndexRejectsViolation(t *testing.T) {
+	db, store := testDB(t)
+	tab := store.MustTable("call")
+	for i := 0; i < 5; i++ {
+		_ = tab.Insert(callRow(1, 10, int64(100+i), "east"))
+	}
+	c, _ := NewConstraint(db, "call", []string{"pnum"}, []string{"recnum"}, 3)
+	if _, err := BuildIndex(c, tab, false); err == nil {
+		t.Error("non-conforming instance must be rejected without autoWiden")
+	}
+	c2, _ := NewConstraint(db, "call", []string{"pnum"}, []string{"recnum"}, 3)
+	idx, err := BuildIndex(c2, tab, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.N != 5 {
+		t.Errorf("autoWiden should set N to 5, got %d", c2.N)
+	}
+	if idx.MaxBucket() != 5 {
+		t.Errorf("MaxBucket = %d", idx.MaxBucket())
+	}
+}
+
+func TestIncrementalMaintenance(t *testing.T) {
+	db, store := testDB(t)
+	tab := store.MustTable("call")
+	c, _ := NewConstraint(db, "call", []string{"pnum"}, []string{"recnum"}, 100)
+	idx, err := BuildIndex(c, tab, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab.Observe(idx)
+
+	_ = tab.Insert(callRow(1, 10, 100, "east"))
+	_ = tab.Insert(callRow(1, 11, 100, "west")) // same (pnum, recnum): refcounted
+	_ = tab.Insert(callRow(1, 12, 101, "east"))
+	if got, _ := idx.Fetch([]value.Value{value.NewInt(1)}); len(got) != 2 {
+		t.Fatalf("bucket = %v", got)
+	}
+	// Deleting one witness of recnum 100 keeps it (another row remains).
+	tab.Delete(func(r value.Row) bool { return r[1].I == 10 })
+	if got, _ := idx.Fetch([]value.Value{value.NewInt(1)}); len(got) != 2 {
+		t.Errorf("refcounted Y-value dropped too early: %v", got)
+	}
+	// Deleting the second witness removes it.
+	tab.Delete(func(r value.Row) bool { return r[1].I == 11 })
+	got, _ := idx.Fetch([]value.Value{value.NewInt(1)})
+	if len(got) != 1 || got[0][0].I != 101 {
+		t.Errorf("bucket after full delete = %v", got)
+	}
+	// Deleting everything removes the bucket.
+	tab.Delete(func(value.Row) bool { return true })
+	if idx.Buckets() != 0 || idx.Tuples() != 0 {
+		t.Errorf("index not empty: buckets=%d tuples=%d", idx.Buckets(), idx.Tuples())
+	}
+}
+
+func TestMaintenanceViolationPolicies(t *testing.T) {
+	db, store := testDB(t)
+	tab := store.MustTable("call")
+	// Strict policy: exceeding N invalidates the index.
+	c, _ := NewConstraint(db, "call", []string{"pnum"}, []string{"recnum"}, 2)
+	idx, err := BuildIndex(c, tab, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab.Observe(idx)
+	_ = tab.Insert(callRow(1, 10, 100, "east"))
+	_ = tab.Insert(callRow(1, 10, 101, "east"))
+	if idx.Invalid() {
+		t.Fatal("index invalid too early")
+	}
+	_ = tab.Insert(callRow(1, 10, 102, "east"))
+	if !idx.Invalid() {
+		t.Fatal("strict index must invalidate when a bucket exceeds N")
+	}
+	if len(idx.Violations()) == 0 {
+		t.Error("violations should be recorded")
+	}
+	tab.Unobserve(idx)
+
+	// Widening policy: N grows instead.
+	db2, store2 := testDB(t)
+	tab2 := store2.MustTable("call")
+	c2, _ := NewConstraint(db2, "call", []string{"pnum"}, []string{"recnum"}, 2)
+	idx2, err := BuildIndex(c2, tab2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab2.Observe(idx2)
+	for i := 0; i < 5; i++ {
+		_ = tab2.Insert(callRow(1, 10, int64(100+i), "east"))
+	}
+	if idx2.Invalid() {
+		t.Error("widening index must stay valid")
+	}
+	if c2.N != 5 {
+		t.Errorf("N should have widened to 5, got %d", c2.N)
+	}
+}
+
+// TestMaintenanceEquivalentToRebuild is the maintenance correctness
+// property: after a random insert/delete stream, the incrementally
+// maintained index equals one rebuilt from scratch.
+func TestMaintenanceEquivalentToRebuild(t *testing.T) {
+	db, store := testDB(t)
+	tab := store.MustTable("call")
+	c, _ := NewConstraint(db, "call", []string{"pnum", "date"}, []string{"recnum"}, 1000)
+	idx, err := BuildIndex(c, tab, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab.Observe(idx)
+
+	rng := rand.New(rand.NewSource(7))
+	for step := 0; step < 3000; step++ {
+		if rng.Intn(3) > 0 || tab.Len() == 0 {
+			_ = tab.Insert(callRow(int64(rng.Intn(5)), int64(rng.Intn(4)), int64(rng.Intn(6)), "r"))
+		} else {
+			victim := int64(rng.Intn(6))
+			deleted := false
+			tab.Delete(func(r value.Row) bool {
+				if !deleted && r[2].I == victim {
+					deleted = true
+					return true
+				}
+				return false
+			})
+		}
+	}
+	fresh, err := BuildIndex(c, tab, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Tuples() != fresh.Tuples() || idx.Buckets() != fresh.Buckets() {
+		t.Fatalf("maintained index diverged: tuples %d vs %d, buckets %d vs %d",
+			idx.Tuples(), fresh.Tuples(), idx.Buckets(), fresh.Buckets())
+	}
+	// Compare a sample of buckets content-wise (order-insensitive).
+	for p := int64(0); p < 5; p++ {
+		for d := int64(0); d < 4; d++ {
+			key := []value.Value{value.NewInt(p), value.NewInt(d)}
+			a, _ := idx.Fetch(key)
+			b, _ := fresh.Fetch(key)
+			if !sameRows(a, b) {
+				t.Fatalf("bucket (%d,%d) differs: %v vs %v", p, d, a, b)
+			}
+		}
+	}
+}
+
+func sameRows(a, b []value.Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	ka := make([]string, len(a))
+	kb := make([]string, len(b))
+	for i := range a {
+		ka[i] = value.Key(a[i])
+		kb[i] = value.Key(b[i])
+	}
+	sort.Strings(ka)
+	sort.Strings(kb)
+	return reflect.DeepEqual(ka, kb)
+}
+
+func TestSchemaRegistry(t *testing.T) {
+	db, store := testDB(t)
+	tab := store.MustTable("call")
+	_ = tab.Insert(callRow(1, 10, 100, "east"))
+	as := NewSchema(store)
+	c, _ := NewConstraint(db, "call", []string{"pnum"}, []string{"recnum"}, 5)
+	if _, err := as.Register(c, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := as.Register(c, false); err == nil {
+		t.Error("duplicate registration should fail")
+	}
+	if got := as.ForRelation("CALL"); len(got) != 1 {
+		t.Errorf("ForRelation = %v", got)
+	}
+	if as.Len() != 1 || as.Footprint() != 1 {
+		t.Errorf("Len=%d Footprint=%d", as.Len(), as.Footprint())
+	}
+	// The index is maintained through the schema's observer registration.
+	_ = tab.Insert(callRow(1, 11, 101, "west"))
+	idx, ok := as.Index(c)
+	if !ok {
+		t.Fatal("index missing")
+	}
+	if got, _ := idx.Fetch([]value.Value{value.NewInt(1)}); len(got) != 2 {
+		t.Errorf("index not maintained after Register: %v", got)
+	}
+	if ok, _ := as.Conforms(); !ok {
+		t.Error("schema should conform")
+	}
+	if !as.Unregister(c) {
+		t.Error("Unregister failed")
+	}
+	if as.Unregister(c) {
+		t.Error("double Unregister should report false")
+	}
+	// After unregistering, the index no longer observes.
+	_ = tab.Insert(callRow(1, 12, 102, "west"))
+	if got, _ := idx.Fetch([]value.Value{value.NewInt(1)}); len(got) != 2 {
+		t.Errorf("unregistered index still maintained: %v", got)
+	}
+}
+
+func TestSchemaSerialisation(t *testing.T) {
+	db, store := testDB(t)
+	as := NewSchema(store)
+	c, _ := NewConstraint(db, "call", []string{"pnum", "date"}, []string{"recnum", "region"}, 500)
+	if _, err := as.Register(c, false); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := as.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadConstraints(db, strings.NewReader("# comment\n\n"+sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].ID() != c.ID() {
+		t.Errorf("round trip = %v", got)
+	}
+	if _, err := ReadConstraints(db, strings.NewReader("garbage(")); err == nil {
+		t.Error("malformed constraint file should fail")
+	}
+}
+
+func TestViolationString(t *testing.T) {
+	db, _ := testDB(t)
+	c, _ := NewConstraint(db, "call", []string{"pnum"}, []string{"recnum"}, 2)
+	v := Violation{Constraint: c, XKey: []value.Value{value.NewInt(7)}, Count: 9}
+	s := v.String()
+	if !strings.Contains(s, "7") || !strings.Contains(s, "9") || !strings.Contains(s, "2") {
+		t.Errorf("Violation.String() = %q", s)
+	}
+}

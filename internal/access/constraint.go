@@ -1,0 +1,178 @@
+// Package access implements access schemas, the foundation of BEAS
+// (paper §2): access constraints ψ = R(X → Y, N) combining a cardinality
+// constraint ("every X-value has at most N distinct Y-values") with a
+// modified hash index that retrieves exactly those distinct Y-values.
+//
+// The package also provides the AS Catalog services of paper §3:
+// conformance checking, index construction, incremental maintenance under
+// inserts and deletes, and (de)serialisation of access schemas.
+package access
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/bounded-eval/beas/internal/schema"
+	"github.com/bounded-eval/beas/internal/value"
+)
+
+// Constraint is an access constraint R(X → Y, N): for every X-value in an
+// instance of R there are at most N distinct Y-values, and the associated
+// index retrieves them by accessing at most N (partial) tuples.
+type Constraint struct {
+	Rel string   // relation name
+	X   []string // key attributes
+	Y   []string // fetched attributes
+	N   int      // cardinality bound
+}
+
+// NewConstraint validates and normalises a constraint against the database
+// schema: attribute names are resolved case-insensitively, duplicates
+// within X or Y are rejected, and Y attributes that also appear in X are
+// allowed (the index then simply repeats the key attribute).
+func NewConstraint(db *schema.Database, rel string, x, y []string, n int) (*Constraint, error) {
+	r, ok := db.Relation(rel)
+	if !ok {
+		return nil, fmt.Errorf("access: unknown relation %q", rel)
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("access: constraint on %s: N must be positive, got %d", rel, n)
+	}
+	if len(y) == 0 {
+		return nil, fmt.Errorf("access: constraint on %s: Y must not be empty", rel)
+	}
+	check := func(attrs []string, side string) ([]string, error) {
+		seen := make(map[string]bool, len(attrs))
+		out := make([]string, len(attrs))
+		for i, a := range attrs {
+			idx, ok := r.AttrIndex(a)
+			if !ok {
+				return nil, fmt.Errorf("access: constraint on %s: no attribute %q", rel, a)
+			}
+			canon := r.Attrs[idx].Name
+			if seen[canon] {
+				return nil, fmt.Errorf("access: constraint on %s: duplicate attribute %q in %s", rel, a, side)
+			}
+			seen[canon] = true
+			out[i] = canon
+		}
+		return out, nil
+	}
+	cx, err := check(x, "X")
+	if err != nil {
+		return nil, err
+	}
+	cy, err := check(y, "Y")
+	if err != nil {
+		return nil, err
+	}
+	return &Constraint{Rel: r.Name, X: cx, Y: cy, N: n}, nil
+}
+
+// String renders the constraint in the paper's notation,
+// e.g. call({pnum, date} -> {recnum, region}, 500).
+func (c *Constraint) String() string {
+	return fmt.Sprintf("%s({%s} -> {%s}, %d)",
+		c.Rel, strings.Join(c.X, ", "), strings.Join(c.Y, ", "), c.N)
+}
+
+// ID returns a canonical identity string: relation plus sorted X and Y.
+// Two constraints with the same ID constrain the same attribute mapping
+// (possibly with different N).
+func (c *Constraint) ID() string {
+	x := append([]string(nil), c.X...)
+	y := append([]string(nil), c.Y...)
+	sort.Strings(x)
+	sort.Strings(y)
+	return fmt.Sprintf("%s|%s|%s", strings.ToLower(c.Rel),
+		strings.ToLower(strings.Join(x, ",")), strings.ToLower(strings.Join(y, ",")))
+}
+
+// HasX reports whether attr (case-insensitive) is in X.
+func (c *Constraint) HasX(attr string) bool { return containsFold(c.X, attr) }
+
+// HasY reports whether attr (case-insensitive) is in Y.
+func (c *Constraint) HasY(attr string) bool { return containsFold(c.Y, attr) }
+
+// Covers reports whether every attribute in attrs appears in X ∪ Y.
+func (c *Constraint) Covers(attrs []string) bool {
+	for _, a := range attrs {
+		if !c.HasX(a) && !c.HasY(a) {
+			return false
+		}
+	}
+	return true
+}
+
+func containsFold(list []string, s string) bool {
+	for _, x := range list {
+		if strings.EqualFold(x, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// ParseConstraint parses the paper's textual notation:
+//
+//	call({pnum, date} -> {recnum, region}, 500)
+//
+// Singleton sets may omit the braces: business({type,region} -> pnum, 2000).
+func ParseConstraint(db *schema.Database, s string) (*Constraint, error) {
+	orig := s
+	s = strings.TrimSpace(s)
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return nil, fmt.Errorf("access: malformed constraint %q", orig)
+	}
+	rel := strings.TrimSpace(s[:open])
+	body := s[open+1 : len(s)-1]
+	arrow := strings.Index(body, "->")
+	if arrow < 0 {
+		return nil, fmt.Errorf("access: malformed constraint %q: missing ->", orig)
+	}
+	xPart := strings.TrimSpace(body[:arrow])
+	rest := strings.TrimSpace(body[arrow+2:])
+	comma := strings.LastIndexByte(rest, ',')
+	if comma < 0 {
+		return nil, fmt.Errorf("access: malformed constraint %q: missing N", orig)
+	}
+	yPart := strings.TrimSpace(rest[:comma])
+	var n int
+	if _, err := fmt.Sscanf(strings.TrimSpace(rest[comma+1:]), "%d", &n); err != nil {
+		return nil, fmt.Errorf("access: malformed constraint %q: bad N: %w", orig, err)
+	}
+	parseSet := func(p string) []string {
+		p = strings.TrimSpace(p)
+		p = strings.TrimPrefix(p, "{")
+		p = strings.TrimSuffix(p, "}")
+		parts := strings.Split(p, ",")
+		out := make([]string, 0, len(parts))
+		for _, a := range parts {
+			if a = strings.TrimSpace(a); a != "" {
+				out = append(out, a)
+			}
+		}
+		return out
+	}
+	return NewConstraint(db, rel, parseSet(xPart), parseSet(yPart), n)
+}
+
+// Violation describes a cardinality violation found by conformance
+// checking: an X-value with more than N distinct Y-values.
+type Violation struct {
+	Constraint *Constraint
+	XKey       []value.Value
+	Count      int
+}
+
+// String renders the violation for diagnostics.
+func (v Violation) String() string {
+	parts := make([]string, len(v.XKey))
+	for i, x := range v.XKey {
+		parts[i] = x.String()
+	}
+	return fmt.Sprintf("%v violated at X=(%s): %d distinct Y-values (bound %d)",
+		v.Constraint, strings.Join(parts, ", "), v.Count, v.Constraint.N)
+}

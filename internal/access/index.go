@@ -1,0 +1,272 @@
+package access
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/bounded-eval/beas/internal/storage"
+	"github.com/bounded-eval/beas/internal/value"
+)
+
+// Index is the modified hash index of paper §3: it takes the constraint's
+// X attributes as key, and each key value points to a bucket holding the
+// set of at most N distinct Y-values for that key.
+//
+// The index is maintained incrementally: it registers as an observer on
+// its table, and per-bucket reference counts on Y-values keep deletions
+// exact (a Y-value leaves the bucket only when its last witness row is
+// deleted), implementing the Maintenance module of the AS Catalog.
+type Index struct {
+	C *Constraint
+
+	xPos, yPos []int // attribute positions in the base relation
+
+	mu      sync.RWMutex
+	buckets map[string]*bucket
+	maxN    int   // largest bucket cardinality observed
+	tuples  int64 // total distinct Y-values over all buckets (index size)
+
+	// AutoWiden controls the violation policy during maintenance: when a
+	// bucket would exceed N, the index either widens N to the new
+	// cardinality (true, the paper's "periodically adjusts constraints")
+	// or records the violation and keeps the tuple out of the index,
+	// marking the index invalid (false).
+	AutoWiden bool
+
+	invalid    bool
+	violations []Violation
+}
+
+type bucket struct {
+	// order preserves first-insertion order of distinct Y-values so that
+	// fetches are deterministic; counts[i] is the number of base rows
+	// witnessing order[i] (the multiplicity needed for SQL bag semantics).
+	order  []value.Row
+	counts []int64
+	// refs maps the Y encoding to its position in order.
+	refs map[string]int
+}
+
+// BuildIndex scans the table and constructs the index for c. It fails if
+// the instance does not conform to c (some bucket exceeds N), unless
+// autoWiden is set, in which case N is widened to the observed maximum.
+func BuildIndex(c *Constraint, t *storage.Table, autoWiden bool) (*Index, error) {
+	xPos, err := t.Rel.AttrIndices(c.X)
+	if err != nil {
+		return nil, err
+	}
+	yPos, err := t.Rel.AttrIndices(c.Y)
+	if err != nil {
+		return nil, err
+	}
+	idx := &Index{
+		C:         c,
+		xPos:      xPos,
+		yPos:      yPos,
+		buckets:   make(map[string]*bucket),
+		AutoWiden: autoWiden,
+	}
+	for _, row := range t.Rows() {
+		idx.insertLocked(row)
+	}
+	if idx.maxN > c.N {
+		if !autoWiden {
+			return nil, fmt.Errorf("access: building index for %v: instance does not conform (max %d distinct Y-values per key)", c, idx.maxN)
+		}
+		c.N = idx.maxN
+	}
+	return idx, nil
+}
+
+// Fetch returns the distinct Y-values associated with key (the values of
+// the X attributes, in constraint order). The returned rows are the
+// index's own storage and must not be mutated. The second result is the
+// number of (partial) tuples accessed, which by conformance is ≤ N.
+func (ix *Index) Fetch(key []value.Value) ([]value.Row, int) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	b, ok := ix.buckets[value.Key(key)]
+	if !ok {
+		return nil, 0
+	}
+	return b.order, len(b.order)
+}
+
+// FetchWeighted is Fetch plus the witness count of every distinct
+// Y-value: counts[i] base rows carry rows[i]. The bounded executor uses
+// the counts to preserve SQL bag semantics (duplicate base rows, COUNT)
+// while still fetching only distinct partial tuples.
+func (ix *Index) FetchWeighted(key []value.Value) (rows []value.Row, counts []int64, accessed int) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	b, ok := ix.buckets[value.Key(key)]
+	if !ok {
+		return nil, nil, 0
+	}
+	return b.order, b.counts, len(b.order)
+}
+
+// Contains reports whether any tuple with the given X-value exists.
+func (ix *Index) Contains(key []value.Value) bool {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	_, ok := ix.buckets[value.Key(key)]
+	return ok
+}
+
+// Buckets returns the number of distinct X-values.
+func (ix *Index) Buckets() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.buckets)
+}
+
+// Tuples returns the total number of distinct (X, Y) pairs stored — the
+// index footprint used by the discovery module's storage budget.
+func (ix *Index) Tuples() int64 {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.tuples
+}
+
+// MaxBucket returns the largest observed bucket cardinality; conformance
+// holds while MaxBucket ≤ C.N.
+func (ix *Index) MaxBucket() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.maxN
+}
+
+// Invalid reports whether maintenance detected a violation under the
+// strict (non-widening) policy; an invalid index must not be used for
+// bounded plans until rebuilt.
+func (ix *Index) Invalid() bool {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.invalid
+}
+
+// Violations returns the violations recorded under the strict policy.
+func (ix *Index) Violations() []Violation {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return append([]Violation(nil), ix.violations...)
+}
+
+// OnInsert implements storage.Observer: incremental index maintenance for
+// a newly inserted base row.
+func (ix *Index) OnInsert(row value.Row) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.insertLocked(row)
+	if ix.maxN > ix.C.N {
+		if ix.AutoWiden {
+			ix.C.N = ix.maxN
+		} else {
+			ix.invalid = true
+			ix.violations = append(ix.violations, Violation{
+				Constraint: ix.C,
+				XKey:       row.Project(ix.xPos),
+				Count:      ix.maxN,
+			})
+		}
+	}
+}
+
+func (ix *Index) insertLocked(row value.Row) {
+	xKey := value.Key(row.Project(ix.xPos))
+	y := row.Project(ix.yPos)
+	yKey := value.Key(y)
+	b, ok := ix.buckets[xKey]
+	if !ok {
+		b = &bucket{refs: make(map[string]int, 1)}
+		ix.buckets[xKey] = b
+	}
+	if pos, ok := b.refs[yKey]; ok {
+		b.counts[pos]++
+		return
+	}
+	b.refs[yKey] = len(b.order)
+	b.order = append(b.order, y)
+	b.counts = append(b.counts, 1)
+	ix.tuples++
+	if len(b.order) > ix.maxN {
+		ix.maxN = len(b.order)
+	}
+}
+
+// OnDelete implements storage.Observer: removes one witness of the row's
+// Y-value; the Y-value leaves the bucket when its last witness goes.
+func (ix *Index) OnDelete(row value.Row) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	xKey := value.Key(row.Project(ix.xPos))
+	b, ok := ix.buckets[xKey]
+	if !ok {
+		return
+	}
+	yKey := value.Key(row.Project(ix.yPos))
+	pos, ok := b.refs[yKey]
+	if !ok {
+		return
+	}
+	b.counts[pos]--
+	if b.counts[pos] > 0 {
+		return
+	}
+	// Remove the Y-value: swap the last element into its slot.
+	last := len(b.order) - 1
+	moved := b.order[last]
+	b.order[pos] = moved
+	b.counts[pos] = b.counts[last]
+	b.order = b.order[:last]
+	b.counts = b.counts[:last]
+	if pos < last {
+		b.refs[value.Key(moved)] = pos
+	}
+	delete(b.refs, yKey)
+	ix.tuples--
+	if len(b.order) == 0 {
+		delete(ix.buckets, xKey)
+	}
+	// maxN is an upper bound; deletions never invalidate conformance so we
+	// leave it (Rebuild recomputes it exactly).
+}
+
+// Retighten recomputes the exact maximum bucket cardinality and adjusts
+// the constraint's bound N to it, clearing any violation state — the
+// Maintenance module's "periodically adjusts constraints in A" (§3).
+// Tightening N improves every bound the BE Checker deduces with this
+// constraint. It returns the new N.
+func (ix *Index) Retighten() int {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	maxN := 0
+	for _, b := range ix.buckets {
+		if len(b.order) > maxN {
+			maxN = len(b.order)
+		}
+	}
+	if maxN == 0 {
+		maxN = 1 // an empty relation conforms to any positive bound
+	}
+	ix.maxN = maxN
+	ix.C.N = maxN
+	ix.invalid = false
+	ix.violations = nil
+	return maxN
+}
+
+// Conforms re-scans the index state and reports whether every bucket is
+// within the constraint's bound, with the offending buckets if not.
+func (ix *Index) Conforms() (bool, []Violation) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	var out []Violation
+	for _, b := range ix.buckets {
+		if len(b.order) > ix.C.N {
+			out = append(out, Violation{Constraint: ix.C, Count: len(b.order)})
+		}
+	}
+	return len(out) == 0, out
+}

@@ -1,0 +1,365 @@
+package analyze
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/bounded-eval/beas/internal/schema"
+	"github.com/bounded-eval/beas/internal/sqlparser"
+	"github.com/bounded-eval/beas/internal/value"
+)
+
+func testDB(t *testing.T) *schema.Database {
+	t.Helper()
+	db, err := schema.NewDatabase(
+		schema.MustRelation("call",
+			schema.Attribute{Name: "pnum", Kind: value.Int},
+			schema.Attribute{Name: "recnum", Kind: value.Int},
+			schema.Attribute{Name: "date", Kind: value.Int},
+			schema.Attribute{Name: "region", Kind: value.String},
+			schema.Attribute{Name: "charge", Kind: value.Float},
+		),
+		schema.MustRelation("business",
+			schema.Attribute{Name: "pnum", Kind: value.Int},
+			schema.Attribute{Name: "type", Kind: value.String},
+			schema.Attribute{Name: "region", Kind: value.String},
+		),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func analyzeSQL(t *testing.T, sql string) *Query {
+	t.Helper()
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Analyze(stmt.Select, testDB(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func analyzeErr(t *testing.T, sql string) error {
+	t.Helper()
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Analyze(stmt.Select, testDB(t))
+	return err
+}
+
+func TestResolveQualifiedAndUnqualified(t *testing.T) {
+	q := analyzeSQL(t, "SELECT call.recnum, type FROM call, business WHERE call.pnum = business.pnum")
+	if len(q.Atoms) != 2 {
+		t.Fatalf("atoms = %d", len(q.Atoms))
+	}
+	// recnum is qualified; type resolves uniquely to business.
+	out0 := q.Outputs[0].Expr.(*ColRef)
+	if out0.ID.Atom != 0 {
+		t.Errorf("call.recnum resolved to atom %d", out0.ID.Atom)
+	}
+	out1 := q.Outputs[1].Expr.(*ColRef)
+	if out1.ID.Atom != 1 {
+		t.Errorf("type resolved to atom %d", out1.ID.Atom)
+	}
+}
+
+func TestResolveErrors(t *testing.T) {
+	cases := []string{
+		"SELECT x FROM call",                                                // unknown column
+		"SELECT region FROM call, business",                                 // ambiguous column
+		"SELECT a FROM nosuch",                                              // unknown relation
+		"SELECT b.ghost FROM business b",                                    // unknown attribute
+		"SELECT nope.pnum FROM call",                                        // unknown alias
+		"SELECT call.pnum FROM call c1, call c2",                            // ambiguous base name
+		"SELECT pnum FROM call c1, call c1",                                 // duplicate alias
+		"SELECT pnum, COUNT(*) FROM call",                                   // bare col with aggregate
+		"SELECT * FROM call GROUP BY region",                                // * with grouping
+		"SELECT pnum FROM call HAVING COUNT(*) > 1",                         // HAVING without agg? actually valid SQL-ish; we expect error because pnum not grouped
+		"SELECT pnum FROM call WHERE pnum IN (recnum)",                      // non-literal IN
+		"SELECT region, COUNT(*) FROM call GROUP BY region ORDER BY charge", // order key not in output
+	}
+	for _, sql := range cases {
+		if err := analyzeErr(t, sql); err == nil {
+			t.Errorf("Analyze(%q) should fail", sql)
+		}
+	}
+}
+
+func TestConjunctClassification(t *testing.T) {
+	q := analyzeSQL(t, `SELECT call.region FROM call, business
+		WHERE call.pnum = business.pnum AND business.type = 'bank'
+		  AND call.date IN (1, 2) AND call.charge > 0.5
+		  AND call.recnum <> call.pnum
+		  AND (call.region = 'a' OR call.region = 'b')`)
+	kinds := map[ConjunctKind]int{}
+	for _, c := range q.Conjuncts {
+		kinds[c.Kind]++
+	}
+	want := map[ConjunctKind]int{
+		EqAttrAttr:  1,
+		EqAttrConst: 1,
+		InConsts:    1,
+		CmpConst:    1,
+		CmpAttrAttr: 1,
+		Opaque:      1,
+	}
+	for k, n := range want {
+		if kinds[k] != n {
+			t.Errorf("kind %d count = %d, want %d (all: %v)", k, kinds[k], n, kinds)
+		}
+	}
+}
+
+func TestConstOnLeftNormalised(t *testing.T) {
+	q := analyzeSQL(t, "SELECT region FROM call WHERE 5 = pnum AND 3 < date")
+	if q.Conjuncts[0].Kind != EqAttrConst || q.Conjuncts[0].Val.I != 5 {
+		t.Errorf("const-left equality not normalised: %+v", q.Conjuncts[0])
+	}
+	c := q.Conjuncts[1]
+	if c.Kind != CmpConst || c.Op != sqlparser.OpGt {
+		t.Errorf("3 < date should normalise to date > 3: %+v", c)
+	}
+}
+
+func TestBetweenExpansion(t *testing.T) {
+	q := analyzeSQL(t, "SELECT region FROM call WHERE date BETWEEN 3 AND 7")
+	if len(q.Conjuncts) != 2 {
+		t.Fatalf("BETWEEN should expand to two conjuncts, got %d", len(q.Conjuncts))
+	}
+	for _, c := range q.Conjuncts {
+		if c.Kind != CmpConst {
+			t.Errorf("conjunct %v kind = %d", c, c.Kind)
+		}
+	}
+}
+
+func TestUsedAttrs(t *testing.T) {
+	q := analyzeSQL(t, `SELECT call.region FROM call, business
+		WHERE call.pnum = business.pnum AND business.type = 'bank'`)
+	// call uses pnum(0) and region(3).
+	used := q.UsedAttrs(0)
+	if len(used) != 2 || used[0] != 0 || used[1] != 3 {
+		t.Errorf("call used = %v", used)
+	}
+	// business uses pnum(0) and type(1).
+	used = q.UsedAttrs(1)
+	if len(used) != 2 || used[0] != 0 || used[1] != 1 {
+		t.Errorf("business used = %v", used)
+	}
+}
+
+func TestAggregateRewriting(t *testing.T) {
+	q := analyzeSQL(t, `SELECT region, COUNT(*) AS n, SUM(charge) FROM call
+		GROUP BY region HAVING COUNT(*) > 1 ORDER BY n DESC`)
+	if !q.IsAgg || len(q.GroupBy) != 1 || len(q.Aggs) != 2 {
+		t.Fatalf("agg shape: isAgg=%v groups=%d aggs=%d", q.IsAgg, len(q.GroupBy), len(q.Aggs))
+	}
+	// Outputs: region -> PostRef(0); COUNT(*) -> PostRef(1); SUM -> PostRef(2).
+	if p, ok := q.Outputs[0].Expr.(*PostRef); !ok || p.Slot != 0 {
+		t.Errorf("output 0 = %v", q.Outputs[0].Expr)
+	}
+	if p, ok := q.Outputs[1].Expr.(*PostRef); !ok || p.Slot != 1 {
+		t.Errorf("output 1 = %v", q.Outputs[1].Expr)
+	}
+	// HAVING references the deduplicated COUNT(*) aggregate.
+	h := q.Having.(*Bin)
+	if p, ok := h.L.(*PostRef); !ok || p.Slot != 1 {
+		t.Errorf("having = %v", q.Having)
+	}
+	if len(q.OrderBy) != 1 || q.OrderBy[0].Col != 1 || !q.OrderBy[0].Desc {
+		t.Errorf("orderby = %+v", q.OrderBy)
+	}
+}
+
+func TestAggregateDedup(t *testing.T) {
+	q := analyzeSQL(t, "SELECT COUNT(*), COUNT(*) FROM call")
+	if len(q.Aggs) != 1 {
+		t.Errorf("identical aggregates should deduplicate: %d", len(q.Aggs))
+	}
+}
+
+func TestOrderByOrdinalAndAlias(t *testing.T) {
+	q := analyzeSQL(t, "SELECT pnum AS p, recnum FROM call ORDER BY 2, p DESC")
+	if q.OrderBy[0].Col != 1 || q.OrderBy[1].Col != 0 || !q.OrderBy[1].Desc {
+		t.Errorf("orderby = %+v", q.OrderBy)
+	}
+	if err := analyzeErr(t, "SELECT pnum FROM call ORDER BY 5"); err == nil {
+		t.Error("out-of-range ordinal should fail")
+	}
+}
+
+func TestSelectStarExpansion(t *testing.T) {
+	q := analyzeSQL(t, "SELECT * FROM call")
+	if len(q.Outputs) != 5 {
+		t.Fatalf("star expanded to %d outputs", len(q.Outputs))
+	}
+	if q.Outputs[0].Name != "pnum" {
+		t.Errorf("output 0 name = %q", q.Outputs[0].Name)
+	}
+	q2 := analyzeSQL(t, "SELECT * FROM call, business")
+	if len(q2.Outputs) != 8 {
+		t.Fatalf("two-table star expanded to %d", len(q2.Outputs))
+	}
+	if !strings.Contains(q2.Outputs[0].Name, ".") {
+		t.Errorf("multi-table star names should be qualified: %q", q2.Outputs[0].Name)
+	}
+}
+
+func evalStr(t *testing.T, e Expr, row value.Row, l *Layout) value.Value {
+	t.Helper()
+	v, err := Eval(e, row, l)
+	if err != nil {
+		t.Fatalf("Eval(%v): %v", e, err)
+	}
+	return v
+}
+
+func TestEvalArithmeticAndComparison(t *testing.T) {
+	l := NewLayout()
+	a := l.Add(ColID{Atom: 0, Attr: 0})
+	b := l.Add(ColID{Atom: 0, Attr: 1})
+	row := value.Row{value.NewInt(6), value.NewFloat(1.5)}
+	ra := &ColRef{ID: ColID{0, 0}, Name: "a"}
+	rb := &ColRef{ID: ColID{0, 1}, Name: "b"}
+	_ = a
+	_ = b
+
+	cases := []struct {
+		e    Expr
+		want value.Value
+	}{
+		{&Bin{Op: sqlparser.OpAdd, L: ra, R: &Const{Val: value.NewInt(2)}}, value.NewInt(8)},
+		{&Bin{Op: sqlparser.OpMul, L: ra, R: rb}, value.NewFloat(9)},
+		{&Bin{Op: sqlparser.OpDiv, L: ra, R: &Const{Val: value.NewInt(4)}}, value.NewInt(1)},
+		{&Bin{Op: sqlparser.OpSub, L: rb, R: rb}, value.NewFloat(0)},
+		{&Bin{Op: sqlparser.OpLt, L: ra, R: &Const{Val: value.NewInt(7)}}, value.NewBool(true)},
+		{&Bin{Op: sqlparser.OpGe, L: ra, R: rb}, value.NewBool(true)},
+		{&Neg{E: ra}, value.NewInt(-6)},
+	}
+	for _, c := range cases {
+		got := evalStr(t, c.e, row, l)
+		if !value.Equal(got, c.want) {
+			t.Errorf("Eval(%v) = %v, want %v", c.e, got, c.want)
+		}
+	}
+	// Division by zero errors.
+	if _, err := Eval(&Bin{Op: sqlparser.OpDiv, L: ra, R: &Const{Val: value.NewInt(0)}}, row, l); err == nil {
+		t.Error("division by zero should fail")
+	}
+}
+
+func TestEvalNullSemantics(t *testing.T) {
+	l := NewLayout()
+	l.Add(ColID{Atom: 0, Attr: 0})
+	row := value.Row{value.NewNull()}
+	col := &ColRef{ID: ColID{0, 0}, Name: "a"}
+
+	// Comparisons with NULL are false.
+	got := evalStr(t, &Bin{Op: sqlparser.OpEq, L: col, R: &Const{Val: value.NewNull()}}, row, l)
+	if got.Bool() {
+		t.Error("NULL = NULL must evaluate to false in predicates")
+	}
+	// IS NULL sees it.
+	got = evalStr(t, &IsNullExpr{E: col}, row, l)
+	if !got.Bool() {
+		t.Error("IS NULL failed")
+	}
+	got = evalStr(t, &IsNullExpr{E: col, Not: true}, row, l)
+	if got.Bool() {
+		t.Error("IS NOT NULL failed")
+	}
+	// Arithmetic with NULL is NULL.
+	got = evalStr(t, &Bin{Op: sqlparser.OpAdd, L: col, R: &Const{Val: value.NewInt(1)}}, row, l)
+	if !got.IsNull() {
+		t.Error("NULL + 1 should be NULL")
+	}
+	// IN with NULL subject is false.
+	got = evalStr(t, &InList{E: col, Vals: []value.Value{value.NewInt(1)}}, row, l)
+	if got.Bool() {
+		t.Error("NULL IN (...) should be false")
+	}
+}
+
+func TestEvalShortCircuit(t *testing.T) {
+	l := NewLayout()
+	l.Add(ColID{Atom: 0, Attr: 0})
+	row := value.Row{value.NewInt(1)}
+	col := &ColRef{ID: ColID{0, 0}, Name: "a"}
+	bad := &Bin{Op: sqlparser.OpDiv, L: col, R: &Const{Val: value.NewInt(0)}} // would error
+
+	// false AND (err) short-circuits.
+	e := &Bin{Op: sqlparser.OpAnd,
+		L: &Bin{Op: sqlparser.OpEq, L: col, R: &Const{Val: value.NewInt(2)}},
+		R: &Bin{Op: sqlparser.OpEq, L: bad, R: &Const{Val: value.NewInt(0)}}}
+	if got := evalStr(t, e, row, l); got.Bool() {
+		t.Error("false AND x = false")
+	}
+	// true OR (err) short-circuits.
+	e2 := &Bin{Op: sqlparser.OpOr,
+		L: &Bin{Op: sqlparser.OpEq, L: col, R: &Const{Val: value.NewInt(1)}},
+		R: &Bin{Op: sqlparser.OpEq, L: bad, R: &Const{Val: value.NewInt(0)}}}
+	if got := evalStr(t, e2, row, l); !got.Bool() {
+		t.Error("true OR x = true")
+	}
+}
+
+func TestMatchLike(t *testing.T) {
+	cases := []struct {
+		pattern, s string
+		want       bool
+	}{
+		{"abc", "abc", true},
+		{"abc", "abd", false},
+		{"a%", "abc", true},
+		{"%c", "abc", true},
+		{"%b%", "abc", true},
+		{"a_c", "abc", true},
+		{"a_c", "abbc", false},
+		{"%", "", true},
+		{"_", "", false},
+		{"a%b%c", "axxbyyc", true},
+		{"a%b%c", "axxcyyb", false},
+		{"%%", "x", true},
+		{"", "", true},
+		{"", "x", false},
+	}
+	for _, c := range cases {
+		if got := MatchLike(c.pattern, c.s); got != c.want {
+			t.Errorf("MatchLike(%q, %q) = %v, want %v", c.pattern, c.s, got, c.want)
+		}
+	}
+}
+
+func TestLayout(t *testing.T) {
+	l := NewLayout()
+	s0 := l.Add(ColID{Atom: 0, Attr: 3})
+	s1 := l.Add(ColID{Atom: 1, Attr: 0})
+	if s0 != 0 || s1 != 1 || l.Len() != 2 {
+		t.Errorf("slots = %d, %d len=%d", s0, s1, l.Len())
+	}
+	if again := l.Add(ColID{Atom: 0, Attr: 3}); again != 0 {
+		t.Errorf("re-Add should return existing slot, got %d", again)
+	}
+	if _, ok := l.Slot(ColID{Atom: 9, Attr: 9}); ok {
+		t.Error("missing slot lookup should report !ok")
+	}
+	ids := l.IDs()
+	if len(ids) != 2 || ids[0] != (ColID{0, 3}) {
+		t.Errorf("IDs = %v", ids)
+	}
+}
+
+func TestDuplicateTableNeedsAlias(t *testing.T) {
+	// Self-join with distinct aliases is fine.
+	q := analyzeSQL(t, "SELECT c1.pnum FROM call c1, call c2 WHERE c1.pnum = c2.recnum")
+	if len(q.Atoms) != 2 {
+		t.Fatalf("atoms = %d", len(q.Atoms))
+	}
+}

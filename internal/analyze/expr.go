@@ -1,0 +1,452 @@
+// Package analyze performs semantic analysis: it resolves a parsed SELECT
+// against a database schema into a conjunctive intermediate representation
+// (atoms + conjuncts + outputs) shared by the BE Checker, the bounded-plan
+// executor and the conventional engine, and provides evaluation of
+// resolved expressions over physical rows.
+package analyze
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/bounded-eval/beas/internal/sqlparser"
+	"github.com/bounded-eval/beas/internal/value"
+)
+
+// ColID identifies an attribute of an atom (a table occurrence): Atom is
+// the index into Query.Atoms, Attr the attribute position in the
+// relation's schema.
+type ColID struct {
+	Atom int
+	Attr int
+}
+
+// Layout assigns physical row slots to ColIDs. Both executors materialise
+// intermediate results as flat rows; the layout says where each (atom,
+// attribute) lives.
+type Layout struct {
+	slots map[ColID]int
+	ids   []ColID
+}
+
+// NewLayout returns an empty layout.
+func NewLayout() *Layout {
+	return &Layout{slots: make(map[ColID]int)}
+}
+
+// Add assigns the next free slot to id (or returns the existing one).
+func (l *Layout) Add(id ColID) int {
+	if s, ok := l.slots[id]; ok {
+		return s
+	}
+	s := len(l.ids)
+	l.slots[id] = s
+	l.ids = append(l.ids, id)
+	return s
+}
+
+// Slot returns the slot for id.
+func (l *Layout) Slot(id ColID) (int, bool) {
+	s, ok := l.slots[id]
+	return s, ok
+}
+
+// Len returns the number of slots.
+func (l *Layout) Len() int { return len(l.ids) }
+
+// IDs returns the ColIDs in slot order.
+func (l *Layout) IDs() []ColID { return l.ids }
+
+// Expr is a resolved expression. Leaves are column references (ColRef),
+// constants (Const) and post-aggregation slot references (PostRef).
+type Expr interface {
+	fmt.Stringer
+	resolvedExpr()
+}
+
+// ColRef references a base column.
+type ColRef struct {
+	ID   ColID
+	Name string // qualified display name, e.g. "call.region"
+}
+
+func (*ColRef) resolvedExpr() {}
+
+// String returns the display name.
+func (c *ColRef) String() string { return c.Name }
+
+// Const is a constant.
+type Const struct{ Val value.Value }
+
+func (*Const) resolvedExpr() {}
+
+// String renders the constant.
+func (c *Const) String() string {
+	if c.Val.K == value.String {
+		return "'" + c.Val.S + "'"
+	}
+	if c.Val.IsNull() {
+		return "NULL"
+	}
+	return c.Val.String()
+}
+
+// PostRef references a slot of the post-aggregation row
+// [group keys..., aggregate values...]. It appears only in outputs,
+// HAVING and ORDER BY of aggregate queries after rewriting.
+type PostRef struct {
+	Slot int
+	Name string
+}
+
+func (*PostRef) resolvedExpr() {}
+
+// String returns the display name.
+func (p *PostRef) String() string { return p.Name }
+
+// Bin is a binary operation over resolved operands.
+type Bin struct {
+	Op   sqlparser.BinOp
+	L, R Expr
+}
+
+func (*Bin) resolvedExpr() {}
+
+// String renders the operation.
+func (b *Bin) String() string { return fmt.Sprintf("(%s %s %s)", b.L, b.Op, b.R) }
+
+// Not is logical negation.
+type Not struct{ E Expr }
+
+func (*Not) resolvedExpr() {}
+
+// String renders NOT (e).
+func (n *Not) String() string { return fmt.Sprintf("NOT (%s)", n.E) }
+
+// Neg is arithmetic negation.
+type Neg struct{ E Expr }
+
+func (*Neg) resolvedExpr() {}
+
+// String renders -(e).
+func (n *Neg) String() string { return fmt.Sprintf("-(%s)", n.E) }
+
+// InList is e [NOT] IN (constants...).
+type InList struct {
+	E    Expr
+	Vals []value.Value
+	Not  bool
+}
+
+func (*InList) resolvedExpr() {}
+
+// String renders the predicate.
+func (in *InList) String() string {
+	parts := make([]string, len(in.Vals))
+	for i, v := range in.Vals {
+		parts[i] = v.String()
+	}
+	not := ""
+	if in.Not {
+		not = " NOT"
+	}
+	return fmt.Sprintf("%s%s IN (%s)", in.E, not, strings.Join(parts, ", "))
+}
+
+// LikeExpr is e [NOT] LIKE pattern.
+type LikeExpr struct {
+	E       Expr
+	Pattern string
+	Not     bool
+}
+
+func (*LikeExpr) resolvedExpr() {}
+
+// String renders the predicate.
+func (l *LikeExpr) String() string {
+	not := ""
+	if l.Not {
+		not = " NOT"
+	}
+	return fmt.Sprintf("%s%s LIKE '%s'", l.E, not, l.Pattern)
+}
+
+// IsNullExpr is e IS [NOT] NULL.
+type IsNullExpr struct {
+	E   Expr
+	Not bool
+}
+
+func (*IsNullExpr) resolvedExpr() {}
+
+// String renders the predicate.
+func (i *IsNullExpr) String() string {
+	if i.Not {
+		return fmt.Sprintf("%s IS NOT NULL", i.E)
+	}
+	return fmt.Sprintf("%s IS NULL", i.E)
+}
+
+// WalkExpr calls fn on e and all sub-expressions, pre-order.
+func WalkExpr(e Expr, fn func(Expr)) {
+	if e == nil {
+		return
+	}
+	fn(e)
+	switch x := e.(type) {
+	case *Bin:
+		WalkExpr(x.L, fn)
+		WalkExpr(x.R, fn)
+	case *Not:
+		WalkExpr(x.E, fn)
+	case *Neg:
+		WalkExpr(x.E, fn)
+	case *InList:
+		WalkExpr(x.E, fn)
+	case *LikeExpr:
+		WalkExpr(x.E, fn)
+	case *IsNullExpr:
+		WalkExpr(x.E, fn)
+	}
+}
+
+// Cols returns the distinct ColIDs referenced by e.
+func Cols(e Expr) []ColID {
+	var out []ColID
+	seen := make(map[ColID]bool)
+	WalkExpr(e, func(x Expr) {
+		if c, ok := x.(*ColRef); ok && !seen[c.ID] {
+			seen[c.ID] = true
+			out = append(out, c.ID)
+		}
+	})
+	return out
+}
+
+// Eval evaluates e against a physical row using the layout. Comparisons
+// involving NULL evaluate to false (SQL three-valued logic collapsed to
+// two values; IS NULL tests nullness explicitly).
+func Eval(e Expr, row value.Row, l *Layout) (value.Value, error) {
+	switch x := e.(type) {
+	case *Const:
+		return x.Val, nil
+	case *ColRef:
+		s, ok := l.Slot(x.ID)
+		if !ok {
+			return value.Value{}, fmt.Errorf("analyze: column %s not materialised", x.Name)
+		}
+		return row[s], nil
+	case *PostRef:
+		if x.Slot >= len(row) {
+			return value.Value{}, fmt.Errorf("analyze: post-aggregation slot %d out of range", x.Slot)
+		}
+		return row[x.Slot], nil
+	case *Bin:
+		return evalBin(x, row, l)
+	case *Not:
+		v, err := Eval(x.E, row, l)
+		if err != nil {
+			return value.Value{}, err
+		}
+		if v.K != value.Bool {
+			return value.Value{}, fmt.Errorf("analyze: NOT applied to %v", v.K)
+		}
+		return value.NewBool(!v.Bool()), nil
+	case *Neg:
+		v, err := Eval(x.E, row, l)
+		if err != nil {
+			return value.Value{}, err
+		}
+		switch v.K {
+		case value.Int:
+			return value.NewInt(-v.I), nil
+		case value.Float:
+			return value.NewFloat(-v.F), nil
+		case value.Null:
+			return v, nil
+		default:
+			return value.Value{}, fmt.Errorf("analyze: negating %v", v.K)
+		}
+	case *InList:
+		v, err := Eval(x.E, row, l)
+		if err != nil {
+			return value.Value{}, err
+		}
+		if v.IsNull() {
+			return value.NewBool(false), nil
+		}
+		for _, c := range x.Vals {
+			if value.Equal(v, c) {
+				return value.NewBool(!x.Not), nil
+			}
+		}
+		return value.NewBool(x.Not), nil
+	case *LikeExpr:
+		v, err := Eval(x.E, row, l)
+		if err != nil {
+			return value.Value{}, err
+		}
+		if v.IsNull() {
+			return value.NewBool(false), nil
+		}
+		if v.K != value.String {
+			return value.Value{}, fmt.Errorf("analyze: LIKE applied to %v", v.K)
+		}
+		return value.NewBool(MatchLike(x.Pattern, v.S) != x.Not), nil
+	case *IsNullExpr:
+		v, err := Eval(x.E, row, l)
+		if err != nil {
+			return value.Value{}, err
+		}
+		return value.NewBool(v.IsNull() != x.Not), nil
+	default:
+		return value.Value{}, fmt.Errorf("analyze: cannot evaluate %T", e)
+	}
+}
+
+func evalBin(b *Bin, row value.Row, l *Layout) (value.Value, error) {
+	switch b.Op {
+	case sqlparser.OpAnd, sqlparser.OpOr:
+		lv, err := Eval(b.L, row, l)
+		if err != nil {
+			return value.Value{}, err
+		}
+		if lv.K != value.Bool {
+			return value.Value{}, fmt.Errorf("analyze: %s operand is %v, want BOOL", b.Op, lv.K)
+		}
+		// Short-circuit.
+		if b.Op == sqlparser.OpAnd && !lv.Bool() {
+			return value.NewBool(false), nil
+		}
+		if b.Op == sqlparser.OpOr && lv.Bool() {
+			return value.NewBool(true), nil
+		}
+		rv, err := Eval(b.R, row, l)
+		if err != nil {
+			return value.Value{}, err
+		}
+		if rv.K != value.Bool {
+			return value.Value{}, fmt.Errorf("analyze: %s operand is %v, want BOOL", b.Op, rv.K)
+		}
+		return rv, nil
+	}
+
+	lv, err := Eval(b.L, row, l)
+	if err != nil {
+		return value.Value{}, err
+	}
+	rv, err := Eval(b.R, row, l)
+	if err != nil {
+		return value.Value{}, err
+	}
+
+	if b.Op.IsComparison() {
+		if lv.IsNull() || rv.IsNull() {
+			return value.NewBool(false), nil
+		}
+		cmp, err := value.Compare(lv, rv)
+		if err != nil {
+			return value.Value{}, err
+		}
+		var res bool
+		switch b.Op {
+		case sqlparser.OpEq:
+			res = cmp == 0
+		case sqlparser.OpNe:
+			res = cmp != 0
+		case sqlparser.OpLt:
+			res = cmp < 0
+		case sqlparser.OpLe:
+			res = cmp <= 0
+		case sqlparser.OpGt:
+			res = cmp > 0
+		case sqlparser.OpGe:
+			res = cmp >= 0
+		}
+		return value.NewBool(res), nil
+	}
+
+	// Arithmetic.
+	if lv.IsNull() || rv.IsNull() {
+		return value.NewNull(), nil
+	}
+	if lv.K == value.Int && rv.K == value.Int {
+		switch b.Op {
+		case sqlparser.OpAdd:
+			return value.NewInt(lv.I + rv.I), nil
+		case sqlparser.OpSub:
+			return value.NewInt(lv.I - rv.I), nil
+		case sqlparser.OpMul:
+			return value.NewInt(lv.I * rv.I), nil
+		case sqlparser.OpDiv:
+			if rv.I == 0 {
+				return value.Value{}, fmt.Errorf("analyze: division by zero")
+			}
+			return value.NewInt(lv.I / rv.I), nil
+		}
+	}
+	lf, lok := lv.AsFloat()
+	rf, rok := rv.AsFloat()
+	if !lok || !rok {
+		return value.Value{}, fmt.Errorf("analyze: arithmetic %s on %v and %v", b.Op, lv.K, rv.K)
+	}
+	switch b.Op {
+	case sqlparser.OpAdd:
+		return value.NewFloat(lf + rf), nil
+	case sqlparser.OpSub:
+		return value.NewFloat(lf - rf), nil
+	case sqlparser.OpMul:
+		return value.NewFloat(lf * rf), nil
+	case sqlparser.OpDiv:
+		if rf == 0 {
+			return value.Value{}, fmt.Errorf("analyze: division by zero")
+		}
+		return value.NewFloat(lf / rf), nil
+	}
+	return value.Value{}, fmt.Errorf("analyze: unsupported operator %s", b.Op)
+}
+
+// EvalBool evaluates a predicate expression; NULL results count as false.
+func EvalBool(e Expr, row value.Row, l *Layout) (bool, error) {
+	v, err := Eval(e, row, l)
+	if err != nil {
+		return false, err
+	}
+	switch v.K {
+	case value.Bool:
+		return v.Bool(), nil
+	case value.Null:
+		return false, nil
+	default:
+		return false, fmt.Errorf("analyze: predicate evaluated to %v, want BOOL", v.K)
+	}
+}
+
+// MatchLike implements SQL LIKE with % (any run) and _ (any single
+// character) wildcards, matching over bytes.
+func MatchLike(pattern, s string) bool {
+	// Iterative two-pointer algorithm with backtracking on the last %.
+	pi, si := 0, 0
+	star, match := -1, 0
+	for si < len(s) {
+		switch {
+		case pi < len(pattern) && (pattern[pi] == '_' || pattern[pi] == s[si]):
+			pi++
+			si++
+		case pi < len(pattern) && pattern[pi] == '%':
+			star = pi
+			match = si
+			pi++
+		case star >= 0:
+			pi = star + 1
+			match++
+			si = match
+		default:
+			return false
+		}
+	}
+	for pi < len(pattern) && pattern[pi] == '%' {
+		pi++
+	}
+	return pi == len(pattern)
+}

@@ -1,0 +1,632 @@
+package analyze
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/bounded-eval/beas/internal/schema"
+	"github.com/bounded-eval/beas/internal/sqlparser"
+	"github.com/bounded-eval/beas/internal/value"
+)
+
+// Atom is a relation occurrence in FROM. The same relation may occur
+// several times under different aliases; each occurrence is a separate
+// atom.
+type Atom struct {
+	Rel  *schema.Relation
+	Name string // alias if given, else the relation name
+}
+
+// ConjunctKind classifies normalised WHERE conjuncts. The BE Checker uses
+// the structured kinds; Opaque conjuncts (disjunctions, LIKE, arithmetic
+// predicates, ...) are evaluated as residual filters and contribute
+// nothing to coverage.
+type ConjunctKind uint8
+
+// Conjunct kinds.
+const (
+	EqAttrAttr  ConjunctKind = iota // a = b across (or within) atoms
+	EqAttrConst                     // a = c
+	InConsts                        // a IN (c1..ck)
+	CmpConst                        // a op c, op ∈ {<, <=, >, >=, <>}
+	CmpAttrAttr                     // a op b, op ∈ {<, <=, >, >=, <>}
+	Opaque                          // anything else
+)
+
+// Conjunct is one conjunct of the normalised WHERE clause.
+type Conjunct struct {
+	Kind ConjunctKind
+	A, B ColID           // A for all structured kinds; B for attr-attr kinds
+	Op   sqlparser.BinOp // for Cmp kinds
+	Val  value.Value     // for EqAttrConst / CmpConst
+	Vals []value.Value   // for InConsts
+	Expr Expr            // resolved expression, always set (used for evaluation)
+	Refs []int           // sorted distinct atom indices referenced
+}
+
+// String renders the conjunct.
+func (c Conjunct) String() string { return c.Expr.String() }
+
+// AggSpec is one aggregate computed by the query.
+type AggSpec struct {
+	Func     sqlparser.AggFunc
+	Arg      Expr // nil for COUNT(*)
+	Star     bool
+	Distinct bool
+}
+
+// String renders the aggregate call.
+func (a AggSpec) String() string {
+	if a.Star {
+		return "COUNT(*)"
+	}
+	d := ""
+	if a.Distinct {
+		d = "DISTINCT "
+	}
+	return fmt.Sprintf("%s(%s%s)", a.Func, d, a.Arg)
+}
+
+// OutputCol is one result column.
+type OutputCol struct {
+	Name string
+	// Expr is evaluated against the base layout for scalar queries, or
+	// against the post-aggregation row (PostRef leaves) for aggregate
+	// queries.
+	Expr Expr
+}
+
+// OrderSpec sorts by an output column.
+type OrderSpec struct {
+	Col  int // index into Outputs
+	Desc bool
+}
+
+// Query is the resolved intermediate representation of one SELECT block.
+type Query struct {
+	Atoms     []Atom
+	Conjuncts []Conjunct
+
+	Outputs []OutputCol
+	// IsAgg marks aggregate queries (any aggregate or GROUP BY present).
+	IsAgg bool
+	// GroupBy are the grouping expressions over the base layout.
+	GroupBy []Expr
+	// Aggs are the distinct aggregates; PostRef slot i ≥ len(GroupBy)
+	// refers to Aggs[i-len(GroupBy)].
+	Aggs []AggSpec
+	// Having is evaluated against the post-aggregation row; nil if absent.
+	Having Expr
+
+	Distinct bool
+	OrderBy  []OrderSpec
+	Limit    *int
+	Offset   *int
+}
+
+// UsedAttrs returns the attribute positions of atom i referenced anywhere
+// in the query (conjuncts, outputs, grouping, aggregate arguments),
+// sorted. This is used(i) in the coverage check.
+func (q *Query) UsedAttrs(atom int) []int {
+	seen := make(map[int]bool)
+	collect := func(e Expr) {
+		for _, id := range Cols(e) {
+			if id.Atom == atom {
+				seen[id.Attr] = true
+			}
+		}
+	}
+	for _, c := range q.Conjuncts {
+		collect(c.Expr)
+	}
+	for _, o := range q.Outputs {
+		collect(o.Expr)
+	}
+	for _, g := range q.GroupBy {
+		collect(g)
+	}
+	for _, a := range q.Aggs {
+		if a.Arg != nil {
+			collect(a.Arg)
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for a := range seen {
+		out = append(out, a)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// OutputNames returns the result column names.
+func (q *Query) OutputNames() []string {
+	out := make([]string, len(q.Outputs))
+	for i, o := range q.Outputs {
+		out[i] = o.Name
+	}
+	return out
+}
+
+// resolver carries the naming context during analysis.
+type resolver struct {
+	db    *schema.Database
+	atoms []Atom
+	// byName maps lower-cased alias/name to atom index; ambiguous base
+	// names map to -1.
+	byName map[string]int
+}
+
+// Analyze resolves one SELECT block against the database schema.
+func Analyze(sel *sqlparser.Select, db *schema.Database) (*Query, error) {
+	r := &resolver{db: db, byName: make(map[string]int)}
+	for _, ref := range sel.From {
+		rel, ok := db.Relation(ref.Name)
+		if !ok {
+			return nil, fmt.Errorf("analyze: unknown relation %q", ref.Name)
+		}
+		idx := len(r.atoms)
+		r.atoms = append(r.atoms, Atom{Rel: rel, Name: ref.DisplayName()})
+		key := strings.ToLower(ref.DisplayName())
+		if _, dup := r.byName[key]; dup {
+			return nil, fmt.Errorf("analyze: duplicate table name or alias %q", ref.DisplayName())
+		}
+		r.byName[key] = idx
+		// The bare relation name also resolves, unless ambiguous.
+		if base := strings.ToLower(ref.Name); base != key {
+			if _, exists := r.byName[base]; exists {
+				r.byName[base] = -1
+			} else {
+				r.byName[base] = idx
+			}
+		}
+	}
+	if len(r.atoms) == 0 {
+		return nil, fmt.Errorf("analyze: query has no FROM clause")
+	}
+
+	q := &Query{Atoms: r.atoms, Distinct: sel.Distinct, Limit: sel.Limit, Offset: sel.Offset}
+
+	// WHERE → conjuncts.
+	if sel.Where != nil {
+		where, err := r.resolve(sel.Where)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range flattenAnd(where) {
+			q.Conjuncts = append(q.Conjuncts, classify(e))
+		}
+	}
+
+	// GROUP BY (base expressions).
+	for _, g := range sel.GroupBy {
+		e, err := r.resolve(g)
+		if err != nil {
+			return nil, fmt.Errorf("analyze: GROUP BY: %w", err)
+		}
+		q.GroupBy = append(q.GroupBy, e)
+	}
+
+	// Detect aggregate query.
+	hasAgg := sel.Having != nil || len(sel.GroupBy) > 0
+	for _, it := range sel.Items {
+		sqlparser.Walk(it.Expr, func(e sqlparser.Expr) {
+			if _, ok := e.(*sqlparser.Agg); ok {
+				hasAgg = true
+			}
+		})
+	}
+	q.IsAgg = hasAgg
+
+	// Outputs.
+	if sel.Star {
+		if hasAgg {
+			return nil, fmt.Errorf("analyze: SELECT * cannot be combined with aggregation")
+		}
+		for ai, a := range r.atoms {
+			for attr, at := range a.Rel.Attrs {
+				name := at.Name
+				if len(r.atoms) > 1 {
+					name = a.Name + "." + at.Name
+				}
+				q.Outputs = append(q.Outputs, OutputCol{
+					Name: name,
+					Expr: &ColRef{ID: ColID{Atom: ai, Attr: attr}, Name: a.Name + "." + at.Name},
+				})
+			}
+		}
+	} else {
+		for i, it := range sel.Items {
+			var e Expr
+			var err error
+			if hasAgg {
+				e, err = r.resolvePost(it.Expr, q)
+			} else {
+				e, err = r.resolve(it.Expr)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("analyze: select item %d: %w", i+1, err)
+			}
+			name := it.Alias
+			if name == "" {
+				name = outputName(it.Expr)
+			}
+			q.Outputs = append(q.Outputs, OutputCol{Name: name, Expr: e})
+		}
+	}
+
+	// HAVING (post-aggregation).
+	if sel.Having != nil {
+		if !hasAgg {
+			return nil, fmt.Errorf("analyze: HAVING without aggregation")
+		}
+		h, err := r.resolvePost(sel.Having, q)
+		if err != nil {
+			return nil, fmt.Errorf("analyze: HAVING: %w", err)
+		}
+		q.Having = h
+	}
+
+	// ORDER BY resolves to output columns.
+	for _, o := range sel.OrderBy {
+		col, err := r.resolveOrderKey(o.Expr, sel, q)
+		if err != nil {
+			return nil, err
+		}
+		q.OrderBy = append(q.OrderBy, OrderSpec{Col: col, Desc: o.Desc})
+	}
+	return q, nil
+}
+
+// outputName derives a column name from an expression.
+func outputName(e sqlparser.Expr) string {
+	switch x := e.(type) {
+	case *sqlparser.Column:
+		return x.Name
+	default:
+		return strings.ToLower(e.String())
+	}
+}
+
+// resolveColumn resolves [table.]name to a ColID.
+func (r *resolver) resolveColumn(c *sqlparser.Column) (ColID, string, error) {
+	if c.Table != "" {
+		idx, ok := r.byName[strings.ToLower(c.Table)]
+		if !ok {
+			return ColID{}, "", fmt.Errorf("unknown table or alias %q", c.Table)
+		}
+		if idx < 0 {
+			return ColID{}, "", fmt.Errorf("ambiguous table name %q (aliased more than once)", c.Table)
+		}
+		attr, ok := r.atoms[idx].Rel.AttrIndex(c.Name)
+		if !ok {
+			return ColID{}, "", fmt.Errorf("relation %s has no attribute %q", r.atoms[idx].Rel.Name, c.Name)
+		}
+		return ColID{Atom: idx, Attr: attr}, r.atoms[idx].Name + "." + r.atoms[idx].Rel.Attrs[attr].Name, nil
+	}
+	found := -1
+	attrIdx := -1
+	for i, a := range r.atoms {
+		if j, ok := a.Rel.AttrIndex(c.Name); ok {
+			if found >= 0 {
+				return ColID{}, "", fmt.Errorf("ambiguous column %q (in %s and %s)", c.Name, r.atoms[found].Name, a.Name)
+			}
+			found, attrIdx = i, j
+		}
+	}
+	if found < 0 {
+		return ColID{}, "", fmt.Errorf("unknown column %q", c.Name)
+	}
+	return ColID{Atom: found, Attr: attrIdx},
+		r.atoms[found].Name + "." + r.atoms[found].Rel.Attrs[attrIdx].Name, nil
+}
+
+// resolve resolves an expression in base (non-aggregate) context.
+// Aggregates are rejected; BETWEEN is expanded into comparisons.
+func (r *resolver) resolve(e sqlparser.Expr) (Expr, error) {
+	switch x := e.(type) {
+	case *sqlparser.Literal:
+		return &Const{Val: x.Val}, nil
+	case *sqlparser.Column:
+		id, name, err := r.resolveColumn(x)
+		if err != nil {
+			return nil, err
+		}
+		return &ColRef{ID: id, Name: name}, nil
+	case *sqlparser.Binary:
+		l, err := r.resolve(x.L)
+		if err != nil {
+			return nil, err
+		}
+		rr, err := r.resolve(x.R)
+		if err != nil {
+			return nil, err
+		}
+		return &Bin{Op: x.Op, L: l, R: rr}, nil
+	case *sqlparser.Not:
+		inner, err := r.resolve(x.E)
+		if err != nil {
+			return nil, err
+		}
+		return &Not{E: inner}, nil
+	case *sqlparser.Neg:
+		inner, err := r.resolve(x.E)
+		if err != nil {
+			return nil, err
+		}
+		return &Neg{E: inner}, nil
+	case *sqlparser.In:
+		inner, err := r.resolve(x.E)
+		if err != nil {
+			return nil, err
+		}
+		vals := make([]value.Value, len(x.List))
+		for i, le := range x.List {
+			lit, ok := le.(*sqlparser.Literal)
+			if !ok {
+				return nil, fmt.Errorf("IN list elements must be literals, got %s", le)
+			}
+			vals[i] = lit.Val
+		}
+		return &InList{E: inner, Vals: vals, Not: x.Not}, nil
+	case *sqlparser.Between:
+		inner, err := r.resolve(x.E)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := r.resolve(x.Lo)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := r.resolve(x.Hi)
+		if err != nil {
+			return nil, err
+		}
+		ge := &Bin{Op: sqlparser.OpGe, L: inner, R: lo}
+		le := &Bin{Op: sqlparser.OpLe, L: inner, R: hi}
+		if x.Not {
+			return &Bin{Op: sqlparser.OpOr,
+				L: &Bin{Op: sqlparser.OpLt, L: inner, R: lo},
+				R: &Bin{Op: sqlparser.OpGt, L: inner, R: hi}}, nil
+		}
+		return &Bin{Op: sqlparser.OpAnd, L: ge, R: le}, nil
+	case *sqlparser.Like:
+		inner, err := r.resolve(x.E)
+		if err != nil {
+			return nil, err
+		}
+		return &LikeExpr{E: inner, Pattern: x.Pattern, Not: x.Not}, nil
+	case *sqlparser.IsNull:
+		inner, err := r.resolve(x.E)
+		if err != nil {
+			return nil, err
+		}
+		return &IsNullExpr{E: inner, Not: x.Not}, nil
+	case *sqlparser.Agg:
+		return nil, fmt.Errorf("aggregate %s not allowed here", x)
+	default:
+		return nil, fmt.Errorf("unsupported expression %T", e)
+	}
+}
+
+// resolvePost resolves an expression in post-aggregation context: group-by
+// expressions become PostRef slots [0, len(GroupBy)), aggregates become
+// PostRef slots [len(GroupBy), ...); any other base column reference is an
+// error.
+func (r *resolver) resolvePost(e sqlparser.Expr, q *Query) (Expr, error) {
+	// Aggregate call: register (deduplicated) and reference.
+	if agg, ok := e.(*sqlparser.Agg); ok {
+		spec := AggSpec{Func: agg.Func, Star: agg.Star, Distinct: agg.Distinct}
+		if agg.Arg != nil {
+			arg, err := r.resolve(agg.Arg)
+			if err != nil {
+				return nil, err
+			}
+			spec.Arg = arg
+		}
+		key := spec.String()
+		for i, existing := range q.Aggs {
+			if existing.String() == key {
+				return &PostRef{Slot: len(q.GroupBy) + i, Name: key}, nil
+			}
+		}
+		q.Aggs = append(q.Aggs, spec)
+		return &PostRef{Slot: len(q.GroupBy) + len(q.Aggs) - 1, Name: key}, nil
+	}
+
+	// A subtree that resolves to a group-by expression becomes a PostRef.
+	if base, err := r.resolve(e); err == nil {
+		key := base.String()
+		for i, g := range q.GroupBy {
+			if g.String() == key {
+				return &PostRef{Slot: i, Name: key}, nil
+			}
+		}
+		if _, isCol := base.(*ColRef); isCol {
+			return nil, fmt.Errorf("column %s must appear in GROUP BY or inside an aggregate", key)
+		}
+		if c, isConst := base.(*Const); isConst {
+			return c, nil
+		}
+	}
+
+	// Otherwise recurse structurally.
+	switch x := e.(type) {
+	case *sqlparser.Binary:
+		l, err := r.resolvePost(x.L, q)
+		if err != nil {
+			return nil, err
+		}
+		rr, err := r.resolvePost(x.R, q)
+		if err != nil {
+			return nil, err
+		}
+		return &Bin{Op: x.Op, L: l, R: rr}, nil
+	case *sqlparser.Not:
+		inner, err := r.resolvePost(x.E, q)
+		if err != nil {
+			return nil, err
+		}
+		return &Not{E: inner}, nil
+	case *sqlparser.Neg:
+		inner, err := r.resolvePost(x.E, q)
+		if err != nil {
+			return nil, err
+		}
+		return &Neg{E: inner}, nil
+	case *sqlparser.Between:
+		inner, err := r.resolvePost(x.E, q)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := r.resolvePost(x.Lo, q)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := r.resolvePost(x.Hi, q)
+		if err != nil {
+			return nil, err
+		}
+		if x.Not {
+			return &Bin{Op: sqlparser.OpOr,
+				L: &Bin{Op: sqlparser.OpLt, L: inner, R: lo},
+				R: &Bin{Op: sqlparser.OpGt, L: inner, R: hi}}, nil
+		}
+		return &Bin{Op: sqlparser.OpAnd,
+			L: &Bin{Op: sqlparser.OpGe, L: inner, R: lo},
+			R: &Bin{Op: sqlparser.OpLe, L: inner, R: hi}}, nil
+	case *sqlparser.In:
+		inner, err := r.resolvePost(x.E, q)
+		if err != nil {
+			return nil, err
+		}
+		vals := make([]value.Value, len(x.List))
+		for i, le := range x.List {
+			lit, ok := le.(*sqlparser.Literal)
+			if !ok {
+				return nil, fmt.Errorf("IN list elements must be literals, got %s", le)
+			}
+			vals[i] = lit.Val
+		}
+		return &InList{E: inner, Vals: vals, Not: x.Not}, nil
+	case *sqlparser.Literal:
+		return &Const{Val: x.Val}, nil
+	default:
+		return nil, fmt.Errorf("expression %s is not available after aggregation", e)
+	}
+}
+
+// resolveOrderKey maps an ORDER BY expression to an output column index:
+// a 1-based ordinal, an output alias, or an expression structurally equal
+// to an output expression.
+func (r *resolver) resolveOrderKey(e sqlparser.Expr, sel *sqlparser.Select, q *Query) (int, error) {
+	if lit, ok := e.(*sqlparser.Literal); ok && lit.Val.K == value.Int {
+		n := int(lit.Val.I)
+		if n < 1 || n > len(q.Outputs) {
+			return 0, fmt.Errorf("analyze: ORDER BY position %d out of range", n)
+		}
+		return n - 1, nil
+	}
+	if col, ok := e.(*sqlparser.Column); ok && col.Table == "" {
+		for i, o := range q.Outputs {
+			if strings.EqualFold(o.Name, col.Name) {
+				return i, nil
+			}
+		}
+	}
+	var resolved Expr
+	var err error
+	if q.IsAgg {
+		resolved, err = r.resolvePost(e, q)
+	} else {
+		resolved, err = r.resolve(e)
+	}
+	if err != nil {
+		return 0, fmt.Errorf("analyze: ORDER BY: %w", err)
+	}
+	key := resolved.String()
+	for i, o := range q.Outputs {
+		if o.Expr.String() == key {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("analyze: ORDER BY expression %s must appear in the select list", e)
+}
+
+// flattenAnd splits a resolved expression into its AND-conjuncts.
+func flattenAnd(e Expr) []Expr {
+	if b, ok := e.(*Bin); ok && b.Op == sqlparser.OpAnd {
+		return append(flattenAnd(b.L), flattenAnd(b.R)...)
+	}
+	return []Expr{e}
+}
+
+// classify builds a Conjunct from a resolved conjunct expression,
+// recognising the structured forms the BE Checker exploits.
+func classify(e Expr) Conjunct {
+	c := Conjunct{Kind: Opaque, Expr: e}
+	switch x := e.(type) {
+	case *Bin:
+		if !x.Op.IsComparison() {
+			break
+		}
+		lc, lIsCol := x.L.(*ColRef)
+		rc, rIsCol := x.R.(*ColRef)
+		lk, lIsConst := x.L.(*Const)
+		rk, rIsConst := x.R.(*Const)
+		switch {
+		case lIsCol && rIsCol:
+			if x.Op == sqlparser.OpEq {
+				c.Kind = EqAttrAttr
+			} else {
+				c.Kind = CmpAttrAttr
+			}
+			c.A, c.B, c.Op = lc.ID, rc.ID, x.Op
+		case lIsCol && rIsConst:
+			if x.Op == sqlparser.OpEq {
+				c.Kind = EqAttrConst
+			} else {
+				c.Kind = CmpConst
+			}
+			c.A, c.Op, c.Val = lc.ID, x.Op, rk.Val
+		case lIsConst && rIsCol:
+			if x.Op == sqlparser.OpEq {
+				c.Kind = EqAttrConst
+			} else {
+				c.Kind = CmpConst
+			}
+			c.A, c.Op, c.Val = rc.ID, flipOp(x.Op), lk.Val
+		}
+	case *InList:
+		if col, ok := x.E.(*ColRef); ok && !x.Not && len(x.Vals) > 0 {
+			c.Kind = InConsts
+			c.A = col.ID
+			c.Vals = x.Vals
+		}
+	}
+	refs := make(map[int]bool)
+	for _, id := range Cols(e) {
+		refs[id.Atom] = true
+	}
+	for a := range refs {
+		c.Refs = append(c.Refs, a)
+	}
+	sort.Ints(c.Refs)
+	return c
+}
+
+// flipOp mirrors a comparison when operands are swapped.
+func flipOp(op sqlparser.BinOp) sqlparser.BinOp {
+	switch op {
+	case sqlparser.OpLt:
+		return sqlparser.OpGt
+	case sqlparser.OpLe:
+		return sqlparser.OpGe
+	case sqlparser.OpGt:
+		return sqlparser.OpLt
+	case sqlparser.OpGe:
+		return sqlparser.OpLe
+	default:
+		return op
+	}
+}

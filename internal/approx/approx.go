@@ -1,0 +1,184 @@
+// Package approx implements BEAS's resource-bounded approximation
+// (paper §3): when the user can only afford a fetch budget B smaller than
+// the deduced bound M, the bounded plan is executed under the budget and
+// returns a subset of the exact answer together with a deterministic
+// accuracy lower bound.
+//
+// The paper defers its approximation scheme to a later publication; this
+// is a simplified deterministic instantiation with the same interface
+// contract (budget in; subset of the exact answer plus a deterministic
+// coverage guarantee out). See DESIGN.md §5 (Substitutions).
+//
+// Scheme: each fetch step consumes the budget tuple by tuple in
+// deterministic order; a bucket may be truncated when the budget runs out
+// mid-bucket, and keys reached with no budget left are skipped entirely.
+// Per step, coverage is (tuples examined) / (tuples relevant), where a
+// skipped key is charged its worst case N — so the reported fraction is a
+// true lower bound. The result is a subset of the exact answer computed
+// from a fraction ≥ Π_i f_i of the relevant data, and Coverage = Π f_i is
+// the deterministic accuracy lower bound (η = 1 means the budget sufficed
+// and the answer is exact).
+package approx
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/bounded-eval/beas/internal/analyze"
+	"github.com/bounded-eval/beas/internal/core"
+	"github.com/bounded-eval/beas/internal/exec"
+	"github.com/bounded-eval/beas/internal/value"
+)
+
+// Result carries the approximate answer and its guarantee.
+type Result struct {
+	Rows []value.Row
+	// Coverage is the deterministic accuracy lower bound η ∈ [0, 1]: the
+	// fraction of the relevant data the answer was computed from. 1 means
+	// the answer is exact.
+	Coverage float64
+	// Exact reports whether the budget sufficed (Coverage == 1).
+	Exact bool
+	// Fetched is the number of tuples actually fetched (≤ budget).
+	Fetched int64
+	// StepCoverage is the per-fetch-step coverage fraction.
+	StepCoverage []float64
+	Duration     time.Duration
+}
+
+// Run executes the bounded plan p under a budget on the number of tuples
+// fetched. A budget ≥ the plan's deduced bound yields the exact answer.
+func Run(p *core.Plan, budget int64) (*Result, error) {
+	if budget <= 0 {
+		return nil, fmt.Errorf("approx: budget must be positive, got %d", budget)
+	}
+	start := time.Now()
+	res := &Result{Coverage: 1}
+	if p.Check.EmptyGuaranteed {
+		res.Exact = true
+		res.Duration = time.Since(start)
+		return res, nil
+	}
+	q := p.Query
+	layout := p.Layout
+	remaining := budget
+
+	rows := []value.Row{make(value.Row, layout.Len())}
+	weights := []int64{1}
+	type wBucket struct {
+		rows   []value.Row
+		counts []int64
+	}
+	for _, step := range p.Steps {
+		memo := make(map[string]wBucket)
+		skippedKeys := make(map[string]bool)
+		var examined, relevant float64
+		var next []value.Row
+		var nextW []int64
+
+		key := make([]value.Value, len(step.Keys))
+		var emitErr error
+		var emit func(row value.Row, w int64, comp int)
+		emit = func(row value.Row, w int64, comp int) {
+			if emitErr != nil {
+				return
+			}
+			if comp < len(step.Keys) {
+				src := step.Keys[comp]
+				if src.Consts == nil {
+					key[comp] = row[src.Slot]
+					emit(row, w, comp+1)
+					return
+				}
+				for _, c := range src.Consts {
+					key[comp] = c
+					emit(row, w, comp+1)
+					if emitErr != nil {
+						return
+					}
+				}
+				return
+			}
+			ks := value.Key(key)
+			bucket, seen := memo[ks]
+			if !seen {
+				if skippedKeys[ks] {
+					return
+				}
+				if remaining <= 0 {
+					// No budget left: charge the key its worst case N so
+					// the reported coverage is a true lower bound.
+					skippedKeys[ks] = true
+					relevant += float64(step.Constraint.N)
+					return
+				}
+				full, counts, n := step.Index.FetchWeighted(key)
+				use := n
+				if int64(use) > remaining {
+					use = int(remaining) // truncate the bucket mid-way
+				}
+				bucket = wBucket{rows: full[:use], counts: counts[:use]}
+				memo[ks] = bucket
+				remaining -= int64(use)
+				res.Fetched += int64(use)
+				examined += float64(use)
+				relevant += float64(n)
+			}
+			for yi2, y := range bucket.rows {
+				out := row.Clone()
+				for i, s := range step.XSlots {
+					out[s] = key[i]
+				}
+				for i, yi := range step.YUsed {
+					out[step.YSlots[i]] = y[yi]
+				}
+				keep := true
+				for _, f := range step.Filters {
+					ok, err := analyze.EvalBool(f.Expr, out, layout)
+					if err != nil {
+						emitErr = err
+						return
+					}
+					if !ok {
+						keep = false
+						break
+					}
+				}
+				if keep {
+					next = append(next, out)
+					nextW = append(nextW, w*bucket.counts[yi2])
+				}
+			}
+		}
+		for ri, row := range rows {
+			emit(row, weights[ri], 0)
+			if emitErr != nil {
+				return nil, emitErr
+			}
+		}
+		rows, weights = next, nextW
+		frac := 1.0
+		if relevant > 0 {
+			frac = examined / relevant
+		}
+		res.StepCoverage = append(res.StepCoverage, frac)
+		res.Coverage *= frac
+		if len(rows) == 0 && frac >= 1 {
+			break // nothing skipped and nothing matched: exact empty prefix
+		}
+		if len(rows) == 0 {
+			// Budget exhausted with no surviving rows: later steps see no
+			// keys; coverage already reflects the loss.
+			break
+		}
+	}
+
+	out, err := exec.FinishWeighted(q, rows, weights, layout)
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = out
+	res.Exact = res.Coverage >= 1
+	res.Duration = time.Since(start)
+	return res, nil
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/bounded-eval/beas/internal/analyze"
+	"github.com/bounded-eval/beas/internal/engine"
+	"github.com/bounded-eval/beas/internal/value"
+)
+
+// PartialPlan is the BE Plan Optimizer's product for a non-covered query
+// (paper §3): the maximal fetchable sub-query is evaluated boundedly and
+// materialised; the conventional engine joins it with scans of the
+// remaining atoms.
+type PartialPlan struct {
+	// Sub is the bounded plan for the covered sub-query; nil when no atom
+	// is fetchable (the plan is fully conventional).
+	Sub *Plan
+	// Fetched lists the atoms covered by Sub; Remaining the others.
+	Fetched   []int
+	Remaining []int
+	// Check is the (failed) coverage check the plan derives from.
+	Check *CheckResult
+}
+
+// NewPartialPlan builds a partially bounded plan for q. The checker's
+// fixpoint already identifies every fetchable atom even when the whole
+// query is not covered; those atoms and the conjuncts fully contained in
+// them form the bounded sub-query.
+func NewPartialPlan(q *analyze.Query, chk *CheckResult) (*PartialPlan, error) {
+	if chk.Covered {
+		return nil, fmt.Errorf("core: query is covered; use NewPlan")
+	}
+	pp := &PartialPlan{Check: chk}
+	fetched := make(map[int]bool)
+	for _, s := range chk.Steps {
+		fetched[s.Atom] = true
+	}
+	for ai := range q.Atoms {
+		if fetched[ai] {
+			pp.Fetched = append(pp.Fetched, ai)
+		} else {
+			pp.Remaining = append(pp.Remaining, ai)
+		}
+	}
+	if len(pp.Fetched) == 0 {
+		return pp, nil
+	}
+
+	// Sub-query: same atoms, conjuncts contained in the fetched set, and
+	// outputs forcing materialisation of every attribute the full query
+	// uses on fetched atoms (downstream joins and projections need them).
+	sub := &analyze.Query{Atoms: q.Atoms}
+	for _, c := range q.Conjuncts {
+		if atomsSubset(c.Refs, fetched) {
+			sub.Conjuncts = append(sub.Conjuncts, c)
+		}
+	}
+	for _, ai := range pp.Fetched {
+		atom := q.Atoms[ai]
+		for _, attr := range q.UsedAttrs(ai) {
+			name := atom.Name + "." + atom.Rel.Attrs[attr].Name
+			sub.Outputs = append(sub.Outputs, analyze.OutputCol{
+				Name: name,
+				Expr: &analyze.ColRef{ID: analyze.ColID{Atom: ai, Attr: attr}, Name: name},
+			})
+		}
+	}
+	plan, err := newPlanFromSteps(sub, chk)
+	if err != nil {
+		return nil, err
+	}
+	pp.Sub = plan
+	return pp, nil
+}
+
+// RunPartial executes the partially bounded plan: the bounded sub-plan
+// first (through the constraint indices), then the conventional engine
+// over the materialised source plus scans of the remaining atoms. The
+// returned stats separate fetched tuples (bounded part) from scanned
+// tuples (conventional part).
+func RunPartial(pp *PartialPlan, q *analyze.Query, eng *engine.Engine) ([]value.Row, *Stats, *engine.Stats, error) {
+	var sources []engine.Source
+	st := &Stats{}
+	if pp.Sub != nil {
+		rows, subStats, err := Run(pp.Sub)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		*st = *subStats
+		// The executor returns rows in output order, so the source's
+		// column list must come from the sub-query's outputs (which are
+		// all plain column references by construction).
+		cols := make([]analyze.ColID, len(pp.Sub.Query.Outputs))
+		for i, o := range pp.Sub.Query.Outputs {
+			ref, ok := o.Expr.(*analyze.ColRef)
+			if !ok {
+				return nil, nil, nil, fmt.Errorf("core: internal: sub-query output %d is not a column", i)
+			}
+			cols[i] = ref.ID
+		}
+		sources = append(sources, engine.Source{
+			Atoms: pp.Fetched,
+			Cols:  cols,
+			Rows:  rows,
+			Name:  "bounded(" + atomNames(q, pp.Fetched) + ")",
+		})
+	}
+	out, engStats, err := eng.RunWithSources(q, sources)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return out, st, engStats, nil
+}
+
+// Describe renders the partially bounded plan.
+func (pp *PartialPlan) Describe(q *analyze.Query) string {
+	var b strings.Builder
+	b.WriteString("partially bounded plan:\n")
+	if pp.Sub != nil {
+		fmt.Fprintf(&b, "  bounded sub-query over {%s}:\n", atomNames(q, pp.Fetched))
+		for _, line := range strings.Split(strings.TrimRight(pp.Sub.Describe(), "\n"), "\n") {
+			b.WriteString("    " + line + "\n")
+		}
+	} else {
+		b.WriteString("  no atom is fetchable; fully conventional plan\n")
+	}
+	if len(pp.Remaining) > 0 {
+		fmt.Fprintf(&b, "  conventional scans over {%s}, joined by the underlying engine\n",
+			atomNames(q, pp.Remaining))
+	}
+	return b.String()
+}
+
+func atomNames(q *analyze.Query, atoms []int) string {
+	names := make([]string, len(atoms))
+	for i, a := range atoms {
+		names[i] = q.Atoms[a].Name
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+func atomsSubset(refs []int, set map[int]bool) bool {
+	for _, a := range refs {
+		if !set[a] {
+			return false
+		}
+	}
+	return true
+}
+
+// newPlanFromSteps builds an executable plan from the checker's steps
+// without requiring full coverage (used by the partial optimizer).
+func newPlanFromSteps(q *analyze.Query, chk *CheckResult) (*Plan, error) {
+	forced := *chk
+	forced.Covered = true
+	p, err := NewPlan(q, &forced)
+	if err != nil {
+		return nil, err
+	}
+	p.Check = chk
+	return p, nil
+}
+
+// BoundedSubqueryBound returns the deduced fetch bound of the bounded
+// part (the conventional part is unbounded by definition).
+func (pp *PartialPlan) BoundedSubqueryBound() uint64 {
+	var total uint64
+	for _, s := range pp.Check.Steps {
+		total = addSat(total, s.OutBound)
+	}
+	return total
+}

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/bounded-eval/beas/internal/analyze"
+	"github.com/bounded-eval/beas/internal/value"
+)
+
+// KeySource says where one component of a fetch key comes from during
+// execution: a set of constant candidates (equality or IN conjuncts), or
+// a slot of the intermediate row materialised by an earlier step.
+type KeySource struct {
+	// Consts, when non-nil, enumerates candidate constants.
+	Consts []value.Value
+	// Slot is the intermediate-row slot to read when Consts is nil.
+	Slot int
+}
+
+// PlanStep is an executable fetch step: the checker's FetchStep plus key
+// sourcing, slot assignments and the filters that become applicable once
+// the step's attributes are materialised.
+type PlanStep struct {
+	FetchStep
+	// Keys has one source per X attribute of the constraint.
+	Keys []KeySource
+	// XSlots / YSlots are the intermediate-row slots of the step's X
+	// attributes and of its *used* Y attributes (parallel to YUsed).
+	XSlots []int
+	YUsed  []int // positions into Constraint.Y / YAttrs that the query uses
+	YSlots []int
+	// Filters are the conjuncts evaluated right after this step extends a
+	// row (every conjunct is applied exactly once, at the earliest step
+	// where all of its columns are materialised).
+	Filters []analyze.Conjunct
+}
+
+// Plan is a bounded query plan (paper §3): an ordered list of fetch steps
+// plus the relational tail, accessing data only through fetch operators.
+type Plan struct {
+	Query  *analyze.Query
+	Steps  []PlanStep
+	Layout *analyze.Layout
+	// Check is the checker verdict the plan was generated from.
+	Check *CheckResult
+}
+
+// NewPlan turns a successful check into an executable bounded plan. It
+// fails if the check did not cover the query.
+func NewPlan(q *analyze.Query, chk *CheckResult) (*Plan, error) {
+	if !chk.Covered {
+		return nil, fmt.Errorf("core: query is not covered: %s", chk.Reason)
+	}
+	p := &Plan{Query: q, Check: chk, Layout: analyze.NewLayout()}
+	if chk.EmptyGuaranteed {
+		return p, nil
+	}
+	applied := make([]bool, len(q.Conjuncts))
+	materialised := make(map[analyze.ColID]bool)
+
+	for _, fs := range chk.Steps {
+		ps := PlanStep{FetchStep: fs}
+		atom := fs.Atom
+
+		// Key sources: constants if the class carries them, else a slot of
+		// an already materialised attribute in the same class.
+		for _, xa := range fs.XAttrs {
+			id := analyze.ColID{Atom: atom, Attr: xa}
+			info := chk.classes.get(id)
+			if info.hasConsts {
+				ps.Keys = append(ps.Keys, KeySource{Consts: info.consts})
+				continue
+			}
+			slot, ok := findClassSlot(chk.classes, p.Layout, materialised, id)
+			if !ok {
+				return nil, fmt.Errorf("core: internal: no materialised source for key %s.%s of %v",
+					q.Atoms[atom].Name, q.Atoms[atom].Rel.Attrs[xa].Name, fs.Constraint)
+			}
+			ps.Keys = append(ps.Keys, KeySource{Consts: nil, Slot: slot})
+		}
+
+		// Slot assignments for this atom's X attributes and used Y
+		// attributes.
+		for _, xa := range fs.XAttrs {
+			id := analyze.ColID{Atom: atom, Attr: xa}
+			ps.XSlots = append(ps.XSlots, p.Layout.Add(id))
+			materialised[id] = true
+		}
+		usedSet := make(map[int]bool)
+		for _, a := range q.UsedAttrs(atom) {
+			usedSet[a] = true
+		}
+		for yi, ya := range fs.YAttrs {
+			if !usedSet[ya] {
+				continue
+			}
+			id := analyze.ColID{Atom: atom, Attr: ya}
+			ps.YUsed = append(ps.YUsed, yi)
+			ps.YSlots = append(ps.YSlots, p.Layout.Add(id))
+			materialised[id] = true
+		}
+
+		// Filters that become evaluable now.
+		for ci, c := range q.Conjuncts {
+			if applied[ci] {
+				continue
+			}
+			ready := true
+			for _, id := range analyze.Cols(c.Expr) {
+				if !materialised[id] {
+					ready = false
+					break
+				}
+			}
+			if ready {
+				ps.Filters = append(ps.Filters, c)
+				applied[ci] = true
+			}
+		}
+		p.Steps = append(p.Steps, ps)
+	}
+
+	// Every conjunct must have been scheduled: all used columns are
+	// materialised after the last step.
+	for ci, ok := range applied {
+		if !ok && len(analyze.Cols(q.Conjuncts[ci].Expr)) > 0 {
+			return nil, fmt.Errorf("core: internal: conjunct %s never became evaluable", q.Conjuncts[ci])
+		}
+		if !ok {
+			// Column-free conjunct (e.g. 1 = 1): attach to the last step,
+			// or evaluate at finish time for empty plans.
+			if len(p.Steps) > 0 {
+				last := &p.Steps[len(p.Steps)-1]
+				last.Filters = append(last.Filters, q.Conjuncts[ci])
+			}
+		}
+	}
+	return p, nil
+}
+
+// findClassSlot locates a materialised attribute in id's class and returns
+// its slot.
+func findClassSlot(cs *classSet, layout *analyze.Layout, materialised map[analyze.ColID]bool, id analyze.ColID) (int, bool) {
+	root := cs.find(id)
+	for other := range materialised {
+		if cs.find(other) == root {
+			if s, ok := layout.Slot(other); ok {
+				return s, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// Describe renders the plan like the paper's Example 2 walk-through.
+func (p *Plan) Describe() string {
+	var b strings.Builder
+	if p.Check.EmptyGuaranteed {
+		b.WriteString("bounded plan: constant contradiction; emit empty result\n")
+		return b.String()
+	}
+	for i, s := range p.Steps {
+		atom := p.Query.Atoms[s.Atom]
+		fmt.Fprintf(&b, "(%d) fetch %s via %v", i+1, atom.Name, s.Constraint)
+		fmt.Fprintf(&b, "  [≤ %s keys, ≤ %s tuples]", boundStr(s.KeyBound), boundStr(s.OutBound))
+		if len(s.Filters) > 0 {
+			var fs []string
+			for _, f := range s.Filters {
+				fs = append(fs, f.String())
+			}
+			fmt.Fprintf(&b, "  filter: %s", strings.Join(fs, " AND "))
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "(%d) ", len(p.Steps)+1)
+	if p.Query.IsAgg {
+		b.WriteString("aggregate, ")
+	}
+	b.WriteString("project")
+	if p.Query.Distinct {
+		b.WriteString(" distinct")
+	}
+	if len(p.Query.OrderBy) > 0 {
+		b.WriteString(", sort")
+	}
+	if p.Query.Limit != nil {
+		b.WriteString(", limit")
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

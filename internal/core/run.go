@@ -1,0 +1,152 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/bounded-eval/beas/internal/analyze"
+	"github.com/bounded-eval/beas/internal/exec"
+	"github.com/bounded-eval/beas/internal/value"
+)
+
+// StepStat records what one fetch step actually did, feeding the
+// performance analyser of the demo (Fig. 3: per-operation breakdown).
+type StepStat struct {
+	Atom        string
+	Constraint  string
+	DistinctKey int64 // distinct keys probed (each probed once, memoised)
+	Fetched     int64 // partial tuples fetched (Σ bucket sizes over keys): |D_Q| share
+	RowsOut     int64 // intermediate rows after join + filters
+	Duration    time.Duration
+}
+
+// Stats aggregates bounded-plan execution statistics.
+type Stats struct {
+	Steps    []StepStat
+	Fetched  int64 // total partial tuples fetched = |D_Q|
+	RowsOut  int64 // final result rows
+	Duration time.Duration
+}
+
+// Run executes a bounded plan and returns the result rows and execution
+// statistics. All data access goes through the constraint indices'
+// fetch operation; the plan never scans a base relation.
+func Run(p *Plan) ([]value.Row, *Stats, error) {
+	start := time.Now()
+	st := &Stats{}
+	if p.Check.EmptyGuaranteed {
+		st.Duration = time.Since(start)
+		return nil, st, nil
+	}
+	q := p.Query
+	layout := p.Layout
+
+	// The intermediate relation starts as a single all-NULL row of the
+	// final width; fetch steps fill slots in. Each row carries a weight:
+	// the number of identical base-row combinations it stands for, since
+	// constraint indices return distinct partial tuples with witness
+	// counts (SQL bag semantics are restored at finish time).
+	width := layout.Len()
+	rows := []value.Row{make(value.Row, width)}
+	weights := []int64{1}
+
+	type wBucket struct {
+		rows   []value.Row
+		counts []int64
+	}
+	for _, step := range p.Steps {
+		stepStart := time.Now()
+		ss := StepStat{
+			Atom:       q.Atoms[step.Atom].Name,
+			Constraint: step.Constraint.String(),
+		}
+		// Memoise bucket lookups per distinct key: each distinct key is
+		// fetched from the index exactly once, giving the dedup-key
+		// semantics of the deduced bound.
+		memo := make(map[string]wBucket)
+
+		var next []value.Row
+		var nextW []int64
+		key := make([]value.Value, len(step.Keys))
+		var emit func(row value.Row, w int64, comp int)
+		var emitErr error
+		emit = func(row value.Row, w int64, comp int) {
+			if emitErr != nil {
+				return
+			}
+			if comp < len(step.Keys) {
+				src := step.Keys[comp]
+				if src.Consts == nil {
+					key[comp] = row[src.Slot]
+					emit(row, w, comp+1)
+					return
+				}
+				for _, c := range src.Consts {
+					key[comp] = c
+					emit(row, w, comp+1)
+					if emitErr != nil {
+						return
+					}
+				}
+				return
+			}
+			// Key complete: probe the index.
+			ks := value.Key(key)
+			bucket, seen := memo[ks]
+			if !seen {
+				rws, cnts, n := step.Index.FetchWeighted(key)
+				bucket = wBucket{rows: rws, counts: cnts}
+				memo[ks] = bucket
+				ss.DistinctKey++
+				ss.Fetched += int64(n)
+			}
+			for yi2, y := range bucket.rows {
+				out := row.Clone()
+				for i, s := range step.XSlots {
+					out[s] = key[i]
+				}
+				for i, yi := range step.YUsed {
+					out[step.YSlots[i]] = y[yi]
+				}
+				keep := true
+				for _, f := range step.Filters {
+					ok, err := analyze.EvalBool(f.Expr, out, layout)
+					if err != nil {
+						emitErr = fmt.Errorf("core: evaluating %s: %w", f, err)
+						return
+					}
+					if !ok {
+						keep = false
+						break
+					}
+				}
+				if keep {
+					next = append(next, out)
+					nextW = append(nextW, w*bucket.counts[yi2])
+				}
+			}
+		}
+		for ri, row := range rows {
+			emit(row, weights[ri], 0)
+			if emitErr != nil {
+				return nil, st, emitErr
+			}
+		}
+		rows, weights = next, nextW
+		ss.RowsOut = int64(len(rows))
+		ss.Duration = time.Since(stepStart)
+		st.Steps = append(st.Steps, ss)
+		st.Fetched += ss.Fetched
+		if len(rows) == 0 {
+			break // no intermediate rows: later steps fetch nothing
+		}
+	}
+
+	out, err := exec.FinishWeighted(q, rows, weights, layout)
+	if err != nil {
+		return nil, st, err
+	}
+	st.RowsOut = int64(len(out))
+	st.Duration = time.Since(start)
+	return out, st, nil
+}

@@ -1,0 +1,344 @@
+// Package discovery implements the Discovery module of BEAS's AS Catalog
+// (paper §3): given an application's datasets and historical query
+// patterns, it automatically proposes an access schema.
+//
+// The paper defers its discovery algorithm to a later publication but
+// states the criteria it optimises: (a) performance of bounded evaluation
+// of the query load, (b) a storage limit for the indices, (c) historical
+// query patterns and (d) dataset statistics. This module is a faithful
+// simple instantiation:
+//
+//  1. Candidate generation mines X → Y patterns from the workload: per
+//     query atom, the constant-bound attributes and subsets of the join
+//     attributes form X; the remaining used attributes form Y.
+//  2. Profiling scans the data once per candidate to compute the exact
+//     cardinality bound N and the index footprint.
+//  3. Greedy selection repeatedly adds the candidate that newly covers
+//     the most workload queries (ties: more newly fetchable atoms, then
+//     smaller footprint), subject to the storage budget, scoring with the
+//     real BE Checker over hypothetical schemas.
+package discovery
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/bounded-eval/beas/internal/access"
+	"github.com/bounded-eval/beas/internal/analyze"
+	"github.com/bounded-eval/beas/internal/core"
+	"github.com/bounded-eval/beas/internal/storage"
+	"github.com/bounded-eval/beas/internal/value"
+)
+
+// Options configures discovery.
+type Options struct {
+	// MaxN rejects candidates whose exact cardinality bound exceeds this
+	// (huge buckets make poor access constraints). Default 10000.
+	MaxN int
+	// Budget caps the total index footprint in stored (X, Y) pairs;
+	// 0 means unlimited.
+	Budget int64
+	// MaxJoinSubset caps the join-attribute subsets enumerated per atom.
+	// Default 2.
+	MaxJoinSubset int
+}
+
+func (o *Options) defaults() {
+	if o.MaxN <= 0 {
+		o.MaxN = 10000
+	}
+	if o.MaxJoinSubset <= 0 {
+		o.MaxJoinSubset = 2
+	}
+}
+
+// Candidate is a profiled candidate constraint.
+type Candidate struct {
+	Constraint *access.Constraint
+	// Footprint is the number of distinct (X, Y) pairs its index stores.
+	Footprint int64
+	// MaxN is the exact maximum bucket cardinality observed in the data.
+	MaxN int
+}
+
+// Report summarises a discovery run.
+type Report struct {
+	Candidates   int
+	Selected     []Candidate
+	CoveredAfter int
+	CoveredOf    int
+	FootprintUse int64
+}
+
+// String renders the report.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "discovery: %d candidates profiled; %d constraints selected; %d/%d workload queries covered; footprint %d entries\n",
+		r.Candidates, len(r.Selected), r.CoveredAfter, r.CoveredOf, r.FootprintUse)
+	for _, c := range r.Selected {
+		fmt.Fprintf(&b, "  %v  (footprint %d)\n", c.Constraint, c.Footprint)
+	}
+	return b.String()
+}
+
+// hypoSchema provides hypothetical constraints to the BE Checker.
+type hypoSchema struct {
+	byRel map[string][]*access.Constraint
+}
+
+func newHypoSchema(cons []*access.Constraint) *hypoSchema {
+	h := &hypoSchema{byRel: make(map[string][]*access.Constraint)}
+	for _, c := range cons {
+		k := strings.ToLower(c.Rel)
+		h.byRel[k] = append(h.byRel[k], c)
+	}
+	return h
+}
+
+// ForRelation implements core.Provider.
+func (h *hypoSchema) ForRelation(rel string) []*access.Constraint {
+	return h.byRel[strings.ToLower(rel)]
+}
+
+// Index implements core.Provider: all constraints are hypothetical.
+func (h *hypoSchema) Index(c *access.Constraint) (*access.Index, bool) { return nil, true }
+
+// Discover mines, profiles and selects an access schema for the workload
+// over the store's data.
+func Discover(store *storage.Store, workload []*analyze.Query, opts Options) ([]Candidate, *Report, error) {
+	opts.defaults()
+	cands, err := generate(store, workload, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	report := &Report{Candidates: len(cands), CoveredOf: len(workload)}
+
+	// Greedy selection scored by the real BE Checker.
+	var selected []Candidate
+	var footprint int64
+	coveredNow := func(sel []Candidate) (int, int) {
+		cons := make([]*access.Constraint, len(sel))
+		for i, s := range sel {
+			cons[i] = s.Constraint
+		}
+		h := newHypoSchema(cons)
+		queries, atoms := 0, 0
+		for _, q := range workload {
+			chk := core.Check(q, h)
+			if chk.Covered {
+				queries++
+			}
+			atoms += len(chk.Steps)
+		}
+		return queries, atoms
+	}
+
+	baseQ, baseA := coveredNow(nil)
+	remaining := append([]Candidate(nil), cands...)
+	for {
+		bestIdx := -1
+		var bestQ, bestA int
+		var bestCand Candidate
+		for i, cand := range remaining {
+			if opts.Budget > 0 && footprint+cand.Footprint > opts.Budget {
+				continue
+			}
+			qn, an := coveredNow(append(selected, cand))
+			better := false
+			switch {
+			case qn > bestQ:
+				better = true
+			case qn == bestQ && an > bestA:
+				better = true
+			case qn == bestQ && an == bestA && bestIdx >= 0 && cand.Footprint < bestCand.Footprint:
+				better = true
+			}
+			if bestIdx < 0 || better {
+				bestIdx, bestQ, bestA, bestCand = i, qn, an, cand
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		// Stop when the best addition provides no gain.
+		if bestQ <= baseQ && bestA <= baseA {
+			break
+		}
+		selected = append(selected, bestCand)
+		footprint += bestCand.Footprint
+		baseQ, baseA = bestQ, bestA
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+		if baseQ == len(workload) {
+			break
+		}
+	}
+
+	report.Selected = selected
+	report.CoveredAfter = baseQ
+	report.FootprintUse = footprint
+	return selected, report, nil
+}
+
+// generate mines candidate constraints from the workload and profiles
+// them against the data.
+func generate(store *storage.Store, workload []*analyze.Query, opts Options) ([]Candidate, error) {
+	seen := make(map[string]bool)
+	var out []Candidate
+	for _, q := range workload {
+		for ai, atom := range q.Atoms {
+			used := q.UsedAttrs(ai)
+			if len(used) == 0 {
+				continue
+			}
+			var constAttrs, joinAttrs []int
+			inConst := make(map[int]bool)
+			for _, c := range q.Conjuncts {
+				switch c.Kind {
+				case analyze.EqAttrConst, analyze.InConsts:
+					if c.A.Atom == ai && !inConst[c.A.Attr] {
+						inConst[c.A.Attr] = true
+						constAttrs = append(constAttrs, c.A.Attr)
+					}
+				case analyze.EqAttrAttr:
+					if c.A.Atom == ai && c.B.Atom != ai {
+						joinAttrs = append(joinAttrs, c.A.Attr)
+					}
+					if c.B.Atom == ai && c.A.Atom != ai {
+						joinAttrs = append(joinAttrs, c.B.Attr)
+					}
+				}
+			}
+			sort.Ints(constAttrs)
+			joinAttrs = dedupInts(joinAttrs)
+
+			// X = constant attributes ∪ a subset of the join attributes.
+			for _, js := range subsets(joinAttrs, opts.MaxJoinSubset) {
+				x := dedupInts(append(append([]int(nil), constAttrs...), js...))
+				if len(x) == 0 {
+					continue
+				}
+				y := diffInts(used, x)
+				if len(y) == 0 {
+					y = x // existence index: Y = X
+				}
+				cand, err := profile(store, atom.Rel.Name, attrNames(atom, x), attrNames(atom, y), opts)
+				if err != nil {
+					return nil, err
+				}
+				if cand == nil || seen[cand.Constraint.ID()] {
+					continue
+				}
+				seen[cand.Constraint.ID()] = true
+				out = append(out, *cand)
+			}
+		}
+	}
+	// Deterministic order: smallest footprint first.
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Footprint != out[j].Footprint {
+			return out[i].Footprint < out[j].Footprint
+		}
+		return out[i].Constraint.String() < out[j].Constraint.String()
+	})
+	return out, nil
+}
+
+func attrNames(atom analyze.Atom, attrs []int) []string {
+	out := make([]string, len(attrs))
+	for i, a := range attrs {
+		out[i] = atom.Rel.Attrs[a].Name
+	}
+	return out
+}
+
+// profile computes the exact N and footprint of a candidate by one scan,
+// rejecting candidates over MaxN.
+func profile(store *storage.Store, rel string, x, y []string, opts Options) (*Candidate, error) {
+	table, ok := store.Table(rel)
+	if !ok {
+		return nil, fmt.Errorf("discovery: no table %q", rel)
+	}
+	xPos, err := table.Rel.AttrIndices(x)
+	if err != nil {
+		return nil, err
+	}
+	yPos, err := table.Rel.AttrIndices(y)
+	if err != nil {
+		return nil, err
+	}
+	groups := make(map[string]map[string]struct{})
+	for _, row := range table.Rows() {
+		xk := value.Key(row.Project(xPos))
+		yk := value.Key(row.Project(yPos))
+		g, ok := groups[xk]
+		if !ok {
+			g = make(map[string]struct{})
+			groups[xk] = g
+		}
+		g[yk] = struct{}{}
+	}
+	maxN := 0
+	var footprint int64
+	for _, g := range groups {
+		if len(g) > maxN {
+			maxN = len(g)
+		}
+		footprint += int64(len(g))
+	}
+	if maxN == 0 {
+		maxN = 1 // empty relation: any N conforms
+	}
+	if maxN > opts.MaxN {
+		return nil, nil
+	}
+	c, err := access.NewConstraint(store.DB, rel, x, y, maxN)
+	if err != nil {
+		return nil, err
+	}
+	return &Candidate{Constraint: c, Footprint: footprint, MaxN: maxN}, nil
+}
+
+// subsets enumerates subsets of attrs up to size maxSize, including the
+// empty set, in deterministic order.
+func subsets(attrs []int, maxSize int) [][]int {
+	out := [][]int{nil}
+	var rec func(start int, cur []int)
+	rec = func(start int, cur []int) {
+		if len(cur) >= maxSize {
+			return
+		}
+		for i := start; i < len(attrs); i++ {
+			next := append(append([]int(nil), cur...), attrs[i])
+			out = append(out, next)
+			rec(i+1, next)
+		}
+	}
+	rec(0, nil)
+	return out
+}
+
+func dedupInts(in []int) []int {
+	sort.Ints(in)
+	out := in[:0:0]
+	for i, v := range in {
+		if i == 0 || v != in[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func diffInts(a, b []int) []int {
+	inB := make(map[int]bool, len(b))
+	for _, v := range b {
+		inB[v] = true
+	}
+	var out []int
+	for _, v := range a {
+		if !inB[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,194 @@
+package discovery
+
+import (
+	"testing"
+
+	"github.com/bounded-eval/beas/internal/access"
+	"github.com/bounded-eval/beas/internal/analyze"
+	"github.com/bounded-eval/beas/internal/core"
+	"github.com/bounded-eval/beas/internal/schema"
+	"github.com/bounded-eval/beas/internal/sqlparser"
+	"github.com/bounded-eval/beas/internal/storage"
+	"github.com/bounded-eval/beas/internal/value"
+)
+
+type env struct {
+	db    *schema.Database
+	store *storage.Store
+}
+
+func newEnv(t *testing.T) *env {
+	t.Helper()
+	db, err := schema.NewDatabase(
+		schema.MustRelation("call",
+			schema.Attribute{Name: "pnum", Kind: value.Int},
+			schema.Attribute{Name: "date", Kind: value.Int},
+			schema.Attribute{Name: "recnum", Kind: value.Int},
+			schema.Attribute{Name: "region", Kind: value.String},
+		),
+		schema.MustRelation("business",
+			schema.Attribute{Name: "pnum", Kind: value.Int},
+			schema.Attribute{Name: "type", Kind: value.String},
+		),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &env{db: db, store: storage.NewStore(db)}
+	calls := e.store.MustTable("call")
+	for p := int64(0); p < 20; p++ {
+		for d := int64(0); d < 5; d++ {
+			_ = calls.Insert(value.Row{
+				value.NewInt(p), value.NewInt(d), value.NewInt(p*100 + d), value.NewString("r")})
+		}
+	}
+	biz := e.store.MustTable("business")
+	for p := int64(0); p < 10; p++ {
+		_ = biz.Insert(value.Row{value.NewInt(p), value.NewString("bank")})
+	}
+	return e
+}
+
+func (e *env) workload(t *testing.T, sqls ...string) []*analyze.Query {
+	t.Helper()
+	var out []*analyze.Query
+	for _, sql := range sqls {
+		stmt, err := sqlparser.Parse(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, err := analyze.Analyze(stmt.Select, e.db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, q)
+	}
+	return out
+}
+
+func TestDiscoverCoversWorkload(t *testing.T) {
+	e := newEnv(t)
+	wl := e.workload(t,
+		"SELECT recnum FROM call WHERE pnum = 3 AND date = 1",
+		"SELECT call.region FROM call, business WHERE business.type = 'bank' AND call.pnum = business.pnum AND call.date = 2",
+	)
+	cands, report, err := Discover(e.store, wl, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.CoveredAfter != 2 {
+		t.Fatalf("discovery covered %d/2 queries:\n%s", report.CoveredAfter, report)
+	}
+	// Verify with real indices: register the selected constraints and
+	// re-check the workload.
+	as := access.NewSchema(e.store)
+	for _, c := range cands {
+		if _, err := as.Register(c.Constraint, false); err != nil {
+			t.Fatalf("selected constraint does not build: %v", err)
+		}
+	}
+	for i, q := range wl {
+		if chk := core.Check(q, as); !chk.Covered {
+			t.Errorf("query %d not covered by registered discovery output: %s", i, chk.Reason)
+		}
+	}
+}
+
+func TestDiscoverExactN(t *testing.T) {
+	e := newEnv(t)
+	wl := e.workload(t, "SELECT recnum FROM call WHERE pnum = 3")
+	cands, _, err := Discover(e.store, wl, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// pnum -> {recnum, ...}: each pnum has exactly 5 rows with distinct
+	// recnums, so the profiled N must be 5.
+	found := false
+	for _, c := range cands {
+		if c.Constraint.Rel == "call" && len(c.Constraint.X) == 1 && c.Constraint.X[0] == "pnum" {
+			found = true
+			if c.MaxN != 5 {
+				t.Errorf("profiled N = %d, want 5", c.MaxN)
+			}
+		}
+	}
+	if !found {
+		t.Error("expected a call(pnum -> ...) candidate")
+	}
+}
+
+func TestDiscoverRespectsBudget(t *testing.T) {
+	e := newEnv(t)
+	wl := e.workload(t,
+		"SELECT recnum FROM call WHERE pnum = 3 AND date = 1",
+		"SELECT pnum FROM business WHERE type = 'bank'",
+	)
+	_, unlimited, err := Discover(e.store, wl, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unlimited.FootprintUse == 0 {
+		t.Fatal("unlimited discovery selected nothing")
+	}
+	budget := unlimited.FootprintUse / 2
+	_, limited, err := Discover(e.store, wl, Options{Budget: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if limited.FootprintUse > budget {
+		t.Errorf("budget violated: %d > %d", limited.FootprintUse, budget)
+	}
+	if limited.CoveredAfter > unlimited.CoveredAfter {
+		t.Error("smaller budget cannot cover more queries")
+	}
+}
+
+func TestDiscoverMaxNRejects(t *testing.T) {
+	e := newEnv(t)
+	wl := e.workload(t, "SELECT recnum FROM call WHERE region = 'r'")
+	// region = 'r' for all 100 rows; a region -> recnum candidate would
+	// need N = 100, above the cap.
+	_, report, err := Discover(e.store, wl, Options{MaxN: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range report.Selected {
+		if c.MaxN > 50 {
+			t.Errorf("candidate over MaxN selected: %v", c.Constraint)
+		}
+	}
+}
+
+func TestDiscoverEmptyWorkload(t *testing.T) {
+	e := newEnv(t)
+	cands, report, err := Discover(e.store, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 0 || report.Candidates != 0 {
+		t.Errorf("empty workload should yield nothing: %v", report)
+	}
+}
+
+func TestSubsets(t *testing.T) {
+	got := subsets([]int{1, 2, 3}, 2)
+	// nil, {1}, {1,2}, {1,3}, {2}, {2,3}, {3}
+	if len(got) != 7 {
+		t.Errorf("subsets = %v", got)
+	}
+}
+
+func TestHypoSchemaProvider(t *testing.T) {
+	e := newEnv(t)
+	c, err := access.NewConstraint(e.db, "call", []string{"pnum"}, []string{"recnum"}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := newHypoSchema([]*access.Constraint{c})
+	if got := h.ForRelation("CALL"); len(got) != 1 {
+		t.Errorf("ForRelation = %v", got)
+	}
+	if idx, ok := h.Index(c); idx != nil || !ok {
+		t.Error("hypothetical index should be (nil, true)")
+	}
+}

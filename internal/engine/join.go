@@ -1,0 +1,232 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/bounded-eval/beas/internal/analyze"
+	"github.com/bounded-eval/beas/internal/value"
+)
+
+// join combines two units with the profile's join algorithm, applying
+// every conjunct that becomes fully contained in the merged unit.
+func (e *Engine) join(q *analyze.Query, left, right *unit, applied []bool, st *Stats) (*unit, error) {
+	t0 := time.Now()
+
+	// Equi-join keys: unapplied a = b conjuncts with one side in each
+	// unit.
+	var lKeys, rKeys []int // slots
+	var keyConjuncts []int
+	for ci, c := range q.Conjuncts {
+		if applied[ci] || c.Kind != analyze.EqAttrAttr {
+			continue
+		}
+		ls, lok := left.layout.Slot(c.A)
+		rs, rok := right.layout.Slot(c.B)
+		if lok && rok {
+			lKeys = append(lKeys, ls)
+			rKeys = append(rKeys, rs)
+			keyConjuncts = append(keyConjuncts, ci)
+			continue
+		}
+		ls, lok = left.layout.Slot(c.B)
+		rs, rok = right.layout.Slot(c.A)
+		if lok && rok {
+			lKeys = append(lKeys, ls)
+			rKeys = append(rKeys, rs)
+			keyConjuncts = append(keyConjuncts, ci)
+		}
+	}
+	for _, ci := range keyConjuncts {
+		applied[ci] = true
+	}
+
+	merged := newUnit(left.name+" ⋈ "+right.name, nil, append(append([]analyze.ColID{}, left.cols...), right.cols...), nil)
+	for a := range left.atoms {
+		merged.atoms[a] = true
+	}
+	for a := range right.atoms {
+		merged.atoms[a] = true
+	}
+
+	// Post-join filters: conjuncts now fully contained in the merged unit
+	// (non-equi cross predicates, opaque predicates, ...).
+	var post []analyze.Conjunct
+	for ci, c := range q.Conjuncts {
+		if applied[ci] {
+			continue
+		}
+		if merged.hasAtoms(c.Refs) {
+			post = append(post, c)
+			applied[ci] = true
+		}
+	}
+
+	algo := e.prof.Join
+	if len(lKeys) == 0 {
+		algo = NestedLoopJoin // cross product
+	}
+
+	emit := func(lr, rr value.Row) error {
+		out := make(value.Row, 0, len(lr)+len(rr))
+		out = append(out, lr...)
+		out = append(out, rr...)
+		for _, f := range post {
+			ok, err := analyze.EvalBool(f.Expr, out, merged.layout)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+		}
+		merged.rows = append(merged.rows, out)
+		return nil
+	}
+
+	var err error
+	switch algo {
+	case HashJoin:
+		err = hashJoin(left, right, lKeys, rKeys, emit)
+	case SortMergeJoin:
+		err = sortMergeJoin(left, right, lKeys, rKeys, emit)
+	default:
+		err = nestedLoopJoin(left, right, lKeys, rKeys, emit)
+	}
+	if err != nil {
+		return nil, err
+	}
+	merged.est = float64(len(merged.rows))
+	st.Ops = append(st.Ops, OpStat{
+		Op:       fmt.Sprintf("%s %s ⋈ %s", algo, left.name, right.name),
+		RowsIn:   int64(len(left.rows) + len(right.rows)),
+		RowsOut:  int64(len(merged.rows)),
+		Duration: time.Since(t0),
+	})
+	return merged, nil
+}
+
+// hashJoin builds a hash table on the smaller side and probes with the
+// larger, preserving left-row ordering in the output where possible.
+func hashJoin(left, right *unit, lKeys, rKeys []int, emit func(lr, rr value.Row) error) error {
+	buildLeft := len(left.rows) <= len(right.rows)
+	var buildRows, probeRows []value.Row
+	var buildKeys, probeKeys []int
+	if buildLeft {
+		buildRows, buildKeys = left.rows, lKeys
+		probeRows, probeKeys = right.rows, rKeys
+	} else {
+		buildRows, buildKeys = right.rows, rKeys
+		probeRows, probeKeys = left.rows, lKeys
+	}
+	table := make(map[string][]value.Row, len(buildRows))
+	for _, r := range buildRows {
+		if rowKeyHasNull(r, buildKeys) {
+			continue // NULL keys never match
+		}
+		k := value.Key(r.Project(buildKeys))
+		table[k] = append(table[k], r)
+	}
+	for _, pr := range probeRows {
+		if rowKeyHasNull(pr, probeKeys) {
+			continue
+		}
+		k := value.Key(pr.Project(probeKeys))
+		for _, br := range table[k] {
+			var lr, rr value.Row
+			if buildLeft {
+				lr, rr = br, pr
+			} else {
+				lr, rr = pr, br
+			}
+			if err := emit(lr, rr); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// sortMergeJoin sorts both inputs on the encoded key and merges equal-key
+// runs.
+func sortMergeJoin(left, right *unit, lKeys, rKeys []int, emit func(lr, rr value.Row) error) error {
+	type keyed struct {
+		key string
+		row value.Row
+	}
+	prepare := func(rows []value.Row, keys []int) []keyed {
+		out := make([]keyed, 0, len(rows))
+		for _, r := range rows {
+			if rowKeyHasNull(r, keys) {
+				continue
+			}
+			out = append(out, keyed{key: value.Key(r.Project(keys)), row: r})
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].key < out[j].key })
+		return out
+	}
+	ls := prepare(left.rows, lKeys)
+	rs := prepare(right.rows, rKeys)
+	i, j := 0, 0
+	for i < len(ls) && j < len(rs) {
+		switch {
+		case ls[i].key < rs[j].key:
+			i++
+		case ls[i].key > rs[j].key:
+			j++
+		default:
+			// Equal-key runs.
+			i2 := i
+			for i2 < len(ls) && ls[i2].key == ls[i].key {
+				i2++
+			}
+			j2 := j
+			for j2 < len(rs) && rs[j2].key == rs[j].key {
+				j2++
+			}
+			for a := i; a < i2; a++ {
+				for b := j; b < j2; b++ {
+					if err := emit(ls[a].row, rs[b].row); err != nil {
+						return err
+					}
+				}
+			}
+			i, j = i2, j2
+		}
+	}
+	return nil
+}
+
+// nestedLoopJoin compares every pair; used for cross products and as the
+// explicit NestedLoopJoin profile algorithm.
+func nestedLoopJoin(left, right *unit, lKeys, rKeys []int, emit func(lr, rr value.Row) error) error {
+	for _, lr := range left.rows {
+		for _, rr := range right.rows {
+			match := true
+			for k := range lKeys {
+				lv, rv := lr[lKeys[k]], rr[rKeys[k]]
+				if lv.IsNull() || rv.IsNull() || !value.Equal(lv, rv) {
+					match = false
+					break
+				}
+			}
+			if !match {
+				continue
+			}
+			if err := emit(lr, rr); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func rowKeyHasNull(r value.Row, keys []int) bool {
+	for _, k := range keys {
+		if r[k].IsNull() {
+			return true
+		}
+	}
+	return false
+}

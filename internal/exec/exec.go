@@ -1,0 +1,330 @@
+// Package exec provides the physical operators shared by the bounded-plan
+// executor (internal/core) and the conventional engine (internal/engine):
+// projection, DISTINCT, hash aggregation with HAVING, sorting by output
+// columns and LIMIT/OFFSET. Both executors produce a joined intermediate
+// relation (rows over an analyze.Layout); this package turns it into the
+// final result rows.
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/bounded-eval/beas/internal/analyze"
+	"github.com/bounded-eval/beas/internal/sqlparser"
+	"github.com/bounded-eval/beas/internal/value"
+)
+
+// Finish applies the relational tail of q (projection or aggregation,
+// DISTINCT, HAVING, ORDER BY, LIMIT/OFFSET) to the joined intermediate
+// rows and returns the final result rows.
+func Finish(q *analyze.Query, rows []value.Row, layout *analyze.Layout) ([]value.Row, error) {
+	return FinishWeighted(q, rows, nil, layout)
+}
+
+// FinishWeighted is Finish for weighted intermediate rows: weights[i]
+// says how many identical base-row combinations rows[i] stands for. The
+// bounded executor produces weighted rows because constraint indices
+// store only distinct partial tuples; the weights restore SQL bag
+// semantics. A nil weights slice means all weights are 1.
+func FinishWeighted(q *analyze.Query, rows []value.Row, weights []int64, layout *analyze.Layout) ([]value.Row, error) {
+	var out []value.Row
+	var err error
+	switch {
+	case q.IsAgg:
+		out, err = aggregate(q, rows, weights, layout)
+	case q.Distinct || weights == nil:
+		// DISTINCT collapses duplicates anyway; weights are irrelevant.
+		out, err = project(q, rows, layout)
+	default:
+		// Bag semantics: replicate each projected row by its weight.
+		out, err = projectWeighted(q, rows, weights, layout)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if q.Distinct {
+		out = Dedup(out)
+	}
+	if len(q.OrderBy) > 0 {
+		if err := SortRows(out, q.OrderBy); err != nil {
+			return nil, err
+		}
+	}
+	return Clip(out, q.Limit, q.Offset), nil
+}
+
+// projectWeighted projects every row and emits weight copies of it.
+func projectWeighted(q *analyze.Query, rows []value.Row, weights []int64, layout *analyze.Layout) ([]value.Row, error) {
+	out := make([]value.Row, 0, len(rows))
+	for ri, r := range rows {
+		res := make(value.Row, len(q.Outputs))
+		for i, o := range q.Outputs {
+			v, err := analyze.Eval(o.Expr, r, layout)
+			if err != nil {
+				return nil, err
+			}
+			res[i] = v
+		}
+		w := weights[ri]
+		for ; w > 0; w-- {
+			out = append(out, res)
+		}
+	}
+	return out, nil
+}
+
+// project evaluates the output expressions for every row.
+func project(q *analyze.Query, rows []value.Row, layout *analyze.Layout) ([]value.Row, error) {
+	out := make([]value.Row, 0, len(rows))
+	for _, r := range rows {
+		res := make(value.Row, len(q.Outputs))
+		for i, o := range q.Outputs {
+			v, err := analyze.Eval(o.Expr, r, layout)
+			if err != nil {
+				return nil, err
+			}
+			res[i] = v
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// aggState accumulates one aggregate over one group.
+type aggState struct {
+	count    int64
+	sum      float64
+	sumInt   int64
+	intOnly  bool
+	min, max value.Value
+	distinct map[string]struct{}
+	nonEmpty bool
+}
+
+// aggregate performs hash aggregation: group rows by the GROUP BY
+// expressions, evaluate the aggregates per group, filter with HAVING and
+// evaluate the output expressions against the post-aggregation rows.
+// weights (nil = all ones) give each row's bag multiplicity.
+//
+// With no GROUP BY, a single group is produced even for empty input
+// (COUNT(*) over an empty relation is 0), matching SQL semantics.
+func aggregate(q *analyze.Query, rows []value.Row, weights []int64, layout *analyze.Layout) ([]value.Row, error) {
+	type group struct {
+		keys value.Row
+		aggs []*aggState
+	}
+	groups := make(map[string]*group)
+	var order []string
+
+	newGroup := func(keys value.Row) *group {
+		g := &group{keys: keys, aggs: make([]*aggState, len(q.Aggs))}
+		for i, spec := range q.Aggs {
+			st := &aggState{intOnly: true}
+			if spec.Distinct {
+				st.distinct = make(map[string]struct{})
+			}
+			g.aggs[i] = st
+		}
+		return g
+	}
+
+	for ri, r := range rows {
+		w := int64(1)
+		if weights != nil {
+			w = weights[ri]
+		}
+		keys := make(value.Row, len(q.GroupBy))
+		for i, ge := range q.GroupBy {
+			v, err := analyze.Eval(ge, r, layout)
+			if err != nil {
+				return nil, err
+			}
+			keys[i] = v
+		}
+		k := value.Key(keys)
+		g, ok := groups[k]
+		if !ok {
+			g = newGroup(keys)
+			groups[k] = g
+			order = append(order, k)
+		}
+		for i, spec := range q.Aggs {
+			if err := accumulate(g.aggs[i], spec, r, w, layout); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if len(q.GroupBy) == 0 && len(groups) == 0 {
+		groups[""] = newGroup(nil)
+		order = append(order, "")
+	}
+
+	// Post-aggregation rows: [group keys..., aggregate values...].
+	postLayout := analyze.NewLayout() // PostRef evaluation indexes rows directly
+	out := make([]value.Row, 0, len(groups))
+	for _, k := range order {
+		g := groups[k]
+		post := make(value.Row, 0, len(q.GroupBy)+len(q.Aggs))
+		post = append(post, g.keys...)
+		for i, spec := range q.Aggs {
+			post = append(post, finalize(g.aggs[i], spec))
+		}
+		if q.Having != nil {
+			keep, err := analyze.EvalBool(q.Having, post, postLayout)
+			if err != nil {
+				return nil, err
+			}
+			if !keep {
+				continue
+			}
+		}
+		res := make(value.Row, len(q.Outputs))
+		for i, o := range q.Outputs {
+			v, err := analyze.Eval(o.Expr, post, postLayout)
+			if err != nil {
+				return nil, err
+			}
+			res[i] = v
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// accumulate folds one base row (with bag multiplicity w) into an
+// aggregate state.
+func accumulate(st *aggState, spec analyze.AggSpec, row value.Row, w int64, layout *analyze.Layout) error {
+	if spec.Star {
+		st.count += w
+		st.nonEmpty = true
+		return nil
+	}
+	v, err := analyze.Eval(spec.Arg, row, layout)
+	if err != nil {
+		return err
+	}
+	if v.IsNull() {
+		return nil // SQL aggregates skip NULLs
+	}
+	if spec.Distinct {
+		k := value.Key([]value.Value{v})
+		if _, dup := st.distinct[k]; dup {
+			return nil
+		}
+		st.distinct[k] = struct{}{}
+		w = 1 // DISTINCT counts each value once regardless of multiplicity
+	}
+	st.count += w
+	switch spec.Func {
+	case sqlparser.AggCount: // nothing more to track
+	default:
+		if f, ok := v.AsFloat(); ok {
+			st.sum += f * float64(w)
+		} else if spec.Func == sqlparser.AggSum || spec.Func == sqlparser.AggAvg {
+			return fmt.Errorf("exec: %s over non-numeric %v", spec.Func, v.K)
+		}
+		if v.K == value.Int {
+			st.sumInt += v.I * w
+		} else {
+			st.intOnly = false
+		}
+		if !st.nonEmpty {
+			st.min, st.max = v, v
+		} else {
+			if c, err := value.Compare(v, st.min); err == nil && c < 0 {
+				st.min = v
+			}
+			if c, err := value.Compare(v, st.max); err == nil && c > 0 {
+				st.max = v
+			}
+		}
+	}
+	st.nonEmpty = true
+	return nil
+}
+
+// finalize extracts the aggregate's value.
+func finalize(st *aggState, spec analyze.AggSpec) value.Value {
+	switch spec.Func {
+	case sqlparser.AggCount:
+		return value.NewInt(st.count)
+	case sqlparser.AggSum:
+		if !st.nonEmpty {
+			return value.NewNull()
+		}
+		if st.intOnly {
+			return value.NewInt(st.sumInt)
+		}
+		return value.NewFloat(st.sum)
+	case sqlparser.AggAvg:
+		if st.count == 0 {
+			return value.NewNull()
+		}
+		return value.NewFloat(st.sum / float64(st.count))
+	case sqlparser.AggMin:
+		if !st.nonEmpty {
+			return value.NewNull()
+		}
+		return st.min
+	case sqlparser.AggMax:
+		if !st.nonEmpty {
+			return value.NewNull()
+		}
+		return st.max
+	default:
+		return value.NewNull()
+	}
+}
+
+// Dedup removes duplicate rows, preserving first-occurrence order.
+func Dedup(rows []value.Row) []value.Row {
+	seen := make(map[string]struct{}, len(rows))
+	out := rows[:0:0]
+	for _, r := range rows {
+		k := value.Key(r)
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		out = append(out, r)
+	}
+	return out
+}
+
+// SortRows sorts result rows in place by the given output columns. The
+// sort is stable so that equal keys preserve input order.
+func SortRows(rows []value.Row, keys []analyze.OrderSpec) error {
+	var sortErr error
+	sort.SliceStable(rows, func(i, j int) bool {
+		for _, k := range keys {
+			c, err := value.Compare(rows[i][k.Col], rows[j][k.Col])
+			if err != nil {
+				sortErr = err
+				return false
+			}
+			if c != 0 {
+				if k.Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+		}
+		return false
+	})
+	return sortErr
+}
+
+// Clip applies OFFSET then LIMIT.
+func Clip(rows []value.Row, limit, offset *int) []value.Row {
+	if offset != nil {
+		if *offset >= len(rows) {
+			return nil
+		}
+		rows = rows[*offset:]
+	}
+	if limit != nil && *limit < len(rows) {
+		rows = rows[:*limit]
+	}
+	return rows
+}

@@ -1,0 +1,193 @@
+package exec
+
+import (
+	"testing"
+
+	"github.com/bounded-eval/beas/internal/analyze"
+	"github.com/bounded-eval/beas/internal/schema"
+	"github.com/bounded-eval/beas/internal/sqlparser"
+	"github.com/bounded-eval/beas/internal/value"
+)
+
+// fixture builds a one-atom query over relation t(g STRING, v INT,
+// f FLOAT) and the corresponding layout + rows.
+func fixture(t *testing.T, sql string) (*analyze.Query, *analyze.Layout, []value.Row) {
+	t.Helper()
+	db, err := schema.NewDatabase(schema.MustRelation("t",
+		schema.Attribute{Name: "g", Kind: value.String},
+		schema.Attribute{Name: "v", Kind: value.Int},
+		schema.Attribute{Name: "f", Kind: value.Float},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := analyze.Analyze(stmt.Select, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout := analyze.NewLayout()
+	for attr := 0; attr < 3; attr++ {
+		layout.Add(analyze.ColID{Atom: 0, Attr: attr})
+	}
+	rows := []value.Row{
+		{value.NewString("a"), value.NewInt(1), value.NewFloat(1.5)},
+		{value.NewString("a"), value.NewInt(2), value.NewFloat(2.5)},
+		{value.NewString("b"), value.NewInt(3), value.NewFloat(0.5)},
+		{value.NewString("b"), value.NewInt(3), value.NewFloat(4.5)},
+		{value.NewString("c"), value.NewNull(), value.NewFloat(9)},
+	}
+	return q, layout, rows
+}
+
+func run(t *testing.T, sql string) []value.Row {
+	t.Helper()
+	q, layout, rows := fixture(t, sql)
+	out, err := Finish(q, rows, layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestProjection(t *testing.T) {
+	out := run(t, "SELECT v, f FROM t")
+	if len(out) != 5 || out[0][0].I != 1 || out[0][1].F != 1.5 {
+		t.Errorf("out = %v", out)
+	}
+}
+
+func TestProjectionExpression(t *testing.T) {
+	out := run(t, "SELECT v * 10 + 1 FROM t WHERE v = 2")
+	// Finish does not evaluate WHERE (that's the executor's job), so all
+	// rows flow through; check the expression only.
+	if out[1][0].I != 21 {
+		t.Errorf("expression output = %v", out[1][0])
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	out := run(t, "SELECT DISTINCT g FROM t")
+	if len(out) != 3 {
+		t.Errorf("distinct g = %v", out)
+	}
+}
+
+func TestGroupByCountSum(t *testing.T) {
+	out := run(t, "SELECT g, COUNT(*) AS n, SUM(v) AS s FROM t GROUP BY g ORDER BY g")
+	if len(out) != 3 {
+		t.Fatalf("groups = %v", out)
+	}
+	// a: n=2 s=3; b: n=2 s=6; c: n=1 s=NULL (all v NULL).
+	if out[0][1].I != 2 || out[0][2].I != 3 {
+		t.Errorf("group a = %v", out[0])
+	}
+	if out[1][1].I != 2 || out[1][2].I != 6 {
+		t.Errorf("group b = %v", out[1])
+	}
+	if out[2][1].I != 1 || !out[2][2].IsNull() {
+		t.Errorf("group c = %v (SUM of NULLs must be NULL)", out[2])
+	}
+}
+
+func TestCountColumnSkipsNulls(t *testing.T) {
+	out := run(t, "SELECT COUNT(v), COUNT(*) FROM t")
+	if out[0][0].I != 4 || out[0][1].I != 5 {
+		t.Errorf("COUNT(v), COUNT(*) = %v", out[0])
+	}
+}
+
+func TestCountDistinct(t *testing.T) {
+	out := run(t, "SELECT COUNT(DISTINCT v) FROM t")
+	if out[0][0].I != 3 {
+		t.Errorf("COUNT(DISTINCT v) = %v", out[0][0])
+	}
+}
+
+func TestAvgMinMax(t *testing.T) {
+	out := run(t, "SELECT AVG(v), MIN(f), MAX(f) FROM t")
+	if out[0][0].F != 9.0/4 {
+		t.Errorf("AVG = %v", out[0][0])
+	}
+	if out[0][1].F != 0.5 || out[0][2].F != 9.0 {
+		t.Errorf("MIN/MAX = %v / %v", out[0][1], out[0][2])
+	}
+}
+
+func TestEmptyInputAggregate(t *testing.T) {
+	q, layout, _ := fixture(t, "SELECT COUNT(*), SUM(v), MIN(v) FROM t")
+	out, err := Finish(q, nil, layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("empty aggregate must produce one row, got %d", len(out))
+	}
+	if out[0][0].I != 0 || !out[0][1].IsNull() || !out[0][2].IsNull() {
+		t.Errorf("empty aggregates = %v", out[0])
+	}
+}
+
+func TestEmptyInputGroupedAggregate(t *testing.T) {
+	q, layout, _ := fixture(t, "SELECT g, COUNT(*) FROM t GROUP BY g")
+	out, err := Finish(q, nil, layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Errorf("grouped aggregate over empty input must be empty, got %v", out)
+	}
+}
+
+func TestHaving(t *testing.T) {
+	out := run(t, "SELECT g, COUNT(*) AS n FROM t GROUP BY g HAVING COUNT(*) > 1 ORDER BY g")
+	if len(out) != 2 || out[0][0].S != "a" || out[1][0].S != "b" {
+		t.Errorf("having = %v", out)
+	}
+}
+
+func TestOrderByDescAndLimitOffset(t *testing.T) {
+	out := run(t, "SELECT v FROM t ORDER BY v DESC LIMIT 2 OFFSET 1")
+	// v sorted desc: 3, 3, 2, 1, NULL -> offset 1, limit 2 -> 3, 2.
+	if len(out) != 2 || out[0][0].I != 3 || out[1][0].I != 2 {
+		t.Errorf("out = %v", out)
+	}
+}
+
+func TestOrderByNullsFirstAsc(t *testing.T) {
+	out := run(t, "SELECT v FROM t ORDER BY v")
+	if !out[0][0].IsNull() {
+		t.Errorf("NULL should sort first ascending: %v", out)
+	}
+}
+
+func TestClip(t *testing.T) {
+	rows := []value.Row{{value.NewInt(1)}, {value.NewInt(2)}, {value.NewInt(3)}}
+	lim, off := 2, 1
+	if got := Clip(rows, &lim, &off); len(got) != 2 || got[0][0].I != 2 {
+		t.Errorf("Clip = %v", got)
+	}
+	bigOff := 99
+	if got := Clip(rows, nil, &bigOff); got != nil {
+		t.Errorf("Clip past end = %v", got)
+	}
+	if got := Clip(rows, nil, nil); len(got) != 3 {
+		t.Errorf("Clip nil/nil = %v", got)
+	}
+}
+
+func TestDedup(t *testing.T) {
+	rows := []value.Row{
+		{value.NewInt(1), value.NewString("x")},
+		{value.NewInt(1), value.NewString("x")},
+		{value.NewFloat(1), value.NewString("x")}, // equal under coercion
+		{value.NewInt(2), value.NewString("x")},
+	}
+	out := Dedup(rows)
+	if len(out) != 2 {
+		t.Errorf("Dedup = %v", out)
+	}
+}

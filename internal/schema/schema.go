@@ -1,0 +1,170 @@
+// Package schema describes relation and database schemas: attribute names,
+// types and positions. It is purely structural; data lives in
+// internal/storage and constraints in internal/access.
+package schema
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/bounded-eval/beas/internal/value"
+)
+
+// Attribute is a named, typed column of a relation.
+type Attribute struct {
+	Name string
+	Kind value.Kind
+}
+
+// Relation is a named relation schema: an ordered list of attributes.
+type Relation struct {
+	Name   string
+	Attrs  []Attribute
+	byName map[string]int
+}
+
+// NewRelation builds a relation schema. Attribute names are
+// case-insensitive and must be unique within the relation.
+func NewRelation(name string, attrs ...Attribute) (*Relation, error) {
+	if name == "" {
+		return nil, fmt.Errorf("schema: relation name must not be empty")
+	}
+	r := &Relation{Name: name, Attrs: attrs, byName: make(map[string]int, len(attrs))}
+	for i, a := range attrs {
+		key := strings.ToLower(a.Name)
+		if key == "" {
+			return nil, fmt.Errorf("schema: relation %s: attribute %d has empty name", name, i)
+		}
+		if _, dup := r.byName[key]; dup {
+			return nil, fmt.Errorf("schema: relation %s: duplicate attribute %q", name, a.Name)
+		}
+		r.byName[key] = i
+	}
+	return r, nil
+}
+
+// MustRelation is NewRelation that panics on error; for statically known
+// schemas such as the TLC benchmark definition.
+func MustRelation(name string, attrs ...Attribute) *Relation {
+	r, err := NewRelation(name, attrs...)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Arity returns the number of attributes.
+func (r *Relation) Arity() int { return len(r.Attrs) }
+
+// AttrIndex returns the position of the named attribute
+// (case-insensitive) and whether it exists.
+func (r *Relation) AttrIndex(name string) (int, bool) {
+	i, ok := r.byName[strings.ToLower(name)]
+	return i, ok
+}
+
+// AttrIndices resolves a list of attribute names to positions.
+func (r *Relation) AttrIndices(names []string) ([]int, error) {
+	out := make([]int, len(names))
+	for i, n := range names {
+		j, ok := r.AttrIndex(n)
+		if !ok {
+			return nil, fmt.Errorf("schema: relation %s has no attribute %q", r.Name, n)
+		}
+		out[i] = j
+	}
+	return out, nil
+}
+
+// AttrNames returns the attribute names in declaration order.
+func (r *Relation) AttrNames() []string {
+	out := make([]string, len(r.Attrs))
+	for i, a := range r.Attrs {
+		out[i] = a.Name
+	}
+	return out
+}
+
+// String renders the schema as R(a INT, b STRING, ...).
+func (r *Relation) String() string {
+	var b strings.Builder
+	b.WriteString(r.Name)
+	b.WriteByte('(')
+	for i, a := range r.Attrs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %s", a.Name, a.Kind)
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// ValidateRow checks arity and per-attribute kinds (NULL matches any kind).
+func (r *Relation) ValidateRow(row value.Row) error {
+	if len(row) != len(r.Attrs) {
+		return fmt.Errorf("schema: relation %s expects %d values, got %d", r.Name, len(r.Attrs), len(row))
+	}
+	for i, v := range row {
+		if v.K == value.Null {
+			continue
+		}
+		want := r.Attrs[i].Kind
+		if v.K == want {
+			continue
+		}
+		// Allow Int into Float columns (common for generated data).
+		if want == value.Float && v.K == value.Int {
+			continue
+		}
+		return fmt.Errorf("schema: relation %s attribute %s expects %v, got %v",
+			r.Name, r.Attrs[i].Name, want, v.K)
+	}
+	return nil
+}
+
+// Database is a set of relation schemas keyed by (case-insensitive) name.
+type Database struct {
+	rels map[string]*Relation
+}
+
+// NewDatabase builds a database schema from relations.
+func NewDatabase(rels ...*Relation) (*Database, error) {
+	db := &Database{rels: make(map[string]*Relation, len(rels))}
+	for _, r := range rels {
+		if err := db.Add(r); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// Add registers a relation schema; duplicate names are rejected.
+func (db *Database) Add(r *Relation) error {
+	key := strings.ToLower(r.Name)
+	if _, dup := db.rels[key]; dup {
+		return fmt.Errorf("schema: duplicate relation %q", r.Name)
+	}
+	db.rels[key] = r
+	return nil
+}
+
+// Relation looks a relation up by case-insensitive name.
+func (db *Database) Relation(name string) (*Relation, bool) {
+	r, ok := db.rels[strings.ToLower(name)]
+	return r, ok
+}
+
+// Names returns the relation names in sorted order.
+func (db *Database) Names() []string {
+	out := make([]string, 0, len(db.rels))
+	for _, r := range db.rels {
+		out = append(out, r.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of relations.
+func (db *Database) Len() int { return len(db.rels) }

@@ -1,0 +1,124 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/bounded-eval/beas/internal/value"
+)
+
+func rel(t *testing.T) *Relation {
+	t.Helper()
+	r, err := NewRelation("call",
+		Attribute{Name: "pnum", Kind: value.Int},
+		Attribute{Name: "recnum", Kind: value.Int},
+		Attribute{Name: "region", Kind: value.String},
+		Attribute{Name: "charge", Kind: value.Float},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestNewRelationValidation(t *testing.T) {
+	if _, err := NewRelation(""); err == nil {
+		t.Error("empty relation name should fail")
+	}
+	if _, err := NewRelation("r", Attribute{Name: "", Kind: value.Int}); err == nil {
+		t.Error("empty attribute name should fail")
+	}
+	if _, err := NewRelation("r",
+		Attribute{Name: "a", Kind: value.Int},
+		Attribute{Name: "A", Kind: value.Int}); err == nil {
+		t.Error("case-insensitive duplicate attribute should fail")
+	}
+}
+
+func TestAttrLookup(t *testing.T) {
+	r := rel(t)
+	if i, ok := r.AttrIndex("PNUM"); !ok || i != 0 {
+		t.Errorf("AttrIndex(PNUM) = %d, %v", i, ok)
+	}
+	if i, ok := r.AttrIndex("region"); !ok || i != 2 {
+		t.Errorf("AttrIndex(region) = %d, %v", i, ok)
+	}
+	if _, ok := r.AttrIndex("nope"); ok {
+		t.Error("AttrIndex(nope) should miss")
+	}
+	idx, err := r.AttrIndices([]string{"region", "pnum"})
+	if err != nil || idx[0] != 2 || idx[1] != 0 {
+		t.Errorf("AttrIndices = %v, %v", idx, err)
+	}
+	if _, err := r.AttrIndices([]string{"ghost"}); err == nil {
+		t.Error("AttrIndices(ghost) should fail")
+	}
+}
+
+func TestRelationString(t *testing.T) {
+	got := rel(t).String()
+	if !strings.Contains(got, "call(") || !strings.Contains(got, "pnum INT") ||
+		!strings.Contains(got, "region STRING") {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestValidateRow(t *testing.T) {
+	r := rel(t)
+	ok := value.Row{value.NewInt(1), value.NewInt(2), value.NewString("x"), value.NewFloat(0.5)}
+	if err := r.ValidateRow(ok); err != nil {
+		t.Errorf("valid row rejected: %v", err)
+	}
+	// NULL matches any column.
+	if err := r.ValidateRow(value.Row{value.NewNull(), value.NewNull(), value.NewNull(), value.NewNull()}); err != nil {
+		t.Errorf("all-NULL row rejected: %v", err)
+	}
+	// Int promotes into Float columns.
+	if err := r.ValidateRow(value.Row{value.NewInt(1), value.NewInt(2), value.NewString("x"), value.NewInt(3)}); err != nil {
+		t.Errorf("int-into-float rejected: %v", err)
+	}
+	// Arity mismatch.
+	if err := r.ValidateRow(value.Row{value.NewInt(1)}); err == nil {
+		t.Error("short row should fail")
+	}
+	// Kind mismatch.
+	bad := value.Row{value.NewString("a"), value.NewInt(2), value.NewString("x"), value.NewFloat(0.5)}
+	if err := r.ValidateRow(bad); err == nil {
+		t.Error("string in INT column should fail")
+	}
+}
+
+func TestDatabase(t *testing.T) {
+	r := rel(t)
+	db, err := NewDatabase(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := db.Relation("CALL"); !ok {
+		t.Error("case-insensitive relation lookup failed")
+	}
+	if db.Len() != 1 {
+		t.Errorf("Len = %d", db.Len())
+	}
+	dup := MustRelation("Call", Attribute{Name: "x", Kind: value.Int})
+	if err := db.Add(dup); err == nil {
+		t.Error("duplicate relation name should fail")
+	}
+	other := MustRelation("sms", Attribute{Name: "x", Kind: value.Int})
+	if err := db.Add(other); err != nil {
+		t.Fatal(err)
+	}
+	names := db.Names()
+	if len(names) != 2 || names[0] != "call" || names[1] != "sms" {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func TestMustRelationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustRelation should panic on invalid input")
+		}
+	}()
+	MustRelation("")
+}

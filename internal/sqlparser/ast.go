@@ -1,0 +1,408 @@
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/bounded-eval/beas/internal/value"
+)
+
+// Statement is the root of a parsed query: a SELECT, possibly a UNION
+// chain of SELECTs.
+type Statement struct {
+	Select *Select
+	// Union, when non-nil, is the right-hand side of SELECT ... UNION
+	// [ALL] SELECT .... Chains associate to the right.
+	Union    *Statement
+	UnionAll bool
+}
+
+// Select is a single SELECT block.
+type Select struct {
+	Distinct bool
+	Items    []SelectItem
+	Star     bool // SELECT *
+	From     []TableRef
+	Where    Expr // nil when absent
+	GroupBy  []Expr
+	Having   Expr
+	OrderBy  []OrderItem
+	Limit    *int
+	Offset   *int
+}
+
+// SelectItem is one output column: an expression with an optional alias.
+type SelectItem struct {
+	Expr  Expr
+	Alias string
+}
+
+// TableRef is a relation occurrence in FROM, with an optional alias and
+// any number of JOIN ... ON clauses attached (parsed into the flat list,
+// with the ON condition folded into the WHERE conjunction by the parser).
+type TableRef struct {
+	Name  string
+	Alias string
+}
+
+// DisplayName returns the alias if present, else the relation name.
+func (t TableRef) DisplayName() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Name
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// BinOp enumerates binary operators.
+type BinOp uint8
+
+// Binary operators. Comparison operators evaluate to Bool.
+const (
+	OpEq BinOp = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAnd
+	OpOr
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+)
+
+// String renders the operator in SQL syntax.
+func (op BinOp) String() string {
+	switch op {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "<>"
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	case OpAnd:
+		return "AND"
+	case OpOr:
+		return "OR"
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpDiv:
+		return "/"
+	default:
+		return fmt.Sprintf("BinOp(%d)", uint8(op))
+	}
+}
+
+// IsComparison reports whether op is one of = <> < <= > >=.
+func (op BinOp) IsComparison() bool { return op <= OpGe }
+
+// AggFunc enumerates aggregate functions.
+type AggFunc uint8
+
+// Aggregate functions.
+const (
+	AggCount AggFunc = iota
+	AggSum
+	AggAvg
+	AggMin
+	AggMax
+)
+
+// String renders the function name.
+func (f AggFunc) String() string {
+	switch f {
+	case AggCount:
+		return "COUNT"
+	case AggSum:
+		return "SUM"
+	case AggAvg:
+		return "AVG"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	default:
+		return fmt.Sprintf("AggFunc(%d)", uint8(f))
+	}
+}
+
+// Expr is a parsed expression. Implementations: *Column, *Literal,
+// *Binary, *Not, *Neg, *In, *Between, *Like, *IsNull, *Agg.
+type Expr interface {
+	fmt.Stringer
+	expr()
+}
+
+// Column is a possibly qualified column reference: [table.]name.
+type Column struct {
+	Table string // alias or relation name; empty when unqualified
+	Name  string
+}
+
+func (*Column) expr() {}
+
+// String renders the reference.
+func (c *Column) String() string {
+	if c.Table != "" {
+		return c.Table + "." + c.Name
+	}
+	return c.Name
+}
+
+// Literal is a constant.
+type Literal struct {
+	Val value.Value
+}
+
+func (*Literal) expr() {}
+
+// String renders the literal in SQL syntax.
+func (l *Literal) String() string {
+	if l.Val.K == value.String {
+		return "'" + strings.ReplaceAll(l.Val.S, "'", "''") + "'"
+	}
+	if l.Val.IsNull() {
+		return "NULL"
+	}
+	return l.Val.String()
+}
+
+// Binary is a binary operation.
+type Binary struct {
+	Op   BinOp
+	L, R Expr
+}
+
+func (*Binary) expr() {}
+
+// String renders the operation fully parenthesised.
+func (b *Binary) String() string {
+	return fmt.Sprintf("(%s %s %s)", b.L, b.Op, b.R)
+}
+
+// Not is logical negation.
+type Not struct{ E Expr }
+
+func (*Not) expr() {}
+
+// String renders NOT (e).
+func (n *Not) String() string { return fmt.Sprintf("NOT (%s)", n.E) }
+
+// Neg is arithmetic negation.
+type Neg struct{ E Expr }
+
+func (*Neg) expr() {}
+
+// String renders -(e).
+func (n *Neg) String() string { return fmt.Sprintf("-(%s)", n.E) }
+
+// In is e [NOT] IN (v1, v2, ...). Only literal lists are supported
+// (no sub-queries).
+type In struct {
+	E    Expr
+	List []Expr
+	Not  bool
+}
+
+func (*In) expr() {}
+
+// String renders the predicate.
+func (in *In) String() string {
+	parts := make([]string, len(in.List))
+	for i, e := range in.List {
+		parts[i] = e.String()
+	}
+	not := ""
+	if in.Not {
+		not = " NOT"
+	}
+	return fmt.Sprintf("%s%s IN (%s)", in.E, not, strings.Join(parts, ", "))
+}
+
+// Between is e [NOT] BETWEEN lo AND hi.
+type Between struct {
+	E, Lo, Hi Expr
+	Not       bool
+}
+
+func (*Between) expr() {}
+
+// String renders the predicate.
+func (b *Between) String() string {
+	not := ""
+	if b.Not {
+		not = " NOT"
+	}
+	return fmt.Sprintf("%s%s BETWEEN %s AND %s", b.E, not, b.Lo, b.Hi)
+}
+
+// Like is e [NOT] LIKE pattern, with % and _ wildcards.
+type Like struct {
+	E       Expr
+	Pattern string
+	Not     bool
+}
+
+func (*Like) expr() {}
+
+// String renders the predicate.
+func (l *Like) String() string {
+	not := ""
+	if l.Not {
+		not = " NOT"
+	}
+	return fmt.Sprintf("%s%s LIKE '%s'", l.E, not, l.Pattern)
+}
+
+// IsNull is e IS [NOT] NULL.
+type IsNull struct {
+	E   Expr
+	Not bool
+}
+
+func (*IsNull) expr() {}
+
+// String renders the predicate.
+func (i *IsNull) String() string {
+	if i.Not {
+		return fmt.Sprintf("%s IS NOT NULL", i.E)
+	}
+	return fmt.Sprintf("%s IS NULL", i.E)
+}
+
+// Agg is an aggregate call: COUNT(*), COUNT([DISTINCT] e), SUM(e), ....
+type Agg struct {
+	Func     AggFunc
+	Arg      Expr // nil for COUNT(*)
+	Star     bool
+	Distinct bool
+}
+
+func (*Agg) expr() {}
+
+// String renders the call.
+func (a *Agg) String() string {
+	if a.Star {
+		return "COUNT(*)"
+	}
+	d := ""
+	if a.Distinct {
+		d = "DISTINCT "
+	}
+	return fmt.Sprintf("%s(%s%s)", a.Func, d, a.Arg)
+}
+
+// Walk calls fn for e and every sub-expression, pre-order.
+func Walk(e Expr, fn func(Expr)) {
+	if e == nil {
+		return
+	}
+	fn(e)
+	switch x := e.(type) {
+	case *Binary:
+		Walk(x.L, fn)
+		Walk(x.R, fn)
+	case *Not:
+		Walk(x.E, fn)
+	case *Neg:
+		Walk(x.E, fn)
+	case *In:
+		Walk(x.E, fn)
+		for _, v := range x.List {
+			Walk(v, fn)
+		}
+	case *Between:
+		Walk(x.E, fn)
+		Walk(x.Lo, fn)
+		Walk(x.Hi, fn)
+	case *Like:
+		Walk(x.E, fn)
+	case *IsNull:
+		Walk(x.E, fn)
+	case *Agg:
+		Walk(x.Arg, fn)
+	}
+}
+
+// String renders the SELECT block back to SQL (used by EXPLAIN output and
+// tests; not guaranteed byte-identical to the input).
+func (s *Select) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if s.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	if s.Star {
+		b.WriteString("*")
+	}
+	for i, it := range s.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(it.Expr.String())
+		if it.Alias != "" {
+			b.WriteString(" AS " + it.Alias)
+		}
+	}
+	b.WriteString(" FROM ")
+	for i, t := range s.From {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(t.Name)
+		if t.Alias != "" {
+			b.WriteString(" " + t.Alias)
+		}
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE " + s.Where.String())
+	}
+	if len(s.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, e := range s.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(e.String())
+		}
+	}
+	if s.Having != nil {
+		b.WriteString(" HAVING " + s.Having.String())
+	}
+	if len(s.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i, o := range s.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(o.Expr.String())
+			if o.Desc {
+				b.WriteString(" DESC")
+			}
+		}
+	}
+	if s.Limit != nil {
+		fmt.Fprintf(&b, " LIMIT %d", *s.Limit)
+	}
+	if s.Offset != nil {
+		fmt.Fprintf(&b, " OFFSET %d", *s.Offset)
+	}
+	return b.String()
+}

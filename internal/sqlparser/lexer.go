@@ -1,0 +1,151 @@
+// Package sqlparser provides a hand-written lexer and recursive-descent
+// parser for the SQL fragment BEAS evaluates: SELECT queries with joins
+// (comma and JOIN..ON syntax), conjunctive and disjunctive WHERE clauses,
+// IN/BETWEEN/LIKE/IS NULL predicates, aggregates, GROUP BY/HAVING,
+// ORDER BY/LIMIT/OFFSET and UNION [ALL].
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexical tokens.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokOp // operators and punctuation: = <> != < <= > >= ( ) , . * + - /
+	tokInvalid
+)
+
+type token struct {
+	kind tokenKind
+	text string // keywords upper-cased; identifiers as written
+	pos  int    // byte offset in the input, for error messages
+}
+
+// keywords recognised by the lexer. Identifiers matching these
+// (case-insensitively) lex as keywords.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "AND": true, "OR": true,
+	"NOT": true, "IN": true, "BETWEEN": true, "LIKE": true, "IS": true,
+	"NULL": true, "AS": true, "GROUP": true, "BY": true, "HAVING": true,
+	"ORDER": true, "LIMIT": true, "OFFSET": true, "ASC": true, "DESC": true,
+	"DISTINCT": true, "JOIN": true, "INNER": true, "ON": true, "UNION": true,
+	"ALL": true, "TRUE": true, "FALSE": true,
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+}
+
+type lexer struct {
+	src string
+	pos int
+	tok token // current token
+	err error
+}
+
+func newLexer(src string) *lexer {
+	l := &lexer{src: src}
+	l.next()
+	return l
+}
+
+// next advances to the next token.
+func (l *lexer) next() {
+	if l.err != nil {
+		return
+	}
+	for l.pos < len(l.src) && isSpace(l.src[l.pos]) {
+		l.pos++
+	}
+	start := l.pos
+	if l.pos >= len(l.src) {
+		l.tok = token{kind: tokEOF, pos: start}
+		return
+	}
+	c := l.src[l.pos]
+	switch {
+	case isIdentStart(c):
+		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+			l.pos++
+		}
+		text := l.src[start:l.pos]
+		upper := strings.ToUpper(text)
+		if keywords[upper] {
+			l.tok = token{kind: tokKeyword, text: upper, pos: start}
+		} else {
+			l.tok = token{kind: tokIdent, text: text, pos: start}
+		}
+	case isDigit(c) || (c == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1])):
+		seenDot := false
+		for l.pos < len(l.src) {
+			ch := l.src[l.pos]
+			if isDigit(ch) {
+				l.pos++
+				continue
+			}
+			if ch == '.' && !seenDot {
+				seenDot = true
+				l.pos++
+				continue
+			}
+			break
+		}
+		l.tok = token{kind: tokNumber, text: l.src[start:l.pos], pos: start}
+	case c == '\'':
+		l.pos++
+		var b strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				l.err = fmt.Errorf("sql: unterminated string literal at offset %d", start)
+				l.tok = token{kind: tokInvalid, pos: start}
+				return
+			}
+			ch := l.src[l.pos]
+			if ch == '\'' {
+				// '' escapes a single quote inside the literal.
+				if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+					b.WriteByte('\'')
+					l.pos += 2
+					continue
+				}
+				l.pos++
+				break
+			}
+			b.WriteByte(ch)
+			l.pos++
+		}
+		l.tok = token{kind: tokString, text: b.String(), pos: start}
+	default:
+		two := ""
+		if l.pos+1 < len(l.src) {
+			two = l.src[l.pos : l.pos+2]
+		}
+		switch two {
+		case "<=", ">=", "<>", "!=":
+			l.pos += 2
+			l.tok = token{kind: tokOp, text: two, pos: start}
+			return
+		}
+		switch c {
+		case '=', '<', '>', '(', ')', ',', '.', '*', '+', '-', '/', ';':
+			l.pos++
+			l.tok = token{kind: tokOp, text: string(c), pos: start}
+		default:
+			l.err = fmt.Errorf("sql: unexpected character %q at offset %d", c, l.pos)
+			l.tok = token{kind: tokInvalid, pos: start}
+		}
+	}
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+func isIdentPart(c byte) bool { return isIdentStart(c) || isDigit(c) }

@@ -1,0 +1,600 @@
+package sqlparser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/bounded-eval/beas/internal/value"
+)
+
+// Parse parses one SQL statement (a SELECT, possibly with UNIONs). A
+// trailing semicolon is permitted.
+func Parse(src string) (*Statement, error) {
+	p := &parser{lx: newLexer(src)}
+	stmt, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	if p.lx.tok.text == ";" {
+		p.advance()
+	}
+	if p.lx.tok.kind != tokEOF {
+		return nil, p.errorf("unexpected %q after end of statement", p.lx.tok.text)
+	}
+	return stmt, nil
+}
+
+type parser struct {
+	lx *lexer
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("sql: offset %d: %s", p.lx.tok.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) advance() {
+	p.lx.next()
+}
+
+func (p *parser) atKeyword(kw string) bool {
+	return p.lx.tok.kind == tokKeyword && p.lx.tok.text == kw
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.atKeyword(kw) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return p.errorf("expected %s, found %q", kw, p.lx.tok.text)
+	}
+	return nil
+}
+
+func (p *parser) atOp(op string) bool {
+	return p.lx.tok.kind == tokOp && p.lx.tok.text == op
+}
+
+func (p *parser) acceptOp(op string) bool {
+	if p.atOp(op) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectOp(op string) error {
+	if !p.acceptOp(op) {
+		return p.errorf("expected %q, found %q", op, p.lx.tok.text)
+	}
+	return nil
+}
+
+func (p *parser) parseStatement() (*Statement, error) {
+	sel, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	stmt := &Statement{Select: sel}
+	if p.acceptKeyword("UNION") {
+		stmt.UnionAll = p.acceptKeyword("ALL")
+		rhs, err := p.parseStatement()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Union = rhs
+	}
+	if p.lx.err != nil {
+		return nil, p.lx.err
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseSelect() (*Select, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	sel := &Select{}
+	sel.Distinct = p.acceptKeyword("DISTINCT")
+
+	// Select list.
+	if p.atOp("*") {
+		p.advance()
+		sel.Star = true
+	} else {
+		for {
+			item, err := p.parseSelectItem()
+			if err != nil {
+				return nil, err
+			}
+			sel.Items = append(sel.Items, item)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+	}
+
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	var onConds []Expr
+	for {
+		ref, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		sel.From = append(sel.From, ref)
+		// JOIN ... ON chains: fold the ON condition into WHERE.
+		for p.atKeyword("JOIN") || p.atKeyword("INNER") {
+			p.acceptKeyword("INNER")
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+			jref, err := p.parseTableRef()
+			if err != nil {
+				return nil, err
+			}
+			sel.From = append(sel.From, jref)
+			if err := p.expectKeyword("ON"); err != nil {
+				return nil, err
+			}
+			cond, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			onConds = append(onConds, cond)
+		}
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+
+	if p.acceptKeyword("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = w
+	}
+	// AND the folded ON conditions into WHERE.
+	for _, c := range onConds {
+		if sel.Where == nil {
+			sel.Where = c
+		} else {
+			sel.Where = &Binary{Op: OpAnd, L: sel.Where, R: c}
+		}
+	}
+
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			sel.GroupBy = append(sel.GroupBy, e)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("HAVING") {
+		h, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Having = h
+	}
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.acceptKeyword("DESC") {
+				item.Desc = true
+			} else {
+				p.acceptKeyword("ASC")
+			}
+			sel.OrderBy = append(sel.OrderBy, item)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("LIMIT") {
+		n, err := p.parseIntLiteral()
+		if err != nil {
+			return nil, err
+		}
+		sel.Limit = &n
+	}
+	if p.acceptKeyword("OFFSET") {
+		n, err := p.parseIntLiteral()
+		if err != nil {
+			return nil, err
+		}
+		sel.Offset = &n
+	}
+	if p.lx.err != nil {
+		return nil, p.lx.err
+	}
+	return sel, nil
+}
+
+func (p *parser) parseIntLiteral() (int, error) {
+	if p.lx.tok.kind != tokNumber {
+		return 0, p.errorf("expected integer, found %q", p.lx.tok.text)
+	}
+	n, err := strconv.Atoi(p.lx.tok.text)
+	if err != nil {
+		return 0, p.errorf("bad integer %q", p.lx.tok.text)
+	}
+	p.advance()
+	return n, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.acceptKeyword("AS") {
+		if p.lx.tok.kind != tokIdent {
+			return SelectItem{}, p.errorf("expected alias after AS, found %q", p.lx.tok.text)
+		}
+		item.Alias = p.lx.tok.text
+		p.advance()
+	} else if p.lx.tok.kind == tokIdent {
+		item.Alias = p.lx.tok.text
+		p.advance()
+	}
+	return item, nil
+}
+
+func (p *parser) parseTableRef() (TableRef, error) {
+	if p.lx.tok.kind != tokIdent {
+		return TableRef{}, p.errorf("expected table name, found %q", p.lx.tok.text)
+	}
+	ref := TableRef{Name: p.lx.tok.text}
+	p.advance()
+	if p.acceptKeyword("AS") {
+		if p.lx.tok.kind != tokIdent {
+			return TableRef{}, p.errorf("expected alias after AS, found %q", p.lx.tok.text)
+		}
+		ref.Alias = p.lx.tok.text
+		p.advance()
+	} else if p.lx.tok.kind == tokIdent {
+		ref.Alias = p.lx.tok.text
+		p.advance()
+	}
+	return ref, nil
+}
+
+// Expression grammar, loosest to tightest:
+//
+//	expr     = orExpr
+//	orExpr   = andExpr { OR andExpr }
+//	andExpr  = notExpr { AND notExpr }
+//	notExpr  = [NOT] predicate
+//	predicate = addExpr [ compOp addExpr | [NOT] IN (...) |
+//	            [NOT] BETWEEN addExpr AND addExpr | [NOT] LIKE string |
+//	            IS [NOT] NULL ]
+//	addExpr  = mulExpr { (+|-) mulExpr }
+//	mulExpr  = unary { (*|/) unary }
+//	unary    = [-] primary
+//	primary  = literal | aggregate | column | ( expr )
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("OR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: OpOr, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKeyword("AND") {
+		p.advance()
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: OpAnd, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.acceptKeyword("NOT") {
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &Not{E: e}, nil
+	}
+	return p.parsePredicate()
+}
+
+func (p *parser) parsePredicate() (Expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	// Optional comparison / IN / BETWEEN / LIKE / IS NULL suffix.
+	if p.lx.tok.kind == tokOp {
+		var op BinOp
+		matched := true
+		switch p.lx.tok.text {
+		case "=":
+			op = OpEq
+		case "<>", "!=":
+			op = OpNe
+		case "<":
+			op = OpLt
+		case "<=":
+			op = OpLe
+		case ">":
+			op = OpGt
+		case ">=":
+			op = OpGe
+		default:
+			matched = false
+		}
+		if matched {
+			p.advance()
+			r, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			return &Binary{Op: op, L: l, R: r}, nil
+		}
+	}
+	negated := false
+	if p.atKeyword("NOT") {
+		// lookahead: NOT IN / NOT BETWEEN / NOT LIKE
+		p.advance()
+		negated = true
+		if !p.atKeyword("IN") && !p.atKeyword("BETWEEN") && !p.atKeyword("LIKE") {
+			return nil, p.errorf("expected IN, BETWEEN or LIKE after NOT")
+		}
+	}
+	switch {
+	case p.acceptKeyword("IN"):
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		var list []Expr
+		for {
+			e, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, e)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return &In{E: l, List: list, Not: negated}, nil
+	case p.acceptKeyword("BETWEEN"):
+		lo, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		return &Between{E: l, Lo: lo, Hi: hi, Not: negated}, nil
+	case p.acceptKeyword("LIKE"):
+		if p.lx.tok.kind != tokString {
+			return nil, p.errorf("expected string pattern after LIKE")
+		}
+		pat := p.lx.tok.text
+		p.advance()
+		return &Like{E: l, Pattern: pat, Not: negated}, nil
+	case p.acceptKeyword("IS"):
+		isNot := p.acceptKeyword("NOT")
+		if err := p.expectKeyword("NULL"); err != nil {
+			return nil, err
+		}
+		return &IsNull{E: l, Not: isNot}, nil
+	}
+	if negated {
+		return nil, p.errorf("dangling NOT")
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdd() (Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for p.atOp("+") || p.atOp("-") {
+		op := OpAdd
+		if p.lx.tok.text == "-" {
+			op = OpSub
+		}
+		p.advance()
+		r, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseMul() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.atOp("*") || p.atOp("/") {
+		op := OpMul
+		if p.lx.tok.text == "/" {
+			op = OpDiv
+		}
+		p.advance()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.acceptOp("-") {
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		if lit, ok := e.(*Literal); ok {
+			switch lit.Val.K {
+			case value.Int:
+				return &Literal{Val: value.NewInt(-lit.Val.I)}, nil
+			case value.Float:
+				return &Literal{Val: value.NewFloat(-lit.Val.F)}, nil
+			}
+		}
+		return &Neg{E: e}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	tok := p.lx.tok
+	switch tok.kind {
+	case tokNumber:
+		p.advance()
+		if strings.ContainsRune(tok.text, '.') {
+			f, err := strconv.ParseFloat(tok.text, 64)
+			if err != nil {
+				return nil, p.errorf("bad number %q", tok.text)
+			}
+			return &Literal{Val: value.NewFloat(f)}, nil
+		}
+		i, err := strconv.ParseInt(tok.text, 10, 64)
+		if err != nil {
+			return nil, p.errorf("bad number %q", tok.text)
+		}
+		return &Literal{Val: value.NewInt(i)}, nil
+	case tokString:
+		p.advance()
+		return &Literal{Val: value.NewString(tok.text)}, nil
+	case tokKeyword:
+		switch tok.text {
+		case "NULL":
+			p.advance()
+			return &Literal{Val: value.NewNull()}, nil
+		case "TRUE":
+			p.advance()
+			return &Literal{Val: value.NewBool(true)}, nil
+		case "FALSE":
+			p.advance()
+			return &Literal{Val: value.NewBool(false)}, nil
+		case "COUNT", "SUM", "AVG", "MIN", "MAX":
+			return p.parseAggregate(tok.text)
+		}
+		return nil, p.errorf("unexpected keyword %q in expression", tok.text)
+	case tokIdent:
+		p.advance()
+		if p.acceptOp(".") {
+			if p.lx.tok.kind != tokIdent {
+				return nil, p.errorf("expected column name after %q.", tok.text)
+			}
+			col := &Column{Table: tok.text, Name: p.lx.tok.text}
+			p.advance()
+			return col, nil
+		}
+		return &Column{Name: tok.text}, nil
+	case tokOp:
+		if tok.text == "(" {
+			p.advance()
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	if p.lx.err != nil {
+		return nil, p.lx.err
+	}
+	return nil, p.errorf("unexpected %q in expression", tok.text)
+}
+
+func (p *parser) parseAggregate(name string) (Expr, error) {
+	var fn AggFunc
+	switch name {
+	case "COUNT":
+		fn = AggCount
+	case "SUM":
+		fn = AggSum
+	case "AVG":
+		fn = AggAvg
+	case "MIN":
+		fn = AggMin
+	case "MAX":
+		fn = AggMax
+	}
+	p.advance()
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	agg := &Agg{Func: fn}
+	if p.atOp("*") {
+		if fn != AggCount {
+			return nil, p.errorf("%s(*) is not valid; only COUNT(*)", name)
+		}
+		p.advance()
+		agg.Star = true
+	} else {
+		agg.Distinct = p.acceptKeyword("DISTINCT")
+		arg, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		agg.Arg = arg
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	return agg, nil
+}

@@ -1,0 +1,282 @@
+package sqlparser
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/bounded-eval/beas/internal/value"
+)
+
+func mustParse(t *testing.T, sql string) *Statement {
+	t.Helper()
+	stmt, err := Parse(sql)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", sql, err)
+	}
+	return stmt
+}
+
+func TestParseMinimal(t *testing.T) {
+	stmt := mustParse(t, "SELECT a FROM t")
+	sel := stmt.Select
+	if len(sel.Items) != 1 || sel.Items[0].Expr.(*Column).Name != "a" {
+		t.Errorf("items = %+v", sel.Items)
+	}
+	if len(sel.From) != 1 || sel.From[0].Name != "t" {
+		t.Errorf("from = %+v", sel.From)
+	}
+}
+
+func TestParseStar(t *testing.T) {
+	sel := mustParse(t, "select * from t").Select
+	if !sel.Star {
+		t.Error("Star not set")
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	sel := mustParse(t, "SeLeCt a FrOm t WhErE a = 1").Select
+	if sel.Where == nil {
+		t.Error("WHERE lost")
+	}
+}
+
+func TestParseQualifiedColumnsAndAliases(t *testing.T) {
+	sel := mustParse(t, "SELECT c.region AS r, p.pid pidalias FROM call c, package AS p").Select
+	if sel.Items[0].Alias != "r" || sel.Items[1].Alias != "pidalias" {
+		t.Errorf("aliases = %q, %q", sel.Items[0].Alias, sel.Items[1].Alias)
+	}
+	col := sel.Items[0].Expr.(*Column)
+	if col.Table != "c" || col.Name != "region" {
+		t.Errorf("column = %+v", col)
+	}
+	if sel.From[0].Alias != "c" || sel.From[1].Alias != "p" {
+		t.Errorf("from aliases = %+v", sel.From)
+	}
+}
+
+func TestParseWherePrecedence(t *testing.T) {
+	sel := mustParse(t, "SELECT a FROM t WHERE a = 1 OR b = 2 AND c = 3").Select
+	or, ok := sel.Where.(*Binary)
+	if !ok || or.Op != OpOr {
+		t.Fatalf("top = %v", sel.Where)
+	}
+	and, ok := or.R.(*Binary)
+	if !ok || and.Op != OpAnd {
+		t.Fatalf("AND should bind tighter than OR: %v", sel.Where)
+	}
+}
+
+func TestParseNot(t *testing.T) {
+	sel := mustParse(t, "SELECT a FROM t WHERE NOT a = 1 AND b = 2").Select
+	and := sel.Where.(*Binary)
+	if and.Op != OpAnd {
+		t.Fatalf("top = %v", sel.Where)
+	}
+	if _, ok := and.L.(*Not); !ok {
+		t.Errorf("NOT should bind tighter than AND: %v", sel.Where)
+	}
+}
+
+func TestParseComparisonOperators(t *testing.T) {
+	ops := map[string]BinOp{
+		"=": OpEq, "<>": OpNe, "!=": OpNe, "<": OpLt, "<=": OpLe, ">": OpGt, ">=": OpGe,
+	}
+	for src, want := range ops {
+		sel := mustParse(t, "SELECT a FROM t WHERE a "+src+" 1").Select
+		b := sel.Where.(*Binary)
+		if b.Op != want {
+			t.Errorf("op %q parsed as %v", src, b.Op)
+		}
+	}
+}
+
+func TestParseArithmeticPrecedence(t *testing.T) {
+	sel := mustParse(t, "SELECT a + b * 2 - c / 4 FROM t").Select
+	// (a + (b*2)) - (c/4)
+	sub := sel.Items[0].Expr.(*Binary)
+	if sub.Op != OpSub {
+		t.Fatalf("top = %v", sel.Items[0].Expr)
+	}
+	add := sub.L.(*Binary)
+	if add.Op != OpAdd || add.R.(*Binary).Op != OpMul {
+		t.Errorf("mul should bind tighter: %v", sel.Items[0].Expr)
+	}
+}
+
+func TestParseInBetweenLikeIsNull(t *testing.T) {
+	sel := mustParse(t, `SELECT a FROM t WHERE a IN (1, 2, 3) AND b BETWEEN 2 AND 9
+		AND c LIKE 'ab%' AND d IS NULL AND e IS NOT NULL AND f NOT IN (4)`).Select
+	var in, between, like, isnull, isnotnull, notin bool
+	Walk(sel.Where, func(e Expr) {
+		switch x := e.(type) {
+		case *In:
+			if x.Not {
+				notin = true
+			} else if len(x.List) == 3 {
+				in = true
+			}
+		case *Between:
+			between = true
+		case *Like:
+			like = x.Pattern == "ab%"
+		case *IsNull:
+			if x.Not {
+				isnotnull = true
+			} else {
+				isnull = true
+			}
+		}
+	})
+	for name, ok := range map[string]bool{"in": in, "between": between, "like": like,
+		"is null": isnull, "is not null": isnotnull, "not in": notin} {
+		if !ok {
+			t.Errorf("%s predicate not parsed", name)
+		}
+	}
+}
+
+func TestParseStringEscapes(t *testing.T) {
+	sel := mustParse(t, `SELECT a FROM t WHERE b = 'it''s'`).Select
+	lit := sel.Where.(*Binary).R.(*Literal)
+	if lit.Val.S != "it's" {
+		t.Errorf("escaped literal = %q", lit.Val.S)
+	}
+}
+
+func TestParseNumbers(t *testing.T) {
+	sel := mustParse(t, "SELECT a FROM t WHERE b = 2.5 AND c = -3 AND d = 10").Select
+	var sawFloat, sawNegInt, sawInt bool
+	Walk(sel.Where, func(e Expr) {
+		if l, ok := e.(*Literal); ok {
+			switch {
+			case l.Val.K == value.Float && l.Val.F == 2.5:
+				sawFloat = true
+			case l.Val.K == value.Int && l.Val.I == -3:
+				sawNegInt = true
+			case l.Val.K == value.Int && l.Val.I == 10:
+				sawInt = true
+			}
+		}
+	})
+	if !sawFloat || !sawNegInt || !sawInt {
+		t.Errorf("literals missing: float=%v negint=%v int=%v", sawFloat, sawNegInt, sawInt)
+	}
+}
+
+func TestParseAggregates(t *testing.T) {
+	sel := mustParse(t, `SELECT COUNT(*), COUNT(DISTINCT a), SUM(b), AVG(c), MIN(d), MAX(e)
+		FROM t GROUP BY f HAVING COUNT(*) > 2`).Select
+	if len(sel.Items) != 6 {
+		t.Fatalf("items = %d", len(sel.Items))
+	}
+	star := sel.Items[0].Expr.(*Agg)
+	if !star.Star || star.Func != AggCount {
+		t.Errorf("COUNT(*) = %+v", star)
+	}
+	dist := sel.Items[1].Expr.(*Agg)
+	if !dist.Distinct {
+		t.Errorf("COUNT(DISTINCT a) = %+v", dist)
+	}
+	if len(sel.GroupBy) != 1 || sel.Having == nil {
+		t.Errorf("groupby/having = %v / %v", sel.GroupBy, sel.Having)
+	}
+}
+
+func TestParseSumStarInvalid(t *testing.T) {
+	if _, err := Parse("SELECT SUM(*) FROM t"); err == nil {
+		t.Error("SUM(*) should be rejected")
+	}
+}
+
+func TestParseOrderLimitOffset(t *testing.T) {
+	sel := mustParse(t, "SELECT a, b FROM t ORDER BY a DESC, b ASC LIMIT 10 OFFSET 5").Select
+	if len(sel.OrderBy) != 2 || !sel.OrderBy[0].Desc || sel.OrderBy[1].Desc {
+		t.Errorf("orderby = %+v", sel.OrderBy)
+	}
+	if sel.Limit == nil || *sel.Limit != 10 || sel.Offset == nil || *sel.Offset != 5 {
+		t.Errorf("limit/offset = %v/%v", sel.Limit, sel.Offset)
+	}
+}
+
+func TestParseJoinOn(t *testing.T) {
+	sel := mustParse(t, `SELECT a FROM t JOIN u ON t.x = u.x INNER JOIN v ON u.y = v.y WHERE t.a = 1`).Select
+	if len(sel.From) != 3 {
+		t.Fatalf("from = %+v", sel.From)
+	}
+	// WHERE must be the conjunction of the filter and both ON conditions.
+	count := 0
+	Walk(sel.Where, func(e Expr) {
+		if b, ok := e.(*Binary); ok && b.Op == OpEq {
+			count++
+		}
+	})
+	if count != 3 {
+		t.Errorf("expected 3 equality conjuncts, got %d", count)
+	}
+}
+
+func TestParseUnion(t *testing.T) {
+	stmt := mustParse(t, "SELECT a FROM t UNION ALL SELECT a FROM u UNION SELECT a FROM v")
+	if stmt.Union == nil || !stmt.UnionAll {
+		t.Fatalf("first union = %+v", stmt)
+	}
+	if stmt.Union.Union == nil || stmt.Union.UnionAll {
+		t.Fatalf("second union = %+v", stmt.Union)
+	}
+}
+
+func TestParseDistinct(t *testing.T) {
+	if !mustParse(t, "SELECT DISTINCT a FROM t").Select.Distinct {
+		t.Error("DISTINCT lost")
+	}
+}
+
+func TestParseTrailingSemicolonAndErrors(t *testing.T) {
+	if _, err := Parse("SELECT a FROM t;"); err != nil {
+		t.Errorf("trailing semicolon: %v", err)
+	}
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT a",
+		"SELECT a FROM",
+		"SELECT a FROM t WHERE",
+		"SELECT a FROM t GROUP",
+		"SELECT a FROM t trailing junk here",
+		"SELECT a FROM t WHERE a = 'unterminated",
+		"SELECT a FROM t WHERE a @ 1",
+		"SELECT a FROM t LIMIT x",
+		"SELECT a FROM t WHERE a NOT 5",
+		"SELECT a, FROM t",
+		"SELECT a FROM t JOIN u",
+	}
+	for _, sql := range bad {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("Parse(%q) should fail", sql)
+		}
+	}
+}
+
+func TestSelectStringRoundTrips(t *testing.T) {
+	srcs := []string{
+		"SELECT a FROM t WHERE a = 1",
+		"SELECT DISTINCT a, b AS x FROM t, u WHERE t.a = u.b ORDER BY a DESC LIMIT 3",
+		"SELECT region, COUNT(*) AS n FROM call GROUP BY region HAVING COUNT(*) > 2",
+	}
+	for _, src := range srcs {
+		first := mustParse(t, src).Select.String()
+		second := mustParse(t, first).Select.String()
+		if first != second {
+			t.Errorf("String() not stable:\n%s\n%s", first, second)
+		}
+	}
+}
+
+func TestBinOpStrings(t *testing.T) {
+	for op := OpEq; op <= OpDiv; op++ {
+		if s := op.String(); strings.HasPrefix(s, "BinOp(") {
+			t.Errorf("missing String for op %d", op)
+		}
+	}
+}

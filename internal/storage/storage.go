@@ -1,0 +1,359 @@
+// Package storage provides the in-memory row store under BEAS: typed
+// tables, a store grouping the tables of a database, CSV import/export and
+// the basic table statistics the planners consume.
+//
+// The store plays the role of the "underlying DBMS" storage layer of the
+// paper: both the conventional engine (internal/engine) and the constraint
+// indices (internal/access) read from it.
+package storage
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/bounded-eval/beas/internal/schema"
+	"github.com/bounded-eval/beas/internal/value"
+)
+
+// Table is an in-memory relation instance: a schema plus a slice of rows.
+// Rows are append-only through Insert; Delete removes by predicate and is
+// used by the maintenance tests and the CLI.
+type Table struct {
+	Rel  *schema.Relation
+	rows []value.Row
+
+	mu      sync.RWMutex
+	stats   *TableStats
+	version uint64 // bumped on every mutation; invalidates stats
+
+	// observers are notified of every mutation; the access-constraint
+	// indices register here so that maintenance is incremental.
+	observers []Observer
+}
+
+// Observer receives table mutations. Implemented by access.Index.
+type Observer interface {
+	OnInsert(row value.Row)
+	OnDelete(row value.Row)
+}
+
+// NewTable creates an empty table with the given schema.
+func NewTable(rel *schema.Relation) *Table {
+	return &Table{Rel: rel}
+}
+
+// Observe registers an observer for subsequent mutations.
+func (t *Table) Observe(o Observer) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.observers = append(t.observers, o)
+}
+
+// Unobserve removes a previously registered observer.
+func (t *Table) Unobserve(o Observer) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i, x := range t.observers {
+		if x == o {
+			t.observers = append(t.observers[:i], t.observers[i+1:]...)
+			return
+		}
+	}
+}
+
+// Insert validates and appends a row.
+func (t *Table) Insert(row value.Row) error {
+	if err := t.Rel.ValidateRow(row); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	t.rows = append(t.rows, row)
+	t.version++
+	t.stats = nil
+	obs := t.observers
+	t.mu.Unlock()
+	for _, o := range obs {
+		o.OnInsert(row)
+	}
+	return nil
+}
+
+// InsertBulk appends rows without copying; it validates each row.
+func (t *Table) InsertBulk(rows []value.Row) error {
+	for _, r := range rows {
+		if err := t.Insert(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Delete removes all rows for which match returns true and reports how
+// many were removed.
+func (t *Table) Delete(match func(value.Row) bool) int {
+	t.mu.Lock()
+	kept := t.rows[:0]
+	var removed []value.Row
+	for _, r := range t.rows {
+		if match(r) {
+			removed = append(removed, r)
+		} else {
+			kept = append(kept, r)
+		}
+	}
+	t.rows = kept
+	if len(removed) > 0 {
+		t.version++
+		t.stats = nil
+	}
+	obs := t.observers
+	t.mu.Unlock()
+	for _, r := range removed {
+		for _, o := range obs {
+			o.OnDelete(r)
+		}
+	}
+	return len(removed)
+}
+
+// Len returns the number of rows.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rows)
+}
+
+// Rows returns the underlying row slice. Callers must treat it as
+// read-only; it is only valid until the next mutation.
+func (t *Table) Rows() []value.Row {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.rows
+}
+
+// Row returns row i.
+func (t *Table) Row(i int) value.Row {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.rows[i]
+}
+
+// TableStats summarises a table for the cost-based planner.
+type TableStats struct {
+	RowCount int
+	// Distinct holds the number of distinct non-NULL values per column.
+	Distinct []int
+	// Min and Max hold per-column extrema (NULL when the column is empty).
+	Min, Max []value.Value
+}
+
+// Stats computes (and caches) table statistics. The cache is invalidated
+// by any mutation.
+func (t *Table) Stats() *TableStats {
+	t.mu.RLock()
+	if t.stats != nil {
+		s := t.stats
+		t.mu.RUnlock()
+		return s
+	}
+	t.mu.RUnlock()
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.stats != nil {
+		return t.stats
+	}
+	n := t.Rel.Arity()
+	st := &TableStats{
+		RowCount: len(t.rows),
+		Distinct: make([]int, n),
+		Min:      make([]value.Value, n),
+		Max:      make([]value.Value, n),
+	}
+	for c := 0; c < n; c++ {
+		seen := make(map[string]struct{})
+		var minV, maxV value.Value
+		first := true
+		for _, r := range t.rows {
+			v := r[c]
+			if v.IsNull() {
+				continue
+			}
+			seen[value.Key([]value.Value{v})] = struct{}{}
+			if first {
+				minV, maxV = v, v
+				first = false
+				continue
+			}
+			if cmp, err := value.Compare(v, minV); err == nil && cmp < 0 {
+				minV = v
+			}
+			if cmp, err := value.Compare(v, maxV); err == nil && cmp > 0 {
+				maxV = v
+			}
+		}
+		st.Distinct[c] = len(seen)
+		st.Min[c], st.Max[c] = minV, maxV
+	}
+	t.stats = st
+	return st
+}
+
+// Store groups the tables of one database instance.
+type Store struct {
+	DB     *schema.Database
+	tables map[string]*Table
+}
+
+// NewStore creates a store with one empty table per relation in db.
+func NewStore(db *schema.Database) *Store {
+	s := &Store{DB: db, tables: make(map[string]*Table)}
+	for _, name := range db.Names() {
+		rel, _ := db.Relation(name)
+		s.tables[strings.ToLower(name)] = NewTable(rel)
+	}
+	return s
+}
+
+// AddTable creates an empty table for a relation added to the database
+// schema after the store was created.
+func (s *Store) AddTable(rel *schema.Relation) (*Table, error) {
+	key := strings.ToLower(rel.Name)
+	if _, dup := s.tables[key]; dup {
+		return nil, fmt.Errorf("storage: table %q already exists", rel.Name)
+	}
+	t := NewTable(rel)
+	s.tables[key] = t
+	return t, nil
+}
+
+// Table returns the table for a relation (case-insensitive).
+func (s *Store) Table(name string) (*Table, bool) {
+	t, ok := s.tables[strings.ToLower(name)]
+	return t, ok
+}
+
+// MustTable is Table that panics when the relation does not exist; for
+// internal callers that already validated the name.
+func (s *Store) MustTable(name string) *Table {
+	t, ok := s.Table(name)
+	if !ok {
+		panic(fmt.Sprintf("storage: no table %q", name))
+	}
+	return t
+}
+
+// TotalRows returns the number of rows across all tables.
+func (s *Store) TotalRows() int {
+	total := 0
+	for _, t := range s.tables {
+		total += t.Len()
+	}
+	return total
+}
+
+// Names returns the table names in sorted order.
+func (s *Store) Names() []string {
+	out := make([]string, 0, len(s.tables))
+	for n := range s.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WriteCSV writes the table as CSV with a header row.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Rel.AttrNames()); err != nil {
+		return err
+	}
+	rec := make([]string, t.Rel.Arity())
+	for _, row := range t.Rows() {
+		for i, v := range row {
+			rec[i] = v.String()
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV loads rows from CSV data whose header names a subset or
+// permutation of the relation's attributes. Missing attributes load as
+// NULL; empty cells load as NULL.
+func (t *Table) ReadCSV(r io.Reader) error {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return fmt.Errorf("storage: reading CSV header for %s: %w", t.Rel.Name, err)
+	}
+	cols := make([]int, len(header))
+	for i, h := range header {
+		j, ok := t.Rel.AttrIndex(strings.TrimSpace(h))
+		if !ok {
+			return fmt.Errorf("storage: CSV column %q not in relation %s", h, t.Rel.Name)
+		}
+		cols[i] = j
+	}
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("storage: reading CSV for %s: %w", t.Rel.Name, err)
+		}
+		row := make(value.Row, t.Rel.Arity())
+		for i, cell := range rec {
+			j := cols[i]
+			v, err := value.Parse(cell, t.Rel.Attrs[j].Kind)
+			if err != nil {
+				return fmt.Errorf("storage: %s line %d column %s: %w", t.Rel.Name, line, t.Rel.Attrs[j].Name, err)
+			}
+			row[j] = v
+		}
+		if err := t.Insert(row); err != nil {
+			return fmt.Errorf("storage: %s line %d: %w", t.Rel.Name, line, err)
+		}
+	}
+}
+
+// LoadCSVFile loads path into the named table.
+func (s *Store) LoadCSVFile(table, path string) error {
+	t, ok := s.Table(table)
+	if !ok {
+		return fmt.Errorf("storage: no table %q", table)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return t.ReadCSV(f)
+}
+
+// SaveCSVFile writes the named table to path.
+func (s *Store) SaveCSVFile(table, path string) error {
+	t, ok := s.Table(table)
+	if !ok {
+		return fmt.Errorf("storage: no table %q", table)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

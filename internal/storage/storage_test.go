@@ -1,0 +1,195 @@
+package storage
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/bounded-eval/beas/internal/schema"
+	"github.com/bounded-eval/beas/internal/value"
+)
+
+func testRel() *schema.Relation {
+	return schema.MustRelation("t",
+		schema.Attribute{Name: "a", Kind: value.Int},
+		schema.Attribute{Name: "b", Kind: value.String},
+		schema.Attribute{Name: "c", Kind: value.Float},
+	)
+}
+
+func row(a int64, b string, c float64) value.Row {
+	return value.Row{value.NewInt(a), value.NewString(b), value.NewFloat(c)}
+}
+
+func TestInsertAndLen(t *testing.T) {
+	tab := NewTable(testRel())
+	if err := tab.Insert(row(1, "x", 0.5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Insert(value.Row{value.NewInt(1)}); err == nil {
+		t.Error("short row must be rejected")
+	}
+	if tab.Len() != 1 {
+		t.Errorf("Len = %d", tab.Len())
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tab := NewTable(testRel())
+	for i := 0; i < 10; i++ {
+		if err := tab.Insert(row(int64(i%3), "x", 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n := tab.Delete(func(r value.Row) bool { return r[0].I == 1 })
+	if n != 3 {
+		t.Errorf("Delete removed %d rows, want 3", n)
+	}
+	if tab.Len() != 7 {
+		t.Errorf("Len = %d after delete", tab.Len())
+	}
+}
+
+type recorder struct {
+	ins, del int
+}
+
+func (r *recorder) OnInsert(value.Row) { r.ins++ }
+func (r *recorder) OnDelete(value.Row) { r.del++ }
+
+func TestObservers(t *testing.T) {
+	tab := NewTable(testRel())
+	rec := &recorder{}
+	tab.Observe(rec)
+	_ = tab.Insert(row(1, "x", 1))
+	_ = tab.Insert(row(2, "y", 2))
+	tab.Delete(func(r value.Row) bool { return r[0].I == 1 })
+	if rec.ins != 2 || rec.del != 1 {
+		t.Errorf("observer saw ins=%d del=%d, want 2, 1", rec.ins, rec.del)
+	}
+	tab.Unobserve(rec)
+	_ = tab.Insert(row(3, "z", 3))
+	if rec.ins != 2 {
+		t.Error("unobserved table still notifies")
+	}
+}
+
+func TestStatsAndInvalidation(t *testing.T) {
+	tab := NewTable(testRel())
+	_ = tab.Insert(row(1, "x", 1))
+	_ = tab.Insert(row(2, "x", 2))
+	_ = tab.Insert(row(2, "y", 2))
+	st := tab.Stats()
+	if st.RowCount != 3 {
+		t.Errorf("RowCount = %d", st.RowCount)
+	}
+	if st.Distinct[0] != 2 || st.Distinct[1] != 2 || st.Distinct[2] != 2 {
+		t.Errorf("Distinct = %v", st.Distinct)
+	}
+	if st.Min[0].I != 1 || st.Max[0].I != 2 {
+		t.Errorf("Min/Max = %v / %v", st.Min[0], st.Max[0])
+	}
+	// Cached pointer until mutation.
+	if tab.Stats() != st {
+		t.Error("Stats should be cached")
+	}
+	_ = tab.Insert(row(5, "z", 9))
+	st2 := tab.Stats()
+	if st2 == st || st2.RowCount != 4 {
+		t.Error("Stats must be invalidated by Insert")
+	}
+}
+
+func TestStatsNulls(t *testing.T) {
+	tab := NewTable(testRel())
+	_ = tab.Insert(value.Row{value.NewNull(), value.NewNull(), value.NewNull()})
+	_ = tab.Insert(row(7, "x", 1))
+	st := tab.Stats()
+	if st.Distinct[0] != 1 {
+		t.Errorf("NULLs must not count as distinct values, got %d", st.Distinct[0])
+	}
+	if st.Min[0].I != 7 || st.Max[0].I != 7 {
+		t.Errorf("Min/Max should skip NULLs: %v %v", st.Min[0], st.Max[0])
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tab := NewTable(testRel())
+	_ = tab.Insert(row(1, "hello, world", 2.5))
+	_ = tab.Insert(value.Row{value.NewInt(2), value.NewNull(), value.NewFloat(0)})
+	_ = tab.Insert(row(3, `quote"inside`, -1))
+
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back := NewTable(testRel())
+	if err := back.ReadCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 3 {
+		t.Fatalf("round trip lost rows: %d", back.Len())
+	}
+	r := back.Row(0)
+	if r[0].I != 1 || r[1].S != "hello, world" || r[2].F != 2.5 {
+		t.Errorf("row 0 = %v", r)
+	}
+	if !back.Row(1)[1].IsNull() {
+		t.Error("empty CSV cell should load as NULL")
+	}
+	if back.Row(2)[1].S != `quote"inside` {
+		t.Errorf("quoted cell mangled: %v", back.Row(2)[1])
+	}
+}
+
+func TestReadCSVColumnSubsetAndPermutation(t *testing.T) {
+	tab := NewTable(testRel())
+	in := "b,a\nhi,5\n"
+	if err := tab.ReadCSV(strings.NewReader(in)); err != nil {
+		t.Fatal(err)
+	}
+	r := tab.Row(0)
+	if r[0].I != 5 || r[1].S != "hi" || !r[2].IsNull() {
+		t.Errorf("row = %v", r)
+	}
+	bad := NewTable(testRel())
+	if err := bad.ReadCSV(strings.NewReader("z\n1\n")); err == nil {
+		t.Error("unknown CSV column should fail")
+	}
+	bad2 := NewTable(testRel())
+	if err := bad2.ReadCSV(strings.NewReader("a\nnotanint\n")); err == nil {
+		t.Error("unparsable cell should fail")
+	}
+}
+
+func TestStore(t *testing.T) {
+	db, err := schema.NewDatabase(testRel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewStore(db)
+	if _, ok := s.Table("T"); !ok {
+		t.Error("case-insensitive table lookup failed")
+	}
+	tab := s.MustTable("t")
+	_ = tab.Insert(row(1, "x", 1))
+	if s.TotalRows() != 1 {
+		t.Errorf("TotalRows = %d", s.TotalRows())
+	}
+	if got := s.Names(); len(got) != 1 || got[0] != "t" {
+		t.Errorf("Names = %v", got)
+	}
+	other := schema.MustRelation("u", schema.Attribute{Name: "x", Kind: value.Int})
+	if _, err := s.AddTable(other); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddTable(other); err == nil {
+		t.Error("duplicate AddTable should fail")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustTable on missing table should panic")
+		}
+	}()
+	s.MustTable("ghost")
+}

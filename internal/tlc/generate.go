@@ -1,0 +1,433 @@
+package tlc
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/bounded-eval/beas/internal/storage"
+	"github.com/bounded-eval/beas/internal/value"
+)
+
+// Domain constants shared by the generator and the built-in queries.
+var (
+	// Regions r0..r11.
+	Regions = []string{"r0", "r1", "r2", "r3", "r4", "r5", "r6", "r7", "r8", "r9", "r10", "r11"}
+	// BusinessTypes of registered business numbers.
+	BusinessTypes = []string{"bank", "hospital", "school", "retail", "hotel",
+		"restaurant", "logistics", "pharmacy", "garage", "insurance",
+		"lawfirm", "clinic", "agency", "factory", "utility"}
+	// ComplaintCategories of care cases.
+	ComplaintCategories = []string{"billing", "coverage", "speed", "roaming",
+		"activation", "portability", "device", "fraud"}
+	// Countries visited by roamers.
+	Countries = []string{"DE", "FR", "ES", "IT", "UK", "US", "CN", "JP", "PL", "NL"}
+	// AppTypes of data sessions.
+	AppTypes = []string{"video", "social", "web", "mail", "maps", "gaming", "voip", "other"}
+)
+
+// Default query parameters: the generator plants data so that the
+// built-in queries are non-empty with these values at every scale.
+const (
+	// ParamType/ParamRegion/ParamDate/ParamPackage are t0, r0, d0, c0 of
+	// the paper's Example 2.
+	ParamType    = "bank"
+	ParamRegion  = "r1"
+	ParamDate    = 20160315
+	ParamPackage = "c0"
+	// ParamPnum is a planted consumer number used by single-subscriber
+	// queries; ParamBizPnum a planted business number.
+	ParamPnum    = 1001
+	ParamBizPnum = 500001
+	// ParamCategory is a complaint category with planted cases.
+	ParamCategory = "coverage"
+	// Year is the observation year of the generated records.
+	Year = 2016
+)
+
+// Config sizes a generated TLC instance. Scale 1 is the smallest unit;
+// row counts grow linearly with Scale (the stand-in for the paper's
+// 1 GB → 200 GB sweep).
+type Config struct {
+	Scale int
+	Seed  int64
+}
+
+// Rows returns the per-relation row counts for the configuration.
+func (c Config) Rows() map[string]int {
+	s := c.Scale
+	if s < 1 {
+		s = 1
+	}
+	nCust := 400*s + 400
+	return map[string]int{
+		"call":         4000 * s,
+		"sms":          1500 * s,
+		"data_usage":   1500 * s,
+		"package":      2 * nCust,
+		"plan_catalog": 60,
+		"business":     150*s + 150,
+		"customer":     nCust,
+		"billing":      3 * nCust,
+		"payment":      2 * nCust,
+		"complaint":    250 * s,
+		"roaming":      400 * s,
+		"cell_tower":   200 + 20*s,
+	}
+}
+
+// Generate fills a store (over Database()) with a deterministic TLC
+// instance of the given scale. The instance conforms to the reference
+// access schema (AccessSchema) and guarantees non-empty answers for the
+// built-in queries with the default parameters.
+func Generate(store *storage.Store, cfg Config) error {
+	if cfg.Scale < 1 {
+		cfg.Scale = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	rows := cfg.Rows()
+	nCust := rows["customer"]
+	nBiz := rows["business"]
+
+	custPnums := make([]int64, nCust)
+	for i := range custPnums {
+		custPnums[i] = int64(1000 + i)
+	}
+	bizPnums := make([]int64, nBiz)
+	for i := range bizPnums {
+		bizPnums[i] = int64(500000 + i)
+	}
+	// Callers are drawn from both populations.
+	allPnums := append(append([]int64(nil), custPnums...), bizPnums...)
+
+	g := &generator{store: store, rng: rng}
+	g.planCatalog(rows["plan_catalog"])
+	g.customers(custPnums)
+	g.businesses(bizPnums)
+	g.packages(custPnums, bizPnums)
+	g.cellTowers(rows["cell_tower"])
+	g.calls(allPnums, rows["call"])
+	g.sms(allPnums, rows["sms"])
+	g.dataUsage(custPnums, rows["data_usage"])
+	g.billing(custPnums, bizPnums)
+	g.payments(custPnums, rows["payment"])
+	g.complaints(custPnums, rows["complaint"])
+	g.roaming(custPnums, rows["roaming"])
+	return g.err
+}
+
+type generator struct {
+	store *storage.Store
+	rng   *rand.Rand
+	err   error
+}
+
+func (g *generator) insert(table string, vals ...value.Value) {
+	if g.err != nil {
+		return
+	}
+	t, ok := g.store.Table(table)
+	if !ok {
+		g.err = fmt.Errorf("tlc: no table %q", table)
+		return
+	}
+	if err := t.Insert(value.Row(vals)); err != nil {
+		g.err = fmt.Errorf("tlc: inserting into %s: %w", table, err)
+	}
+}
+
+func vi(i int64) value.Value   { return value.NewInt(i) }
+func vs(s string) value.Value  { return value.NewString(s) }
+func vf(f float64) value.Value { return value.NewFloat(f) }
+
+func (g *generator) pick(list []string) string { return list[g.rng.Intn(len(list))] }
+
+// date returns a YYYYMMDD int in March 2016 (the observation window is
+// deliberately dense so per-(pnum, date) buckets are populated).
+func (g *generator) date() int64 {
+	return int64(20160300 + 1 + g.rng.Intn(30))
+}
+
+func (g *generator) planCatalog(n int) {
+	for i := 0; i < n; i++ {
+		pid := fmt.Sprintf("c%d", i)
+		g.insert("plan_catalog",
+			vs(pid), vs("plan "+pid), vs(g.pick([]string{"voice", "data", "combo", "iot"})),
+			vs("EUR"), vs(g.pick([]string{"national", "regional", "global"})),
+			vs(g.pick([]string{"basic", "silver", "gold"})), vs(g.pick([]string{"web", "phone", "premium"})),
+			vf(float64(5+i%40)), vf(0.01*float64(1+i%9)), vf(0.05*float64(1+i%5)), vf(float64(i%10)),
+			vi(int64(1000*(1+i%20))), vi(int64(100*(1+i%30))), vi(int64(50*(1+i%10))),
+			vi(int64(i%6)), vi(int64(1+i%5)), vi(1), vi(int64(2008+i%9)), vi(0), vi(int64(12*(i%3))),
+		)
+	}
+}
+
+func (g *generator) customers(pnums []int64) {
+	segments := []string{"youth", "family", "senior", "premium", "standard"}
+	for i, p := range pnums {
+		region := Regions[g.rng.Intn(len(Regions))]
+		if p == ParamPnum {
+			region = ParamRegion
+		}
+		g.insert("customer",
+			vi(p), vi(int64(18+g.rng.Intn(70))), vi(20100000+int64(g.rng.Intn(60000))),
+			vi(0), vi(int64(1950+g.rng.Intn(55))), vi(int64(g.rng.Intn(2))),
+			vi(int64(g.rng.Intn(len(pnums)/4+1))), vi(0), vi(int64(g.rng.Intn(20000))), vi(int64(i)),
+			vs(fmt.Sprintf("cust-%d", p)), vs(g.pick([]string{"f", "m", "x"})),
+			vs("city-"+region), vs(region), vs(fmt.Sprintf("street %d", g.rng.Intn(400))),
+			vs(fmt.Sprintf("%05d", g.rng.Intn(99999))), vs(g.pick([]string{"mail.com", "box.net", "tele.org"})),
+			vs(g.pick([]string{"active", "active", "active", "suspended"})),
+			vs(segments[g.rng.Intn(len(segments))]), vs(g.pick([]string{"A", "B", "C"})),
+			vs(g.pick([]string{"DE", "FR", "ES", "IT"})), vs(g.pick([]string{"de", "fr", "es", "en"})),
+			vs(g.pick([]string{"id", "passport"})), vs(g.pick([]string{"none", "bronze", "silver", "gold"})),
+			vs(g.pick([]string{"low", "mid", "high"})), vs(g.pick([]string{"apple", "samsung", "xiaomi", "nokia"})),
+			vs(fmt.Sprintf("model-%d", g.rng.Intn(50))), vs(g.pick([]string{"ios", "android"})),
+		)
+	}
+}
+
+func (g *generator) businesses(pnums []int64) {
+	for i, p := range pnums {
+		typ := BusinessTypes[g.rng.Intn(len(BusinessTypes))]
+		region := Regions[g.rng.Intn(len(Regions))]
+		// Plant: the first 40 businesses are banks in ParamRegion, so
+		// Example 2 always has witnesses (well below the ψ3 bound 2000).
+		if i < 40 {
+			typ, region = ParamType, ParamRegion
+		}
+		g.insert("business",
+			vi(p), vi(int64(1+g.rng.Intn(5000))), vi(int64(1950+g.rng.Intn(70))),
+			vi(p), vi(1), vi(int64(i)),
+			vs(typ), vs(region), vs(fmt.Sprintf("biz-%d", p)),
+			vs(fmt.Sprintf("VAT%08d", p)), vs("city-"+region),
+			vs(fmt.Sprintf("street %d", g.rng.Intn(400))), vs(fmt.Sprintf("%05d", g.rng.Intn(99999))),
+			vs(g.pick([]string{"sme", "corporate", "public"})), vs(g.pick([]string{"A", "B", "C"})),
+			vs(fmt.Sprintf("mgr-%d", g.rng.Intn(50))),
+		)
+	}
+}
+
+func (g *generator) packages(cust, biz []int64) {
+	addPkg := func(p int64, pid string, start, end int64) {
+		g.insert("package",
+			vi(p), vi(start), vi(end), vi(Year), vi(int64(g.rng.Intn(2))),
+			vi(20151200+int64(g.rng.Intn(31))), vi(0), vi(int64(g.rng.Intn(200))),
+			vi(int64(g.rng.Intn(2))), vi(p*10+start),
+			vs(pid), vs("active"), vs(g.pick([]string{"web", "shop", "phone"})),
+			vs(""), vs("EUR"), vs(Regions[g.rng.Intn(len(Regions))]),
+			vf(float64(g.rng.Intn(30))), vf(float64(5+g.rng.Intn(60))),
+		)
+	}
+	// Every subscriber holds 1–2 packages; months within one year, so the
+	// ψ2 bound of 12 distinct packages per (pnum, year) holds trivially.
+	for _, p := range cust {
+		pid := fmt.Sprintf("c%d", g.rng.Intn(60))
+		if p == ParamPnum {
+			pid = ParamPackage
+		}
+		start := int64(1 + g.rng.Intn(6))
+		addPkg(p, pid, start, start+int64(g.rng.Intn(6)))
+		if g.rng.Intn(2) == 0 {
+			addPkg(p, fmt.Sprintf("c%d", g.rng.Intn(60)), 1, 12)
+		}
+	}
+	for i, p := range biz {
+		pid := fmt.Sprintf("c%d", g.rng.Intn(60))
+		start, end := int64(1+g.rng.Intn(6)), int64(7+g.rng.Intn(6))
+		// Plant: the first 25 businesses (banks in ParamRegion) hold
+		// ParamPackage over a window containing March.
+		if i < 25 {
+			pid, start, end = ParamPackage, 1, 12
+		}
+		addPkg(p, pid, start, end)
+	}
+}
+
+func (g *generator) cellTowers(n int) {
+	for i := 0; i < n; i++ {
+		region := Regions[i%len(Regions)]
+		g.insert("cell_tower",
+			vi(int64(7000+i)), vi(int64(10+g.rng.Intn(60))), vi(int64(1+g.rng.Intn(6))),
+			vi(int64(2000+g.rng.Intn(20))), vi(int64(2015+g.rng.Intn(10))),
+			vi(int64(100*(1+g.rng.Intn(100)))), vi(int64(500+g.rng.Intn(5000))),
+			vi(int64(2026+g.rng.Intn(10))), vi(int64(2+g.rng.Intn(8))),
+			vi(int64(g.rng.Intn(20))), vi(int64(g.rng.Intn(600))),
+			vi(int64(1+g.rng.Intn(4))), vi(int64(2+2*g.rng.Intn(3))), vi(int64(g.rng.Intn(12))),
+			vi(int64(g.rng.Intn(65000))), vi(int64(g.rng.Intn(504))), vi(int64(g.rng.Intn(65000))),
+			vi(int64(g.rng.Intn(65000))), vi(int64(g.rng.Intn(100))), vi(int64(g.rng.Intn(40))),
+			vi(int64(g.rng.Intn(2))), vi(int64(g.rng.Intn(2))), vi(int64(g.rng.Intn(2))), vi(int64(i)),
+			vs(region), vs("city-"+region), vs(g.pick([]string{"lte", "nr", "umts"})),
+			vs(g.pick([]string{"b1", "b3", "b7", "b20", "n78"})),
+			vs(g.pick([]string{"ericsson", "nokia", "huawei"})),
+			vs(g.pick([]string{"fiber", "microwave"})), vs(g.pick([]string{"macro", "micro", "indoor"})),
+			vs(g.pick([]string{"own", "shared"})), vs(g.pick([]string{"A", "B", "C"})),
+			vs(fmt.Sprintf("zone-%d", g.rng.Intn(12))), vs("in_service"),
+			vf(47+g.rng.Float64()*8), vf(6+g.rng.Float64()*9), vf(g.rng.Float64()*360),
+			vf(float64(5*(1+g.rng.Intn(8)))), vf(10+g.rng.Float64()*30),
+			vf(g.rng.Float64()*90), vf(g.rng.Float64()*100), vf(0.5+g.rng.Float64()*15),
+		)
+	}
+}
+
+func (g *generator) calls(pnums []int64, n int) {
+	for i := 0; i < n; i++ {
+		p := pnums[g.rng.Intn(len(pnums))]
+		d := g.date()
+		// Plant a fixed number of calls (independent of scale, keeping
+		// the ψ1 buckets within bound): calls by the first 25 business
+		// pnums (the banks holding ParamPackage) and by ParamPnum, all on
+		// ParamDate.
+		if i < 2000 && i%40 == 0 {
+			p = 500000 + int64(i/40%25)
+			d = ParamDate
+		}
+		if i < 2000 && i%97 == 0 {
+			p = ParamPnum
+			d = ParamDate
+		}
+		rec := pnums[g.rng.Intn(len(pnums))]
+		region := Regions[g.rng.Intn(len(Regions))]
+		g.insert("call",
+			vi(p), vi(rec), vi(d), vi(int64(g.rng.Intn(86400))), vi(int64(1+g.rng.Intn(3600))),
+			vs(region), vs(g.pick([]string{"voice", "video"})), vs(g.pick([]string{"mo", "mt"})),
+			vs(g.pick([]string{"volte", "cs"})), vs("DE"),
+			vi(int64(7000+g.rng.Intn(500))), vi(100000+p), vi(900000+p), vi(int64(g.rng.Intn(40))),
+			vi(int64(g.rng.Intn(100))), vi(int64(g.rng.Intn(100))), vi(int64(g.rng.Intn(8))),
+			vi(int64(50+g.rng.Intn(4000))), vi(int64(g.rng.Intn(65000))), vi(int64(g.rng.Intn(65000))),
+			vi(int64(1+g.rng.Intn(5))), vi(int64(i)), vi(int64(i/1000)),
+			vs(g.pick([]string{"", "q850-16", "q850-31"})), vs(g.pick([]string{"flat", "metered"})), vs("EUR"),
+			vf(1+4*g.rng.Float64()), vf(g.rng.Float64()*2),
+			vi(int64(g.rng.Intn(2))), vi(int64(g.rng.Intn(2))),
+		)
+	}
+}
+
+func (g *generator) sms(pnums []int64, n int) {
+	for i := 0; i < n; i++ {
+		p := pnums[g.rng.Intn(len(pnums))]
+		d := g.date()
+		if i < 2000 && i%61 == 0 {
+			p, d = ParamPnum, ParamDate
+		}
+		g.insert("sms",
+			vi(p), vi(pnums[g.rng.Intn(len(pnums))]), vi(d), vi(int64(g.rng.Intn(86400))),
+			vi(int64(1+g.rng.Intn(160))), vi(int64(g.rng.Intn(3))),
+			vi(int64(7000+g.rng.Intn(500))), vi(100000+p), vi(int64(g.rng.Intn(2))),
+			vi(int64(1+g.rng.Intn(5))), vi(int64(i)), vi(int64(g.rng.Intn(3))),
+			vi(int64(1+g.rng.Intn(3))), vi(0), vi(int64(1+g.rng.Intn(4))),
+			vs(Regions[g.rng.Intn(len(Regions))]), vs(g.pick([]string{"gsm7", "ucs2"})),
+			vs(g.pick([]string{"text", "binary"})), vs(g.pick([]string{"delivered", "pending", "failed"})),
+			vs("DE"), vs("EUR"), vf(g.rng.Float64()*0.2),
+		)
+	}
+}
+
+func (g *generator) dataUsage(pnums []int64, n int) {
+	for i := 0; i < n; i++ {
+		p := pnums[g.rng.Intn(len(pnums))]
+		d := g.date()
+		if i < 2000 && i%53 == 0 {
+			p, d = ParamPnum, ParamDate
+		}
+		up := g.rng.Float64() * 200
+		down := g.rng.Float64() * 1800
+		g.insert("data_usage",
+			vi(p), vi(d), vi(int64(1+g.rng.Intn(40))), vi(int64(7000+g.rng.Intn(500))),
+			vi(100000+p), vi(int64(6+g.rng.Intn(4))), vi(int64(g.rng.Intn(2))),
+			vi(int64(1+g.rng.Intn(5))), vi(int64(i)), vi(int64(1000+g.rng.Intn(90000))),
+			vi(int64(500+g.rng.Intn(20000))), vi(int64(10+g.rng.Intn(500))), vi(int64(60+g.rng.Intn(7200))),
+			vs(Regions[g.rng.Intn(len(Regions))]), vs(AppTypes[g.rng.Intn(len(AppTypes))]),
+			vs(g.pick([]string{"internet", "ims"})), vs(g.pick([]string{"lte", "nr"})),
+			vs("DE"), vs("EUR"),
+			vf(up+down), vf(up), vf(down), vf(g.rng.Float64()), vf(g.rng.Float64()*3),
+		)
+	}
+}
+
+func (g *generator) billing(cust, biz []int64) {
+	invoice := int64(1)
+	addYear := func(p int64) {
+		months := 1 + g.rng.Intn(12)
+		for m := 1; m <= months; m++ {
+			amount := 10 + g.rng.Float64()*90
+			g.insert("billing",
+				vi(invoice), vi(p), vi(int64(m)), vi(Year),
+				vi(int64(20160000+m*100+25)), vi(int64(20160000+m*100+27)),
+				vi(int64(g.rng.Intn(3))), vi(1), vi(invoice),
+				vf(amount), vf(amount*0.19), vf(g.rng.Float64()*5),
+				vf(amount*0.4), vf(amount*0.4), vf(amount*0.05), vf(amount*0.1), vf(amount*0.05),
+				vf(0), vf(amount), vf(0),
+				vs("EUR"), vs(g.pick([]string{"paid", "paid", "open", "overdue"})),
+				vs(g.pick([]string{"sepa", "card", "cash"})), vs(Regions[g.rng.Intn(len(Regions))]),
+			)
+			invoice++
+		}
+	}
+	// Consumer invoices for a third of customers (always including the
+	// planted ParamPnum), business invoices for every business (Q7 joins
+	// business × billing).
+	for i, p := range cust {
+		if i%3 == 0 || p == ParamPnum {
+			addYear(p)
+		}
+	}
+	for _, p := range biz {
+		addYear(p)
+	}
+}
+
+func (g *generator) payments(pnums []int64, n int) {
+	for i := 0; i < n; i++ {
+		p := pnums[g.rng.Intn(len(pnums))]
+		g.insert("payment",
+			vi(int64(i+1)), vi(p), vi(g.date()), vi(int64(1+g.rng.Intn(1000000))),
+			vi(int64(10000000+g.rng.Intn(89999999))), vi(int64(g.rng.Intn(3))),
+			vi(int64(1+g.rng.Intn(5))), vi(int64(g.rng.Intn(50))), vi(int64(g.rng.Intn(200))), vi(int64(i)),
+			vf(5+g.rng.Float64()*150), vf(g.rng.Float64()),
+			vs("EUR"), vs(g.pick([]string{"sepa", "card", "cash", "wallet"})),
+			vs(g.pick([]string{"app", "web", "shop"})), vs(g.pick([]string{"settled", "pending", "failed"})),
+			vs(g.pick([]string{"visa", "mc", "none"})), vs(Regions[g.rng.Intn(len(Regions))]),
+		)
+	}
+}
+
+func (g *generator) complaints(pnums []int64, n int) {
+	for i := 0; i < n; i++ {
+		p := pnums[g.rng.Intn(len(pnums))]
+		cat := ComplaintCategories[g.rng.Intn(len(ComplaintCategories))]
+		region := Regions[g.rng.Intn(len(Regions))]
+		// Plant coverage complaints in ParamRegion for Q8.
+		if i < 2000 && i%17 == 0 {
+			cat, region = ParamCategory, ParamRegion
+		}
+		g.insert("complaint",
+			vi(int64(i+1)), vi(p), vi(g.date()), vi(int64(g.rng.Intn(200))),
+			vi(int64(g.rng.Intn(30))), vi(int64(g.rng.Intn(2))), vi(int64(1+g.rng.Intn(5))),
+			vi(int64(g.rng.Intn(1000000))), vi(int64(7000+g.rng.Intn(500))),
+			vi(int64(50+g.rng.Intn(2000))), vi(int64(g.rng.Intn(3))), vi(int64(g.rng.Intn(2))), vi(int64(i)),
+			vs(cat), vs(cat+"-sub"), vs(g.pick([]string{"phone", "app", "shop", "mail"})),
+			vs(g.pick([]string{"open", "closed", "escalated"})), vs(g.pick([]string{"p1", "p2", "p3"})),
+			vs(region), vs(g.pick([]string{"fixed", "refund", "info", "none"})), vs("EUR"),
+			vf(g.rng.Float64()*30),
+		)
+	}
+}
+
+func (g *generator) roaming(pnums []int64, n int) {
+	for i := 0; i < n; i++ {
+		p := pnums[g.rng.Intn(len(pnums))]
+		if i < 2000 && i%29 == 0 {
+			p = ParamPnum
+		}
+		g.insert("roaming",
+			vi(p), vi(g.date()), vi(int64(1+g.rng.Intn(5))),
+			vi(int64(g.rng.Intn(120))), vi(int64(g.rng.Intn(60))), vi(int64(g.rng.Intn(30))),
+			vi(int64(1+g.rng.Intn(20))), vi(100000+p), vi(int64(g.rng.Intn(2))),
+			vi(int64(g.rng.Intn(3))), vi(int64(i)),
+			vs(Countries[g.rng.Intn(len(Countries))]), vs("EUR"),
+			vs(Regions[g.rng.Intn(len(Regions))]), vs(fmt.Sprintf("TAD%02d", g.rng.Intn(40))),
+			vs(g.pick([]string{"lte", "nr", "umts"})), vs(g.pick([]string{"zone1", "zone2", "world"})),
+			vs(g.pick([]string{"out", "in"})),
+			vf(g.rng.Float64()*500), vf(g.rng.Float64()*25),
+		)
+	}
+}

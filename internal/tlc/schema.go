@@ -1,0 +1,189 @@
+// Package tlc is a synthetic stand-in for the proprietary
+// telecommunication benchmark of the paper's evaluation ("TLC": 12
+// relations, 285 attributes, 11 built-in analytical queries; name
+// withheld by the authors). The three relations the paper discloses
+// (call, package, business) and the access constraints ψ1–ψ3 of Example 1
+// are embedded verbatim; the remaining relations model the usual CDR
+// analytics estate (SMS, data usage, billing, payments, complaints,
+// roaming, towers, catalogues). A deterministic generator produces
+// instances that conform to the reference access schema at any scale.
+package tlc
+
+import (
+	"github.com/bounded-eval/beas/internal/schema"
+	"github.com/bounded-eval/beas/internal/value"
+)
+
+func attr(name string, k value.Kind) schema.Attribute {
+	return schema.Attribute{Name: name, Kind: k}
+}
+
+func ints(names ...string) []schema.Attribute {
+	out := make([]schema.Attribute, len(names))
+	for i, n := range names {
+		out[i] = attr(n, value.Int)
+	}
+	return out
+}
+
+func strs(names ...string) []schema.Attribute {
+	out := make([]schema.Attribute, len(names))
+	for i, n := range names {
+		out[i] = attr(n, value.String)
+	}
+	return out
+}
+
+func floats(names ...string) []schema.Attribute {
+	out := make([]schema.Attribute, len(names))
+	for i, n := range names {
+		out[i] = attr(n, value.Float)
+	}
+	return out
+}
+
+func cat(groups ...[]schema.Attribute) []schema.Attribute {
+	var out []schema.Attribute
+	for _, g := range groups {
+		out = append(out, g...)
+	}
+	return out
+}
+
+// Relations returns the 12 TLC relation schemas (285 attributes total).
+func Relations() []*schema.Relation {
+	return []*schema.Relation{
+		// call: one row per voice call detail record. 30 attributes.
+		schema.MustRelation("call", cat(
+			ints("pnum", "recnum", "date", "time", "duration"),
+			strs("region", "call_type", "direction", "tech", "country"),
+			ints("cell_id", "imsi", "imei", "switch_id", "trunk_in", "trunk_out",
+				"termination_code", "setup_ms", "lac", "cid", "operator_id", "record_id", "file_seq"),
+			strs("drop_code", "rate_plan", "currency"),
+			floats("mos_score", "charge"),
+			ints("roaming_flag", "forwarded"),
+		)...),
+
+		// sms: one row per SMS record. 22 attributes.
+		schema.MustRelation("sms", cat(
+			ints("pnum", "recnum", "date", "time", "length", "retry_count",
+				"cell_id", "imsi", "roaming_flag", "operator_id", "record_id",
+				"priority", "segments", "port", "smsc_id"),
+			strs("region", "encoding", "msg_type", "status", "country", "currency"),
+			floats("charge"),
+		)...),
+
+		// data_usage: one row per data session aggregate. 24 attributes.
+		schema.MustRelation("data_usage", cat(
+			ints("pnum", "date", "session_count", "cell_id", "imsi", "qci",
+				"roaming_flag", "operator_id", "record_id", "peak_kbps",
+				"avg_kbps", "ttfb_ms", "duration_s"),
+			strs("region", "app_type", "apn", "rat_type", "country", "currency"),
+			floats("mb_used", "mb_up", "mb_down", "charge", "loss_pct"),
+		)...),
+
+		// package: service package subscriptions. 18 attributes.
+		schema.MustRelation("package", cat(
+			ints("pnum", "start", "end", "year", "auto_renew", "signup_date",
+				"cancel_date", "agent_id", "family_flag", "record_id"),
+			strs("pid", "status", "channel", "promo_code", "currency", "region"),
+			floats("discount_pct", "monthly_fee"),
+		)...),
+
+		// plan_catalog: the package catalogue. 20 attributes.
+		schema.MustRelation("plan_catalog", cat(
+			strs("pid", "name", "category", "currency", "region_scope", "tier", "support_level"),
+			floats("monthly_fee", "overage_data", "overage_voice", "intro_fee"),
+			ints("data_cap_mb", "voice_cap_min", "sms_cap", "intro_months",
+				"family_max", "active", "launch_year", "retire_year", "contract_months"),
+		)...),
+
+		// business: business subscriber registry. 16 attributes.
+		schema.MustRelation("business", cat(
+			ints("pnum", "employees", "founded_year", "contact_pnum", "active", "record_id"),
+			strs("type", "region", "name", "vat_id", "city", "street", "postcode",
+				"segment", "credit_class", "account_mgr"),
+		)...),
+
+		// customer: consumer subscriber registry. 28 attributes.
+		schema.MustRelation("customer", cat(
+			ints("pnum", "age", "join_date", "churn_date", "birth_year",
+				"marketing_opt_in", "family_id", "referrer_pnum", "loyalty_points", "record_id"),
+			strs("name", "gender", "city", "region", "street", "postcode",
+				"email_domain", "status", "segment", "credit_class", "nationality",
+				"language", "id_type", "loyalty_tier", "arpu_band", "device_brand",
+				"device_model", "os_type"),
+		)...),
+
+		// billing: monthly invoices. 24 attributes.
+		schema.MustRelation("billing", cat(
+			ints("invoice_id", "pnum", "month", "year", "due_date", "paid_date",
+				"dunning_level", "cycle", "record_id"),
+			floats("amount", "tax", "discount", "voice_amount", "data_amount",
+				"sms_amount", "roaming_amount", "other_amount", "balance_before",
+				"balance_after", "adjustments"),
+			strs("currency", "status", "payment_method", "region"),
+		)...),
+
+		// payment: payment transactions. 18 attributes.
+		schema.MustRelation("payment", cat(
+			ints("payment_id", "pnum", "date", "invoice_id", "bank_code",
+				"retry_count", "operator_id", "reversal_flag", "agent_id", "record_id"),
+			floats("amount", "fee"),
+			strs("currency", "method", "channel", "status", "card_type", "region"),
+		)...),
+
+		// complaint: customer-care cases. 22 attributes.
+		schema.MustRelation("complaint", cat(
+			ints("complaint_id", "pnum", "date", "agent_id", "open_days",
+				"escalated", "satisfaction", "related_invoice", "related_cell",
+				"text_length", "reopen_count", "sla_breached", "record_id"),
+			strs("category", "subcategory", "channel", "status", "priority",
+				"region", "resolution_code", "currency"),
+			floats("refund_amount"),
+		)...),
+
+		// roaming: daily roaming usage aggregates. 20 attributes.
+		schema.MustRelation("roaming", cat(
+			ints("pnum", "date", "operator_id", "minutes_out", "minutes_in",
+				"sms_out", "session_count", "imsi", "day_cap_hit", "passes_used", "record_id"),
+			strs("country", "currency", "region_home", "tadig", "network_tech",
+				"rate_zone", "direction"),
+			floats("mb_used", "charge"),
+		)...),
+
+		// cell_tower: radio site inventory and configuration. 43 attributes.
+		schema.MustRelation("cell_tower", cat(
+			ints("cell_id", "height_m", "sectors", "install_year",
+				"last_upgrade_year", "backhaul_mbps", "max_capacity",
+				"lease_expiry_year", "battery_hours", "alarm_count",
+				"downtime_min", "carrier_count", "mimo", "tilt", "earfcn",
+				"pci", "tac", "lac", "rnc_id", "cluster_id", "indoor_flag",
+				"shared_flag", "beamforming", "record_id"),
+			strs("region", "city", "tech", "band", "vendor", "backhaul_type",
+				"site_type", "owner", "energy_class", "maintenance_zone",
+				"status"),
+			floats("lat", "lon", "azimuth", "bandwidth_mhz", "power_w",
+				"avg_load_pct", "peak_load_pct", "coverage_km"),
+		)...),
+	}
+}
+
+// Database returns the TLC database schema.
+func Database() *schema.Database {
+	db, err := schema.NewDatabase(Relations()...)
+	if err != nil {
+		panic(err)
+	}
+	return db
+}
+
+// TotalAttributes returns the attribute count over all relations (the
+// paper reports 285).
+func TotalAttributes() int {
+	total := 0
+	for _, r := range Relations() {
+		total += r.Arity()
+	}
+	return total
+}

@@ -1,0 +1,201 @@
+package tlc
+
+import (
+	"testing"
+
+	"github.com/bounded-eval/beas/internal/access"
+	"github.com/bounded-eval/beas/internal/analyze"
+	"github.com/bounded-eval/beas/internal/core"
+	"github.com/bounded-eval/beas/internal/sqlparser"
+	"github.com/bounded-eval/beas/internal/storage"
+	"github.com/bounded-eval/beas/internal/value"
+)
+
+// TestShape pins the benchmark to the paper's description: 12 relations,
+// 285 attributes, 11 built-in queries.
+func TestShape(t *testing.T) {
+	rels := Relations()
+	if len(rels) != 12 {
+		t.Errorf("relations = %d, want 12", len(rels))
+	}
+	if got := TotalAttributes(); got != 285 {
+		t.Errorf("attributes = %d, want 285", got)
+	}
+	if got := len(Queries()); got != 11 {
+		t.Errorf("queries = %d, want 11", got)
+	}
+	covered := 0
+	for _, q := range Queries() {
+		if q.Covered {
+			covered++
+		}
+	}
+	if covered != 10 {
+		t.Errorf("covered queries = %d, want 10 (>90%%)", covered)
+	}
+}
+
+// TestPaperConstraintsVerbatim checks ψ1–ψ3 of Example 1 appear exactly.
+func TestPaperConstraintsVerbatim(t *testing.T) {
+	specs := AccessSchemaSpecs()
+	want := []string{
+		"call({pnum, date} -> {recnum, region}, 500)",
+		"package({pnum, year} -> {pid, start, end}, 12)",
+		"business({type, region} -> pnum, 2000)",
+	}
+	for i, w := range want {
+		if specs[i] != w {
+			t.Errorf("spec %d = %q, want %q", i, specs[i], w)
+		}
+	}
+}
+
+func generate(t *testing.T, scale int, seed int64) *storage.Store {
+	t.Helper()
+	store := storage.NewStore(Database())
+	if err := Generate(store, Config{Scale: scale, Seed: seed}); err != nil {
+		t.Fatal(err)
+	}
+	return store
+}
+
+// TestGeneratorConforms: generated instances must satisfy every reference
+// constraint at multiple scales — D |= A is the precondition of the whole
+// theory.
+func TestGeneratorConforms(t *testing.T) {
+	for _, scale := range []int{1, 3} {
+		store := generate(t, scale, 99)
+		as := access.NewSchema(store)
+		for _, spec := range AccessSchemaSpecs() {
+			c, err := access.ParseConstraint(store.DB, spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := as.Register(c, false); err != nil {
+				t.Errorf("scale %d: %v", scale, err)
+			}
+		}
+		if ok, viols := as.Conforms(); !ok {
+			t.Errorf("scale %d: %d violations", scale, len(viols))
+		}
+	}
+}
+
+// TestGeneratorDeterministic: same seed, same bytes.
+func TestGeneratorDeterministic(t *testing.T) {
+	a := generate(t, 1, 7)
+	b := generate(t, 1, 7)
+	for _, name := range a.Names() {
+		ta, _ := a.Table(name)
+		tb, _ := b.Table(name)
+		if ta.Len() != tb.Len() {
+			t.Fatalf("%s: %d vs %d rows", name, ta.Len(), tb.Len())
+		}
+		for i := 0; i < ta.Len(); i += 97 { // spot-check rows
+			if value.Key(ta.Row(i)) != value.Key(tb.Row(i)) {
+				t.Fatalf("%s row %d differs between identical seeds", name, i)
+			}
+		}
+	}
+	c := generate(t, 1, 8)
+	tc, _ := c.Table("call")
+	taCall, _ := a.Table("call")
+	same := true
+	for i := 0; i < tc.Len() && i < taCall.Len(); i += 101 {
+		if value.Key(tc.Row(i)) != value.Key(taCall.Row(i)) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical call tables")
+	}
+}
+
+// TestScaleGrowsRows: row counts grow linearly with scale.
+func TestScaleGrowsRows(t *testing.T) {
+	r1 := Config{Scale: 1}.Rows()
+	r4 := Config{Scale: 4}.Rows()
+	if r4["call"] != 4*r1["call"] {
+		t.Errorf("call rows: %d vs %d", r1["call"], r4["call"])
+	}
+	if r4["plan_catalog"] != r1["plan_catalog"] {
+		t.Errorf("the catalogue is a dimension table and must not scale")
+	}
+}
+
+// TestQueriesAnalyzeAndMatchVerdicts: every built-in query parses,
+// resolves, and gets the documented coverage verdict under the reference
+// schema.
+func TestQueriesAnalyzeAndMatchVerdicts(t *testing.T) {
+	store := generate(t, 1, 1)
+	as := access.NewSchema(store)
+	for _, spec := range AccessSchemaSpecs() {
+		c, err := access.ParseConstraint(store.DB, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := as.Register(c, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, q := range Queries() {
+		stmt, err := sqlparser.Parse(q.SQL)
+		if err != nil {
+			t.Errorf("%s: parse: %v", q.Name, err)
+			continue
+		}
+		aq, err := analyze.Analyze(stmt.Select, store.DB)
+		if err != nil {
+			t.Errorf("%s: analyze: %v", q.Name, err)
+			continue
+		}
+		chk := core.Check(aq, as)
+		if chk.Covered != q.Covered {
+			t.Errorf("%s: covered = %v, want %v (%s)", q.Name, chk.Covered, q.Covered, chk.Reason)
+		}
+	}
+}
+
+func TestQueryByName(t *testing.T) {
+	if q, ok := QueryByName("Q1"); !ok || q.Name != "Q1" {
+		t.Error("QueryByName(Q1) failed")
+	}
+	if _, ok := QueryByName("Q99"); ok {
+		t.Error("QueryByName(Q99) should miss")
+	}
+}
+
+// TestPlantedWitnesses: the default parameters must hit data at any
+// scale, so experiment answers are non-empty and scale-independent.
+func TestPlantedWitnesses(t *testing.T) {
+	store := generate(t, 2, 20170514)
+	count := func(table string, match func(value.Row) bool) int {
+		tab, _ := store.Table(table)
+		n := 0
+		for _, r := range tab.Rows() {
+			if match(r) {
+				n++
+			}
+		}
+		return n
+	}
+	banks := count("business", func(r value.Row) bool {
+		return r[6].S == ParamType && r[7].S == ParamRegion
+	})
+	if banks < 25 {
+		t.Errorf("planted banks = %d, want >= 25", banks)
+	}
+	calls := count("call", func(r value.Row) bool {
+		return r[2].I == int64(ParamDate) && r[0].I == int64(ParamPnum)
+	})
+	if calls == 0 {
+		t.Error("no planted calls for ParamPnum on ParamDate")
+	}
+	invoices := count("billing", func(r value.Row) bool {
+		return r[1].I == int64(ParamPnum)
+	})
+	if invoices == 0 {
+		t.Error("no planted invoices for ParamPnum")
+	}
+}

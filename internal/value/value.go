@@ -1,0 +1,317 @@
+// Package value defines the typed scalar values that flow through BEAS:
+// table cells, query constants, index keys and query results. Values are
+// small immutable structs; rows are flat slices of values.
+//
+// The package also provides an injective binary key codec used by the
+// access-constraint hash indices and by hash-based physical operators
+// (grouping, distinct, hash join).
+package value
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the scalar types supported by the engine.
+type Kind uint8
+
+// Supported kinds. Null is the zero value so that a zero Value is NULL.
+const (
+	Null Kind = iota
+	Int
+	Float
+	String
+	Bool
+)
+
+// String returns the SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case Null:
+		return "NULL"
+	case Int:
+		return "INT"
+	case Float:
+		return "FLOAT"
+	case String:
+		return "STRING"
+	case Bool:
+		return "BOOL"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// ParseKind converts a type name (as used in schema files and CREATE-style
+// declarations) to a Kind. It accepts common SQL aliases.
+func ParseKind(s string) (Kind, error) {
+	switch strings.ToUpper(strings.TrimSpace(s)) {
+	case "INT", "INTEGER", "BIGINT", "SMALLINT", "DATE":
+		return Int, nil
+	case "FLOAT", "DOUBLE", "REAL", "DECIMAL", "NUMERIC":
+		return Float, nil
+	case "STRING", "TEXT", "VARCHAR", "CHAR":
+		return String, nil
+	case "BOOL", "BOOLEAN":
+		return Bool, nil
+	default:
+		return Null, fmt.Errorf("value: unknown type %q", s)
+	}
+}
+
+// Value is a dynamically typed scalar. Exactly one of the payload fields
+// is meaningful, selected by K. The zero Value is NULL.
+type Value struct {
+	K Kind
+	I int64   // payload for Int and Bool (0/1)
+	F float64 // payload for Float
+	S string  // payload for String
+}
+
+// NewInt returns an Int value.
+func NewInt(i int64) Value { return Value{K: Int, I: i} }
+
+// NewFloat returns a Float value.
+func NewFloat(f float64) Value { return Value{K: Float, F: f} }
+
+// NewString returns a String value.
+func NewString(s string) Value { return Value{K: String, S: s} }
+
+// NewBool returns a Bool value.
+func NewBool(b bool) Value {
+	if b {
+		return Value{K: Bool, I: 1}
+	}
+	return Value{K: Bool}
+}
+
+// NewNull returns the NULL value.
+func NewNull() Value { return Value{} }
+
+// IsNull reports whether v is NULL.
+func (v Value) IsNull() bool { return v.K == Null }
+
+// Bool returns the boolean payload. It is only meaningful for Bool values.
+func (v Value) Bool() bool { return v.K == Bool && v.I != 0 }
+
+// AsFloat converts a numeric value to float64 for mixed-type arithmetic.
+func (v Value) AsFloat() (float64, bool) {
+	switch v.K {
+	case Int:
+		return float64(v.I), true
+	case Float:
+		return v.F, true
+	default:
+		return 0, false
+	}
+}
+
+// String renders the value for display and CSV output. NULL renders as the
+// empty string, matching the CSV loader's convention.
+func (v Value) String() string {
+	switch v.K {
+	case Null:
+		return ""
+	case Int:
+		return strconv.FormatInt(v.I, 10)
+	case Float:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case String:
+		return v.S
+	case Bool:
+		if v.I != 0 {
+			return "true"
+		}
+		return "false"
+	default:
+		return fmt.Sprintf("Value(kind=%d)", uint8(v.K))
+	}
+}
+
+// Parse converts a textual cell to a value of kind k. The empty string
+// parses as NULL for every kind.
+func Parse(s string, k Kind) (Value, error) {
+	if s == "" {
+		return NewNull(), nil
+	}
+	switch k {
+	case Int:
+		i, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("value: parsing %q as INT: %w", s, err)
+		}
+		return NewInt(i), nil
+	case Float:
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("value: parsing %q as FLOAT: %w", s, err)
+		}
+		return NewFloat(f), nil
+	case String:
+		return NewString(s), nil
+	case Bool:
+		b, err := strconv.ParseBool(s)
+		if err != nil {
+			return Value{}, fmt.Errorf("value: parsing %q as BOOL: %w", s, err)
+		}
+		return NewBool(b), nil
+	case Null:
+		return NewNull(), nil
+	default:
+		return Value{}, fmt.Errorf("value: cannot parse into kind %v", k)
+	}
+}
+
+// Comparable reports whether values of kinds a and b may be ordered
+// against each other. Numeric kinds are mutually comparable.
+func Comparable(a, b Kind) bool {
+	if a == b {
+		return true
+	}
+	return isNumeric(a) && isNumeric(b)
+}
+
+func isNumeric(k Kind) bool { return k == Int || k == Float }
+
+// Compare orders a before b (-1), equal (0) or after (1). NULL orders
+// before every non-NULL value and equal to NULL, which gives sorting a
+// total order; equality predicates treat NULL separately (SQL three-valued
+// logic is approximated: NULL = NULL is false in predicate evaluation).
+// Comparing incomparable kinds returns an error.
+func Compare(a, b Value) (int, error) {
+	if a.K == Null || b.K == Null {
+		switch {
+		case a.K == Null && b.K == Null:
+			return 0, nil
+		case a.K == Null:
+			return -1, nil
+		default:
+			return 1, nil
+		}
+	}
+	if isNumeric(a.K) && isNumeric(b.K) {
+		if a.K == Int && b.K == Int {
+			return cmpInt(a.I, b.I), nil
+		}
+		af, _ := a.AsFloat()
+		bf, _ := b.AsFloat()
+		return cmpFloat(af, bf), nil
+	}
+	if a.K != b.K {
+		return 0, fmt.Errorf("value: cannot compare %v with %v", a.K, b.K)
+	}
+	switch a.K {
+	case String:
+		return strings.Compare(a.S, b.S), nil
+	case Bool:
+		return cmpInt(a.I, b.I), nil
+	default:
+		return 0, fmt.Errorf("value: cannot compare kind %v", a.K)
+	}
+}
+
+func cmpInt(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func cmpFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Equal reports value equality with numeric coercion (1 == 1.0). NULLs are
+// equal to each other for the purposes of hashing and dedup; predicate
+// evaluation filters NULLs before calling Equal.
+func Equal(a, b Value) bool {
+	if a.K == Null || b.K == Null {
+		return a.K == Null && b.K == Null
+	}
+	c, err := Compare(a, b)
+	return err == nil && c == 0
+}
+
+// Row is a tuple of values. Rows are positional; the schema that gives
+// positions meaning lives in internal/schema.
+type Row []Value
+
+// Clone returns a copy of the row sharing string payloads.
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// Project returns the sub-row at the given positions.
+func (r Row) Project(idx []int) Row {
+	out := make(Row, len(idx))
+	for i, j := range idx {
+		out[i] = r[j]
+	}
+	return out
+}
+
+// AppendKey appends an injective binary encoding of v to dst and returns
+// the extended slice. Distinct values always produce distinct encodings;
+// equal values (under Equal, i.e. with numeric coercion) produce equal
+// encodings because integral floats are canonicalised to the Int encoding.
+func AppendKey(dst []byte, v Value) []byte {
+	switch v.K {
+	case Null:
+		return append(dst, 0)
+	case Int:
+		return appendIntKey(dst, v.I)
+	case Float:
+		// Canonicalise integral floats so that 1 and 1.0 hash identically,
+		// matching Equal's numeric coercion.
+		if i := int64(v.F); float64(i) == v.F {
+			return appendIntKey(dst, i)
+		}
+		bits := math.Float64bits(v.F)
+		dst = append(dst, 2)
+		return appendU64(dst, bits)
+	case String:
+		dst = append(dst, 3)
+		dst = appendU64(dst, uint64(len(v.S)))
+		return append(dst, v.S...)
+	case Bool:
+		return append(dst, 4, byte(v.I))
+	default:
+		return append(dst, 255)
+	}
+}
+
+func appendIntKey(dst []byte, i int64) []byte {
+	dst = append(dst, 1)
+	return appendU64(dst, uint64(i))
+}
+
+func appendU64(dst []byte, u uint64) []byte {
+	return append(dst,
+		byte(u>>56), byte(u>>48), byte(u>>40), byte(u>>32),
+		byte(u>>24), byte(u>>16), byte(u>>8), byte(u))
+}
+
+// Key returns an injective string encoding of the row, suitable as a map
+// key for hashing, grouping and index buckets.
+func Key(vals []Value) string {
+	var dst []byte
+	for _, v := range vals {
+		dst = AppendKey(dst, v)
+	}
+	return string(dst)
+}

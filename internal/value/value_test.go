@@ -1,0 +1,276 @@
+package value
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		Null: "NULL", Int: "INT", Float: "FLOAT", String: "STRING", Bool: "BOOL",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	cases := map[string]Kind{
+		"INT": Int, "integer": Int, "BIGINT": Int, "date": Int,
+		"FLOAT": Float, "double": Float, "NUMERIC": Float,
+		"STRING": String, "text": String, "VARCHAR": String,
+		"BOOL": Bool, "boolean": Bool,
+	}
+	for s, want := range cases {
+		got, err := ParseKind(s)
+		if err != nil || got != want {
+			t.Errorf("ParseKind(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseKind("blob"); err == nil {
+		t.Error("ParseKind(blob) should fail")
+	}
+}
+
+func TestConstructorsAndString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+		str  string
+	}{
+		{NewInt(42), Int, "42"},
+		{NewInt(-7), Int, "-7"},
+		{NewFloat(2.5), Float, "2.5"},
+		{NewString("hi"), String, "hi"},
+		{NewBool(true), Bool, "true"},
+		{NewBool(false), Bool, "false"},
+		{NewNull(), Null, ""},
+	}
+	for _, c := range cases {
+		if c.v.K != c.kind {
+			t.Errorf("%v kind = %v, want %v", c.v, c.v.K, c.kind)
+		}
+		if got := c.v.String(); got != c.str {
+			t.Errorf("String() = %q, want %q", got, c.str)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	cases := []struct {
+		s    string
+		k    Kind
+		want Value
+	}{
+		{"42", Int, NewInt(42)},
+		{"-3", Int, NewInt(-3)},
+		{"2.25", Float, NewFloat(2.25)},
+		{"x y", String, NewString("x y")},
+		{"true", Bool, NewBool(true)},
+		{"", Int, NewNull()},
+		{"", String, NewNull()},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.s, c.k)
+		if err != nil {
+			t.Errorf("Parse(%q, %v): %v", c.s, c.k, err)
+			continue
+		}
+		if !Equal(got, c.want) || got.K != c.want.K {
+			t.Errorf("Parse(%q, %v) = %+v, want %+v", c.s, c.k, got, c.want)
+		}
+	}
+	if _, err := Parse("abc", Int); err == nil {
+		t.Error("Parse(abc, Int) should fail")
+	}
+	if _, err := Parse("abc", Bool); err == nil {
+		t.Error("Parse(abc, Bool) should fail")
+	}
+}
+
+func TestCompareNumericCoercion(t *testing.T) {
+	c, err := Compare(NewInt(2), NewFloat(2.0))
+	if err != nil || c != 0 {
+		t.Errorf("Compare(2, 2.0) = %d, %v; want 0", c, err)
+	}
+	c, err = Compare(NewInt(2), NewFloat(2.5))
+	if err != nil || c != -1 {
+		t.Errorf("Compare(2, 2.5) = %d, %v; want -1", c, err)
+	}
+	c, err = Compare(NewFloat(3.5), NewInt(3))
+	if err != nil || c != 1 {
+		t.Errorf("Compare(3.5, 3) = %d, %v; want 1", c, err)
+	}
+}
+
+func TestCompareNullOrdering(t *testing.T) {
+	if c, _ := Compare(NewNull(), NewInt(0)); c != -1 {
+		t.Errorf("NULL should order before any value, got %d", c)
+	}
+	if c, _ := Compare(NewString("a"), NewNull()); c != 1 {
+		t.Errorf("value should order after NULL, got %d", c)
+	}
+	if c, _ := Compare(NewNull(), NewNull()); c != 0 {
+		t.Errorf("NULL vs NULL should be 0, got %d", c)
+	}
+}
+
+func TestCompareIncomparable(t *testing.T) {
+	if _, err := Compare(NewInt(1), NewString("1")); err == nil {
+		t.Error("comparing INT with STRING should fail")
+	}
+	if _, err := Compare(NewBool(true), NewString("true")); err == nil {
+		t.Error("comparing BOOL with STRING should fail")
+	}
+}
+
+func TestCompareStringsAndBools(t *testing.T) {
+	if c, _ := Compare(NewString("a"), NewString("b")); c != -1 {
+		t.Errorf("a < b expected, got %d", c)
+	}
+	if c, _ := Compare(NewBool(false), NewBool(true)); c != -1 {
+		t.Errorf("false < true expected, got %d", c)
+	}
+}
+
+func TestEqual(t *testing.T) {
+	if !Equal(NewInt(1), NewFloat(1.0)) {
+		t.Error("1 should equal 1.0")
+	}
+	if Equal(NewInt(1), NewInt(2)) {
+		t.Error("1 should not equal 2")
+	}
+	if !Equal(NewNull(), NewNull()) {
+		t.Error("NULL should hash-equal NULL")
+	}
+	if Equal(NewNull(), NewInt(0)) {
+		t.Error("NULL should not equal 0")
+	}
+}
+
+func TestRowCloneAndProject(t *testing.T) {
+	r := Row{NewInt(1), NewString("x"), NewFloat(2.5)}
+	c := r.Clone()
+	c[0] = NewInt(9)
+	if r[0].I != 1 {
+		t.Error("Clone must not share storage")
+	}
+	p := r.Project([]int{2, 0})
+	if len(p) != 2 || p[0].F != 2.5 || p[1].I != 1 {
+		t.Errorf("Project = %v", p)
+	}
+}
+
+// Key injectivity: distinct value slices encode to distinct keys; equal
+// (with numeric coercion) slices encode identically.
+func TestKeyInjectivityCorners(t *testing.T) {
+	pairs := [][2][]Value{
+		// Concatenation attacks: ("ab", "c") vs ("a", "bc").
+		{{NewString("ab"), NewString("c")}, {NewString("a"), NewString("bc")}},
+		// Empty string vs NULL.
+		{{NewString("")}, {NewNull()}},
+		// Int 0 vs Bool false.
+		{{NewInt(0)}, {NewBool(false)}},
+		// Int vs String of same digits.
+		{{NewInt(12)}, {NewString("12")}},
+	}
+	for _, p := range pairs {
+		if Key(p[0]) == Key(p[1]) {
+			t.Errorf("Key collision between %v and %v", p[0], p[1])
+		}
+	}
+	// Numeric coercion: 1 and 1.0 must agree (hash-join correctness).
+	if Key([]Value{NewInt(1)}) != Key([]Value{NewFloat(1.0)}) {
+		t.Error("Key(1) must equal Key(1.0) to match Equal semantics")
+	}
+	// Non-integral floats stand alone.
+	if Key([]Value{NewFloat(1.5)}) == Key([]Value{NewInt(1)}) {
+		t.Error("Key(1.5) must differ from Key(1)")
+	}
+}
+
+func TestKeyQuickInjectivity(t *testing.T) {
+	// Property: Key agreement coincides with element-wise Equal.
+	f := func(a1, a2 int64, s1, s2 string) bool {
+		k1 := Key([]Value{NewInt(a1), NewString(s1)})
+		k2 := Key([]Value{NewInt(a2), NewString(s2)})
+		same := a1 == a2 && s1 == s2
+		return (k1 == k2) == same
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKeyFloatCanonicalisation(t *testing.T) {
+	f := func(x int32) bool {
+		// Every int32 is exactly representable as float64.
+		return Key([]Value{NewInt(int64(x))}) == Key([]Value{NewFloat(float64(x))})
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareTotalOrderOnInts(t *testing.T) {
+	f := func(a, b, c int64) bool {
+		va, vb, vc := NewInt(a), NewInt(b), NewInt(c)
+		ab, _ := Compare(va, vb)
+		ba, _ := Compare(vb, va)
+		if ab != -ba {
+			return false
+		}
+		// Transitivity spot check.
+		bc, _ := Compare(vb, vc)
+		ac, _ := Compare(va, vc)
+		if ab < 0 && bc < 0 && ac >= 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAsFloat(t *testing.T) {
+	if f, ok := NewInt(3).AsFloat(); !ok || f != 3 {
+		t.Errorf("AsFloat(3) = %v, %v", f, ok)
+	}
+	if f, ok := NewFloat(2.5).AsFloat(); !ok || f != 2.5 {
+		t.Errorf("AsFloat(2.5) = %v, %v", f, ok)
+	}
+	if _, ok := NewString("x").AsFloat(); ok {
+		t.Error("AsFloat on string should fail")
+	}
+	if _, ok := NewNull().AsFloat(); ok {
+		t.Error("AsFloat on NULL should fail")
+	}
+}
+
+func TestKeyLargeFloats(t *testing.T) {
+	// Floats beyond int64 precision must still be injective.
+	vals := []float64{math.MaxFloat64, -math.MaxFloat64, 1e300, -1e300, 0.1, -0.1}
+	seen := map[string]float64{}
+	for _, f := range vals {
+		k := Key([]Value{NewFloat(f)})
+		if prev, dup := seen[k]; dup {
+			t.Errorf("Key collision between %g and %g", prev, f)
+		}
+		seen[k] = f
+	}
+}
+
+func TestZeroValueIsNull(t *testing.T) {
+	var v Value
+	if !v.IsNull() {
+		t.Error("zero Value must be NULL")
+	}
+	if !reflect.DeepEqual(v, NewNull()) {
+		t.Error("NewNull must equal the zero Value")
+	}
+}

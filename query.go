@@ -1,0 +1,342 @@
+package beas
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/bounded-eval/beas/internal/analyze"
+	"github.com/bounded-eval/beas/internal/approx"
+	"github.com/bounded-eval/beas/internal/core"
+	"github.com/bounded-eval/beas/internal/engine"
+	"github.com/bounded-eval/beas/internal/exec"
+	"github.com/bounded-eval/beas/internal/sqlparser"
+	"github.com/bounded-eval/beas/internal/value"
+)
+
+// Baseline identifies a conventional-DBMS emulation profile.
+type Baseline string
+
+// Baseline profiles mirroring the paper's comparators.
+const (
+	BaselinePostgres Baseline = "postgresql"
+	BaselineMySQL    Baseline = "mysql"
+	BaselineMariaDB  Baseline = "mariadb"
+)
+
+func baselineProfile(b Baseline) (engine.Profile, error) {
+	switch b {
+	case BaselinePostgres, "":
+		return engine.ProfilePostgres, nil
+	case BaselineMySQL:
+		return engine.ProfileMySQL, nil
+	case BaselineMariaDB:
+		return engine.ProfileMariaDB, nil
+	default:
+		return engine.Profile{}, fmt.Errorf("beas: unknown baseline %q", b)
+	}
+}
+
+// parsed is a fully analysed statement: one query per UNION branch.
+type parsed struct {
+	branches []*analyze.Query
+	unionAll []bool // unionAll[i] applies between branch i-1 and i
+}
+
+func (db *DB) parse(sql string) (*parsed, error) {
+	db.mu.RLock()
+	version := db.catalogVersion
+	db.mu.RUnlock()
+	if hit, ok := db.planCache.Load(sql); ok {
+		if c := hit.(*cachedParse); c.version == version {
+			return c.p, nil
+		}
+	}
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	p := &parsed{}
+	all := false
+	for s := stmt; s != nil; s = s.Union {
+		q, err := analyze.Analyze(s.Select, db.schema)
+		if err != nil {
+			return nil, err
+		}
+		p.branches = append(p.branches, q)
+		p.unionAll = append(p.unionAll, all)
+		all = s.UnionAll
+	}
+	for i := 1; i < len(p.branches); i++ {
+		if len(p.branches[i].Outputs) != len(p.branches[0].Outputs) {
+			return nil, fmt.Errorf("beas: UNION branches have different arities")
+		}
+	}
+	if db.catalogVersion == version {
+		db.planCache.Store(sql, &cachedParse{version: version, p: p})
+	}
+	return p, nil
+}
+
+// Check runs the BE Checker: is the query covered by the registered
+// access schema, and how much data would a bounded plan fetch? Nothing is
+// executed. For UNION queries every branch must be covered; the bound is
+// the sum over branches.
+func (db *DB) Check(sql string) (*CheckInfo, error) {
+	p, err := db.parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	info := &CheckInfo{Covered: true, EmptyGuaranteed: true}
+	var planText string
+	for i, q := range p.branches {
+		chk := core.Check(q, db.access)
+		if !chk.EmptyGuaranteed {
+			info.EmptyGuaranteed = false
+		}
+		info.Bound = satAdd(info.Bound, chk.TotalBound)
+		info.OutputBound = satAdd(info.OutputBound, chk.OutputBound)
+		info.ConstraintsUsed += chk.ConstraintsUsed
+		if !chk.Covered {
+			info.Covered = false
+			if info.Reason == "" {
+				info.Reason = chk.Reason
+			}
+			pp, err := core.NewPartialPlan(q, chk)
+			if err == nil {
+				planText += fmt.Sprintf("branch %d:\n%s", i+1, pp.Describe(q))
+			}
+			continue
+		}
+		plan, err := core.NewPlan(q, chk)
+		if err != nil {
+			return nil, err
+		}
+		if len(p.branches) > 1 {
+			planText += fmt.Sprintf("branch %d:\n", i+1)
+		}
+		planText += plan.Describe()
+	}
+	info.Plan = planText
+	return info, nil
+}
+
+func satAdd(a, b uint64) uint64 {
+	if a+b < a {
+		return ^uint64(0)
+	}
+	return a + b
+}
+
+// Query evaluates sql, preferring bounded evaluation: a covered query (or
+// UNION branch) runs through a bounded plan; otherwise a partially
+// bounded plan runs its covered sub-query boundedly and delegates the
+// rest to the conventional engine.
+func (db *DB) Query(sql string) (*Result, error) {
+	return db.query(sql, true)
+}
+
+// QueryBounded evaluates sql with a bounded plan only, failing when the
+// query is not covered by the access schema.
+func (db *DB) QueryBounded(sql string) (*Result, error) {
+	return db.query(sql, false)
+}
+
+func (db *DB) query(sql string, allowFallback bool) (*Result, error) {
+	p, err := db.parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	start := time.Now()
+	res := &Result{Columns: p.branches[0].OutputNames(), Stats: Stats{Mode: ModeBounded, Covered: true}}
+	var rows []value.Row
+	for i, q := range p.branches {
+		chk := core.Check(q, db.access)
+		var branchRows []value.Row
+		switch {
+		case chk.Covered:
+			plan, err := core.NewPlan(q, chk)
+			if err != nil {
+				return nil, err
+			}
+			branchRows, err = db.runBounded(plan, chk, res)
+			if err != nil {
+				return nil, err
+			}
+		case allowFallback:
+			var err error
+			branchRows, err = db.runPartial(q, chk, res)
+			if err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("beas: query is not covered by the access schema: %s", chk.Reason)
+		}
+		if i > 0 && !p.unionAll[i] {
+			rows = exec.Dedup(append(rows, branchRows...))
+		} else {
+			rows = append(rows, branchRows...)
+		}
+	}
+	res.Rows = rows
+	res.Stats.Duration = time.Since(start)
+	if res.Stats.Mode == ModeBounded && res.Stats.TuplesFetched == 0 && res.Stats.Bound == 0 {
+		res.Stats.Mode = ModeEmpty
+	}
+	return res, nil
+}
+
+// runBounded executes a bounded plan and folds its statistics into res.
+func (db *DB) runBounded(plan *core.Plan, chk *core.CheckResult, res *Result) ([]value.Row, error) {
+	rows, st, err := core.Run(plan)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.Bound = satAdd(res.Stats.Bound, chk.TotalBound)
+	res.Stats.ConstraintsUsed += chk.ConstraintsUsed
+	res.Stats.TuplesFetched += st.Fetched
+	for _, s := range st.Steps {
+		res.Stats.FetchSteps = append(res.Stats.FetchSteps, StepStat(s))
+	}
+	res.Stats.Plan += plan.Describe()
+	return rows, nil
+}
+
+// runPartial executes a partially bounded plan and folds statistics.
+func (db *DB) runPartial(q *analyze.Query, chk *core.CheckResult, res *Result) ([]value.Row, error) {
+	pp, err := core.NewPartialPlan(q, chk)
+	if err != nil {
+		return nil, err
+	}
+	rows, subStats, engStats, err := core.RunPartial(pp, q, db.fallback)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.Covered = false
+	if pp.Sub != nil {
+		res.Stats.Mode = ModePartial
+	} else {
+		res.Stats.Mode = ModeConventional
+	}
+	res.Stats.TuplesFetched += subStats.Fetched
+	res.Stats.TuplesScanned += engStats.Scanned
+	for _, s := range subStats.Steps {
+		res.Stats.FetchSteps = append(res.Stats.FetchSteps, StepStat(s))
+	}
+	for _, o := range engStats.Ops {
+		res.Stats.Ops = append(res.Stats.Ops, OpStat(o))
+	}
+	res.Stats.Plan += pp.Describe(q)
+	return rows, nil
+}
+
+// QueryBaseline evaluates sql purely conventionally under one of the
+// emulated DBMS profiles, ignoring the access schema — the comparator of
+// the paper's evaluation.
+func (db *DB) QueryBaseline(sql string, baseline Baseline) (*Result, error) {
+	prof, err := baselineProfile(baseline)
+	if err != nil {
+		return nil, err
+	}
+	p, err := db.parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	start := time.Now()
+	eng := engine.New(db.store, prof)
+	res := &Result{Columns: p.branches[0].OutputNames(), Stats: Stats{Mode: ModeConventional}}
+	var rows []value.Row
+	for i, q := range p.branches {
+		branchRows, st, err := eng.Run(q)
+		if err != nil {
+			return nil, err
+		}
+		res.Stats.TuplesScanned += st.Scanned
+		for _, o := range st.Ops {
+			res.Stats.Ops = append(res.Stats.Ops, OpStat(o))
+		}
+		if i > 0 && !p.unionAll[i] {
+			rows = exec.Dedup(append(rows, branchRows...))
+		} else {
+			rows = append(rows, branchRows...)
+		}
+	}
+	res.Rows = rows
+	res.Stats.Plan = eng.Describe(p.branches[0])
+	res.Stats.Duration = time.Since(start)
+	return res, nil
+}
+
+// QueryApprox evaluates a covered query under a budget on the number of
+// tuples fetched, returning a subset of the exact answer and a
+// deterministic accuracy lower bound (coverage ∈ [0,1]; 1 = exact).
+func (db *DB) QueryApprox(sql string, budget int64) (*Result, float64, error) {
+	p, err := db.parse(sql)
+	if err != nil {
+		return nil, 0, err
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	start := time.Now()
+	res := &Result{Columns: p.branches[0].OutputNames(), Stats: Stats{Mode: ModeBounded, Covered: true}}
+	coverage := 1.0
+	remaining := budget
+	var rows []value.Row
+	for i, q := range p.branches {
+		chk := core.Check(q, db.access)
+		if !chk.Covered {
+			return nil, 0, fmt.Errorf("beas: approximation requires a covered query: %s", chk.Reason)
+		}
+		plan, err := core.NewPlan(q, chk)
+		if err != nil {
+			return nil, 0, err
+		}
+		budgetHere := remaining
+		if budgetHere <= 0 {
+			budgetHere = 1
+		}
+		ar, err := approx.Run(plan, budgetHere)
+		if err != nil {
+			return nil, 0, err
+		}
+		remaining -= ar.Fetched
+		coverage *= ar.Coverage
+		res.Stats.TuplesFetched += ar.Fetched
+		res.Stats.Bound = satAdd(res.Stats.Bound, chk.TotalBound)
+		if i > 0 && !p.unionAll[i] {
+			rows = exec.Dedup(append(rows, ar.Rows...))
+		} else {
+			rows = append(rows, ar.Rows...)
+		}
+	}
+	res.Rows = rows
+	res.Stats.Duration = time.Since(start)
+	return res, coverage, nil
+}
+
+// Explain returns a human-readable description of how Query would
+// evaluate sql: the checker verdict, the deduced bound and the plan.
+func (db *DB) Explain(sql string) (string, error) {
+	info, err := db.Check(sql)
+	if err != nil {
+		return "", err
+	}
+	var out string
+	switch {
+	case info.EmptyGuaranteed:
+		out = "empty answer guaranteed (contradictory constants); no data access\n"
+	case info.Covered:
+		out = fmt.Sprintf("boundedly evaluable: fetches at most %d tuples using %d access constraints\nbounded plan:\n%s",
+			info.Bound, info.ConstraintsUsed, info.Plan)
+	default:
+		out = fmt.Sprintf("not covered by the access schema: %s\n%s", info.Reason, info.Plan)
+	}
+	return out, nil
+}

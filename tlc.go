@@ -1,0 +1,88 @@
+package beas
+
+import (
+	"fmt"
+
+	"github.com/bounded-eval/beas/internal/access"
+	"github.com/bounded-eval/beas/internal/engine"
+	"github.com/bounded-eval/beas/internal/storage"
+	"github.com/bounded-eval/beas/internal/tlc"
+)
+
+// TLCQuery is one built-in query of the TLC telecom benchmark.
+type TLCQuery struct {
+	Name        string
+	Description string
+	SQL         string
+	// Covered is the expected BE Checker verdict under the reference
+	// access schema.
+	Covered bool
+}
+
+// TLCQueries returns the benchmark's 11 built-in analytical queries
+// (Q1 is the paper's Example 2).
+func TLCQueries() []TLCQuery {
+	qs := tlc.Queries()
+	out := make([]TLCQuery, len(qs))
+	for i, q := range qs {
+		out[i] = TLCQuery{Name: q.Name, Description: q.Description, SQL: q.SQL, Covered: q.Covered}
+	}
+	return out
+}
+
+// TLCAccessSchema returns the reference access schema of the benchmark in
+// the paper's notation (ψ1–ψ3 of Example 1 plus extensions).
+func TLCAccessSchema() []string { return tlc.AccessSchemaSpecs() }
+
+// NewTLCDB generates a TLC benchmark database at the given scale factor
+// (the stand-in for the paper's 1 GB → 200 GB sweep; row counts grow
+// linearly with scale) and registers the reference access schema.
+func NewTLCDB(scale int) (*DB, error) {
+	sch := tlc.Database()
+	store := storage.NewStore(sch)
+	if err := tlc.Generate(store, tlc.Config{Scale: scale, Seed: 20170514}); err != nil {
+		return nil, err
+	}
+	db := &DB{
+		schema:   sch,
+		store:    store,
+		access:   access.NewSchema(store),
+		fallback: engine.New(store, engine.ProfilePostgres),
+	}
+	for _, spec := range tlc.AccessSchemaSpecs() {
+		if err := db.RegisterConstraint(spec); err != nil {
+			return nil, fmt.Errorf("beas: registering TLC access schema: %w", err)
+		}
+	}
+	return db, nil
+}
+
+// MustNewTLCDB is NewTLCDB that panics on error.
+func MustNewTLCDB(scale int) *DB {
+	db, err := NewTLCDB(scale)
+	if err != nil {
+		panic(err)
+	}
+	return db
+}
+
+// NewTLCSchemaDB creates an empty database with the TLC relation schemas
+// but no data and no access schema — for loading CSVs written by tlcgen
+// and registering constraints afterwards.
+func NewTLCSchemaDB() *DB {
+	sch := tlc.Database()
+	store := storage.NewStore(sch)
+	return &DB{
+		schema:   sch,
+		store:    store,
+		access:   access.NewSchema(store),
+		fallback: engine.New(store, engine.ProfilePostgres),
+	}
+}
+
+// TableNames returns the database's table names.
+func (db *DB) TableNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.store.Names()
+}
