@@ -241,6 +241,89 @@ func BenchmarkMaintenanceRebuild(b *testing.B) {
 	}
 }
 
+// BenchmarkLimitEarlyExit measures streaming early termination on the
+// TLC schema: a LIMIT 10 over the call ⋈ package join must stop the
+// pipeline after about a batch instead of materialising the full join
+// (compare the "full" series, which drains it).
+func BenchmarkLimitEarlyExit(b *testing.B) {
+	const scale = 5
+	join := "SELECT call.region, package.pid FROM call, package WHERE call.pnum = package.pnum"
+	b.Run("limit10", func(b *testing.B) {
+		db := tlcDB(b, scale)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := db.QueryBaseline(join+" LIMIT 10", BaselinePostgres)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Rows) != 10 {
+				b.Fatalf("got %d rows", len(res.Rows))
+			}
+		}
+	})
+	b.Run("full", func(b *testing.B) {
+		db := tlcDB(b, scale)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.QueryBaseline(join, BaselinePostgres); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkBatchedScan measures the storage cursor the streaming scans
+// are built on: batch-at-a-time row copies under a short read lock.
+func BenchmarkBatchedScan(b *testing.B) {
+	db := tlcDB(b, 5)
+	table, ok := db.store.Table("call")
+	if !ok {
+		b.Fatal("no call table")
+	}
+	buf := make([]value.Row, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cur := table.Scan()
+		rows := 0
+		for {
+			n, err := cur.Next(buf)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if n == 0 {
+				break
+			}
+			rows += n
+		}
+		if rows == 0 {
+			b.Fatal("empty scan")
+		}
+	}
+}
+
+// BenchmarkQueryIter measures the streaming cursor against the
+// materialising path on the paper's Example 2 query.
+func BenchmarkQueryIter(b *testing.B) {
+	db := tlcDB(b, 5)
+	sql := tlcSQLFor(b, "Q1")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ri, err := db.QueryIter(sql)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for {
+			batch, err := ri.NextBatch()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if batch == nil {
+				break
+			}
+		}
+	}
+}
+
 // BenchmarkIndexFetch is a micro-benchmark of the constraint hash index
 // probe at the heart of every bounded plan.
 func BenchmarkIndexFetch(b *testing.B) {

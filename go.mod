@@ -1,0 +1,3 @@
+module github.com/bounded-eval/beas
+
+go 1.24

@@ -97,9 +97,16 @@ func (ix *Index) Fetch(key []value.Value) ([]value.Row, int) {
 // the counts to preserve SQL bag semantics (duplicate base rows, COUNT)
 // while still fetching only distinct partial tuples.
 func (ix *Index) FetchWeighted(key []value.Value) (rows []value.Row, counts []int64, accessed int) {
+	return ix.FetchWeightedEncoded(value.Key(key))
+}
+
+// FetchWeightedEncoded is FetchWeighted for a key already passed through
+// value.Key. The bounded executor encodes each probe key once for its
+// memoisation table and reuses the encoding here instead of re-encoding.
+func (ix *Index) FetchWeightedEncoded(key string) (rows []value.Row, counts []int64, accessed int) {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	b, ok := ix.buckets[value.Key(key)]
+	b, ok := ix.buckets[key]
 	if !ok {
 		return nil, nil, 0
 	}
@@ -174,19 +181,19 @@ func (ix *Index) OnInsert(row value.Row) {
 }
 
 func (ix *Index) insertLocked(row value.Row) {
-	xKey := value.Key(row.Project(ix.xPos))
-	y := row.Project(ix.yPos)
-	yKey := value.Key(y)
-	b, ok := ix.buckets[xKey]
+	var kb [48]byte
+	b, ok := ix.buckets[string(value.AppendRowKey(kb[:0], row, ix.xPos))]
 	if !ok {
 		b = &bucket{refs: make(map[string]int, 1)}
-		ix.buckets[xKey] = b
+		ix.buckets[string(value.AppendRowKey(kb[:0], row, ix.xPos))] = b
 	}
-	if pos, ok := b.refs[yKey]; ok {
+	yk := value.AppendRowKey(kb[:0], row, ix.yPos)
+	if pos, ok := b.refs[string(yk)]; ok {
 		b.counts[pos]++
 		return
 	}
-	b.refs[yKey] = len(b.order)
+	y := row.Project(ix.yPos)
+	b.refs[string(yk)] = len(b.order)
 	b.order = append(b.order, y)
 	b.counts = append(b.counts, 1)
 	ix.tuples++
@@ -200,7 +207,8 @@ func (ix *Index) insertLocked(row value.Row) {
 func (ix *Index) OnDelete(row value.Row) {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
-	xKey := value.Key(row.Project(ix.xPos))
+	var kb [48]byte
+	xKey := string(value.AppendRowKey(kb[:0], row, ix.xPos))
 	b, ok := ix.buckets[xKey]
 	if !ok {
 		return

@@ -7,6 +7,7 @@ import (
 
 	"github.com/bounded-eval/beas/internal/analyze"
 	"github.com/bounded-eval/beas/internal/engine"
+	"github.com/bounded-eval/beas/internal/iter"
 	"github.com/bounded-eval/beas/internal/value"
 )
 
@@ -82,6 +83,24 @@ func NewPartialPlan(q *analyze.Query, chk *CheckResult) (*PartialPlan, error) {
 // returned stats separate fetched tuples (bounded part) from scanned
 // tuples (conventional part).
 func RunPartial(pp *PartialPlan, q *analyze.Query, eng *engine.Engine) ([]value.Row, *Stats, *engine.Stats, error) {
+	it, st, engStats, err := StreamPartial(pp, q, eng)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	out, _, err := iter.Collect(it)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return out, st, engStats, nil
+}
+
+// StreamPartial is RunPartial in streaming form: the bounded sub-plan is
+// still executed eagerly (its size is bounded by the access schema, so
+// materialising it is exactly the cost the checker promised), but the
+// conventional join over the materialised source and the remaining scans
+// streams. Engine statistics accrue while the iterator is consumed; the
+// bounded sub-plan's stats are final on return.
+func StreamPartial(pp *PartialPlan, q *analyze.Query, eng *engine.Engine) (iter.Iterator, *Stats, *engine.Stats, error) {
 	var sources []engine.Source
 	st := &Stats{}
 	if pp.Sub != nil {
@@ -108,11 +127,11 @@ func RunPartial(pp *PartialPlan, q *analyze.Query, eng *engine.Engine) ([]value.
 			Name:  "bounded(" + atomNames(q, pp.Fetched) + ")",
 		})
 	}
-	out, engStats, err := eng.RunWithSources(q, sources)
+	it, engStats, err := eng.Stream(q, sources)
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	return out, st, engStats, nil
+	return it, st, engStats, nil
 }
 
 // Describe renders the partially bounded plan.

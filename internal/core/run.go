@@ -6,11 +6,15 @@ import (
 
 	"github.com/bounded-eval/beas/internal/analyze"
 	"github.com/bounded-eval/beas/internal/exec"
+	"github.com/bounded-eval/beas/internal/iter"
 	"github.com/bounded-eval/beas/internal/value"
 )
 
 // StepStat records what one fetch step actually did, feeding the
 // performance analyser of the demo (Fig. 3: per-operation breakdown).
+// With streaming execution the counters reflect the work the step was
+// actually pulled for — a LIMIT that stops the pipeline early leaves
+// later steps with less (or zero) work recorded.
 type StepStat struct {
 	Atom        string
 	Constraint  string
@@ -20,7 +24,9 @@ type StepStat struct {
 	Duration    time.Duration
 }
 
-// Stats aggregates bounded-plan execution statistics.
+// Stats aggregates bounded-plan execution statistics. Counters accrue
+// while the plan streams; they are final once the result iterator is
+// exhausted or closed.
 type Stats struct {
 	Steps    []StepStat
 	Fetched  int64 // total partial tuples fetched = |D_Q|
@@ -32,121 +38,176 @@ type Stats struct {
 // statistics. All data access goes through the constraint indices'
 // fetch operation; the plan never scans a base relation.
 func Run(p *Plan) ([]value.Row, *Stats, error) {
+	it, st := Stream(p)
+	rows, _, err := iter.Collect(it)
+	if err != nil {
+		return nil, st, err
+	}
+	return rows, st, nil
+}
+
+// Stream builds the bounded plan's pull pipeline and returns an iterator
+// over the final result rows. Each fetch step is a streaming operator
+// extending batches of weighted intermediate rows through its constraint
+// index; the relational tail (internal/exec) pulls from the last step, so
+// a LIMIT k query stops probing the indices after k rows. Statistics
+// accrue in st while the iterator is consumed and are final once it is
+// exhausted or closed.
+func Stream(p *Plan) (iter.Iterator, *Stats) {
 	start := time.Now()
 	st := &Stats{}
 	if p.Check.EmptyGuaranteed {
-		st.Duration = time.Since(start)
-		return nil, st, nil
+		return iter.OnClose(iter.Empty(), func() { st.Duration = time.Since(start) }), st
 	}
-	q := p.Query
-	layout := p.Layout
+	q, layout := p.Query, p.Layout
 
 	// The intermediate relation starts as a single all-NULL row of the
 	// final width; fetch steps fill slots in. Each row carries a weight:
 	// the number of identical base-row combinations it stands for, since
 	// constraint indices return distinct partial tuples with witness
-	// counts (SQL bag semantics are restored at finish time).
-	width := layout.Len()
-	rows := []value.Row{make(value.Row, width)}
-	weights := []int64{1}
-
-	type wBucket struct {
-		rows   []value.Row
-		counts []int64
-	}
-	for _, step := range p.Steps {
-		stepStart := time.Now()
-		ss := StepStat{
+	// counts (SQL bag semantics are restored by the relational tail).
+	cur := iter.FromRows([]value.Row{make(value.Row, layout.Len())}, nil)
+	st.Steps = make([]StepStat, len(p.Steps))
+	for i := range p.Steps {
+		step := &p.Steps[i]
+		st.Steps[i] = StepStat{
 			Atom:       q.Atoms[step.Atom].Name,
 			Constraint: step.Constraint.String(),
 		}
-		// Memoise bucket lookups per distinct key: each distinct key is
-		// fetched from the index exactly once, giving the dedup-key
-		// semantics of the deduced bound.
-		memo := make(map[string]wBucket)
-
-		var next []value.Row
-		var nextW []int64
-		key := make([]value.Value, len(step.Keys))
-		var emit func(row value.Row, w int64, comp int)
-		var emitErr error
-		emit = func(row value.Row, w int64, comp int) {
-			if emitErr != nil {
-				return
-			}
-			if comp < len(step.Keys) {
-				src := step.Keys[comp]
-				if src.Consts == nil {
-					key[comp] = row[src.Slot]
-					emit(row, w, comp+1)
-					return
-				}
-				for _, c := range src.Consts {
-					key[comp] = c
-					emit(row, w, comp+1)
-					if emitErr != nil {
-						return
-					}
-				}
-				return
-			}
-			// Key complete: probe the index.
-			ks := value.Key(key)
-			bucket, seen := memo[ks]
-			if !seen {
-				rws, cnts, n := step.Index.FetchWeighted(key)
-				bucket = wBucket{rows: rws, counts: cnts}
-				memo[ks] = bucket
-				ss.DistinctKey++
-				ss.Fetched += int64(n)
-			}
-			for yi2, y := range bucket.rows {
-				out := row.Clone()
-				for i, s := range step.XSlots {
-					out[s] = key[i]
-				}
-				for i, yi := range step.YUsed {
-					out[step.YSlots[i]] = y[yi]
-				}
-				keep := true
-				for _, f := range step.Filters {
-					ok, err := analyze.EvalBool(f.Expr, out, layout)
-					if err != nil {
-						emitErr = fmt.Errorf("core: evaluating %s: %w", f, err)
-						return
-					}
-					if !ok {
-						keep = false
-						break
-					}
-				}
-				if keep {
-					next = append(next, out)
-					nextW = append(nextW, w*bucket.counts[yi2])
-				}
-			}
-		}
-		for ri, row := range rows {
-			emit(row, weights[ri], 0)
-			if emitErr != nil {
-				return nil, st, emitErr
-			}
-		}
-		rows, weights = next, nextW
-		ss.RowsOut = int64(len(rows))
-		ss.Duration = time.Since(stepStart)
-		st.Steps = append(st.Steps, ss)
-		st.Fetched += ss.Fetched
-		if len(rows) == 0 {
-			break // no intermediate rows: later steps fetch nothing
+		cur = &stepOp{
+			step:    step,
+			in:      cur,
+			layout:  layout,
+			ss:      &st.Steps[i],
+			fetched: &st.Fetched,
 		}
 	}
+	out := iter.Counted(exec.Stream(q, cur, layout), &st.RowsOut)
+	return iter.OnClose(out, func() { st.Duration = time.Since(start) }), st
+}
 
-	out, err := exec.FinishWeighted(q, rows, weights, layout)
-	if err != nil {
-		return nil, st, err
+// wBucket is one memoised index bucket: distinct partial tuples with
+// their witness counts.
+type wBucket struct {
+	rows   []value.Row
+	counts []int64
+}
+
+// stepOp executes one fetch step as a streaming operator: for every
+// weighted input row it enumerates the step's key candidates, probes the
+// constraint index (each distinct key exactly once, memoised — the
+// dedup-key semantics of the deduced bound), and emits the extended rows
+// that pass the step's filters.
+type stepOp struct {
+	step    *PlanStep
+	in      iter.Iterator
+	layout  *analyze.Layout
+	ss      *StepStat
+	fetched *int64
+
+	memo map[string]wBucket
+	key  []value.Value
+	kb   []byte
+	buf  iter.Batch
+	pos  int
+	done bool
+}
+
+func (s *stepOp) Open() error {
+	s.memo = make(map[string]wBucket)
+	s.key = make([]value.Value, len(s.step.Keys))
+	return s.in.Open()
+}
+
+func (s *stepOp) Close() error { return s.in.Close() }
+
+func (s *stepOp) Next(b *iter.Batch) (bool, error) {
+	// Record self time only: the pull into upstream steps is timed by
+	// those steps, so the per-step breakdown stays disjoint (Fig. 3).
+	t0 := time.Now()
+	var upstream time.Duration
+	defer func() { s.ss.Duration += time.Since(t0) - upstream }()
+	b.Reset()
+	for b.Len() < iter.BatchSize && !s.done {
+		if s.pos >= s.buf.Len() {
+			u0 := time.Now()
+			ok, err := s.in.Next(&s.buf)
+			upstream += time.Since(u0)
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				s.done = true
+				break
+			}
+			s.pos = 0
+			continue
+		}
+		row, w := s.buf.Rows[s.pos], s.buf.Weight(s.pos)
+		s.pos++
+		if err := s.expand(b, row, w, 0); err != nil {
+			return false, err
+		}
 	}
-	st.RowsOut = int64(len(out))
-	st.Duration = time.Since(start)
-	return out, st, nil
+	s.ss.RowsOut += int64(b.Len())
+	return b.Len() > 0, nil
+}
+
+// expand enumerates key components comp onward for row — a slot read or
+// a set of constant candidates per component — and, once the key is
+// complete, probes the index and appends the extended rows to b.
+func (s *stepOp) expand(b *iter.Batch, row value.Row, w int64, comp int) error {
+	if comp < len(s.step.Keys) {
+		src := s.step.Keys[comp]
+		if src.Consts == nil {
+			s.key[comp] = row[src.Slot]
+			return s.expand(b, row, w, comp+1)
+		}
+		for _, c := range src.Consts {
+			s.key[comp] = c
+			if err := s.expand(b, row, w, comp+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// Key complete: probe the index, fetching each distinct key once.
+	s.kb = s.kb[:0]
+	for _, kv := range s.key {
+		s.kb = value.AppendKey(s.kb, kv)
+	}
+	bucket, seen := s.memo[string(s.kb)]
+	if !seen {
+		ks := string(s.kb)
+		rws, cnts, n := s.step.Index.FetchWeightedEncoded(ks)
+		bucket = wBucket{rows: rws, counts: cnts}
+		s.memo[ks] = bucket
+		s.ss.DistinctKey++
+		s.ss.Fetched += int64(n)
+		*s.fetched += int64(n)
+	}
+	for yi, y := range bucket.rows {
+		out := row.Clone()
+		for i, slot := range s.step.XSlots {
+			out[slot] = s.key[i]
+		}
+		for i, yi2 := range s.step.YUsed {
+			out[s.step.YSlots[i]] = y[yi2]
+		}
+		keep := true
+		for _, f := range s.step.Filters {
+			ok, err := analyze.EvalBool(f.Expr, out, s.layout)
+			if err != nil {
+				return fmt.Errorf("core: evaluating %s: %w", f, err)
+			}
+			if !ok {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			b.Append(out, w*bucket.counts[yi])
+		}
+	}
+	return nil
 }

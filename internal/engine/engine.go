@@ -1,8 +1,15 @@
 // Package engine is the conventional query engine under BEAS: a
-// cost-based planner (filter pushdown, join ordering) over full-relation
-// scans, with hash, sort-merge and nested-loop joins.
+// cost-based planner (filter pushdown, join ordering) over batched
+// streaming scans, with hash, sort-merge and nested-loop joins.
 //
-// It plays two roles from the paper:
+// Execution is a pull pipeline of iterator operators (internal/iter):
+// scans stream batches of base rows through filters and projections,
+// joins materialise only their build side and stream the probe side, and
+// the relational tail (internal/exec) pulls from the root. Intermediate
+// relations are therefore never materialised wholesale — a LIMIT query
+// without ORDER BY stops the scans after enough rows.
+//
+// The engine plays two roles from the paper:
 //
 //   - the "underlying DBMS" that executes non-covered (sub-)queries, and
 //   - the commercial comparators (PostgreSQL / MySQL / MariaDB) of the
@@ -22,6 +29,7 @@ import (
 
 	"github.com/bounded-eval/beas/internal/analyze"
 	"github.com/bounded-eval/beas/internal/exec"
+	"github.com/bounded-eval/beas/internal/iter"
 	"github.com/bounded-eval/beas/internal/storage"
 	"github.com/bounded-eval/beas/internal/value"
 )
@@ -96,7 +104,8 @@ var (
 )
 
 // OpStat records one physical operator's work, for the per-operation
-// breakdown of the demo's performance analyser (Fig. 3).
+// breakdown of the demo's performance analyser (Fig. 3). With streaming
+// execution Duration is cumulative time spent in the operator's subtree.
 type OpStat struct {
 	Op       string
 	RowsIn   int64
@@ -104,12 +113,23 @@ type OpStat struct {
 	Duration time.Duration
 }
 
-// Stats aggregates conventional-plan execution statistics.
+// Stats aggregates conventional-plan execution statistics. Counters
+// accrue while the plan streams; they are final once the result iterator
+// is exhausted or closed.
 type Stats struct {
 	Scanned  int64 // base rows read from storage
 	RowsOut  int64
 	Ops      []OpStat
 	Duration time.Duration
+}
+
+// opTracker accumulates one operator's counters during streaming; the
+// finaliser turns trackers into OpStats in plan order.
+type opTracker struct {
+	op      string
+	rowsIn  int64
+	rowsOut int64
+	dur     time.Duration
 }
 
 // Engine executes resolved queries against a store under a profile.
@@ -136,25 +156,25 @@ type Source struct {
 	Name  string
 }
 
-// unit is an intermediate relation during join processing.
+// unit is an intermediate relation during join planning: an iterator
+// that will produce its rows plus the metadata the planner needs.
 type unit struct {
 	atoms  map[int]bool
 	cols   []analyze.ColID
 	layout *analyze.Layout
-	rows   []value.Row
+	it     iter.Iterator
 	est    float64
 	name   string
 }
 
-func newUnit(name string, atoms []int, cols []analyze.ColID, rows []value.Row) *unit {
-	u := &unit{atoms: make(map[int]bool), cols: cols, rows: rows, layout: analyze.NewLayout(), name: name}
+func newUnit(name string, atoms []int, cols []analyze.ColID, it iter.Iterator, est float64) *unit {
+	u := &unit{atoms: make(map[int]bool), cols: cols, it: it, layout: analyze.NewLayout(), name: name, est: est}
 	for _, a := range atoms {
 		u.atoms[a] = true
 	}
 	for _, c := range cols {
 		u.layout.Add(c)
 	}
-	u.est = float64(len(rows))
 	return u
 }
 
@@ -167,7 +187,7 @@ func (u *unit) hasAtoms(refs []int) bool {
 	return true
 }
 
-// Run plans and executes the query with full-table scans for every atom.
+// Run plans and executes the query with streaming scans for every atom.
 func (e *Engine) Run(q *analyze.Query) ([]value.Row, *Stats, error) {
 	return e.RunWithSources(q, nil)
 }
@@ -175,8 +195,25 @@ func (e *Engine) Run(q *analyze.Query) ([]value.Row, *Stats, error) {
 // RunWithSources is Run with some atoms replaced by pre-materialised
 // sources (partially bounded evaluation).
 func (e *Engine) RunWithSources(q *analyze.Query, sources []Source) ([]value.Row, *Stats, error) {
+	it, st, err := e.Stream(q, sources)
+	if err != nil {
+		return nil, st, err
+	}
+	rows, _, err := iter.Collect(it)
+	if err != nil {
+		return nil, st, err
+	}
+	return rows, st, nil
+}
+
+// Stream plans the query and returns a pull iterator over the final
+// result rows. Statistics accrue in st while the iterator is consumed
+// and are final once it is exhausted or closed; closing early (LIMIT)
+// abandons the rest of the pipeline without executing it.
+func (e *Engine) Stream(q *analyze.Query, sources []Source) (iter.Iterator, *Stats, error) {
 	start := time.Now()
 	st := &Stats{}
+	var trackers []*opTracker
 
 	applied := make([]bool, len(q.Conjuncts))
 	covered := make(map[int]bool)
@@ -185,7 +222,7 @@ func (e *Engine) RunWithSources(q *analyze.Query, sources []Source) ([]value.Row
 	// Pre-materialised sources: their internal conjuncts are already
 	// applied by the bounded executor.
 	for _, s := range sources {
-		u := newUnit(s.Name, s.Atoms, s.Cols, s.Rows)
+		u := newUnit(s.Name, s.Atoms, s.Cols, iter.FromRows(s.Rows, nil), float64(len(s.Rows)))
 		units = append(units, u)
 		for _, a := range s.Atoms {
 			covered[a] = true
@@ -197,79 +234,111 @@ func (e *Engine) RunWithSources(q *analyze.Query, sources []Source) ([]value.Row
 		}
 	}
 
-	// Scan the remaining atoms with filter (and optionally projection)
-	// pushdown.
+	// Streaming scans for the remaining atoms with filter (and optionally
+	// projection) pushdown.
 	for ai := range q.Atoms {
 		if covered[ai] {
 			continue
 		}
-		u, scanned, err := e.scanAtom(q, ai, applied, st)
+		u, err := e.scanAtom(q, ai, applied, st, &trackers)
 		if err != nil {
 			return nil, st, err
 		}
-		st.Scanned += scanned
 		units = append(units, u)
 	}
 
-	// Join ordering and execution.
+	// Join ordering, then compose the iterator tree: the accumulated
+	// chain streams as the probe side of each join.
 	order, err := e.joinOrder(q, units, applied)
 	if err != nil {
 		return nil, st, err
 	}
 	cur := units[order[0]]
 	for _, idx := range order[1:] {
-		cur, err = e.join(q, cur, units[idx], applied, st)
+		cur, err = e.join(q, cur, units[idx], applied, &trackers)
 		if err != nil {
 			return nil, st, err
 		}
 	}
 
-	// Residual conjuncts (anything not yet applied).
+	// Residual conjuncts (anything not yet applied) as streaming filters.
 	for ci, ok := range applied {
 		if ok {
 			continue
 		}
 		c := q.Conjuncts[ci]
-		t0 := time.Now()
-		in := int64(len(cur.rows))
-		kept := cur.rows[:0:0]
-		for _, r := range cur.rows {
-			pass, err := analyze.EvalBool(c.Expr, r, cur.layout)
-			if err != nil {
-				return nil, st, err
-			}
-			if pass {
-				kept = append(kept, r)
-			}
-		}
-		cur.rows = kept
-		st.Ops = append(st.Ops, OpStat{Op: "filter " + c.String(), RowsIn: in, RowsOut: int64(len(kept)), Duration: time.Since(t0)})
+		tr := &opTracker{op: "filter " + c.String()}
+		trackers = append(trackers, tr)
+		cur.it = &filterOp{in: cur.it, cond: c, layout: cur.layout, tr: tr}
+		applied[ci] = true
 	}
 
-	t0 := time.Now()
-	out, err := exec.Finish(q, cur.rows, cur.layout)
-	if err != nil {
-		return nil, st, err
-	}
-	tail := "project"
+	// Relational tail.
+	tailName := "project"
 	if q.IsAgg {
-		tail = "aggregate"
+		tailName = "aggregate"
 	}
-	st.Ops = append(st.Ops, OpStat{Op: tail, RowsIn: int64(len(cur.rows)), RowsOut: int64(len(out)), Duration: time.Since(t0)})
-	st.RowsOut = int64(len(out))
-	st.Duration = time.Since(start)
-	return out, st, nil
+	tailTr := &opTracker{op: tailName}
+	trackers = append(trackers, tailTr)
+	tailIn := iter.Counted(cur.it, &tailTr.rowsIn)
+	out := iter.Counted(exec.Stream(q, tailIn, cur.layout), &tailTr.rowsOut)
+
+	final := iter.OnClose(out, func() {
+		st.Ops = make([]OpStat, len(trackers))
+		for i, tr := range trackers {
+			st.Ops[i] = OpStat{Op: tr.op, RowsIn: tr.rowsIn, RowsOut: tr.rowsOut, Duration: tr.dur}
+		}
+		st.RowsOut = tailTr.rowsOut
+		st.Duration = time.Since(start)
+	})
+	return final, st, nil
 }
 
-// scanAtom produces the unit for one atom by scanning its table, applying
+// filterOp streams rows that satisfy one residual conjunct.
+type filterOp struct {
+	in     iter.Iterator
+	cond   analyze.Conjunct
+	layout *analyze.Layout
+	tr     *opTracker
+	buf    iter.Batch
+}
+
+func (f *filterOp) Open() error  { return f.in.Open() }
+func (f *filterOp) Close() error { return f.in.Close() }
+
+func (f *filterOp) Next(b *iter.Batch) (bool, error) {
+	t0 := time.Now()
+	defer func() { f.tr.dur += time.Since(t0) }()
+	b.Reset()
+	for b.Len() == 0 {
+		ok, err := f.in.Next(&f.buf)
+		if err != nil || !ok {
+			f.tr.rowsOut += int64(b.Len())
+			return b.Len() > 0, err
+		}
+		f.tr.rowsIn += int64(f.buf.Len())
+		for i, r := range f.buf.Rows {
+			pass, err := analyze.EvalBool(f.cond.Expr, r, f.layout)
+			if err != nil {
+				return false, err
+			}
+			if pass {
+				b.Append(r, f.buf.Weight(i))
+			}
+		}
+	}
+	f.tr.rowsOut += int64(b.Len())
+	return true, nil
+}
+
+// scanAtom produces the unit for one atom: a streaming scan applying
 // single-atom conjuncts and projecting according to the profile.
-func (e *Engine) scanAtom(q *analyze.Query, ai int, applied []bool, st *Stats) (*unit, int64, error) {
+func (e *Engine) scanAtom(q *analyze.Query, ai int, applied []bool, st *Stats, trackers *[]*opTracker) (*unit, error) {
 	atom := q.Atoms[ai]
 	table, ok := e.store.Table(atom.Rel.Name)
 	if !ok {
-		return nil, 0, fmt.Errorf("engine: no table for relation %q", atom.Rel.Name)
+		return nil, fmt.Errorf("engine: no table for relation %q", atom.Rel.Name)
 	}
-	t0 := time.Now()
 
 	// Full-relation layout for filter evaluation during the scan.
 	fullLayout := analyze.NewLayout()
@@ -303,41 +372,83 @@ func (e *Engine) scanAtom(q *analyze.Query, ai int, applied []bool, st *Stats) (
 		proj[i] = c.Attr
 	}
 
-	base := table.Rows()
-	var rows []value.Row
-	for _, r := range base {
-		rr := r
-		if e.prof.MaterializeRows {
-			// Emulate record unpacking: the engine copies the stored
-			// record before evaluating predicates.
-			rr = r.Clone()
-		}
-		pass := true
-		for _, f := range filters {
-			ok, err := analyze.EvalBool(f.Expr, rr, fullLayout)
-			if err != nil {
-				return nil, 0, err
-			}
-			if !ok {
-				pass = false
-				break
-			}
-		}
-		if !pass {
-			continue
-		}
-		rows = append(rows, value.Row(rr).Project(proj))
+	tr := &opTracker{op: fmt.Sprintf("scan %s (%s)", atom.Name, atom.Rel.Name)}
+	*trackers = append(*trackers, tr)
+	op := &scanOp{
+		table:       table,
+		filters:     filters,
+		layout:      fullLayout,
+		proj:        proj,
+		materialize: e.prof.MaterializeRows,
+		tr:          tr,
+		scanned:     &st.Scanned,
 	}
+	return newUnit(atom.Name, []int{ai}, cols, op, e.estimateScan(q, ai, table, filters)), nil
+}
 
-	u := newUnit(atom.Name, []int{ai}, cols, rows)
-	u.est = e.estimateScan(q, ai, table, filters)
-	st.Ops = append(st.Ops, OpStat{
-		Op:       fmt.Sprintf("scan %s (%s)", atom.Name, atom.Rel.Name),
-		RowsIn:   int64(len(base)),
-		RowsOut:  int64(len(rows)),
-		Duration: time.Since(t0),
-	})
-	return u, int64(len(base)), nil
+// scanOp streams a table through the pushed-down filters and projection,
+// one batch of rows at a time, never holding the whole relation.
+type scanOp struct {
+	table       *storage.Table
+	filters     []analyze.Conjunct
+	layout      *analyze.Layout
+	proj        []int
+	materialize bool
+	tr          *opTracker
+	scanned     *int64
+
+	cur *storage.Cursor
+	buf []value.Row
+}
+
+func (s *scanOp) Open() error {
+	s.cur = s.table.Scan()
+	s.buf = make([]value.Row, iter.BatchSize)
+	return nil
+}
+
+func (s *scanOp) Close() error { return nil }
+
+func (s *scanOp) Next(b *iter.Batch) (bool, error) {
+	t0 := time.Now()
+	defer func() { s.tr.dur += time.Since(t0) }()
+	b.Reset()
+	for b.Len() == 0 {
+		n, err := s.cur.Next(s.buf)
+		if err != nil {
+			return false, err
+		}
+		if n == 0 {
+			return false, nil
+		}
+		s.tr.rowsIn += int64(n)
+		*s.scanned += int64(n)
+		for _, r := range s.buf[:n] {
+			rr := r
+			if s.materialize {
+				// Emulate record unpacking: the engine copies the stored
+				// record before evaluating predicates.
+				rr = r.Clone()
+			}
+			pass := true
+			for _, f := range s.filters {
+				ok, err := analyze.EvalBool(f.Expr, rr, s.layout)
+				if err != nil {
+					return false, err
+				}
+				if !ok {
+					pass = false
+					break
+				}
+			}
+			if !pass {
+				continue
+			}
+			b.Append(rr.Project(s.proj), 1)
+		}
+	}
+	s.tr.rowsOut += int64(b.Len())
+	return true, nil
 }
 
 // estimateScan estimates the filtered cardinality of an atom using the
@@ -376,7 +487,7 @@ func selectivity(c analyze.Conjunct, stats *storage.TableStats) float64 {
 }
 
 // joinOrder returns the order in which units are joined (indices into
-// units); the first element is the build start.
+// units); the first element is the streaming probe chain's start.
 func (e *Engine) joinOrder(q *analyze.Query, units []*unit, applied []bool) ([]int, error) {
 	n := len(units)
 	if n == 0 {
@@ -399,9 +510,8 @@ func (e *Engine) joinOrder(q *analyze.Query, units []*unit, applied []bool) ([]i
 	}
 }
 
-// connected reports whether an unapplied equi-join conjunct links a unit
-// set (bitmask over units) with unit j, and returns the estimated join
-// selectivity.
+// joinSelectivity reports whether an unapplied equi-join conjunct links a
+// unit set with unit right, and returns the estimated join selectivity.
 func joinSelectivity(q *analyze.Query, units []*unit, leftAtoms map[int]bool, right *unit) (float64, bool) {
 	sel := 1.0
 	linked := false

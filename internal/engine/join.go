@@ -6,14 +6,16 @@ import (
 	"time"
 
 	"github.com/bounded-eval/beas/internal/analyze"
+	"github.com/bounded-eval/beas/internal/iter"
 	"github.com/bounded-eval/beas/internal/value"
 )
 
-// join combines two units with the profile's join algorithm, applying
-// every conjunct that becomes fully contained in the merged unit.
-func (e *Engine) join(q *analyze.Query, left, right *unit, applied []bool, st *Stats) (*unit, error) {
-	t0 := time.Now()
-
+// join wires left and right into a streaming join operator using the
+// profile's algorithm, applying every conjunct that becomes fully
+// contained in the merged unit. The accumulated left chain is the probe
+// side and streams batch-at-a-time; only the right side (one base
+// relation in a left-deep plan) is materialised by the operator.
+func (e *Engine) join(q *analyze.Query, left, right *unit, applied []bool, trackers *[]*opTracker) (*unit, error) {
 	// Equi-join keys: unapplied a = b conjuncts with one side in each
 	// unit.
 	var lKeys, rKeys []int // slots
@@ -42,7 +44,15 @@ func (e *Engine) join(q *analyze.Query, left, right *unit, applied []bool, st *S
 		applied[ci] = true
 	}
 
-	merged := newUnit(left.name+" ⋈ "+right.name, nil, append(append([]analyze.ColID{}, left.cols...), right.cols...), nil)
+	est := left.est * right.est
+	for range keyConjuncts {
+		est *= 0.01
+	}
+	if est < 1 {
+		est = 1
+	}
+	cols := append(append([]analyze.ColID{}, left.cols...), right.cols...)
+	merged := newUnit(left.name+" ⋈ "+right.name, nil, cols, nil, est)
 	for a := range left.atoms {
 		merged.atoms[a] = true
 	}
@@ -67,145 +77,340 @@ func (e *Engine) join(q *analyze.Query, left, right *unit, applied []bool, st *S
 	if len(lKeys) == 0 {
 		algo = NestedLoopJoin // cross product
 	}
-
-	emit := func(lr, rr value.Row) error {
-		out := make(value.Row, 0, len(lr)+len(rr))
-		out = append(out, lr...)
-		out = append(out, rr...)
-		for _, f := range post {
-			ok, err := analyze.EvalBool(f.Expr, out, merged.layout)
-			if err != nil {
-				return err
-			}
-			if !ok {
-				return nil
-			}
-		}
-		merged.rows = append(merged.rows, out)
-		return nil
+	tr := &opTracker{op: fmt.Sprintf("%s %s ⋈ %s", algo, left.name, right.name)}
+	*trackers = append(*trackers, tr)
+	base := joinBase{
+		probe:  left.it,
+		build:  right.it,
+		lKeys:  lKeys,
+		rKeys:  rKeys,
+		post:   post,
+		layout: merged.layout,
+		tr:     tr,
 	}
-
-	var err error
 	switch algo {
 	case HashJoin:
-		err = hashJoin(left, right, lKeys, rKeys, emit)
+		merged.it = &hashJoinOp{joinBase: base}
 	case SortMergeJoin:
-		err = sortMergeJoin(left, right, lKeys, rKeys, emit)
+		merged.it = &sortMergeJoinOp{joinBase: base}
 	default:
-		err = nestedLoopJoin(left, right, lKeys, rKeys, emit)
+		merged.it = &nestedLoopJoinOp{joinBase: base}
 	}
-	if err != nil {
-		return nil, err
-	}
-	merged.est = float64(len(merged.rows))
-	st.Ops = append(st.Ops, OpStat{
-		Op:       fmt.Sprintf("%s %s ⋈ %s", algo, left.name, right.name),
-		RowsIn:   int64(len(left.rows) + len(right.rows)),
-		RowsOut:  int64(len(merged.rows)),
-		Duration: time.Since(t0),
-	})
 	return merged, nil
 }
 
-// hashJoin builds a hash table on the smaller side and probes with the
-// larger, preserving left-row ordering in the output where possible.
-func hashJoin(left, right *unit, lKeys, rKeys []int, emit func(lr, rr value.Row) error) error {
-	buildLeft := len(left.rows) <= len(right.rows)
-	var buildRows, probeRows []value.Row
-	var buildKeys, probeKeys []int
-	if buildLeft {
-		buildRows, buildKeys = left.rows, lKeys
-		probeRows, probeKeys = right.rows, rKeys
-	} else {
-		buildRows, buildKeys = right.rows, rKeys
-		probeRows, probeKeys = left.rows, lKeys
+// joinBase is what every physical join operator shares: the streamed
+// probe input (the accumulated join chain), the build input (the unit
+// being joined in), the equi-join key slots on each side, and the
+// conjuncts that become evaluable on the concatenated row.
+type joinBase struct {
+	probe, build iter.Iterator
+	lKeys, rKeys []int
+	post         []analyze.Conjunct
+	layout       *analyze.Layout
+	tr           *opTracker
+
+	pbuf  iter.Batch // current probe batch
+	ppos  int
+	pdone bool
+}
+
+func (j *joinBase) Open() error {
+	if err := j.probe.Open(); err != nil {
+		return err
 	}
-	table := make(map[string][]value.Row, len(buildRows))
-	for _, r := range buildRows {
-		if rowKeyHasNull(r, buildKeys) {
-			continue // NULL keys never match
-		}
-		k := value.Key(r.Project(buildKeys))
-		table[k] = append(table[k], r)
+	return j.build.Open()
+}
+
+func (j *joinBase) Close() error {
+	err := j.probe.Close()
+	if err2 := j.build.Close(); err == nil {
+		err = err2
 	}
-	for _, pr := range probeRows {
-		if rowKeyHasNull(pr, probeKeys) {
-			continue
+	return err
+}
+
+// nextProbe returns the next probe row and its weight, pulling a fresh
+// batch when the current one is exhausted; ok=false means the probe side
+// is done (idempotently, so operators may keep asking).
+func (j *joinBase) nextProbe() (value.Row, int64, bool, error) {
+	if j.pdone {
+		return nil, 0, false, nil
+	}
+	for j.ppos >= j.pbuf.Len() {
+		ok, err := j.probe.Next(&j.pbuf)
+		if err != nil || !ok {
+			j.pdone = true
+			return nil, 0, false, err
 		}
-		k := value.Key(pr.Project(probeKeys))
-		for _, br := range table[k] {
-			var lr, rr value.Row
-			if buildLeft {
-				lr, rr = br, pr
-			} else {
-				lr, rr = pr, br
-			}
-			if err := emit(lr, rr); err != nil {
-				return err
-			}
+		j.tr.rowsIn += int64(j.pbuf.Len())
+		j.ppos = 0
+	}
+	r, w := j.pbuf.Rows[j.ppos], j.pbuf.Weight(j.ppos)
+	j.ppos++
+	return r, w, true, nil
+}
+
+// emit appends the concatenation of lr and rr with bag weight w to out,
+// unless a post-join filter rejects it.
+func (j *joinBase) emit(out *iter.Batch, lr, rr value.Row, w int64) error {
+	row := make(value.Row, 0, len(lr)+len(rr))
+	row = append(row, lr...)
+	row = append(row, rr...)
+	for _, f := range j.post {
+		ok, err := analyze.EvalBool(f.Expr, row, j.layout)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
 		}
 	}
+	out.Append(row, w)
 	return nil
 }
 
-// sortMergeJoin sorts both inputs on the encoded key and merges equal-key
-// runs.
-func sortMergeJoin(left, right *unit, lKeys, rKeys []int, emit func(lr, rr value.Row) error) error {
-	type keyed struct {
-		key string
-		row value.Row
+// joinBucket is one equal-key group of build rows with their weights.
+type joinBucket struct {
+	rows    []value.Row
+	weights []int64
+}
+
+// hashJoinOp materialises only its build side as a hash table (on the
+// first pull, so planning stays free) and streams the probe side through
+// it, one batch at a time.
+type hashJoinOp struct {
+	joinBase
+	table map[string]*joinBucket
+	built bool
+	key   []byte
+}
+
+func (h *hashJoinOp) buildTable() error {
+	h.table = make(map[string]*joinBucket)
+	var b iter.Batch
+	for {
+		ok, err := h.build.Next(&b)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		h.tr.rowsIn += int64(b.Len())
+		for i, r := range b.Rows {
+			if rowKeyHasNull(r, h.rKeys) {
+				continue // NULL keys never match
+			}
+			h.key = value.AppendRowKey(h.key[:0], r, h.rKeys)
+			bk, ok := h.table[string(h.key)]
+			if !ok {
+				bk = &joinBucket{}
+				h.table[string(h.key)] = bk
+			}
+			bk.rows = append(bk.rows, r)
+			bk.weights = append(bk.weights, b.Weight(i))
+		}
 	}
-	prepare := func(rows []value.Row, keys []int) []keyed {
-		out := make([]keyed, 0, len(rows))
-		for _, r := range rows {
+}
+
+func (h *hashJoinOp) Next(out *iter.Batch) (bool, error) {
+	t0 := time.Now()
+	defer func() { h.tr.dur += time.Since(t0) }()
+	if !h.built {
+		if err := h.buildTable(); err != nil {
+			return false, err
+		}
+		h.built = true
+	}
+	out.Reset()
+	for out.Len() < iter.BatchSize {
+		pr, pw, ok, err := h.nextProbe()
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			break
+		}
+		if rowKeyHasNull(pr, h.lKeys) {
+			continue
+		}
+		h.key = value.AppendRowKey(h.key[:0], pr, h.lKeys)
+		bk := h.table[string(h.key)]
+		if bk == nil {
+			continue
+		}
+		for i, br := range bk.rows {
+			if err := h.emit(out, pr, br, pw*bk.weights[i]); err != nil {
+				return false, err
+			}
+		}
+	}
+	h.tr.rowsOut += int64(out.Len())
+	return out.Len() > 0, nil
+}
+
+// keyedRow is a row tagged with its encoded join key and bag weight.
+type keyedRow struct {
+	key string
+	row value.Row
+	w   int64
+}
+
+// sortMergeJoinOp is inherently blocking on both inputs: it drains and
+// sorts them on the encoded key on the first pull, then streams the
+// merged equal-key runs batch-at-a-time (the cross product of a run is
+// resumable, so one pull never emits more than about a batch).
+type sortMergeJoinOp struct {
+	joinBase
+	ls, rs   []keyedRow
+	prepared bool
+	li, ri   int // merge positions
+	le, re   int // current equal-key run end (valid while inRun)
+	la, ra   int // cross-product cursor within the run
+	inRun    bool
+}
+
+func (s *sortMergeJoinOp) drainKeyed(it iter.Iterator, keys []int) ([]keyedRow, error) {
+	var out []keyedRow
+	var b iter.Batch
+	var kb []byte
+	for {
+		ok, err := it.Next(&b)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			sort.SliceStable(out, func(i, j int) bool { return out[i].key < out[j].key })
+			return out, nil
+		}
+		s.tr.rowsIn += int64(b.Len())
+		for i, r := range b.Rows {
 			if rowKeyHasNull(r, keys) {
 				continue
 			}
-			out = append(out, keyed{key: value.Key(r.Project(keys)), row: r})
-		}
-		sort.Slice(out, func(i, j int) bool { return out[i].key < out[j].key })
-		return out
-	}
-	ls := prepare(left.rows, lKeys)
-	rs := prepare(right.rows, rKeys)
-	i, j := 0, 0
-	for i < len(ls) && j < len(rs) {
-		switch {
-		case ls[i].key < rs[j].key:
-			i++
-		case ls[i].key > rs[j].key:
-			j++
-		default:
-			// Equal-key runs.
-			i2 := i
-			for i2 < len(ls) && ls[i2].key == ls[i].key {
-				i2++
-			}
-			j2 := j
-			for j2 < len(rs) && rs[j2].key == rs[j].key {
-				j2++
-			}
-			for a := i; a < i2; a++ {
-				for b := j; b < j2; b++ {
-					if err := emit(ls[a].row, rs[b].row); err != nil {
-						return err
-					}
-				}
-			}
-			i, j = i2, j2
+			kb = value.AppendRowKey(kb[:0], r, keys)
+			out = append(out, keyedRow{key: string(kb), row: r, w: b.Weight(i)})
 		}
 	}
-	return nil
 }
 
-// nestedLoopJoin compares every pair; used for cross products and as the
-// explicit NestedLoopJoin profile algorithm.
-func nestedLoopJoin(left, right *unit, lKeys, rKeys []int, emit func(lr, rr value.Row) error) error {
-	for _, lr := range left.rows {
-		for _, rr := range right.rows {
+func (s *sortMergeJoinOp) Next(out *iter.Batch) (bool, error) {
+	t0 := time.Now()
+	defer func() { s.tr.dur += time.Since(t0) }()
+	if !s.prepared {
+		var err error
+		if s.ls, err = s.drainKeyed(s.probe, s.lKeys); err != nil {
+			return false, err
+		}
+		if s.rs, err = s.drainKeyed(s.build, s.rKeys); err != nil {
+			return false, err
+		}
+		s.prepared = true
+	}
+	out.Reset()
+	for out.Len() < iter.BatchSize {
+		if s.inRun {
+			if err := s.emit(out, s.ls[s.la].row, s.rs[s.ra].row, s.ls[s.la].w*s.rs[s.ra].w); err != nil {
+				return false, err
+			}
+			s.ra++
+			if s.ra >= s.re {
+				s.ra = s.ri
+				s.la++
+			}
+			if s.la >= s.le {
+				s.inRun = false
+				s.li, s.ri = s.le, s.re
+			}
+			continue
+		}
+		if s.li >= len(s.ls) || s.ri >= len(s.rs) {
+			break
+		}
+		switch {
+		case s.ls[s.li].key < s.rs[s.ri].key:
+			s.li++
+		case s.ls[s.li].key > s.rs[s.ri].key:
+			s.ri++
+		default:
+			// Found an equal-key run on both sides.
+			s.le = s.li
+			for s.le < len(s.ls) && s.ls[s.le].key == s.ls[s.li].key {
+				s.le++
+			}
+			s.re = s.ri
+			for s.re < len(s.rs) && s.rs[s.re].key == s.rs[s.ri].key {
+				s.re++
+			}
+			s.la, s.ra = s.li, s.ri
+			s.inRun = true
+		}
+	}
+	s.tr.rowsOut += int64(out.Len())
+	return out.Len() > 0, nil
+}
+
+// nestedLoopJoinOp materialises the build side and streams the probe
+// side, comparing every pair; it serves cross products and the explicit
+// NestedLoopJoin profile algorithm. The inner loop is resumable so one
+// pull emits about a batch.
+type nestedLoopJoinOp struct {
+	joinBase
+	brows   []value.Row
+	bw      []int64
+	built   bool
+	cur     value.Row // probe row currently being expanded
+	curW    int64
+	bi      int // next build row for cur
+	haveCur bool
+}
+
+func (n *nestedLoopJoinOp) buildSide() error {
+	var b iter.Batch
+	for {
+		ok, err := n.build.Next(&b)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		n.tr.rowsIn += int64(b.Len())
+		for i, r := range b.Rows {
+			n.brows = append(n.brows, r)
+			n.bw = append(n.bw, b.Weight(i))
+		}
+	}
+}
+
+func (n *nestedLoopJoinOp) Next(out *iter.Batch) (bool, error) {
+	t0 := time.Now()
+	defer func() { n.tr.dur += time.Since(t0) }()
+	if !n.built {
+		if err := n.buildSide(); err != nil {
+			return false, err
+		}
+		n.built = true
+	}
+	out.Reset()
+	for out.Len() < iter.BatchSize {
+		if !n.haveCur {
+			pr, pw, ok, err := n.nextProbe()
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				break
+			}
+			n.cur, n.curW, n.bi, n.haveCur = pr, pw, 0, true
+		}
+		for n.bi < len(n.brows) && out.Len() < iter.BatchSize {
+			br, bw := n.brows[n.bi], n.bw[n.bi]
+			n.bi++
 			match := true
-			for k := range lKeys {
-				lv, rv := lr[lKeys[k]], rr[rKeys[k]]
+			for k := range n.lKeys {
+				lv, rv := n.cur[n.lKeys[k]], br[n.rKeys[k]]
 				if lv.IsNull() || rv.IsNull() || !value.Equal(lv, rv) {
 					match = false
 					break
@@ -214,12 +419,16 @@ func nestedLoopJoin(left, right *unit, lKeys, rKeys []int, emit func(lr, rr valu
 			if !match {
 				continue
 			}
-			if err := emit(lr, rr); err != nil {
-				return err
+			if err := n.emit(out, n.cur, br, n.curW*bw); err != nil {
+				return false, err
 			}
 		}
+		if n.bi >= len(n.brows) {
+			n.haveCur = false
+		}
 	}
-	return nil
+	n.tr.rowsOut += int64(out.Len())
+	return out.Len() > 0, nil
 }
 
 func rowKeyHasNull(r value.Row, keys []int) bool {

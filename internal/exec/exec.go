@@ -1,9 +1,18 @@
-// Package exec provides the physical operators shared by the bounded-plan
+// Package exec provides the relational tail shared by the bounded-plan
 // executor (internal/core) and the conventional engine (internal/engine):
 // projection, DISTINCT, hash aggregation with HAVING, sorting by output
-// columns and LIMIT/OFFSET. Both executors produce a joined intermediate
-// relation (rows over an analyze.Layout); this package turns it into the
-// final result rows.
+// columns and LIMIT/OFFSET.
+//
+// The tail is a pull pipeline over batches of weighted rows (see
+// internal/iter): Stream composes projection → DISTINCT → ORDER BY →
+// LIMIT/OFFSET stages over any joined intermediate iterator. Stages that
+// need nothing beyond the current batch (projection, DISTINCT, LIMIT)
+// stream; aggregation holds only its groups and sorting is the single
+// stage that must materialise. A LIMIT k query without ORDER BY
+// therefore stops pulling from the join pipeline after k rows.
+//
+// Finish and FinishWeighted are the materialising wrappers over Stream
+// for callers that already hold the full intermediate relation.
 package exec
 
 import (
@@ -11,6 +20,7 @@ import (
 	"sort"
 
 	"github.com/bounded-eval/beas/internal/analyze"
+	"github.com/bounded-eval/beas/internal/iter"
 	"github.com/bounded-eval/beas/internal/sqlparser"
 	"github.com/bounded-eval/beas/internal/value"
 )
@@ -28,67 +38,251 @@ func Finish(q *analyze.Query, rows []value.Row, layout *analyze.Layout) ([]value
 // store only distinct partial tuples; the weights restore SQL bag
 // semantics. A nil weights slice means all weights are 1.
 func FinishWeighted(q *analyze.Query, rows []value.Row, weights []int64, layout *analyze.Layout) ([]value.Row, error) {
-	var out []value.Row
-	var err error
-	switch {
-	case q.IsAgg:
-		out, err = aggregate(q, rows, weights, layout)
-	case q.Distinct || weights == nil:
-		// DISTINCT collapses duplicates anyway; weights are irrelevant.
-		out, err = project(q, rows, layout)
-	default:
-		// Bag semantics: replicate each projected row by its weight.
-		out, err = projectWeighted(q, rows, weights, layout)
-	}
-	if err != nil {
-		return nil, err
+	out, _, err := iter.Collect(Stream(q, iter.FromRows(rows, weights), layout))
+	return out, err
+}
+
+// Stream composes the relational tail of q over an iterator of joined
+// intermediate rows. The returned iterator yields final result rows
+// (weight-free: bag multiplicities are expanded by projection and
+// consumed by aggregation). Closing it early — or exhausting a LIMIT —
+// stops pulling from in.
+func Stream(q *analyze.Query, in iter.Iterator, layout *analyze.Layout) iter.Iterator {
+	var it iter.Iterator
+	if q.IsAgg {
+		it = &aggIter{q: q, layout: layout, in: in}
+	} else {
+		it = &projectIter{q: q, layout: layout, in: in}
 	}
 	if q.Distinct {
-		out = Dedup(out)
+		it = &distinctIter{in: it}
 	}
 	if len(q.OrderBy) > 0 {
-		if err := SortRows(out, q.OrderBy); err != nil {
-			return nil, err
-		}
+		it = &sortIter{in: it, keys: q.OrderBy}
 	}
-	return Clip(out, q.Limit, q.Offset), nil
+	if q.Limit != nil || q.Offset != nil {
+		it = &clipIter{in: it, limit: q.Limit, offset: q.Offset}
+	}
+	return it
 }
 
-// projectWeighted projects every row and emits weight copies of it.
-func projectWeighted(q *analyze.Query, rows []value.Row, weights []int64, layout *analyze.Layout) ([]value.Row, error) {
-	out := make([]value.Row, 0, len(rows))
-	for ri, r := range rows {
-		res := make(value.Row, len(q.Outputs))
-		for i, o := range q.Outputs {
-			v, err := analyze.Eval(o.Expr, r, layout)
-			if err != nil {
-				return nil, err
-			}
-			res[i] = v
-		}
-		w := weights[ri]
-		for ; w > 0; w-- {
-			out = append(out, res)
-		}
-	}
-	return out, nil
+// projectIter evaluates the output expressions per row, replicating each
+// projected row by its bag weight. Under DISTINCT the weights are
+// irrelevant (duplicates collapse downstream) and each row is emitted
+// once.
+type projectIter struct {
+	q      *analyze.Query
+	layout *analyze.Layout
+	in     iter.Iterator
+	buf    iter.Batch
 }
 
-// project evaluates the output expressions for every row.
-func project(q *analyze.Query, rows []value.Row, layout *analyze.Layout) ([]value.Row, error) {
-	out := make([]value.Row, 0, len(rows))
-	for _, r := range rows {
-		res := make(value.Row, len(q.Outputs))
-		for i, o := range q.Outputs {
-			v, err := analyze.Eval(o.Expr, r, layout)
-			if err != nil {
-				return nil, err
-			}
-			res[i] = v
+func (p *projectIter) Open() error  { return p.in.Open() }
+func (p *projectIter) Close() error { return p.in.Close() }
+
+func (p *projectIter) Next(b *iter.Batch) (bool, error) {
+	b.Reset()
+	for b.Len() == 0 {
+		ok, err := p.in.Next(&p.buf)
+		if err != nil || !ok {
+			return b.Len() > 0, err
 		}
-		out = append(out, res)
+		for ri, r := range p.buf.Rows {
+			res := make(value.Row, len(p.q.Outputs))
+			for i, o := range p.q.Outputs {
+				v, err := analyze.Eval(o.Expr, r, p.layout)
+				if err != nil {
+					return false, err
+				}
+				res[i] = v
+			}
+			w := p.buf.Weight(ri)
+			if p.q.Distinct {
+				w = 1
+			}
+			for ; w > 0; w-- {
+				b.Append(res, 1)
+			}
+		}
 	}
-	return out, nil
+	return true, nil
+}
+
+// distinctIter drops rows already seen, preserving first-occurrence
+// order across batches.
+type distinctIter struct {
+	in   iter.Iterator
+	seen map[string]struct{}
+	buf  iter.Batch
+	key  []byte
+}
+
+func (d *distinctIter) Open() error {
+	d.seen = make(map[string]struct{})
+	return d.in.Open()
+}
+func (d *distinctIter) Close() error { return d.in.Close() }
+
+func (d *distinctIter) Next(b *iter.Batch) (bool, error) {
+	b.Reset()
+	for b.Len() == 0 {
+		ok, err := d.in.Next(&d.buf)
+		if err != nil || !ok {
+			return b.Len() > 0, err
+		}
+		for _, r := range d.buf.Rows {
+			d.key = value.AppendRowKey(d.key[:0], r, nil)
+			if _, dup := d.seen[string(d.key)]; dup {
+				continue
+			}
+			d.seen[string(d.key)] = struct{}{}
+			b.Append(r, 1)
+		}
+	}
+	return true, nil
+}
+
+// sortIter is the one blocking stage: it drains its input, sorts and
+// re-streams.
+type sortIter struct {
+	in   iter.Iterator
+	keys []analyze.OrderSpec
+	out  iter.Iterator
+}
+
+func (s *sortIter) Open() error { return s.in.Open() }
+
+func (s *sortIter) Close() error {
+	if s.out != nil {
+		s.out.Close()
+	}
+	return s.in.Close()
+}
+
+func (s *sortIter) Next(b *iter.Batch) (bool, error) {
+	if s.out == nil {
+		rows, _, err := drain(s.in)
+		if err != nil {
+			return false, err
+		}
+		if err := SortRows(rows, s.keys); err != nil {
+			return false, err
+		}
+		s.out = iter.FromRows(rows, nil)
+	}
+	return s.out.Next(b)
+}
+
+// clipIter applies OFFSET then LIMIT, and stops pulling once the limit
+// is reached — the early-termination point of the pipeline.
+type clipIter struct {
+	in      iter.Iterator
+	limit   *int
+	offset  *int
+	skipped int
+	emitted int
+	done    bool
+	buf     iter.Batch
+}
+
+func (c *clipIter) Open() error  { return c.in.Open() }
+func (c *clipIter) Close() error { return c.in.Close() }
+
+func (c *clipIter) Next(b *iter.Batch) (bool, error) {
+	b.Reset()
+	if c.done {
+		return false, nil
+	}
+	for b.Len() == 0 {
+		if c.limit != nil && c.emitted >= *c.limit {
+			c.done = true
+			return false, nil
+		}
+		ok, err := c.in.Next(&c.buf)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			c.done = true
+			return b.Len() > 0, nil
+		}
+		for _, r := range c.buf.Rows {
+			if c.offset != nil && c.skipped < *c.offset {
+				c.skipped++
+				continue
+			}
+			if c.limit != nil && c.emitted >= *c.limit {
+				c.done = true
+				break
+			}
+			b.Append(r, 1)
+			c.emitted++
+		}
+	}
+	return true, nil
+}
+
+// drain collects the remaining rows of an already opened iterator
+// (weights, if any, are expanded — callers here are weight-free stages).
+func drain(it iter.Iterator) ([]value.Row, []int64, error) {
+	var rows []value.Row
+	var b iter.Batch
+	for {
+		ok, err := it.Next(&b)
+		if err != nil {
+			return nil, nil, err
+		}
+		if !ok {
+			return rows, nil, nil
+		}
+		rows = append(rows, b.Rows...)
+	}
+}
+
+// aggIter performs hash aggregation: it folds every input batch into its
+// group table (holding only one state per group, never the input) and
+// streams the finalised groups.
+type aggIter struct {
+	q      *analyze.Query
+	layout *analyze.Layout
+	in     iter.Iterator
+	out    iter.Iterator
+	buf    iter.Batch
+}
+
+func (a *aggIter) Open() error { return a.in.Open() }
+
+func (a *aggIter) Close() error {
+	if a.out != nil {
+		a.out.Close()
+	}
+	return a.in.Close()
+}
+
+func (a *aggIter) Next(b *iter.Batch) (bool, error) {
+	if a.out == nil {
+		acc := newAggregator(a.q, a.layout)
+		for {
+			ok, err := a.in.Next(&a.buf)
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				break
+			}
+			for ri, r := range a.buf.Rows {
+				if err := acc.add(r, a.buf.Weight(ri)); err != nil {
+					return false, err
+				}
+			}
+		}
+		rows, err := acc.result()
+		if err != nil {
+			return false, err
+		}
+		a.out = iter.FromRows(rows, nil)
+	}
+	return a.out.Next(b)
 }
 
 // aggState accumulates one aggregate over one group.
@@ -102,76 +296,85 @@ type aggState struct {
 	nonEmpty bool
 }
 
-// aggregate performs hash aggregation: group rows by the GROUP BY
-// expressions, evaluate the aggregates per group, filter with HAVING and
-// evaluate the output expressions against the post-aggregation rows.
-// weights (nil = all ones) give each row's bag multiplicity.
+type group struct {
+	keys value.Row
+	aggs []*aggState
+}
+
+// aggregator is the hash-aggregation state: groups keyed by the GROUP BY
+// expressions, in first-appearance order.
 //
 // With no GROUP BY, a single group is produced even for empty input
 // (COUNT(*) over an empty relation is 0), matching SQL semantics.
-func aggregate(q *analyze.Query, rows []value.Row, weights []int64, layout *analyze.Layout) ([]value.Row, error) {
-	type group struct {
-		keys value.Row
-		aggs []*aggState
-	}
-	groups := make(map[string]*group)
-	var order []string
+type aggregator struct {
+	q      *analyze.Query
+	layout *analyze.Layout
+	groups map[string]*group
+	order  []string
+	kb     []byte // reused group-key encoding buffer
+}
 
-	newGroup := func(keys value.Row) *group {
-		g := &group{keys: keys, aggs: make([]*aggState, len(q.Aggs))}
-		for i, spec := range q.Aggs {
-			st := &aggState{intOnly: true}
-			if spec.Distinct {
-				st.distinct = make(map[string]struct{})
-			}
-			g.aggs[i] = st
-		}
-		return g
-	}
+func newAggregator(q *analyze.Query, layout *analyze.Layout) *aggregator {
+	return &aggregator{q: q, layout: layout, groups: make(map[string]*group)}
+}
 
-	for ri, r := range rows {
-		w := int64(1)
-		if weights != nil {
-			w = weights[ri]
+func (a *aggregator) newGroup(keys value.Row) *group {
+	g := &group{keys: keys, aggs: make([]*aggState, len(a.q.Aggs))}
+	for i, spec := range a.q.Aggs {
+		st := &aggState{intOnly: true}
+		if spec.Distinct {
+			st.distinct = make(map[string]struct{})
 		}
-		keys := make(value.Row, len(q.GroupBy))
-		for i, ge := range q.GroupBy {
-			v, err := analyze.Eval(ge, r, layout)
-			if err != nil {
-				return nil, err
-			}
-			keys[i] = v
-		}
-		k := value.Key(keys)
-		g, ok := groups[k]
-		if !ok {
-			g = newGroup(keys)
-			groups[k] = g
-			order = append(order, k)
-		}
-		for i, spec := range q.Aggs {
-			if err := accumulate(g.aggs[i], spec, r, w, layout); err != nil {
-				return nil, err
-			}
-		}
+		g.aggs[i] = st
 	}
-	if len(q.GroupBy) == 0 && len(groups) == 0 {
-		groups[""] = newGroup(nil)
-		order = append(order, "")
-	}
+	return g
+}
 
+// add folds one base row (with bag multiplicity w) into its group.
+func (a *aggregator) add(r value.Row, w int64) error {
+	keys := make(value.Row, len(a.q.GroupBy))
+	for i, ge := range a.q.GroupBy {
+		v, err := analyze.Eval(ge, r, a.layout)
+		if err != nil {
+			return err
+		}
+		keys[i] = v
+	}
+	a.kb = value.AppendRowKey(a.kb[:0], keys, nil)
+	g, ok := a.groups[string(a.kb)]
+	if !ok {
+		k := string(a.kb)
+		g = a.newGroup(keys)
+		a.groups[k] = g
+		a.order = append(a.order, k)
+	}
+	for i, spec := range a.q.Aggs {
+		if err := accumulate(g.aggs[i], spec, r, w, a.layout); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// result finalises the groups, filters with HAVING and evaluates the
+// output expressions against the post-aggregation rows.
+func (a *aggregator) result() ([]value.Row, error) {
+	if len(a.q.GroupBy) == 0 && len(a.groups) == 0 {
+		a.groups[""] = a.newGroup(nil)
+		a.order = append(a.order, "")
+	}
 	// Post-aggregation rows: [group keys..., aggregate values...].
 	postLayout := analyze.NewLayout() // PostRef evaluation indexes rows directly
-	out := make([]value.Row, 0, len(groups))
-	for _, k := range order {
-		g := groups[k]
-		post := make(value.Row, 0, len(q.GroupBy)+len(q.Aggs))
+	out := make([]value.Row, 0, len(a.groups))
+	for _, k := range a.order {
+		g := a.groups[k]
+		post := make(value.Row, 0, len(a.q.GroupBy)+len(a.q.Aggs))
 		post = append(post, g.keys...)
-		for i, spec := range q.Aggs {
+		for i, spec := range a.q.Aggs {
 			post = append(post, finalize(g.aggs[i], spec))
 		}
-		if q.Having != nil {
-			keep, err := analyze.EvalBool(q.Having, post, postLayout)
+		if a.q.Having != nil {
+			keep, err := analyze.EvalBool(a.q.Having, post, postLayout)
 			if err != nil {
 				return nil, err
 			}
@@ -179,8 +382,8 @@ func aggregate(q *analyze.Query, rows []value.Row, weights []int64, layout *anal
 				continue
 			}
 		}
-		res := make(value.Row, len(q.Outputs))
-		for i, o := range q.Outputs {
+		res := make(value.Row, len(a.q.Outputs))
+		for i, o := range a.q.Outputs {
 			v, err := analyze.Eval(o.Expr, post, postLayout)
 			if err != nil {
 				return nil, err
@@ -281,12 +484,13 @@ func finalize(st *aggState, spec analyze.AggSpec) value.Value {
 func Dedup(rows []value.Row) []value.Row {
 	seen := make(map[string]struct{}, len(rows))
 	out := rows[:0:0]
+	var key []byte
 	for _, r := range rows {
-		k := value.Key(r)
-		if _, dup := seen[k]; dup {
+		key = value.AppendRowKey(key[:0], r, nil)
+		if _, dup := seen[string(key)]; dup {
 			continue
 		}
-		seen[k] = struct{}{}
+		seen[string(key)] = struct{}{}
 		out = append(out, r)
 	}
 	return out

@@ -1,0 +1,93 @@
+package iter
+
+import (
+	"testing"
+
+	"github.com/bounded-eval/beas/internal/value"
+)
+
+func intRow(i int) value.Row { return value.Row{value.NewInt(int64(i))} }
+
+func TestBatchWeightsLazy(t *testing.T) {
+	var b Batch
+	b.Append(intRow(1), 1)
+	b.Append(intRow(2), 1)
+	if b.Weights != nil {
+		t.Fatalf("all-1 batch must not materialise weights")
+	}
+	b.Append(intRow(3), 5)
+	if len(b.Weights) != 3 || b.Weight(0) != 1 || b.Weight(2) != 5 {
+		t.Fatalf("weights = %v", b.Weights)
+	}
+	b.Reset()
+	if b.Len() != 0 || b.Weights != nil {
+		t.Fatalf("reset batch = %+v", b)
+	}
+}
+
+func TestFromRowsAndCollect(t *testing.T) {
+	n := 3*BatchSize + 17
+	rows := make([]value.Row, n)
+	for i := range rows {
+		rows[i] = intRow(i)
+	}
+	got, weights, err := Collect(FromRows(rows, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n || weights != nil {
+		t.Fatalf("collected %d rows, weights=%v", len(got), weights)
+	}
+	for i, r := range got {
+		if r[0].I != int64(i) {
+			t.Fatalf("row %d = %v", i, r)
+		}
+	}
+}
+
+func TestCollectPreservesWeights(t *testing.T) {
+	rows := []value.Row{intRow(1), intRow(2), intRow(3)}
+	in := []int64{1, 4, 1}
+	got, weights, err := Collect(FromRows(rows, in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || len(weights) != 3 || weights[1] != 4 || weights[2] != 1 {
+		t.Fatalf("rows=%d weights=%v", len(got), weights)
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	rows, _, err := Collect(Empty())
+	if err != nil || len(rows) != 0 {
+		t.Fatalf("rows=%v err=%v", rows, err)
+	}
+}
+
+func TestOnCloseRunsOnce(t *testing.T) {
+	calls := 0
+	it := OnClose(FromRows([]value.Row{intRow(1)}, nil), func() { calls++ })
+	if _, _, err := Collect(it); err != nil {
+		t.Fatal(err)
+	}
+	it.Close()
+	if calls != 1 {
+		t.Fatalf("finalizer ran %d times", calls)
+	}
+}
+
+func TestOnCloseEarlyClose(t *testing.T) {
+	calls := 0
+	it := OnClose(FromRows(make([]value.Row, 10*BatchSize), nil), func() { calls++ })
+	if err := it.Open(); err != nil {
+		t.Fatal(err)
+	}
+	var b Batch
+	if ok, err := it.Next(&b); !ok || err != nil {
+		t.Fatalf("first batch: ok=%v err=%v", ok, err)
+	}
+	it.Close() // abandon mid-stream, as LIMIT does
+	if calls != 1 {
+		t.Fatalf("finalizer ran %d times on early close", calls)
+	}
+}

@@ -1,0 +1,69 @@
+package storage
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/bounded-eval/beas/internal/schema"
+	"github.com/bounded-eval/beas/internal/value"
+)
+
+func cursorTable(t *testing.T, n int) *Table {
+	t.Helper()
+	rel := schema.MustRelation("nums", schema.Attribute{Name: "i", Kind: value.Int})
+	tab := NewTable(rel)
+	for i := 0; i < n; i++ {
+		if err := tab.Insert(value.Row{value.NewInt(int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tab
+}
+
+// TestCursorBatches scans a table in fixed-size batches and checks every
+// row arrives exactly once, in order, with no batch exceeding the buffer.
+func TestCursorBatches(t *testing.T) {
+	const n, batch = 1000, 64
+	tab := cursorTable(t, n)
+	cur := tab.Scan()
+	buf := make([]value.Row, batch)
+	seen := 0
+	for {
+		k, err := cur.Next(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k == 0 {
+			break
+		}
+		if k > batch {
+			t.Fatalf("batch of %d exceeds buffer %d", k, batch)
+		}
+		for i := 0; i < k; i++ {
+			if buf[i][0].I != int64(seen+i) {
+				t.Fatalf("row %d = %v", seen+i, buf[i])
+			}
+		}
+		seen += k
+	}
+	if seen != n {
+		t.Fatalf("scanned %d rows, want %d", seen, n)
+	}
+}
+
+// TestCursorFailsOnMutation: a cursor pins the table version it first
+// read; a mutation mid-scan must fail the cursor rather than tear it.
+func TestCursorFailsOnMutation(t *testing.T) {
+	tab := cursorTable(t, 10)
+	cur := tab.Scan()
+	buf := make([]value.Row, 4)
+	if _, err := cur.Next(buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Insert(value.Row{value.NewInt(99)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cur.Next(buf); err == nil || !strings.Contains(err.Error(), "mutated during scan") {
+		t.Fatalf("expected mutation error, got %v", err)
+	}
+}

@@ -143,6 +143,40 @@ func (t *Table) Row(i int) value.Row {
 	return t.rows[i]
 }
 
+// Cursor is a batched scan over a table. Each Next call copies at most
+// one batch of row references out under the read lock, so a scan never
+// holds the lock for the whole relation and never forces the caller to
+// materialise it. The cursor pins the table version it first reads; a
+// mutation during the scan fails the cursor instead of tearing it.
+type Cursor struct {
+	t       *Table
+	pos     int
+	version uint64
+	started bool
+}
+
+// Scan returns a cursor positioned before the first row.
+func (t *Table) Scan() *Cursor {
+	return &Cursor{t: t}
+}
+
+// Next fills buf with up to len(buf) row references starting at the
+// cursor position and returns how many it wrote; 0 means the scan is
+// done. It fails if the table was mutated since the cursor started.
+func (c *Cursor) Next(buf []value.Row) (int, error) {
+	c.t.mu.RLock()
+	defer c.t.mu.RUnlock()
+	if !c.started {
+		c.started = true
+		c.version = c.t.version
+	} else if c.version != c.t.version {
+		return 0, fmt.Errorf("storage: table %s mutated during scan", c.t.Rel.Name)
+	}
+	n := copy(buf, c.t.rows[c.pos:])
+	c.pos += n
+	return n, nil
+}
+
 // TableStats summarises a table for the cost-based planner.
 type TableStats struct {
 	RowCount int

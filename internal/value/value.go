@@ -309,9 +309,29 @@ func appendU64(dst []byte, u uint64) []byte {
 // Key returns an injective string encoding of the row, suitable as a map
 // key for hashing, grouping and index buckets.
 func Key(vals []Value) string {
-	var dst []byte
+	var buf [48]byte
+	dst := buf[:0]
 	for _, v := range vals {
 		dst = AppendKey(dst, v)
 	}
 	return string(dst)
+}
+
+// AppendRowKey appends the injective encoding of the row's values at
+// positions pos (all positions when pos is nil) to dst and returns the
+// extended slice. It is the allocation-free form of Key(r.Project(pos))
+// used by the hash join, grouping/DISTINCT and index-probe hot paths:
+// callers reuse dst across rows and look up maps with string(dst), which
+// the compiler does not materialise.
+func AppendRowKey(dst []byte, r Row, pos []int) []byte {
+	if pos == nil {
+		for _, v := range r {
+			dst = AppendKey(dst, v)
+		}
+		return dst
+	}
+	for _, p := range pos {
+		dst = AppendKey(dst, r[p])
+	}
+	return dst
 }

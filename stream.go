@@ -1,0 +1,294 @@
+package beas
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/bounded-eval/beas/internal/core"
+	"github.com/bounded-eval/beas/internal/iter"
+	"github.com/bounded-eval/beas/internal/value"
+)
+
+// RowIter is a streaming cursor over a query result: batches of rows are
+// produced on demand by the same pull pipeline Query uses, so the full
+// result — and the intermediate relations feeding it — are never
+// materialised at once. Iterate with NextBatch (or the per-row Next) and
+// always Close when done; abandoning the cursor early (e.g. after the
+// first batch of a huge join) stops the underlying scans and index
+// probes.
+//
+// The cursor holds the catalog read lock until Close (DDL and
+// access-schema changes block), but row writes do not: inserting into
+// or deleting from a table an open cursor is scanning fails the cursor
+// with a "mutated during scan" error on its next pull rather than
+// tearing the stream, and bounded cursors probe the live constraint
+// indices. Close is idempotent and is called automatically when the
+// stream is exhausted or errors.
+type RowIter struct {
+	db      *DB
+	columns []string
+	it      iter.Iterator
+	res     *Result
+	final   []func() // fold per-branch execution stats into res at close
+	start   time.Time
+
+	batch  iter.Batch
+	rows   []Row // per-row cursor state for Next
+	pos    int
+	opened bool
+	closed bool
+	err    error
+}
+
+// QueryIter evaluates sql exactly like Query — bounded when covered,
+// partially bounded or conventional otherwise, per UNION branch — but
+// returns a streaming cursor instead of a materialised Result. The two
+// produce identical row bags; QueryIter additionally guarantees that a
+// consumer which stops early never pays for the rows it did not read.
+func (db *DB) QueryIter(sql string) (*RowIter, error) {
+	p, err := db.parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	db.mu.RLock()
+	ok := false
+	defer func() {
+		if !ok {
+			db.mu.RUnlock()
+		}
+	}()
+
+	ri := &RowIter{
+		db:      db,
+		columns: p.branches[0].OutputNames(),
+		start:   time.Now(),
+		res:     &Result{Columns: p.branches[0].OutputNames(), Stats: Stats{Mode: ModeBounded, Covered: true}},
+	}
+	parts := make([]iter.Iterator, 0, len(p.branches))
+	for _, q := range p.branches {
+		chk := core.Check(q, db.access)
+		if chk.Covered {
+			plan, err := core.NewPlan(q, chk)
+			if err != nil {
+				return nil, err
+			}
+			it, cst := core.Stream(plan)
+			ri.res.Stats.Bound = satAdd(ri.res.Stats.Bound, chk.TotalBound)
+			ri.res.Stats.ConstraintsUsed += chk.ConstraintsUsed
+			ri.res.Stats.Plan += plan.Describe()
+			ri.final = append(ri.final, func() {
+				ri.res.Stats.TuplesFetched += cst.Fetched
+				for _, s := range cst.Steps {
+					ri.res.Stats.FetchSteps = append(ri.res.Stats.FetchSteps, StepStat(s))
+				}
+			})
+			parts = append(parts, it)
+			continue
+		}
+		// Not covered: partially bounded plan. The bounded sub-query runs
+		// eagerly here (its size is bounded by the access schema); the
+		// conventional join over it streams.
+		pp, err := core.NewPartialPlan(q, chk)
+		if err != nil {
+			return nil, err
+		}
+		it, subStats, engStats, err := core.StreamPartial(pp, q, db.fallback)
+		if err != nil {
+			return nil, err
+		}
+		ri.res.Stats.Covered = false
+		if pp.Sub != nil {
+			ri.res.Stats.Mode = ModePartial
+		} else {
+			ri.res.Stats.Mode = ModeConventional
+		}
+		ri.res.Stats.TuplesFetched += subStats.Fetched
+		for _, s := range subStats.Steps {
+			ri.res.Stats.FetchSteps = append(ri.res.Stats.FetchSteps, StepStat(s))
+		}
+		ri.res.Stats.Plan += pp.Describe(q)
+		ri.final = append(ri.final, func() {
+			ri.res.Stats.TuplesScanned += engStats.Scanned
+			for _, o := range engStats.Ops {
+				ri.res.Stats.Ops = append(ri.res.Stats.Ops, OpStat(o))
+			}
+		})
+		parts = append(parts, it)
+	}
+
+	// UNION semantics: every branch up to the last plain (non-ALL) UNION
+	// shares one duplicate-elimination set; branches after it append
+	// freely. This matches Query's fold of exec.Dedup over the branches.
+	dedupThrough := -1
+	for i := 1; i < len(p.branches); i++ {
+		if !p.unionAll[i] {
+			dedupThrough = i
+		}
+	}
+	ri.it = &unionIter{parts: parts, dedupThrough: dedupThrough}
+	ok = true
+	return ri, nil
+}
+
+// Columns returns the output column names.
+func (ri *RowIter) Columns() []string { return ri.columns }
+
+// NextBatch returns the next batch of result rows, or nil when the
+// stream is exhausted (the cursor closes itself then). The returned
+// slice is only valid until the next NextBatch call.
+func (ri *RowIter) NextBatch() ([]Row, error) {
+	if ri.closed {
+		return nil, ri.err
+	}
+	if !ri.opened {
+		if err := ri.it.Open(); err != nil {
+			ri.fail(err)
+			return nil, err
+		}
+		ri.opened = true
+	}
+	ok, err := ri.it.Next(&ri.batch)
+	if err != nil {
+		ri.fail(err)
+		return nil, err
+	}
+	if !ok {
+		ri.Close()
+		return nil, nil
+	}
+	return ri.batch.Rows, nil
+}
+
+// Next returns the next single row; ok is false once the stream is
+// exhausted. Use either Next or NextBatch on a cursor, not both.
+func (ri *RowIter) Next() (Row, bool, error) {
+	for ri.pos >= len(ri.rows) {
+		rows, err := ri.NextBatch()
+		if err != nil {
+			return nil, false, err
+		}
+		if rows == nil {
+			return nil, false, nil
+		}
+		ri.rows, ri.pos = rows, 0
+	}
+	r := ri.rows[ri.pos]
+	ri.pos++
+	return r, true, nil
+}
+
+// Close releases the cursor: the pipeline is shut down (stopping any
+// remaining scans and index probes), execution statistics are finalised
+// and the database read lock is released. Idempotent.
+func (ri *RowIter) Close() error {
+	if ri.closed {
+		return nil
+	}
+	ri.closed = true
+	// Close even when Open failed partway: iterators tolerate Close
+	// without Open, and a half-opened pipeline must be shut down whole.
+	err := ri.it.Close()
+	for _, f := range ri.final {
+		f()
+	}
+	st := &ri.res.Stats
+	st.Duration = time.Since(ri.start)
+	if st.Mode == ModeBounded && st.TuplesFetched == 0 && st.Bound == 0 {
+		st.Mode = ModeEmpty
+	}
+	ri.db.mu.RUnlock()
+	if ri.err == nil {
+		ri.err = err
+	}
+	return err
+}
+
+// Stats returns the execution statistics. Counters accrue while the
+// cursor streams and are final once it is exhausted or closed; with
+// early termination they reflect only the work actually performed.
+func (ri *RowIter) Stats() *Stats { return &ri.res.Stats }
+
+// Err returns the first error the cursor encountered, if any.
+func (ri *RowIter) Err() error { return ri.err }
+
+func (ri *RowIter) fail(err error) {
+	if ri.err == nil {
+		ri.err = fmt.Errorf("beas: streaming query: %w", err)
+	}
+	ri.Close()
+}
+
+// unionIter concatenates the UNION branches of a statement. Branches up
+// to and including dedupThrough share one seen-set (plain UNION
+// semantics: iterated dedup over the concatenation keeps first
+// occurrences); branches after it are UNION ALL tails and append freely.
+type unionIter struct {
+	parts        []iter.Iterator
+	dedupThrough int // index of last deduplicated branch; -1 = none
+
+	cur    int
+	opened int // how many parts have been opened
+	seen   map[string]struct{}
+	kb     []byte
+	buf    iter.Batch
+}
+
+func (u *unionIter) Open() error {
+	if u.dedupThrough >= 0 {
+		u.seen = make(map[string]struct{})
+	}
+	// Branches open lazily as the cursor reaches them, so a consumer that
+	// stops inside branch 0 never starts branch 1's pipeline.
+	return u.openTo(0)
+}
+
+func (u *unionIter) openTo(i int) error {
+	for u.opened <= i && u.opened < len(u.parts) {
+		if err := u.parts[u.opened].Open(); err != nil {
+			return err
+		}
+		u.opened++
+	}
+	return nil
+}
+
+func (u *unionIter) Next(b *iter.Batch) (bool, error) {
+	b.Reset()
+	for b.Len() == 0 {
+		if u.cur >= len(u.parts) {
+			return false, nil
+		}
+		if err := u.openTo(u.cur); err != nil {
+			return false, err
+		}
+		ok, err := u.parts[u.cur].Next(&u.buf)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			u.cur++
+			continue
+		}
+		for i, r := range u.buf.Rows {
+			if u.cur <= u.dedupThrough {
+				u.kb = value.AppendRowKey(u.kb[:0], r, nil)
+				if _, dup := u.seen[string(u.kb)]; dup {
+					continue
+				}
+				u.seen[string(u.kb)] = struct{}{}
+			}
+			b.Append(r, u.buf.Weight(i))
+		}
+	}
+	return true, nil
+}
+
+func (u *unionIter) Close() error {
+	var err error
+	for _, p := range u.parts {
+		if cerr := p.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
