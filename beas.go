@@ -26,6 +26,7 @@ import (
 	"os"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"github.com/bounded-eval/beas/internal/access"
 	"github.com/bounded-eval/beas/internal/analyze"
@@ -50,9 +51,14 @@ type DB struct {
 	fallback *engine.Engine
 
 	// planCache memoises parse + analysis per SQL text; catalogVersion
-	// invalidates it on any schema or access-schema change.
+	// invalidates it on any schema or access-schema change. Both the
+	// cache lookup and the store happen under db.mu (read suffices), so a
+	// stale entry can never be re-inserted after a concurrent DDL bumps
+	// the version — see parseLocked.
 	planCache      sync.Map // string -> *cachedParse
 	catalogVersion uint64
+	cacheHits      atomic.Uint64
+	cacheMisses    atomic.Uint64
 }
 
 type cachedParse struct {
@@ -73,11 +79,25 @@ func (db *DB) bumpCatalog() {
 // NewDB creates an empty database.
 func NewDB() *DB {
 	db := &DB{}
-	db.schema, _ = schema.NewDatabase()
+	sch, err := schema.NewDatabase()
+	if err != nil {
+		// NewDatabase without relations cannot fail; an error here means
+		// the schema package itself is broken. Fail loudly rather than
+		// continue with a nil schema and crash later.
+		panic(fmt.Sprintf("beas: creating empty database schema: %v", err))
+	}
+	db.schema = sch
 	db.store = storage.NewStore(db.schema)
 	db.access = access.NewSchema(db.store)
 	db.fallback = engine.New(db.store, engine.ProfilePostgres)
 	return db
+}
+
+// PlanCacheStats reports how many query parses were served from the
+// plan cache and how many had to parse and analyse from scratch (cold
+// text or a catalog change since the cached entry was stored).
+func (db *DB) PlanCacheStats() (hits, misses uint64) {
+	return db.cacheHits.Load(), db.cacheMisses.Load()
 }
 
 // CreateTable adds a relation. Each column is declared as "name TYPE"

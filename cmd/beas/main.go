@@ -27,11 +27,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
 	"strconv"
 	"strings"
 
 	beas "github.com/bounded-eval/beas"
+	"github.com/bounded-eval/beas/internal/cliutil"
 )
 
 func main() {
@@ -51,44 +51,9 @@ func main() {
 }
 
 func openDB(tlcScale int, dataDir string) (*beas.DB, error) {
-	if tlcScale > 0 {
-		fmt.Printf("generating TLC benchmark at scale %d...\n", tlcScale)
-		return beas.NewTLCDB(tlcScale)
-	}
-	if dataDir == "" {
-		fmt.Println("no -tlc or -data given; generating TLC at scale 1")
-		return beas.NewTLCDB(1)
-	}
-	// Load CSVs written by tlcgen into an empty TLC schema.
-	db := beas.NewTLCSchemaDB()
-	for _, table := range db.TableNames() {
-		path := filepath.Join(dataDir, table+".csv")
-		if _, err := os.Stat(path); err != nil {
-			fmt.Printf("  (skipping %s: %v)\n", table, err)
-			continue
-		}
-		if err := db.LoadCSV(table, path); err != nil {
-			return nil, err
-		}
-		n, _ := db.RowCount(table)
-		fmt.Printf("  loaded %-14s %8d rows\n", table, n)
-	}
-	asPath := filepath.Join(dataDir, "access_schema.txt")
-	if f, err := os.Open(asPath); err == nil {
-		sc := bufio.NewScanner(f)
-		for sc.Scan() {
-			line := strings.TrimSpace(sc.Text())
-			if line == "" || strings.HasPrefix(line, "#") {
-				continue
-			}
-			if err := db.RegisterConstraint(line); err != nil {
-				fmt.Printf("  (constraint %s: %v)\n", line, err)
-				continue
-			}
-		}
-		f.Close()
-	}
-	return db, nil
+	return cliutil.OpenDB(tlcScale, dataDir, func(format string, args ...any) {
+		fmt.Printf(format+"\n", args...)
+	})
 }
 
 func repl(db *beas.DB) {

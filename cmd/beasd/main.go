@@ -1,0 +1,99 @@
+// Command beasd is the BEAS query daemon: it serves a database over
+// HTTP/JSON with bound-based admission control (internal/server). Every
+// request is checked first — the access bound is deduced from the query
+// and the access schema before any data is touched — and queries over
+// the budget are rejected, serialised, or downgraded to approximation
+// per the configured policy.
+//
+// Usage:
+//
+//	beasd -tlc 2 -addr :7171 -budget 100000 -policy reject
+//	beasd -data ./tlcdata -budget 50000 -policy approx -approx-budget 10000
+//
+// Endpoints: POST /query, POST /check, GET /stats, GET /healthz — see
+// package internal/server for the wire format, and the README for an
+// example curl session.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/bounded-eval/beas/internal/cliutil"
+	"github.com/bounded-eval/beas/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":7171", "listen address")
+	tlcScale := flag.Int("tlc", 0, "generate a TLC instance at this scale and serve it")
+	dataDir := flag.String("data", "", "directory of CSVs + access_schema.txt (from tlcgen)")
+	budget := flag.Uint64("budget", 0, "admission budget on the deduced access bound, in tuples (0 = unlimited)")
+	policy := flag.String("policy", "reject", "over-budget policy: reject, queue or approx")
+	approxBudget := flag.Int64("approx-budget", 0, "fetch budget for approx downgrades (default: -budget)")
+	workers := flag.Int("workers", 0, "max concurrent query executions (default: GOMAXPROCS)")
+	queueDepth := flag.Int("queue-depth", 0, "max requests waiting for a worker (default 64)")
+	timeout := flag.Duration("timeout", time.Minute, "per-query execution deadline; 0 disables it (a stalled client then holds the catalog read lock indefinitely)")
+	allowUncovered := flag.Bool("allow-uncovered", false, "admit queries not covered by the access schema (no a-priori bound)")
+	flag.Parse()
+
+	pol, err := server.ParsePolicy(*policy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "beasd:", err)
+		os.Exit(2)
+	}
+	db, err := cliutil.OpenDB(*tlcScale, *dataDir, func(format string, args ...any) {
+		fmt.Printf("beasd: "+format+"\n", args...)
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "beasd:", err)
+		os.Exit(1)
+	}
+
+	srv := server.New(db, server.Config{
+		MaxConcurrent:  *workers,
+		QueueDepth:     *queueDepth,
+		BoundBudget:    *budget,
+		OverBudget:     pol,
+		AllowUncovered: *allowUncovered,
+		ApproxBudget:   *approxBudget,
+		QueryTimeout:   *timeout,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	// Shutdown makes ListenAndServe return immediately; drained signals
+	// when in-flight requests have actually finished (or the grace
+	// window expired), and main must wait for it before exiting.
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		<-ctx.Done()
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(shutCtx)
+	}()
+
+	fmt.Printf("beasd: %d rows, %d constraints; budget=%s policy=%s; listening on %s\n",
+		db.TotalRows(), len(db.Constraints()), budgetStr(*budget), pol, *addr)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "beasd:", err)
+		os.Exit(1)
+	}
+	<-drained
+	fmt.Println("beasd: shut down")
+}
+
+func budgetStr(b uint64) string {
+	if b == 0 {
+		return "unlimited"
+	}
+	return fmt.Sprintf("%d", b)
+}

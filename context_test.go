@@ -1,0 +1,139 @@
+package beas
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// chainDB builds a two-step covered join: t1 holds one huge bucket of n
+// rows under key a=1, and t2 maps each b to one value. A bounded plan
+// fetches the whole t1 bucket in step 1 and then probes t2 once per row
+// in step 2, so step 2's progress tracks how far the pipeline ran.
+func chainDB(tb testing.TB, n int) *DB {
+	tb.Helper()
+	db := NewDB()
+	db.MustCreateTable("t1", "a INT", "b INT")
+	db.MustCreateTable("t2", "b INT", "c INT")
+	for i := 0; i < n; i++ {
+		db.MustInsert("t1", 1, i)
+		db.MustInsert("t2", i, i*2)
+	}
+	db.MustRegisterConstraint(fmt.Sprintf("t1({a} -> {b}, %d)", n))
+	db.MustRegisterConstraint("t2({b} -> {c}, 1)")
+	return db
+}
+
+// TestQueryIterContextCancelBounded: cancelling a streaming bounded
+// query stops the fetch loop mid-flight; the per-step statistics show
+// step 2 far from done.
+func TestQueryIterContextCancelBounded(t *testing.T) {
+	const n = 20000
+	db := chainDB(t, n)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	ri, err := db.QueryIterContext(ctx, "SELECT t2.c FROM t1, t2 WHERE t1.a = 1 AND t2.b = t1.b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ri.Close()
+	if _, err := ri.NextBatch(); err != nil {
+		t.Fatalf("first batch: %v", err)
+	}
+	cancel()
+	if _, err := ri.NextBatch(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("after cancel: err = %v, want context.Canceled", err)
+	}
+	ri.Close()
+
+	st := ri.Stats()
+	if st.TuplesFetched == 0 {
+		t.Fatal("no tuples fetched before cancel")
+	}
+	if st.TuplesFetched >= 2*n {
+		t.Fatalf("fetch loop ran to completion: %d tuples", st.TuplesFetched)
+	}
+	if len(st.FetchSteps) != 2 {
+		t.Fatalf("fetch steps = %d, want 2", len(st.FetchSteps))
+	}
+	// Step 1 fetches its single bucket on the first pull; step 2 probes
+	// key by key and must have been cut off early.
+	if got := st.FetchSteps[0].Fetched; got != n {
+		t.Errorf("step 1 fetched %d, want the full bucket %d", got, n)
+	}
+	if got := st.FetchSteps[1].Fetched; got == 0 || got >= n/2 {
+		t.Errorf("step 2 fetched %d of %d — cancellation did not stop it mid-flight", got, n)
+	}
+}
+
+// TestQueryIterContextCancelFallback: cancelling an uncovered query
+// stops the conventional engine's scans mid-flight.
+func TestQueryIterContextCancelFallback(t *testing.T) {
+	const n = 100000
+	db := NewDB()
+	db.MustCreateTable("events", "id INT", "kind STRING")
+	for i := 0; i < n; i++ {
+		db.MustInsert("events", i, "click")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	ri, err := db.QueryIterContext(ctx, "SELECT id FROM events WHERE kind = 'click'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ri.Close()
+	if _, err := ri.NextBatch(); err != nil {
+		t.Fatalf("first batch: %v", err)
+	}
+	cancel()
+	if _, err := ri.NextBatch(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("after cancel: err = %v, want context.Canceled", err)
+	}
+	ri.Close()
+	if got := ri.Stats().TuplesScanned; got == 0 || got >= n {
+		t.Errorf("scanned %d of %d rows — cancellation did not stop the scan early", got, n)
+	}
+}
+
+// TestContextPrecancelled: every *Context entry point fails fast on an
+// already-cancelled context without touching data.
+func TestContextPrecancelled(t *testing.T) {
+	db := chainDB(t, 10)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sql := "SELECT b FROM t1 WHERE a = 1"
+
+	if _, err := db.QueryContext(ctx, sql); !errors.Is(err, context.Canceled) {
+		t.Errorf("QueryContext: %v", err)
+	}
+	if _, err := db.QueryBoundedContext(ctx, sql); !errors.Is(err, context.Canceled) {
+		t.Errorf("QueryBoundedContext: %v", err)
+	}
+	if _, err := db.QueryIterContext(ctx, sql); !errors.Is(err, context.Canceled) {
+		t.Errorf("QueryIterContext: %v", err)
+	}
+	if _, err := db.CheckContext(ctx, sql); !errors.Is(err, context.Canceled) {
+		t.Errorf("CheckContext: %v", err)
+	}
+	if _, _, err := db.QueryApproxContext(ctx, sql, 5); !errors.Is(err, context.Canceled) {
+		t.Errorf("QueryApproxContext: %v", err)
+	}
+	if _, err := db.QueryBaselineContext(ctx, sql, BaselinePostgres); !errors.Is(err, context.Canceled) {
+		t.Errorf("QueryBaselineContext: %v", err)
+	}
+}
+
+// TestQueryContextDeadline: a deadline in the past behaves like a
+// cancellation for the materialising path too.
+func TestQueryContextDeadline(t *testing.T) {
+	db := chainDB(t, 10)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if _, err := db.QueryContext(ctx, "SELECT b FROM t1 WHERE a = 1"); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("QueryContext with expired deadline: %v", err)
+	}
+}

@@ -1,0 +1,126 @@
+// Example server demonstrates the BEAS query service: it starts an
+// in-process beasd-style server with bound-based admission control and
+// drives it as an HTTP client — a covered query streaming within
+// budget, an over-budget query downgraded to approximation with a
+// deterministic accuracy bound, a rejection with the deduced bound in
+// the error, and the monitoring endpoint.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+
+	beas "github.com/bounded-eval/beas"
+	"github.com/bounded-eval/beas/internal/server"
+)
+
+func main() {
+	// A tiny telco: calls keyed by (pnum, date) with at most 50 records
+	// per key, and a customer table with no constraint at all.
+	db := beas.NewDB()
+	db.MustCreateTable("call", "pnum INT", "recnum INT", "date INT", "region STRING")
+	for p := 1; p <= 40; p++ {
+		for r := 0; r < 50; r++ {
+			db.MustInsert("call", p, p*1000+r, 20260301, "EMEA")
+		}
+	}
+	db.MustRegisterConstraint("call({pnum, date} -> {recnum, region}, 50)")
+
+	srv := server.New(db, server.Config{
+		BoundBudget:  500,                 // admit queries bounded by ≤ 500 tuples
+		OverBudget:   server.PolicyApprox, // downgrade the rest to approximation
+		ApproxBudget: 200,
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	fmt.Println("server listening on", ts.URL)
+
+	// 1. A covered point query: bound 50 ≤ 500, admitted and streamed.
+	query(ts.URL, "SELECT recnum FROM call WHERE pnum = 7 AND date = 20260301")
+
+	// 2. An IN list over 12 keys: bound 600 > 500, downgraded — the
+	// trailer reports the fraction of the relevant data actually read.
+	in := make([]string, 12)
+	for i := range in {
+		in[i] = fmt.Sprint(i + 1)
+	}
+	query(ts.URL, fmt.Sprintf(
+		"SELECT recnum FROM call WHERE pnum IN (%s) AND date = 20260301", strings.Join(in, ", ")))
+
+	// 3. Not covered at all: rejected before execution with the reason.
+	query(ts.URL, "SELECT pnum FROM call WHERE region = 'EMEA'")
+
+	// 4. The monitoring endpoint.
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats server.StatsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n/stats: queries=%d admitted=%d downgraded=%d rejected(uncovered)=%d fetched=%d cacheHits=%d\n",
+		stats.Queries, stats.Admitted, stats.Downgraded, stats.RejectedUncovered,
+		stats.TuplesFetched, stats.PlanCacheHits)
+}
+
+// query posts sql to /query and prints the NDJSON stream.
+func query(base, sql string) {
+	fmt.Printf("\n> %s\n", sql)
+	body, _ := json.Marshal(map[string]string{"sql": sql})
+	resp, err := http.Post(base+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var er struct {
+			Error string `json:"error"`
+			Bound uint64 `json:"bound"`
+		}
+		json.NewDecoder(resp.Body).Decode(&er)
+		fmt.Printf("  HTTP %d: %s\n", resp.StatusCode, er.Error)
+		return
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	rows := 0
+	for sc.Scan() {
+		var line struct {
+			Columns   []string `json:"columns"`
+			Admission string   `json:"admission"`
+			Bound     uint64   `json:"bound"`
+			Rows      [][]any  `json:"rows"`
+			Stats     *struct {
+				Mode          string  `json:"mode"`
+				TuplesFetched int64   `json:"tuplesFetched"`
+				Coverage      float64 `json:"coverage"`
+			} `json:"stats"`
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			log.Fatal(err)
+		}
+		switch {
+		case line.Columns != nil:
+			fmt.Printf("  %s (deduced bound %d), columns %v\n", line.Admission, line.Bound, line.Columns)
+		case line.Error != "":
+			fmt.Println("  stream error:", line.Error)
+		case line.Stats != nil:
+			fmt.Printf("  %d rows, mode=%s, fetched=%d", rows, line.Stats.Mode, line.Stats.TuplesFetched)
+			if line.Stats.Coverage > 0 && line.Stats.Coverage < 1 {
+				fmt.Printf(", accuracy ≥ %.0f%%", 100*line.Stats.Coverage)
+			}
+			fmt.Println()
+		default:
+			rows += len(line.Rows)
+		}
+	}
+}

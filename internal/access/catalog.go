@@ -48,11 +48,17 @@ func (s *Schema) Register(c *Constraint, autoWiden bool) (*Index, error) {
 	if _, dup := s.indexes[c.ID()]; dup {
 		return nil, fmt.Errorf("access: constraint %v already registered", c)
 	}
-	idx, err := BuildIndex(c, t, autoWiden)
+	// Build the index and attach it as a mutation observer atomically:
+	// ObserveBuild holds the table lock across both, so a concurrent
+	// insert lands either in the scanned snapshot or in a subsequent
+	// OnInsert notification — never in both, never in neither.
+	idx, err := newIndex(c, t, autoWiden)
 	if err != nil {
 		return nil, err
 	}
-	t.Observe(idx)
+	if err := t.ObserveBuild(idx, idx.buildFrom); err != nil {
+		return nil, err
+	}
 	s.constraints = append(s.constraints, c)
 	s.indexes[c.ID()] = idx
 	rel := strings.ToLower(c.Rel)

@@ -50,7 +50,25 @@ type bucket struct {
 // BuildIndex scans the table and constructs the index for c. It fails if
 // the instance does not conform to c (some bucket exceeds N), unless
 // autoWiden is set, in which case N is widened to the observed maximum.
+//
+// BuildIndex reads the table without pinning it; callers that attach
+// the index as a mutation observer afterwards should instead combine
+// newIndex + buildFrom under storage.Table.ObserveBuild, as
+// access.Schema.Register does, so no concurrent insert can slip between
+// the scan and the registration.
 func BuildIndex(c *Constraint, t *storage.Table, autoWiden bool) (*Index, error) {
+	idx, err := newIndex(c, t, autoWiden)
+	if err != nil {
+		return nil, err
+	}
+	if err := idx.buildFrom(t.Rows()); err != nil {
+		return nil, err
+	}
+	return idx, nil
+}
+
+// newIndex prepares an empty index for c over t's relation.
+func newIndex(c *Constraint, t *storage.Table, autoWiden bool) (*Index, error) {
 	xPos, err := t.Rel.AttrIndices(c.X)
 	if err != nil {
 		return nil, err
@@ -59,23 +77,28 @@ func BuildIndex(c *Constraint, t *storage.Table, autoWiden bool) (*Index, error)
 	if err != nil {
 		return nil, err
 	}
-	idx := &Index{
+	return &Index{
 		C:         c,
 		xPos:      xPos,
 		yPos:      yPos,
 		buckets:   make(map[string]*bucket),
 		AutoWiden: autoWiden,
+	}, nil
+}
+
+// buildFrom folds rows into the empty index and enforces conformance
+// (widening N instead when AutoWiden is set).
+func (ix *Index) buildFrom(rows []value.Row) error {
+	for _, row := range rows {
+		ix.insertLocked(row)
 	}
-	for _, row := range t.Rows() {
-		idx.insertLocked(row)
-	}
-	if idx.maxN > c.N {
-		if !autoWiden {
-			return nil, fmt.Errorf("access: building index for %v: instance does not conform (max %d distinct Y-values per key)", c, idx.maxN)
+	if ix.maxN > ix.C.N {
+		if !ix.AutoWiden {
+			return fmt.Errorf("access: building index for %v: instance does not conform (max %d distinct Y-values per key)", ix.C, ix.maxN)
 		}
-		c.N = idx.maxN
+		ix.C.N = ix.maxN
 	}
-	return idx, nil
+	return nil
 }
 
 // Fetch returns the distinct Y-values associated with key (the values of

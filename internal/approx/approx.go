@@ -21,6 +21,7 @@
 package approx
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -49,6 +50,13 @@ type Result struct {
 // Run executes the bounded plan p under a budget on the number of tuples
 // fetched. A budget ≥ the plan's deduced bound yields the exact answer.
 func Run(p *core.Plan, budget int64) (*Result, error) {
+	return RunContext(context.Background(), p, budget)
+}
+
+// RunContext is Run under a context: cancellation or deadline expiry
+// halts the budgeted fetch loop between input rows and returns ctx's
+// error.
+func RunContext(ctx context.Context, p *core.Plan, budget int64) (*Result, error) {
 	if budget <= 0 {
 		return nil, fmt.Errorf("approx: budget must be positive, got %d", budget)
 	}
@@ -151,6 +159,11 @@ func Run(p *core.Plan, budget int64) (*Result, error) {
 			}
 		}
 		for ri, row := range rows {
+			if ri%256 == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			emit(row, weights[ri], 0)
 			if emitErr != nil {
 				return nil, emitErr

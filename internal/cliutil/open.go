@@ -1,0 +1,57 @@
+// Package cliutil holds helpers shared by the BEAS command-line tools
+// (cmd/beas, cmd/beasd).
+package cliutil
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"strings"
+
+	beas "github.com/bounded-eval/beas"
+)
+
+// OpenDB opens the database a CLI tool serves: a freshly generated TLC
+// instance at tlcScale, or — when tlcScale is 0 and dataDir is set —
+// CSVs plus an access_schema.txt from dataDir (as written by
+// cmd/tlcgen). With neither, it generates TLC at scale 1. logf receives
+// progress messages (without trailing newlines).
+func OpenDB(tlcScale int, dataDir string, logf func(format string, args ...any)) (*beas.DB, error) {
+	if tlcScale > 0 {
+		logf("generating TLC benchmark at scale %d...", tlcScale)
+		return beas.NewTLCDB(tlcScale)
+	}
+	if dataDir == "" {
+		logf("no -tlc or -data given; generating TLC at scale 1")
+		return beas.NewTLCDB(1)
+	}
+	db := beas.NewTLCSchemaDB()
+	for _, table := range db.TableNames() {
+		path := filepath.Join(dataDir, table+".csv")
+		if _, err := os.Stat(path); err != nil {
+			logf("  (skipping %s: %v)", table, err)
+			continue
+		}
+		if err := db.LoadCSV(table, path); err != nil {
+			return nil, err
+		}
+		n, _ := db.RowCount(table)
+		logf("  loaded %-14s %8d rows", table, n)
+	}
+	f, err := os.Open(filepath.Join(dataDir, "access_schema.txt"))
+	if err != nil {
+		return db, nil
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if err := db.RegisterConstraint(line); err != nil {
+			logf("  (constraint %s: %v)", line, err)
+		}
+	}
+	return db, sc.Err()
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -83,7 +84,14 @@ func NewPartialPlan(q *analyze.Query, chk *CheckResult) (*PartialPlan, error) {
 // returned stats separate fetched tuples (bounded part) from scanned
 // tuples (conventional part).
 func RunPartial(pp *PartialPlan, q *analyze.Query, eng *engine.Engine) ([]value.Row, *Stats, *engine.Stats, error) {
-	it, st, engStats, err := StreamPartial(pp, q, eng)
+	return RunPartialContext(context.Background(), pp, q, eng)
+}
+
+// RunPartialContext is RunPartial under a context: cancellation halts
+// both the bounded fetch loop and the conventional scans and joins at
+// the next batch boundary.
+func RunPartialContext(ctx context.Context, pp *PartialPlan, q *analyze.Query, eng *engine.Engine) ([]value.Row, *Stats, *engine.Stats, error) {
+	it, st, engStats, err := StreamPartialContext(ctx, pp, q, eng)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -101,10 +109,17 @@ func RunPartial(pp *PartialPlan, q *analyze.Query, eng *engine.Engine) ([]value.
 // streams. Engine statistics accrue while the iterator is consumed; the
 // bounded sub-plan's stats are final on return.
 func StreamPartial(pp *PartialPlan, q *analyze.Query, eng *engine.Engine) (iter.Iterator, *Stats, *engine.Stats, error) {
+	return StreamPartialContext(context.Background(), pp, q, eng)
+}
+
+// StreamPartialContext is StreamPartial under a context: the eager
+// bounded sub-plan observes ctx while it materialises, and the streaming
+// conventional part observes it per batch.
+func StreamPartialContext(ctx context.Context, pp *PartialPlan, q *analyze.Query, eng *engine.Engine) (iter.Iterator, *Stats, *engine.Stats, error) {
 	var sources []engine.Source
 	st := &Stats{}
 	if pp.Sub != nil {
-		rows, subStats, err := Run(pp.Sub)
+		rows, subStats, err := RunContext(ctx, pp.Sub)
 		if err != nil {
 			return nil, nil, nil, err
 		}
@@ -127,7 +142,7 @@ func StreamPartial(pp *PartialPlan, q *analyze.Query, eng *engine.Engine) (iter.
 			Name:  "bounded(" + atomNames(q, pp.Fetched) + ")",
 		})
 	}
-	it, engStats, err := eng.Stream(q, sources)
+	it, engStats, err := eng.StreamContext(ctx, q, sources)
 	if err != nil {
 		return nil, nil, nil, err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -38,7 +39,14 @@ type Stats struct {
 // statistics. All data access goes through the constraint indices'
 // fetch operation; the plan never scans a base relation.
 func Run(p *Plan) ([]value.Row, *Stats, error) {
-	it, st := Stream(p)
+	return RunContext(context.Background(), p)
+}
+
+// RunContext is Run under a context: cancellation or deadline expiry
+// halts the fetch loops at the next batch boundary and returns ctx's
+// error; the stats then reflect only the work actually performed.
+func RunContext(ctx context.Context, p *Plan) ([]value.Row, *Stats, error) {
+	it, st := StreamContext(ctx, p)
 	rows, _, err := iter.Collect(it)
 	if err != nil {
 		return nil, st, err
@@ -54,6 +62,14 @@ func Run(p *Plan) ([]value.Row, *Stats, error) {
 // accrue in st while the iterator is consumed and are final once it is
 // exhausted or closed.
 func Stream(p *Plan) (iter.Iterator, *Stats) {
+	return StreamContext(context.Background(), p)
+}
+
+// StreamContext is Stream under a context. Every fetch step checks the
+// context before filling a batch, so a cancelled pipeline stops probing
+// the constraint indices mid-flight — even when a blocking downstream
+// stage (aggregation, ORDER BY) is draining it in a tight loop.
+func StreamContext(ctx context.Context, p *Plan) (iter.Iterator, *Stats) {
 	start := time.Now()
 	st := &Stats{}
 	if p.Check.EmptyGuaranteed {
@@ -75,6 +91,7 @@ func Stream(p *Plan) (iter.Iterator, *Stats) {
 			Constraint: step.Constraint.String(),
 		}
 		cur = &stepOp{
+			ctx:     ctx,
 			step:    step,
 			in:      cur,
 			layout:  layout,
@@ -83,6 +100,7 @@ func Stream(p *Plan) (iter.Iterator, *Stats) {
 		}
 	}
 	out := iter.Counted(exec.Stream(q, cur, layout), &st.RowsOut)
+	out = iter.WithContext(ctx, out)
 	return iter.OnClose(out, func() { st.Duration = time.Since(start) }), st
 }
 
@@ -99,6 +117,7 @@ type wBucket struct {
 // dedup-key semantics of the deduced bound), and emits the extended rows
 // that pass the step's filters.
 type stepOp struct {
+	ctx     context.Context
 	step    *PlanStep
 	in      iter.Iterator
 	layout  *analyze.Layout
@@ -127,6 +146,9 @@ func (s *stepOp) Next(b *iter.Batch) (bool, error) {
 	t0 := time.Now()
 	var upstream time.Duration
 	defer func() { s.ss.Duration += time.Since(t0) - upstream }()
+	if err := s.ctx.Err(); err != nil {
+		return false, err
+	}
 	b.Reset()
 	for b.Len() < iter.BatchSize && !s.done {
 		if s.pos >= s.buf.Len() {

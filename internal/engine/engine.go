@@ -22,6 +22,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -206,11 +207,35 @@ func (e *Engine) RunWithSources(q *analyze.Query, sources []Source) ([]value.Row
 	return rows, st, nil
 }
 
+// RunContext is Run under a context: cancellation or deadline expiry
+// halts the scans — and with them any join build or sort drain pulling
+// from them — at the next batch boundary.
+func (e *Engine) RunContext(ctx context.Context, q *analyze.Query) ([]value.Row, *Stats, error) {
+	it, st, err := e.StreamContext(ctx, q, nil)
+	if err != nil {
+		return nil, st, err
+	}
+	rows, _, err := iter.Collect(it)
+	if err != nil {
+		return nil, st, err
+	}
+	return rows, st, nil
+}
+
 // Stream plans the query and returns a pull iterator over the final
 // result rows. Statistics accrue in st while the iterator is consumed
 // and are final once it is exhausted or closed; closing early (LIMIT)
 // abandons the rest of the pipeline without executing it.
 func (e *Engine) Stream(q *analyze.Query, sources []Source) (iter.Iterator, *Stats, error) {
+	return e.StreamContext(context.Background(), q, sources)
+}
+
+// StreamContext is Stream under a context. Every scan checks the
+// context before producing a batch, which propagates cancellation into
+// the blocking loops that pull from scans (hash-join builds, sort-merge
+// drains, aggregation folds) — a cancelled conventional plan stops
+// reading the database mid-join rather than at the next result row.
+func (e *Engine) StreamContext(ctx context.Context, q *analyze.Query, sources []Source) (iter.Iterator, *Stats, error) {
 	start := time.Now()
 	st := &Stats{}
 	var trackers []*opTracker
@@ -240,7 +265,7 @@ func (e *Engine) Stream(q *analyze.Query, sources []Source) (iter.Iterator, *Sta
 		if covered[ai] {
 			continue
 		}
-		u, err := e.scanAtom(q, ai, applied, st, &trackers)
+		u, err := e.scanAtom(ctx, q, ai, applied, st, &trackers)
 		if err != nil {
 			return nil, st, err
 		}
@@ -283,7 +308,7 @@ func (e *Engine) Stream(q *analyze.Query, sources []Source) (iter.Iterator, *Sta
 	tailIn := iter.Counted(cur.it, &tailTr.rowsIn)
 	out := iter.Counted(exec.Stream(q, tailIn, cur.layout), &tailTr.rowsOut)
 
-	final := iter.OnClose(out, func() {
+	final := iter.OnClose(iter.WithContext(ctx, out), func() {
 		st.Ops = make([]OpStat, len(trackers))
 		for i, tr := range trackers {
 			st.Ops[i] = OpStat{Op: tr.op, RowsIn: tr.rowsIn, RowsOut: tr.rowsOut, Duration: tr.dur}
@@ -333,7 +358,7 @@ func (f *filterOp) Next(b *iter.Batch) (bool, error) {
 
 // scanAtom produces the unit for one atom: a streaming scan applying
 // single-atom conjuncts and projecting according to the profile.
-func (e *Engine) scanAtom(q *analyze.Query, ai int, applied []bool, st *Stats, trackers *[]*opTracker) (*unit, error) {
+func (e *Engine) scanAtom(ctx context.Context, q *analyze.Query, ai int, applied []bool, st *Stats, trackers *[]*opTracker) (*unit, error) {
 	atom := q.Atoms[ai]
 	table, ok := e.store.Table(atom.Rel.Name)
 	if !ok {
@@ -375,6 +400,7 @@ func (e *Engine) scanAtom(q *analyze.Query, ai int, applied []bool, st *Stats, t
 	tr := &opTracker{op: fmt.Sprintf("scan %s (%s)", atom.Name, atom.Rel.Name)}
 	*trackers = append(*trackers, tr)
 	op := &scanOp{
+		ctx:         ctx,
 		table:       table,
 		filters:     filters,
 		layout:      fullLayout,
@@ -389,6 +415,7 @@ func (e *Engine) scanAtom(q *analyze.Query, ai int, applied []bool, st *Stats, t
 // scanOp streams a table through the pushed-down filters and projection,
 // one batch of rows at a time, never holding the whole relation.
 type scanOp struct {
+	ctx         context.Context
 	table       *storage.Table
 	filters     []analyze.Conjunct
 	layout      *analyze.Layout
@@ -412,6 +439,9 @@ func (s *scanOp) Close() error { return nil }
 func (s *scanOp) Next(b *iter.Batch) (bool, error) {
 	t0 := time.Now()
 	defer func() { s.tr.dur += time.Since(t0) }()
+	if err := s.ctx.Err(); err != nil {
+		return false, err
+	}
 	b.Reset()
 	for b.Len() == 0 {
 		n, err := s.cur.Next(s.buf)

@@ -15,7 +15,11 @@
 // rows, instead of materializing every intermediate relation.
 package iter
 
-import "github.com/bounded-eval/beas/internal/value"
+import (
+	"context"
+
+	"github.com/bounded-eval/beas/internal/value"
+)
 
 // BatchSize is the default number of rows per batch. It is small enough
 // that a pipeline holds only a few thousand rows at any moment and large
@@ -174,6 +178,44 @@ func (c *counted) Next(b *Batch) (bool, error) {
 	*c.n += int64(b.Len())
 	return ok, err
 }
+
+// WithContext wraps it so that every Open and Next observes ctx: once
+// the context is cancelled or its deadline passes, the next pull fails
+// with ctx's error instead of producing data. Contexts that can never be
+// cancelled add no overhead — the iterator is returned unchanged.
+//
+// Cancellation propagates through a pull pipeline for free: blocking
+// stages (hash-join builds, sort drains, aggregation folds) sit in loops
+// pulling from their inputs, so a ctx-checked source terminates them
+// mid-flight at the next batch boundary.
+func WithContext(ctx context.Context, it Iterator) Iterator {
+	if ctx == nil || ctx.Done() == nil {
+		return it
+	}
+	return &ctxIter{ctx: ctx, it: it}
+}
+
+type ctxIter struct {
+	ctx context.Context
+	it  Iterator
+}
+
+func (c *ctxIter) Open() error {
+	if err := c.ctx.Err(); err != nil {
+		return err
+	}
+	return c.it.Open()
+}
+
+func (c *ctxIter) Next(b *Batch) (bool, error) {
+	if err := c.ctx.Err(); err != nil {
+		b.Reset()
+		return false, err
+	}
+	return c.it.Next(b)
+}
+
+func (c *ctxIter) Close() error { return c.it.Close() }
 
 // OnClose wraps it so that fn runs exactly once when the stream is
 // closed or exhausted — used to finalise execution statistics.

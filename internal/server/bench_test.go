@@ -1,0 +1,77 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// BenchmarkServerThroughput drives the service with concurrent clients
+// issuing a realistic admission mix: 3 covered point queries (admitted,
+// streamed) to 1 over-budget query (rejected before any fetch). The
+// rejected quarter costs only a parse + checker walk, which is the whole
+// point of bound-based admission control.
+func BenchmarkServerThroughput(b *testing.B) {
+	const customers, itemsPer = 64, 50
+	db := newOrdersDB(b, customers, itemsPer)
+	db.MustCreateTable("heavy", "k INT", "v INT")
+	for i := 0; i < 8; i++ {
+		db.MustInsert("heavy", 1, i)
+	}
+	db.MustRegisterConstraint("heavy({k} -> {v}, 1000000)")
+
+	s := New(db, Config{BoundBudget: 1000, MaxConcurrent: 8, QueueDepth: 1024})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	post := func(sql string) (int, error) {
+		body, _ := json.Marshal(queryRequest{SQL: sql})
+		resp, err := client.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return 0, err
+		}
+		_, err = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, err
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(rand.Int63()))
+		for pb.Next() {
+			if rng.Intn(4) == 0 {
+				status, err := post("SELECT v FROM heavy WHERE k = 1")
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				if status != http.StatusUnprocessableEntity {
+					b.Errorf("heavy query: status %d, want 422", status)
+					return
+				}
+			} else {
+				sql := fmt.Sprintf("SELECT item FROM orders WHERE cust = %d", rng.Intn(customers))
+				status, err := post(sql)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				if status != http.StatusOK {
+					b.Errorf("covered query: status %d, want 200", status)
+					return
+				}
+			}
+		}
+	})
+	b.StopTimer()
+	st := s.Stats()
+	b.ReportMetric(float64(st.Admitted), "admitted")
+	b.ReportMetric(float64(st.RejectedBudget), "rejected")
+}

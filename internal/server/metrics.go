@@ -1,0 +1,145 @@
+package server
+
+import (
+	"sync/atomic"
+
+	beas "github.com/bounded-eval/beas"
+)
+
+// boundBuckets are the upper edges of the deduced-bound histogram, in
+// tuples. A query's a-priori access bound M lands in the first bucket
+// whose edge is ≥ M; queries the checker cannot bound at all (not
+// covered) are counted separately. Powers of ten keep the histogram
+// readable across the orders of magnitude access schemas span.
+var boundBuckets = []uint64{0, 1, 10, 100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000, 100_000_000}
+
+var boundLabels = []string{"0", "1", "10", "100", "1e3", "1e4", "1e5", "1e6", "1e7", "1e8", "+Inf"}
+
+// metrics is the server's monitoring state. Everything is an atomic so
+// concurrent request handlers update it without a lock; Snapshot reads
+// are consistent enough for monitoring (counters may be mid-update
+// relative to each other, never torn individually).
+type metrics struct {
+	queries           atomic.Uint64 // /query requests carrying a statement (parse failures count as failed)
+	admitted          atomic.Uint64 // requests that reached execution
+	rejectedBudget    atomic.Uint64 // covered, but deduced bound exceeded the budget
+	rejectedUncovered atomic.Uint64 // not covered and AllowUncovered is off
+	rejectedBusy      atomic.Uint64 // worker pool and wait queue both full
+	downgraded        atomic.Uint64 // over-budget, rerouted to approximation
+	queued            atomic.Uint64 // over-budget, serialised through the heavy lane
+	canceled          atomic.Uint64 // client gone or deadline hit mid-execution
+	failed            atomic.Uint64 // execution errors other than cancellation
+
+	rowsStreamed  atomic.Int64
+	tuplesFetched atomic.Int64 // partial tuples via constraint indices (Σ |D_Q|)
+	tuplesScanned atomic.Int64 // base rows read by conventional scans
+
+	modeBounded      atomic.Uint64
+	modePartial      atomic.Uint64
+	modeConventional atomic.Uint64
+	modeEmpty        atomic.Uint64
+
+	boundHist      [11]atomic.Uint64 // parallel to boundLabels
+	boundUncovered atomic.Uint64
+}
+
+// observeBound files a checker verdict into the bound histogram.
+func (m *metrics) observeBound(info *beas.CheckInfo) {
+	if !info.Covered {
+		m.boundUncovered.Add(1)
+		return
+	}
+	bound := info.Bound
+	if info.EmptyGuaranteed {
+		bound = 0
+	}
+	for i, edge := range boundBuckets {
+		if bound <= edge {
+			m.boundHist[i].Add(1)
+			return
+		}
+	}
+	m.boundHist[len(boundBuckets)].Add(1)
+}
+
+// observeResult folds a finished (or cancelled) execution's statistics
+// into the counters.
+func (m *metrics) observeResult(st *beas.Stats, rows int64) {
+	m.rowsStreamed.Add(rows)
+	m.tuplesFetched.Add(st.TuplesFetched)
+	m.tuplesScanned.Add(st.TuplesScanned)
+	switch st.Mode {
+	case beas.ModeBounded:
+		m.modeBounded.Add(1)
+	case beas.ModePartial:
+		m.modePartial.Add(1)
+	case beas.ModeConventional:
+		m.modeConventional.Add(1)
+	case beas.ModeEmpty:
+		m.modeEmpty.Add(1)
+	}
+}
+
+// BoundBucket is one histogram bucket of deduced access bounds.
+type BoundBucket struct {
+	LE    string `json:"le"` // inclusive upper edge ("+Inf" = overflow)
+	Count uint64 `json:"count"`
+}
+
+// StatsSnapshot is the JSON shape of the /stats endpoint.
+type StatsSnapshot struct {
+	Queries           uint64 `json:"queries"`
+	Admitted          uint64 `json:"admitted"`
+	RejectedBudget    uint64 `json:"rejectedBudget"`
+	RejectedUncovered uint64 `json:"rejectedUncovered"`
+	RejectedBusy      uint64 `json:"rejectedBusy"`
+	Downgraded        uint64 `json:"downgraded"`
+	Queued            uint64 `json:"queued"`
+	Canceled          uint64 `json:"canceled"`
+	Failed            uint64 `json:"failed"`
+
+	RowsStreamed  int64 `json:"rowsStreamed"`
+	TuplesFetched int64 `json:"tuplesFetched"`
+	TuplesScanned int64 `json:"tuplesScanned"`
+
+	Modes map[string]uint64 `json:"modes"`
+
+	// BoundHistogram buckets every checked query by its deduced access
+	// bound; BoundUncovered counts queries with no bound at all.
+	BoundHistogram []BoundBucket `json:"boundHistogram"`
+	BoundUncovered uint64        `json:"boundUncovered"`
+
+	PlanCacheHits   uint64 `json:"planCacheHits"`
+	PlanCacheMisses uint64 `json:"planCacheMisses"`
+}
+
+// snapshot captures the counters. db supplies the plan-cache numbers.
+func (m *metrics) snapshot(db *beas.DB) StatsSnapshot {
+	s := StatsSnapshot{
+		Queries:           m.queries.Load(),
+		Admitted:          m.admitted.Load(),
+		RejectedBudget:    m.rejectedBudget.Load(),
+		RejectedUncovered: m.rejectedUncovered.Load(),
+		RejectedBusy:      m.rejectedBusy.Load(),
+		Downgraded:        m.downgraded.Load(),
+		Queued:            m.queued.Load(),
+		Canceled:          m.canceled.Load(),
+		Failed:            m.failed.Load(),
+		RowsStreamed:      m.rowsStreamed.Load(),
+		TuplesFetched:     m.tuplesFetched.Load(),
+		TuplesScanned:     m.tuplesScanned.Load(),
+		Modes: map[string]uint64{
+			string(beas.ModeBounded):      m.modeBounded.Load(),
+			string(beas.ModePartial):      m.modePartial.Load(),
+			string(beas.ModeConventional): m.modeConventional.Load(),
+			string(beas.ModeEmpty):        m.modeEmpty.Load(),
+		},
+		BoundUncovered: m.boundUncovered.Load(),
+	}
+	s.PlanCacheHits, s.PlanCacheMisses = db.PlanCacheStats()
+	s.BoundHistogram = make([]BoundBucket, len(boundLabels))
+	for i, l := range boundLabels {
+		s.BoundHistogram[i] = BoundBucket{LE: l, Count: m.boundHist[i].Load()}
+	}
+	return s
+}

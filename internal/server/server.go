@@ -1,0 +1,653 @@
+// Package server is BEAS's concurrent query service: an HTTP/JSON front
+// end over a shared *beas.DB that executes queries through a bounded
+// worker pool and streams result rows as chunked JSON.
+//
+// Its defining feature is bound-based admission control. BEAS deduces
+// the access bound of a query — how many tuples a bounded plan may fetch
+// — from the query and the access schema alone, before touching a single
+// tuple. The server runs that check on every request and compares the
+// bound against a configurable budget: an over-budget query is, by
+// policy, rejected up front (with the bound in the error, so the client
+// knows exactly why), serialised through a single-slot heavy lane so it
+// cannot crowd out covered traffic, or downgraded to resource-bounded
+// approximation under a fetch budget with a deterministic accuracy
+// guarantee. No other admission-control signal offers this: the cost
+// estimate is an a-priori guarantee, not a heuristic.
+//
+// Endpoints:
+//
+//	POST /query   {"sql": "SELECT ..."}  → NDJSON stream: a header line
+//	              (columns, admission verdict, deduced bound), one line
+//	              of rows per batch, and a stats trailer.
+//	POST /check   {"sql": "SELECT ..."}  → the BE Checker's verdict and
+//	              the admission decision, without executing anything.
+//	GET  /stats   → counters, evaluation-mode totals, the deduced-bound
+//	              histogram and plan-cache hit rates.
+//	GET  /healthz → liveness plus row/constraint counts.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"time"
+
+	beas "github.com/bounded-eval/beas"
+	"github.com/bounded-eval/beas/internal/value"
+)
+
+// Policy says what happens to a covered query whose deduced access bound
+// exceeds the configured budget.
+type Policy string
+
+// Admission policies for over-budget queries.
+const (
+	// PolicyReject refuses the query up front with HTTP 422; the response
+	// reports the deduced bound and the budget. Nothing is executed.
+	PolicyReject Policy = "reject"
+	// PolicyQueue admits the query but serialises it through a
+	// single-slot heavy lane, so at most one over-budget query runs at a
+	// time and covered traffic keeps its workers.
+	PolicyQueue Policy = "queue"
+	// PolicyApprox downgrades the query to resource-bounded approximation
+	// under Config.ApproxBudget; the stats trailer carries the
+	// deterministic accuracy lower bound.
+	PolicyApprox Policy = "approx"
+)
+
+// ParsePolicy converts a policy name (as used in flags and configs).
+func ParsePolicy(s string) (Policy, error) {
+	switch Policy(s) {
+	case PolicyReject, PolicyQueue, PolicyApprox:
+		return Policy(s), nil
+	case "":
+		return PolicyReject, nil
+	default:
+		return "", fmt.Errorf("server: unknown admission policy %q (want reject, queue or approx)", s)
+	}
+}
+
+// Config tunes the service.
+type Config struct {
+	// MaxConcurrent bounds the number of queries executing at once
+	// (default: GOMAXPROCS).
+	MaxConcurrent int
+	// QueueDepth bounds how many admitted requests may wait for a worker
+	// slot before the server answers 503 (default 64).
+	QueueDepth int
+	// BoundBudget is the admission budget on the deduced access bound, in
+	// tuples; 0 means unlimited. Covered queries whose bound exceeds it
+	// are handled per OverBudget.
+	BoundBudget uint64
+	// OverBudget is the policy for covered queries over the budget
+	// (default PolicyReject).
+	OverBudget Policy
+	// AllowUncovered admits queries the access schema does not cover;
+	// they run partially bounded or conventionally, with no a-priori
+	// bound. Off by default: an uncovered query is rejected with the
+	// checker's reason.
+	AllowUncovered bool
+	// ApproxBudget is the fetch budget for PolicyApprox downgrades
+	// (default: BoundBudget, saturating at MaxInt64).
+	ApproxBudget int64
+	// QueryTimeout caps each query's execution; 0 means no deadline.
+	//
+	// Think carefully before running a public-facing server without one:
+	// a streaming cursor holds the database's catalog read lock until it
+	// is closed, so a client that accepts the connection and then stops
+	// reading pins the lock via TCP backpressure. Once a DDL writer
+	// queues behind it, new readers queue behind the writer — a single
+	// stalled client can wedge the service for as long as it stalls.
+	// The timeout bounds that exposure (cmd/beasd defaults to 1m).
+	QueryTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.OverBudget == "" {
+		c.OverBudget = PolicyReject
+	}
+	if c.ApproxBudget <= 0 {
+		if c.BoundBudget > 0 && c.BoundBudget <= uint64(1<<62) {
+			c.ApproxBudget = int64(c.BoundBudget)
+		} else {
+			c.ApproxBudget = 1 << 62
+		}
+	}
+	return c
+}
+
+// Server serves queries over one shared database.
+type Server struct {
+	db  *beas.DB
+	cfg Config
+
+	sem     chan struct{} // worker pool: one token per executing query
+	heavy   chan struct{} // single-slot lane for PolicyQueue admissions
+	waiting chan struct{} // bounds the wait queue for worker slots
+
+	m   metrics
+	mux *http.ServeMux
+}
+
+// New creates a Server over db. The database may be shared with other
+// users; the server only takes read locks (queries) on it.
+func New(db *beas.DB, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		db:      db,
+		cfg:     cfg,
+		sem:     make(chan struct{}, cfg.MaxConcurrent),
+		heavy:   make(chan struct{}, 1),
+		waiting: make(chan struct{}, cfg.QueueDepth),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/check", s.handleCheck)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	return s
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Stats snapshots the server's counters.
+func (s *Server) Stats() StatsSnapshot { return s.m.snapshot(s.db) }
+
+// decision is the admission verdict for one request.
+type decision string
+
+const (
+	decideAdmit           decision = "admitted"
+	decideQueue           decision = "queued"
+	decideDowngrade       decision = "downgraded"
+	decideReject          decision = "rejected-budget"
+	decideRejectUncovered decision = "rejected-uncovered"
+)
+
+// admit applies the admission policy to a checker verdict. It inspects
+// no data — only the deduced bound.
+func (s *Server) admit(info *beas.CheckInfo) decision {
+	if info.EmptyGuaranteed {
+		return decideAdmit // the empty answer is free, whatever the budget
+	}
+	if !info.Covered {
+		if s.cfg.AllowUncovered {
+			return decideAdmit
+		}
+		return decideRejectUncovered
+	}
+	if s.cfg.BoundBudget == 0 || info.Bound <= s.cfg.BoundBudget {
+		return decideAdmit
+	}
+	switch s.cfg.OverBudget {
+	case PolicyApprox:
+		return decideDowngrade
+	case PolicyQueue:
+		return decideQueue
+	default:
+		return decideReject
+	}
+}
+
+// errBusy reports a full worker pool and wait queue.
+var errBusy = errors.New("server: all workers busy and wait queue full")
+
+// acquire takes a worker slot, waiting in the bounded queue when the
+// pool is full. It fails fast with errBusy when the queue is full too,
+// and honours ctx while waiting.
+func (s *Server) acquire(ctx context.Context) error {
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	select {
+	case s.waiting <- struct{}{}:
+	default:
+		return errBusy
+	}
+	defer func() { <-s.waiting }()
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Server) release() { <-s.sem }
+
+// queryRequest is the JSON body of /query and /check.
+type queryRequest struct {
+	SQL string `json:"sql"`
+}
+
+// readSQL extracts the statement from a JSON body or a "q" parameter.
+func readSQL(r *http.Request) (string, error) {
+	if q := r.URL.Query().Get("q"); q != "" {
+		return q, nil
+	}
+	if r.Body == nil {
+		return "", errors.New("missing query")
+	}
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		return "", fmt.Errorf("decoding request body: %w", err)
+	}
+	if req.SQL == "" {
+		return "", errors.New("empty sql")
+	}
+	return req.SQL, nil
+}
+
+// errorResponse is the JSON shape of every non-streaming error.
+type errorResponse struct {
+	Error string `json:"error"`
+	// Bound and Budget are set on admission rejections, so the client
+	// sees exactly how far over budget the query was — before anything
+	// was executed.
+	Bound  uint64 `json:"bound,omitempty"`
+	Budget uint64 `json:"budget,omitempty"`
+	Reason string `json:"reason,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// queryHeader is the first NDJSON line of a /query response.
+type queryHeader struct {
+	Columns   []string `json:"columns"`
+	Admission string   `json:"admission"`
+	Covered   bool     `json:"covered"`
+	// Bound is the deduced access bound (covered queries only).
+	Bound uint64 `json:"bound,omitempty"`
+}
+
+// rowChunk is one NDJSON line of result rows.
+type rowChunk struct {
+	Rows [][]any `json:"rows"`
+}
+
+// stepJSON is the per-fetch-step breakdown in the stats trailer.
+type stepJSON struct {
+	Atom        string `json:"atom"`
+	Constraint  string `json:"constraint"`
+	DistinctKey int64  `json:"distinctKeys"`
+	Fetched     int64  `json:"fetched"`
+	RowsOut     int64  `json:"rowsOut"`
+}
+
+// statsJSON is the trailer of a /query stream.
+type statsJSON struct {
+	Mode            string     `json:"mode"`
+	Rows            int64      `json:"rows"`
+	Bound           uint64     `json:"bound,omitempty"`
+	ConstraintsUsed int        `json:"constraintsUsed,omitempty"`
+	TuplesFetched   int64      `json:"tuplesFetched"`
+	TuplesScanned   int64      `json:"tuplesScanned,omitempty"`
+	FetchSteps      []stepJSON `json:"fetchSteps,omitempty"`
+	DurationMS      float64    `json:"durationMs"`
+	// Coverage is the deterministic accuracy lower bound of a downgraded
+	// (approximated) query; 1 means the answer is exact.
+	Coverage float64 `json:"coverage,omitempty"`
+}
+
+type trailer struct {
+	Stats statsJSON `json:"stats"`
+}
+
+type streamError struct {
+	Error string `json:"error"`
+}
+
+func statsFrom(st *beas.Stats, rows int64) statsJSON {
+	out := statsJSON{
+		Mode:            string(st.Mode),
+		Rows:            rows,
+		Bound:           st.Bound,
+		ConstraintsUsed: st.ConstraintsUsed,
+		TuplesFetched:   st.TuplesFetched,
+		TuplesScanned:   st.TuplesScanned,
+		DurationMS:      float64(st.Duration) / float64(time.Millisecond),
+	}
+	for _, s := range st.FetchSteps {
+		out.FetchSteps = append(out.FetchSteps, stepJSON{
+			Atom:        s.Atom,
+			Constraint:  s.Constraint,
+			DistinctKey: s.DistinctKey,
+			Fetched:     s.Fetched,
+			RowsOut:     s.RowsOut,
+		})
+	}
+	return out
+}
+
+// jsonRow converts a result row to JSON-native values.
+func jsonRow(r beas.Row) []any {
+	out := make([]any, len(r))
+	for i, v := range r {
+		switch v.K {
+		case value.Int:
+			out[i] = v.I
+		case value.Float:
+			out[i] = v.F
+		case value.String:
+			out[i] = v.S
+		case value.Bool:
+			out[i] = v.I != 0
+		default:
+			out[i] = nil
+		}
+	}
+	return out
+}
+
+func canceled(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	sql, err := readSQL(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	ctx := r.Context()
+	if s.cfg.QueryTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.QueryTimeout)
+		defer cancel()
+	}
+	s.m.queries.Add(1)
+
+	// Admission: the checker deduces the access bound without executing
+	// anything, so rejection costs zero data access.
+	info, err := s.db.CheckContext(ctx, sql)
+	if err != nil {
+		if canceled(err) {
+			s.m.canceled.Add(1)
+		} else {
+			s.m.failed.Add(1) // parse/analysis error
+		}
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	s.m.observeBound(info)
+	dec := s.admit(info)
+	switch dec {
+	case decideReject:
+		s.m.rejectedBudget.Add(1)
+		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{
+			Error:  fmt.Sprintf("query rejected: deduced access bound %d exceeds budget %d", info.Bound, s.cfg.BoundBudget),
+			Bound:  info.Bound,
+			Budget: s.cfg.BoundBudget,
+		})
+		return
+	case decideRejectUncovered:
+		s.m.rejectedUncovered.Add(1)
+		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{
+			Error:  "query rejected: not covered by the access schema",
+			Reason: info.Reason,
+		})
+		return
+	case decideQueue:
+		// Heavy lane first: over-budget queries contend only with each
+		// other here, then take a normal worker slot like everyone else.
+		s.m.queued.Add(1)
+		select {
+		case s.heavy <- struct{}{}:
+			defer func() { <-s.heavy }()
+		case <-ctx.Done():
+			s.m.canceled.Add(1)
+			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: ctx.Err().Error()})
+			return
+		}
+	}
+
+	if err := s.acquire(ctx); err != nil {
+		if errors.Is(err, errBusy) {
+			s.m.rejectedBusy.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+		} else {
+			s.m.canceled.Add(1)
+			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+		}
+		return
+	}
+	defer s.release()
+
+	if dec == decideDowngrade {
+		s.m.admitted.Add(1)
+		s.m.downgraded.Add(1)
+		s.streamApprox(ctx, w, sql, info)
+		return
+	}
+	s.streamQuery(ctx, w, sql, dec)
+}
+
+// ndjson writes the /query wire format: one header line, one line per
+// row chunk, then a stats trailer or an error line, flushing after each
+// line so rows reach the client as they are produced.
+type ndjson struct {
+	enc     *json.Encoder
+	flusher http.Flusher
+}
+
+func newNDJSON(w http.ResponseWriter) *ndjson {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	f, _ := w.(http.Flusher)
+	return &ndjson{enc: json.NewEncoder(w), flusher: f}
+}
+
+func (n *ndjson) flush() {
+	if n.flusher != nil {
+		n.flusher.Flush()
+	}
+}
+
+func (n *ndjson) header(h queryHeader) {
+	n.enc.Encode(h)
+	n.flush()
+}
+
+// chunk writes one line of rows; an error means the client is gone.
+func (n *ndjson) chunk(rows []beas.Row) error {
+	c := rowChunk{Rows: make([][]any, len(rows))}
+	for i, r := range rows {
+		c.Rows[i] = jsonRow(r)
+	}
+	if err := n.enc.Encode(c); err != nil {
+		return err
+	}
+	n.flush()
+	return nil
+}
+
+func (n *ndjson) trailer(st statsJSON) {
+	n.enc.Encode(trailer{Stats: st})
+}
+
+func (n *ndjson) fail(err error) {
+	n.enc.Encode(streamError{Error: err.Error()})
+}
+
+// streamQuery executes sql through a streaming cursor and writes the
+// NDJSON response: header, row chunks, stats trailer.
+func (s *Server) streamQuery(ctx context.Context, w http.ResponseWriter, sql string, dec decision) {
+	ri, err := s.db.QueryIterContext(ctx, sql)
+	if err != nil {
+		if canceled(err) {
+			s.m.canceled.Add(1)
+			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+		} else {
+			s.m.failed.Add(1)
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		}
+		return
+	}
+	defer ri.Close()
+
+	// Re-verify admission against the catalog the cursor actually runs
+	// on: a DDL commit can land between the admission check and cursor
+	// construction, and the fallback path must not smuggle an uncovered
+	// full scan past AllowUncovered=false, nor a grown bound past a
+	// reject budget. (Construction only plans and runs the bounded part;
+	// no unbounded scan has streamed yet.)
+	st := ri.Stats()
+	if !st.Covered && !s.cfg.AllowUncovered {
+		ri.Close()
+		s.m.rejectedUncovered.Add(1)
+		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{
+			Error: "query rejected: access schema changed during admission; no longer covered",
+		})
+		return
+	}
+	if dec == decideAdmit && st.Covered && s.cfg.BoundBudget > 0 && st.Bound > s.cfg.BoundBudget {
+		// Rejected under every policy, not just PolicyReject: this
+		// request was admitted as within-budget, so it holds a plain
+		// worker slot — downgrading or heavy-laning it here would dodge
+		// the path those policies run through. A retry re-enters
+		// admission and gets the configured over-budget treatment.
+		ri.Close()
+		s.m.rejectedBudget.Add(1)
+		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{
+			Error:  fmt.Sprintf("query rejected: access schema changed during admission; deduced bound is now %d, over budget %d — retry", st.Bound, s.cfg.BoundBudget),
+			Bound:  st.Bound,
+			Budget: s.cfg.BoundBudget,
+		})
+		return
+	}
+	s.m.admitted.Add(1)
+
+	out := newNDJSON(w)
+	out.header(queryHeader{Columns: ri.Columns(), Admission: string(dec), Covered: st.Covered, Bound: st.Bound})
+
+	var rows int64
+	for {
+		batch, err := ri.NextBatch()
+		if err != nil {
+			// Fold the partial execution stats in before flagging the
+			// outcome, so a /stats reader that sees the canceled/failed
+			// tick also sees the work that preceded it.
+			ri.Close()
+			s.m.observeResult(ri.Stats(), rows)
+			if canceled(err) {
+				s.m.canceled.Add(1)
+			} else {
+				s.m.failed.Add(1)
+			}
+			out.fail(err)
+			return
+		}
+		if batch == nil {
+			break
+		}
+		rows += int64(len(batch))
+		if err := out.chunk(batch); err != nil {
+			// The client is gone; stop pulling rows it will never see.
+			ri.Close()
+			s.m.observeResult(ri.Stats(), rows)
+			s.m.canceled.Add(1)
+			return
+		}
+	}
+	ri.Close()
+	s.m.observeResult(ri.Stats(), rows)
+	out.trailer(statsFrom(ri.Stats(), rows))
+}
+
+// streamApprox executes a downgraded query under the approximation
+// budget and writes the same NDJSON shape, with the accuracy lower bound
+// in the trailer.
+func (s *Server) streamApprox(ctx context.Context, w http.ResponseWriter, sql string, info *beas.CheckInfo) {
+	res, coverage, err := s.db.QueryApproxContext(ctx, sql, s.cfg.ApproxBudget)
+	if err != nil {
+		if canceled(err) {
+			s.m.canceled.Add(1)
+			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+		} else {
+			s.m.failed.Add(1)
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		}
+		return
+	}
+	out := newNDJSON(w)
+	out.header(queryHeader{Columns: res.Columns, Admission: string(decideDowngrade), Covered: true, Bound: info.Bound})
+	for i := 0; i < len(res.Rows); i += 256 {
+		end := min(i+256, len(res.Rows))
+		if err := out.chunk(res.Rows[i:end]); err != nil {
+			s.m.observeResult(&res.Stats, int64(i))
+			s.m.canceled.Add(1)
+			return
+		}
+	}
+	s.m.observeResult(&res.Stats, int64(len(res.Rows)))
+	st := statsFrom(&res.Stats, int64(len(res.Rows)))
+	st.Coverage = coverage
+	out.trailer(st)
+}
+
+// checkResponse is the /check endpoint's verdict.
+type checkResponse struct {
+	Covered         bool   `json:"covered"`
+	Reason          string `json:"reason,omitempty"`
+	Bound           uint64 `json:"bound"`
+	OutputBound     uint64 `json:"outputBound"`
+	ConstraintsUsed int    `json:"constraintsUsed"`
+	EmptyGuaranteed bool   `json:"emptyGuaranteed"`
+	Plan            string `json:"plan,omitempty"`
+	// Decision is what /query would do with this statement right now.
+	Decision string `json:"decision"`
+	Budget   uint64 `json:"budget,omitempty"`
+}
+
+func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
+	sql, err := readSQL(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	info, err := s.db.CheckContext(r.Context(), sql)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, checkResponse{
+		Covered:         info.Covered,
+		Reason:          info.Reason,
+		Bound:           info.Bound,
+		OutputBound:     info.OutputBound,
+		ConstraintsUsed: info.ConstraintsUsed,
+		EmptyGuaranteed: info.EmptyGuaranteed,
+		Plan:            info.Plan,
+		Decision:        string(s.admit(info)),
+		Budget:          s.cfg.BoundBudget,
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.m.snapshot(s.db))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":          true,
+		"rows":        s.db.TotalRows(),
+		"constraints": len(s.db.Constraints()),
+		"workers":     s.cfg.MaxConcurrent,
+	})
+}

@@ -48,22 +48,53 @@ func NewTable(rel *schema.Relation) *Table {
 }
 
 // Observe registers an observer for subsequent mutations.
+//
+// The observer list is copied on write: mutators snapshot it under the
+// lock and notify outside it, so editing the backing array in place
+// would race with a notification in flight.
 func (t *Table) Observe(o Observer) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.observers = append(t.observers, o)
+	t.observers = appendObservers(t.observers, o)
 }
 
-// Unobserve removes a previously registered observer.
+// ObserveBuild builds derived state from a consistent snapshot of the
+// current rows and registers o for subsequent mutations, atomically: no
+// concurrent mutation can fall between the snapshot and the
+// registration, so o sees every row exactly once — in the snapshot or
+// as a notification, never both, never neither. The rows slice passed
+// to build is the table's own storage and must not be retained or
+// mutated.
+func (t *Table) ObserveBuild(o Observer, build func(rows []value.Row) error) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := build(t.rows); err != nil {
+		return err
+	}
+	t.observers = appendObservers(t.observers, o)
+	return nil
+}
+
+// Unobserve removes a previously registered observer (copy-on-write,
+// like Observe).
 func (t *Table) Unobserve(o Observer) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	for i, x := range t.observers {
 		if x == o {
-			t.observers = append(t.observers[:i], t.observers[i+1:]...)
+			obs := make([]Observer, 0, len(t.observers)-1)
+			obs = append(obs, t.observers[:i]...)
+			obs = append(obs, t.observers[i+1:]...)
+			t.observers = obs
 			return
 		}
 	}
+}
+
+func appendObservers(obs []Observer, o Observer) []Observer {
+	out := make([]Observer, len(obs), len(obs)+1)
+	copy(out, obs)
+	return append(out, o)
 }
 
 // Insert validates and appends a row.

@@ -1,6 +1,7 @@
 package beas
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -42,21 +43,39 @@ type parsed struct {
 	unionAll []bool // unionAll[i] applies between branch i-1 and i
 }
 
+// parse analyses sql through the plan cache, taking the catalog read
+// lock for the duration. Callers that go on to execute use parseLocked
+// under their own lock instead, so analysis and execution see the same
+// catalog.
 func (db *DB) parse(sql string) (*parsed, error) {
 	db.mu.RLock()
-	version := db.catalogVersion
-	db.mu.RUnlock()
+	defer db.mu.RUnlock()
+	return db.parseLocked(sql)
+}
+
+// parseLocked parses and analyses sql through the plan cache. The caller
+// must hold db.mu (read suffices) and keep holding it while it uses the
+// returned analysis.
+//
+// Holding the lock across the cache lookup, the analysis and the store
+// closes the store-after-invalidate race: catalogVersion only advances
+// under the write lock, so while we hold the read lock a concurrent DDL
+// can neither invalidate the entry we just validated nor slip between
+// our version check and our Store — a stale cachedParse can never be
+// re-inserted over a newer catalog. It also guarantees the caller
+// executes against the same catalog the analysis saw.
+func (db *DB) parseLocked(sql string) (*parsed, error) {
 	if hit, ok := db.planCache.Load(sql); ok {
-		if c := hit.(*cachedParse); c.version == version {
+		if c := hit.(*cachedParse); c.version == db.catalogVersion {
+			db.cacheHits.Add(1)
 			return c.p, nil
 		}
 	}
+	db.cacheMisses.Add(1)
 	stmt, err := sqlparser.Parse(sql)
 	if err != nil {
 		return nil, err
 	}
-	db.mu.RLock()
-	defer db.mu.RUnlock()
 	p := &parsed{}
 	all := false
 	for s := stmt; s != nil; s = s.Union {
@@ -73,9 +92,7 @@ func (db *DB) parse(sql string) (*parsed, error) {
 			return nil, fmt.Errorf("beas: UNION branches have different arities")
 		}
 	}
-	if db.catalogVersion == version {
-		db.planCache.Store(sql, &cachedParse{version: version, p: p})
-	}
+	db.planCache.Store(sql, &cachedParse{version: db.catalogVersion, p: p})
 	return p, nil
 }
 
@@ -84,12 +101,23 @@ func (db *DB) parse(sql string) (*parsed, error) {
 // executed. For UNION queries every branch must be covered; the bound is
 // the sum over branches.
 func (db *DB) Check(sql string) (*CheckInfo, error) {
-	p, err := db.parse(sql)
-	if err != nil {
+	return db.CheckContext(context.Background(), sql)
+}
+
+// CheckContext is Check under a context. The checker never touches data
+// — it only parses, analyses and walks the access schema — so ctx is
+// consulted once up front; an already-cancelled context fails fast
+// without taking the catalog lock.
+func (db *DB) CheckContext(ctx context.Context, sql string) (*CheckInfo, error) {
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	p, err := db.parseLocked(sql)
+	if err != nil {
+		return nil, err
+	}
 	info := &CheckInfo{Covered: true, EmptyGuaranteed: true}
 	var planText string
 	for i, q := range p.branches {
@@ -136,22 +164,38 @@ func satAdd(a, b uint64) uint64 {
 // bounded plan runs its covered sub-query boundedly and delegates the
 // rest to the conventional engine.
 func (db *DB) Query(sql string) (*Result, error) {
-	return db.query(sql, true)
+	return db.query(context.Background(), sql, true)
+}
+
+// QueryContext is Query under a context: cancellation or deadline expiry
+// halts the fetch loops and streaming joins at the next batch boundary
+// and returns ctx's error. The statistics of a cancelled query reflect
+// only the work actually performed.
+func (db *DB) QueryContext(ctx context.Context, sql string) (*Result, error) {
+	return db.query(ctx, sql, true)
 }
 
 // QueryBounded evaluates sql with a bounded plan only, failing when the
 // query is not covered by the access schema.
 func (db *DB) QueryBounded(sql string) (*Result, error) {
-	return db.query(sql, false)
+	return db.query(context.Background(), sql, false)
 }
 
-func (db *DB) query(sql string, allowFallback bool) (*Result, error) {
-	p, err := db.parse(sql)
-	if err != nil {
+// QueryBoundedContext is QueryBounded under a context.
+func (db *DB) QueryBoundedContext(ctx context.Context, sql string) (*Result, error) {
+	return db.query(ctx, sql, false)
+}
+
+func (db *DB) query(ctx context.Context, sql string, allowFallback bool) (*Result, error) {
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	p, err := db.parseLocked(sql)
+	if err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	res := &Result{Columns: p.branches[0].OutputNames(), Stats: Stats{Mode: ModeBounded, Covered: true}}
 	var rows []value.Row
@@ -164,13 +208,13 @@ func (db *DB) query(sql string, allowFallback bool) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			branchRows, err = db.runBounded(plan, chk, res)
+			branchRows, err = db.runBounded(ctx, plan, chk, res)
 			if err != nil {
 				return nil, err
 			}
 		case allowFallback:
 			var err error
-			branchRows, err = db.runPartial(q, chk, res)
+			branchRows, err = db.runPartial(ctx, q, chk, res)
 			if err != nil {
 				return nil, err
 			}
@@ -192,8 +236,8 @@ func (db *DB) query(sql string, allowFallback bool) (*Result, error) {
 }
 
 // runBounded executes a bounded plan and folds its statistics into res.
-func (db *DB) runBounded(plan *core.Plan, chk *core.CheckResult, res *Result) ([]value.Row, error) {
-	rows, st, err := core.Run(plan)
+func (db *DB) runBounded(ctx context.Context, plan *core.Plan, chk *core.CheckResult, res *Result) ([]value.Row, error) {
+	rows, st, err := core.RunContext(ctx, plan)
 	if err != nil {
 		return nil, err
 	}
@@ -208,12 +252,12 @@ func (db *DB) runBounded(plan *core.Plan, chk *core.CheckResult, res *Result) ([
 }
 
 // runPartial executes a partially bounded plan and folds statistics.
-func (db *DB) runPartial(q *analyze.Query, chk *core.CheckResult, res *Result) ([]value.Row, error) {
+func (db *DB) runPartial(ctx context.Context, q *analyze.Query, chk *core.CheckResult, res *Result) ([]value.Row, error) {
 	pp, err := core.NewPartialPlan(q, chk)
 	if err != nil {
 		return nil, err
 	}
-	rows, subStats, engStats, err := core.RunPartial(pp, q, db.fallback)
+	rows, subStats, engStats, err := core.RunPartialContext(ctx, pp, q, db.fallback)
 	if err != nil {
 		return nil, err
 	}
@@ -239,22 +283,31 @@ func (db *DB) runPartial(q *analyze.Query, chk *core.CheckResult, res *Result) (
 // emulated DBMS profiles, ignoring the access schema — the comparator of
 // the paper's evaluation.
 func (db *DB) QueryBaseline(sql string, baseline Baseline) (*Result, error) {
+	return db.QueryBaselineContext(context.Background(), sql, baseline)
+}
+
+// QueryBaselineContext is QueryBaseline under a context: cancellation
+// halts the emulated engine's scans and joins at the next batch boundary.
+func (db *DB) QueryBaselineContext(ctx context.Context, sql string, baseline Baseline) (*Result, error) {
 	prof, err := baselineProfile(baseline)
 	if err != nil {
 		return nil, err
 	}
-	p, err := db.parse(sql)
-	if err != nil {
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	p, err := db.parseLocked(sql)
+	if err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	eng := engine.New(db.store, prof)
 	res := &Result{Columns: p.branches[0].OutputNames(), Stats: Stats{Mode: ModeConventional}}
 	var rows []value.Row
 	for i, q := range p.branches {
-		branchRows, st, err := eng.Run(q)
+		branchRows, st, err := eng.RunContext(ctx, q)
 		if err != nil {
 			return nil, err
 		}
@@ -278,12 +331,21 @@ func (db *DB) QueryBaseline(sql string, baseline Baseline) (*Result, error) {
 // tuples fetched, returning a subset of the exact answer and a
 // deterministic accuracy lower bound (coverage ∈ [0,1]; 1 = exact).
 func (db *DB) QueryApprox(sql string, budget int64) (*Result, float64, error) {
-	p, err := db.parse(sql)
-	if err != nil {
+	return db.QueryApproxContext(context.Background(), sql, budget)
+}
+
+// QueryApproxContext is QueryApprox under a context: cancellation halts
+// the budgeted fetch loop and returns ctx's error.
+func (db *DB) QueryApproxContext(ctx context.Context, sql string, budget int64) (*Result, float64, error) {
+	if err := ctx.Err(); err != nil {
 		return nil, 0, err
 	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	p, err := db.parseLocked(sql)
+	if err != nil {
+		return nil, 0, err
+	}
 	start := time.Now()
 	res := &Result{Columns: p.branches[0].OutputNames(), Stats: Stats{Mode: ModeBounded, Covered: true}}
 	coverage := 1.0
@@ -302,7 +364,7 @@ func (db *DB) QueryApprox(sql string, budget int64) (*Result, float64, error) {
 		if budgetHere <= 0 {
 			budgetHere = 1
 		}
-		ar, err := approx.Run(plan, budgetHere)
+		ar, err := approx.RunContext(ctx, plan, budgetHere)
 		if err != nil {
 			return nil, 0, err
 		}

@@ -1,6 +1,7 @@
 package beas
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -46,8 +47,17 @@ type RowIter struct {
 // produce identical row bags; QueryIter additionally guarantees that a
 // consumer which stops early never pays for the rows it did not read.
 func (db *DB) QueryIter(sql string) (*RowIter, error) {
-	p, err := db.parse(sql)
-	if err != nil {
+	return db.QueryIterContext(context.Background(), sql)
+}
+
+// QueryIterContext is QueryIter under a context: once ctx is cancelled
+// or its deadline passes, the cursor's next pull fails with ctx's error
+// and the underlying fetch loops, scans and joins stop at the next batch
+// boundary. The cursor still must be Closed (cancellation does not
+// release the catalog read lock); its statistics then reflect only the
+// work performed before the cancellation.
+func (db *DB) QueryIterContext(ctx context.Context, sql string) (*RowIter, error) {
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	db.mu.RLock()
@@ -57,6 +67,10 @@ func (db *DB) QueryIter(sql string) (*RowIter, error) {
 			db.mu.RUnlock()
 		}
 	}()
+	p, err := db.parseLocked(sql)
+	if err != nil {
+		return nil, err
+	}
 
 	ri := &RowIter{
 		db:      db,
@@ -72,7 +86,7 @@ func (db *DB) QueryIter(sql string) (*RowIter, error) {
 			if err != nil {
 				return nil, err
 			}
-			it, cst := core.Stream(plan)
+			it, cst := core.StreamContext(ctx, plan)
 			ri.res.Stats.Bound = satAdd(ri.res.Stats.Bound, chk.TotalBound)
 			ri.res.Stats.ConstraintsUsed += chk.ConstraintsUsed
 			ri.res.Stats.Plan += plan.Describe()
@@ -92,7 +106,7 @@ func (db *DB) QueryIter(sql string) (*RowIter, error) {
 		if err != nil {
 			return nil, err
 		}
-		it, subStats, engStats, err := core.StreamPartial(pp, q, db.fallback)
+		it, subStats, engStats, err := core.StreamPartialContext(ctx, pp, q, db.fallback)
 		if err != nil {
 			return nil, err
 		}
