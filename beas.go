@@ -27,6 +27,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/bounded-eval/beas/internal/access"
 	"github.com/bounded-eval/beas/internal/analyze"
@@ -36,6 +37,7 @@ import (
 	"github.com/bounded-eval/beas/internal/sqlparser"
 	"github.com/bounded-eval/beas/internal/storage"
 	"github.com/bounded-eval/beas/internal/value"
+	"github.com/bounded-eval/beas/internal/wal"
 )
 
 // DB is a BEAS database: schemas, data, the access schema with its
@@ -59,6 +61,20 @@ type DB struct {
 	catalogVersion uint64
 	cacheHits      atomic.Uint64
 	cacheMisses    atomic.Uint64
+
+	// Durable state (open.go). wal is nil for in-memory databases and
+	// after Close; walDir stays set so Durability keeps reporting. Every
+	// mutator appends its logical record under db.mu (write) before
+	// acknowledging, so the log order equals the apply order.
+	wal           *wal.Log
+	walDir        string
+	snapEvery     int
+	recsSinceSnap int
+	snapLSN       uint64
+	snapCount     uint64
+	lastSnapTime  time.Time
+	recovered     RecoveryInfo
+	closed        bool
 }
 
 type cachedParse struct {
@@ -121,14 +137,34 @@ func (db *DB) CreateTable(name string, columns ...string) error {
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	if err := db.schema.Add(rel); err != nil {
+	if _, dup := db.schema.Relation(rel.Name); dup {
+		return fmt.Errorf("schema: duplicate relation %q", rel.Name)
+	}
+	cols := make([]wal.Column, len(rel.Attrs))
+	for i, a := range rel.Attrs {
+		cols[i] = wal.Column{Name: a.Name, Kind: a.Kind}
+	}
+	if err := db.walAppendLocked(&wal.Record{Type: wal.RecCreateTable, Table: rel.Name, Cols: cols}); err != nil {
 		return err
 	}
-	if _, err := db.store.AddTable(rel); err != nil {
+	if _, err := db.createTableLocked(rel); err != nil {
 		return err
+	}
+	return db.maybeSnapshotLocked()
+}
+
+// createTableLocked adds a relation to the schema and the store and
+// invalidates cached plans. Callers hold db.mu (write).
+func (db *DB) createTableLocked(rel *schema.Relation) (*storage.Table, error) {
+	if err := db.schema.Add(rel); err != nil {
+		return nil, err
+	}
+	t, err := db.store.AddTable(rel)
+	if err != nil {
+		return nil, err
 	}
 	db.bumpCatalog()
-	return nil
+	return t, nil
 }
 
 // MustCreateTable is CreateTable that panics on error.
@@ -139,14 +175,9 @@ func (db *DB) MustCreateTable(name string, columns ...string) {
 }
 
 // Insert adds one row; values are Go natives (int, int64, float64,
-// string, bool, nil).
+// string, bool, nil). On a durable database the row is appended to the
+// write-ahead log before it becomes visible.
 func (db *DB) Insert(table string, values ...any) error {
-	db.mu.RLock()
-	t, ok := db.store.Table(table)
-	db.mu.RUnlock()
-	if !ok {
-		return fmt.Errorf("beas: no table %q", table)
-	}
 	row := make(value.Row, len(values))
 	for i, v := range values {
 		vv, err := ToValue(v)
@@ -155,7 +186,55 @@ func (db *DB) Insert(table string, values ...any) error {
 		}
 		row[i] = vv
 	}
-	return t.Insert(row)
+	if db.walDir == "" {
+		// In-memory fast path: concurrent inserts serialise on the table
+		// lock only, not on the catalog lock.
+		db.mu.RLock()
+		closed := db.closed
+		t, ok := db.store.Table(table)
+		db.mu.RUnlock()
+		if closed {
+			return errClosed
+		}
+		if !ok {
+			return fmt.Errorf("beas: no table %q", table)
+		}
+		return t.Insert(row)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.insertLocked(table, row, false)
+}
+
+// insertLocked validates, logs and applies one row insert. Callers hold
+// db.mu (write). With deferSync the log append skips its fsync (bulk
+// loads issue one Log.Sync at the end instead).
+func (db *DB) insertLocked(table string, row value.Row, deferSync bool) error {
+	t, ok := db.store.Table(table)
+	if !ok {
+		return fmt.Errorf("beas: no table %q", table)
+	}
+	// Validate before logging so the log never carries a record that
+	// replay would reject.
+	if err := t.Rel.ValidateRow(row); err != nil {
+		return err
+	}
+	rec := &wal.Record{Type: wal.RecInsert, Table: t.Rel.Name, Row: row}
+	var err error
+	if deferSync && db.wal != nil && !db.closed {
+		if err = db.wal.AppendDeferred(rec); err == nil {
+			db.recsSinceSnap++
+		}
+	} else {
+		err = db.walAppendLocked(rec)
+	}
+	if err != nil {
+		return err
+	}
+	if err := t.Insert(row); err != nil {
+		return err
+	}
+	return db.maybeSnapshotLocked()
 }
 
 // MustInsert is Insert that panics on error.
@@ -167,14 +246,54 @@ func (db *DB) MustInsert(table string, values ...any) {
 
 // Delete removes rows from a table matching a simple conjunctive
 // condition given as column=value pairs, and reports how many were
-// removed. Constraint indices are maintained incrementally.
+// removed. Constraint indices are maintained incrementally. On a
+// durable database the logical delete is logged before it is applied.
 func (db *DB) Delete(table string, where map[string]any) (int, error) {
-	db.mu.RLock()
+	if db.walDir == "" {
+		db.mu.RLock()
+		closed := db.closed
+		t, ok := db.store.Table(table)
+		db.mu.RUnlock()
+		if closed {
+			return 0, errClosed
+		}
+		if !ok {
+			return 0, fmt.Errorf("beas: no table %q", table)
+		}
+		return deleteWhere(t, where)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	t, ok := db.store.Table(table)
-	db.mu.RUnlock()
 	if !ok {
 		return 0, fmt.Errorf("beas: no table %q", table)
 	}
+	conds := make([]wal.Cond, 0, len(where))
+	for col, v := range where {
+		idx, ok := t.Rel.AttrIndex(col)
+		if !ok {
+			return 0, fmt.Errorf("beas: table %s has no column %q", table, col)
+		}
+		vv, err := ToValue(v)
+		if err != nil {
+			return 0, err
+		}
+		conds = append(conds, wal.Cond{Col: t.Rel.Attrs[idx].Name, Val: vv})
+	}
+	match, err := condsMatcher(t, conds)
+	if err != nil {
+		return 0, err
+	}
+	if err := db.walAppendLocked(&wal.Record{Type: wal.RecDelete, Table: t.Rel.Name, Where: conds}); err != nil {
+		return 0, err
+	}
+	n := t.Delete(match)
+	return n, db.maybeSnapshotLocked()
+}
+
+// deleteWhere applies a column=value conjunction delete on the
+// in-memory path.
+func deleteWhere(t *storage.Table, where map[string]any) (int, error) {
 	type cond struct {
 		pos int
 		val value.Value
@@ -183,7 +302,7 @@ func (db *DB) Delete(table string, where map[string]any) (int, error) {
 	for col, v := range where {
 		pos, ok := t.Rel.AttrIndex(col)
 		if !ok {
-			return 0, fmt.Errorf("beas: table %s has no column %q", table, col)
+			return 0, fmt.Errorf("beas: table %s has no column %q", t.Rel.Name, col)
 		}
 		vv, err := ToValue(v)
 		if err != nil {
@@ -202,11 +321,40 @@ func (db *DB) Delete(table string, where map[string]any) (int, error) {
 }
 
 // LoadCSV loads a CSV file (header row mapping to column names) into a
-// table.
+// table. On a durable database every row is logged; the per-record
+// fsync is deferred to a single sync when the load completes, so bulk
+// loads run at write speed and LoadCSV is durable as a whole once it
+// returns (a crash mid-load recovers the logged prefix). The load holds
+// the catalog write lock, so concurrent queries wait for it.
 func (db *DB) LoadCSV(table, path string) error {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.store.LoadCSVFile(table, path)
+	if db.walDir == "" {
+		db.mu.RLock()
+		defer db.mu.RUnlock()
+		if db.closed {
+			return errClosed
+		}
+		return db.store.LoadCSVFile(table, path)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.store.Table(table)
+	if !ok {
+		return fmt.Errorf("beas: no table %q", table)
+	}
+	loadErr := t.ReadCSVFunc(f, func(row value.Row) error {
+		return db.insertLocked(t.Rel.Name, row, true)
+	})
+	if db.wal != nil {
+		if err := db.wal.Sync(); err != nil && loadErr == nil {
+			loadErr = err
+		}
+	}
+	return loadErr
 }
 
 // SaveCSV writes a table to a CSV file.
@@ -244,11 +392,27 @@ func (db *DB) RegisterConstraint(spec string) error {
 	if err != nil {
 		return err
 	}
-	if _, err := db.access.Register(c, false); err != nil {
+	return db.registerConstraintLocked(c, false)
+}
+
+// registerConstraintLocked registers c, building its index, and logs
+// the registration. The record is logged with the constraint's
+// pre-registration spec and the widening policy, so replay — running
+// over the identical data prefix — reproduces the same effective bound.
+// Callers hold db.mu (write).
+func (db *DB) registerConstraintLocked(c *access.Constraint, autoWiden bool) error {
+	spec := c.String()
+	// Register (index build + conformance check) before logging: a spec
+	// the data rejects must never enter the log, and a crash between
+	// apply and append merely loses an unacknowledged registration.
+	if _, err := db.access.Register(c, autoWiden); err != nil {
+		return err
+	}
+	if err := db.walAppendLocked(&wal.Record{Type: wal.RecRegisterConstraint, Spec: spec, AutoWiden: autoWiden}); err != nil {
 		return err
 	}
 	db.bumpCatalog()
-	return nil
+	return db.maybeSnapshotLocked()
 }
 
 // MustRegisterConstraint is RegisterConstraint that panics on error.
@@ -268,10 +432,9 @@ func (db *DB) RegisterConstraintAuto(rel string, x, y []string, n int) (string, 
 	if err != nil {
 		return "", err
 	}
-	if _, err := db.access.Register(c, true); err != nil {
+	if err := db.registerConstraintLocked(c, true); err != nil {
 		return "", err
 	}
-	db.bumpCatalog()
 	return c.String(), nil
 }
 
@@ -284,24 +447,32 @@ func (db *DB) DropConstraint(spec string) error {
 	if err != nil {
 		return err
 	}
-	if !db.access.Unregister(c) {
+	if _, ok := db.access.Index(c); !ok {
 		return fmt.Errorf("beas: constraint %v is not registered", c)
 	}
+	if err := db.walAppendLocked(&wal.Record{Type: wal.RecDropConstraint, Spec: c.String()}); err != nil {
+		return err
+	}
+	db.access.Unregister(c)
 	db.bumpCatalog()
-	return nil
+	return db.maybeSnapshotLocked()
 }
 
 // Retighten adjusts every registered constraint's bound N to the exact
 // maximum observed in the current data and clears violation state — the
 // Maintenance module's periodic constraint adjustment. Tighter bounds
 // make every deduced access bound M tighter. It returns the adjusted
-// constraints in the paper's notation.
-func (db *DB) Retighten() []string {
+// constraints in the paper's notation; the error is non-nil only on a
+// durable database whose log append failed.
+func (db *DB) Retighten() ([]string, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if err := db.walAppendLocked(&wal.Record{Type: wal.RecRetighten}); err != nil {
+		return nil, err
+	}
 	out := db.access.Retighten()
 	db.bumpCatalog()
-	return out
+	return out, db.maybeSnapshotLocked()
 }
 
 // SaveAccessSchema writes the registered access schema to a file, one
@@ -336,11 +507,10 @@ func (db *DB) LoadAccessSchema(path string) error {
 		return err
 	}
 	for _, c := range cons {
-		if _, err := db.access.Register(c, false); err != nil {
+		if err := db.registerConstraintLocked(c, false); err != nil {
 			return err
 		}
 	}
-	db.bumpCatalog()
 	return nil
 }
 
@@ -428,7 +598,7 @@ func (db *DB) Discover(opts DiscoverOptions) ([]string, string, error) {
 	if opts.Register {
 		db.mu.Lock()
 		for _, c := range cands {
-			if _, err := db.access.Register(c.Constraint, true); err != nil {
+			if err := db.registerConstraintLocked(c.Constraint, true); err != nil {
 				db.mu.Unlock()
 				return specs, report.String(), err
 			}

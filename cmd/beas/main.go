@@ -19,7 +19,13 @@
 //	\queries                    list the built-in TLC queries
 //	\q NAME                     run a built-in TLC query (e.g. \q Q1)
 //	\tables                     list tables and row counts
+//	\snapshot                   force a snapshot + WAL truncation (durable stores)
+//	\durability                 show WAL / snapshot / recovery state
 //	\quit
+//
+// With -data DIR the shell opens (or creates) a durable store: boot
+// replays the write-ahead log, every mutation is logged, and quitting
+// takes a final snapshot. See the README's Durability section.
 package main
 
 import (
@@ -36,10 +42,11 @@ import (
 
 func main() {
 	tlcScale := flag.Int("tlc", 0, "generate a TLC instance at this scale and start on it")
-	dataDir := flag.String("data", "", "directory of CSVs + access_schema.txt (from tlcgen)")
+	dataDir := flag.String("data", "", "durable data directory (WAL + snapshots; created if missing); a directory of tlcgen CSVs is loaded in-memory instead")
+	snapEvery := flag.Int("snapshot-every", 0, "take a snapshot and truncate the WAL every N records (0 = default 100000, negative disables)")
 	flag.Parse()
 
-	db, err := openDB(*tlcScale, *dataDir)
+	db, err := openDB(*tlcScale, *dataDir, *snapEvery)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "beas:", err)
 		os.Exit(1)
@@ -48,10 +55,16 @@ func main() {
 		db.TotalRows(), len(db.Constraints()))
 	fmt.Println(`type SQL terminated by ';', or \help`)
 	repl(db)
+	if db.Durability().Durable {
+		if err := db.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "beas: closing store:", err)
+			os.Exit(1)
+		}
+	}
 }
 
-func openDB(tlcScale int, dataDir string) (*beas.DB, error) {
-	return cliutil.OpenDB(tlcScale, dataDir, func(format string, args ...any) {
+func openDB(tlcScale int, dataDir string, snapEvery int) (*beas.DB, error) {
+	return cliutil.OpenDB(tlcScale, dataDir, &beas.Options{SnapshotEvery: snapEvery}, func(format string, args ...any) {
 		fmt.Printf(format+"\n", args...)
 	})
 }
@@ -115,7 +128,8 @@ func command(db *beas.DB, line string) bool {
   \explain SELECT ...         the plan Query would use
   \baseline pg|mysql|mariadb SELECT ...
   \approx BUDGET SELECT ...   resource-bounded approximation
-  \constraints  \queries  \q NAME  \tables  \quit`)
+  \constraints  \queries  \q NAME  \tables
+  \snapshot  \durability  \quit`)
 	case "\\constraints":
 		for _, c := range db.Constraints() {
 			fmt.Println(" ", c)
@@ -130,6 +144,31 @@ func command(db *beas.DB, line string) bool {
 		for _, q := range beas.TLCQueries() {
 			fmt.Printf("  %-4s covered=%-5v %s\n", q.Name, q.Covered, q.Description)
 		}
+	case "\\snapshot":
+		if !db.Durability().Durable {
+			fmt.Println("not a durable database (start with -data DIR)")
+			return true
+		}
+		if err := db.Snapshot(); err != nil {
+			fmt.Println("error:", err)
+			return true
+		}
+		st := db.Durability()
+		fmt.Printf("snapshot@%d written; WAL now %d bytes\n", st.SnapshotLSN, st.WALBytes)
+	case "\\durability":
+		st := db.Durability()
+		if !st.Durable {
+			fmt.Println("in-memory database (start with -data DIR for durability)")
+			return true
+		}
+		fmt.Printf("  dir: %s\n  WAL: %d bytes, last LSN %d (%d records since snapshot@%d)\n",
+			st.Dir, st.WALBytes, st.LastLSN, st.RecordsSinceSnapshot, st.SnapshotLSN)
+		if !st.LastSnapshot.IsZero() {
+			fmt.Printf("  last snapshot: %s\n", st.LastSnapshot.Format("2006-01-02 15:04:05"))
+		}
+		fmt.Printf("  recovery: snapshot@%d + %d records in %s (%d torn bytes dropped, conforms=%v)\n",
+			st.Recovery.SnapshotLSN, st.Recovery.ReplayedRecords, st.Recovery.Duration,
+			st.Recovery.TruncatedBytes, st.Recovery.Conforms)
 	case "\\q":
 		name := strings.TrimSpace(rest)
 		for _, q := range beas.TLCQueries() {

@@ -5,10 +5,18 @@
 // the budget are rejected, serialised, or downgraded to approximation
 // per the configured policy.
 //
+// With -data the daemon is durable: the directory holds a write-ahead
+// log plus snapshots (see the README's Durability section), every
+// mutation is logged before it is acknowledged, boot recovers the last
+// durable state (surviving kill -9), and SIGTERM/SIGINT take a final
+// snapshot before exit. A directory of CSVs written by cmd/tlcgen is
+// still recognised and served in-memory, as before.
+//
 // Usage:
 //
 //	beasd -tlc 2 -addr :7171 -budget 100000 -policy reject
-//	beasd -data ./tlcdata -budget 50000 -policy approx -approx-budget 10000
+//	beasd -data ./beasdata -tlc 2            # durable store, TLC-seeded once
+//	beasd -data ./beasdata -snapshot-every 50000
 //
 // Endpoints: POST /query, POST /check, GET /stats, GET /healthz — see
 // package internal/server for the wire format, and the README for an
@@ -26,6 +34,7 @@ import (
 	"syscall"
 	"time"
 
+	beas "github.com/bounded-eval/beas"
 	"github.com/bounded-eval/beas/internal/cliutil"
 	"github.com/bounded-eval/beas/internal/server"
 )
@@ -33,7 +42,9 @@ import (
 func main() {
 	addr := flag.String("addr", ":7171", "listen address")
 	tlcScale := flag.Int("tlc", 0, "generate a TLC instance at this scale and serve it")
-	dataDir := flag.String("data", "", "directory of CSVs + access_schema.txt (from tlcgen)")
+	dataDir := flag.String("data", "", "durable data directory (WAL + snapshots; created if missing); a directory of tlcgen CSVs is loaded in-memory instead")
+	snapEvery := flag.Int("snapshot-every", 0, "take a snapshot and truncate the WAL every N records (0 = default 100000, negative disables)")
+	noSync := flag.Bool("nosync", false, "skip the per-record WAL fsync (faster; an OS crash may lose the newest writes)")
 	budget := flag.Uint64("budget", 0, "admission budget on the deduced access bound, in tuples (0 = unlimited)")
 	policy := flag.String("policy", "reject", "over-budget policy: reject, queue or approx")
 	approxBudget := flag.Int64("approx-budget", 0, "fetch budget for approx downgrades (default: -budget)")
@@ -48,7 +59,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "beasd:", err)
 		os.Exit(2)
 	}
-	db, err := cliutil.OpenDB(*tlcScale, *dataDir, func(format string, args ...any) {
+	db, err := cliutil.OpenDB(*tlcScale, *dataDir, &beas.Options{
+		SnapshotEvery: *snapEvery,
+		NoSync:        *noSync,
+	}, func(format string, args ...any) {
 		fmt.Printf("beasd: "+format+"\n", args...)
 	})
 	if err != nil {
@@ -88,6 +102,15 @@ func main() {
 		os.Exit(1)
 	}
 	<-drained
+	// Snapshot-on-SIGTERM: Close writes a final snapshot of everything
+	// not yet covered by one, so the next boot recovers instantly.
+	if st := db.Durability(); st.Durable {
+		fmt.Printf("beasd: closing store (%d records since last snapshot)\n", st.RecordsSinceSnapshot)
+		if err := db.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "beasd: closing store:", err)
+			os.Exit(1)
+		}
+	}
 	fmt.Println("beasd: shut down")
 }
 

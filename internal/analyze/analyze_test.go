@@ -329,6 +329,17 @@ func TestMatchLike(t *testing.T) {
 		{"%%", "x", true},
 		{"", "", true},
 		{"", "x", false},
+		// _ matches one character, not one byte: é is 2 bytes, 日 is 3.
+		{"caf_", "café", true},
+		{"caf__", "café", false},
+		{"_afé", "café", true},
+		{"日_語", "日本語", true},
+		{"日__語", "日本語", false},
+		{"%é", "café", true},
+		{"é%", "été", true},
+		{"_", "é", true},
+		{"日%", "日本語", true},
+		{"café", "café", true},
 	}
 	for _, c := range cases {
 		if got := MatchLike(c.pattern, c.s); got != c.want {

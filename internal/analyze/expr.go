@@ -423,17 +423,20 @@ func EvalBool(e Expr, row value.Row, l *Layout) (bool, error) {
 }
 
 // MatchLike implements SQL LIKE with % (any run) and _ (any single
-// character) wildcards, matching over bytes.
+// character) wildcards. Matching is over runes, not bytes, so _
+// matches exactly one character even when it is encoded as multiple
+// UTF-8 bytes ('café' LIKE 'caf_' is true).
 func MatchLike(pattern, s string) bool {
+	p, r := []rune(pattern), []rune(s)
 	// Iterative two-pointer algorithm with backtracking on the last %.
 	pi, si := 0, 0
 	star, match := -1, 0
-	for si < len(s) {
+	for si < len(r) {
 		switch {
-		case pi < len(pattern) && (pattern[pi] == '_' || pattern[pi] == s[si]):
+		case pi < len(p) && (p[pi] == '_' || p[pi] == r[si]):
 			pi++
 			si++
-		case pi < len(pattern) && pattern[pi] == '%':
+		case pi < len(p) && p[pi] == '%':
 			star = pi
 			match = si
 			pi++
@@ -445,8 +448,8 @@ func MatchLike(pattern, s string) bool {
 			return false
 		}
 	}
-	for pi < len(pattern) && pattern[pi] == '%' {
+	for pi < len(p) && p[pi] == '%' {
 		pi++
 	}
-	return pi == len(pattern)
+	return pi == len(p)
 }

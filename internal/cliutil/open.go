@@ -9,22 +9,67 @@ import (
 	"strings"
 
 	beas "github.com/bounded-eval/beas"
+	"github.com/bounded-eval/beas/internal/wal"
 )
 
-// OpenDB opens the database a CLI tool serves: a freshly generated TLC
-// instance at tlcScale, or — when tlcScale is 0 and dataDir is set —
-// CSVs plus an access_schema.txt from dataDir (as written by
-// cmd/tlcgen). With neither, it generates TLC at scale 1. logf receives
-// progress messages (without trailing newlines).
-func OpenDB(tlcScale int, dataDir string, logf func(format string, args ...any)) (*beas.DB, error) {
-	if tlcScale > 0 {
-		logf("generating TLC benchmark at scale %d...", tlcScale)
+// OpenDB opens the database a CLI tool serves.
+//
+// With no dataDir it generates an in-memory TLC instance at tlcScale
+// (scale 1 when tlcScale is 0). With a dataDir it distinguishes three
+// layouts:
+//
+//   - a WAL store (wal-*.log / snap-*.snap): opened durably with
+//     beas.Open — crash recovery on boot, every mutation logged;
+//   - a legacy CSV directory (as written by cmd/tlcgen): loaded into an
+//     in-memory database, preserving the old behaviour;
+//   - an empty or missing directory: created as a fresh durable store,
+//     bootstrapped with TLC data at tlcScale when tlcScale > 0.
+//
+// logf receives progress messages (without trailing newlines).
+func OpenDB(tlcScale int, dataDir string, opts *beas.Options, logf func(format string, args ...any)) (*beas.DB, error) {
+	if dataDir == "" {
+		if tlcScale <= 0 {
+			tlcScale = 1
+			logf("no -tlc or -data given; generating TLC at scale 1 (in-memory)")
+		} else {
+			logf("generating TLC benchmark at scale %d (in-memory)...", tlcScale)
+		}
 		return beas.NewTLCDB(tlcScale)
 	}
-	if dataDir == "" {
-		logf("no -tlc or -data given; generating TLC at scale 1")
-		return beas.NewTLCDB(1)
+	if !wal.IsStoreDir(dataDir) && hasCSVs(dataDir) {
+		return openLegacyCSV(dataDir, logf)
 	}
+	db, err := beas.Open(dataDir, opts)
+	if err != nil {
+		return nil, err
+	}
+	st := db.Durability()
+	logf("recovered %s: snapshot@%d + %d log records in %s (%d torn bytes dropped)",
+		dataDir, st.Recovery.SnapshotLSN, st.Recovery.ReplayedRecords,
+		st.Recovery.Duration.Round(0), st.Recovery.TruncatedBytes)
+	if !st.Recovery.Conforms {
+		logf("WARNING: recovered database does not conform to its access schema")
+	}
+	if db.TotalRows() == 0 && len(db.Constraints()) == 0 && tlcScale > 0 {
+		logf("empty store; generating TLC benchmark at scale %d...", tlcScale)
+		if err := db.LoadTLC(tlcScale); err != nil {
+			db.Close()
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// hasCSVs reports whether dir holds at least one .csv file (the layout
+// cmd/tlcgen writes).
+func hasCSVs(dir string) bool {
+	matches, err := filepath.Glob(filepath.Join(dir, "*.csv"))
+	return err == nil && len(matches) > 0
+}
+
+// openLegacyCSV loads a tlcgen-style directory of CSVs plus an optional
+// access_schema.txt into an in-memory database.
+func openLegacyCSV(dataDir string, logf func(format string, args ...any)) (*beas.DB, error) {
 	db := beas.NewTLCSchemaDB()
 	for _, table := range db.TableNames() {
 		path := filepath.Join(dataDir, table+".csv")

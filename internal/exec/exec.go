@@ -17,6 +17,7 @@ package exec
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"github.com/bounded-eval/beas/internal/analyze"
@@ -427,9 +428,20 @@ func accumulate(st *aggState, spec analyze.AggSpec, row value.Row, w int64, layo
 		} else if spec.Func == sqlparser.AggSum || spec.Func == sqlparser.AggAvg {
 			return fmt.Errorf("exec: %s over non-numeric %v", spec.Func, v.K)
 		}
-		if v.K == value.Int {
-			st.sumInt += v.I * w
-		} else {
+		if v.K == value.Int && st.intOnly {
+			// Keep the exact int64 running sum while it fits; on
+			// overflow fall back permanently to the float64 sum already
+			// accumulated above (see finalize for the precision trade).
+			if prod, ok := mulInt64(v.I, w); ok {
+				if next, ok := addInt64(st.sumInt, prod); ok {
+					st.sumInt = next
+				} else {
+					st.intOnly = false
+				}
+			} else {
+				st.intOnly = false
+			}
+		} else if v.K != value.Int {
 			st.intOnly = false
 		}
 		if !st.nonEmpty {
@@ -447,7 +459,36 @@ func accumulate(st *aggState, spec analyze.AggSpec, row value.Row, w int64, layo
 	return nil
 }
 
-// finalize extracts the aggregate's value.
+// addInt64 adds without wrapping; ok is false on int64 overflow.
+func addInt64(a, b int64) (int64, bool) {
+	s := a + b
+	// Overflow iff the operands share a sign the sum does not.
+	if (a >= 0) == (b >= 0) && (s >= 0) != (a >= 0) {
+		return 0, false
+	}
+	return s, true
+}
+
+// mulInt64 multiplies without wrapping; ok is false on int64 overflow.
+func mulInt64(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	if a == math.MinInt64 && b == -1 || b == math.MinInt64 && a == -1 {
+		return 0, false // a*b wraps and MinInt64 / -1 would trap
+	}
+	p := a * b
+	if p/b != a {
+		return 0, false
+	}
+	return p, true
+}
+
+// finalize extracts the aggregate's value. Integer SUM stays exact
+// int64 arithmetic until the running sum would wrap; from then on the
+// group's result is the float64 sum — immune to wraparound, at the cost
+// of rounding once past 2^53 (values above ~9.2e18 could not be
+// represented as int64 anyway).
 func finalize(st *aggState, spec analyze.AggSpec) value.Value {
 	switch spec.Func {
 	case sqlparser.AggCount:

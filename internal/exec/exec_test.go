@@ -93,6 +93,83 @@ func TestGroupByCountSum(t *testing.T) {
 	}
 }
 
+// sumFixture runs SUM(v) over custom int rows and returns the single
+// aggregate value.
+func sumFixture(t *testing.T, vals []int64, weights []int64) value.Value {
+	t.Helper()
+	q, layout, _ := fixture(t, "SELECT SUM(v) FROM t")
+	rows := make([]value.Row, len(vals))
+	for i, v := range vals {
+		rows[i] = value.Row{value.NewString("g"), value.NewInt(v), value.NewFloat(0)}
+	}
+	out, err := FinishWeighted(q, rows, weights, layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || len(out[0]) != 1 {
+		t.Fatalf("out = %v", out)
+	}
+	return out[0][0]
+}
+
+func TestSumIntOverflowPromotes(t *testing.T) {
+	const big = int64(1) << 62
+	// Within range: stays exact INT.
+	if got := sumFixture(t, []int64{big, 1}, nil); got.K != value.Int || got.I != big+1 {
+		t.Errorf("in-range SUM = %v (%v), want INT %d", got, got.K, big+1)
+	}
+	// 3 * 2^62 wraps int64; the sum must promote to float64, not go
+	// negative.
+	got := sumFixture(t, []int64{big, big, big}, nil)
+	if got.K != value.Float {
+		t.Fatalf("overflowing SUM = %v (%v), want FLOAT", got, got.K)
+	}
+	if want := 3 * float64(big); got.F != want {
+		t.Errorf("overflowing SUM = %g, want %g", got.F, want)
+	}
+	// Negative direction too.
+	got = sumFixture(t, []int64{-big, -big, -big}, nil)
+	if got.K != value.Float || got.F != -3*float64(big) {
+		t.Errorf("negative overflow SUM = %v (%v), want FLOAT %g", got, got.K, -3*float64(big))
+	}
+	// Overflow via bag weights: one row standing for many duplicates.
+	got = sumFixture(t, []int64{big}, []int64{4})
+	if got.K != value.Float || got.F != 4*float64(big) {
+		t.Errorf("weighted overflow SUM = %v (%v), want FLOAT %g", got, got.K, 4*float64(big))
+	}
+	// Once promoted, later small values keep the float path.
+	got = sumFixture(t, []int64{big, big, big, -big, -big, -big}, nil)
+	if got.K != value.Float || got.F != 0 {
+		t.Errorf("promote-then-cancel SUM = %v (%v), want FLOAT 0", got, got.K)
+	}
+}
+
+func TestOverflowHelpers(t *testing.T) {
+	const max, min = int64(1<<63 - 1), int64(-1 << 63)
+	for _, c := range []struct {
+		a, b int64
+		ok   bool
+	}{
+		{1, 2, true}, {max, 0, true}, {max, 1, false}, {min, -1, false},
+		{min, 1, true}, {max / 2, max / 2, true}, {min, min, false},
+	} {
+		if _, ok := addInt64(c.a, c.b); ok != c.ok {
+			t.Errorf("addInt64(%d, %d) ok = %v, want %v", c.a, c.b, ok, c.ok)
+		}
+	}
+	for _, c := range []struct {
+		a, b int64
+		ok   bool
+	}{
+		{0, max, true}, {1, max, true}, {2, max, false}, {min, -1, false},
+		{-1, min, false}, {min, 1, true}, {1 << 32, 1 << 32, false}, {-(1 << 31), 1 << 31, true},
+	} {
+		if _, ok := mulInt64(c.a, c.b); ok != c.ok {
+			t.Errorf("mulInt64(%d, %d) ok = %v, want %v", c.a, c.b, ok, c.ok)
+		}
+	}
+}
+
 func TestCountColumnSkipsNulls(t *testing.T) {
 	out := run(t, "SELECT COUNT(v), COUNT(*) FROM t")
 	if out[0][0].I != 4 || out[0][1].I != 5 {

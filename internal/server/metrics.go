@@ -2,6 +2,7 @@ package server
 
 import (
 	"sync/atomic"
+	"time"
 
 	beas "github.com/bounded-eval/beas"
 )
@@ -111,6 +112,25 @@ type StatsSnapshot struct {
 
 	PlanCacheHits   uint64 `json:"planCacheHits"`
 	PlanCacheMisses uint64 `json:"planCacheMisses"`
+
+	// Durability is present when the served database is backed by the
+	// WAL + snapshot storage engine.
+	Durability *DurabilitySnapshot `json:"durability,omitempty"`
+}
+
+// DurabilitySnapshot is the storage-engine section of /stats.
+type DurabilitySnapshot struct {
+	Dir                  string  `json:"dir"`
+	WALBytes             int64   `json:"walBytes"`
+	LastLSN              uint64  `json:"lastLSN"`
+	SnapshotLSN          uint64  `json:"snapshotLSN"`
+	RecordsSinceSnapshot int     `json:"recordsSinceSnapshot"`
+	Snapshots            uint64  `json:"snapshots"`
+	LastSnapshotAgeSec   float64 `json:"lastSnapshotAgeSeconds,omitempty"`
+	RecoveryReplayed     int     `json:"recoveryReplayedRecords"`
+	RecoveryDurationMS   float64 `json:"recoveryDurationMs"`
+	RecoveryTornBytes    int64   `json:"recoveryTruncatedBytes"`
+	RecoveryConforms     bool    `json:"recoveryConforms"`
 }
 
 // snapshot captures the counters. db supplies the plan-cache numbers.
@@ -140,6 +160,24 @@ func (m *metrics) snapshot(db *beas.DB) StatsSnapshot {
 	s.BoundHistogram = make([]BoundBucket, len(boundLabels))
 	for i, l := range boundLabels {
 		s.BoundHistogram[i] = BoundBucket{LE: l, Count: m.boundHist[i].Load()}
+	}
+	if d := db.Durability(); d.Durable {
+		ds := &DurabilitySnapshot{
+			Dir:                  d.Dir,
+			WALBytes:             d.WALBytes,
+			LastLSN:              d.LastLSN,
+			SnapshotLSN:          d.SnapshotLSN,
+			RecordsSinceSnapshot: d.RecordsSinceSnapshot,
+			Snapshots:            d.Snapshots,
+			RecoveryReplayed:     d.Recovery.ReplayedRecords,
+			RecoveryDurationMS:   float64(d.Recovery.Duration) / float64(time.Millisecond),
+			RecoveryTornBytes:    d.Recovery.TruncatedBytes,
+			RecoveryConforms:     d.Recovery.Conforms,
+		}
+		if !d.LastSnapshot.IsZero() {
+			ds.LastSnapshotAgeSec = time.Since(d.LastSnapshot).Seconds()
+		}
+		s.Durability = ds
 	}
 	return s
 }

@@ -649,5 +649,6 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"rows":        s.db.TotalRows(),
 		"constraints": len(s.db.Constraints()),
 		"workers":     s.cfg.MaxConcurrent,
+		"durable":     s.db.Durability().Durable,
 	})
 }

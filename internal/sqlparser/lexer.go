@@ -60,9 +60,33 @@ func (l *lexer) next() {
 	if l.err != nil {
 		return
 	}
-	for l.pos < len(l.src) && isSpace(l.src[l.pos]) {
-		l.pos++
+	// Skip whitespace and SQL comments: -- to end of line and /* ... */
+	// block comments count as whitespace. An unterminated block comment
+	// is a lexical error.
+	for l.pos < len(l.src) {
+		switch {
+		case isSpace(l.src[l.pos]):
+			l.pos++
+		case strings.HasPrefix(l.src[l.pos:], "--"):
+			nl := strings.IndexByte(l.src[l.pos:], '\n')
+			if nl < 0 {
+				l.pos = len(l.src)
+			} else {
+				l.pos += nl + 1
+			}
+		case strings.HasPrefix(l.src[l.pos:], "/*"):
+			end := strings.Index(l.src[l.pos+2:], "*/")
+			if end < 0 {
+				l.err = fmt.Errorf("sql: unterminated block comment at offset %d", l.pos)
+				l.tok = token{kind: tokInvalid, pos: l.pos}
+				return
+			}
+			l.pos += 2 + end + 2
+		default:
+			goto skipped
+		}
 	}
+skipped:
 	start := l.pos
 	if l.pos >= len(l.src) {
 		l.tok = token{kind: tokEOF, pos: start}
@@ -82,6 +106,9 @@ func (l *lexer) next() {
 			l.tok = token{kind: tokIdent, text: text, pos: start}
 		}
 	case isDigit(c) || (c == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1])):
+		// [0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)? — the exponent is consumed
+		// only when at least one digit follows it, so "1e" lexes as the
+		// number 1 followed by the identifier e.
 		seenDot := false
 		for l.pos < len(l.src) {
 			ch := l.src[l.pos]
@@ -95,6 +122,18 @@ func (l *lexer) next() {
 				continue
 			}
 			break
+		}
+		if l.pos < len(l.src) && (l.src[l.pos] == 'e' || l.src[l.pos] == 'E') {
+			expEnd := l.pos + 1
+			if expEnd < len(l.src) && (l.src[expEnd] == '+' || l.src[expEnd] == '-') {
+				expEnd++
+			}
+			if expEnd < len(l.src) && isDigit(l.src[expEnd]) {
+				for expEnd < len(l.src) && isDigit(l.src[expEnd]) {
+					expEnd++
+				}
+				l.pos = expEnd
+			}
 		}
 		l.tok = token{kind: tokNumber, text: l.src[start:l.pos], pos: start}
 	case c == '\'':

@@ -500,7 +500,7 @@ func (p *parser) parsePrimary() (Expr, error) {
 	switch tok.kind {
 	case tokNumber:
 		p.advance()
-		if strings.ContainsRune(tok.text, '.') {
+		if strings.ContainsAny(tok.text, ".eE") {
 			f, err := strconv.ParseFloat(tok.text, 64)
 			if err != nil {
 				return nil, p.errorf("bad number %q", tok.text)

@@ -164,6 +164,66 @@ func TestParseNumbers(t *testing.T) {
 	}
 }
 
+func TestParseScientificNotation(t *testing.T) {
+	cases := []struct {
+		sql  string
+		want float64
+	}{
+		{"SELECT a FROM t WHERE b = 1e6", 1e6},
+		{"SELECT a FROM t WHERE b = 2.5e-3", 2.5e-3},
+		{"SELECT a FROM t WHERE b = 1E+2", 1e2},
+		{"SELECT a FROM t WHERE b = 7e0", 7},
+		{"SELECT a FROM t WHERE b = .5e1", 5},
+	}
+	for _, c := range cases {
+		sel := mustParse(t, c.sql).Select
+		lit, ok := sel.Where.(*Binary).R.(*Literal)
+		if !ok {
+			t.Errorf("%q: right side is %T, want literal", c.sql, sel.Where.(*Binary).R)
+			continue
+		}
+		if lit.Val.K != value.Float || lit.Val.F != c.want {
+			t.Errorf("%q: literal = %v (%v), want FLOAT %v", c.sql, lit.Val, lit.Val.K, c.want)
+		}
+	}
+	// An exponent marker with no digits is not an exponent: "1e" is the
+	// number 1 followed by the identifier e (an implicit alias here).
+	sel := mustParse(t, "SELECT 1e FROM t").Select
+	if lit, ok := sel.Items[0].Expr.(*Literal); !ok || lit.Val.K != value.Int || lit.Val.I != 1 {
+		t.Errorf("dangling exponent: item = %+v", sel.Items[0])
+	}
+	if sel.Items[0].Alias != "e" {
+		t.Errorf("dangling exponent alias = %q, want \"e\"", sel.Items[0].Alias)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	sel := mustParse(t, `
+		SELECT a -- project the region
+		FROM t  -- the call table
+		/* block comments
+		   span lines */
+		WHERE a = 1 /* inline */ AND b = 2`).Select
+	if sel.Where == nil {
+		t.Fatal("WHERE lost around comments")
+	}
+	and, ok := sel.Where.(*Binary)
+	if !ok || and.Op != OpAnd {
+		t.Fatalf("where = %v", sel.Where)
+	}
+	// -- always starts a comment, even abutting a number.
+	sel = mustParse(t, "SELECT a FROM t WHERE a = 1--2").Select
+	lit := sel.Where.(*Binary).R.(*Literal)
+	if lit.Val.I != 1 {
+		t.Errorf("1--2 should end at the comment, got %v", lit.Val)
+	}
+	// A comment-only suffix and a trailing line comment without newline.
+	mustParse(t, "SELECT a FROM t -- done")
+	if _, err := Parse("SELECT a FROM t WHERE /* never closed a = 1"); err == nil {
+		t.Error("unterminated block comment accepted")
+	}
+}
+
 func TestParseAggregates(t *testing.T) {
 	sel := mustParse(t, `SELECT COUNT(*), COUNT(DISTINCT a), SUM(b), AVG(c), MIN(d), MAX(e)
 		FROM t GROUP BY f HAVING COUNT(*) > 2`).Select

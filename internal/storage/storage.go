@@ -355,6 +355,13 @@ func (t *Table) WriteCSV(w io.Writer) error {
 // permutation of the relation's attributes. Missing attributes load as
 // NULL; empty cells load as NULL.
 func (t *Table) ReadCSV(r io.Reader) error {
+	return t.ReadCSVFunc(r, t.Insert)
+}
+
+// ReadCSVFunc parses CSV data against the relation's schema and hands
+// each decoded row to insert instead of inserting directly. The durable
+// database uses it to route bulk loads through its write-ahead log.
+func (t *Table) ReadCSVFunc(r io.Reader, insert func(value.Row) error) error {
 	cr := csv.NewReader(r)
 	cr.ReuseRecord = true
 	header, err := cr.Read()
@@ -386,7 +393,7 @@ func (t *Table) ReadCSV(r io.Reader) error {
 			}
 			row[j] = v
 		}
-		if err := t.Insert(row); err != nil {
+		if err := insert(row); err != nil {
 			return fmt.Errorf("storage: %s line %d: %w", t.Rel.Name, line, err)
 		}
 	}

@@ -1,0 +1,314 @@
+// Package wal is BEAS's crash-safe storage engine: an append-only,
+// CRC-checksummed, fsync'd write-ahead log of logical database records
+// plus periodic full snapshots with log truncation.
+//
+// The design follows the classic log-then-snapshot recovery discipline:
+// every mutation is serialised as a logical record and appended (and by
+// default fsync'd) to the log before it is applied to the in-memory
+// store; a snapshot captures the full store and access-schema state as
+// of a log sequence number (LSN), after which older log segments can be
+// deleted. Recovery loads the newest valid snapshot and replays the log
+// records past its LSN. A torn final record — the signature of a crash
+// mid-append — is detected by its checksum or truncated frame and
+// dropped; any earlier corruption fails recovery loudly, because silent
+// holes in the middle of the log mean lost acknowledged writes.
+//
+// Records are logical, not physical: an Insert record carries the row,
+// a RegisterConstraint record carries the constraint spec. Replaying a
+// record runs the same code path as the original mutation, so constraint
+// indices are rebuilt exactly — including incremental maintenance
+// (inserts and deletes interleaved with registrations replay in their
+// original order through the index observers).
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"github.com/bounded-eval/beas/internal/value"
+)
+
+// RecType enumerates the logical record types in the log.
+type RecType uint8
+
+// Logical record types. The zero value is invalid so that a zeroed
+// payload can never decode as a record.
+const (
+	RecCreateTable RecType = iota + 1
+	RecInsert
+	RecDelete
+	RecRegisterConstraint
+	RecDropConstraint
+	RecRetighten
+)
+
+// String names the record type for diagnostics.
+func (t RecType) String() string {
+	switch t {
+	case RecCreateTable:
+		return "CreateTable"
+	case RecInsert:
+		return "Insert"
+	case RecDelete:
+		return "Delete"
+	case RecRegisterConstraint:
+		return "RegisterConstraint"
+	case RecDropConstraint:
+		return "DropConstraint"
+	case RecRetighten:
+		return "Retighten"
+	default:
+		return fmt.Sprintf("RecType(%d)", uint8(t))
+	}
+}
+
+// Column is one attribute of a CreateTable record.
+type Column struct {
+	Name string
+	Kind value.Kind
+}
+
+// Cond is one column = value conjunct of a Delete record.
+type Cond struct {
+	Col string
+	Val value.Value
+}
+
+// Record is one logical WAL record. LSN is assigned by Log.Append;
+// LSNs are contiguous starting at 1, which lets recovery detect missing
+// log segments as gaps.
+type Record struct {
+	LSN  uint64
+	Type RecType
+
+	// Table names the relation for CreateTable, Insert and Delete.
+	Table string
+	// Cols holds the attributes of a CreateTable.
+	Cols []Column
+	// Row is the inserted row of an Insert.
+	Row value.Row
+	// Where holds the equality conjuncts of a Delete.
+	Where []Cond
+	// Spec is the constraint in the paper's notation for
+	// RegisterConstraint and DropConstraint.
+	Spec string
+	// AutoWiden is RegisterConstraint's widening policy: replay must
+	// register the constraint under the same policy so that violations
+	// and bound adjustments reproduce exactly.
+	AutoWiden bool
+}
+
+// appendString appends a length-prefixed string.
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func readString(b []byte) (string, []byte, error) {
+	n, k := binary.Uvarint(b)
+	if k <= 0 || uint64(len(b)-k) < n {
+		return "", nil, fmt.Errorf("wal: truncated string")
+	}
+	return string(b[k : k+int(n)]), b[k+int(n):], nil
+}
+
+// appendValue appends one scalar: a kind byte followed by the payload.
+func appendValue(dst []byte, v value.Value) []byte {
+	dst = append(dst, byte(v.K))
+	switch v.K {
+	case value.Int:
+		return binary.AppendVarint(dst, v.I)
+	case value.Float:
+		return binary.LittleEndian.AppendUint64(dst, math.Float64bits(v.F))
+	case value.String:
+		return appendString(dst, v.S)
+	case value.Bool:
+		return append(dst, byte(v.I))
+	default: // Null
+		return dst
+	}
+}
+
+func readValue(b []byte) (value.Value, []byte, error) {
+	if len(b) == 0 {
+		return value.Value{}, nil, fmt.Errorf("wal: truncated value")
+	}
+	k := value.Kind(b[0])
+	b = b[1:]
+	switch k {
+	case value.Null:
+		return value.NewNull(), b, nil
+	case value.Int:
+		i, n := binary.Varint(b)
+		if n <= 0 {
+			return value.Value{}, nil, fmt.Errorf("wal: truncated int")
+		}
+		return value.NewInt(i), b[n:], nil
+	case value.Float:
+		if len(b) < 8 {
+			return value.Value{}, nil, fmt.Errorf("wal: truncated float")
+		}
+		f := math.Float64frombits(binary.LittleEndian.Uint64(b))
+		return value.NewFloat(f), b[8:], nil
+	case value.String:
+		s, rest, err := readString(b)
+		if err != nil {
+			return value.Value{}, nil, err
+		}
+		return value.NewString(s), rest, nil
+	case value.Bool:
+		if len(b) < 1 {
+			return value.Value{}, nil, fmt.Errorf("wal: truncated bool")
+		}
+		return value.NewBool(b[0] != 0), b[1:], nil
+	default:
+		return value.Value{}, nil, fmt.Errorf("wal: unknown value kind %d", uint8(k))
+	}
+}
+
+// appendRow appends a count-prefixed row.
+func appendRow(dst []byte, r value.Row) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(r)))
+	for _, v := range r {
+		dst = appendValue(dst, v)
+	}
+	return dst
+}
+
+func readRow(b []byte) (value.Row, []byte, error) {
+	n, k := binary.Uvarint(b)
+	if k <= 0 || n > uint64(len(b)) {
+		return nil, nil, fmt.Errorf("wal: truncated row")
+	}
+	b = b[k:]
+	row := make(value.Row, n)
+	var err error
+	for i := range row {
+		if row[i], b, err = readValue(b); err != nil {
+			return nil, nil, err
+		}
+	}
+	return row, b, nil
+}
+
+// encode appends the record's payload (everything the frame checksums)
+// to dst.
+func (r *Record) encode(dst []byte) []byte {
+	dst = append(dst, byte(r.Type))
+	dst = binary.AppendUvarint(dst, r.LSN)
+	switch r.Type {
+	case RecCreateTable:
+		dst = appendString(dst, r.Table)
+		dst = binary.AppendUvarint(dst, uint64(len(r.Cols)))
+		for _, c := range r.Cols {
+			dst = appendString(dst, c.Name)
+			dst = append(dst, byte(c.Kind))
+		}
+	case RecInsert:
+		dst = appendString(dst, r.Table)
+		dst = appendRow(dst, r.Row)
+	case RecDelete:
+		dst = appendString(dst, r.Table)
+		dst = binary.AppendUvarint(dst, uint64(len(r.Where)))
+		for _, c := range r.Where {
+			dst = appendString(dst, c.Col)
+			dst = appendValue(dst, c.Val)
+		}
+	case RecRegisterConstraint:
+		dst = appendString(dst, r.Spec)
+		widen := byte(0)
+		if r.AutoWiden {
+			widen = 1
+		}
+		dst = append(dst, widen)
+	case RecDropConstraint:
+		dst = appendString(dst, r.Spec)
+	case RecRetighten:
+		// no body
+	}
+	return dst
+}
+
+// decodeRecord parses one payload produced by encode.
+func decodeRecord(b []byte) (*Record, error) {
+	if len(b) == 0 {
+		return nil, fmt.Errorf("wal: empty record payload")
+	}
+	r := &Record{Type: RecType(b[0])}
+	b = b[1:]
+	lsn, n := binary.Uvarint(b)
+	if n <= 0 {
+		return nil, fmt.Errorf("wal: truncated LSN")
+	}
+	r.LSN = lsn
+	b = b[n:]
+	var err error
+	switch r.Type {
+	case RecCreateTable:
+		if r.Table, b, err = readString(b); err != nil {
+			return nil, err
+		}
+		cnt, n := binary.Uvarint(b)
+		if n <= 0 || cnt > uint64(len(b)) {
+			return nil, fmt.Errorf("wal: truncated column list")
+		}
+		b = b[n:]
+		r.Cols = make([]Column, cnt)
+		for i := range r.Cols {
+			if r.Cols[i].Name, b, err = readString(b); err != nil {
+				return nil, err
+			}
+			if len(b) < 1 {
+				return nil, fmt.Errorf("wal: truncated column kind")
+			}
+			r.Cols[i].Kind = value.Kind(b[0])
+			b = b[1:]
+		}
+	case RecInsert:
+		if r.Table, b, err = readString(b); err != nil {
+			return nil, err
+		}
+		if r.Row, b, err = readRow(b); err != nil {
+			return nil, err
+		}
+	case RecDelete:
+		if r.Table, b, err = readString(b); err != nil {
+			return nil, err
+		}
+		cnt, n := binary.Uvarint(b)
+		if n <= 0 || cnt > uint64(len(b)) {
+			return nil, fmt.Errorf("wal: truncated condition list")
+		}
+		b = b[n:]
+		r.Where = make([]Cond, cnt)
+		for i := range r.Where {
+			if r.Where[i].Col, b, err = readString(b); err != nil {
+				return nil, err
+			}
+			if r.Where[i].Val, b, err = readValue(b); err != nil {
+				return nil, err
+			}
+		}
+	case RecRegisterConstraint:
+		if r.Spec, b, err = readString(b); err != nil {
+			return nil, err
+		}
+		if len(b) < 1 {
+			return nil, fmt.Errorf("wal: truncated widen flag")
+		}
+		r.AutoWiden = b[0] != 0
+		b = b[1:]
+	case RecDropConstraint:
+		if r.Spec, b, err = readString(b); err != nil {
+			return nil, err
+		}
+	case RecRetighten:
+	default:
+		return nil, fmt.Errorf("wal: unknown record type %d", uint8(r.Type))
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("wal: %d trailing bytes after %s record", len(b), r.Type)
+	}
+	return r, nil
+}

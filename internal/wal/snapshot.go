@@ -1,0 +1,271 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/bounded-eval/beas/internal/value"
+)
+
+// snapshotMagic opens every snapshot file; a version byte follows it.
+var snapshotMagic = []byte("BEASSNAP")
+
+const snapshotVersion = 1
+
+// TableDump is one relation's schema and rows in a snapshot.
+type TableDump struct {
+	Name string
+	Cols []Column
+	Rows []value.Row
+}
+
+// ConstraintDump is one access constraint in a snapshot. The spec
+// carries the current (possibly widened or retightened) bound N;
+// AutoWiden restores the index's maintenance policy.
+type ConstraintDump struct {
+	Spec      string
+	AutoWiden bool
+}
+
+// Snapshot is a full dump of the database as of log record LSN: every
+// record with LSN ≤ Snapshot.LSN is reflected, every later record must
+// be replayed on top.
+type Snapshot struct {
+	LSN         uint64
+	Tables      []TableDump
+	Constraints []ConstraintDump
+}
+
+func snapshotName(lsn uint64) string {
+	return fmt.Sprintf("snap-%016x.snap", lsn)
+}
+
+func parseSnapshotName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "snap-") || !strings.HasSuffix(name, ".snap") {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(name[5:len(name)-5], 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// listSnapshots returns the LSNs of the snap-*.snap files in dir, sorted
+// ascending.
+func listSnapshots(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []uint64
+	for _, e := range entries {
+		if n, ok := parseSnapshotName(e.Name()); ok {
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// encode serialises the snapshot: magic, version, LSN, tables,
+// constraints, and a trailing CRC32C over everything before it.
+func (s *Snapshot) encode() []byte {
+	buf := append([]byte(nil), snapshotMagic...)
+	buf = append(buf, snapshotVersion)
+	buf = binary.AppendUvarint(buf, s.LSN)
+	buf = binary.AppendUvarint(buf, uint64(len(s.Tables)))
+	for _, t := range s.Tables {
+		buf = appendString(buf, t.Name)
+		buf = binary.AppendUvarint(buf, uint64(len(t.Cols)))
+		for _, c := range t.Cols {
+			buf = appendString(buf, c.Name)
+			buf = append(buf, byte(c.Kind))
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(t.Rows)))
+		for _, r := range t.Rows {
+			for _, v := range r { // arity is fixed by Cols
+				buf = appendValue(buf, v)
+			}
+		}
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(s.Constraints)))
+	for _, c := range s.Constraints {
+		buf = appendString(buf, c.Spec)
+		widen := byte(0)
+		if c.AutoWiden {
+			widen = 1
+		}
+		buf = append(buf, widen)
+	}
+	return binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, crcTable))
+}
+
+// decodeSnapshot parses and checksum-verifies a snapshot file's bytes.
+func decodeSnapshot(data []byte) (*Snapshot, error) {
+	if len(data) < len(snapshotMagic)+1+4 {
+		return nil, fmt.Errorf("wal: snapshot too short")
+	}
+	body, sum := data[:len(data)-4], binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.Checksum(body, crcTable) != sum {
+		return nil, fmt.Errorf("wal: snapshot checksum mismatch")
+	}
+	if string(body[:len(snapshotMagic)]) != string(snapshotMagic) {
+		return nil, fmt.Errorf("wal: bad snapshot magic")
+	}
+	body = body[len(snapshotMagic):]
+	if body[0] != snapshotVersion {
+		return nil, fmt.Errorf("wal: unsupported snapshot version %d", body[0])
+	}
+	body = body[1:]
+	s := &Snapshot{}
+	var n int
+	s.LSN, n = binary.Uvarint(body)
+	if n <= 0 {
+		return nil, fmt.Errorf("wal: truncated snapshot LSN")
+	}
+	body = body[n:]
+	nt, n := binary.Uvarint(body)
+	if n <= 0 || nt > uint64(len(body)) {
+		return nil, fmt.Errorf("wal: truncated table count")
+	}
+	body = body[n:]
+	s.Tables = make([]TableDump, nt)
+	var err error
+	for i := range s.Tables {
+		t := &s.Tables[i]
+		if t.Name, body, err = readString(body); err != nil {
+			return nil, err
+		}
+		nc, n := binary.Uvarint(body)
+		if n <= 0 || nc > uint64(len(body)) {
+			return nil, fmt.Errorf("wal: truncated column count")
+		}
+		body = body[n:]
+		t.Cols = make([]Column, nc)
+		for j := range t.Cols {
+			if t.Cols[j].Name, body, err = readString(body); err != nil {
+				return nil, err
+			}
+			if len(body) < 1 {
+				return nil, fmt.Errorf("wal: truncated column kind")
+			}
+			t.Cols[j].Kind = value.Kind(body[0])
+			body = body[1:]
+		}
+		nr, n := binary.Uvarint(body)
+		if n <= 0 {
+			return nil, fmt.Errorf("wal: truncated row count")
+		}
+		body = body[n:]
+		if nr == 0 {
+			continue
+		}
+		t.Rows = make([]value.Row, nr)
+		for j := range t.Rows {
+			row := make(value.Row, nc)
+			for k := range row {
+				if row[k], body, err = readValue(body); err != nil {
+					return nil, err
+				}
+			}
+			t.Rows[j] = row
+		}
+	}
+	ncons, n := binary.Uvarint(body)
+	if n <= 0 || ncons > uint64(len(body)) {
+		return nil, fmt.Errorf("wal: truncated constraint count")
+	}
+	body = body[n:]
+	s.Constraints = make([]ConstraintDump, ncons)
+	for i := range s.Constraints {
+		if s.Constraints[i].Spec, body, err = readString(body); err != nil {
+			return nil, err
+		}
+		if len(body) < 1 {
+			return nil, fmt.Errorf("wal: truncated widen flag")
+		}
+		s.Constraints[i].AutoWiden = body[0] != 0
+		body = body[1:]
+	}
+	if len(body) != 0 {
+		return nil, fmt.Errorf("wal: %d trailing bytes in snapshot", len(body))
+	}
+	return s, nil
+}
+
+// WriteSnapshot writes s to dir atomically: the file appears under its
+// final name snap-<LSN>.snap only after its contents are fsync'd, so a
+// crash mid-write leaves at worst an ignored temp file. Compaction of
+// older snapshots and covered segments is the caller's next step
+// (Log.Rotate).
+func WriteSnapshot(dir string, s *Snapshot) error {
+	data := s.encode()
+	tmp, err := os.CreateTemp(dir, "snap-*.tmp")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	final := filepath.Join(dir, snapshotName(s.LSN))
+	if err := os.Rename(tmpName, final); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return syncDir(dir)
+}
+
+// loadNewestSnapshot reads the newest snapshot in dir that passes its
+// checksum, falling back to older ones (the log still holds their
+// suffix until compaction). It returns nil when dir has no usable
+// snapshot; the time is the chosen file's modification time.
+func loadNewestSnapshot(dir string) (*Snapshot, time.Time, error) {
+	lsns, err := listSnapshots(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, time.Time{}, nil
+		}
+		return nil, time.Time{}, err
+	}
+	for i := len(lsns) - 1; i >= 0; i-- {
+		path := filepath.Join(dir, snapshotName(lsns[i]))
+		data, err := os.ReadFile(path)
+		if err != nil {
+			continue
+		}
+		s, err := decodeSnapshot(data)
+		if err != nil {
+			// A snapshot that fails its checksum is ignored; recovery
+			// falls back to an older snapshot plus more log replay, and
+			// the LSN-contiguity check in Open catches the case where
+			// the needed log suffix was already compacted away.
+			continue
+		}
+		var mtime time.Time
+		if info, err := os.Stat(path); err == nil {
+			mtime = info.ModTime()
+		}
+		return s, mtime, nil
+	}
+	return nil, time.Time{}, nil
+}

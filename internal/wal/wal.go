@@ -1,0 +1,468 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Frame layout: a 4-byte little-endian payload length, a 4-byte CRC32C
+// of the payload, then the payload itself. A frame whose length field,
+// payload bytes or checksum are incomplete or wrong is torn.
+const frameHeaderSize = 8
+
+// maxRecordSize rejects absurd length fields when scanning, so a
+// corrupted length cannot make recovery allocate gigabytes.
+const maxRecordSize = 64 << 20
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// segmentName returns the file name of the segment whose first record
+// has the given LSN.
+func segmentName(firstLSN uint64) string {
+	return fmt.Sprintf("wal-%016x.log", firstLSN)
+}
+
+func parseSegmentName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".log") {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(name[4:len(name)-4], 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// Options tunes the log.
+type Options struct {
+	// NoSync skips the fsync after each append. Throughput rises by
+	// orders of magnitude, but a crash (or power loss) can lose the most
+	// recent acknowledged records — recovery still truncates any torn
+	// tail and restores a consistent prefix of the history.
+	NoSync bool
+}
+
+// Log is the append side of the write-ahead log. Appends are serialised
+// internally; one Log owns its directory's wal-*.log files.
+type Log struct {
+	dir  string
+	opts Options
+
+	mu      sync.Mutex
+	f       *os.File // current segment
+	size    int64    // bytes written to the current segment
+	lastLSN uint64   // LSN of the most recently appended (or recovered) record
+	buf     []byte   // reused frame buffer
+}
+
+// Append assigns the next LSN to rec, frames it and writes it to the
+// current segment, fsyncing unless Options.NoSync. On return the record
+// is durable (or, under NoSync, handed to the OS).
+func (l *Log) Append(rec *Record) error {
+	return l.append(rec, !l.opts.NoSync)
+}
+
+// AppendDeferred is Append without the per-record fsync, for bulk loads
+// that issue one Sync at the end: the records are handed to the OS
+// immediately (a process crash loses nothing) but are only
+// power-loss-durable after Sync returns.
+func (l *Log) AppendDeferred(rec *Record) error {
+	return l.append(rec, false)
+}
+
+// Sync flushes the current segment to stable storage.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return errors.New("wal: log is closed")
+	}
+	if l.opts.NoSync {
+		return nil
+	}
+	return l.f.Sync()
+}
+
+func (l *Log) append(rec *Record, sync bool) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return errors.New("wal: log is closed")
+	}
+	rec.LSN = l.lastLSN + 1
+	if cap(l.buf) < frameHeaderSize {
+		l.buf = make([]byte, frameHeaderSize, 256)
+	}
+	l.buf = l.buf[:frameHeaderSize]
+	l.buf = rec.encode(l.buf)
+	payload := l.buf[frameHeaderSize:]
+	binary.LittleEndian.PutUint32(l.buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(l.buf[4:8], crc32.Checksum(payload, crcTable))
+	if _, err := l.f.Write(l.buf); err != nil {
+		return fmt.Errorf("wal: appending record %d: %w", rec.LSN, err)
+	}
+	if sync {
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("wal: syncing record %d: %w", rec.LSN, err)
+		}
+	}
+	l.size += int64(len(l.buf))
+	l.lastLSN = rec.LSN
+	return nil
+}
+
+// LastLSN returns the LSN of the most recent record (0 if none ever).
+func (l *Log) LastLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lastLSN
+}
+
+// TailSize returns the byte size of the current segment — the portion of
+// the log a snapshot has not yet made redundant, once Rotate has pruned
+// the older segments.
+func (l *Log) TailSize() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size
+}
+
+// Size returns the total byte size of all live wal-*.log segments.
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	dir := l.dir
+	l.mu.Unlock()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0
+	}
+	var total int64
+	for _, e := range entries {
+		if _, ok := parseSegmentName(e.Name()); !ok {
+			continue
+		}
+		if info, err := e.Info(); err == nil {
+			total += info.Size()
+		}
+	}
+	return total
+}
+
+// Rotate starts a new segment after a snapshot at snapLSN and prunes
+// segments and snapshots the snapshot made redundant: a segment is
+// deleted when every record in it has LSN ≤ snapLSN, a snapshot file
+// when its LSN is older than snapLSN. Called with the database mutation
+// lock held, so no record lands in the old segment after the snapshot.
+func (l *Log) Rotate(snapLSN uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return errors.New("wal: log is closed")
+	}
+	// An empty current segment (snapshot with no mutations since the
+	// last rotation) is reused; creating wal-<lastLSN+1> again would
+	// collide with it.
+	if l.size > 0 {
+		if err := l.startSegmentLocked(l.lastLSN + 1); err != nil {
+			return err
+		}
+	}
+	return l.pruneLocked(snapLSN)
+}
+
+// startSegmentLocked syncs and closes the current segment (if any) and
+// creates the segment whose first record will be firstLSN.
+func (l *Log) startSegmentLocked(firstLSN uint64) error {
+	if l.f != nil {
+		if !l.opts.NoSync {
+			l.f.Sync()
+		}
+		if err := l.f.Close(); err != nil {
+			return fmt.Errorf("wal: closing segment: %w", err)
+		}
+		l.f = nil
+	}
+	path := filepath.Join(l.dir, segmentName(firstLSN))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: creating segment: %w", err)
+	}
+	l.f = f
+	l.size = 0
+	return syncDir(l.dir)
+}
+
+// pruneLocked deletes segments fully covered by the snapshot at snapLSN
+// and snapshot files older than it. The current segment always survives.
+func (l *Log) pruneLocked(snapLSN uint64) error {
+	starts, err := listSegments(l.dir)
+	if err != nil {
+		return err
+	}
+	current := l.f.Name()
+	for i, start := range starts {
+		path := filepath.Join(l.dir, segmentName(start))
+		if path == current {
+			continue
+		}
+		// The segment's records span [start, nextStart); all ≤ snapLSN
+		// exactly when the next segment starts at or before snapLSN+1.
+		if i+1 < len(starts) && starts[i+1] <= snapLSN+1 {
+			if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+				return fmt.Errorf("wal: pruning segment: %w", err)
+			}
+		}
+	}
+	snaps, err := listSnapshots(l.dir)
+	if err != nil {
+		return err
+	}
+	for _, lsn := range snaps {
+		if lsn < snapLSN {
+			if err := os.Remove(filepath.Join(l.dir, snapshotName(lsn))); err != nil && !os.IsNotExist(err) {
+				return fmt.Errorf("wal: pruning snapshot: %w", err)
+			}
+		}
+	}
+	return syncDir(l.dir)
+}
+
+// Close syncs and closes the log. Further appends fail.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	if !l.opts.NoSync {
+		l.f.Sync()
+	}
+	err := l.f.Close()
+	l.f = nil
+	return err
+}
+
+// listSegments returns the first-LSNs of the wal-*.log files in dir,
+// sorted ascending.
+func listSegments(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []uint64
+	for _, e := range entries {
+		if n, ok := parseSegmentName(e.Name()); ok {
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// IsStoreDir reports whether dir looks like a WAL store directory: it
+// contains at least one log segment or snapshot file.
+func IsStoreDir(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if _, ok := parseSegmentName(e.Name()); ok {
+			return true
+		}
+		if _, ok := parseSnapshotName(e.Name()); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// Recovery is what Open reconstructed from disk.
+type Recovery struct {
+	// Snapshot is the newest valid snapshot, nil when recovering from
+	// the log alone.
+	Snapshot *Snapshot
+	// SnapshotTime is the snapshot file's modification time — when it
+	// was written (zero when Snapshot is nil).
+	SnapshotTime time.Time
+	// Records are the log records with LSN past the snapshot, in order.
+	Records []*Record
+	// TruncatedTail is the number of bytes of torn final record dropped
+	// (0 on a clean open).
+	TruncatedTail int64
+}
+
+// Open opens (creating if necessary) the WAL store in dir and recovers
+// its state: the newest valid snapshot plus the log records past its
+// LSN, with a torn tail truncated off the final segment. The returned
+// Log continues appending after the last recovered record.
+func Open(dir string, opts Options) (*Log, *Recovery, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	rec := &Recovery{}
+	snap, snapTime, err := loadNewestSnapshot(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	rec.Snapshot = snap
+	rec.SnapshotTime = snapTime
+	var snapLSN uint64
+	if snap != nil {
+		snapLSN = snap.LSN
+	}
+
+	starts, err := listSegments(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	l := &Log{dir: dir, opts: opts, lastLSN: snapLSN}
+	for i, start := range starts {
+		path := filepath.Join(dir, segmentName(start))
+		last := i == len(starts)-1
+		recs, truncated, err := scanSegment(path, last)
+		if err != nil {
+			return nil, nil, err
+		}
+		rec.TruncatedTail += truncated
+		for _, r := range recs {
+			if r.LSN <= snapLSN {
+				continue
+			}
+			// LSNs are contiguous; a gap means a pruned or lost segment
+			// whose records the snapshot does not cover.
+			if want := l.lastLSN + 1; r.LSN != want {
+				return nil, nil, fmt.Errorf("wal: log gap: expected record %d, found %d in %s", want, r.LSN, filepath.Base(path))
+			}
+			rec.Records = append(rec.Records, r)
+			l.lastLSN = r.LSN
+		}
+	}
+
+	// Reopen the final segment for appending, or create the first one.
+	if len(starts) == 0 {
+		if err := l.startSegmentLocked(l.lastLSN + 1); err != nil {
+			return nil, nil, err
+		}
+	} else {
+		path := filepath.Join(dir, segmentName(starts[len(starts)-1]))
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, nil, err
+		}
+		info, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		l.f = f
+		l.size = info.Size()
+	}
+	return l, rec, nil
+}
+
+// scanSegment reads every whole record frame in the file. In the final
+// segment (tail=true) an incomplete or checksum-failing frame is treated
+// as the torn tail of a crashed append: the file is truncated at the
+// last whole record and the tail's byte count returned. Anywhere else
+// the same condition is corruption and fails the scan.
+func scanSegment(path string, tail bool) ([]*Record, int64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	var out []*Record
+	off := int64(0)
+	for {
+		rest := data[off:]
+		if len(rest) == 0 {
+			return out, 0, nil
+		}
+		// A frame error is a torn append — droppable — only in the final
+		// segment and only when the bad frame reaches the physical end of
+		// the file: appends are sequential, so nothing durable can follow
+		// a write that never completed. A bad frame with valid data after
+		// it is lost acknowledged history and must fail recovery.
+		badFrame := func(msg string, reachesEOF bool) ([]*Record, int64, error) {
+			if tail && reachesEOF {
+				torn := int64(len(data)) - off
+				if err := os.Truncate(path, off); err != nil {
+					return nil, 0, fmt.Errorf("wal: truncating torn tail of %s: %w", filepath.Base(path), err)
+				}
+				return out, torn, nil
+			}
+			return nil, 0, fmt.Errorf("wal: %s at offset %d of %s", msg, off, filepath.Base(path))
+		}
+		if len(rest) < frameHeaderSize {
+			return badFrame("truncated frame header", true)
+		}
+		n := binary.LittleEndian.Uint32(rest[0:4])
+		if n == 0 {
+			// No real frame is empty (every record payload carries at
+			// least a type and an LSN), but a zero length with a zero
+			// CRC *passes* the checksum (CRC32C of nothing is 0). This
+			// is the signature of a zero-filled tail — a filesystem that
+			// extended the file without writing the data — which is a
+			// torn append exactly when everything to EOF is zeros.
+			return badFrame("empty frame", allZero(rest))
+		}
+		frameEnd := off + frameHeaderSize + int64(n)
+		if n > maxRecordSize {
+			return badFrame("implausible record length", frameEnd >= int64(len(data)))
+		}
+		if uint32(len(rest)-frameHeaderSize) < n {
+			return badFrame("truncated record payload", true)
+		}
+		payload := rest[frameHeaderSize : frameHeaderSize+int(n)]
+		if crc32.Checksum(payload, crcTable) != binary.LittleEndian.Uint32(rest[4:8]) {
+			return badFrame("checksum mismatch", frameEnd == int64(len(data)))
+		}
+		r, err := decodeRecord(payload)
+		if err != nil {
+			// The checksum passed, so the bytes are what was written —
+			// this is a format error, not a torn append.
+			return nil, 0, fmt.Errorf("wal: decoding record at offset %d of %s: %w", off, filepath.Base(path), err)
+		}
+		out = append(out, r)
+		off += frameHeaderSize + int64(n)
+	}
+}
+
+// allZero reports whether every byte of b is zero.
+func allZero(b []byte) bool {
+	for _, c := range b {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// syncDir fsyncs a directory so that file creations, renames and
+// deletions inside it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, io.EOF) {
+		// Some filesystems reject fsync on directories; the rename/create
+		// is then as durable as the platform allows.
+		if errors.Is(err, os.ErrInvalid) {
+			return nil
+		}
+		return err
+	}
+	return nil
+}

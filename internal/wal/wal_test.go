@@ -1,0 +1,391 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"github.com/bounded-eval/beas/internal/value"
+)
+
+func testRecords() []*Record {
+	return []*Record{
+		{Type: RecCreateTable, Table: "call", Cols: []Column{
+			{Name: "pnum", Kind: value.Int},
+			{Name: "region", Kind: value.String},
+			{Name: "rate", Kind: value.Float},
+			{Name: "roaming", Kind: value.Bool},
+		}},
+		{Type: RecInsert, Table: "call", Row: value.Row{
+			value.NewInt(42), value.NewString("café"), value.NewFloat(1.25), value.NewBool(true),
+		}},
+		{Type: RecInsert, Table: "call", Row: value.Row{
+			value.NewInt(-7), value.NewNull(), value.NewFloat(-0.5), value.NewBool(false),
+		}},
+		{Type: RecDelete, Table: "call", Where: []Cond{
+			{Col: "pnum", Val: value.NewInt(42)},
+			{Col: "region", Val: value.NewString("café")},
+		}},
+		{Type: RecRegisterConstraint, Spec: "call({pnum} -> {region}, 10)", AutoWiden: true},
+		{Type: RecDropConstraint, Spec: "call({pnum} -> {region}, 10)"},
+		{Type: RecRetighten},
+	}
+}
+
+// appendAll appends the test records and returns the opened log.
+func appendAll(t *testing.T, dir string, recs []*Record) *Log {
+	t.Helper()
+	l, rec, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if rec.Snapshot != nil || len(rec.Records) != 0 {
+		t.Fatalf("fresh dir recovered state: %+v", rec)
+	}
+	for _, r := range recs {
+		if err := l.Append(r); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	return l
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	want := testRecords()
+	l := appendAll(t, dir, want)
+	if got := l.LastLSN(); got != uint64(len(want)) {
+		t.Fatalf("LastLSN = %d, want %d", got, len(want))
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	l2, rec, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l2.Close()
+	if len(rec.Records) != len(want) {
+		t.Fatalf("recovered %d records, want %d", len(rec.Records), len(want))
+	}
+	for i, r := range rec.Records {
+		if r.LSN != uint64(i+1) {
+			t.Errorf("record %d has LSN %d", i, r.LSN)
+		}
+		want[i].LSN = uint64(i + 1)
+		if !reflect.DeepEqual(r, want[i]) {
+			t.Errorf("record %d = %+v, want %+v", i, r, want[i])
+		}
+	}
+	// The reopened log continues the LSN sequence.
+	extra := &Record{Type: RecRetighten}
+	if err := l2.Append(extra); err != nil {
+		t.Fatalf("append after reopen: %v", err)
+	}
+	if extra.LSN != uint64(len(want)+1) {
+		t.Errorf("append after reopen got LSN %d, want %d", extra.LSN, len(want)+1)
+	}
+}
+
+// lastSegment returns the path of the highest-LSN segment.
+func lastSegment(t *testing.T, dir string) string {
+	t.Helper()
+	starts, err := listSegments(dir)
+	if err != nil || len(starts) == 0 {
+		t.Fatalf("no segments in %s: %v", dir, err)
+	}
+	return filepath.Join(dir, segmentName(starts[len(starts)-1]))
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	for name, mangle := range map[string]func([]byte) []byte{
+		// A crash can tear the final frame anywhere: inside the header,
+		// inside the payload, or by corrupting bytes that were never
+		// fully flushed.
+		"header":       func(b []byte) []byte { return b[:len(b)-3] },
+		"payload":      func(b []byte) []byte { return b[:len(b)-1] },
+		"flipped-byte": func(b []byte) []byte { b[len(b)-1] ^= 0xff; return b },
+		"garbage":      func(b []byte) []byte { return append(b, 0xde, 0xad, 0xbe) },
+		// A zero-filled tail (filesystem extended the file without the
+		// data reaching disk) passes the CRC of an empty payload — it
+		// must still be recognised as torn, not as corruption.
+		"zero-fill": func(b []byte) []byte { return append(b, make([]byte, 4096)...) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			recs := testRecords()
+			l := appendAll(t, dir, recs)
+			l.Close()
+
+			seg := lastSegment(t, dir)
+			data, err := os.ReadFile(seg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(seg, mangle(data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			l2, rec, err := Open(dir, Options{})
+			if err != nil {
+				t.Fatalf("open with torn tail: %v", err)
+			}
+			defer l2.Close()
+			wantDropped := 1
+			if name == "garbage" || name == "zero-fill" {
+				wantDropped = 0 // all records intact, only trailing junk dropped
+			}
+			if len(rec.Records) != len(recs)-wantDropped {
+				t.Fatalf("recovered %d records, want %d", len(rec.Records), len(recs)-wantDropped)
+			}
+			if rec.TruncatedTail == 0 {
+				t.Fatalf("TruncatedTail = 0, want > 0")
+			}
+			// The torn bytes are gone from disk: appending and reopening
+			// yields a clean log.
+			if err := l2.Append(&Record{Type: RecRetighten}); err != nil {
+				t.Fatalf("append after truncation: %v", err)
+			}
+			l2.Close()
+			_, rec3, err := Open(dir, Options{})
+			if err != nil {
+				t.Fatalf("reopen after truncation: %v", err)
+			}
+			if rec3.TruncatedTail != 0 {
+				t.Errorf("second recovery still truncating (%d bytes)", rec3.TruncatedTail)
+			}
+			if len(rec3.Records) != len(recs)-wantDropped+1 {
+				t.Errorf("second recovery found %d records, want %d", len(rec3.Records), len(recs)-wantDropped+1)
+			}
+		})
+	}
+}
+
+func TestMidLogCorruptionFails(t *testing.T) {
+	dir := t.TempDir()
+	l := appendAll(t, dir, testRecords())
+	l.Close()
+
+	seg := lastSegment(t, dir)
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte in the first record's payload: a hole in the middle of
+	// the log is lost history, not a torn tail — recovery must refuse
+	// rather than silently drop every record after it.
+	data[frameHeaderSize] ^= 0xff
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("Open succeeded on mid-log corruption")
+	}
+
+	// Same story when the corruption is in a sealed (non-final) segment.
+	dir2 := t.TempDir()
+	l2 := appendAll(t, dir2, testRecords())
+	if err := l2.Rotate(0); err != nil { // rotate without pruning anything
+		t.Fatal(err)
+	}
+	if err := l2.Append(&Record{Type: RecRetighten}); err != nil {
+		t.Fatal(err)
+	}
+	l2.Close()
+	starts, _ := listSegments(dir2)
+	if len(starts) != 2 {
+		t.Fatalf("expected 2 segments, got %d", len(starts))
+	}
+	sealed := filepath.Join(dir2, segmentName(starts[0]))
+	data, err = os.ReadFile(sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(sealed, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(dir2, Options{}); err == nil {
+		t.Fatal("Open succeeded on corruption in a sealed segment")
+	}
+
+	// A zero frame followed by non-zero bytes is not a zero-filled tail:
+	// something after the hole claims to be data, so recovery must not
+	// silently drop it.
+	dir3 := t.TempDir()
+	l3 := appendAll(t, dir3, testRecords())
+	l3.Close()
+	seg3 := lastSegment(t, dir3)
+	data, err = os.ReadFile(seg3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data, make([]byte, frameHeaderSize)...)
+	data = append(data, 0x5a)
+	if err := os.WriteFile(seg3, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(dir3, Options{}); err == nil {
+		t.Fatal("Open succeeded on a zero frame with trailing data")
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	snap := &Snapshot{
+		LSN: 7,
+		Tables: []TableDump{
+			{
+				Name: "call",
+				Cols: []Column{{Name: "pnum", Kind: value.Int}, {Name: "region", Kind: value.String}},
+				Rows: []value.Row{
+					{value.NewInt(1), value.NewString("EDI")},
+					{value.NewInt(2), value.NewNull()},
+				},
+			},
+			{Name: "empty", Cols: []Column{{Name: "x", Kind: value.Float}}},
+		},
+		Constraints: []ConstraintDump{
+			{Spec: "call({pnum} -> {region}, 5)", AutoWiden: true},
+		},
+	}
+	if err := WriteSnapshot(dir, snap); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	got, mtime, err := loadNewestSnapshot(dir)
+	if err != nil {
+		t.Fatalf("loadNewestSnapshot: %v", err)
+	}
+	if mtime.IsZero() {
+		t.Error("snapshot mtime is zero")
+	}
+	if !reflect.DeepEqual(got, snap) {
+		t.Fatalf("snapshot round trip:\n got %+v\nwant %+v", got, snap)
+	}
+}
+
+func TestCorruptSnapshotFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	old := &Snapshot{LSN: 3, Tables: []TableDump{{Name: "t", Cols: []Column{{Name: "a", Kind: value.Int}}}}}
+	if err := WriteSnapshot(dir, old); err != nil {
+		t.Fatal(err)
+	}
+	newer := &Snapshot{LSN: 9, Tables: []TableDump{{Name: "t", Cols: []Column{{Name: "a", Kind: value.Int}}}}}
+	if err := WriteSnapshot(dir, newer); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the newer snapshot; recovery must fall back to the older.
+	path := filepath.Join(dir, snapshotName(9))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := loadNewestSnapshot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil || got.LSN != 3 {
+		t.Fatalf("fallback snapshot = %+v, want LSN 3", got)
+	}
+}
+
+func TestRotatePrunes(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 0; i < 5; i++ {
+		if err := l.Append(&Record{Type: RecInsert, Table: "t", Row: value.Row{value.NewInt(int64(i))}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snapLSN := l.LastLSN()
+	if err := WriteSnapshot(dir, &Snapshot{LSN: snapLSN}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Rotate(snapLSN); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := l.Append(&Record{Type: RecInsert, Table: "t", Row: value.Row{value.NewInt(int64(i))}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Second snapshot covers everything: the first segment and the first
+	// snapshot must be pruned.
+	snapLSN2 := l.LastLSN()
+	if err := WriteSnapshot(dir, &Snapshot{LSN: snapLSN2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Rotate(snapLSN2); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := listSegments(dir)
+	if len(segs) != 1 {
+		t.Errorf("segments after compaction: %v, want 1", segs)
+	}
+	snaps, _ := listSnapshots(dir)
+	if len(snaps) != 1 || snaps[0] != snapLSN2 {
+		t.Errorf("snapshots after compaction: %v, want [%d]", snaps, snapLSN2)
+	}
+	// A double rotate with no records in between must not fail.
+	if err := l.Rotate(snapLSN2); err != nil {
+		t.Fatalf("idempotent rotate: %v", err)
+	}
+
+	l.Close()
+	_, rec, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen after compaction: %v", err)
+	}
+	if rec.Snapshot == nil || rec.Snapshot.LSN != snapLSN2 {
+		t.Fatalf("recovered snapshot %+v, want LSN %d", rec.Snapshot, snapLSN2)
+	}
+	if len(rec.Records) != 0 {
+		t.Fatalf("recovered %d records past the snapshot, want 0", len(rec.Records))
+	}
+}
+
+func TestLogGapDetected(t *testing.T) {
+	dir := t.TempDir()
+	l := appendAll(t, dir, testRecords())
+	if err := l.Rotate(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(&Record{Type: RecRetighten}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	// Delete the first segment without a covering snapshot: records 1..7
+	// are gone and recovery must notice the gap, not silently start at 8.
+	starts, _ := listSegments(dir)
+	if err := os.Remove(filepath.Join(dir, segmentName(starts[0]))); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("Open succeeded over a log gap")
+	}
+}
+
+func TestIsStoreDir(t *testing.T) {
+	dir := t.TempDir()
+	if IsStoreDir(dir) {
+		t.Error("empty dir reported as store")
+	}
+	l, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	if !IsStoreDir(dir) {
+		t.Error("dir with a segment not reported as store")
+	}
+}

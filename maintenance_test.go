@@ -18,7 +18,10 @@ func TestRetightenTightensBounds(t *testing.T) {
 	if before.Bound != 100 {
 		t.Fatalf("initial bound = %d", before.Bound)
 	}
-	specs := db.Retighten()
+	specs, err := db.Retighten()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(specs) != 1 || !strings.Contains(specs[0], ", 2)") {
 		t.Fatalf("Retighten specs = %v, want N tightened to 2", specs)
 	}
@@ -48,7 +51,9 @@ func TestRetightenRecoversInvalidIndex(t *testing.T) {
 		t.Fatal("invalid index used for coverage")
 	}
 	// Periodic adjustment widens N to reality and revalidates.
-	db.Retighten()
+	if _, err := db.Retighten(); err != nil {
+		t.Fatal(err)
+	}
 	if ok, viols := db.Conforms(); !ok {
 		t.Fatalf("still violating after Retighten: %v", viols)
 	}

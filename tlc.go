@@ -86,3 +86,48 @@ func (db *DB) TableNames() []string {
 	defer db.mu.RUnlock()
 	return db.store.Names()
 }
+
+// LoadTLC populates an empty database with the TLC benchmark at the
+// given scale and registers the reference access schema. On a durable
+// database the generated rows bypass the write-ahead log — logging
+// millions of bulk-load records would defeat the point — and the load
+// is made durable by one snapshot at the end: a crash mid-load recovers
+// the pre-load (empty) state, never a partial instance.
+func (db *DB) LoadTLC(scale int) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return errClosed
+	}
+	if db.store.TotalRows() > 0 || db.access.Len() > 0 {
+		return fmt.Errorf("beas: LoadTLC needs an empty database (found %d rows, %d constraints)",
+			db.store.TotalRows(), db.access.Len())
+	}
+	ref := tlc.Database()
+	for _, name := range ref.Names() {
+		rel, _ := ref.Relation(name)
+		if _, ok := db.schema.Relation(name); ok {
+			continue // schema already present (e.g. NewTLCSchemaDB)
+		}
+		if _, err := db.createTableLocked(rel); err != nil {
+			return err
+		}
+	}
+	if err := tlc.Generate(db.store, tlc.Config{Scale: scale, Seed: 20170514}); err != nil {
+		return err
+	}
+	for _, spec := range tlc.AccessSchemaSpecs() {
+		c, err := access.ParseConstraint(db.schema, spec)
+		if err != nil {
+			return err
+		}
+		if _, err := db.access.Register(c, false); err != nil {
+			return fmt.Errorf("beas: registering TLC access schema: %w", err)
+		}
+	}
+	db.bumpCatalog()
+	if db.wal != nil {
+		return db.snapshotLocked()
+	}
+	return nil
+}
