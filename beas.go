@@ -51,6 +51,12 @@ type DB struct {
 	// fallback executes non-covered (sub-)queries; it uses the strongest
 	// conventional profile.
 	fallback *engine.Engine
+	// par is the intra-query parallelism: with par > 1 bounded plans fan
+	// their fetch steps across a worker pool and the fallback engine's
+	// hash joins build and probe shard-parallel. 0 or 1 means serial
+	// (the default) — the serial code paths are taken untouched and
+	// per-query results are identical either way. Guarded by db.mu.
+	par int
 
 	// planCache memoises parse + analysis per SQL text; catalogVersion
 	// invalidates it on any schema or access-schema change. Both the
@@ -114,6 +120,34 @@ func NewDB() *DB {
 // text or a catalog change since the cached entry was stored).
 func (db *DB) PlanCacheStats() (hits, misses uint64) {
 	return db.cacheHits.Load(), db.cacheMisses.Load()
+}
+
+// SetParallelism sets the intra-query parallelism for subsequent
+// queries: with n > 1 a single bounded plan fans its fetch steps across
+// up to n worker goroutines (probing the partitioned constraint indices
+// shard-parallel and merging per-worker aggregation states
+// deterministically), and the conventional fallback engine builds and
+// probes its hash joins shard-parallel. n ≤ 1 restores the serial
+// executor. Result bags are bit-identical across settings; in-flight
+// queries keep the parallelism they started with.
+func (db *DB) SetParallelism(n int) {
+	if n < 1 {
+		n = 1
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.par = n
+	db.fallback = engine.NewParallel(db.store, engine.ProfilePostgres, n)
+}
+
+// Parallelism reports the current intra-query parallelism (1 = serial).
+func (db *DB) Parallelism() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.par < 1 {
+		return 1
+	}
+	return db.par
 }
 
 // CreateTable adds a relation. Each column is declared as "name TYPE"

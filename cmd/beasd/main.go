@@ -31,6 +31,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -49,6 +50,7 @@ func main() {
 	policy := flag.String("policy", "reject", "over-budget policy: reject, queue or approx")
 	approxBudget := flag.Int64("approx-budget", 0, "fetch budget for approx downgrades (default: -budget)")
 	workers := flag.Int("workers", 0, "max concurrent query executions (default: GOMAXPROCS)")
+	parallelism := flag.Int("parallelism", 1, "intra-query parallelism: worker goroutines per query for bounded fetch steps and hash joins (1 = serial, 0 = GOMAXPROCS)")
 	queueDepth := flag.Int("queue-depth", 0, "max requests waiting for a worker (default 64)")
 	timeout := flag.Duration("timeout", time.Minute, "per-query execution deadline; 0 disables it (a stalled client then holds the catalog read lock indefinitely)")
 	allowUncovered := flag.Bool("allow-uncovered", false, "admit queries not covered by the access schema (no a-priori bound)")
@@ -69,6 +71,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "beasd:", err)
 		os.Exit(1)
 	}
+	par := *parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	db.SetParallelism(par)
 
 	srv := server.New(db, server.Config{
 		MaxConcurrent:  *workers,
@@ -95,8 +102,8 @@ func main() {
 		httpSrv.Shutdown(shutCtx)
 	}()
 
-	fmt.Printf("beasd: %d rows, %d constraints; budget=%s policy=%s; listening on %s\n",
-		db.TotalRows(), len(db.Constraints()), budgetStr(*budget), pol, *addr)
+	fmt.Printf("beasd: %d rows, %d constraints; budget=%s policy=%s parallelism=%d; listening on %s\n",
+		db.TotalRows(), len(db.Constraints()), budgetStr(*budget), pol, par, *addr)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "beasd:", err)
 		os.Exit(1)

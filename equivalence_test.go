@@ -2,6 +2,7 @@ package beas
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 	"testing"
@@ -18,19 +19,47 @@ import (
 // against an independent nested-loop oracle and all three emulated
 // baselines.
 
-// randomDB builds R(a,b,c,d), S(b,e), T(e,f) with small value domains and
-// registers an access-constraint library with exact (auto-widened) bounds.
+// randomDB builds R(a,b,c,d,v,big,ok), S(b,e), T(e,f) with small value
+// domains and registers an access-constraint library with exact
+// (auto-widened) bounds. The v / big / ok columns deliberately carry the
+// semantic edge cases: NULLs everywhere, NaN floats in v, and
+// near-MaxInt64 magnitudes in big. The big values are powers of two (and
+// MaxInt64-1, which converts to 2^63 exactly), so float-promoted SUMs
+// stay exactly representable and bit-identical under any evaluation
+// order — serial, parallel or the oracle's.
 func randomDB(t *testing.T, rng *rand.Rand) *DB {
 	t.Helper()
 	db := NewDB()
-	db.MustCreateTable("r", "a INT", "b INT", "c STRING", "d INT")
+	db.MustCreateTable("r", "a INT", "b INT", "c STRING", "d INT", "v FLOAT", "big INT", "ok BOOL")
 	db.MustCreateTable("s", "b INT", "e INT")
 	db.MustCreateTable("t", "e INT", "f STRING")
 
+	randV := func() any {
+		switch rng.Intn(6) {
+		case 0:
+			return nil
+		case 1:
+			return math.NaN()
+		default:
+			return float64(rng.Intn(33)-16) * 0.5 // dyadic: exact under any sum order
+		}
+	}
+	bigVals := []any{int64(1) << 62, -(int64(1) << 62), int64(1) << 61, int64(math.MaxInt64) - 1, nil}
+	randOK := func() any {
+		switch rng.Intn(3) {
+		case 0:
+			return nil
+		case 1:
+			return true
+		default:
+			return false
+		}
+	}
 	nr, ns, nt := 30+rng.Intn(60), 15+rng.Intn(30), 10+rng.Intn(20)
 	for i := 0; i < nr; i++ {
 		db.MustInsert("r",
-			rng.Intn(8), rng.Intn(6), fmt.Sprintf("c%d", rng.Intn(4)), rng.Intn(10))
+			rng.Intn(8), rng.Intn(6), fmt.Sprintf("c%d", rng.Intn(4)), rng.Intn(10),
+			randV(), bigVals[rng.Intn(len(bigVals))], randOK())
 	}
 	for i := 0; i < ns; i++ {
 		db.MustInsert("s", rng.Intn(6), rng.Intn(5))
@@ -43,30 +72,34 @@ func randomDB(t *testing.T, rng *rand.Rand) *DB {
 			t.Fatal(err)
 		}
 	}
-	mustAuto("r", []string{"a"}, []string{"b", "c", "d"})
-	mustAuto("r", []string{"b"}, []string{"a", "c", "d"})
+	mustAuto("r", []string{"a"}, []string{"b", "c", "d", "v", "big", "ok"})
+	mustAuto("r", []string{"b"}, []string{"a", "c", "d", "v", "big", "ok"})
 	mustAuto("s", []string{"b"}, []string{"e"})
 	mustAuto("t", []string{"e"}, []string{"f"})
 	return db
 }
 
 // randomSQL generates a query from a template family: a join chain over
-// 1–3 atoms with random filters, random projections and an optional
-// aggregate.
+// 1–3 atoms with random filters (including NULL-bearing IN lists and
+// NULL-able boolean operands), random projections over the NaN / big-int
+// columns and an optional aggregate.
 func randomSQL(rng *rand.Rand) string {
 	atoms := 1 + rng.Intn(3)
 	var from, where []string
 	from = append(from, "r")
 	// Seed constants so that most single-chain queries are coverable.
-	switch rng.Intn(3) {
+	switch rng.Intn(4) {
 	case 0:
 		where = append(where, fmt.Sprintf("r.a = %d", rng.Intn(8)))
 	case 1:
 		where = append(where, fmt.Sprintf("r.a IN (%d, %d)", rng.Intn(8), rng.Intn(8)))
 	case 2:
 		where = append(where, fmt.Sprintf("r.b = %d", rng.Intn(6)))
+	case 3:
+		// NULL in a positive IN list: never a key candidate, never a match.
+		where = append(where, fmt.Sprintf("r.a IN (%d, NULL, %d)", rng.Intn(8), rng.Intn(8)))
 	}
-	cols := []string{"r.a", "r.b", "r.c", "r.d"}
+	cols := []string{"r.a", "r.b", "r.c", "r.d", "r.v", "r.big"}
 	if atoms >= 2 {
 		from = append(from, "s")
 		where = append(where, "r.b = s.b")
@@ -87,11 +120,37 @@ func randomSQL(rng *rand.Rand) string {
 	if rng.Intn(4) == 0 {
 		where = append(where, fmt.Sprintf("(r.d = %d OR r.d = %d)", rng.Intn(10), rng.Intn(10)))
 	}
+	if rng.Intn(4) == 0 {
+		// NOT IN with a NULL in the list: three-valued logic collapses the
+		// no-match case to false, never true.
+		where = append(where, fmt.Sprintf("r.d NOT IN (%d, NULL)", rng.Intn(10)))
+	}
+	if rng.Intn(4) == 0 {
+		// NULL boolean operands of NOT / AND / OR collapse instead of
+		// erroring.
+		switch rng.Intn(3) {
+		case 0:
+			where = append(where, "(r.ok OR r.d > 5)")
+		case 1:
+			where = append(where, fmt.Sprintf("(r.ok AND r.d < %d)", rng.Intn(10)))
+		default:
+			where = append(where, "NOT (r.ok)")
+		}
+	}
 
 	if rng.Intn(4) == 0 { // aggregate query
 		g := cols[rng.Intn(len(cols))]
-		return fmt.Sprintf("SELECT %s, COUNT(*) AS n, SUM(r.d) AS s FROM %s WHERE %s GROUP BY %s",
-			g, joinStrings(from, ", "), joinStrings(where, " AND "), g)
+		agg := "SUM(r.d) AS s"
+		switch rng.Intn(4) {
+		case 0:
+			agg = "SUM(r.big) AS s" // overflows int64, promotes to float64
+		case 1:
+			agg = "MIN(r.v) AS s, MAX(r.v) AS m" // NaN under the total order
+		case 2:
+			agg = "SUM(r.v) AS s" // NaN-poisoned sums, dyadic otherwise
+		}
+		return fmt.Sprintf("SELECT %s, COUNT(*) AS n, %s FROM %s WHERE %s GROUP BY %s",
+			g, agg, joinStrings(from, ", "), joinStrings(where, " AND "), g)
 	}
 	// Scalar query with random projection width.
 	k := 1 + rng.Intn(len(cols))
@@ -100,8 +159,12 @@ func randomSQL(rng *rand.Rand) string {
 	if rng.Intn(4) == 0 {
 		sel = "DISTINCT " + sel
 	}
-	return fmt.Sprintf("SELECT %s FROM %s WHERE %s",
-		sel, joinStrings(from, ", "), joinStrings(where, " AND "))
+	order := ""
+	if rng.Intn(3) == 0 {
+		order = " ORDER BY 1" // NaN and NULL take deterministic positions
+	}
+	return fmt.Sprintf("SELECT %s FROM %s WHERE %s%s",
+		sel, joinStrings(from, ", "), joinStrings(where, " AND "), order)
 }
 
 func joinStrings(parts []string, sep string) string {

@@ -2,11 +2,19 @@ package access
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
 	"github.com/bounded-eval/beas/internal/storage"
 	"github.com/bounded-eval/beas/internal/value"
 )
+
+// indexShards is the number of independently locked partitions of an
+// index. Keys are routed by hash, so the shards load-balance regardless
+// of key distribution; a power of two keeps the routing a mask. 16
+// shards are enough to make lock contention invisible at typical core
+// counts while keeping the per-index footprint small.
+const indexShards = 16
 
 // Index is the modified hash index of paper §3: it takes the constraint's
 // X attributes as key, and each key value points to a bucket holding the
@@ -16,15 +24,20 @@ import (
 // its table, and per-bucket reference counts on Y-values keep deletions
 // exact (a Y-value leaves the bucket only when its last witness row is
 // deleted), implementing the Maintenance module of the AS Catalog.
+//
+// The bucket table is partitioned into indexShards shards, each guarded
+// by its own RWMutex and keyed by a hash of the encoded X-key. Shards
+// make the index independently lockable (parallel bounded plans probe
+// different shards without contending) and independently buildable
+// (BuildIndex folds large tables shard-parallel). The key encoding is
+// untouched — FetchWeightedEncoded accepts exactly the value.Key bytes
+// it always did.
 type Index struct {
 	C *Constraint
 
 	xPos, yPos []int // attribute positions in the base relation
 
-	mu      sync.RWMutex
-	buckets map[string]*bucket
-	maxN    int   // largest bucket cardinality observed
-	tuples  int64 // total distinct Y-values over all buckets (index size)
+	shards [indexShards]indexShard
 
 	// AutoWiden controls the violation policy during maintenance: when a
 	// bucket would exceed N, the index either widens N to the new
@@ -33,8 +46,19 @@ type Index struct {
 	// marking the index invalid (false).
 	AutoWiden bool
 
+	// vmu guards the violation state and the constraint-bound widening;
+	// it is taken only when a bucket grows past the current bound.
+	vmu        sync.Mutex
 	invalid    bool
 	violations []Violation
+}
+
+// indexShard is one partition of the bucket table.
+type indexShard struct {
+	mu      sync.RWMutex
+	buckets map[string]*bucket
+	maxN    int   // largest bucket cardinality observed in this shard
+	tuples  int64 // distinct Y-values over this shard's buckets
 }
 
 type bucket struct {
@@ -45,6 +69,13 @@ type bucket struct {
 	counts []int64
 	// refs maps the Y encoding to its position in order.
 	refs map[string]int
+}
+
+// shardOf routes an encoded X-key to its shard. The hash only spreads
+// keys across shards; bucket contents and fetch results are independent
+// of it.
+func shardOf(key string) uint32 {
+	return value.HashKey(key) & (indexShards - 1)
 }
 
 // BuildIndex scans the table and constructs the index for c. It fails if
@@ -77,28 +108,124 @@ func newIndex(c *Constraint, t *storage.Table, autoWiden bool) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Index{
+	ix := &Index{
 		C:         c,
 		xPos:      xPos,
 		yPos:      yPos,
-		buckets:   make(map[string]*bucket),
 		AutoWiden: autoWiden,
-	}, nil
+	}
+	for s := range ix.shards {
+		ix.shards[s].buckets = make(map[string]*bucket)
+	}
+	return ix, nil
 }
 
+// parallelBuildThreshold is the table size below which buildFrom stays
+// single-threaded: the fan-out bookkeeping costs more than it saves on
+// small relations.
+const parallelBuildThreshold = 1 << 14
+
 // buildFrom folds rows into the empty index and enforces conformance
-// (widening N instead when AutoWiden is set).
+// (widening N instead when AutoWiden is set). Large tables build
+// shard-parallel: the encoded X-keys are computed in chunk-parallel
+// first, then one worker per shard folds its rows in table order, so
+// every bucket's Y-value order is identical to a sequential build.
 func (ix *Index) buildFrom(rows []value.Row) error {
-	for _, row := range rows {
-		ix.insertLocked(row)
-	}
-	if ix.maxN > ix.C.N {
-		if !ix.AutoWiden {
-			return fmt.Errorf("access: building index for %v: instance does not conform (max %d distinct Y-values per key)", ix.C, ix.maxN)
+	if workers := runtime.GOMAXPROCS(0); len(rows) >= parallelBuildThreshold && workers > 1 {
+		ix.buildParallel(rows, workers)
+	} else {
+		var kb []byte
+		for _, row := range rows {
+			kb = value.AppendRowKey(kb[:0], row, ix.xPos)
+			sh := &ix.shards[shardOf(string(kb))]
+			sh.insert(kb, row, ix.yPos)
 		}
-		ix.C.N = ix.maxN
+	}
+	if maxN := ix.MaxBucket(); maxN > ix.C.N {
+		if !ix.AutoWiden {
+			return fmt.Errorf("access: building index for %v: instance does not conform (max %d distinct Y-values per key)", ix.C, maxN)
+		}
+		ix.C.N = maxN
 	}
 	return nil
+}
+
+// buildParallel is the shard-parallel fold: phase one computes each
+// row's shard in parallel chunks, phase two routes the rows into
+// per-shard index lists (sequential, cheap), and phase three lets
+// workers fold whole shards concurrently — no two workers ever touch
+// the same bucket, and rows reach each shard in table order. Keys are
+// encoded twice (once to route, once to insert) into reused buffers,
+// which beats persisting an encoded key string per row.
+func (ix *Index) buildParallel(rows []value.Row, workers int) {
+	shard := make([]uint8, len(rows))
+	chunk := (len(rows) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, len(rows))
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			var kb []byte
+			for i := lo; i < hi; i++ {
+				kb = value.AppendRowKey(kb[:0], rows[i], ix.xPos)
+				shard[i] = uint8(shardOf(string(kb)))
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+
+	var byShard [indexShards][]int32
+	for i := range rows {
+		s := shard[i]
+		byShard[s] = append(byShard[s], int32(i))
+	}
+
+	for s := 0; s < indexShards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			sh := &ix.shards[s]
+			var kb []byte
+			for _, i := range byShard[s] {
+				kb = value.AppendRowKey(kb[:0], rows[i], ix.xPos)
+				sh.insert(kb, rows[i], ix.yPos)
+			}
+		}(s)
+	}
+	wg.Wait()
+}
+
+// insert folds one row into the shard's bucket for the encoded X-key
+// and returns the bucket's new cardinality. The key bytes are only
+// copied when a new bucket is created, so steady-state maintenance is
+// allocation-free. The caller must either own the shard exclusively
+// (build) or hold sh.mu (maintenance).
+func (sh *indexShard) insert(xKey []byte, row value.Row, yPos []int) int {
+	b, ok := sh.buckets[string(xKey)]
+	if !ok {
+		b = &bucket{refs: make(map[string]int, 1)}
+		sh.buckets[string(xKey)] = b
+	}
+	var kb [48]byte
+	yk := value.AppendRowKey(kb[:0], row, yPos)
+	if pos, ok := b.refs[string(yk)]; ok {
+		b.counts[pos]++
+		return len(b.order)
+	}
+	y := row.Project(yPos)
+	b.refs[string(yk)] = len(b.order)
+	b.order = append(b.order, y)
+	b.counts = append(b.counts, 1)
+	sh.tuples++
+	if len(b.order) > sh.maxN {
+		sh.maxN = len(b.order)
+	}
+	return len(b.order)
 }
 
 // Fetch returns the distinct Y-values associated with key (the values of
@@ -106,13 +233,8 @@ func (ix *Index) buildFrom(rows []value.Row) error {
 // index's own storage and must not be mutated. The second result is the
 // number of (partial) tuples accessed, which by conformance is ≤ N.
 func (ix *Index) Fetch(key []value.Value) ([]value.Row, int) {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	b, ok := ix.buckets[value.Key(key)]
-	if !ok {
-		return nil, 0
-	}
-	return b.order, len(b.order)
+	rows, _, n := ix.FetchWeightedEncoded(value.Key(key))
+	return rows, n
 }
 
 // FetchWeighted is Fetch plus the witness count of every distinct
@@ -126,10 +248,13 @@ func (ix *Index) FetchWeighted(key []value.Value) (rows []value.Row, counts []in
 // FetchWeightedEncoded is FetchWeighted for a key already passed through
 // value.Key. The bounded executor encodes each probe key once for its
 // memoisation table and reuses the encoding here instead of re-encoding.
+// Only the key's shard is read-locked, so concurrent probes — including
+// the workers of a single parallel bounded plan — proceed independently.
 func (ix *Index) FetchWeightedEncoded(key string) (rows []value.Row, counts []int64, accessed int) {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	b, ok := ix.buckets[key]
+	sh := &ix.shards[shardOf(key)]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	b, ok := sh.buckets[key]
 	if !ok {
 		return nil, nil, 0
 	}
@@ -138,101 +263,107 @@ func (ix *Index) FetchWeightedEncoded(key string) (rows []value.Row, counts []in
 
 // Contains reports whether any tuple with the given X-value exists.
 func (ix *Index) Contains(key []value.Value) bool {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	_, ok := ix.buckets[value.Key(key)]
+	k := value.Key(key)
+	sh := &ix.shards[shardOf(k)]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	_, ok := sh.buckets[k]
 	return ok
 }
 
 // Buckets returns the number of distinct X-values.
 func (ix *Index) Buckets() int {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return len(ix.buckets)
+	total := 0
+	for s := range ix.shards {
+		sh := &ix.shards[s]
+		sh.mu.RLock()
+		total += len(sh.buckets)
+		sh.mu.RUnlock()
+	}
+	return total
 }
 
 // Tuples returns the total number of distinct (X, Y) pairs stored — the
 // index footprint used by the discovery module's storage budget.
 func (ix *Index) Tuples() int64 {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return ix.tuples
+	var total int64
+	for s := range ix.shards {
+		sh := &ix.shards[s]
+		sh.mu.RLock()
+		total += sh.tuples
+		sh.mu.RUnlock()
+	}
+	return total
 }
 
 // MaxBucket returns the largest observed bucket cardinality; conformance
 // holds while MaxBucket ≤ C.N.
 func (ix *Index) MaxBucket() int {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return ix.maxN
+	maxN := 0
+	for s := range ix.shards {
+		sh := &ix.shards[s]
+		sh.mu.RLock()
+		if sh.maxN > maxN {
+			maxN = sh.maxN
+		}
+		sh.mu.RUnlock()
+	}
+	return maxN
 }
 
 // Invalid reports whether maintenance detected a violation under the
 // strict (non-widening) policy; an invalid index must not be used for
 // bounded plans until rebuilt.
 func (ix *Index) Invalid() bool {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
+	ix.vmu.Lock()
+	defer ix.vmu.Unlock()
 	return ix.invalid
 }
 
 // Violations returns the violations recorded under the strict policy.
 func (ix *Index) Violations() []Violation {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
+	ix.vmu.Lock()
+	defer ix.vmu.Unlock()
 	return append([]Violation(nil), ix.violations...)
 }
 
 // OnInsert implements storage.Observer: incremental index maintenance for
-// a newly inserted base row.
+// a newly inserted base row. Only the row's shard is write-locked.
 func (ix *Index) OnInsert(row value.Row) {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	ix.insertLocked(row)
-	if ix.maxN > ix.C.N {
+	var kb [48]byte
+	xk := value.AppendRowKey(kb[:0], row, ix.xPos)
+	sh := &ix.shards[shardOf(string(xk))]
+	sh.mu.Lock()
+	n := sh.insert(xk, row, ix.yPos)
+	sh.mu.Unlock()
+	if n > ix.C.N {
+		ix.vmu.Lock()
+		defer ix.vmu.Unlock()
+		if n <= ix.C.N { // another widening got here first
+			return
+		}
 		if ix.AutoWiden {
-			ix.C.N = ix.maxN
+			ix.C.N = n
 		} else {
 			ix.invalid = true
 			ix.violations = append(ix.violations, Violation{
 				Constraint: ix.C,
 				XKey:       row.Project(ix.xPos),
-				Count:      ix.maxN,
+				Count:      n,
 			})
 		}
-	}
-}
-
-func (ix *Index) insertLocked(row value.Row) {
-	var kb [48]byte
-	b, ok := ix.buckets[string(value.AppendRowKey(kb[:0], row, ix.xPos))]
-	if !ok {
-		b = &bucket{refs: make(map[string]int, 1)}
-		ix.buckets[string(value.AppendRowKey(kb[:0], row, ix.xPos))] = b
-	}
-	yk := value.AppendRowKey(kb[:0], row, ix.yPos)
-	if pos, ok := b.refs[string(yk)]; ok {
-		b.counts[pos]++
-		return
-	}
-	y := row.Project(ix.yPos)
-	b.refs[string(yk)] = len(b.order)
-	b.order = append(b.order, y)
-	b.counts = append(b.counts, 1)
-	ix.tuples++
-	if len(b.order) > ix.maxN {
-		ix.maxN = len(b.order)
 	}
 }
 
 // OnDelete implements storage.Observer: removes one witness of the row's
 // Y-value; the Y-value leaves the bucket when its last witness goes.
 func (ix *Index) OnDelete(row value.Row) {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
 	var kb [48]byte
 	xKey := string(value.AppendRowKey(kb[:0], row, ix.xPos))
-	b, ok := ix.buckets[xKey]
+	sh := &ix.shards[shardOf(xKey)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	b, ok := sh.buckets[xKey]
 	if !ok {
 		return
 	}
@@ -256,9 +387,9 @@ func (ix *Index) OnDelete(row value.Row) {
 		b.refs[value.Key(moved)] = pos
 	}
 	delete(b.refs, yKey)
-	ix.tuples--
+	sh.tuples--
 	if len(b.order) == 0 {
-		delete(ix.buckets, xKey)
+		delete(sh.buckets, xKey)
 	}
 	// maxN is an upper bound; deletions never invalidate conformance so we
 	// leave it (Rebuild recomputes it exactly).
@@ -270,34 +401,46 @@ func (ix *Index) OnDelete(row value.Row) {
 // Tightening N improves every bound the BE Checker deduces with this
 // constraint. It returns the new N.
 func (ix *Index) Retighten() int {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
 	maxN := 0
-	for _, b := range ix.buckets {
-		if len(b.order) > maxN {
-			maxN = len(b.order)
+	for s := range ix.shards {
+		sh := &ix.shards[s]
+		sh.mu.Lock()
+		shMax := 0
+		for _, b := range sh.buckets {
+			if len(b.order) > shMax {
+				shMax = len(b.order)
+			}
+		}
+		sh.maxN = shMax
+		sh.mu.Unlock()
+		if shMax > maxN {
+			maxN = shMax
 		}
 	}
 	if maxN == 0 {
 		maxN = 1 // an empty relation conforms to any positive bound
 	}
-	ix.maxN = maxN
+	ix.vmu.Lock()
 	ix.C.N = maxN
 	ix.invalid = false
 	ix.violations = nil
+	ix.vmu.Unlock()
 	return maxN
 }
 
 // Conforms re-scans the index state and reports whether every bucket is
 // within the constraint's bound, with the offending buckets if not.
 func (ix *Index) Conforms() (bool, []Violation) {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
 	var out []Violation
-	for _, b := range ix.buckets {
-		if len(b.order) > ix.C.N {
-			out = append(out, Violation{Constraint: ix.C, Count: len(b.order)})
+	for s := range ix.shards {
+		sh := &ix.shards[s]
+		sh.mu.RLock()
+		for _, b := range sh.buckets {
+			if len(b.order) > ix.C.N {
+				out = append(out, Violation{Constraint: ix.C, Count: len(b.order)})
+			}
 		}
+		sh.mu.RUnlock()
 	}
 	return len(out) == 0, out
 }

@@ -1,0 +1,128 @@
+package access
+
+// Tests of the partitioned bucket table: the shard-parallel build must
+// produce byte-for-byte the same fetch results as a sequential fold, and
+// concurrent probes/maintenance across shards must be race-free (run
+// under -race in CI).
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/bounded-eval/beas/internal/storage"
+	"github.com/bounded-eval/beas/internal/value"
+)
+
+// buildSequential is the reference fold: one row at a time, no shards
+// involved beyond routing.
+func buildSequential(t *testing.T, c *Constraint, tab *storage.Table) *Index {
+	t.Helper()
+	ix, err := newIndex(c, tab, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows() {
+		var kb [48]byte
+		xk := value.AppendRowKey(kb[:0], row, ix.xPos)
+		ix.shards[shardOf(string(xk))].insert(xk, row, ix.yPos)
+	}
+	if m := ix.MaxBucket(); m > ix.C.N {
+		ix.C.N = m
+	}
+	return ix
+}
+
+func TestParallelBuildMatchesSequential(t *testing.T) {
+	db, store := testDB(t)
+	tab, ok := store.Table("call")
+	if !ok {
+		t.Fatal("no call table")
+	}
+	// Enough rows to cross parallelBuildThreshold, with heavy key reuse so
+	// buckets have several Y-values and witness counts > 1.
+	const n = parallelBuildThreshold + 5000
+	for i := 0; i < n; i++ {
+		if err := tab.Insert(callRow(int64(i%701), int64(i%13), int64(i%29), fmt.Sprintf("r%d", i%7))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c1, err := NewConstraint(db, "call", []string{"pnum", "date"}, []string{"recnum", "region"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := *c1
+	par, err := BuildIndex(c1, tab, true) // picks the parallel build on multicore
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := buildSequential(t, &c2, tab)
+
+	if par.Tuples() != seq.Tuples() || par.Buckets() != seq.Buckets() || par.MaxBucket() != seq.MaxBucket() {
+		t.Fatalf("parallel build diverged: tuples %d vs %d, buckets %d vs %d, maxN %d vs %d",
+			par.Tuples(), seq.Tuples(), par.Buckets(), seq.Buckets(), par.MaxBucket(), seq.MaxBucket())
+	}
+	// Every bucket must match in content, order and witness counts: the
+	// fetch results are part of the executor's determinism contract.
+	for i := 0; i < 701; i++ {
+		for d := 0; d < 13; d++ {
+			key := value.Key([]value.Value{value.NewInt(int64(i)), value.NewInt(int64(d))})
+			pr, pc, pn := par.FetchWeightedEncoded(key)
+			sr, sc, sn := seq.FetchWeightedEncoded(key)
+			if pn != sn || len(pr) != len(sr) {
+				t.Fatalf("key (%d,%d): fetched %d vs %d", i, d, pn, sn)
+			}
+			for j := range pr {
+				if value.Key(pr[j]) != value.Key(sr[j]) || pc[j] != sc[j] {
+					t.Fatalf("key (%d,%d) position %d: %v×%d vs %v×%d", i, d, j, pr[j], pc[j], sr[j], sc[j])
+				}
+			}
+		}
+	}
+}
+
+func TestShardedConcurrentFetchAndMaintain(t *testing.T) {
+	db, store := testDB(t)
+	tab, ok := store.Table("call")
+	if !ok {
+		t.Fatal("no call table")
+	}
+	for i := 0; i < 1000; i++ {
+		if err := tab.Insert(callRow(int64(i%100), int64(i%5), int64(i), "x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, err := NewConstraint(db, "call", []string{"pnum"}, []string{"recnum"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := BuildIndex(c, tab, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				key := value.Key([]value.Value{value.NewInt(int64(i % 100))})
+				if rows, _, n := ix.FetchWeightedEncoded(key); n == 0 || len(rows) == 0 {
+					t.Errorf("worker %d: key %d fetched nothing", w, i%100)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 500; i++ {
+			ix.OnInsert(callRow(int64(i%100), 9, int64(10_000+i), "y"))
+		}
+	}()
+	wg.Wait()
+	if ok, viols := ix.Conforms(); !ok {
+		t.Fatalf("index does not conform after widening maintenance: %v", viols)
+	}
+}

@@ -7,6 +7,7 @@ package analyze
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	"github.com/bounded-eval/beas/internal/sqlparser"
@@ -223,9 +224,12 @@ func Cols(e Expr) []ColID {
 	return out
 }
 
-// Eval evaluates e against a physical row using the layout. Comparisons
-// involving NULL evaluate to false (SQL three-valued logic collapsed to
-// two values; IS NULL tests nullness explicitly).
+// Eval evaluates e against a physical row using the layout. SQL
+// three-valued logic propagates through the expression tree — a
+// comparison, IN or LIKE over NULL operands is UNKNOWN (returned as
+// NULL), and NOT/AND/OR follow the Kleene truth tables — and collapses
+// to false only at predicate positions (EvalBool). IS NULL tests
+// nullness explicitly.
 func Eval(e Expr, row value.Row, l *Layout) (value.Value, error) {
 	switch x := e.(type) {
 	case *Const:
@@ -248,8 +252,15 @@ func Eval(e Expr, row value.Row, l *Layout) (value.Value, error) {
 		if err != nil {
 			return value.Value{}, err
 		}
+		if v.IsNull() {
+			// NOT(UNKNOWN) is UNKNOWN: propagate the NULL so the predicate
+			// position collapses it to false — inverting a collapsed false
+			// to true would disagree with NOT IN's three-valued handling
+			// (NOT (x IN (..NULL..)) must match x NOT IN (..NULL..)).
+			return v, nil
+		}
 		if v.K != value.Bool {
-			return value.Value{}, fmt.Errorf("analyze: NOT applied to %v", v.K)
+			return value.Value{}, fmt.Errorf("analyze: NOT operand is %v, want BOOL", v.K)
 		}
 		return value.NewBool(!v.Bool()), nil
 	case *Neg:
@@ -259,6 +270,9 @@ func Eval(e Expr, row value.Row, l *Layout) (value.Value, error) {
 		}
 		switch v.K {
 		case value.Int:
+			if v.I == math.MinInt64 { // -MinInt64 wraps to itself
+				return value.NewFloat(-float64(math.MinInt64)), nil
+			}
 			return value.NewInt(-v.I), nil
 		case value.Float:
 			return value.NewFloat(-v.F), nil
@@ -273,12 +287,25 @@ func Eval(e Expr, row value.Row, l *Layout) (value.Value, error) {
 			return value.Value{}, err
 		}
 		if v.IsNull() {
-			return value.NewBool(false), nil
+			return value.NewNull(), nil // NULL [NOT] IN (...) is UNKNOWN
 		}
+		listHasNull := false
 		for _, c := range x.Vals {
+			if c.IsNull() {
+				listHasNull = true
+				continue
+			}
 			if value.Equal(v, c) {
 				return value.NewBool(!x.Not), nil
 			}
+		}
+		if listHasNull {
+			// x [NOT] IN (c1, ..., NULL) with x matching none of the
+			// constants is UNKNOWN under three-valued logic (x = NULL is
+			// never true, x <> NULL never true either); predicate
+			// positions collapse it to false — in particular,
+			// x NOT IN (1, NULL) must not come out true.
+			return value.NewNull(), nil
 		}
 		return value.NewBool(x.Not), nil
 	case *LikeExpr:
@@ -287,7 +314,7 @@ func Eval(e Expr, row value.Row, l *Layout) (value.Value, error) {
 			return value.Value{}, err
 		}
 		if v.IsNull() {
-			return value.NewBool(false), nil
+			return value.NewNull(), nil // NULL [NOT] LIKE p is UNKNOWN
 		}
 		if v.K != value.String {
 			return value.Value{}, fmt.Errorf("analyze: LIKE applied to %v", v.K)
@@ -304,6 +331,16 @@ func Eval(e Expr, row value.Row, l *Layout) (value.Value, error) {
 	}
 }
 
+// checkBoolOperand verifies a NOT / AND / OR operand is BOOL or NULL
+// (UNKNOWN); any other kind fails. NULL operands flow through the Kleene
+// truth tables instead of failing the whole query.
+func checkBoolOperand(v value.Value, op string) error {
+	if v.K != value.Bool && v.K != value.Null {
+		return fmt.Errorf("analyze: %s operand is %v, want BOOL", op, v.K)
+	}
+	return nil
+}
+
 func evalBin(b *Bin, row value.Row, l *Layout) (value.Value, error) {
 	switch b.Op {
 	case sqlparser.OpAnd, sqlparser.OpOr:
@@ -311,24 +348,42 @@ func evalBin(b *Bin, row value.Row, l *Layout) (value.Value, error) {
 		if err != nil {
 			return value.Value{}, err
 		}
-		if lv.K != value.Bool {
-			return value.Value{}, fmt.Errorf("analyze: %s operand is %v, want BOOL", b.Op, lv.K)
+		if err := checkBoolOperand(lv, b.Op.String()); err != nil {
+			return value.Value{}, err
 		}
-		// Short-circuit.
-		if b.Op == sqlparser.OpAnd && !lv.Bool() {
+		// Short-circuit on the dominant value (false for AND, true for
+		// OR); a NULL operand cannot short-circuit — UNKNOWN AND false is
+		// false, UNKNOWN OR true is true.
+		if b.Op == sqlparser.OpAnd && lv.K == value.Bool && !lv.Bool() {
 			return value.NewBool(false), nil
 		}
-		if b.Op == sqlparser.OpOr && lv.Bool() {
+		if b.Op == sqlparser.OpOr && lv.K == value.Bool && lv.Bool() {
 			return value.NewBool(true), nil
 		}
 		rv, err := Eval(b.R, row, l)
 		if err != nil {
 			return value.Value{}, err
 		}
-		if rv.K != value.Bool {
-			return value.Value{}, fmt.Errorf("analyze: %s operand is %v, want BOOL", b.Op, rv.K)
+		if err := checkBoolOperand(rv, b.Op.String()); err != nil {
+			return value.Value{}, err
 		}
-		return rv, nil
+		// Kleene three-valued AND/OR over the remaining cases.
+		if b.Op == sqlparser.OpAnd {
+			if rv.K == value.Bool && !rv.Bool() {
+				return value.NewBool(false), nil
+			}
+			if lv.K == value.Null || rv.K == value.Null {
+				return value.NewNull(), nil
+			}
+			return value.NewBool(true), nil
+		}
+		if rv.K == value.Bool && rv.Bool() {
+			return value.NewBool(true), nil
+		}
+		if lv.K == value.Null || rv.K == value.Null {
+			return value.NewNull(), nil
+		}
+		return value.NewBool(false), nil
 	}
 
 	lv, err := Eval(b.L, row, l)
@@ -342,7 +397,7 @@ func evalBin(b *Bin, row value.Row, l *Layout) (value.Value, error) {
 
 	if b.Op.IsComparison() {
 		if lv.IsNull() || rv.IsNull() {
-			return value.NewBool(false), nil
+			return value.NewNull(), nil // UNKNOWN; EvalBool collapses it
 		}
 		cmp, err := value.Compare(lv, rv)
 		if err != nil {
@@ -371,16 +426,31 @@ func evalBin(b *Bin, row value.Row, l *Layout) (value.Value, error) {
 		return value.NewNull(), nil
 	}
 	if lv.K == value.Int && rv.K == value.Int {
+		// Integer arithmetic stays exact int64 while it fits and promotes
+		// to float64 on overflow instead of silently wrapping — the same
+		// policy aggregate SUM applies (value.AddInt64 / value.MulInt64).
 		switch b.Op {
 		case sqlparser.OpAdd:
-			return value.NewInt(lv.I + rv.I), nil
+			if s, ok := value.AddInt64(lv.I, rv.I); ok {
+				return value.NewInt(s), nil
+			}
+			return value.NewFloat(float64(lv.I) + float64(rv.I)), nil
 		case sqlparser.OpSub:
-			return value.NewInt(lv.I - rv.I), nil
+			if d, ok := value.SubInt64(lv.I, rv.I); ok {
+				return value.NewInt(d), nil
+			}
+			return value.NewFloat(float64(lv.I) - float64(rv.I)), nil
 		case sqlparser.OpMul:
-			return value.NewInt(lv.I * rv.I), nil
+			if p, ok := value.MulInt64(lv.I, rv.I); ok {
+				return value.NewInt(p), nil
+			}
+			return value.NewFloat(float64(lv.I) * float64(rv.I)), nil
 		case sqlparser.OpDiv:
 			if rv.I == 0 {
 				return value.Value{}, fmt.Errorf("analyze: division by zero")
+			}
+			if lv.I == math.MinInt64 && rv.I == -1 {
+				return value.NewFloat(-float64(math.MinInt64)), nil
 			}
 			return value.NewInt(lv.I / rv.I), nil
 		}

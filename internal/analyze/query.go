@@ -599,9 +599,23 @@ func classify(e Expr) Conjunct {
 		}
 	case *InList:
 		if col, ok := x.E.(*ColRef); ok && !x.Not && len(x.Vals) > 0 {
-			c.Kind = InConsts
-			c.A = col.ID
-			c.Vals = x.Vals
+			// NULL list elements can never match (x = NULL is not true for
+			// any x), so they are no candidate constants: the checker must
+			// not seed the class with a NULL key — and the bounded plan
+			// must not probe one — or bounded and conventional plans could
+			// disagree. An all-NULL list stays Opaque and is evaluated as
+			// a residual (always-false) filter.
+			vals := make([]value.Value, 0, len(x.Vals))
+			for _, v := range x.Vals {
+				if !v.IsNull() {
+					vals = append(vals, v)
+				}
+			}
+			if len(vals) > 0 {
+				c.Kind = InConsts
+				c.A = col.ID
+				c.Vals = vals
+			}
 		}
 	}
 	refs := make(map[int]bool)

@@ -1,0 +1,162 @@
+package analyze
+
+// Regression tests for the SQL-semantics fixes of the expression
+// evaluator: NOT IN with NULL list elements, NULL boolean operands of
+// NOT / AND / OR, and silent int64 wraparound in arithmetic. Each of
+// these fails against the pre-fix evaluator.
+
+import (
+	"math"
+	"testing"
+
+	"github.com/bounded-eval/beas/internal/sqlparser"
+	"github.com/bounded-eval/beas/internal/value"
+)
+
+func TestNotInWithNullInList(t *testing.T) {
+	l := NewLayout()
+	l.Add(ColID{Atom: 0, Attr: 0})
+	col := &ColRef{ID: ColID{0, 0}, Name: "a"}
+	nullList := []value.Value{value.NewInt(1), value.NewNull()}
+
+	// x NOT IN (1, NULL) with x = 2: UNKNOWN under three-valued logic
+	// (2 <> NULL is never true), collapsed to false — not true.
+	row := value.Row{value.NewInt(2)}
+	if got := evalStr(t, &InList{E: col, Vals: nullList, Not: true}, row, l); got.Bool() {
+		t.Error("2 NOT IN (1, NULL) must be false (UNKNOWN collapsed), got true")
+	}
+	// x NOT IN (1, NULL) with x = 1 is definitely false.
+	row = value.Row{value.NewInt(1)}
+	if got := evalStr(t, &InList{E: col, Vals: nullList, Not: true}, row, l); got.Bool() {
+		t.Error("1 NOT IN (1, NULL) must be false")
+	}
+	// Positive IN keeps working: matches stay true, non-matches false.
+	if got := evalStr(t, &InList{E: col, Vals: nullList}, row, l); !got.Bool() {
+		t.Error("1 IN (1, NULL) must be true")
+	}
+	row = value.Row{value.NewInt(2)}
+	if got := evalStr(t, &InList{E: col, Vals: nullList}, row, l); got.Bool() {
+		t.Error("2 IN (1, NULL) must be false")
+	}
+	// NOT IN without NULLs is unaffected.
+	row = value.Row{value.NewInt(2)}
+	if got := evalStr(t, &InList{E: col, Vals: []value.Value{value.NewInt(1)}, Not: true}, row, l); !got.Bool() {
+		t.Error("2 NOT IN (1) must be true")
+	}
+	// NOT (x IN (...)) must agree with x NOT IN (...): the UNKNOWN
+	// propagates through NOT instead of a collapsed false being flipped
+	// to true.
+	row = value.Row{value.NewInt(2)}
+	inExpr := &InList{E: col, Vals: nullList}
+	notIn, err := EvalBool(&Not{E: inExpr}, row, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := EvalBool(&InList{E: col, Vals: nullList, Not: true}, row, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if notIn != direct || notIn {
+		t.Errorf("NOT (2 IN (1, NULL)) = %v, 2 NOT IN (1, NULL) = %v; both must be false", notIn, direct)
+	}
+}
+
+func TestInConstsSeedingDropsNulls(t *testing.T) {
+	// The checker's constant-candidate seeding must mirror the evaluator:
+	// NULL list elements are no candidates (x = NULL matches nothing).
+	q := analyzeSQL(t, "SELECT recnum FROM call WHERE pnum IN (1, NULL, 2)")
+	var in *Conjunct
+	for i := range q.Conjuncts {
+		if q.Conjuncts[i].Kind == InConsts {
+			in = &q.Conjuncts[i]
+		}
+	}
+	if in == nil {
+		t.Fatal("IN (1, NULL, 2) did not classify as InConsts")
+	}
+	if len(in.Vals) != 2 || in.Vals[0].I != 1 || in.Vals[1].I != 2 {
+		t.Fatalf("InConsts candidates = %v, want [1 2]", in.Vals)
+	}
+
+	// All-NULL lists can never match: no candidates, stays Opaque and is
+	// evaluated as a residual filter.
+	q = analyzeSQL(t, "SELECT recnum FROM call WHERE pnum IN (NULL)")
+	for _, c := range q.Conjuncts {
+		if c.Kind == InConsts {
+			t.Fatalf("IN (NULL) must not seed constant candidates, got %v", c.Vals)
+		}
+	}
+}
+
+func TestNullBooleanOperandsCollapse(t *testing.T) {
+	l := NewLayout()
+	l.Add(ColID{Atom: 0, Attr: 0})
+	row := value.Row{value.NewNull()} // a NULL boolean column
+	col := &ColRef{ID: ColID{0, 0}, Name: "b"}
+	tru := &Const{Val: value.NewBool(true)}
+	fals := &Const{Val: value.NewBool(false)}
+
+	cases := []struct {
+		e    Expr
+		want bool // predicate outcome after EvalBool's UNKNOWN → false collapse
+	}{
+		{&Not{E: col}, false}, // NOT(UNKNOWN) = UNKNOWN → false
+		{&Bin{Op: sqlparser.OpAnd, L: col, R: tru}, false},
+		{&Bin{Op: sqlparser.OpAnd, L: tru, R: col}, false},
+		{&Bin{Op: sqlparser.OpAnd, L: col, R: fals}, false}, // UNKNOWN AND false = false
+		{&Bin{Op: sqlparser.OpOr, L: col, R: tru}, true},    // UNKNOWN OR true = true
+		{&Bin{Op: sqlparser.OpOr, L: tru, R: col}, true},
+		{&Bin{Op: sqlparser.OpOr, L: col, R: fals}, false},
+	}
+	for _, c := range cases {
+		got, err := EvalBool(c.e, row, l)
+		if err != nil {
+			t.Fatalf("EvalBool(%v) failed: %v (NULL boolean operand must not error)", c.e, err)
+		}
+		if got != c.want {
+			t.Errorf("EvalBool(%v) = %v, want %v", c.e, got, c.want)
+		}
+	}
+	// Non-boolean operands still error.
+	if _, err := Eval(&Not{E: &Const{Val: value.NewString("x")}}, row, l); err == nil {
+		t.Error("NOT 'x' should fail")
+	}
+}
+
+func TestArithmeticOverflowPromotesToFloat(t *testing.T) {
+	l := NewLayout()
+	row := value.Row{}
+	c := func(i int64) Expr { return &Const{Val: value.NewInt(i)} }
+	const max, min = int64(math.MaxInt64), int64(math.MinInt64)
+
+	cases := []struct {
+		e    Expr
+		want float64
+	}{
+		{&Bin{Op: sqlparser.OpAdd, L: c(max), R: c(1)}, float64(max) + 1},
+		{&Bin{Op: sqlparser.OpAdd, L: c(min), R: c(-1)}, float64(min) - 1},
+		{&Bin{Op: sqlparser.OpSub, L: c(min), R: c(1)}, float64(min) - 1},
+		{&Bin{Op: sqlparser.OpSub, L: c(max), R: c(-1)}, float64(max) + 1},
+		{&Bin{Op: sqlparser.OpMul, L: c(max), R: c(2)}, 2 * float64(max)},
+		{&Bin{Op: sqlparser.OpMul, L: c(min), R: c(-1)}, -float64(min)},
+		{&Bin{Op: sqlparser.OpDiv, L: c(min), R: c(-1)}, -float64(min)},
+		{&Neg{E: c(min)}, -float64(min)},
+	}
+	for _, tc := range cases {
+		got, err := Eval(tc.e, row, l)
+		if err != nil {
+			t.Fatalf("Eval(%v): %v", tc.e, err)
+		}
+		if got.K != value.Float || got.F != tc.want {
+			t.Errorf("Eval(%v) = %v (%v), want FLOAT %g (no silent wraparound)", tc.e, got, got.K, tc.want)
+		}
+	}
+	// In-range arithmetic stays exact int64.
+	got, err := Eval(&Bin{Op: sqlparser.OpAdd, L: c(max - 1), R: c(1)}, row, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.K != value.Int || got.I != max {
+		t.Errorf("(max-1)+1 = %v (%v), want INT %d", got, got.K, max)
+	}
+}

@@ -1,0 +1,239 @@
+// Parallel bounded execution: one bounded plan spread over every core.
+//
+// The serial executor (run.go) streams each fetch step as a pull
+// operator. The parallel executor trades that streaming for intra-query
+// parallelism — safe precisely because the plan is bounded: the checker
+// proved a-priori that the intermediate relation never exceeds the
+// deduced bound M, so materialising it between steps costs what the
+// paper already budgeted for.
+//
+// Every fetch step runs in two chunk-parallel phases over the ordered
+// intermediate rows:
+//
+//  1. key fan-out — workers enumerate the step's key set and fetch each
+//     candidate bucket from the (shard-partitioned) constraint index,
+//     memoised per worker, then the memos merge into one read-only
+//     bucket table. Distinct-key and fetched-tuple statistics are
+//     computed on the merged table, so they equal the serial counts.
+//  2. expansion — workers extend their rows through the memoised
+//     buckets, apply the step's filters and emit per-chunk outputs that
+//     concatenate in chunk order.
+//
+// Chunks are contiguous and outputs concatenate in order, so the rows
+// entering the relational tail are exactly the serial executor's rows in
+// exactly its order; the tail (exec.FinishWeightedParallel) aggregates
+// with per-worker partial states merged deterministically before
+// finalize. Result bags are bit-identical to the serial path.
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"github.com/bounded-eval/beas/internal/analyze"
+	"github.com/bounded-eval/beas/internal/exec"
+	"github.com/bounded-eval/beas/internal/iter"
+	"github.com/bounded-eval/beas/internal/value"
+)
+
+// RunParallel is RunParallelContext without a context.
+func RunParallel(p *Plan, par int) ([]value.Row, *Stats, error) {
+	return RunParallelContext(context.Background(), p, par)
+}
+
+// RunParallelContext executes a bounded plan with up to par worker
+// goroutines per stage. par ≤ 1 delegates to the untouched serial path
+// (RunContext); results are bit-identical either way.
+func RunParallelContext(ctx context.Context, p *Plan, par int) ([]value.Row, *Stats, error) {
+	if par <= 1 {
+		return RunContext(ctx, p)
+	}
+	start := time.Now()
+	st := &Stats{}
+	if p.Check.EmptyGuaranteed {
+		st.Duration = time.Since(start)
+		return nil, st, nil
+	}
+	q, layout := p.Query, p.Layout
+
+	// The intermediate relation starts as a single all-NULL row of the
+	// final width (see StreamContext); fetch steps fill slots in.
+	rows := []value.Row{make(value.Row, layout.Len())}
+	var weights []int64 // nil = all weight 1
+	st.Steps = make([]StepStat, len(p.Steps))
+	for i := range p.Steps {
+		step := &p.Steps[i]
+		ss := &st.Steps[i]
+		ss.Atom = q.Atoms[step.Atom].Name
+		ss.Constraint = step.Constraint.String()
+		var err error
+		rows, weights, err = runStepParallel(ctx, step, layout, rows, weights, par, ss, &st.Fetched)
+		if err != nil {
+			st.Duration = time.Since(start)
+			return nil, st, err
+		}
+		if len(rows) == 0 {
+			break
+		}
+	}
+	out, err := exec.FinishWeightedParallel(ctx, q, rows, weights, layout, par)
+	st.RowsOut = int64(len(out))
+	st.Duration = time.Since(start)
+	if err != nil {
+		return nil, st, err
+	}
+	return out, st, nil
+}
+
+// stepKeys enumerates the complete fetch keys of step for row — the
+// cross product of constant candidates over slot reads, in the same
+// nested order as the serial executor — and calls fn with each encoded
+// key. The encoding buffer is reused; fn must copy if it retains.
+func stepKeys(step *PlanStep, row value.Row, key []value.Value, kb *[]byte, comp int, fn func(enc []byte) error) error {
+	if comp < len(step.Keys) {
+		src := step.Keys[comp]
+		if src.Consts == nil {
+			key[comp] = row[src.Slot]
+			return stepKeys(step, row, key, kb, comp+1, fn)
+		}
+		for _, c := range src.Consts {
+			key[comp] = c
+			if err := stepKeys(step, row, key, kb, comp+1, fn); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	*kb = (*kb)[:0]
+	for _, kv := range key {
+		*kb = value.AppendKey(*kb, kv)
+	}
+	return fn(*kb)
+}
+
+// runStepParallel executes one fetch step over the materialised
+// weighted intermediate rows and returns the extended relation.
+func runStepParallel(ctx context.Context, step *PlanStep, layout *analyze.Layout, rows []value.Row, weights []int64, par int, ss *StepStat, fetched *int64) ([]value.Row, []int64, error) {
+	t0 := time.Now()
+	defer func() { ss.Duration += time.Since(t0) }()
+	chunks := iter.Chunks(len(rows), par)
+
+	// Phase 1: fan the step's key set across the workers. Each worker
+	// memoises the buckets it fetched; the per-worker memos then merge
+	// into one read-only table (a key two workers both probed merges to
+	// the same bucket — the index is immutable under the catalog lock).
+	memos := make([]map[string]wBucket, len(chunks))
+	err := iter.ParallelChunks(ctx, chunks, par, func(ci, lo, hi int) error {
+		memo := make(map[string]wBucket)
+		key := make([]value.Value, len(step.Keys))
+		var kb []byte
+		for i := lo; i < hi; i++ {
+			err := stepKeys(step, rows[i], key, &kb, 0, func(enc []byte) error {
+				if _, seen := memo[string(enc)]; !seen {
+					ks := string(enc)
+					rws, cnts, _ := step.Index.FetchWeightedEncoded(ks)
+					memo[ks] = wBucket{rows: rws, counts: cnts}
+				}
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+		}
+		memos[ci] = memo
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	memo := make(map[string]wBucket)
+	if len(memos) > 0 {
+		memo = memos[0]
+		for _, m := range memos[1:] {
+			for k, b := range m {
+				if _, ok := memo[k]; !ok {
+					memo[k] = b
+				}
+			}
+		}
+	}
+	// Statistics over the merged (distinct) key set: identical to what
+	// the serial executor's single memo table would have recorded.
+	ss.DistinctKey += int64(len(memo))
+	var stepFetched int64
+	for _, b := range memo {
+		stepFetched += int64(len(b.rows))
+	}
+	ss.Fetched += stepFetched
+	*fetched += stepFetched
+
+	// Phase 2: extend every input row through the memoised buckets and
+	// filter, emitting per-chunk outputs that concatenate in chunk order
+	// — the serial emission order.
+	type chunkOut struct {
+		rows    []value.Row
+		weights []int64
+	}
+	outs := make([]chunkOut, len(chunks))
+	err = iter.ParallelChunks(ctx, chunks, par, func(ci, lo, hi int) error {
+		key := make([]value.Value, len(step.Keys))
+		var kb []byte
+		var co chunkOut
+		for i := lo; i < hi; i++ {
+			row := rows[i]
+			w := int64(1)
+			if weights != nil {
+				w = weights[i]
+			}
+			err := stepKeys(step, row, key, &kb, 0, func(enc []byte) error {
+				bucket := memo[string(enc)]
+				for yi, y := range bucket.rows {
+					out := row.Clone()
+					for xi, slot := range step.XSlots {
+						out[slot] = key[xi]
+					}
+					for yj, yi2 := range step.YUsed {
+						out[step.YSlots[yj]] = y[yi2]
+					}
+					keep := true
+					for _, f := range step.Filters {
+						ok, err := analyze.EvalBool(f.Expr, out, layout)
+						if err != nil {
+							return fmt.Errorf("core: evaluating %s: %w", f, err)
+						}
+						if !ok {
+							keep = false
+							break
+						}
+					}
+					if keep {
+						co.rows = append(co.rows, out)
+						co.weights = append(co.weights, w*bucket.counts[yi])
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+		}
+		outs[ci] = co
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	total := 0
+	for _, co := range outs {
+		total += len(co.rows)
+	}
+	outRows := make([]value.Row, 0, total)
+	outWeights := make([]int64, 0, total)
+	for _, co := range outs {
+		outRows = append(outRows, co.rows...)
+		outWeights = append(outWeights, co.weights...)
+	}
+	ss.RowsOut += int64(total)
+	return outRows, outWeights, nil
+}

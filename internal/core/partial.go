@@ -84,14 +84,16 @@ func NewPartialPlan(q *analyze.Query, chk *CheckResult) (*PartialPlan, error) {
 // returned stats separate fetched tuples (bounded part) from scanned
 // tuples (conventional part).
 func RunPartial(pp *PartialPlan, q *analyze.Query, eng *engine.Engine) ([]value.Row, *Stats, *engine.Stats, error) {
-	return RunPartialContext(context.Background(), pp, q, eng)
+	return RunPartialContext(context.Background(), pp, q, eng, 1)
 }
 
 // RunPartialContext is RunPartial under a context: cancellation halts
 // both the bounded fetch loop and the conventional scans and joins at
-// the next batch boundary.
-func RunPartialContext(ctx context.Context, pp *PartialPlan, q *analyze.Query, eng *engine.Engine) ([]value.Row, *Stats, *engine.Stats, error) {
-	it, st, engStats, err := StreamPartialContext(ctx, pp, q, eng)
+// the next batch boundary. With par > 1 the bounded sub-plan runs on the
+// parallel executor (the engine's own parallelism is fixed at its
+// construction).
+func RunPartialContext(ctx context.Context, pp *PartialPlan, q *analyze.Query, eng *engine.Engine, par int) ([]value.Row, *Stats, *engine.Stats, error) {
+	it, st, engStats, err := StreamPartialContext(ctx, pp, q, eng, par)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -109,17 +111,17 @@ func RunPartialContext(ctx context.Context, pp *PartialPlan, q *analyze.Query, e
 // streams. Engine statistics accrue while the iterator is consumed; the
 // bounded sub-plan's stats are final on return.
 func StreamPartial(pp *PartialPlan, q *analyze.Query, eng *engine.Engine) (iter.Iterator, *Stats, *engine.Stats, error) {
-	return StreamPartialContext(context.Background(), pp, q, eng)
+	return StreamPartialContext(context.Background(), pp, q, eng, 1)
 }
 
 // StreamPartialContext is StreamPartial under a context: the eager
 // bounded sub-plan observes ctx while it materialises, and the streaming
 // conventional part observes it per batch.
-func StreamPartialContext(ctx context.Context, pp *PartialPlan, q *analyze.Query, eng *engine.Engine) (iter.Iterator, *Stats, *engine.Stats, error) {
+func StreamPartialContext(ctx context.Context, pp *PartialPlan, q *analyze.Query, eng *engine.Engine, par int) (iter.Iterator, *Stats, *engine.Stats, error) {
 	var sources []engine.Source
 	st := &Stats{}
 	if pp.Sub != nil {
-		rows, subStats, err := RunContext(ctx, pp.Sub)
+		rows, subStats, err := RunParallelContext(ctx, pp.Sub, par)
 		if err != nil {
 			return nil, nil, nil, err
 		}

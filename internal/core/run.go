@@ -167,7 +167,7 @@ func (s *stepOp) Next(b *iter.Batch) (bool, error) {
 		}
 		row, w := s.buf.Rows[s.pos], s.buf.Weight(s.pos)
 		s.pos++
-		if err := s.expand(b, row, w, 0); err != nil {
+		if err := s.expand(b, row, w); err != nil {
 			return false, err
 		}
 	}
@@ -175,61 +175,47 @@ func (s *stepOp) Next(b *iter.Batch) (bool, error) {
 	return b.Len() > 0, nil
 }
 
-// expand enumerates key components comp onward for row — a slot read or
-// a set of constant candidates per component — and, once the key is
-// complete, probes the index and appends the extended rows to b.
-func (s *stepOp) expand(b *iter.Batch, row value.Row, w int64, comp int) error {
-	if comp < len(s.step.Keys) {
-		src := s.step.Keys[comp]
-		if src.Consts == nil {
-			s.key[comp] = row[src.Slot]
-			return s.expand(b, row, w, comp+1)
+// expand probes the index for every complete key of row — enumerated by
+// stepKeys (parallel.go), the single enumeration implementation shared
+// with the parallel executor, so serial and parallel plans can never
+// probe different key sets — fetching each distinct key exactly once
+// through the memo, and appends the extended rows that pass the step's
+// filters to b.
+func (s *stepOp) expand(b *iter.Batch, row value.Row, w int64) error {
+	return stepKeys(s.step, row, s.key, &s.kb, 0, func(enc []byte) error {
+		bucket, seen := s.memo[string(enc)]
+		if !seen {
+			ks := string(enc)
+			rws, cnts, n := s.step.Index.FetchWeightedEncoded(ks)
+			bucket = wBucket{rows: rws, counts: cnts}
+			s.memo[ks] = bucket
+			s.ss.DistinctKey++
+			s.ss.Fetched += int64(n)
+			*s.fetched += int64(n)
 		}
-		for _, c := range src.Consts {
-			s.key[comp] = c
-			if err := s.expand(b, row, w, comp+1); err != nil {
-				return err
+		for yi, y := range bucket.rows {
+			out := row.Clone()
+			for i, slot := range s.step.XSlots {
+				out[slot] = s.key[i]
+			}
+			for i, yi2 := range s.step.YUsed {
+				out[s.step.YSlots[i]] = y[yi2]
+			}
+			keep := true
+			for _, f := range s.step.Filters {
+				ok, err := analyze.EvalBool(f.Expr, out, s.layout)
+				if err != nil {
+					return fmt.Errorf("core: evaluating %s: %w", f, err)
+				}
+				if !ok {
+					keep = false
+					break
+				}
+			}
+			if keep {
+				b.Append(out, w*bucket.counts[yi])
 			}
 		}
 		return nil
-	}
-	// Key complete: probe the index, fetching each distinct key once.
-	s.kb = s.kb[:0]
-	for _, kv := range s.key {
-		s.kb = value.AppendKey(s.kb, kv)
-	}
-	bucket, seen := s.memo[string(s.kb)]
-	if !seen {
-		ks := string(s.kb)
-		rws, cnts, n := s.step.Index.FetchWeightedEncoded(ks)
-		bucket = wBucket{rows: rws, counts: cnts}
-		s.memo[ks] = bucket
-		s.ss.DistinctKey++
-		s.ss.Fetched += int64(n)
-		*s.fetched += int64(n)
-	}
-	for yi, y := range bucket.rows {
-		out := row.Clone()
-		for i, slot := range s.step.XSlots {
-			out[slot] = s.key[i]
-		}
-		for i, yi2 := range s.step.YUsed {
-			out[s.step.YSlots[i]] = y[yi2]
-		}
-		keep := true
-		for _, f := range s.step.Filters {
-			ok, err := analyze.EvalBool(f.Expr, out, s.layout)
-			if err != nil {
-				return fmt.Errorf("core: evaluating %s: %w", f, err)
-			}
-			if !ok {
-				keep = false
-				break
-			}
-		}
-		if keep {
-			b.Append(out, w*bucket.counts[yi])
-		}
-	}
-	return nil
+	})
 }

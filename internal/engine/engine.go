@@ -137,15 +137,32 @@ type opTracker struct {
 type Engine struct {
 	store *storage.Store
 	prof  Profile
+	// par is the intra-query parallelism: with par > 1 hash joins build
+	// and probe shard-parallel (see parallel.go). It is fixed at
+	// construction, so a shared engine is safe for concurrent queries.
+	par int
 }
 
 // New creates an engine over store with the given profile.
 func New(store *storage.Store, prof Profile) *Engine {
-	return &Engine{store: store, prof: prof}
+	return NewParallel(store, prof, 1)
+}
+
+// NewParallel creates an engine whose hash joins use up to par worker
+// goroutines. par ≤ 1 is the serial engine; results are identical
+// either way.
+func NewParallel(store *storage.Store, prof Profile, par int) *Engine {
+	if par < 1 {
+		par = 1
+	}
+	return &Engine{store: store, prof: prof, par: par}
 }
 
 // Profile returns the engine's profile.
 func (e *Engine) Profile() Profile { return e.prof }
+
+// Parallelism returns the engine's intra-query parallelism.
+func (e *Engine) Parallelism() int { return e.par }
 
 // Source is a pre-materialised relation standing in for one or more atoms
 // of the query — the partially bounded optimizer materialises covered
@@ -280,7 +297,7 @@ func (e *Engine) StreamContext(ctx context.Context, q *analyze.Query, sources []
 	}
 	cur := units[order[0]]
 	for _, idx := range order[1:] {
-		cur, err = e.join(q, cur, units[idx], applied, &trackers)
+		cur, err = e.join(ctx, q, cur, units[idx], applied, &trackers)
 		if err != nil {
 			return nil, st, err
 		}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -14,8 +15,10 @@ import (
 // profile's algorithm, applying every conjunct that becomes fully
 // contained in the merged unit. The accumulated left chain is the probe
 // side and streams batch-at-a-time; only the right side (one base
-// relation in a left-deep plan) is materialised by the operator.
-func (e *Engine) join(q *analyze.Query, left, right *unit, applied []bool, trackers *[]*opTracker) (*unit, error) {
+// relation in a left-deep plan) is materialised by the operator. With
+// engine parallelism > 1, equi hash joins run shard-parallel instead
+// (parallel.go); ctx bounds their fan-out phases.
+func (e *Engine) join(ctx context.Context, q *analyze.Query, left, right *unit, applied []bool, trackers *[]*opTracker) (*unit, error) {
 	// Equi-join keys: unapplied a = b conjuncts with one side in each
 	// unit.
 	var lKeys, rKeys []int // slots
@@ -90,7 +93,11 @@ func (e *Engine) join(q *analyze.Query, left, right *unit, applied []bool, track
 	}
 	switch algo {
 	case HashJoin:
-		merged.it = &hashJoinOp{joinBase: base}
+		if e.par > 1 {
+			merged.it = &parallelHashJoinOp{joinBase: base, ctx: ctx, par: e.par}
+		} else {
+			merged.it = &hashJoinOp{joinBase: base}
+		}
 	case SortMergeJoin:
 		merged.it = &sortMergeJoinOp{joinBase: base}
 	default:

@@ -1,0 +1,217 @@
+// Shard-parallel hash join. With parallelism > 1 the engine's hash join
+// materialises its build side — exactly like the serial operator — but
+// partitions it into hash shards built concurrently, no two workers
+// ever touching the same shard. The probe side is NOT materialised: it
+// streams in windows of a few thousand rows, each window probed
+// chunk-parallel against the read-only shard tables with the chunk
+// outputs concatenated in order. Memory stays O(build + window), a
+// LIMIT that closes the pipeline stops the probe after the current
+// window, and — bucket insertion order equalling build input order,
+// window/chunk order equalling probe input order — the output bag and
+// order are bit-identical to the streaming serial operator's.
+package engine
+
+import (
+	"context"
+	"time"
+
+	"github.com/bounded-eval/beas/internal/analyze"
+	"github.com/bounded-eval/beas/internal/iter"
+	"github.com/bounded-eval/beas/internal/value"
+)
+
+// joinShards is the number of hash-table partitions of a parallel join
+// build (power of two; mirrors the access-index sharding).
+const joinShards = 16
+
+// parallelHashJoinOp is the parallel twin of hashJoinOp.
+type parallelHashJoinOp struct {
+	joinBase
+	ctx context.Context
+	par int
+
+	built  bool
+	tables [joinShards]map[string]*joinBucket
+
+	// Emission buffer holding the current probe window's join results.
+	out       []value.Row
+	outW      []int64
+	pos       int
+	probeDone bool
+}
+
+func (h *parallelHashJoinOp) Next(out *iter.Batch) (bool, error) {
+	t0 := time.Now()
+	defer func() { h.tr.dur += time.Since(t0) }()
+	if !h.built {
+		if err := h.buildTables(); err != nil {
+			return false, err
+		}
+		h.built = true
+	}
+	out.Reset()
+	for out.Len() < iter.BatchSize {
+		if h.pos >= len(h.out) {
+			if h.probeDone {
+				break
+			}
+			if err := h.probeWindow(); err != nil {
+				return false, err
+			}
+			continue
+		}
+		out.Append(h.out[h.pos], h.outW[h.pos])
+		h.pos++
+	}
+	h.tr.rowsOut += int64(out.Len())
+	return out.Len() > 0, nil
+}
+
+// buildTables drains the build side (the one side the serial hash join
+// materialises too) and builds the shard tables: phase one encodes every
+// row's key chunk-parallel, phase two routes rows to their shards in
+// input order, phase three builds whole shards concurrently.
+func (h *parallelHashJoinOp) buildTables() error {
+	var brows []value.Row
+	var bw []int64
+	var b iter.Batch
+	for {
+		ok, err := h.build.Next(&b)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		h.tr.rowsIn += int64(b.Len())
+		for i, r := range b.Rows {
+			brows = append(brows, r)
+			bw = append(bw, b.Weight(i))
+		}
+	}
+
+	const nullShard = 0xFF // NULL join keys never match; rows drop here
+	bkeys := make([]string, len(brows))
+	bshard := make([]uint8, len(brows))
+	err := iter.ParallelChunks(h.ctx, iter.Chunks(len(brows), h.par), h.par, func(_, lo, hi int) error {
+		var kb []byte
+		for i := lo; i < hi; i++ {
+			if rowKeyHasNull(brows[i], h.rKeys) {
+				bshard[i] = nullShard
+				continue
+			}
+			kb = value.AppendRowKey(kb[:0], brows[i], h.rKeys)
+			bkeys[i] = string(kb)
+			bshard[i] = uint8(value.HashKey(bkeys[i]) & (joinShards - 1))
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	var byShard [joinShards][]int32
+	for i := range brows {
+		if s := bshard[i]; s != nullShard {
+			byShard[s] = append(byShard[s], int32(i))
+		}
+	}
+	return iter.ParallelChunks(h.ctx, iter.Chunks(joinShards, h.par), h.par, func(_, lo, hi int) error {
+		for s := lo; s < hi; s++ {
+			table := make(map[string]*joinBucket, len(byShard[s]))
+			for _, i := range byShard[s] {
+				bk, ok := table[bkeys[i]]
+				if !ok {
+					bk = &joinBucket{}
+					table[bkeys[i]] = bk
+				}
+				bk.rows = append(bk.rows, brows[i])
+				bk.weights = append(bk.weights, bw[i])
+			}
+			h.tables[s] = table
+		}
+		return nil
+	})
+}
+
+// probeWindow pulls the next window of probe rows and joins it
+// chunk-parallel into the emission buffer. An empty pull marks the
+// probe side done.
+func (h *parallelHashJoinOp) probeWindow() error {
+	windowRows := h.par * iter.BatchSize * 4
+	prows := make([]value.Row, 0, windowRows)
+	var pw []int64
+	for len(prows) < windowRows {
+		pr, w, ok, err := h.nextProbe()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			h.probeDone = true
+			break
+		}
+		prows = append(prows, pr)
+		pw = append(pw, w)
+	}
+	h.out, h.outW, h.pos = nil, nil, 0
+	if len(prows) == 0 {
+		return nil
+	}
+
+	type chunkOut struct {
+		rows []value.Row
+		w    []int64
+	}
+	chunks := iter.Chunks(len(prows), h.par)
+	outs := make([]chunkOut, len(chunks))
+	err := iter.ParallelChunks(h.ctx, chunks, h.par, func(ci, lo, hi int) error {
+		var kb []byte
+		var co chunkOut
+		for i := lo; i < hi; i++ {
+			pr := prows[i]
+			if rowKeyHasNull(pr, h.lKeys) {
+				continue
+			}
+			kb = value.AppendRowKey(kb[:0], pr, h.lKeys)
+			bk := h.tables[value.HashKey(string(kb))&(joinShards-1)][string(kb)]
+			if bk == nil {
+				continue
+			}
+			for bi, br := range bk.rows {
+				row := make(value.Row, 0, len(pr)+len(br))
+				row = append(row, pr...)
+				row = append(row, br...)
+				keep := true
+				for _, f := range h.post {
+					ok, err := analyze.EvalBool(f.Expr, row, h.layout)
+					if err != nil {
+						return err
+					}
+					if !ok {
+						keep = false
+						break
+					}
+				}
+				if keep {
+					co.rows = append(co.rows, row)
+					co.w = append(co.w, pw[i]*bk.weights[bi])
+				}
+			}
+		}
+		outs[ci] = co
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	total := 0
+	for _, co := range outs {
+		total += len(co.rows)
+	}
+	h.out = make([]value.Row, 0, total)
+	h.outW = make([]int64, 0, total)
+	for _, co := range outs {
+		h.out = append(h.out, co.rows...)
+		h.outW = append(h.outW, co.w...)
+	}
+	return nil
+}

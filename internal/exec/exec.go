@@ -17,7 +17,6 @@ package exec
 
 import (
 	"fmt"
-	"math"
 	"sort"
 
 	"github.com/bounded-eval/beas/internal/analyze"
@@ -288,13 +287,32 @@ func (a *aggIter) Next(b *iter.Batch) (bool, error) {
 
 // aggState accumulates one aggregate over one group.
 type aggState struct {
-	count    int64
-	sum      float64
-	sumInt   int64
-	intOnly  bool
-	min, max value.Value
-	distinct map[string]struct{}
-	nonEmpty bool
+	count   int64
+	sum     float64
+	sumInt  int64
+	intOnly bool
+	// intPrefixMax / intPrefixMin are the extremes of the int64 running
+	// sum over this state's fold sequence (0 for the empty prefix). The
+	// serial fold falls back to float64 the moment any prefix overflows;
+	// a merged state reproduces that exactly by re-basing the source's
+	// prefix extremes on the destination's running sum (see mergeState) —
+	// comparing totals alone would miss a mid-chunk overflow that a
+	// later term cancels.
+	intPrefixMax, intPrefixMin int64
+	min, max                   value.Value
+	distinct                   map[string]struct{}
+	// distinctVals holds the distinct values in first-appearance order,
+	// so merging two states (parallel aggregation) can re-fold the other
+	// state's values deterministically.
+	distinctVals []value.Value
+	// trackTerms makes SUM/AVG folds record their float terms in input
+	// order (terms). The parallel aggregator sets it so that merged
+	// states can recompute the float sum by replaying the terms in the
+	// serial fold order — float addition is not associative, so merging
+	// partial sums would drift from the serial result in the last ulp.
+	trackTerms bool
+	terms      []float64
+	nonEmpty   bool
 }
 
 type group struct {
@@ -313,6 +331,9 @@ type aggregator struct {
 	groups map[string]*group
 	order  []string
 	kb     []byte // reused group-key encoding buffer
+	// trackTerms propagates to every aggState (see aggState.trackTerms);
+	// the parallel aggregator sets it.
+	trackTerms bool
 }
 
 func newAggregator(q *analyze.Query, layout *analyze.Layout) *aggregator {
@@ -322,7 +343,7 @@ func newAggregator(q *analyze.Query, layout *analyze.Layout) *aggregator {
 func (a *aggregator) newGroup(keys value.Row) *group {
 	g := &group{keys: keys, aggs: make([]*aggState, len(a.q.Aggs))}
 	for i, spec := range a.q.Aggs {
-		st := &aggState{intOnly: true}
+		st := &aggState{intOnly: true, trackTerms: a.trackTerms}
 		if spec.Distinct {
 			st.distinct = make(map[string]struct{})
 		}
@@ -417,14 +438,25 @@ func accumulate(st *aggState, spec analyze.AggSpec, row value.Row, w int64, layo
 			return nil
 		}
 		st.distinct[k] = struct{}{}
+		st.distinctVals = append(st.distinctVals, v)
 		w = 1 // DISTINCT counts each value once regardless of multiplicity
 	}
+	return st.fold(v, w, spec)
+}
+
+// fold accumulates one non-NULL value with multiplicity w (DISTINCT
+// filtering already applied). It is shared by per-row accumulation and
+// by the distinct-set replay of mergeState.
+func (st *aggState) fold(v value.Value, w int64, spec analyze.AggSpec) error {
 	st.count += w
 	switch spec.Func {
 	case sqlparser.AggCount: // nothing more to track
 	default:
 		if f, ok := v.AsFloat(); ok {
 			st.sum += f * float64(w)
+			if st.trackTerms && (spec.Func == sqlparser.AggSum || spec.Func == sqlparser.AggAvg) {
+				st.terms = append(st.terms, f*float64(w))
+			}
 		} else if spec.Func == sqlparser.AggSum || spec.Func == sqlparser.AggAvg {
 			return fmt.Errorf("exec: %s over non-numeric %v", spec.Func, v.K)
 		}
@@ -432,9 +464,15 @@ func accumulate(st *aggState, spec analyze.AggSpec, row value.Row, w int64, layo
 			// Keep the exact int64 running sum while it fits; on
 			// overflow fall back permanently to the float64 sum already
 			// accumulated above (see finalize for the precision trade).
-			if prod, ok := mulInt64(v.I, w); ok {
-				if next, ok := addInt64(st.sumInt, prod); ok {
+			if prod, ok := value.MulInt64(v.I, w); ok {
+				if next, ok := value.AddInt64(st.sumInt, prod); ok {
 					st.sumInt = next
+					if next > st.intPrefixMax {
+						st.intPrefixMax = next
+					}
+					if next < st.intPrefixMin {
+						st.intPrefixMin = next
+					}
 				} else {
 					st.intOnly = false
 				}
@@ -457,31 +495,6 @@ func accumulate(st *aggState, spec analyze.AggSpec, row value.Row, w int64, layo
 	}
 	st.nonEmpty = true
 	return nil
-}
-
-// addInt64 adds without wrapping; ok is false on int64 overflow.
-func addInt64(a, b int64) (int64, bool) {
-	s := a + b
-	// Overflow iff the operands share a sign the sum does not.
-	if (a >= 0) == (b >= 0) && (s >= 0) != (a >= 0) {
-		return 0, false
-	}
-	return s, true
-}
-
-// mulInt64 multiplies without wrapping; ok is false on int64 overflow.
-func mulInt64(a, b int64) (int64, bool) {
-	if a == 0 || b == 0 {
-		return 0, true
-	}
-	if a == math.MinInt64 && b == -1 || b == math.MinInt64 && a == -1 {
-		return 0, false // a*b wraps and MinInt64 / -1 would trap
-	}
-	p := a * b
-	if p/b != a {
-		return 0, false
-	}
-	return p, true
 }
 
 // finalize extracts the aggregate's value. Integer SUM stays exact

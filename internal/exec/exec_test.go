@@ -153,8 +153,8 @@ func TestOverflowHelpers(t *testing.T) {
 		{1, 2, true}, {max, 0, true}, {max, 1, false}, {min, -1, false},
 		{min, 1, true}, {max / 2, max / 2, true}, {min, min, false},
 	} {
-		if _, ok := addInt64(c.a, c.b); ok != c.ok {
-			t.Errorf("addInt64(%d, %d) ok = %v, want %v", c.a, c.b, ok, c.ok)
+		if _, ok := value.AddInt64(c.a, c.b); ok != c.ok {
+			t.Errorf("AddInt64(%d, %d) ok = %v, want %v", c.a, c.b, ok, c.ok)
 		}
 	}
 	for _, c := range []struct {
@@ -164,8 +164,8 @@ func TestOverflowHelpers(t *testing.T) {
 		{0, max, true}, {1, max, true}, {2, max, false}, {min, -1, false},
 		{-1, min, false}, {min, 1, true}, {1 << 32, 1 << 32, false}, {-(1 << 31), 1 << 31, true},
 	} {
-		if _, ok := mulInt64(c.a, c.b); ok != c.ok {
-			t.Errorf("mulInt64(%d, %d) ok = %v, want %v", c.a, c.b, ok, c.ok)
+		if _, ok := value.MulInt64(c.a, c.b); ok != c.ok {
+			t.Errorf("MulInt64(%d, %d) ok = %v, want %v", c.a, c.b, ok, c.ok)
 		}
 	}
 }

@@ -1,0 +1,256 @@
+// Parallel relational tail: the materialising counterpart of Stream for
+// the parallel bounded executor. The joined intermediate relation is
+// already in memory (its size is bounded by the deduced bound M), so the
+// tail splits it into ordered chunks, projects or aggregates the chunks
+// on a worker pool, and merges deterministically:
+//
+//   - projection concatenates the per-chunk outputs in chunk order, which
+//     is exactly the sequential left-to-right order;
+//   - aggregation gives every worker its own group table (per-worker
+//     partial aggStates) and merges the partials in chunk order before
+//     finalize, preserving the sequential first-appearance group order.
+//
+// Integer aggregates (COUNT, integer SUM with its exact int64 running
+// sum, MIN/MAX) merge exactly; float SUM/AVG records its terms in input
+// order and replays them after the merge, reproducing the serial
+// accumulation sequence — float addition is not associative, so merging
+// partial sums would drift in the last ulp. Results are therefore
+// bit-identical to the serial tail for every aggregate.
+package exec
+
+import (
+	"context"
+
+	"github.com/bounded-eval/beas/internal/analyze"
+	"github.com/bounded-eval/beas/internal/iter"
+	"github.com/bounded-eval/beas/internal/sqlparser"
+	"github.com/bounded-eval/beas/internal/value"
+)
+
+// FinishWeightedParallel is FinishWeighted across par workers. The
+// DISTINCT / ORDER BY / LIMIT stages after projection or aggregation
+// operate on the merged result and stay sequential (they are ordering-
+// sensitive and cheap relative to the fan-out stages).
+func FinishWeightedParallel(ctx context.Context, q *analyze.Query, rows []value.Row, weights []int64, layout *analyze.Layout, par int) ([]value.Row, error) {
+	if par <= 1 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return FinishWeighted(q, rows, weights, layout)
+	}
+	var out []value.Row
+	var err error
+	if q.IsAgg {
+		out, err = parallelAggregate(ctx, q, rows, weights, layout, par)
+	} else {
+		out, err = parallelProject(ctx, q, rows, weights, layout, par)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if q.Distinct {
+		out = Dedup(out)
+	}
+	if len(q.OrderBy) > 0 {
+		if err := SortRows(out, q.OrderBy); err != nil {
+			return nil, err
+		}
+	}
+	return Clip(out, q.Limit, q.Offset), nil
+}
+
+// parallelProject evaluates the output expressions chunk-parallel,
+// replicating each projected row by its bag weight exactly like
+// projectIter, and concatenates the chunks in order.
+func parallelProject(ctx context.Context, q *analyze.Query, rows []value.Row, weights []int64, layout *analyze.Layout, par int) ([]value.Row, error) {
+	chunks := iter.Chunks(len(rows), par)
+	outs := make([][]value.Row, len(chunks))
+	err := iter.ParallelChunks(ctx, chunks, par, func(ci, lo, hi int) error {
+		var part []value.Row
+		for i := lo; i < hi; i++ {
+			res := make(value.Row, len(q.Outputs))
+			for oi, o := range q.Outputs {
+				v, err := analyze.Eval(o.Expr, rows[i], layout)
+				if err != nil {
+					return err
+				}
+				res[oi] = v
+			}
+			w := int64(1)
+			if weights != nil {
+				w = weights[i]
+			}
+			if q.Distinct {
+				w = 1 // duplicates collapse downstream
+			}
+			for ; w > 0; w-- {
+				part = append(part, res)
+			}
+		}
+		outs[ci] = part
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, p := range outs {
+		total += len(p)
+	}
+	out := make([]value.Row, 0, total)
+	for _, p := range outs {
+		out = append(out, p...)
+	}
+	return out, nil
+}
+
+// parallelAggregate folds ordered row chunks into per-worker aggregators
+// and merges them in chunk order: group order and every aggregate match
+// the sequential fold bit for bit — counts, MIN/MAX and the exact int64
+// running sum merge exactly, and float SUM/AVG replays its recorded
+// terms in the serial fold order (see aggState.trackTerms).
+func parallelAggregate(ctx context.Context, q *analyze.Query, rows []value.Row, weights []int64, layout *analyze.Layout, par int) ([]value.Row, error) {
+	chunks := iter.Chunks(len(rows), par)
+	parts := make([]*aggregator, len(chunks))
+	err := iter.ParallelChunks(ctx, chunks, par, func(ci, lo, hi int) error {
+		acc := newAggregator(q, layout)
+		acc.trackTerms = true
+		for i := lo; i < hi; i++ {
+			w := int64(1)
+			if weights != nil {
+				w = weights[i]
+			}
+			if err := acc.add(rows[i], w); err != nil {
+				return err
+			}
+		}
+		parts[ci] = acc
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	merged := newAggregator(q, layout)
+	merged.trackTerms = true
+	if len(parts) > 0 {
+		merged = parts[0]
+		for _, p := range parts[1:] {
+			if err := merged.merge(p); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Replay float sums in serial term order before finalising.
+	for _, k := range merged.order {
+		g := merged.groups[k]
+		for i, spec := range merged.q.Aggs {
+			if spec.Func == sqlparser.AggSum || spec.Func == sqlparser.AggAvg {
+				g.aggs[i].replaySum()
+			}
+		}
+	}
+	return merged.result()
+}
+
+// replaySum recomputes the float sum by folding the recorded terms left
+// to right — exactly the serial accumulation sequence, whatever chunk
+// boundaries the terms crossed.
+func (st *aggState) replaySum() {
+	if !st.trackTerms {
+		return
+	}
+	s := 0.0
+	for _, t := range st.terms {
+		s += t
+	}
+	st.sum = s
+}
+
+// merge folds another aggregator's groups into a, preserving a's group
+// order and appending b's new groups in their order — together the
+// first-appearance order of the concatenated input.
+func (a *aggregator) merge(b *aggregator) error {
+	for _, k := range b.order {
+		src := b.groups[k]
+		dst, ok := a.groups[k]
+		if !ok {
+			a.groups[k] = src
+			a.order = append(a.order, k)
+			continue
+		}
+		for i, spec := range a.q.Aggs {
+			if err := mergeState(dst.aggs[i], src.aggs[i], spec); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// mergeState combines two partial aggregate states over the same group.
+// Counts and the exact int64 running sum merge exactly (falling back to
+// the float64 sum only when the merged sum would overflow, mirroring the
+// sequential overflow promotion); DISTINCT sets replay the source's
+// values in first-appearance order; MIN/MAX merge under value.Compare's
+// total order.
+func mergeState(dst, src *aggState, spec analyze.AggSpec) error {
+	if spec.Star {
+		dst.count += src.count
+		dst.nonEmpty = dst.nonEmpty || src.nonEmpty
+		return nil
+	}
+	if spec.Distinct {
+		for _, v := range src.distinctVals {
+			k := value.Key([]value.Value{v})
+			if _, dup := dst.distinct[k]; dup {
+				continue
+			}
+			dst.distinct[k] = struct{}{}
+			dst.distinctVals = append(dst.distinctVals, v)
+			if err := dst.fold(v, 1, spec); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	dst.count += src.count
+	if !src.nonEmpty {
+		return nil
+	}
+	dst.sum += src.sum
+	dst.terms = append(dst.terms, src.terms...)
+	if dst.intOnly && src.intOnly {
+		// The serial fold continues src's sequence from dst's running sum,
+		// falling back to float64 the moment any prefix overflows — even
+		// one a later term cancels. Re-base src's prefix extremes on
+		// dst.sumInt: if both fit, every intermediate sum fits (the total
+		// lies between them); otherwise some serial prefix overflowed.
+		hi, okHi := value.AddInt64(dst.sumInt, src.intPrefixMax)
+		lo, okLo := value.AddInt64(dst.sumInt, src.intPrefixMin)
+		if okHi && okLo {
+			dst.sumInt += src.sumInt
+			if hi > dst.intPrefixMax {
+				dst.intPrefixMax = hi
+			}
+			if lo < dst.intPrefixMin {
+				dst.intPrefixMin = lo
+			}
+		} else {
+			dst.intOnly = false
+		}
+	} else {
+		dst.intOnly = false
+	}
+	if !dst.nonEmpty {
+		dst.min, dst.max = src.min, src.max
+	} else {
+		if c, err := value.Compare(src.min, dst.min); err == nil && c < 0 {
+			dst.min = src.min
+		}
+		if c, err := value.Compare(src.max, dst.max); err == nil && c > 0 {
+			dst.max = src.max
+		}
+	}
+	dst.nonEmpty = true
+	return nil
+}

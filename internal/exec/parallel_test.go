@@ -1,0 +1,192 @@
+package exec
+
+// The parallel relational tail must be bit-identical to the sequential
+// one: same group order, same values (including non-associative float
+// sums, replayed in serial term order), same DISTINCT handling across
+// chunk boundaries. These tests drive FinishWeightedParallel over a
+// generated relation large enough to split into many chunks.
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/bounded-eval/beas/internal/analyze"
+	"github.com/bounded-eval/beas/internal/schema"
+	"github.com/bounded-eval/beas/internal/sqlparser"
+	"github.com/bounded-eval/beas/internal/value"
+)
+
+// bigFixture builds t(g STRING, v INT, f FLOAT) with n rows of skewed
+// groups, duplicate values (exercising DISTINCT dedup across chunks),
+// NULLs, NaNs and near-MaxInt64 ints, plus bag weights.
+func bigFixture(t *testing.T, sql string, n int) (*analyze.Query, *analyze.Layout, []value.Row, []int64) {
+	t.Helper()
+	db, err := schema.NewDatabase(schema.MustRelation("t",
+		schema.Attribute{Name: "g", Kind: value.String},
+		schema.Attribute{Name: "v", Kind: value.Int},
+		schema.Attribute{Name: "f", Kind: value.Float},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := analyze.Analyze(stmt.Select, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout := analyze.NewLayout()
+	for attr := 0; attr < 3; attr++ {
+		layout.Add(analyze.ColID{Atom: 0, Attr: attr})
+	}
+	rng := rand.New(rand.NewSource(99))
+	rows := make([]value.Row, n)
+	weights := make([]int64, n)
+	for i := range rows {
+		g := value.NewString(fmt.Sprintf("g%d", rng.Intn(7)))
+		var v value.Value
+		switch rng.Intn(8) {
+		case 0:
+			v = value.NewNull()
+		case 1:
+			v = value.NewInt(math.MaxInt64 - int64(rng.Intn(3)))
+		default:
+			v = value.NewInt(int64(rng.Intn(5)))
+		}
+		var f value.Value
+		switch rng.Intn(8) {
+		case 0:
+			f = value.NewFloat(math.NaN())
+		case 1:
+			f = value.NewNull()
+		default:
+			f = value.NewFloat(rng.Float64() * 100) // deliberately non-dyadic
+		}
+		rows[i] = value.Row{g, v, f}
+		weights[i] = int64(1 + rng.Intn(3))
+	}
+	return q, layout, rows, weights
+}
+
+func checkParallelTail(t *testing.T, sql string) {
+	t.Helper()
+	q, layout, rows, weights := bigFixture(t, sql, 5000)
+	want, err := FinishWeighted(q, rows, weights, layout)
+	if err != nil {
+		t.Fatalf("%s sequential: %v", sql, err)
+	}
+	for _, par := range []int{2, 5, 16} {
+		got, err := FinishWeightedParallel(context.Background(), q, rows, weights, layout, par)
+		if err != nil {
+			t.Fatalf("%s par=%d: %v", sql, par, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s par=%d: %d rows, want %d", sql, par, len(got), len(want))
+		}
+		for i := range want {
+			if value.Key(got[i]) != value.Key(want[i]) {
+				t.Fatalf("%s par=%d row %d: %v, want %v (bit-identical including float sums)",
+					sql, par, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestParallelTailBitIdentical(t *testing.T) {
+	for _, sql := range []string{
+		"SELECT g, COUNT(*), SUM(v), MIN(f), MAX(f) FROM t GROUP BY g",
+		"SELECT g, SUM(f), AVG(f) FROM t GROUP BY g",                     // non-associative float sums
+		"SELECT g, COUNT(DISTINCT v), SUM(DISTINCT f) FROM t GROUP BY g", // distinct sets span chunks
+		"SELECT g, SUM(v) FROM t GROUP BY g HAVING COUNT(*) > 10",
+		"SELECT COUNT(*), SUM(v), AVG(f) FROM t", // single group, int overflow promotion
+		"SELECT g, v FROM t",
+		"SELECT DISTINCT g, v FROM t",
+		"SELECT v, f FROM t ORDER BY 2 DESC, 1 LIMIT 40",
+		"SELECT g, v FROM t LIMIT 25 OFFSET 13",
+	} {
+		checkParallelTail(t, sql)
+	}
+}
+
+// TestMergeMidChunkOverflowCancelled pins the subtle overflow case: the
+// serial fold overflows on a prefix that a later term cancels, so its
+// int-exact path is gone for good even though the total fits int64. The
+// merged state must reproduce that (via the re-based prefix extremes)
+// and return the identical FLOAT, not a divergent INT.
+func TestMergeMidChunkOverflowCancelled(t *testing.T) {
+	db, err := schema.NewDatabase(schema.MustRelation("t",
+		schema.Attribute{Name: "v", Kind: value.Int},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stmt, err := sqlparser.Parse("SELECT SUM(v) FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := analyze.Analyze(stmt.Select, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout := analyze.NewLayout()
+	layout.Add(analyze.ColID{Atom: 0, Attr: 0})
+	// Serial: (MaxInt64-5) + 0 + 10 overflows → float64 forever. The +10
+	// is cancelled by -10, so every chunk partial and the merged total fit
+	// int64 — only the prefix extremes reveal the serial overflow.
+	vals := []int64{math.MaxInt64 - 5, 0, 10, -10, 0, 0, 0, 0, 0}
+	rows := make([]value.Row, len(vals))
+	for i, v := range vals {
+		rows[i] = value.Row{value.NewInt(v)}
+	}
+	want, err := FinishWeighted(q, rows, nil, layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want[0][0].K != value.Float {
+		t.Fatalf("serial SUM kind = %v, want FLOAT (prefix overflow)", want[0][0].K)
+	}
+	for par := 2; par <= 8; par++ {
+		got, err := FinishWeightedParallel(context.Background(), q, rows, nil, layout, par)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0][0] != want[0][0] {
+			t.Fatalf("par=%d: SUM = %#v, want %#v (serial prefix overflow must survive the merge)",
+				par, got[0][0], want[0][0])
+		}
+	}
+}
+
+// TestMergeStateIntOverflowAcrossChunks pins the overflow interplay: a
+// partial int sum that overflows only when merged must fall back to the
+// float64 sum exactly like the serial fold at the same prefix.
+func TestMergeStateIntOverflowAcrossChunks(t *testing.T) {
+	spec := analyze.AggSpec{Func: sqlparser.AggSum, Arg: nil}
+	a := &aggState{intOnly: true}
+	b := &aggState{intOnly: true}
+	big := int64(1) << 62
+	if err := a.fold(value.NewInt(big), 1, spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.fold(value.NewInt(big), 1, spec); err != nil {
+		t.Fatal(err)
+	}
+	if !a.intOnly || !b.intOnly {
+		t.Fatal("each partial 2^62 fits int64; partials must still be intOnly")
+	}
+	if err := mergeState(a, b, spec); err != nil {
+		t.Fatal(err)
+	}
+	if a.intOnly {
+		t.Fatal("merged sum 2^63 overflows int64; state must fall back to float")
+	}
+	got := finalize(a, spec)
+	if got.K != value.Float || got.F != 2*float64(big) {
+		t.Fatalf("merged overflowed SUM = %v (%v), want FLOAT %g", got, got.K, 2*float64(big))
+	}
+}

@@ -1,0 +1,98 @@
+package iter
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// Chunks splits n items into contiguous index ranges [lo, hi), at most
+// 4×par of them so a pool of par workers load-balances without losing
+// the ordering: parallel operators process chunks concurrently but
+// concatenate the per-chunk outputs in chunk order, which keeps results
+// bit-identical to a sequential left-to-right pass.
+func Chunks(n, par int) [][2]int {
+	if n <= 0 {
+		return nil
+	}
+	pieces := 4 * par
+	if pieces > n {
+		pieces = n
+	}
+	size := (n + pieces - 1) / pieces
+	out := make([][2]int, 0, pieces)
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		out = append(out, [2]int{lo, hi})
+	}
+	return out
+}
+
+// ParallelChunks runs fn over every chunk using min(par, len(chunks))
+// worker goroutines pulling chunks in order from a shared counter. Each
+// worker checks ctx before starting a chunk; the first error (or the
+// context's) is returned after all workers stop. fn receives the chunk
+// index and its [lo, hi) range; writes to disjoint per-chunk slots need
+// no further synchronisation.
+func ParallelChunks(ctx context.Context, chunks [][2]int, par int, fn func(ci, lo, hi int) error) error {
+	if len(chunks) == 0 {
+		return ctx.Err()
+	}
+	if par > len(chunks) {
+		par = len(chunks)
+	}
+	if par <= 1 {
+		for ci, c := range chunks {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(ci, c[0], c[1]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next atomic.Int64
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		ferr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if ferr == nil {
+			ferr = err
+		}
+		mu.Unlock()
+	}
+	stopped := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return ferr != nil
+	}
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				ci := int(next.Add(1)) - 1
+				if ci >= len(chunks) || stopped() {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					fail(err)
+					return
+				}
+				if err := fn(ci, chunks[ci][0], chunks[ci][1]); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return ferr
+}

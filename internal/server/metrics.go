@@ -113,6 +113,11 @@ type StatsSnapshot struct {
 	PlanCacheHits   uint64 `json:"planCacheHits"`
 	PlanCacheMisses uint64 `json:"planCacheMisses"`
 
+	// Parallelism is the served database's intra-query parallelism: how
+	// many worker goroutines a single bounded plan or hash join may use
+	// (1 = serial).
+	Parallelism int `json:"parallelism"`
+
 	// Durability is present when the served database is backed by the
 	// WAL + snapshot storage engine.
 	Durability *DurabilitySnapshot `json:"durability,omitempty"`
@@ -157,6 +162,7 @@ func (m *metrics) snapshot(db *beas.DB) StatsSnapshot {
 		BoundUncovered: m.boundUncovered.Load(),
 	}
 	s.PlanCacheHits, s.PlanCacheMisses = db.PlanCacheStats()
+	s.Parallelism = db.Parallelism()
 	s.BoundHistogram = make([]BoundBucket, len(boundLabels))
 	for i, l := range boundLabels {
 		s.BoundHistogram[i] = BoundBucket{LE: l, Count: m.boundHist[i].Load()}

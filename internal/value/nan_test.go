@@ -1,0 +1,76 @@
+package value
+
+// Regression tests for the NaN total order and the overflow-safe int64
+// helpers. The pre-fix Compare returned 0 for NaN against any number,
+// which made Equal call NaN equal to everything and left ORDER BY /
+// MIN / MAX / DISTINCT order-dependent.
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCompareNaNTotalOrder(t *testing.T) {
+	nan := NewFloat(math.NaN())
+	one := NewFloat(1.0)
+	inf := NewFloat(math.Inf(1))
+
+	if c, err := Compare(nan, nan); err != nil || c != 0 {
+		t.Errorf("Compare(NaN, NaN) = %d, %v; want 0", c, err)
+	}
+	if c, err := Compare(nan, one); err != nil || c != 1 {
+		t.Errorf("Compare(NaN, 1.0) = %d, %v; want 1 (NaN sorts after non-NaN)", c, err)
+	}
+	if c, err := Compare(one, nan); err != nil || c != -1 {
+		t.Errorf("Compare(1.0, NaN) = %d, %v; want -1", c, err)
+	}
+	if c, err := Compare(nan, inf); err != nil || c != 1 {
+		t.Errorf("Compare(NaN, +Inf) = %d, %v; want 1", c, err)
+	}
+	// Mixed Int/Float comparison goes through the same total order.
+	if c, err := Compare(NewInt(7), nan); err != nil || c != -1 {
+		t.Errorf("Compare(7, NaN) = %d, %v; want -1", c, err)
+	}
+	if Equal(nan, one) {
+		t.Error("Equal(NaN, 1.0) must be false")
+	}
+	if !Equal(nan, nan) {
+		t.Error("Equal(NaN, NaN) must be true (consistent with the key encoding)")
+	}
+}
+
+func TestAppendKeyCanonicalNaN(t *testing.T) {
+	// Different NaN payloads must encode identically, so hashing and
+	// DISTINCT agree with Compare's NaN == NaN.
+	a := NewFloat(math.NaN())
+	b := NewFloat(math.Float64frombits(0x7FF8_0000_0000_0002)) // distinct payload
+	if !math.IsNaN(b.F) {
+		t.Fatal("test payload is not a NaN")
+	}
+	if Key([]Value{a}) != Key([]Value{b}) {
+		t.Error("NaN payloads encode to different keys")
+	}
+	// And the NaN key stays distinct from every ordinary float.
+	if Key([]Value{a}) == Key([]Value{NewFloat(1.5)}) {
+		t.Error("NaN key collides with 1.5")
+	}
+}
+
+func TestSubInt64(t *testing.T) {
+	const max, min = int64(math.MaxInt64), int64(math.MinInt64)
+	for _, c := range []struct {
+		a, b int64
+		ok   bool
+	}{
+		{5, 3, true}, {min, 1, false}, {max, -1, false},
+		{min, -1, true}, {max, 1, true}, {0, min, false}, {-1, min, true},
+	} {
+		got, ok := SubInt64(c.a, c.b)
+		if ok != c.ok {
+			t.Errorf("SubInt64(%d, %d) ok = %v, want %v", c.a, c.b, ok, c.ok)
+		}
+		if ok && got != c.a-c.b {
+			t.Errorf("SubInt64(%d, %d) = %d", c.a, c.b, got)
+		}
+	}
+}

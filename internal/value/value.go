@@ -179,7 +179,10 @@ func isNumeric(k Kind) bool { return k == Int || k == Float }
 // before every non-NULL value and equal to NULL, which gives sorting a
 // total order; equality predicates treat NULL separately (SQL three-valued
 // logic is approximated: NULL = NULL is false in predicate evaluation).
-// Comparing incomparable kinds returns an error.
+// NaN orders after every non-NaN number and equal to itself (the
+// PostgreSQL convention), so ORDER BY / MIN / MAX / DISTINCT over NaN
+// floats are order-independent and consistent with AppendKey's canonical
+// NaN encoding. Comparing incomparable kinds returns an error.
 func Compare(a, b Value) (int, error) {
 	if a.K == Null || b.K == Null {
 		switch {
@@ -223,8 +226,19 @@ func cmpInt(a, b int64) int {
 	}
 }
 
+// cmpFloat is a total order over float64: -Inf < ... < +Inf < NaN, with
+// NaN equal to NaN. Plain < / > comparisons would return 0 ("equal") for
+// NaN against anything, which poisons sorting, MIN/MAX and DISTINCT with
+// order-dependent results.
 func cmpFloat(a, b float64) int {
+	aNaN, bNaN := math.IsNaN(a), math.IsNaN(b)
 	switch {
+	case aNaN && bNaN:
+		return 0
+	case aNaN:
+		return 1
+	case bNaN:
+		return -1
 	case a < b:
 		return -1
 	case a > b:
@@ -232,6 +246,44 @@ func cmpFloat(a, b float64) int {
 	default:
 		return 0
 	}
+}
+
+// AddInt64 adds without wrapping; ok is false on int64 overflow. It is
+// shared by aggregate SUM and expression arithmetic, which both promote
+// to float64 instead of silently wrapping.
+func AddInt64(a, b int64) (int64, bool) {
+	s := a + b
+	// Overflow iff the operands share a sign the sum does not.
+	if (a >= 0) == (b >= 0) && (s >= 0) != (a >= 0) {
+		return 0, false
+	}
+	return s, true
+}
+
+// SubInt64 subtracts without wrapping; ok is false on int64 overflow.
+func SubInt64(a, b int64) (int64, bool) {
+	d := a - b
+	// Overflow iff the operands differ in sign and the result flips away
+	// from a's sign.
+	if (a >= 0) != (b >= 0) && (d >= 0) != (a >= 0) {
+		return 0, false
+	}
+	return d, true
+}
+
+// MulInt64 multiplies without wrapping; ok is false on int64 overflow.
+func MulInt64(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	if a == math.MinInt64 && b == -1 || b == math.MinInt64 && a == -1 {
+		return 0, false // a*b wraps and MinInt64 / -1 would trap
+	}
+	p := a * b
+	if p/b != a {
+		return 0, false
+	}
+	return p, true
 }
 
 // Equal reports value equality with numeric coercion (1 == 1.0). NULLs are
@@ -282,6 +334,12 @@ func AppendKey(dst []byte, v Value) []byte {
 			return appendIntKey(dst, i)
 		}
 		bits := math.Float64bits(v.F)
+		if math.IsNaN(v.F) {
+			// All NaN payloads encode identically, matching Compare's
+			// NaN == NaN so hashing, grouping and DISTINCT agree with the
+			// total order.
+			bits = math.Float64bits(math.NaN())
+		}
 		dst = append(dst, 2)
 		return appendU64(dst, bits)
 	case String:
@@ -304,6 +362,24 @@ func appendU64(dst []byte, u uint64) []byte {
 	return append(dst,
 		byte(u>>56), byte(u>>48), byte(u>>40), byte(u>>32),
 		byte(u>>24), byte(u>>16), byte(u>>8), byte(u))
+}
+
+// HashKey hashes an encoded key (as produced by Key / AppendKey /
+// AppendRowKey) for shard routing — FNV-1a folded to 32 bits. The
+// access-constraint indices and the parallel hash join both mask it
+// down to their shard counts; the hash only spreads keys, results never
+// depend on it.
+func HashKey(key string) uint32 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return uint32(h)
 }
 
 // Key returns an injective string encoding of the row, suitable as a map

@@ -24,6 +24,10 @@ type Options struct {
 	// negative disables automatic snapshots — the log then only shrinks
 	// on explicit Snapshot calls or Close.
 	SnapshotEvery int
+	// Parallelism is the intra-query parallelism (see DB.SetParallelism):
+	// n > 1 lets a single bounded plan exploit n cores. 0 or 1 keeps the
+	// serial executor. Results are bit-identical across settings.
+	Parallelism int
 }
 
 const defaultSnapshotEvery = 100_000
@@ -101,6 +105,9 @@ func Open(dir string, opts *Options) (*DB, error) {
 		return nil, fmt.Errorf("beas: opening %s: %w", dir, err)
 	}
 	db := NewDB()
+	if o.Parallelism > 1 {
+		db.SetParallelism(o.Parallelism)
+	}
 	db.walDir = dir
 	db.snapEvery = o.SnapshotEvery
 	if recv.Snapshot != nil {

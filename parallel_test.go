@@ -1,0 +1,218 @@
+package beas
+
+// Serial ↔ parallel equivalence: a query evaluated with parallelism n
+// must return bit-identical rows — same bag, same order — as the serial
+// executor, with the same deduced bound honoured and the same number of
+// tuples fetched (the parallel fetch phase merges per-worker memo tables
+// before counting, so the distinct-key statistics cannot drift). Run
+// with -race -cpu 1,4 in CI.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/bounded-eval/beas/internal/value"
+)
+
+// orderedKeys renders rows position by position, so comparisons catch
+// ordering differences that a sorted bag would hide.
+func orderedKeys(rows []Row) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = value.Key(r)
+	}
+	return out
+}
+
+func sameRows(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestParallelMatchesSerialOnCorpus(t *testing.T) {
+	const databases, queriesPerDB = 4, 30
+	covered := 0
+	for d := 0; d < databases; d++ {
+		rng := rand.New(rand.NewSource(int64(7000 + d)))
+		db := randomDB(t, rng)
+		for qi := 0; qi < queriesPerDB; qi++ {
+			sql := randomSQL(rng)
+			db.SetParallelism(1)
+			serial, err := db.Query(sql)
+			if err != nil {
+				t.Fatalf("serial Query(%q): %v", sql, err)
+			}
+			db.SetParallelism(4)
+			par, err := db.Query(sql)
+			if err != nil {
+				t.Fatalf("parallel Query(%q): %v", sql, err)
+			}
+			if !sameRows(orderedKeys(serial.Rows), orderedKeys(par.Rows)) {
+				t.Fatalf("parallel result diverges on %q (mode=%s):\nserial   = %v\nparallel = %v",
+					sql, serial.Stats.Mode, orderedKeys(serial.Rows), orderedKeys(par.Rows))
+			}
+			if serial.Stats.Covered {
+				covered++
+				// The parallel executor probes exactly the serial key set:
+				// per-worker memo tables merge before the statistics are
+				// computed, so |D_Q| is identical, and the deduced bound
+				// holds for the parallel plan too.
+				if par.Stats.TuplesFetched != serial.Stats.TuplesFetched {
+					t.Fatalf("%q: parallel fetched %d tuples, serial %d",
+						sql, par.Stats.TuplesFetched, serial.Stats.TuplesFetched)
+				}
+				if par.Stats.Bound != 0 && par.Stats.Bound != ^uint64(0) &&
+					uint64(par.Stats.TuplesFetched) > par.Stats.Bound {
+					t.Fatalf("%q: parallel fetched %d > deduced bound %d",
+						sql, par.Stats.TuplesFetched, par.Stats.Bound)
+				}
+			}
+			// The streaming cursor takes the same parallel path.
+			if qi%5 == 0 {
+				ri, err := db.QueryIter(sql)
+				if err != nil {
+					t.Fatalf("parallel QueryIter(%q): %v", sql, err)
+				}
+				var got []Row
+				for {
+					batch, err := ri.NextBatch()
+					if err != nil {
+						t.Fatalf("parallel cursor on %q: %v", sql, err)
+					}
+					if batch == nil {
+						break
+					}
+					for _, r := range batch {
+						got = append(got, r)
+					}
+				}
+				ri.Close()
+				if !sameRows(orderedKeys(serial.Rows), orderedKeys(got)) {
+					t.Fatalf("parallel cursor diverges on %q", sql)
+				}
+			}
+			db.SetParallelism(1)
+		}
+	}
+	if covered == 0 {
+		t.Fatal("no covered queries sampled; generator drifted")
+	}
+}
+
+func TestParallelMatchesSerialOnTLC(t *testing.T) {
+	db := MustNewTLCDB(2)
+	for _, q := range TLCQueries() {
+		db.SetParallelism(1)
+		serial, err := db.Query(q.SQL)
+		if err != nil {
+			t.Fatalf("%s serial: %v", q.Name, err)
+		}
+		for _, par := range []int{2, 4, 7} {
+			db.SetParallelism(par)
+			got, err := db.Query(q.SQL)
+			if err != nil {
+				t.Fatalf("%s parallelism=%d: %v", q.Name, par, err)
+			}
+			if !sameRows(orderedKeys(serial.Rows), orderedKeys(got.Rows)) {
+				t.Fatalf("%s: parallelism=%d diverges from serial (%d vs %d rows)",
+					q.Name, par, len(got.Rows), len(serial.Rows))
+			}
+			if serial.Stats.Covered && got.Stats.TuplesFetched != serial.Stats.TuplesFetched {
+				t.Fatalf("%s: parallelism=%d fetched %d tuples, serial %d",
+					q.Name, par, got.Stats.TuplesFetched, serial.Stats.TuplesFetched)
+			}
+		}
+		db.SetParallelism(1)
+	}
+}
+
+// TestParallelConcurrentQueries runs many parallel-mode queries through
+// a shared database at once: inter-query concurrency (the server's
+// worker pool) composed with intra-query parallelism, under -race.
+func TestParallelConcurrentQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(314))
+	db := randomDB(t, rng)
+	db.SetParallelism(3)
+	sqls := make([]string, 8)
+	want := make([][]string, len(sqls))
+	for i := range sqls {
+		sqls[i] = randomSQL(rng)
+		res, err := db.Query(sqls[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = orderedKeys(res.Rows)
+	}
+	errc := make(chan error, 4*len(sqls))
+	for w := 0; w < 4; w++ {
+		go func() {
+			for i, sql := range sqls {
+				res, err := db.Query(sql)
+				if err != nil {
+					errc <- fmt.Errorf("Query(%q): %w", sql, err)
+					continue
+				}
+				if !sameRows(orderedKeys(res.Rows), want[i]) {
+					errc <- fmt.Errorf("concurrent parallel result diverges on %q", sql)
+					continue
+				}
+				errc <- nil
+			}
+		}()
+	}
+	for i := 0; i < 4*len(sqls); i++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestParallelJoinLimitEarlyExit pins the windowed probe design of the
+// parallel hash join: an uncovered fallback query has no deduced bound,
+// so the probe side must keep streaming — a LIMIT that closes the
+// pipeline early has to stop the scans after a window or two, not after
+// the whole relation.
+func TestParallelJoinLimitEarlyExit(t *testing.T) {
+	db := MustNewTLCDB(2)
+	db.SetParallelism(4)
+	defer db.SetParallelism(1)
+	join := "SELECT call.region, package.pid FROM call, package WHERE call.pnum = package.pnum"
+	full, err := db.Query(join)
+	if err != nil {
+		t.Fatal(err)
+	}
+	limited, err := db.Query(join + " LIMIT 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(limited.Rows) != 10 {
+		t.Fatalf("LIMIT 10 returned %d rows", len(limited.Rows))
+	}
+	if limited.Stats.TuplesScanned >= full.Stats.TuplesScanned {
+		t.Fatalf("parallel join with LIMIT scanned %d rows, full join %d — probe side must stream, not materialise",
+			limited.Stats.TuplesScanned, full.Stats.TuplesScanned)
+	}
+}
+
+func TestSetParallelismNormalises(t *testing.T) {
+	db := NewDB()
+	if got := db.Parallelism(); got != 1 {
+		t.Errorf("default parallelism = %d, want 1", got)
+	}
+	db.SetParallelism(0)
+	if got := db.Parallelism(); got != 1 {
+		t.Errorf("SetParallelism(0) → %d, want 1", got)
+	}
+	db.SetParallelism(8)
+	if got := db.Parallelism(); got != 8 {
+		t.Errorf("SetParallelism(8) → %d, want 8", got)
+	}
+}

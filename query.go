@@ -235,9 +235,10 @@ func (db *DB) query(ctx context.Context, sql string, allowFallback bool) (*Resul
 	return res, nil
 }
 
-// runBounded executes a bounded plan and folds its statistics into res.
+// runBounded executes a bounded plan — across db.par workers when
+// parallelism is on — and folds its statistics into res.
 func (db *DB) runBounded(ctx context.Context, plan *core.Plan, chk *core.CheckResult, res *Result) ([]value.Row, error) {
-	rows, st, err := core.RunContext(ctx, plan)
+	rows, st, err := core.RunParallelContext(ctx, plan, db.par)
 	if err != nil {
 		return nil, err
 	}
@@ -257,7 +258,7 @@ func (db *DB) runPartial(ctx context.Context, q *analyze.Query, chk *core.CheckR
 	if err != nil {
 		return nil, err
 	}
-	rows, subStats, engStats, err := core.RunPartialContext(ctx, pp, q, db.fallback)
+	rows, subStats, engStats, err := core.RunPartialContext(ctx, pp, q, db.fallback, db.par)
 	if err != nil {
 		return nil, err
 	}

@@ -86,7 +86,22 @@ func (db *DB) QueryIterContext(ctx context.Context, sql string) (*RowIter, error
 			if err != nil {
 				return nil, err
 			}
-			it, cst := core.StreamContext(ctx, plan)
+			var it iter.Iterator
+			var cst *core.Stats
+			if db.par > 1 {
+				// Parallel mode: the bounded branch executes eagerly across
+				// the worker pool (its size is bounded by the deduced bound
+				// M) and the cursor streams the materialised result. A
+				// consumer that stops early has already paid the bounded
+				// cost — which is exactly what the checker promised.
+				rows, pst, err := core.RunParallelContext(ctx, plan, db.par)
+				if err != nil {
+					return nil, err
+				}
+				it, cst = iter.FromRows(rows, nil), pst
+			} else {
+				it, cst = core.StreamContext(ctx, plan)
+			}
 			ri.res.Stats.Bound = satAdd(ri.res.Stats.Bound, chk.TotalBound)
 			ri.res.Stats.ConstraintsUsed += chk.ConstraintsUsed
 			ri.res.Stats.Plan += plan.Describe()
@@ -106,7 +121,7 @@ func (db *DB) QueryIterContext(ctx context.Context, sql string) (*RowIter, error
 		if err != nil {
 			return nil, err
 		}
-		it, subStats, engStats, err := core.StreamPartialContext(ctx, pp, q, db.fallback)
+		it, subStats, engStats, err := core.StreamPartialContext(ctx, pp, q, db.fallback, db.par)
 		if err != nil {
 			return nil, err
 		}
