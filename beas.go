@@ -31,10 +31,13 @@ import (
 
 	"github.com/bounded-eval/beas/internal/access"
 	"github.com/bounded-eval/beas/internal/analyze"
+	"github.com/bounded-eval/beas/internal/core"
 	"github.com/bounded-eval/beas/internal/discovery"
 	"github.com/bounded-eval/beas/internal/engine"
+	"github.com/bounded-eval/beas/internal/opt"
 	"github.com/bounded-eval/beas/internal/schema"
 	"github.com/bounded-eval/beas/internal/sqlparser"
+	"github.com/bounded-eval/beas/internal/stats"
 	"github.com/bounded-eval/beas/internal/storage"
 	"github.com/bounded-eval/beas/internal/value"
 	"github.com/bounded-eval/beas/internal/wal"
@@ -51,6 +54,15 @@ type DB struct {
 	// fallback executes non-covered (sub-)queries; it uses the strongest
 	// conventional profile.
 	fallback *engine.Engine
+	// statsCat is the data-statistics catalog (internal/stats): exact
+	// per-constraint fan-out distributions maintained under the index
+	// observer hooks, plus lazily cached per-column NDVs and histograms.
+	// Always present; consulted only when the optimizer is on.
+	statsCat *stats.Catalog
+	// optzr is the cost-based bounded-plan optimizer; nil means off (the
+	// default), in which case every query takes the historical greedy
+	// code paths untouched. Guarded by db.mu.
+	optzr *opt.Optimizer
 	// par is the intra-query parallelism: with par > 1 bounded plans fan
 	// their fetch steps across a worker pool and the fallback engine's
 	// hash joins build and probe shard-parallel. 0 or 1 means serial
@@ -111,8 +123,59 @@ func NewDB() *DB {
 	db.schema = sch
 	db.store = storage.NewStore(db.schema)
 	db.access = access.NewSchema(db.store)
+	db.statsCat = stats.NewCatalog(db.store, db.access)
 	db.fallback = engine.New(db.store, engine.ProfilePostgres)
 	return db
+}
+
+// SetOptimizer turns the cost-based plan optimizer on or off (default
+// off). With it on, covered queries choose among the equivalent coverage
+// derivations by estimated fetched rows and key-set expansion from the
+// statistics catalog instead of worst-case bounds, and the fallback
+// engine plans joins with live NDVs and histograms. Results are
+// identical either way — only step order and join shapes change — and
+// the deduced worst-case bound reported for admission control is
+// unchanged. With it off, queries take the historical code paths
+// untouched. In-flight queries keep the setting they started with.
+func (db *DB) SetOptimizer(on bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if on {
+		db.optzr = opt.New(db.statsCat)
+	} else {
+		db.optzr = nil
+	}
+	db.rebuildFallbackLocked()
+}
+
+// OptimizerEnabled reports whether the cost-based optimizer is on.
+func (db *DB) OptimizerEnabled() bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.optzr != nil
+}
+
+// rebuildFallbackLocked reconstructs the fallback engine for the current
+// parallelism and optimizer setting. Callers hold db.mu (write).
+func (db *DB) rebuildFallbackLocked() {
+	par := db.par
+	if par < 1 {
+		par = 1
+	}
+	db.fallback = engine.NewParallel(db.store, engine.ProfilePostgres, par)
+	if db.optzr != nil {
+		db.fallback.WithStats(db.statsCat)
+	}
+}
+
+// rewriteLocked runs the cost-based optimizer over a checker verdict
+// when the optimizer is on; with it off the verdict passes through
+// untouched. Callers hold db.mu (read suffices).
+func (db *DB) rewriteLocked(q *analyze.Query, chk *core.CheckResult) *core.CheckResult {
+	if db.optzr == nil {
+		return chk
+	}
+	return db.optzr.Rewrite(q, chk, db.access)
 }
 
 // PlanCacheStats reports how many query parses were served from the
@@ -137,7 +200,7 @@ func (db *DB) SetParallelism(n int) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	db.par = n
-	db.fallback = engine.NewParallel(db.store, engine.ProfilePostgres, n)
+	db.rebuildFallbackLocked()
 }
 
 // Parallelism reports the current intra-query parallelism (1 = serial).
@@ -148,6 +211,54 @@ func (db *DB) Parallelism() int {
 		return 1
 	}
 	return db.par
+}
+
+// TableDataStats is one table's row of the statistics-catalog dump.
+type TableDataStats struct {
+	Name string
+	Rows int
+}
+
+// ConstraintDataStats is one access constraint's row of the
+// statistics-catalog dump: the declared worst-case bound N next to the
+// actual fan-out distribution observed in the data.
+type ConstraintDataStats struct {
+	Spec         string
+	Bound        int
+	DistinctKeys int64
+	Tuples       int64
+	MeanFanout   float64
+	P50Fanout    int
+	P95Fanout    int
+	MaxFanout    int
+}
+
+// DataStats dumps the statistics catalog: exact per-table row counts and
+// per-constraint fan-out distributions (incrementally maintained under
+// the same hooks as the indices themselves). This is the data the
+// cost-based optimizer plans with, exposed for monitoring.
+func (db *DB) DataStats() ([]TableDataStats, []ConstraintDataStats) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	ts, cs := db.statsCat.Summary()
+	tables := make([]TableDataStats, len(ts))
+	for i, t := range ts {
+		tables[i] = TableDataStats{Name: t.Name, Rows: t.Rows}
+	}
+	cons := make([]ConstraintDataStats, len(cs))
+	for i, c := range cs {
+		cons[i] = ConstraintDataStats{
+			Spec:         c.Spec,
+			Bound:        c.Bound,
+			DistinctKeys: c.DistinctKeys,
+			Tuples:       c.Tuples,
+			MeanFanout:   c.MeanFanout,
+			P50Fanout:    c.P50,
+			P95Fanout:    c.P95,
+			MaxFanout:    c.MaxFanout,
+		}
+	}
+	return tables, cons
 }
 
 // CreateTable adds a relation. Each column is declared as "name TYPE"

@@ -13,6 +13,8 @@
 //	SELECT ...;                 run a query (bounded when covered)
 //	\check SELECT ...;          BE Checker verdict + deduced bound only
 //	\explain SELECT ...;        the plan Query would use
+//	\explain analyze SELECT ...;  execute and report estimated vs actual per step
+//	\optimizer on|off           toggle the cost-based plan optimizer
 //	\baseline pg|mysql|mariadb SELECT ...;  run on an emulated DBMS
 //	\approx BUDGET SELECT ...;  resource-bounded approximation
 //	\constraints                list the access schema
@@ -126,6 +128,8 @@ func command(db *beas.DB, line string) bool {
   SELECT ...;                 run a query (bounded when covered)
   \check SELECT ...           BE Checker verdict + deduced bound (no execution)
   \explain SELECT ...         the plan Query would use
+  \explain analyze SELECT ... execute and report estimated vs actual per step
+  \optimizer on|off           toggle the cost-based plan optimizer
   \baseline pg|mysql|mariadb SELECT ...
   \approx BUDGET SELECT ...   resource-bounded approximation
   \constraints  \queries  \q NAME  \tables
@@ -191,12 +195,35 @@ func command(db *beas.DB, line string) bool {
 			fmt.Printf("not covered: %s\n", info.Reason)
 		}
 	case "\\explain":
+		// \explain analyze SELECT ... executes the query and reports
+		// estimated-vs-actual work per plan step.
+		if lower := strings.ToLower(rest); strings.HasPrefix(lower, "analyze ") {
+			ea, err := db.ExplainAnalyze(strings.TrimSpace(rest[len("analyze "):]))
+			if err != nil {
+				fmt.Println("error:", err)
+				return true
+			}
+			fmt.Print(ea.String())
+			return true
+		}
 		text, err := db.Explain(rest)
 		if err != nil {
 			fmt.Println("error:", err)
 			return true
 		}
 		fmt.Print(text)
+	case "\\optimizer":
+		switch strings.ToLower(strings.TrimSpace(rest)) {
+		case "on":
+			db.SetOptimizer(true)
+		case "off":
+			db.SetOptimizer(false)
+		case "":
+		default:
+			fmt.Println("usage: \\optimizer [on|off]")
+			return true
+		}
+		fmt.Printf("cost-based optimizer: %v\n", db.OptimizerEnabled())
 	case "\\baseline":
 		name, sql, ok := strings.Cut(rest, " ")
 		if !ok {

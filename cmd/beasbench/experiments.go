@@ -31,6 +31,7 @@ func (h *harness) example2() {
 	}
 	fmt.Printf("  executed: %d rows, %d tuples actually fetched (<= M), %.3f ms\n",
 		len(res.Rows), res.Stats.TuplesFetched, float64(res.Stats.Duration.Microseconds())/1000)
+	h.record("example2", "Q1-bounded", h.scale, res.Stats.Duration, res)
 }
 
 // fig3 (E2): performance analysis of Q1 — per-operation breakdown and
@@ -45,6 +46,7 @@ func (h *harness) fig3() {
 		fmt.Println("error:", err)
 		return
 	}
+	h.record("fig3", "Q1-beas", h.scale, bd, bres)
 	type baseRun struct {
 		name beas.Baseline
 		dur  time.Duration
@@ -58,6 +60,7 @@ func (h *harness) fig3() {
 			return
 		}
 		bases = append(bases, baseRun{b, d, r})
+		h.record("fig3", "Q1-"+string(b), h.scale, d, r)
 	}
 
 	fmt.Printf("\n  overall execution (paper: BEAS 96.13 ms vs PG 187.8 s => 1953x at 20 GB):\n")
@@ -105,19 +108,21 @@ func (h *harness) fig4() {
 	for _, s := range h.scales {
 		db := h.db(s)
 		sql := tlcSQL("Q1")
-		bd, _, err := h.timeBounded(db, sql)
+		bd, bres, err := h.timeBounded(db, sql)
 		if err != nil {
 			fmt.Println("error:", err)
 			return
 		}
+		h.record("fig4", "Q1-beas", s, bd, bres)
 		var durs []time.Duration
 		for _, b := range []beas.Baseline{beas.BaselinePostgres, beas.BaselineMySQL, beas.BaselineMariaDB} {
-			d, _, err := h.timeBaseline(db, sql, b)
+			d, r, err := h.timeBaseline(db, sql, b)
 			if err != nil {
 				fmt.Println("error:", err)
 				return
 			}
 			durs = append(durs, d)
+			h.record("fig4", "Q1-"+string(b), s, d, r)
 		}
 		n, _ := db.RowCount("call")
 		rows = append(rows, []string{
@@ -129,11 +134,11 @@ func (h *harness) fig4() {
 	fmt.Println("  expected shape: BEAS column flat (scale-independent); baselines grow linearly.")
 }
 
-// queries (E4): the 11 built-in TLC queries — coverage, bounds and
+// queries (E4): the 12 built-in TLC queries — coverage, bounds and
 // speedups (paper §4(2): \">90% of queries boundedly evaluable, orders of
 // magnitude faster\").
 func (h *harness) queries() {
-	h.banner(fmt.Sprintf("E4: the 11 built-in TLC queries at scale %d", h.scale))
+	h.banner(fmt.Sprintf("E4: the 12 built-in TLC queries at scale %d", h.scale))
 	db := h.db(h.scale)
 	headers := []string{"query", "covered", "bound M", "fetched", "scanned", "BEAS (ms)", "postgresql (ms)", "speedup"}
 	var rows [][]string
@@ -149,11 +154,13 @@ func (h *harness) queries() {
 			fmt.Printf("  %s: error: %v\n", q.Name, err)
 			continue
 		}
-		pd, _, err := h.timeBaseline(db, q.SQL, beas.BaselinePostgres)
+		pd, pres, err := h.timeBaseline(db, q.SQL, beas.BaselinePostgres)
 		if err != nil {
 			fmt.Printf("  %s: baseline error: %v\n", q.Name, err)
 			continue
 		}
+		h.record("queries", q.Name+"-beas", h.scale, bd, bres)
+		h.record("queries", q.Name+"-postgresql", h.scale, pd, pres)
 		bound := fmt.Sprintf("%d", info.Bound)
 		if !info.Covered {
 			bound = "-"
@@ -168,7 +175,7 @@ func (h *harness) queries() {
 		})
 	}
 	table(headers, rows)
-	fmt.Printf("  %d/11 queries covered (paper: >90%%)\n", covered)
+	fmt.Printf("  %d/12 queries covered (paper: >90%%)\n", covered)
 }
 
 // budget (E5): deciding \"can Q be answered within a budget\" without
@@ -212,6 +219,8 @@ func (h *harness) partial() {
 		fmt.Println("error:", err)
 		return
 	}
+	h.record("partial", "Q11-beas", h.scale, pd, pres)
+	h.record("partial", "Q11-postgresql", h.scale, cd, cres)
 	table([]string{"engine", "time (ms)", "fetched", "scanned", "rows"}, [][]string{
 		{"BEAS (partially bounded)", ms(pd), fmt.Sprintf("%d", pres.Stats.TuplesFetched),
 			fmt.Sprintf("%d", pres.Stats.TuplesScanned), fmt.Sprintf("%d", len(pres.Rows))},
@@ -291,6 +300,7 @@ func (h *harness) maint() {
 			"", "flat", "EUR", 3.5, 0.1, 0, 0)
 	}
 	incr := time.Since(start)
+	h.record("maint", "incremental-5000-inserts", h.scale, incr, nil)
 	ok, viols := db.Conforms()
 	fmt.Printf("  %d inserts with 1 constraint index maintained incrementally: %.3f ms (%.2f us/row)\n",
 		updates, float64(incr.Microseconds())/1000, float64(incr.Microseconds())/updates)

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,6 +28,7 @@ func main() {
 	scale := flag.Int("scale", 5, "TLC scale factor for single-scale experiments")
 	scales := flag.String("scales", "1,2,5,10,20", "comma-separated scale factors for the fig4 sweep")
 	runs := flag.Int("runs", 3, "timing repetitions (the minimum is reported)")
+	jsonOut := flag.String("json", "", "also write machine-readable per-experiment timings (name, scale, runs, ns/op, rows fetched) to this file")
 	flag.Parse()
 
 	sc, err := parseScales(*scales)
@@ -35,6 +37,16 @@ func main() {
 		os.Exit(2)
 	}
 	h := &harness{scale: *scale, scales: sc, runs: *runs}
+	defer func() {
+		if *jsonOut == "" {
+			return
+		}
+		if err := h.writeJSON(*jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, "beasbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %d timing records to %s\n", len(h.records), *jsonOut)
+	}()
 
 	all := map[string]func(){
 		"example2":  h.example2,
@@ -79,6 +91,45 @@ type harness struct {
 	runs   int
 
 	dbCache map[int]*beas.DB
+	records []benchRecord
+}
+
+// benchRecord is one machine-readable timing: the -json output feeds the
+// BENCH_*.json performance trajectory.
+type benchRecord struct {
+	Experiment    string `json:"experiment"`
+	Name          string `json:"name"`
+	Scale         int    `json:"scale"`
+	Runs          int    `json:"runs"`
+	NsPerOp       int64  `json:"nsPerOp"`
+	Rows          int    `json:"rows"`
+	TuplesFetched int64  `json:"tuplesFetched"`
+	TuplesScanned int64  `json:"tuplesScanned"`
+}
+
+// record files one timing into the -json output.
+func (h *harness) record(exp, name string, scale int, d time.Duration, res *beas.Result) {
+	rec := benchRecord{Experiment: exp, Name: name, Scale: scale, Runs: h.runs, NsPerOp: d.Nanoseconds()}
+	if res != nil {
+		rec.Rows = len(res.Rows)
+		rec.TuplesFetched = res.Stats.TuplesFetched
+		rec.TuplesScanned = res.Stats.TuplesScanned
+	}
+	h.records = append(h.records, rec)
+}
+
+// benchOutput is the top-level -json document.
+type benchOutput struct {
+	Schema  string        `json:"schema"`
+	Records []benchRecord `json:"records"`
+}
+
+func (h *harness) writeJSON(path string) error {
+	out, err := json.MarshalIndent(benchOutput{Schema: "beasbench/v1", Records: h.records}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
 }
 
 func (h *harness) db(scale int) *beas.DB {

@@ -18,9 +18,9 @@
 //	beasd -data ./beasdata -tlc 2            # durable store, TLC-seeded once
 //	beasd -data ./beasdata -snapshot-every 50000
 //
-// Endpoints: POST /query, POST /check, GET /stats, GET /healthz — see
-// package internal/server for the wire format, and the README for an
-// example curl session.
+// Endpoints: POST /query, POST /check, POST /explain, GET /stats,
+// GET /healthz — see package internal/server for the wire format, and
+// the README for an example curl session.
 package main
 
 import (
@@ -51,6 +51,7 @@ func main() {
 	approxBudget := flag.Int64("approx-budget", 0, "fetch budget for approx downgrades (default: -budget)")
 	workers := flag.Int("workers", 0, "max concurrent query executions (default: GOMAXPROCS)")
 	parallelism := flag.Int("parallelism", 1, "intra-query parallelism: worker goroutines per query for bounded fetch steps and hash joins (1 = serial, 0 = GOMAXPROCS)")
+	optimizer := flag.Bool("optimizer", false, "enable the cost-based plan optimizer (statistics-driven fetch-step ordering and join planning; results are identical, admission bounds unchanged)")
 	queueDepth := flag.Int("queue-depth", 0, "max requests waiting for a worker (default 64)")
 	timeout := flag.Duration("timeout", time.Minute, "per-query execution deadline; 0 disables it (a stalled client then holds the catalog read lock indefinitely)")
 	allowUncovered := flag.Bool("allow-uncovered", false, "admit queries not covered by the access schema (no a-priori bound)")
@@ -76,6 +77,9 @@ func main() {
 		par = runtime.GOMAXPROCS(0)
 	}
 	db.SetParallelism(par)
+	if *optimizer {
+		db.SetOptimizer(true)
+	}
 
 	srv := server.New(db, server.Config{
 		MaxConcurrent:  *workers,
@@ -102,8 +106,8 @@ func main() {
 		httpSrv.Shutdown(shutCtx)
 	}()
 
-	fmt.Printf("beasd: %d rows, %d constraints; budget=%s policy=%s parallelism=%d; listening on %s\n",
-		db.TotalRows(), len(db.Constraints()), budgetStr(*budget), pol, par, *addr)
+	fmt.Printf("beasd: %d rows, %d constraints; budget=%s policy=%s parallelism=%d optimizer=%v; listening on %s\n",
+		db.TotalRows(), len(db.Constraints()), budgetStr(*budget), pol, par, db.OptimizerEnabled(), *addr)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "beasd:", err)
 		os.Exit(1)

@@ -59,6 +59,12 @@ type indexShard struct {
 	buckets map[string]*bucket
 	maxN    int   // largest bucket cardinality observed in this shard
 	tuples  int64 // distinct Y-values over this shard's buckets
+	// sizes is the shard's exact bucket-cardinality histogram:
+	// sizes[k] = number of X-keys with exactly k distinct Y-values. It is
+	// maintained incrementally on every insert and delete, so the
+	// statistics catalog reads fan-out distributions (mean, p50, p95,
+	// max) without scanning the buckets.
+	sizes map[int]int64
 }
 
 type bucket struct {
@@ -116,6 +122,7 @@ func newIndex(c *Constraint, t *storage.Table, autoWiden bool) (*Index, error) {
 	}
 	for s := range ix.shards {
 		ix.shards[s].buckets = make(map[string]*bucket)
+		ix.shards[s].sizes = make(map[int]int64)
 	}
 	return ix, nil
 }
@@ -222,6 +229,13 @@ func (sh *indexShard) insert(xKey []byte, row value.Row, yPos []int) int {
 	b.order = append(b.order, y)
 	b.counts = append(b.counts, 1)
 	sh.tuples++
+	// Bucket cardinality transition old → old+1 in the size histogram.
+	if old := len(b.order) - 1; old > 0 {
+		if sh.sizes[old]--; sh.sizes[old] == 0 {
+			delete(sh.sizes, old)
+		}
+	}
+	sh.sizes[len(b.order)]++
 	if len(b.order) > sh.maxN {
 		sh.maxN = len(b.order)
 	}
@@ -294,6 +308,25 @@ func (ix *Index) Tuples() int64 {
 		sh.mu.RUnlock()
 	}
 	return total
+}
+
+// FanoutHist returns the index's exact bucket-cardinality histogram:
+// hist[k] = number of X-keys with exactly k distinct Y-values. It is
+// maintained incrementally under the same observer hooks as the buckets
+// themselves (Insert/Delete/LoadCSV and WAL replay), so reading it never
+// scans the index. The statistics catalog derives the per-constraint
+// fan-out distribution (mean, p50, p95, max) from it.
+func (ix *Index) FanoutHist() map[int]int64 {
+	out := make(map[int]int64)
+	for s := range ix.shards {
+		sh := &ix.shards[s]
+		sh.mu.RLock()
+		for k, n := range sh.sizes {
+			out[k] += n
+		}
+		sh.mu.RUnlock()
+	}
+	return out
 }
 
 // MaxBucket returns the largest observed bucket cardinality; conformance
@@ -375,6 +408,15 @@ func (ix *Index) OnDelete(row value.Row) {
 	b.counts[pos]--
 	if b.counts[pos] > 0 {
 		return
+	}
+	// Bucket cardinality transition old → old-1 in the size histogram.
+	if old := len(b.order); old > 0 {
+		if sh.sizes[old]--; sh.sizes[old] == 0 {
+			delete(sh.sizes, old)
+		}
+		if old > 1 {
+			sh.sizes[old-1]++
+		}
 	}
 	// Remove the Y-value: swap the last element into its slot.
 	last := len(b.order) - 1

@@ -54,6 +54,15 @@ type FetchStep struct {
 	// OutBound = KeyBound · N bounds the partial tuples it can fetch.
 	KeyBound uint64
 	OutBound uint64
+
+	// EstKeys / EstFetched / EstRows are the cost-based optimizer's
+	// estimates of the distinct keys the step will probe, the partial
+	// tuples it will fetch and the intermediate rows it will emit, from
+	// the statistics catalog (internal/stats). Zero when no estimation
+	// ran (optimizer off). Estimates never affect results — only step
+	// order — and are reported next to the actual counters by
+	// EXPLAIN ANALYZE.
+	EstKeys, EstFetched, EstRows float64
 }
 
 // String renders the step in the paper's fetch notation.
@@ -225,49 +234,14 @@ type Provider interface {
 // data access").
 func Check(q *analyze.Query, as Provider) *CheckResult {
 	res := &CheckResult{}
-	cs := newClassSet()
+	cs, contradiction := seedClasses(q)
 	res.classes = cs
 	ord := &classOrdinal{cs: cs, ids: make(map[analyze.ColID]int)}
-
-	// Seed classes from equality conjuncts and constants.
-	for _, c := range q.Conjuncts {
-		switch c.Kind {
-		case analyze.EqAttrAttr:
-			cs.union(c.A, c.B)
-		case analyze.EqAttrConst:
-			info := cs.get(c.A)
-			if info.hasConsts {
-				info.consts = intersectValues(info.consts, []value.Value{c.Val})
-			} else {
-				info.consts, info.hasConsts = []value.Value{c.Val}, true
-			}
-		case analyze.InConsts:
-			info := cs.get(c.A)
-			if info.hasConsts {
-				info.consts = intersectValues(info.consts, c.Vals)
-			} else {
-				info.consts, info.hasConsts = dedupeValues(c.Vals), true
-			}
-		}
-	}
-	// Make sure every used attribute has a class and mark const-covered
-	// classes.
-	for ai := range q.Atoms {
-		for _, attr := range q.UsedAttrs(ai) {
-			cs.find(analyze.ColID{Atom: ai, Attr: attr})
-		}
-	}
-	for _, info := range cs.info {
-		if info.hasConsts {
-			if len(info.consts) == 0 {
-				res.EmptyGuaranteed = true
-				res.Covered = true
-				res.Reason = "contradictory constant predicates; empty answer guaranteed"
-				return res
-			}
-			info.covered = true
-			info.bound = uint64(len(info.consts))
-		}
+	if contradiction {
+		res.EmptyGuaranteed = true
+		res.Covered = true
+		res.Reason = "contradictory constant predicates; empty answer guaranteed"
+		return res
 	}
 
 	// Fixpoint: repeatedly pick the cheapest fetchable (atom, constraint)
@@ -337,18 +311,60 @@ func Check(q *analyze.Query, as Provider) *CheckResult {
 	return res
 }
 
-// bestConstraintFor returns the cheapest applicable constraint for atom
-// ai, if any: X-classes covered and used(ai) ⊆ X ∪ Y, skipping indices
-// invalidated by maintenance.
-func bestConstraintFor(q *analyze.Query, ai int, as Provider, cs *classSet) (FetchStep, bool) {
+// seedClasses builds the query's equivalence classes from equality and
+// IN conjuncts, ensures every used attribute has a class, and marks
+// const-covered classes. contradiction reports an unsatisfiable constant
+// candidate set (empty answer guaranteed).
+func seedClasses(q *analyze.Query) (cs *classSet, contradiction bool) {
+	cs = newClassSet()
+	for _, c := range q.Conjuncts {
+		switch c.Kind {
+		case analyze.EqAttrAttr:
+			cs.union(c.A, c.B)
+		case analyze.EqAttrConst:
+			info := cs.get(c.A)
+			if info.hasConsts {
+				info.consts = intersectValues(info.consts, []value.Value{c.Val})
+			} else {
+				info.consts, info.hasConsts = []value.Value{c.Val}, true
+			}
+		case analyze.InConsts:
+			info := cs.get(c.A)
+			if info.hasConsts {
+				info.consts = intersectValues(info.consts, c.Vals)
+			} else {
+				info.consts, info.hasConsts = dedupeValues(c.Vals), true
+			}
+		}
+	}
+	for ai := range q.Atoms {
+		for _, attr := range q.UsedAttrs(ai) {
+			cs.find(analyze.ColID{Atom: ai, Attr: attr})
+		}
+	}
+	for _, info := range cs.info {
+		if info.hasConsts {
+			if len(info.consts) == 0 {
+				return cs, true
+			}
+			info.covered = true
+			info.bound = uint64(len(info.consts))
+		}
+	}
+	return cs, false
+}
+
+// stepsForAtom returns every applicable constraint for atom ai as a
+// fetch step: X-classes covered and used(ai) ⊆ X ∪ Y, skipping indices
+// invalidated by maintenance, in provider order.
+func stepsForAtom(q *analyze.Query, ai int, as Provider, cs *classSet) []FetchStep {
 	atom := q.Atoms[ai]
 	used := q.UsedAttrs(ai)
 	usedNames := make([]string, len(used))
 	for i, a := range used {
 		usedNames[i] = atom.Rel.Attrs[a].Name
 	}
-	var best FetchStep
-	found := false
+	var out []FetchStep
 	for _, c := range as.ForRelation(atom.Rel.Name) {
 		idx, ok := as.Index(c)
 		if !ok || (idx != nil && idx.Invalid()) {
@@ -387,19 +403,28 @@ func bestConstraintFor(q *analyze.Query, ai int, as Provider, cs *classSet) (Fet
 		if err != nil {
 			continue
 		}
-		out := mulSat(keyBound, uint64(c.N))
-		if !found || out < best.OutBound {
-			best = FetchStep{
-				Atom:       ai,
-				Constraint: c,
-				Index:      idx,
-				XAttrs:     xAttrs,
-				YAttrs:     yAttrs,
-				XClasses:   make([]int, len(xAttrs)),
-				KeyBound:   keyBound,
-				OutBound:   out,
-			}
-			found = true
+		out = append(out, FetchStep{
+			Atom:       ai,
+			Constraint: c,
+			Index:      idx,
+			XAttrs:     xAttrs,
+			YAttrs:     yAttrs,
+			XClasses:   make([]int, len(xAttrs)),
+			KeyBound:   keyBound,
+			OutBound:   mulSat(keyBound, uint64(c.N)),
+		})
+	}
+	return out
+}
+
+// bestConstraintFor returns the cheapest applicable constraint for atom
+// ai, if any (first strict minimum in provider order, as before).
+func bestConstraintFor(q *analyze.Query, ai int, as Provider, cs *classSet) (FetchStep, bool) {
+	var best FetchStep
+	found := false
+	for _, s := range stepsForAtom(q, ai, as, cs) {
+		if !found || s.OutBound < best.OutBound {
+			best, found = s, true
 		}
 	}
 	return best, found

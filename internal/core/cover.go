@@ -1,0 +1,159 @@
+package core
+
+import (
+	"github.com/bounded-eval/beas/internal/analyze"
+)
+
+// CoverState is the mutable coverage state of a fetch derivation in
+// progress: which atoms are fetched, which equivalence classes are
+// covered and at what worst-case bound. Check drives one greedy
+// derivation through this state; the cost-based optimizer
+// (internal/opt) clones it to enumerate alternative derivations — every
+// derivation reachable through Fetchable/Apply is a valid coverage
+// derivation, so the plans it yields return exactly the same answers and
+// differ only in cost.
+type CoverState struct {
+	q         *analyze.Query
+	cs        *classSet
+	ord       *classOrdinal
+	fetched   []bool
+	remaining int
+}
+
+// NewCoverState seeds the coverage state from the query's equality and
+// IN conjuncts, exactly as Check does. contradiction reports that
+// constant predicates are unsatisfiable (the empty answer is guaranteed
+// and no derivation is needed).
+func NewCoverState(q *analyze.Query) (st *CoverState, contradiction bool) {
+	cs, contradiction := seedClasses(q)
+	st = &CoverState{
+		q:         q,
+		cs:        cs,
+		ord:       &classOrdinal{cs: cs, ids: make(map[analyze.ColID]int)},
+		fetched:   make([]bool, len(q.Atoms)),
+		remaining: len(q.Atoms),
+	}
+	return st, contradiction
+}
+
+// Clone returns an independent copy: Apply on the clone never affects
+// the original, which is what lets branch-and-bound backtrack.
+func (st *CoverState) Clone() *CoverState {
+	cs := &classSet{
+		parent: make(map[analyze.ColID]analyze.ColID, len(st.cs.parent)),
+		info:   make(map[analyze.ColID]*classInfo, len(st.cs.info)),
+	}
+	for k, v := range st.cs.parent {
+		cs.parent[k] = v
+	}
+	for k, v := range st.cs.info {
+		ci := *v // consts slices are never mutated in place, sharing is safe
+		cs.info[k] = &ci
+	}
+	ord := &classOrdinal{cs: cs, ids: make(map[analyze.ColID]int, len(st.ord.ids)), next: st.ord.next}
+	for k, v := range st.ord.ids {
+		ord.ids[k] = v
+	}
+	out := &CoverState{
+		q:         st.q,
+		cs:        cs,
+		ord:       ord,
+		fetched:   append([]bool(nil), st.fetched...),
+		remaining: st.remaining,
+	}
+	return out
+}
+
+// Done reports whether every atom is fetched (the derivation covers the
+// query).
+func (st *CoverState) Done() bool { return st.remaining == 0 }
+
+// Fetched reports whether atom ai is already fetched.
+func (st *CoverState) Fetched(ai int) bool { return st.fetched[ai] }
+
+// Fetchable returns every applicable (atom, constraint) fetch step under
+// the current coverage, in deterministic order (atoms ascending,
+// constraints in provider order), with worst-case key and output bounds
+// computed against the current class bounds.
+func (st *CoverState) Fetchable(as Provider) []FetchStep {
+	var out []FetchStep
+	for ai := range st.q.Atoms {
+		if st.fetched[ai] {
+			continue
+		}
+		out = append(out, stepsForAtom(st.q, ai, as, st.cs)...)
+	}
+	return out
+}
+
+// Apply marks the step's atom fetched and covers the classes of its
+// materialised attributes, mirroring the checker's fixpoint body, and
+// fills the step's XClasses ordinals.
+func (st *CoverState) Apply(step *FetchStep) {
+	st.fetched[step.Atom] = true
+	st.remaining--
+	for i, x := range step.XAttrs {
+		step.XClasses[i] = st.ord.of(analyze.ColID{Atom: step.Atom, Attr: x})
+	}
+	for _, attr := range st.q.UsedAttrs(step.Atom) {
+		info := st.cs.get(analyze.ColID{Atom: step.Atom, Attr: attr})
+		newBound := step.OutBound
+		if info.covered {
+			newBound = minU64(info.bound, newBound)
+		}
+		info.covered, info.bound = true, newBound
+	}
+}
+
+// KeyClass describes one distinct key component of a fetch step for cost
+// estimation: its class ordinal, the number of constant candidates the
+// class carries (0 when the key is read from intermediate-row slots),
+// and the class's worst-case bound.
+type KeyClass struct {
+	Class  int
+	Consts int
+	Bound  uint64
+}
+
+// StepKeyClasses returns the step's distinct X classes in X order (two X
+// attributes in one class contribute once, matching the key-bound rule).
+func (st *CoverState) StepKeyClasses(step FetchStep) []KeyClass {
+	var out []KeyClass
+	seen := make(map[analyze.ColID]bool, len(step.XAttrs))
+	for _, xa := range step.XAttrs {
+		id := analyze.ColID{Atom: step.Atom, Attr: xa}
+		root := st.cs.find(id)
+		if seen[root] {
+			continue
+		}
+		seen[root] = true
+		info := st.cs.info[root]
+		kc := KeyClass{Class: st.ord.of(id), Bound: info.bound}
+		if info.hasConsts {
+			kc.Consts = len(info.consts)
+		}
+		out = append(out, kc)
+	}
+	return out
+}
+
+// ClassOf returns the stable class ordinal of an (atom, attribute) node.
+func (st *CoverState) ClassOf(id analyze.ColID) int { return st.ord.of(id) }
+
+// Finalize wraps an alternative derivation's steps into a CheckResult
+// that plan generation accepts. The admission-control bounds
+// (TotalBound, OutputBound) are copied from base unchanged — the
+// optimizer reports the same a-priori worst case whether it reorders or
+// not — while Steps and ConstraintsUsed describe the chosen derivation.
+// The receiver must be the state after applying exactly those steps.
+func (st *CoverState) Finalize(base *CheckResult, steps []FetchStep) *CheckResult {
+	out := *base
+	out.Steps = steps
+	used := make(map[string]bool, len(steps))
+	for _, s := range steps {
+		used[s.Constraint.ID()] = true
+	}
+	out.ConstraintsUsed = len(used)
+	out.classes = st.cs
+	return &out
+}

@@ -64,9 +64,8 @@ func RunParallelContext(ctx context.Context, p *Plan, par int) ([]value.Row, *St
 	st.Steps = make([]StepStat, len(p.Steps))
 	for i := range p.Steps {
 		step := &p.Steps[i]
+		st.Steps[i] = statFor(q, step)
 		ss := &st.Steps[i]
-		ss.Atom = q.Atoms[step.Atom].Name
-		ss.Constraint = step.Constraint.String()
 		var err error
 		rows, weights, err = runStepParallel(ctx, step, layout, rows, weights, par, ss, &st.Fetched)
 		if err != nil {

@@ -164,6 +164,9 @@ func (p *Plan) Describe() string {
 		atom := p.Query.Atoms[s.Atom]
 		fmt.Fprintf(&b, "(%d) fetch %s via %v", i+1, atom.Name, s.Constraint)
 		fmt.Fprintf(&b, "  [≤ %s keys, ≤ %s tuples]", boundStr(s.KeyBound), boundStr(s.OutBound))
+		if s.EstKeys > 0 {
+			fmt.Fprintf(&b, "  [est ≈ %.0f keys, ≈ %.0f tuples]", s.EstKeys, s.EstFetched)
+		}
 		if len(s.Filters) > 0 {
 			var fs []string
 			for _, f := range s.Filters {

@@ -23,6 +23,28 @@ type StepStat struct {
 	Fetched     int64 // partial tuples fetched (Σ bucket sizes over keys): |D_Q| share
 	RowsOut     int64 // intermediate rows after join + filters
 	Duration    time.Duration
+
+	// KeyBound / OutBound are the step's a-priori worst-case bounds;
+	// EstKeys / EstFetched / EstRows the optimizer's statistics-based
+	// estimates (zero when the optimizer did not run). Together with the
+	// actual counters above they form EXPLAIN ANALYZE's
+	// estimated-vs-actual breakdown.
+	KeyBound, OutBound           uint64
+	EstKeys, EstFetched, EstRows float64
+}
+
+// statFor seeds a StepStat with the plan step's identity, bounds and
+// estimates; the actual counters accrue during execution.
+func statFor(q *analyze.Query, step *PlanStep) StepStat {
+	return StepStat{
+		Atom:       q.Atoms[step.Atom].Name,
+		Constraint: step.Constraint.String(),
+		KeyBound:   step.KeyBound,
+		OutBound:   step.OutBound,
+		EstKeys:    step.EstKeys,
+		EstFetched: step.EstFetched,
+		EstRows:    step.EstRows,
+	}
 }
 
 // Stats aggregates bounded-plan execution statistics. Counters accrue
@@ -86,10 +108,7 @@ func StreamContext(ctx context.Context, p *Plan) (iter.Iterator, *Stats) {
 	st.Steps = make([]StepStat, len(p.Steps))
 	for i := range p.Steps {
 		step := &p.Steps[i]
-		st.Steps[i] = StepStat{
-			Atom:       q.Atoms[step.Atom].Name,
-			Constraint: step.Constraint.String(),
-		}
+		st.Steps[i] = statFor(q, step)
 		cur = &stepOp{
 			ctx:     ctx,
 			step:    step,

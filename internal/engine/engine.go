@@ -31,6 +31,7 @@ import (
 	"github.com/bounded-eval/beas/internal/analyze"
 	"github.com/bounded-eval/beas/internal/exec"
 	"github.com/bounded-eval/beas/internal/iter"
+	"github.com/bounded-eval/beas/internal/stats"
 	"github.com/bounded-eval/beas/internal/storage"
 	"github.com/bounded-eval/beas/internal/value"
 )
@@ -112,6 +113,11 @@ type OpStat struct {
 	RowsIn   int64
 	RowsOut  int64
 	Duration time.Duration
+	// EstRows is the planner's cardinality estimate for the operator's
+	// output (scans and joins; 0 where no estimate applies), the
+	// estimated-vs-actual signal EXPLAIN ANALYZE reports for the
+	// conventional part of a plan.
+	EstRows float64
 }
 
 // Stats aggregates conventional-plan execution statistics. Counters
@@ -131,6 +137,7 @@ type opTracker struct {
 	rowsIn  int64
 	rowsOut int64
 	dur     time.Duration
+	est     float64
 }
 
 // Engine executes resolved queries against a store under a profile.
@@ -141,6 +148,12 @@ type Engine struct {
 	// and probe shard-parallel (see parallel.go). It is fixed at
 	// construction, so a shared engine is safe for concurrent queries.
 	par int
+	// stats, when non-nil, is the data-statistics catalog: scan and join
+	// selectivities come from live NDVs and histograms instead of the
+	// magic constants, hash joins build on the estimated-smaller side,
+	// and OpStats carry the estimates. nil keeps the historical planner
+	// byte-for-byte (the baseline profiles always run without it).
+	stats *stats.Catalog
 }
 
 // New creates an engine over store with the given profile.
@@ -156,6 +169,15 @@ func NewParallel(store *storage.Store, prof Profile, par int) *Engine {
 		par = 1
 	}
 	return &Engine{store: store, prof: prof, par: par}
+}
+
+// WithStats attaches a data-statistics catalog and returns the engine.
+// Call at construction time only (before the engine is shared): the
+// planner then estimates selectivities from live NDVs and equi-depth
+// histograms and picks hash-join build sides by estimated cardinality.
+func (e *Engine) WithStats(cat *stats.Catalog) *Engine {
+	e.stats = cat
+	return e
 }
 
 // Profile returns the engine's profile.
@@ -328,7 +350,7 @@ func (e *Engine) StreamContext(ctx context.Context, q *analyze.Query, sources []
 	final := iter.OnClose(iter.WithContext(ctx, out), func() {
 		st.Ops = make([]OpStat, len(trackers))
 		for i, tr := range trackers {
-			st.Ops[i] = OpStat{Op: tr.op, RowsIn: tr.rowsIn, RowsOut: tr.rowsOut, Duration: tr.dur}
+			st.Ops[i] = OpStat{Op: tr.op, RowsIn: tr.rowsIn, RowsOut: tr.rowsOut, Duration: tr.dur, EstRows: tr.est}
 		}
 		st.RowsOut = tailTr.rowsOut
 		st.Duration = time.Since(start)
@@ -426,7 +448,9 @@ func (e *Engine) scanAtom(ctx context.Context, q *analyze.Query, ai int, applied
 		tr:          tr,
 		scanned:     &st.Scanned,
 	}
-	return newUnit(atom.Name, []int{ai}, cols, op, e.estimateScan(q, ai, table, filters)), nil
+	est := e.estimateScan(q, ai, table, filters)
+	tr.est = est
+	return newUnit(atom.Name, []int{ai}, cols, op, est), nil
 }
 
 // scanOp streams a table through the pushed-down filters and projection,
@@ -499,12 +523,18 @@ func (s *scanOp) Next(b *iter.Batch) (bool, error) {
 }
 
 // estimateScan estimates the filtered cardinality of an atom using the
-// table statistics and textbook selectivities.
+// table statistics and textbook selectivities; with a statistics catalog
+// attached, equality selectivities use live NDVs and range predicates
+// use the column's equi-depth histogram instead of the 1/3 constant.
 func (e *Engine) estimateScan(q *analyze.Query, ai int, table *storage.Table, filters []analyze.Conjunct) float64 {
-	stats := table.Stats()
-	est := float64(stats.RowCount)
+	ts := table.Stats()
+	est := float64(ts.RowCount)
 	for _, f := range filters {
-		est *= selectivity(f, stats)
+		if e.stats != nil {
+			est *= e.catalogSelectivity(q, f)
+		} else {
+			est *= selectivity(f, ts)
+		}
 	}
 	if est < 1 {
 		est = 1
@@ -533,6 +563,33 @@ func selectivity(c analyze.Conjunct, stats *storage.TableStats) float64 {
 	}
 }
 
+// catalogSelectivity estimates one conjunct from the statistics catalog.
+func (e *Engine) catalogSelectivity(q *analyze.Query, c analyze.Conjunct) float64 {
+	name := func(id analyze.ColID) (string, string) {
+		rel := q.Atoms[id.Atom].Rel
+		return rel.Name, rel.Attrs[id.Attr].Name
+	}
+	switch c.Kind {
+	case analyze.EqAttrConst:
+		t, col := name(c.A)
+		return e.stats.SelectivityEq(t, col)
+	case analyze.InConsts:
+		t, col := name(c.A)
+		s := float64(len(c.Vals)) * e.stats.SelectivityEq(t, col)
+		if s > 1 {
+			s = 1
+		}
+		return s
+	case analyze.CmpConst:
+		t, col := name(c.A)
+		return e.stats.SelectivityCmp(t, col, c.Op, c.Val)
+	case analyze.EqAttrAttr, analyze.CmpAttrAttr:
+		return 1.0 / 3
+	default:
+		return 1.0 / 2
+	}
+}
+
 // joinOrder returns the order in which units are joined (indices into
 // units); the first element is the streaming probe chain's start.
 func (e *Engine) joinOrder(q *analyze.Query, units []*unit, applied []bool) ([]int, error) {
@@ -551,15 +608,17 @@ func (e *Engine) joinOrder(q *analyze.Query, units []*unit, applied []bool) ([]i
 		}
 		return out, nil
 	case OrderGreedy:
-		return greedyOrder(q, units, applied), nil
+		return e.greedyOrder(q, units, applied), nil
 	default:
-		return dpOrder(q, units, applied), nil
+		return e.dpOrder(q, units, applied), nil
 	}
 }
 
 // joinSelectivity reports whether an unapplied equi-join conjunct links a
 // unit set with unit right, and returns the estimated join selectivity.
-func joinSelectivity(q *analyze.Query, units []*unit, leftAtoms map[int]bool, right *unit) (float64, bool) {
+// With a statistics catalog the selectivity of each linking equality is
+// 1/max(NDV) over its two columns; without, the historical 0.01.
+func (e *Engine) joinSelectivity(q *analyze.Query, units []*unit, leftAtoms map[int]bool, right *unit) (float64, bool) {
 	sel := 1.0
 	linked := false
 	for _, c := range q.Conjuncts {
@@ -570,15 +629,33 @@ func joinSelectivity(q *analyze.Query, units []*unit, leftAtoms map[int]bool, ri
 		aRight, bRight := right.atoms[c.A.Atom], right.atoms[c.B.Atom]
 		if (aLeft && bRight) || (bLeft && aRight) {
 			linked = true
-			sel *= 0.01 // generic equi-join selectivity against the FK side
+			sel *= e.equiSelectivity(q, c)
 		}
 	}
 	return sel, linked
 }
 
+// equiSelectivity estimates one linking equality conjunct.
+func (e *Engine) equiSelectivity(q *analyze.Query, c analyze.Conjunct) float64 {
+	if e.stats == nil {
+		return 0.01 // generic equi-join selectivity against the FK side
+	}
+	n := 0
+	for _, id := range []analyze.ColID{c.A, c.B} {
+		rel := q.Atoms[id.Atom].Rel
+		if ndv, ok := e.stats.NDV(rel.Name, rel.Attrs[id.Attr].Name); ok && ndv > n {
+			n = ndv
+		}
+	}
+	if n <= 0 {
+		return 0.01
+	}
+	return 1 / float64(n)
+}
+
 // greedyOrder: start with the smallest unit; repeatedly append the
 // connected unit minimising the estimated intermediate size.
-func greedyOrder(q *analyze.Query, units []*unit, applied []bool) []int {
+func (e *Engine) greedyOrder(q *analyze.Query, units []*unit, applied []bool) []int {
 	n := len(units)
 	used := make([]bool, n)
 	start := 0
@@ -597,7 +674,7 @@ func greedyOrder(q *analyze.Query, units []*unit, applied []bool) []int {
 			if used[j] {
 				continue
 			}
-			sel, linked := joinSelectivity(q, units, curAtoms, units[j])
+			sel, linked := e.joinSelectivity(q, units, curAtoms, units[j])
 			est := curEst * units[j].est * sel
 			if !linked {
 				est = curEst * units[j].est // cross product
@@ -621,10 +698,10 @@ func greedyOrder(q *analyze.Query, units []*unit, applied []bool) []int {
 
 // dpOrder enumerates left-deep join orders by DP over unit subsets,
 // minimising the sum of estimated intermediate cardinalities.
-func dpOrder(q *analyze.Query, units []*unit, applied []bool) []int {
+func (e *Engine) dpOrder(q *analyze.Query, units []*unit, applied []bool) []int {
 	n := len(units)
 	if n > 14 {
-		return greedyOrder(q, units, applied) // cap DP blow-up
+		return e.greedyOrder(q, units, applied) // cap DP blow-up
 	}
 	type state struct {
 		cost float64 // Σ intermediate sizes
@@ -654,7 +731,7 @@ func dpOrder(q *analyze.Query, units []*unit, applied []bool) []int {
 			if mask&(1<<j) != 0 {
 				continue
 			}
-			sel, linked := joinSelectivity(q, units, atoms, units[j])
+			sel, linked := e.joinSelectivity(q, units, atoms, units[j])
 			rows := s.rows * units[j].est * sel
 			if !linked {
 				rows = s.rows * units[j].est

@@ -47,9 +47,13 @@ func (e *Engine) join(ctx context.Context, q *analyze.Query, left, right *unit, 
 		applied[ci] = true
 	}
 
+	// The merged estimate uses the same per-conjunct selectivity model as
+	// join ordering (NDV-based with statistics, 0.01 without), so the
+	// build-side choice below and the EXPLAIN EstRows agree with the
+	// estimates the planner ordered by.
 	est := left.est * right.est
-	for range keyConjuncts {
-		est *= 0.01
+	for _, ci := range keyConjuncts {
+		est *= e.equiSelectivity(q, q.Conjuncts[ci])
 	}
 	if est < 1 {
 		est = 1
@@ -80,7 +84,16 @@ func (e *Engine) join(ctx context.Context, q *analyze.Query, left, right *unit, 
 	if len(lKeys) == 0 {
 		algo = NestedLoopJoin // cross product
 	}
-	tr := &opTracker{op: fmt.Sprintf("%s %s ⋈ %s", algo, left.name, right.name)}
+	// Build-side choice: the serial hash join always materialises the
+	// right (new) unit. With statistics, build on whichever side is
+	// estimated smaller — the output rows still concatenate left-first,
+	// so the plan's layout and result bag are unchanged.
+	swap := e.stats != nil && algo == HashJoin && left.est < right.est
+	opName := fmt.Sprintf("%s %s ⋈ %s", algo, left.name, right.name)
+	if swap {
+		opName += " (build=left)"
+	}
+	tr := &opTracker{op: opName, est: est}
 	*trackers = append(*trackers, tr)
 	base := joinBase{
 		probe:  left.it,
@@ -90,6 +103,11 @@ func (e *Engine) join(ctx context.Context, q *analyze.Query, left, right *unit, 
 		post:   post,
 		layout: merged.layout,
 		tr:     tr,
+	}
+	if swap {
+		base.probe, base.build = right.it, left.it
+		base.lKeys, base.rKeys = rKeys, lKeys
+		base.swapped = true
 	}
 	switch algo {
 	case HashJoin:
@@ -112,10 +130,14 @@ func (e *Engine) join(ctx context.Context, q *analyze.Query, left, right *unit, 
 // conjuncts that become evaluable on the concatenated row.
 type joinBase struct {
 	probe, build iter.Iterator
-	lKeys, rKeys []int
+	lKeys, rKeys []int // key slots in probe rows (lKeys) and build rows (rKeys)
 	post         []analyze.Conjunct
 	layout       *analyze.Layout
 	tr           *opTracker
+	// swapped marks a stats-driven build-side swap: probe rows are then
+	// the plan's RIGHT side, so emit concatenates build-row first to
+	// keep the merged layout (left cols ++ right cols) intact.
+	swapped bool
 
 	pbuf  iter.Batch // current probe batch
 	ppos  int
@@ -158,9 +180,14 @@ func (j *joinBase) nextProbe() (value.Row, int64, bool, error) {
 	return r, w, true, nil
 }
 
-// emit appends the concatenation of lr and rr with bag weight w to out,
-// unless a post-join filter rejects it.
-func (j *joinBase) emit(out *iter.Batch, lr, rr value.Row, w int64) error {
+// emit appends the concatenation of the probe row pr and build row br
+// with bag weight w to out, unless a post-join filter rejects it. The
+// layout's left part always comes first, whichever side was built.
+func (j *joinBase) emit(out *iter.Batch, pr, br value.Row, w int64) error {
+	lr, rr := pr, br
+	if j.swapped {
+		lr, rr = br, pr
+	}
 	row := make(value.Row, 0, len(lr)+len(rr))
 	row = append(row, lr...)
 	row = append(row, rr...)

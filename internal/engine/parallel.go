@@ -177,9 +177,13 @@ func (h *parallelHashJoinOp) probeWindow() error {
 				continue
 			}
 			for bi, br := range bk.rows {
-				row := make(value.Row, 0, len(pr)+len(br))
-				row = append(row, pr...)
-				row = append(row, br...)
+				lr, rr := pr, br
+				if h.swapped {
+					lr, rr = br, pr
+				}
+				row := make(value.Row, 0, len(lr)+len(rr))
+				row = append(row, lr...)
+				row = append(row, rr...)
 				keep := true
 				for _, f := range h.post {
 					ok, err := analyze.EvalBool(f.Expr, row, h.layout)

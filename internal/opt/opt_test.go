@@ -1,0 +1,198 @@
+package opt
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/bounded-eval/beas/internal/access"
+	"github.com/bounded-eval/beas/internal/analyze"
+	"github.com/bounded-eval/beas/internal/core"
+	"github.com/bounded-eval/beas/internal/schema"
+	"github.com/bounded-eval/beas/internal/sqlparser"
+	"github.com/bounded-eval/beas/internal/stats"
+	"github.com/bounded-eval/beas/internal/storage"
+	"github.com/bounded-eval/beas/internal/value"
+)
+
+// fixture builds seed(k) ⟕ wide(k) ⟕ narrow(k): seed is const-keyed and
+// tiny; wide has a large declared bound but a selective filter column;
+// narrow a small declared bound and no filter. Worst-case greedy fetches
+// narrow before wide; on the actual data wide's filter prunes almost
+// every key, so the cost-based order is wide first.
+type fixture struct {
+	store *storage.Store
+	as    *access.Schema
+	cat   *stats.Catalog
+	opt   *Optimizer
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	mk := func(name string, cols ...string) *schema.Relation {
+		attrs := make([]schema.Attribute, len(cols))
+		for i, c := range cols {
+			attrs[i] = schema.Attribute{Name: c, Kind: value.Int}
+		}
+		rel, err := schema.NewRelation(name, attrs...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rel
+	}
+	db, err := schema.NewDatabase(
+		mk("seed", "s", "k"),
+		mk("wide", "k", "f", "v"),
+		mk("narrow", "k", "w"),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := storage.NewStore(db)
+	ins := func(table string, vals ...int64) {
+		tab, _ := store.Table(table)
+		row := make(value.Row, len(vals))
+		for i, v := range vals {
+			row[i] = value.NewInt(v)
+		}
+		if err := tab.Insert(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// seed: 8 keys under s=1.
+	for k := int64(0); k < 8; k++ {
+		ins("seed", 1, k)
+	}
+	// wide: every key has 4 rows, but only key 0 has f=7 (the filter).
+	for k := int64(0); k < 8; k++ {
+		for j := int64(0); j < 4; j++ {
+			f := int64(0)
+			if k == 0 && j == 0 {
+				f = 7
+			}
+			ins("wide", k, f, j)
+		}
+	}
+	// narrow: every key has 2 rows.
+	for k := int64(0); k < 8; k++ {
+		ins("narrow", k, 0)
+		ins("narrow", k, 1)
+	}
+	as := access.NewSchema(store)
+	reg := func(rel string, x, y []string, n int) {
+		c, err := access.NewConstraint(db, rel, x, y, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := as.Register(c, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reg("seed", []string{"s"}, []string{"k"}, 1)
+	reg("wide", []string{"k"}, []string{"f", "v"}, 1)
+	reg("narrow", []string{"k"}, []string{"w"}, 1)
+	cat := stats.NewCatalog(store, as)
+	return &fixture{store: store, as: as, cat: cat, opt: New(cat)}
+}
+
+func (fx *fixture) check(t *testing.T, sql string) (*analyze.Query, *core.CheckResult) {
+	t.Helper()
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := analyze.Analyze(stmt.Select, fx.store.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q, core.Check(q, fx.as)
+}
+
+// The f > 5 range filter matches a single wide row; the column's
+// equi-depth histogram sees that skew (a uniform 1/NDV estimate would
+// not), so the cost model knows fetching wide first prunes the keys.
+const fixtureSQL = `
+SELECT wide.v, narrow.w FROM seed, wide, narrow
+WHERE seed.s = 1 AND wide.k = seed.k AND wide.f > 5 AND narrow.k = seed.k`
+
+func TestRewriteReordersBySelectivity(t *testing.T) {
+	fx := newFixture(t)
+	q, chk := fx.check(t, fixtureSQL)
+	if !chk.Covered {
+		t.Fatalf("fixture query not covered: %s", chk.Reason)
+	}
+	// Greedy order: seed, then narrow (smaller worst-case N), then wide.
+	greedy := stepAtoms(q, chk.Steps)
+	if fmt.Sprint(greedy) != "[seed narrow wide]" {
+		t.Fatalf("unexpected greedy order %v (fixture drifted)", greedy)
+	}
+	out := fx.opt.Rewrite(q, chk, fx.as)
+	opt := stepAtoms(q, out.Steps)
+	if fmt.Sprint(opt) != "[seed wide narrow]" {
+		t.Fatalf("optimizer order = %v, want [seed wide narrow]", opt)
+	}
+	// Admission bounds unchanged; steps annotated.
+	if out.TotalBound != chk.TotalBound || out.OutputBound != chk.OutputBound {
+		t.Fatalf("bounds changed: %d/%d vs %d/%d", out.TotalBound, out.OutputBound, chk.TotalBound, chk.OutputBound)
+	}
+	for i, s := range out.Steps {
+		if s.EstKeys <= 0 {
+			t.Errorf("step %d not annotated", i)
+		}
+	}
+	// The rewritten result must still build an executable plan whose
+	// execution matches the greedy plan's bag.
+	wantRows := runPlan(t, q, chk)
+	gotRows := runPlan(t, q, out)
+	if fmt.Sprint(bag(wantRows)) != fmt.Sprint(bag(gotRows)) {
+		t.Fatalf("rewritten plan bag differs:\n%v\n%v", bag(gotRows), bag(wantRows))
+	}
+}
+
+func TestRewritePassesThroughUncoveredAndEmpty(t *testing.T) {
+	fx := newFixture(t)
+	// Uncovered: narrow.w is not a key and no constraint covers seed.s
+	// as output... use a filter on an unkeyed column of seed.
+	q, chk := fx.check(t, `SELECT k FROM seed WHERE k = 3 AND s > 0`)
+	if chk.Covered {
+		t.Skip("fixture query unexpectedly covered")
+	}
+	if out := fx.opt.Rewrite(q, chk, fx.as); out != chk {
+		t.Error("uncovered verdict must pass through unchanged")
+	}
+	q2, chk2 := fx.check(t, `SELECT k FROM seed WHERE s = 1 AND s = 2`)
+	if !chk2.EmptyGuaranteed {
+		t.Fatal("expected contradiction")
+	}
+	if out := fx.opt.Rewrite(q2, chk2, fx.as); out != chk2 {
+		t.Error("empty-guaranteed verdict must pass through unchanged")
+	}
+}
+
+func stepAtoms(q *analyze.Query, steps []core.FetchStep) []string {
+	out := make([]string, len(steps))
+	for i, s := range steps {
+		out[i] = q.Atoms[s.Atom].Name
+	}
+	return out
+}
+
+func runPlan(t *testing.T, q *analyze.Query, chk *core.CheckResult) []value.Row {
+	t.Helper()
+	plan, err := core.NewPlan(q, chk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, _, err := core.Run(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func bag(rows []value.Row) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = value.Key(r)
+	}
+	return out
+}

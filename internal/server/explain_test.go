@@ -1,0 +1,100 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func postExplain(t *testing.T, base, sql string, analyze bool) (*explainResponse, int) {
+	t.Helper()
+	body, _ := json.Marshal(explainRequest{SQL: sql, Analyze: analyze})
+	resp, err := http.Post(base+"/explain", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, resp.StatusCode
+	}
+	var out explainResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return &out, resp.StatusCode
+}
+
+func TestExplainEndpoint(t *testing.T) {
+	db := newOrdersDB(t, 10, 5)
+	db.SetOptimizer(true)
+	s := New(db, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Plain explain: plan only, nothing executed.
+	resp, code := postExplain(t, ts.URL, "SELECT item FROM orders WHERE cust = 3", false)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if !resp.Covered || resp.Analyzed || resp.Plan == "" || !resp.Optimized {
+		t.Fatalf("unexpected explain response: %+v", resp)
+	}
+	if resp.Decision != string(decideAdmit) {
+		t.Errorf("decision = %s", resp.Decision)
+	}
+
+	// Analyze: executes and reports estimated vs actual per step.
+	resp, code = postExplain(t, ts.URL, "SELECT item FROM orders WHERE cust = 3", true)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if !resp.Analyzed || resp.Rows != 5 || len(resp.Steps) != 1 {
+		t.Fatalf("unexpected analyze response: %+v", resp)
+	}
+	st := resp.Steps[0]
+	if st.OutBound == 0 || st.EstKeys <= 0 || st.ActualKeys != 1 || st.ActualFetched != 5 {
+		t.Fatalf("step missing estimated-vs-actual data: %+v", st)
+	}
+
+	// The statistics catalog and optimizer setting surface in /stats.
+	sres, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sres.Body.Close()
+	var snap StatsSnapshot
+	if err := json.NewDecoder(sres.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if !snap.Optimizer.Enabled {
+		t.Error("optimizer.enabled missing from /stats")
+	}
+	if len(snap.Optimizer.Tables) != 1 || snap.Optimizer.Tables[0].Rows != 50 {
+		t.Errorf("stats catalog tables = %+v", snap.Optimizer.Tables)
+	}
+	if len(snap.Optimizer.Constraints) != 1 || snap.Optimizer.Constraints[0].MaxFanout != 5 {
+		t.Errorf("stats catalog constraints = %+v", snap.Optimizer.Constraints)
+	}
+}
+
+func TestExplainAnalyzeRespectsAdmission(t *testing.T) {
+	db := newOrdersDB(t, 10, 5)
+	// Budget below the bound of a full-customer fetch: analyze must be
+	// rejected without executing.
+	s := New(db, Config{BoundBudget: 3})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	if _, code := postExplain(t, ts.URL, "SELECT item FROM orders WHERE cust = 3", true); code != http.StatusUnprocessableEntity {
+		t.Fatalf("over-budget analyze: status %d, want 422", code)
+	}
+	// Plain explain of the same statement is free and succeeds.
+	resp, code := postExplain(t, ts.URL, "SELECT item FROM orders WHERE cust = 3", false)
+	if code != http.StatusOK {
+		t.Fatalf("plain explain: status %d", code)
+	}
+	if resp.Decision != string(decideReject) {
+		t.Errorf("decision = %s, want %s", resp.Decision, decideReject)
+	}
+}

@@ -118,9 +118,41 @@ type StatsSnapshot struct {
 	// (1 = serial).
 	Parallelism int `json:"parallelism"`
 
+	// Optimizer reports the cost-based optimizer's setting and the
+	// statistics catalog it plans with.
+	Optimizer OptimizerSnapshot `json:"optimizer"`
+
 	// Durability is present when the served database is backed by the
 	// WAL + snapshot storage engine.
 	Durability *DurabilitySnapshot `json:"durability,omitempty"`
+}
+
+// OptimizerSnapshot is the optimizer + statistics section of /stats.
+type OptimizerSnapshot struct {
+	Enabled bool `json:"enabled"`
+	// Tables and Constraints dump the statistics catalog: exact row
+	// counts and the live per-constraint fan-out distributions
+	// (declared worst-case bound N next to the observed mean/p50/p95/max).
+	Tables      []TableStatsJSON      `json:"tables"`
+	Constraints []ConstraintStatsJSON `json:"constraints"`
+}
+
+// TableStatsJSON is one table of the statistics-catalog dump.
+type TableStatsJSON struct {
+	Name string `json:"name"`
+	Rows int    `json:"rows"`
+}
+
+// ConstraintStatsJSON is one constraint of the statistics-catalog dump.
+type ConstraintStatsJSON struct {
+	Spec         string  `json:"spec"`
+	Bound        int     `json:"bound"`
+	DistinctKeys int64   `json:"distinctKeys"`
+	Tuples       int64   `json:"tuples"`
+	MeanFanout   float64 `json:"meanFanout"`
+	P50Fanout    int     `json:"p50Fanout"`
+	P95Fanout    int     `json:"p95Fanout"`
+	MaxFanout    int     `json:"maxFanout"`
 }
 
 // DurabilitySnapshot is the storage-engine section of /stats.
@@ -163,6 +195,23 @@ func (m *metrics) snapshot(db *beas.DB) StatsSnapshot {
 	}
 	s.PlanCacheHits, s.PlanCacheMisses = db.PlanCacheStats()
 	s.Parallelism = db.Parallelism()
+	s.Optimizer.Enabled = db.OptimizerEnabled()
+	tables, cons := db.DataStats()
+	for _, t := range tables {
+		s.Optimizer.Tables = append(s.Optimizer.Tables, TableStatsJSON{Name: t.Name, Rows: t.Rows})
+	}
+	for _, c := range cons {
+		s.Optimizer.Constraints = append(s.Optimizer.Constraints, ConstraintStatsJSON{
+			Spec:         c.Spec,
+			Bound:        c.Bound,
+			DistinctKeys: c.DistinctKeys,
+			Tuples:       c.Tuples,
+			MeanFanout:   c.MeanFanout,
+			P50Fanout:    c.P50Fanout,
+			P95Fanout:    c.P95Fanout,
+			MaxFanout:    c.MaxFanout,
+		})
+	}
 	s.BoundHistogram = make([]BoundBucket, len(boundLabels))
 	for i, l := range boundLabels {
 		s.BoundHistogram[i] = BoundBucket{LE: l, Count: m.boundHist[i].Load()}

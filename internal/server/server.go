@@ -21,8 +21,14 @@
 //	              of rows per batch, and a stats trailer.
 //	POST /check   {"sql": "SELECT ..."}  → the BE Checker's verdict and
 //	              the admission decision, without executing anything.
+//	POST /explain {"sql": "SELECT ...", "analyze": bool} → the plan with
+//	              per-step constraints, worst-case bounds and optimizer
+//	              estimates; with analyze the query executes (through
+//	              admission control) and each step reports estimated vs
+//	              actual keys, fetches and rows.
 //	GET  /stats   → counters, evaluation-mode totals, the deduced-bound
-//	              histogram and plan-cache hit rates.
+//	              histogram, plan-cache hit rates, and the optimizer +
+//	              statistics-catalog section.
 //	GET  /healthz → liveness plus row/constraint counts.
 package server
 
@@ -152,6 +158,7 @@ func New(db *beas.DB, cfg Config) *Server {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/query", s.handleQuery)
 	s.mux.HandleFunc("/check", s.handleCheck)
+	s.mux.HandleFunc("/explain", s.handleExplain)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	return s
@@ -387,48 +394,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	s.m.observeBound(info)
 	dec := s.admit(info)
-	switch dec {
-	case decideReject:
-		s.m.rejectedBudget.Add(1)
-		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{
-			Error:  fmt.Sprintf("query rejected: deduced access bound %d exceeds budget %d", info.Bound, s.cfg.BoundBudget),
-			Bound:  info.Bound,
-			Budget: s.cfg.BoundBudget,
-		})
-		return
-	case decideRejectUncovered:
-		s.m.rejectedUncovered.Add(1)
-		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{
-			Error:  "query rejected: not covered by the access schema",
-			Reason: info.Reason,
-		})
-		return
-	case decideQueue:
-		// Heavy lane first: over-budget queries contend only with each
-		// other here, then take a normal worker slot like everyone else.
-		s.m.queued.Add(1)
-		select {
-		case s.heavy <- struct{}{}:
-			defer func() { <-s.heavy }()
-		case <-ctx.Done():
-			s.m.canceled.Add(1)
-			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: ctx.Err().Error()})
-			return
-		}
-	}
-
-	if err := s.acquire(ctx); err != nil {
-		if errors.Is(err, errBusy) {
-			s.m.rejectedBusy.Add(1)
-			w.Header().Set("Retry-After", "1")
-			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
-		} else {
-			s.m.canceled.Add(1)
-			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
-		}
+	release, ok := s.gate(ctx, w, info, dec, "query")
+	if !ok {
 		return
 	}
-	defer s.release()
+	defer release()
 
 	if dec == decideDowngrade {
 		s.m.admitted.Add(1)
@@ -437,6 +407,65 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.streamQuery(ctx, w, sql, dec)
+}
+
+// gate enforces an admission decision's control flow for an executing
+// endpoint: rejections are answered here, queued statements wait in the
+// single-slot heavy lane (over-budget queries contend only with each
+// other there, then take a normal worker slot like everyone else), and
+// a worker slot is acquired. On ok the caller must defer release();
+// otherwise the response has been written. Downgrade handling is the
+// caller's (approximation on /query; /explain maps it to a rejection
+// before calling).
+func (s *Server) gate(ctx context.Context, w http.ResponseWriter, info *beas.CheckInfo, dec decision, verb string) (release func(), ok bool) {
+	switch dec {
+	case decideReject:
+		s.m.rejectedBudget.Add(1)
+		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{
+			Error:  fmt.Sprintf("%s rejected: deduced access bound %d exceeds budget %d", verb, info.Bound, s.cfg.BoundBudget),
+			Bound:  info.Bound,
+			Budget: s.cfg.BoundBudget,
+		})
+		return nil, false
+	case decideRejectUncovered:
+		s.m.rejectedUncovered.Add(1)
+		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{
+			Error:  verb + " rejected: not covered by the access schema",
+			Reason: info.Reason,
+		})
+		return nil, false
+	case decideQueue:
+		s.m.queued.Add(1)
+		select {
+		case s.heavy <- struct{}{}:
+		case <-ctx.Done():
+			s.m.canceled.Add(1)
+			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: ctx.Err().Error()})
+			return nil, false
+		}
+		if err := s.acquire(ctx); err != nil {
+			<-s.heavy
+			s.failAcquire(w, err)
+			return nil, false
+		}
+		return func() { s.release(); <-s.heavy }, true
+	}
+	if err := s.acquire(ctx); err != nil {
+		s.failAcquire(w, err)
+		return nil, false
+	}
+	return s.release, true
+}
+
+// failAcquire answers a failed worker-slot acquisition.
+func (s *Server) failAcquire(w http.ResponseWriter, err error) {
+	if errors.Is(err, errBusy) {
+		s.m.rejectedBusy.Add(1)
+		w.Header().Set("Retry-After", "1")
+	} else {
+		s.m.canceled.Add(1)
+	}
+	writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
 }
 
 // ndjson writes the /query wire format: one header line, one line per
@@ -637,6 +666,209 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		Decision:        string(s.admit(info)),
 		Budget:          s.cfg.BoundBudget,
 	})
+}
+
+// explainRequest is the JSON body of /explain.
+type explainRequest struct {
+	SQL string `json:"sql"`
+	// Analyze executes the query (through admission control) so the
+	// response carries actual counters next to the estimates.
+	Analyze bool `json:"analyze"`
+}
+
+// explainStepJSON is one fetch step of an /explain response.
+type explainStepJSON struct {
+	Atom       string  `json:"atom"`
+	Constraint string  `json:"constraint"`
+	KeyBound   uint64  `json:"keyBound"`
+	OutBound   uint64  `json:"outBound"`
+	EstKeys    float64 `json:"estKeys,omitempty"`
+	EstFetched float64 `json:"estFetched,omitempty"`
+	EstRows    float64 `json:"estRows,omitempty"`
+	// Actual counters are present only with analyze.
+	ActualKeys    int64   `json:"actualKeys,omitempty"`
+	ActualFetched int64   `json:"actualFetched,omitempty"`
+	ActualRows    int64   `json:"actualRows,omitempty"`
+	DurationMS    float64 `json:"durationMs,omitempty"`
+}
+
+// explainOpJSON is one conventional operator of an analyzed plan.
+type explainOpJSON struct {
+	Op         string  `json:"op"`
+	EstRows    float64 `json:"estRows,omitempty"`
+	RowsIn     int64   `json:"rowsIn"`
+	RowsOut    int64   `json:"rowsOut"`
+	DurationMS float64 `json:"durationMs"`
+}
+
+// explainResponse is the /explain verdict.
+type explainResponse struct {
+	Covered   bool   `json:"covered"`
+	Reason    string `json:"reason,omitempty"`
+	Bound     uint64 `json:"bound"`
+	Optimized bool   `json:"optimized"`
+	Decision  string `json:"decision"`
+	Plan      string `json:"plan,omitempty"`
+
+	Analyzed      bool              `json:"analyzed"`
+	Mode          string            `json:"mode,omitempty"`
+	Rows          int               `json:"rows,omitempty"`
+	TuplesFetched int64             `json:"tuplesFetched,omitempty"`
+	TuplesScanned int64             `json:"tuplesScanned,omitempty"`
+	Steps         []explainStepJSON `json:"steps,omitempty"`
+	Ops           []explainOpJSON   `json:"ops,omitempty"`
+	DurationMS    float64           `json:"durationMs,omitempty"`
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	var req explainRequest
+	if q := r.URL.Query().Get("q"); q != "" {
+		req.SQL = q
+		req.Analyze = r.URL.Query().Get("analyze") == "true"
+	} else if r.Body != nil {
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("decoding request body: %v", err)})
+			return
+		}
+	}
+	if req.SQL == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "empty sql"})
+		return
+	}
+	ctx := r.Context()
+	if s.cfg.QueryTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.QueryTimeout)
+		defer cancel()
+	}
+	info, err := s.db.CheckContext(ctx, req.SQL)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	dec := s.admit(info)
+	resp := explainResponse{
+		Covered:   info.Covered,
+		Reason:    info.Reason,
+		Bound:     info.Bound,
+		Optimized: s.db.OptimizerEnabled(),
+		Decision:  string(dec),
+		Plan:      info.Plan,
+	}
+	if !req.Analyze {
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	// ANALYZE executes the query, so it goes through the same admission
+	// gates as /query. There is no approximation downgrade for an
+	// analysis — an over-budget statement under PolicyApprox is rejected
+	// instead.
+	s.m.queries.Add(1)
+	s.m.observeBound(info)
+	if dec == decideDowngrade {
+		dec = decideReject
+	}
+	release, ok := s.gate(ctx, w, info, dec, "explain analyze")
+	if !ok {
+		return
+	}
+	defer release()
+
+	ri, err := s.db.QueryIterContext(ctx, req.SQL)
+	if err != nil {
+		if canceled(err) {
+			s.m.canceled.Add(1)
+			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+		} else {
+			s.m.failed.Add(1)
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		}
+		return
+	}
+	defer ri.Close()
+
+	// Re-verify admission against the catalog the cursor actually runs
+	// on, exactly like /query: a DDL commit between the admission check
+	// and cursor construction must not smuggle an uncovered full scan
+	// past AllowUncovered=false or a grown bound past the budget. Only
+	// the bounded part has run at this point.
+	st := ri.Stats()
+	if !st.Covered && !s.cfg.AllowUncovered {
+		ri.Close()
+		s.m.rejectedUncovered.Add(1)
+		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{
+			Error: "explain analyze rejected: access schema changed during admission; no longer covered",
+		})
+		return
+	}
+	if st.Covered && s.cfg.BoundBudget > 0 && st.Bound > s.cfg.BoundBudget {
+		ri.Close()
+		s.m.rejectedBudget.Add(1)
+		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{
+			Error:  fmt.Sprintf("explain analyze rejected: access schema changed during admission; deduced bound is now %d, over budget %d — retry", st.Bound, s.cfg.BoundBudget),
+			Bound:  st.Bound,
+			Budget: s.cfg.BoundBudget,
+		})
+		return
+	}
+
+	// Drain the cursor: the analysis wants the counters, not the rows.
+	var rows int64
+	for {
+		batch, err := ri.NextBatch()
+		if err != nil {
+			ri.Close()
+			s.m.observeResult(ri.Stats(), rows)
+			if canceled(err) {
+				s.m.canceled.Add(1)
+				writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+			} else {
+				s.m.failed.Add(1)
+				writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+			}
+			return
+		}
+		if batch == nil {
+			break
+		}
+		rows += int64(len(batch))
+	}
+	ri.Close()
+	s.m.admitted.Add(1)
+	s.m.observeResult(ri.Stats(), rows)
+	ea := beas.NewExplainAnalysis(req.SQL, ri.Stats(), int(rows))
+	resp.Analyzed = true
+	resp.Mode = string(ea.Mode)
+	resp.Rows = ea.Rows
+	resp.TuplesFetched = ea.TuplesFetched
+	resp.TuplesScanned = ea.TuplesScanned
+	resp.Plan = ea.Plan
+	resp.DurationMS = float64(ea.Duration) / float64(time.Millisecond)
+	for _, st := range ea.Steps {
+		resp.Steps = append(resp.Steps, explainStepJSON{
+			Atom:          st.Atom,
+			Constraint:    st.Constraint,
+			KeyBound:      st.KeyBound,
+			OutBound:      st.OutBound,
+			EstKeys:       st.EstKeys,
+			EstFetched:    st.EstFetched,
+			EstRows:       st.EstRows,
+			ActualKeys:    st.ActualKeys,
+			ActualFetched: st.ActualFetched,
+			ActualRows:    st.ActualRows,
+			DurationMS:    float64(st.Duration) / float64(time.Millisecond),
+		})
+	}
+	for _, op := range ea.Ops {
+		resp.Ops = append(resp.Ops, explainOpJSON{
+			Op:         op.Op,
+			EstRows:    op.EstRows,
+			RowsIn:     op.RowsIn,
+			RowsOut:    op.RowsOut,
+			DurationMS: float64(op.Duration) / float64(time.Millisecond),
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

@@ -174,6 +174,25 @@ func (t *Table) Row(i int) value.Row {
 	return t.rows[i]
 }
 
+// Version returns the table's mutation counter. Derived structures (the
+// statistics catalog's per-column summaries) cache against it: equal
+// versions guarantee identical rows.
+func (t *Table) Version() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.version
+}
+
+// WithRows calls fn with the table's rows and current version under the
+// read lock, so fn observes a consistent snapshot even against an
+// in-place Delete compaction. fn must not retain or mutate the slice and
+// must not call back into the table.
+func (t *Table) WithRows(fn func(rows []value.Row, version uint64)) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	fn(t.rows, t.version)
+}
+
 // Cursor is a batched scan over a table. Each Next call copies at most
 // one batch of row references out under the read lock, so a scan never
 // holds the lock for the whole relation and never forces the caller to

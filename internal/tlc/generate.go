@@ -40,6 +40,11 @@ const (
 	ParamBizPnum = 500001
 	// ParamCategory is a complaint category with planted cases.
 	ParamCategory = "coverage"
+	// ParamCallRegion is the destination-region filter of Q12; some of the
+	// planted bank calls on ParamDate land there (their regions are drawn
+	// uniformly from Regions), so the answer is non-empty at every scale
+	// while the filter still prunes most banks.
+	ParamCallRegion = "r9"
 	// Year is the observation year of the generated records.
 	Year = 2016
 )

@@ -1,6 +1,6 @@
 // Package tlc is a synthetic stand-in for the proprietary
 // telecommunication benchmark of the paper's evaluation ("TLC": 12
-// relations, 285 attributes, 11 built-in analytical queries; name
+// relations, 285 attributes, 12 built-in analytical queries; name
 // withheld by the authors). The three relations the paper discloses
 // (call, package, business) and the access constraints ψ1–ψ3 of Example 1
 // are embedded verbatim; the remaining relations model the usual CDR

@@ -28,6 +28,12 @@ type Options struct {
 	// n > 1 lets a single bounded plan exploit n cores. 0 or 1 keeps the
 	// serial executor. Results are bit-identical across settings.
 	Parallelism int
+	// Optimizer enables the cost-based plan optimizer (see
+	// DB.SetOptimizer): covered queries then pick among equivalent
+	// coverage derivations by statistics-estimated cost instead of
+	// worst-case bounds. Results are identical either way; the reported
+	// worst-case admission bound is unchanged.
+	Optimizer bool
 }
 
 const defaultSnapshotEvery = 100_000
@@ -107,6 +113,9 @@ func Open(dir string, opts *Options) (*DB, error) {
 	db := NewDB()
 	if o.Parallelism > 1 {
 		db.SetParallelism(o.Parallelism)
+	}
+	if o.Optimizer {
+		db.SetOptimizer(true)
 	}
 	db.walDir = dir
 	db.snapEvery = o.SnapshotEvery

@@ -121,7 +121,7 @@ func (db *DB) CheckContext(ctx context.Context, sql string) (*CheckInfo, error) 
 	info := &CheckInfo{Covered: true, EmptyGuaranteed: true}
 	var planText string
 	for i, q := range p.branches {
-		chk := core.Check(q, db.access)
+		chk := db.rewriteLocked(q, core.Check(q, db.access))
 		if !chk.EmptyGuaranteed {
 			info.EmptyGuaranteed = false
 		}
@@ -197,10 +197,10 @@ func (db *DB) query(ctx context.Context, sql string, allowFallback bool) (*Resul
 		return nil, err
 	}
 	start := time.Now()
-	res := &Result{Columns: p.branches[0].OutputNames(), Stats: Stats{Mode: ModeBounded, Covered: true}}
+	res := &Result{Columns: p.branches[0].OutputNames(), Stats: Stats{Mode: ModeBounded, Covered: true, Optimized: db.optzr != nil}}
 	var rows []value.Row
 	for i, q := range p.branches {
-		chk := core.Check(q, db.access)
+		chk := db.rewriteLocked(q, core.Check(q, db.access))
 		var branchRows []value.Row
 		switch {
 		case chk.Covered:
@@ -386,8 +386,17 @@ func (db *DB) QueryApproxContext(ctx context.Context, sql string, budget int64) 
 
 // Explain returns a human-readable description of how Query would
 // evaluate sql: the checker verdict, the deduced bound and the plan.
+// Covered plans list, per fetch step, the access constraint, the
+// worst-case key/tuple bounds and — with the cost-based optimizer on —
+// the statistics-based estimated fetches.
 func (db *DB) Explain(sql string) (string, error) {
-	info, err := db.Check(sql)
+	return db.ExplainContext(context.Background(), sql)
+}
+
+// ExplainContext is Explain under a context: nothing is executed, so ctx
+// is consulted once up front, like CheckContext.
+func (db *DB) ExplainContext(ctx context.Context, sql string) (string, error) {
+	info, err := db.CheckContext(ctx, sql)
 	if err != nil {
 		return "", err
 	}

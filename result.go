@@ -33,7 +33,10 @@ const (
 	ModeEmpty Mode = "empty-guaranteed"
 )
 
-// StepStat reports one fetch step of a bounded plan.
+// StepStat reports one fetch step of a bounded plan: its identity, the
+// actual work counters, the a-priori worst-case bounds and (optimizer
+// on) the statistics-based estimates — the estimated-vs-actual rows of
+// EXPLAIN ANALYZE.
 type StepStat struct {
 	Atom        string
 	Constraint  string
@@ -41,6 +44,12 @@ type StepStat struct {
 	Fetched     int64
 	RowsOut     int64
 	Duration    time.Duration
+
+	// KeyBound / OutBound are the step's worst-case bounds deduced before
+	// execution; EstKeys / EstFetched / EstRows the cost-based
+	// optimizer's estimates (zero when the optimizer is off).
+	KeyBound, OutBound           uint64
+	EstKeys, EstFetched, EstRows float64
 }
 
 // OpStat reports one conventional physical operator.
@@ -49,6 +58,9 @@ type OpStat struct {
 	RowsIn   int64
 	RowsOut  int64
 	Duration time.Duration
+	// EstRows is the planner's cardinality estimate for the operator's
+	// output (0 where no estimate applies).
+	EstRows float64
 }
 
 // Stats describes how a query was executed — the data behind the demo's
@@ -56,6 +68,9 @@ type OpStat struct {
 type Stats struct {
 	Mode    Mode
 	Covered bool
+	// Optimized reports that the cost-based optimizer was consulted for
+	// this query (its estimates then appear on the fetch steps).
+	Optimized bool
 	// Bound is the deduced a-priori bound M on tuples fetched (covered
 	// queries only).
 	Bound uint64

@@ -1,0 +1,194 @@
+package beas
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/bounded-eval/beas/internal/value"
+)
+
+// The statistics catalog must stay exact — row counts, per-constraint
+// distinct-X counts, tuple counts and fan-out maxima — under an
+// arbitrary interleaving of Insert, Delete and Retighten, because the
+// cost-based optimizer plans with it and the fan-out histograms are
+// maintained incrementally (O(1) per mutation) rather than recomputed.
+// This property test runs a randomized workload against a durable
+// database, checks the catalog against a naive recomputation from a
+// mirrored row set at every step, and re-checks after a simulated crash
+// (WAL replay) and after a clean close/reopen (snapshot load).
+
+type statsOracle struct {
+	rows []value.Row // mirror of table w(a, b, c)
+}
+
+func (o *statsOracle) insert(a, b int64, c string) {
+	o.rows = append(o.rows, value.Row{value.NewInt(a), value.NewInt(b), value.NewString(c)})
+}
+
+func (o *statsOracle) deleteA(a int64) {
+	kept := o.rows[:0]
+	for _, r := range o.rows {
+		if r[0].I != a {
+			kept = append(kept, r)
+		}
+	}
+	o.rows = kept
+}
+
+// fanout recomputes (distinctX, tuples, maxFanout) for X = the given
+// column positions, Y = the remaining columns, from the mirror.
+func (o *statsOracle) fanout(xPos []int) (keys int64, tuples int64, maxF int) {
+	perKey := make(map[string]map[string]bool)
+	var yPos []int
+	for i := 0; i < 3; i++ {
+		inX := false
+		for _, x := range xPos {
+			if x == i {
+				inX = true
+			}
+		}
+		if !inX {
+			yPos = append(yPos, i)
+		}
+	}
+	for _, r := range o.rows {
+		xk := value.Key(r.Project(xPos))
+		yk := value.Key(r.Project(yPos))
+		if perKey[xk] == nil {
+			perKey[xk] = make(map[string]bool)
+		}
+		perKey[xk][yk] = true
+	}
+	for _, ys := range perKey {
+		tuples += int64(len(ys))
+		if len(ys) > maxF {
+			maxF = len(ys)
+		}
+	}
+	return int64(len(perKey)), tuples, maxF
+}
+
+// checkCatalog compares the database's catalog dump against the mirror.
+func checkCatalog(t *testing.T, db *DB, o *statsOracle, context string) {
+	t.Helper()
+	tables, cons := db.DataStats()
+	for _, tb := range tables {
+		if tb.Name == "w" && tb.Rows != len(o.rows) {
+			t.Fatalf("%s: catalog rows = %d, mirror = %d", context, tb.Rows, len(o.rows))
+		}
+	}
+	xFor := map[string][]int{
+		"w({a} -> {b, c}": {0},
+		"w({a, b} -> {c}": {0, 1},
+	}
+	matched := 0
+	for _, cs := range cons {
+		for prefix, xPos := range xFor {
+			if len(cs.Spec) < len(prefix) || cs.Spec[:len(prefix)] != prefix {
+				continue
+			}
+			matched++
+			keys, tuples, maxF := o.fanout(xPos)
+			if cs.DistinctKeys != keys {
+				t.Fatalf("%s: %s distinct keys = %d, want %d", context, cs.Spec, cs.DistinctKeys, keys)
+			}
+			if cs.Tuples != tuples {
+				t.Fatalf("%s: %s tuples = %d, want %d", context, cs.Spec, cs.Tuples, tuples)
+			}
+			if cs.MaxFanout != maxF {
+				t.Fatalf("%s: %s max fanout = %d, want %d", context, cs.Spec, cs.MaxFanout, maxF)
+			}
+			if keys > 0 {
+				wantMean := float64(tuples) / float64(keys)
+				if diff := cs.MeanFanout - wantMean; diff > 1e-9 || diff < -1e-9 {
+					t.Fatalf("%s: %s mean fanout = %v, want %v", context, cs.Spec, cs.MeanFanout, wantMean)
+				}
+				if cs.P50Fanout > cs.P95Fanout || cs.P95Fanout > cs.MaxFanout {
+					t.Fatalf("%s: %s quantiles disordered: p50=%d p95=%d max=%d",
+						context, cs.Spec, cs.P50Fanout, cs.P95Fanout, cs.MaxFanout)
+				}
+			}
+		}
+	}
+	if matched < 2 {
+		t.Fatalf("%s: catalog dump matched only %d of the 2 constraints", context, matched)
+	}
+}
+
+func TestStatsCatalogExactUnderWorkload(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, &Options{SnapshotEvery: -1, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateTable("w", "a INT", "b INT", "c STRING"); err != nil {
+		t.Fatal(err)
+	}
+	o := &statsOracle{}
+	// Seed a few rows so the auto-widened registrations see data.
+	rng := rand.New(rand.NewSource(20260730))
+	seed := func() (int64, int64, string) {
+		return int64(rng.Intn(7)), int64(rng.Intn(5)), fmt.Sprintf("c%d", rng.Intn(4))
+	}
+	for i := 0; i < 20; i++ {
+		a, b, c := seed()
+		db.MustInsert("w", a, b, c)
+		o.insert(a, b, c)
+	}
+	if _, err := db.RegisterConstraintAuto("w", []string{"a"}, []string{"b", "c"}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.RegisterConstraintAuto("w", []string{"a", "b"}, []string{"c"}, 1); err != nil {
+		t.Fatal(err)
+	}
+	checkCatalog(t, db, o, "after seed")
+
+	const ops = 400
+	for i := 0; i < ops; i++ {
+		switch rng.Intn(10) {
+		case 0: // delete every row with one a-value
+			a := int64(rng.Intn(7))
+			if _, err := db.Delete("w", map[string]any{"a": a}); err != nil {
+				t.Fatal(err)
+			}
+			o.deleteA(a)
+		case 1: // retighten the bounds to the observed maxima
+			if _, err := db.Retighten(); err != nil {
+				t.Fatal(err)
+			}
+		default:
+			a, b, c := seed()
+			db.MustInsert("w", a, b, c)
+			o.insert(a, b, c)
+		}
+		if i%25 == 0 {
+			checkCatalog(t, db, o, fmt.Sprintf("after op %d", i))
+		}
+	}
+	checkCatalog(t, db, o, "after workload")
+
+	// Crash simulation: copy the live directory (WAL only, no snapshot —
+	// SnapshotEvery is disabled) and recover. The recovered catalog must
+	// be exactly as exact as the live one.
+	crashDir := copyDir(t, dir)
+	crashed, err := Open(crashDir, nil)
+	if err != nil {
+		t.Fatalf("recovering crash copy: %v", err)
+	}
+	checkCatalog(t, crashed, o, "after crash recovery (WAL replay)")
+	if err := crashed.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Clean close + reopen: recovery from the final snapshot.
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	checkCatalog(t, re, o, "after snapshot reopen")
+}

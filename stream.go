@@ -76,11 +76,11 @@ func (db *DB) QueryIterContext(ctx context.Context, sql string) (*RowIter, error
 		db:      db,
 		columns: p.branches[0].OutputNames(),
 		start:   time.Now(),
-		res:     &Result{Columns: p.branches[0].OutputNames(), Stats: Stats{Mode: ModeBounded, Covered: true}},
+		res:     &Result{Columns: p.branches[0].OutputNames(), Stats: Stats{Mode: ModeBounded, Covered: true, Optimized: db.optzr != nil}},
 	}
 	parts := make([]iter.Iterator, 0, len(p.branches))
 	for _, q := range p.branches {
-		chk := core.Check(q, db.access)
+		chk := db.rewriteLocked(q, core.Check(q, db.access))
 		if chk.Covered {
 			plan, err := core.NewPlan(q, chk)
 			if err != nil {

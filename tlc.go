@@ -5,6 +5,8 @@ import (
 
 	"github.com/bounded-eval/beas/internal/access"
 	"github.com/bounded-eval/beas/internal/engine"
+	"github.com/bounded-eval/beas/internal/schema"
+	"github.com/bounded-eval/beas/internal/stats"
 	"github.com/bounded-eval/beas/internal/storage"
 	"github.com/bounded-eval/beas/internal/tlc"
 )
@@ -19,7 +21,7 @@ type TLCQuery struct {
 	Covered bool
 }
 
-// TLCQueries returns the benchmark's 11 built-in analytical queries
+// TLCQueries returns the benchmark's 12 built-in analytical queries
 // (Q1 is the paper's Example 2).
 func TLCQueries() []TLCQuery {
 	qs := tlc.Queries()
@@ -43,12 +45,7 @@ func NewTLCDB(scale int) (*DB, error) {
 	if err := tlc.Generate(store, tlc.Config{Scale: scale, Seed: 20170514}); err != nil {
 		return nil, err
 	}
-	db := &DB{
-		schema:   sch,
-		store:    store,
-		access:   access.NewSchema(store),
-		fallback: engine.New(store, engine.ProfilePostgres),
-	}
+	db := newTLCBackedDB(sch, store)
 	for _, spec := range tlc.AccessSchemaSpecs() {
 		if err := db.RegisterConstraint(spec); err != nil {
 			return nil, fmt.Errorf("beas: registering TLC access schema: %w", err)
@@ -71,13 +68,18 @@ func MustNewTLCDB(scale int) *DB {
 // and registering constraints afterwards.
 func NewTLCSchemaDB() *DB {
 	sch := tlc.Database()
-	store := storage.NewStore(sch)
-	return &DB{
-		schema:   sch,
-		store:    store,
-		access:   access.NewSchema(store),
-		fallback: engine.New(store, engine.ProfilePostgres),
-	}
+	return newTLCBackedDB(sch, storage.NewStore(sch))
+}
+
+// newTLCBackedDB assembles a DB over a pre-built schema and store with
+// the same service wiring as NewDB (access schema, statistics catalog,
+// fallback engine).
+func newTLCBackedDB(sch *schema.Database, store *storage.Store) *DB {
+	db := &DB{schema: sch, store: store}
+	db.access = access.NewSchema(store)
+	db.statsCat = stats.NewCatalog(store, db.access)
+	db.fallback = engine.New(store, engine.ProfilePostgres)
+	return db
 }
 
 // TableNames returns the database's table names.
