@@ -69,6 +69,12 @@ type DB struct {
 	// (the default) — the serial code paths are taken untouched and
 	// per-query results are identical either way. Guarded by db.mu.
 	par int
+	// vecOff disables the columnar (vectorized) executors; the zero value
+	// means vectorized execution is ON. Guarded by db.mu.
+	vecOff bool
+	// batch is the columnar batch row capacity; 0 means the default
+	// (iter.BatchSize). Guarded by db.mu.
+	batch int
 
 	// planCache memoises parse + analysis per SQL text; catalogVersion
 	// invalidates it on any schema or access-schema change. Both the
@@ -163,9 +169,58 @@ func (db *DB) rebuildFallbackLocked() {
 		par = 1
 	}
 	db.fallback = engine.NewParallel(db.store, engine.ProfilePostgres, par)
+	db.fallback.WithVectorized(!db.vecOff).WithBatchSize(db.batch)
 	if db.optzr != nil {
 		db.fallback.WithStats(db.statsCat)
 	}
+}
+
+// SetVectorized turns columnar (vectorized) execution on or off (default
+// on). With it on, scans fill typed column vectors, simple comparison
+// filters run as tight per-column loops writing selection vectors, and
+// projection, aggregation, hash-join sides and the bounded executor's
+// fetch steps work batch-at-a-time on columns. Result bags, row order
+// and execution statistics are bit-identical either way — only speed
+// changes. In-flight queries keep the setting they started with.
+func (db *DB) SetVectorized(on bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.vecOff = !on
+	db.rebuildFallbackLocked()
+}
+
+// VectorizedEnabled reports whether columnar execution is on.
+func (db *DB) VectorizedEnabled() bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return !db.vecOff
+}
+
+// SetBatchSize sets the columnar batch row capacity for subsequent
+// queries (n ≤ 0 restores the default, 256). Larger batches amortise
+// per-batch overhead; smaller ones reduce peak memory per operator.
+func (db *DB) SetBatchSize(n int) {
+	if n < 0 {
+		n = 0
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.batch = n
+	db.rebuildFallbackLocked()
+}
+
+// BatchSize reports the columnar batch row capacity (0 = default).
+func (db *DB) BatchSize() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.batch
+}
+
+// vecPlanLocked stamps the columnar-execution settings onto a bounded
+// plan. Callers hold db.mu (read suffices).
+func (db *DB) vecPlanLocked(plan *core.Plan) {
+	plan.Vectorized = !db.vecOff
+	plan.BatchSize = db.batch
 }
 
 // rewriteLocked runs the cost-based optimizer over a checker verdict

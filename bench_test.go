@@ -458,3 +458,48 @@ func BenchmarkParallelJoin(b *testing.B) {
 		})
 	}
 }
+
+// Vectorized-vs-scalar allocation benchmarks. The columnar executor's
+// whole point is fewer per-row allocations and tight per-column loops;
+// these three shapes (filter-heavy scan, hash-join probe, grouped
+// aggregate) are the ones BENCH_columnar.json gates, measured here with
+// allocation tracking so a regression shows up as allocs/op, not just
+// ns/op. The scalar sub-run is the baseline the speedup is claimed
+// against.
+var vecBenchSQL = map[string]string{
+	"scan-filter": "SELECT pnum, duration, charge FROM call WHERE duration > 30 AND charge > 1.0 AND roaming_flag = 0",
+	"join-probe":  "SELECT call.region, package.pid FROM call, package WHERE call.pnum = package.pnum",
+	"agg-group":   "SELECT region, COUNT(*) AS calls, SUM(duration) AS total_s, MAX(charge) AS top FROM call GROUP BY region",
+}
+
+func benchVecAlloc(b *testing.B, sql string) {
+	const scale = 5
+	db := tlcDB(b, scale)
+	for _, vec := range []bool{true, false} {
+		name := "vectorized"
+		if !vec {
+			name = "scalar"
+		}
+		b.Run(name, func(b *testing.B) {
+			db.SetVectorized(vec)
+			defer db.SetVectorized(true) // tlcCache instances are shared
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := db.QueryBaseline(sql, BaselinePostgres)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Rows) == 0 {
+					b.Fatal("empty result")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkVecScanFilter(b *testing.B) { benchVecAlloc(b, vecBenchSQL["scan-filter"]) }
+
+func BenchmarkVecJoinProbe(b *testing.B) { benchVecAlloc(b, vecBenchSQL["join-probe"]) }
+
+func BenchmarkVecGroupedAgg(b *testing.B) { benchVecAlloc(b, vecBenchSQL["agg-group"]) }

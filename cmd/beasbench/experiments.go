@@ -309,6 +309,39 @@ func (h *harness) maint() {
 	fmt.Printf("  (a full rebuild would re-scan all %d call rows per update batch)\n", n)
 }
 
+// vector (E10): the vectorized execution micro-suite — the three operator
+// shapes the columnar executor targets (filter-heavy scan, hash-join
+// probe, grouped aggregate), run through the conventional engine where
+// the columnar scan, vectorized filters and columnar join/aggregate
+// tails engage. Run once with -novec to record BENCH_baseline.json and
+// once without for BENCH_columnar.json; cmd/benchgate compares the two.
+func (h *harness) vector() {
+	mode := "vectorized"
+	if h.novec {
+		mode = "scalar (-novec)"
+	}
+	h.banner(fmt.Sprintf("E10: vectorized execution suite at scale %d — %s", h.scale, mode))
+	db := h.db(h.scale)
+	queries := []struct{ name, sql string }{
+		{"scan-filter", "SELECT pnum, duration, charge FROM call WHERE duration > 30 AND charge > 1.0 AND roaming_flag = 0"},
+		{"join-probe", "SELECT call.region, package.pid FROM call, package WHERE call.pnum = package.pnum"},
+		{"agg-group", "SELECT region, COUNT(*) AS calls, SUM(duration) AS total_s, MAX(charge) AS top FROM call GROUP BY region"},
+	}
+	var rows [][]string
+	for _, q := range queries {
+		d, res, err := h.timeBaseline(db, q.sql, beas.BaselinePostgres)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		h.record("vector", q.name, h.scale, d, res)
+		rows = append(rows, []string{q.name, ms(d),
+			fmt.Sprintf("%d", res.Stats.TuplesScanned), fmt.Sprintf("%d", len(res.Rows))})
+	}
+	table([]string{"shape", "time (ms)", "scanned", "rows"}, rows)
+	fmt.Printf("  vectorized execution enabled: %v\n", db.VectorizedEnabled())
+}
+
 func indent(s, pad string) string {
 	out := ""
 	for _, line := range splitLines(s) {

@@ -24,11 +24,12 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: example2, fig3, fig4, queries, budget, partial, discovery, approx, maint, all")
+	exp := flag.String("exp", "all", "experiment: example2, fig3, fig4, queries, budget, partial, discovery, approx, maint, vector, all")
 	scale := flag.Int("scale", 5, "TLC scale factor for single-scale experiments")
 	scales := flag.String("scales", "1,2,5,10,20", "comma-separated scale factors for the fig4 sweep")
 	runs := flag.Int("runs", 3, "timing repetitions (the minimum is reported)")
 	jsonOut := flag.String("json", "", "also write machine-readable per-experiment timings (name, scale, runs, ns/op, rows fetched) to this file")
+	noVec := flag.Bool("novec", false, "disable vectorized (columnar) execution; use to record the scalar baseline")
 	flag.Parse()
 
 	sc, err := parseScales(*scales)
@@ -36,7 +37,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "beasbench:", err)
 		os.Exit(2)
 	}
-	h := &harness{scale: *scale, scales: sc, runs: *runs}
+	h := &harness{scale: *scale, scales: sc, runs: *runs, novec: *noVec}
 	defer func() {
 		if *jsonOut == "" {
 			return
@@ -58,9 +59,10 @@ func main() {
 		"discovery": h.discovery,
 		"approx":    h.approx,
 		"maint":     h.maint,
+		"vector":    h.vector,
 	}
 	if *exp == "all" {
-		for _, name := range []string{"example2", "fig3", "fig4", "queries", "budget", "partial", "discovery", "approx", "maint"} {
+		for _, name := range []string{"example2", "fig3", "fig4", "queries", "budget", "partial", "discovery", "approx", "maint", "vector"} {
 			all[name]()
 		}
 		return
@@ -89,6 +91,7 @@ type harness struct {
 	scale  int
 	scales []int
 	runs   int
+	novec  bool
 
 	dbCache map[int]*beas.DB
 	records []benchRecord
@@ -141,6 +144,9 @@ func (h *harness) db(scale int) *beas.DB {
 	}
 	fmt.Printf("  [generating TLC at scale %d ...]\n", scale)
 	db := beas.MustNewTLCDB(scale)
+	if h.novec {
+		db.SetVectorized(false)
+	}
 	h.dbCache[scale] = db
 	return db
 }

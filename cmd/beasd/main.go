@@ -52,6 +52,8 @@ func main() {
 	workers := flag.Int("workers", 0, "max concurrent query executions (default: GOMAXPROCS)")
 	parallelism := flag.Int("parallelism", 1, "intra-query parallelism: worker goroutines per query for bounded fetch steps and hash joins (1 = serial, 0 = GOMAXPROCS)")
 	optimizer := flag.Bool("optimizer", false, "enable the cost-based plan optimizer (statistics-driven fetch-step ordering and join planning; results are identical, admission bounds unchanged)")
+	batchSize := flag.Int("batch-size", 0, "columnar batch row capacity for vectorized execution (0 = default 256)")
+	noVec := flag.Bool("novec", false, "disable vectorized (columnar) execution; results are identical, only speed changes")
 	queueDepth := flag.Int("queue-depth", 0, "max requests waiting for a worker (default 64)")
 	timeout := flag.Duration("timeout", time.Minute, "per-query execution deadline; 0 disables it (a stalled client then holds the catalog read lock indefinitely)")
 	allowUncovered := flag.Bool("allow-uncovered", false, "admit queries not covered by the access schema (no a-priori bound)")
@@ -79,6 +81,12 @@ func main() {
 	db.SetParallelism(par)
 	if *optimizer {
 		db.SetOptimizer(true)
+	}
+	if *batchSize > 0 {
+		db.SetBatchSize(*batchSize)
+	}
+	if *noVec {
+		db.SetVectorized(false)
 	}
 
 	srv := server.New(db, server.Config{

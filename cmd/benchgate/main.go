@@ -1,0 +1,118 @@
+// Command benchgate compares two beasbench -json files and fails when
+// the current run is slower than the baseline beyond a threshold. It is
+// the CI tripwire for the vectorized execution suite: records are
+// matched on (experiment, name, scale), and any matched record whose
+// nsPerOp exceeds threshold × baseline fails the gate.
+//
+// Usage:
+//
+//	benchgate -baseline BENCH_baseline.json -current bench.json [-threshold 1.2] [-exp vector]
+//
+// Both files must use the beasbench/v1 schema. Records present in only
+// one file are reported but do not fail the gate (experiments come and
+// go); a baseline with zero matched records fails it, since a gate that
+// matched nothing guards nothing.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type benchRecord struct {
+	Experiment string `json:"experiment"`
+	Name       string `json:"name"`
+	Scale      int    `json:"scale"`
+	NsPerOp    int64  `json:"nsPerOp"`
+}
+
+type benchFile struct {
+	Schema  string        `json:"schema"`
+	Records []benchRecord `json:"records"`
+}
+
+func load(path string) (map[string]int64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f benchFile
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if f.Schema != "beasbench/v1" {
+		return nil, fmt.Errorf("%s: unexpected schema %q", path, f.Schema)
+	}
+	out := make(map[string]int64, len(f.Records))
+	for _, r := range f.Records {
+		out[fmt.Sprintf("%s/%s@%d", r.Experiment, r.Name, r.Scale)] = r.NsPerOp
+	}
+	return out, nil
+}
+
+func main() {
+	baseline := flag.String("baseline", "", "baseline beasbench JSON (required)")
+	current := flag.String("current", "", "current beasbench JSON (required)")
+	threshold := flag.Float64("threshold", 1.2, "fail when current nsPerOp > threshold * baseline nsPerOp")
+	exp := flag.String("exp", "", "only gate records of this experiment (empty = all)")
+	flag.Parse()
+	if *baseline == "" || *current == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -baseline and -current are required")
+		os.Exit(2)
+	}
+
+	base, err := load(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	cur, err := load(*current)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+
+	matched, failed := 0, 0
+	for key, b := range base {
+		if *exp != "" && !matchExp(key, *exp) {
+			continue
+		}
+		c, ok := cur[key]
+		if !ok {
+			fmt.Printf("benchgate: %s only in baseline, skipped\n", key)
+			continue
+		}
+		matched++
+		limit := int64(float64(b) * *threshold)
+		status := "ok"
+		if b > 0 && c > limit {
+			status = "FAIL"
+			failed++
+		}
+		fmt.Printf("benchgate: %-40s baseline %12d ns/op  current %12d ns/op  (%.2fx, limit %.2fx)  %s\n",
+			key, b, c, float64(c)/float64(b), *threshold, status)
+	}
+	for key := range cur {
+		if *exp != "" && !matchExp(key, *exp) {
+			continue
+		}
+		if _, ok := base[key]; !ok {
+			fmt.Printf("benchgate: %s only in current, skipped\n", key)
+		}
+	}
+	if matched == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: no records matched between the two files")
+		os.Exit(1)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %d of %d records regressed beyond %.2fx\n", failed, matched, *threshold)
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: %d records within %.2fx of baseline\n", matched, *threshold)
+}
+
+func matchExp(key, exp string) bool {
+	return len(key) > len(exp) && key[:len(exp)] == exp && key[len(exp)] == '/'
+}

@@ -104,21 +104,45 @@ func StreamContext(ctx context.Context, p *Plan) (iter.Iterator, *Stats) {
 	// the number of identical base-row combinations it stands for, since
 	// constraint indices return distinct partial tuples with witness
 	// counts (SQL bag semantics are restored by the relational tail).
-	cur := iter.FromRows([]value.Row{make(value.Row, layout.Len())}, nil)
 	st.Steps = make([]StepStat, len(p.Steps))
-	for i := range p.Steps {
-		step := &p.Steps[i]
-		st.Steps[i] = statFor(q, step)
-		cur = &stepOp{
-			ctx:     ctx,
-			step:    step,
-			in:      cur,
-			layout:  layout,
-			ss:      &st.Steps[i],
-			fetched: &st.Fetched,
+
+	var out iter.Iterator
+	if p.Vectorized {
+		batch := p.BatchSize
+		if batch <= 0 {
+			batch = iter.BatchSize
 		}
+		cur := iter.ColFromRows([]value.Row{make(value.Row, layout.Len())}, nil, layout.Len(), batch)
+		for i := range p.Steps {
+			step := &p.Steps[i]
+			st.Steps[i] = statFor(q, step)
+			cur = &colStepOp{
+				ctx:     ctx,
+				step:    step,
+				in:      cur,
+				layout:  layout,
+				ss:      &st.Steps[i],
+				fetched: &st.Fetched,
+				batch:   batch,
+			}
+		}
+		out = iter.Counted(exec.StreamCol(q, cur, layout), &st.RowsOut)
+	} else {
+		cur := iter.FromRows([]value.Row{make(value.Row, layout.Len())}, nil)
+		for i := range p.Steps {
+			step := &p.Steps[i]
+			st.Steps[i] = statFor(q, step)
+			cur = &stepOp{
+				ctx:     ctx,
+				step:    step,
+				in:      cur,
+				layout:  layout,
+				ss:      &st.Steps[i],
+				fetched: &st.Fetched,
+			}
+		}
+		out = iter.Counted(exec.Stream(q, cur, layout), &st.RowsOut)
 	}
-	out := iter.Counted(exec.Stream(q, cur, layout), &st.RowsOut)
 	out = iter.WithContext(ctx, out)
 	return iter.OnClose(out, func() { st.Duration = time.Since(start) }), st
 }
@@ -200,6 +224,121 @@ func (s *stepOp) Next(b *iter.Batch) (bool, error) {
 // probe different key sets — fetching each distinct key exactly once
 // through the memo, and appends the extended rows that pass the step's
 // filters to b.
+// colStepOp is the columnar fetch step: it pulls batches of intermediate
+// rows as column vectors, probes the constraint index exactly like stepOp
+// (same stepKeys enumeration, same memo), and appends extended rows into
+// the output batch's columns through one reused scratch row — no
+// per-output row allocation. Emission order, filters and weights match
+// stepOp exactly.
+type colStepOp struct {
+	ctx     context.Context
+	step    *PlanStep
+	in      iter.ColIterator
+	layout  *analyze.Layout
+	ss      *StepStat
+	fetched *int64
+	batch   int
+
+	memo    map[string]wBucket
+	key     []value.Value
+	kb      []byte
+	buf     iter.ColBatch
+	pos     int       // next live-row index in buf
+	scratch value.Row // current input row, read from buf; never mutated
+	outRow  value.Row // output row under construction, copied per emission
+	done    bool
+}
+
+func (s *colStepOp) Open() error {
+	s.memo = make(map[string]wBucket)
+	s.key = make([]value.Value, len(s.step.Keys))
+	s.scratch = make(value.Row, s.layout.Len())
+	s.outRow = make(value.Row, s.layout.Len())
+	return s.in.Open()
+}
+
+func (s *colStepOp) Close() error { return s.in.Close() }
+
+func (s *colStepOp) NextCols(b *iter.ColBatch) (bool, error) {
+	t0 := time.Now()
+	var upstream time.Duration
+	defer func() { s.ss.Duration += time.Since(t0) - upstream }()
+	if err := s.ctx.Err(); err != nil {
+		return false, err
+	}
+	b.Reset(s.layout.Len())
+	for b.Rows() < s.batch && !s.done {
+		if s.pos >= s.buf.Len() {
+			u0 := time.Now()
+			ok, err := s.in.NextCols(&s.buf)
+			upstream += time.Since(u0)
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				s.done = true
+				break
+			}
+			s.pos = 0
+			continue
+		}
+		p := s.buf.Index(s.pos)
+		s.buf.ReadRow(p, s.scratch)
+		w := s.buf.Weight(p)
+		s.pos++
+		if err := s.expand(b, s.scratch, w); err != nil {
+			return false, err
+		}
+	}
+	s.ss.RowsOut += int64(b.Rows())
+	return b.Rows() > 0, nil
+}
+
+// expand is stepOp.expand over a columnar output batch: each extended row
+// builds in a reused scratch (the input row stays pristine — stepKeys
+// reads slot-sourced key components from it between emissions) and
+// AppendRow copies the values into the columns, so an output costs a
+// slot-copy instead of a row allocation.
+func (s *colStepOp) expand(b *iter.ColBatch, row value.Row, w int64) error {
+	return stepKeys(s.step, row, s.key, &s.kb, 0, func(enc []byte) error {
+		bucket, seen := s.memo[string(enc)]
+		if !seen {
+			ks := string(enc)
+			rws, cnts, n := s.step.Index.FetchWeightedEncoded(ks)
+			bucket = wBucket{rows: rws, counts: cnts}
+			s.memo[ks] = bucket
+			s.ss.DistinctKey++
+			s.ss.Fetched += int64(n)
+			*s.fetched += int64(n)
+		}
+		for yi, y := range bucket.rows {
+			out := s.outRow
+			copy(out, row)
+			for i, slot := range s.step.XSlots {
+				out[slot] = s.key[i]
+			}
+			for i, yi2 := range s.step.YUsed {
+				out[s.step.YSlots[i]] = y[yi2]
+			}
+			keep := true
+			for _, f := range s.step.Filters {
+				ok, err := analyze.EvalBool(f.Expr, out, s.layout)
+				if err != nil {
+					return fmt.Errorf("core: evaluating %s: %w", f, err)
+				}
+				if !ok {
+					keep = false
+					break
+				}
+			}
+			if keep {
+				b.AppendRow(out, w*bucket.counts[yi])
+			}
+		}
+		return nil
+	})
+}
+
 func (s *stepOp) expand(b *iter.Batch, row value.Row, w int64) error {
 	return stepKeys(s.step, row, s.key, &s.kb, 0, func(enc []byte) error {
 		bucket, seen := s.memo[string(enc)]

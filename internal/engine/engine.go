@@ -154,6 +154,15 @@ type Engine struct {
 	// and OpStats carry the estimates. nil keeps the historical planner
 	// byte-for-byte (the baseline profiles always run without it).
 	stats *stats.Catalog
+	// vec enables columnar scans, vectorized filters and the columnar
+	// relational tail / hash-join sides. On by default; WithVectorized
+	// (false) forces the scalar row pipeline everywhere. Results are
+	// identical either way. Profiles with MaterializeRows stay scalar —
+	// they emulate per-row record unpacking by construction.
+	vec bool
+	// batch is the row capacity of columnar batches (iter.BatchSize by
+	// default); the row pipeline keeps the constant.
+	batch int
 }
 
 // New creates an engine over store with the given profile.
@@ -168,7 +177,23 @@ func NewParallel(store *storage.Store, prof Profile, par int) *Engine {
 	if par < 1 {
 		par = 1
 	}
-	return &Engine{store: store, prof: prof, par: par}
+	return &Engine{store: store, prof: prof, par: par, vec: true, batch: iter.BatchSize}
+}
+
+// WithVectorized enables or disables columnar execution and returns the
+// engine. Call at construction time only.
+func (e *Engine) WithVectorized(on bool) *Engine {
+	e.vec = on
+	return e
+}
+
+// WithBatchSize sets the columnar batch row capacity and returns the
+// engine (n ≤ 0 keeps the default). Call at construction time only.
+func (e *Engine) WithBatchSize(n int) *Engine {
+	if n > 0 {
+		e.batch = n
+	}
+	return e
 }
 
 // WithStats attaches a data-statistics catalog and returns the engine.
@@ -203,8 +228,12 @@ type unit struct {
 	cols   []analyze.ColID
 	layout *analyze.Layout
 	it     iter.Iterator
-	est    float64
-	name   string
+	// cit, when non-nil, is the columnar view of the same operator it
+	// wraps (never both consumed: exactly one view of a unit is opened
+	// and pulled). Joins and filters that only understand rows clear it.
+	cit  iter.ColIterator
+	est  float64
+	name string
 }
 
 func newUnit(name string, atoms []int, cols []analyze.ColID, it iter.Iterator, est float64) *unit {
@@ -334,18 +363,27 @@ func (e *Engine) StreamContext(ctx context.Context, q *analyze.Query, sources []
 		tr := &opTracker{op: "filter " + c.String()}
 		trackers = append(trackers, tr)
 		cur.it = &filterOp{in: cur.it, cond: c, layout: cur.layout, tr: tr}
+		cur.cit = nil
 		applied[ci] = true
 	}
 
-	// Relational tail.
+	// Relational tail: columnar when the plan root still exposes column
+	// vectors (single-unit plans without residual filters), row-based
+	// otherwise. Both tails yield identical streams.
 	tailName := "project"
 	if q.IsAgg {
 		tailName = "aggregate"
 	}
 	tailTr := &opTracker{op: tailName}
 	trackers = append(trackers, tailTr)
-	tailIn := iter.Counted(cur.it, &tailTr.rowsIn)
-	out := iter.Counted(exec.Stream(q, tailIn, cur.layout), &tailTr.rowsOut)
+	var out iter.Iterator
+	if cur.cit != nil {
+		ctailIn := iter.CountedCols(cur.cit, &tailTr.rowsIn)
+		out = iter.Counted(exec.StreamCol(q, ctailIn, cur.layout), &tailTr.rowsOut)
+	} else {
+		tailIn := iter.Counted(cur.it, &tailTr.rowsIn)
+		out = iter.Counted(exec.Stream(q, tailIn, cur.layout), &tailTr.rowsOut)
+	}
 
 	final := iter.OnClose(iter.WithContext(ctx, out), func() {
 		st.Ops = make([]OpStat, len(trackers))
@@ -438,6 +476,40 @@ func (e *Engine) scanAtom(ctx context.Context, q *analyze.Query, ai int, applied
 
 	tr := &opTracker{op: fmt.Sprintf("scan %s (%s)", atom.Name, atom.Rel.Name)}
 	*trackers = append(*trackers, tr)
+	est := e.estimateScan(q, ai, table, filters)
+	tr.est = est
+
+	// Columnar scan: the cursor fills typed column vectors directly and
+	// pushed-down filters run as vectorized selection loops. Valid under
+	// projection pushdown because UsedAttrs includes every WHERE column,
+	// so the projected layout materialises everything the filters read.
+	// MaterializeRows profiles keep the row scan — their per-row record
+	// copy is the behaviour being emulated.
+	if e.vec && !e.prof.MaterializeRows {
+		colLayout := analyze.NewLayout()
+		for _, c := range cols {
+			colLayout.Add(c)
+		}
+		var exprs []analyze.Expr
+		for _, f := range filters {
+			exprs = append(exprs, f.Expr)
+		}
+		cop := &colScanOp{
+			ctx:     ctx,
+			table:   table,
+			cols:    proj,
+			batch:   e.batch,
+			tr:      tr,
+			scanned: &st.Scanned,
+		}
+		if len(exprs) > 0 {
+			cop.filter = analyze.CompileFilters(exprs, colLayout)
+		}
+		u := newUnit(atom.Name, []int{ai}, cols, iter.RowView(cop, len(cols)), est)
+		u.cit = cop
+		return u, nil
+	}
+
 	op := &scanOp{
 		ctx:         ctx,
 		table:       table,
@@ -448,9 +520,60 @@ func (e *Engine) scanAtom(ctx context.Context, q *analyze.Query, ai int, applied
 		tr:          tr,
 		scanned:     &st.Scanned,
 	}
-	est := e.estimateScan(q, ai, table, filters)
-	tr.est = est
 	return newUnit(atom.Name, []int{ai}, cols, op, est), nil
+}
+
+// colScanOp is the columnar scan: the storage cursor appends projected
+// attributes straight into typed column vectors, and pushed-down filters
+// run as vectorized comparison loops writing a selection vector (with a
+// scalar fallback inside VecFilter for anything exotic). It streams the
+// same rows as scanOp.
+type colScanOp struct {
+	ctx     context.Context
+	table   *storage.Table
+	filter  *analyze.VecFilter
+	cols    []int // attr positions to project, in layout order
+	batch   int
+	tr      *opTracker
+	scanned *int64
+
+	cur *storage.Cursor
+}
+
+func (s *colScanOp) Open() error {
+	s.cur = s.table.Scan()
+	return nil
+}
+
+func (s *colScanOp) Close() error { return nil }
+
+func (s *colScanOp) NextCols(cb *iter.ColBatch) (bool, error) {
+	t0 := time.Now()
+	defer func() { s.tr.dur += time.Since(t0) }()
+	if err := s.ctx.Err(); err != nil {
+		return false, err
+	}
+	for {
+		cb.Reset(len(s.cols))
+		n, err := s.cur.NextCols(cb, s.cols, s.batch)
+		if err != nil {
+			return false, err
+		}
+		if n == 0 {
+			return false, nil
+		}
+		s.tr.rowsIn += int64(n)
+		*s.scanned += int64(n)
+		if s.filter != nil {
+			if err := s.filter.Apply(cb); err != nil {
+				return false, err
+			}
+		}
+		if cb.Len() > 0 {
+			s.tr.rowsOut += int64(cb.Len())
+			return true, nil
+		}
+	}
 }
 
 // scanOp streams a table through the pushed-down filters and projection,

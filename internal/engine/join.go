@@ -114,7 +114,19 @@ func (e *Engine) join(ctx context.Context, q *analyze.Query, left, right *unit, 
 		if e.par > 1 {
 			merged.it = &parallelHashJoinOp{joinBase: base, ctx: ctx, par: e.par}
 		} else {
-			merged.it = &hashJoinOp{joinBase: base}
+			h := &hashJoinOp{joinBase: base}
+			if e.vec {
+				// Columnar sides, when the units expose them: build keys
+				// encode column-at-a-time and probe rows materialise only
+				// on a bucket hit. Open/Close stay on the row views, which
+				// share the underlying operators.
+				pu, bu := left, right
+				if swap {
+					pu, bu = right, left
+				}
+				h.cprobe, h.cbuild = pu.cit, bu.cit
+			}
+			merged.it = h
 		}
 	case SortMergeJoin:
 		merged.it = &sortMergeJoinOp{joinBase: base}
@@ -218,10 +230,24 @@ type hashJoinOp struct {
 	table map[string]*joinBucket
 	built bool
 	key   []byte
+
+	// cprobe/cbuild, when non-nil, are columnar views of the same
+	// operators as probe/build (Open/Close still go through the row
+	// views, which delegate to the shared operator). The build drains
+	// batches with column-at-a-time key encoding; the probe materialises
+	// a row only when its key hits a bucket.
+	cprobe, cbuild iter.ColIterator
+	cpb            iter.ColBatch
+	cpos           int // next live-row index in cpb
+	keyBufs        [][]byte
+	pscratch       value.Row
 }
 
 func (h *hashJoinOp) buildTable() error {
 	h.table = make(map[string]*joinBucket)
+	if h.cbuild != nil {
+		return h.buildTableCols()
+	}
 	var b iter.Batch
 	for {
 		ok, err := h.build.Next(&b)
@@ -248,6 +274,53 @@ func (h *hashJoinOp) buildTable() error {
 	}
 }
 
+// buildTableCols drains the columnar build side: join keys for a whole
+// batch encode column-at-a-time, and each kept row materialises fresh
+// from the vectors (bucket rows outlive the batch).
+func (h *hashJoinOp) buildTableCols() error {
+	var cb iter.ColBatch
+	for {
+		ok, err := h.cbuild.NextCols(&cb)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		h.tr.rowsIn += int64(cb.Len())
+		h.encodeKeys(&cb, h.rKeys)
+		n := cb.Len()
+		for i := 0; i < n; i++ {
+			p := cb.Index(i)
+			if colKeyHasNull(&cb, h.rKeys, p) {
+				continue // NULL keys never match
+			}
+			bk, ok := h.table[string(h.keyBufs[p])]
+			if !ok {
+				bk = &joinBucket{}
+				h.table[string(h.keyBufs[p])] = bk
+			}
+			row := make(value.Row, cb.Width())
+			cb.ReadRow(p, row)
+			bk.rows = append(bk.rows, row)
+			bk.weights = append(bk.weights, cb.Weight(p))
+		}
+	}
+}
+
+// encodeKeys fills h.keyBufs with the encoded key of every physical row
+// of cb, column-at-a-time.
+func (h *hashJoinOp) encodeKeys(cb *iter.ColBatch, keys []int) {
+	np := cb.Rows()
+	for len(h.keyBufs) < np {
+		h.keyBufs = append(h.keyBufs, nil)
+	}
+	for i := 0; i < np; i++ {
+		h.keyBufs[i] = h.keyBufs[i][:0]
+	}
+	cb.AppendRowKeys(keys, h.keyBufs)
+}
+
 func (h *hashJoinOp) Next(out *iter.Batch) (bool, error) {
 	t0 := time.Now()
 	defer func() { h.tr.dur += time.Since(t0) }()
@@ -256,6 +329,9 @@ func (h *hashJoinOp) Next(out *iter.Batch) (bool, error) {
 			return false, err
 		}
 		h.built = true
+	}
+	if h.cprobe != nil {
+		return h.nextCols(out)
 	}
 	out.Reset()
 	for out.Len() < iter.BatchSize {
@@ -276,6 +352,52 @@ func (h *hashJoinOp) Next(out *iter.Batch) (bool, error) {
 		}
 		for i, br := range bk.rows {
 			if err := h.emit(out, pr, br, pw*bk.weights[i]); err != nil {
+				return false, err
+			}
+		}
+	}
+	h.tr.rowsOut += int64(out.Len())
+	return out.Len() > 0, nil
+}
+
+// nextCols probes with columnar batches: a batch's keys encode in one
+// pass and only rows whose key hits a bucket materialise (into a scratch
+// row — emit copies into the fresh output row).
+func (h *hashJoinOp) nextCols(out *iter.Batch) (bool, error) {
+	out.Reset()
+	for out.Len() < iter.BatchSize {
+		if h.cpos >= h.cpb.Len() {
+			if h.pdone {
+				break
+			}
+			ok, err := h.cprobe.NextCols(&h.cpb)
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				h.pdone = true
+				break
+			}
+			h.tr.rowsIn += int64(h.cpb.Len())
+			h.encodeKeys(&h.cpb, h.lKeys)
+			h.cpos = 0
+		}
+		p := h.cpb.Index(h.cpos)
+		h.cpos++
+		if colKeyHasNull(&h.cpb, h.lKeys, p) {
+			continue
+		}
+		bk := h.table[string(h.keyBufs[p])]
+		if bk == nil {
+			continue
+		}
+		if h.pscratch == nil {
+			h.pscratch = make(value.Row, h.cpb.Width())
+		}
+		h.cpb.ReadRow(p, h.pscratch)
+		pw := h.cpb.Weight(p)
+		for i, br := range bk.rows {
+			if err := h.emit(out, h.pscratch, br, pw*bk.weights[i]); err != nil {
 				return false, err
 			}
 		}
@@ -468,6 +590,18 @@ func (n *nestedLoopJoinOp) Next(out *iter.Batch) (bool, error) {
 func rowKeyHasNull(r value.Row, keys []int) bool {
 	for _, k := range keys {
 		if r[k].IsNull() {
+			return true
+		}
+	}
+	return false
+}
+
+// colKeyHasNull reports whether physical row p of cb has a NULL in any
+// key column. It reads through Value, which is correct for boxed columns
+// whose null bitmap is stale after a kind migration.
+func colKeyHasNull(cb *iter.ColBatch, keys []int, p int) bool {
+	for _, k := range keys {
+		if cb.Col(k).Value(p).IsNull() {
 			return true
 		}
 	}

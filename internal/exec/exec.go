@@ -429,6 +429,13 @@ func accumulate(st *aggState, spec analyze.AggSpec, row value.Row, w int64, layo
 	if err != nil {
 		return err
 	}
+	return foldValue(st, spec, v, w)
+}
+
+// foldValue folds one already-evaluated argument value into an aggregate
+// state: NULL skipping and DISTINCT filtering, then the shared fold. It
+// is the common tail of the row accumulate and the columnar fold.
+func foldValue(st *aggState, spec analyze.AggSpec, v value.Value, w int64) error {
 	if v.IsNull() {
 		return nil // SQL aggregates skip NULLs
 	}

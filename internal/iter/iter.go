@@ -35,12 +35,20 @@ const BatchSize = 256
 type Batch struct {
 	Rows    []value.Row
 	Weights []int64
+
+	// wspare retains the weight slice's backing array across Reset so a
+	// weighted pipeline does not allocate a fresh slice every batch.
+	wspare []int64
 }
 
 // Reset empties the batch, keeping row capacity. Weights revert to nil
-// (all-1) until a non-unit weight is appended again.
+// (all-1) until a non-unit weight is appended again; their backing array
+// is retained and reused by the next weighted Append.
 func (b *Batch) Reset() {
 	b.Rows = b.Rows[:0]
+	if b.Weights != nil {
+		b.wspare = b.Weights[:0]
+	}
 	b.Weights = nil
 }
 
@@ -59,7 +67,13 @@ func (b *Batch) Weight(i int) int64 {
 // slice only when a weight other than 1 appears.
 func (b *Batch) Append(r value.Row, w int64) {
 	if w != 1 && b.Weights == nil {
-		b.Weights = make([]int64, len(b.Rows), cap(b.Rows))
+		ws := b.wspare
+		// Need a non-nil slice even for an empty batch: nil Weights means
+		// all-1, so the weight about to be appended would be lost.
+		if need := max(len(b.Rows)+1, cap(b.Rows)); cap(ws) < need {
+			ws = make([]int64, 0, need)
+		}
+		b.Weights = ws[:len(b.Rows)]
 		for i := range b.Weights {
 			b.Weights[i] = 1
 		}

@@ -16,6 +16,7 @@ import (
 	"strings"
 	"sync"
 
+	"github.com/bounded-eval/beas/internal/iter"
 	"github.com/bounded-eval/beas/internal/schema"
 	"github.com/bounded-eval/beas/internal/value"
 )
@@ -223,6 +224,33 @@ func (c *Cursor) Next(buf []value.Row) (int, error) {
 		return 0, fmt.Errorf("storage: table %s mutated during scan", c.t.Rel.Name)
 	}
 	n := copy(buf, c.t.rows[c.pos:])
+	c.pos += n
+	return n, nil
+}
+
+// NextCols advances the cursor by up to maxRows rows, filling the
+// columns of cb (already Reset to len(cols)) directly from table
+// storage: cb column j receives attribute cols[j] of every row. It
+// returns how many rows it wrote; 0 means the scan is done. The version
+// and locking semantics match Next.
+func (c *Cursor) NextCols(cb *iter.ColBatch, cols []int, maxRows int) (int, error) {
+	c.t.mu.RLock()
+	defer c.t.mu.RUnlock()
+	if !c.started {
+		c.started = true
+		c.version = c.t.version
+	} else if c.version != c.t.version {
+		return 0, fmt.Errorf("storage: table %s mutated during scan", c.t.Rel.Name)
+	}
+	rows := c.t.rows[c.pos:]
+	n := min(len(rows), maxRows)
+	for j, a := range cols {
+		col := cb.Col(j)
+		for _, r := range rows[:n] {
+			col.Append(r[a])
+		}
+	}
+	cb.SetRows(cb.Rows() + n)
 	c.pos += n
 	return n, nil
 }

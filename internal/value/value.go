@@ -324,28 +324,13 @@ func (r Row) Project(idx []int) Row {
 func AppendKey(dst []byte, v Value) []byte {
 	switch v.K {
 	case Null:
-		return append(dst, 0)
+		return AppendNullKey(dst)
 	case Int:
-		return appendIntKey(dst, v.I)
+		return AppendIntKey(dst, v.I)
 	case Float:
-		// Canonicalise integral floats so that 1 and 1.0 hash identically,
-		// matching Equal's numeric coercion.
-		if i := int64(v.F); float64(i) == v.F {
-			return appendIntKey(dst, i)
-		}
-		bits := math.Float64bits(v.F)
-		if math.IsNaN(v.F) {
-			// All NaN payloads encode identically, matching Compare's
-			// NaN == NaN so hashing, grouping and DISTINCT agree with the
-			// total order.
-			bits = math.Float64bits(math.NaN())
-		}
-		dst = append(dst, 2)
-		return appendU64(dst, bits)
+		return AppendFloatKey(dst, v.F)
 	case String:
-		dst = append(dst, 3)
-		dst = appendU64(dst, uint64(len(v.S)))
-		return append(dst, v.S...)
+		return AppendStringKey(dst, v.S)
 	case Bool:
 		return append(dst, 4, byte(v.I))
 	default:
@@ -353,10 +338,56 @@ func AppendKey(dst []byte, v Value) []byte {
 	}
 }
 
-func appendIntKey(dst []byte, i int64) []byte {
+// AppendNullKey appends the encoding of NULL. The per-kind Append*Key
+// helpers expose AppendKey's cases individually so columnar operators
+// can encode a whole column with one kind dispatch; each produces
+// byte-identical output to AppendKey of the equivalent value.
+func AppendNullKey(dst []byte) []byte { return append(dst, 0) }
+
+// AppendIntKey appends the encoding of an Int value.
+func AppendIntKey(dst []byte, i int64) []byte {
 	dst = append(dst, 1)
 	return appendU64(dst, uint64(i))
 }
+
+// AppendFloatKey appends the encoding of a Float value. Integral floats
+// canonicalise to the Int encoding so that 1 and 1.0 hash identically,
+// matching Equal's numeric coercion; all NaN payloads encode
+// identically, matching Compare's NaN == NaN so hashing, grouping and
+// DISTINCT agree with the total order.
+func AppendFloatKey(dst []byte, f float64) []byte {
+	if i := int64(f); float64(i) == f {
+		return AppendIntKey(dst, i)
+	}
+	bits := math.Float64bits(f)
+	if math.IsNaN(f) {
+		bits = math.Float64bits(math.NaN())
+	}
+	dst = append(dst, 2)
+	return appendU64(dst, bits)
+}
+
+// AppendStringKey appends the encoding of a String value.
+func AppendStringKey(dst []byte, s string) []byte {
+	dst = append(dst, 3)
+	dst = appendU64(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// AppendBoolKey appends the encoding of a Bool value.
+func AppendBoolKey(dst []byte, b bool) []byte {
+	if b {
+		return append(dst, 4, 1)
+	}
+	return append(dst, 4, 0)
+}
+
+// CompareInt64 is the engine's total order over Int payloads.
+func CompareInt64(a, b int64) int { return cmpInt(a, b) }
+
+// CompareFloat64 is the engine's total order over float64:
+// -Inf < ... < +Inf < NaN, NaN equal to NaN (see cmpFloat).
+func CompareFloat64(a, b float64) int { return cmpFloat(a, b) }
 
 func appendU64(dst []byte, u uint64) []byte {
 	return append(dst,

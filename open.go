@@ -34,6 +34,9 @@ type Options struct {
 	// worst-case bounds. Results are identical either way; the reported
 	// worst-case admission bound is unchanged.
 	Optimizer bool
+	// BatchSize is the columnar batch row capacity for vectorized
+	// execution (see DB.SetBatchSize). 0 keeps the default (256).
+	BatchSize int
 }
 
 const defaultSnapshotEvery = 100_000
@@ -116,6 +119,9 @@ func Open(dir string, opts *Options) (*DB, error) {
 	}
 	if o.Optimizer {
 		db.SetOptimizer(true)
+	}
+	if o.BatchSize > 0 {
+		db.SetBatchSize(o.BatchSize)
 	}
 	db.walDir = dir
 	db.snapEvery = o.SnapshotEvery

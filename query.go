@@ -238,6 +238,7 @@ func (db *DB) query(ctx context.Context, sql string, allowFallback bool) (*Resul
 // runBounded executes a bounded plan — across db.par workers when
 // parallelism is on — and folds its statistics into res.
 func (db *DB) runBounded(ctx context.Context, plan *core.Plan, chk *core.CheckResult, res *Result) ([]value.Row, error) {
+	db.vecPlanLocked(plan)
 	rows, st, err := core.RunParallelContext(ctx, plan, db.par)
 	if err != nil {
 		return nil, err
@@ -304,7 +305,7 @@ func (db *DB) QueryBaselineContext(ctx context.Context, sql string, baseline Bas
 		return nil, err
 	}
 	start := time.Now()
-	eng := engine.New(db.store, prof)
+	eng := engine.New(db.store, prof).WithVectorized(!db.vecOff).WithBatchSize(db.batch)
 	res := &Result{Columns: p.branches[0].OutputNames(), Stats: Stats{Mode: ModeConventional}}
 	var rows []value.Row
 	for i, q := range p.branches {

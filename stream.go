@@ -100,6 +100,7 @@ func (db *DB) QueryIterContext(ctx context.Context, sql string) (*RowIter, error
 				}
 				it, cst = iter.FromRows(rows, nil), pst
 			} else {
+				db.vecPlanLocked(plan)
 				it, cst = core.StreamContext(ctx, plan)
 			}
 			ri.res.Stats.Bound = satAdd(ri.res.Stats.Bound, chk.TotalBound)
