@@ -34,6 +34,7 @@ import (
 	"github.com/bounded-eval/beas/internal/core"
 	"github.com/bounded-eval/beas/internal/discovery"
 	"github.com/bounded-eval/beas/internal/engine"
+	"github.com/bounded-eval/beas/internal/obs"
 	"github.com/bounded-eval/beas/internal/opt"
 	"github.com/bounded-eval/beas/internal/schema"
 	"github.com/bounded-eval/beas/internal/sqlparser"
@@ -85,6 +86,12 @@ type DB struct {
 	catalogVersion uint64
 	cacheHits      atomic.Uint64
 	cacheMisses    atomic.Uint64
+
+	// tracer is the installed query-lifecycle tracer; nil means tracing
+	// off, in which case every span call on the query path degrades to a
+	// single context lookup. Atomic so SetTracer never contends with
+	// queries in flight.
+	tracer atomic.Pointer[obs.Tracer]
 
 	// Durable state (open.go). wal is nil for in-memory databases and
 	// after Close; walDir stays set so Durability keeps reporting. Every

@@ -17,6 +17,7 @@
 //	\optimizer on|off           toggle the cost-based plan optimizer
 //	\baseline pg|mysql|mariadb SELECT ...;  run on an emulated DBMS
 //	\approx BUDGET SELECT ...;  resource-bounded approximation
+//	\trace on|off               print the span trace of each query
 //	\constraints                list the access schema
 //	\queries                    list the built-in TLC queries
 //	\q NAME                     run a built-in TLC query (e.g. \q Q1)
@@ -35,12 +36,18 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
 	beas "github.com/bounded-eval/beas"
 	"github.com/bounded-eval/beas/internal/cliutil"
+	"github.com/bounded-eval/beas/internal/obs"
 )
+
+// shellTracer is non-nil while \trace is on; every statement's span tree
+// is then printed after its result.
+var shellTracer *beas.Tracer
 
 func main() {
 	tlcScale := flag.Int("tlc", 0, "generate a TLC instance at this scale and start on it")
@@ -114,6 +121,49 @@ func runSQL(db *beas.DB, sql string) {
 	fmt.Print(res.String())
 	fmt.Printf("mode: %s  fetched: %d  scanned: %d  time: %s\n",
 		res.Stats.Mode, res.Stats.TuplesFetched, res.Stats.TuplesScanned, res.Stats.Duration)
+	printLastTrace()
+}
+
+// printLastTrace prints the most recently retained span tree when
+// \trace is on (the shell tracer samples everything).
+func printLastTrace() {
+	if shellTracer == nil {
+		return
+	}
+	rec := shellTracer.Recent()
+	if len(rec) == 0 {
+		return
+	}
+	tr := shellTracer.Get(rec[0].ID)
+	if tr == nil {
+		return
+	}
+	j := tr.Tree()
+	fmt.Printf("trace %s (%.3fms)\n", j.ID, j.DurationMS)
+	printSpan(j.Root, 1)
+}
+
+func printSpan(n *obs.SpanNode, depth int) {
+	if n == nil {
+		return
+	}
+	var attrs strings.Builder
+	keys := make([]string, 0, len(n.Attrs))
+	for k := range n.Attrs {
+		if k == "sql" { // already on screen, too long for the tree
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&attrs, "  %s=%v", k, n.Attrs[k])
+	}
+	fmt.Printf("%s%-18s %9.3fms%s\n", strings.Repeat("  ", depth), n.Name,
+		float64(n.DurationUS)/1000, attrs.String())
+	for _, c := range n.Children {
+		printSpan(c, depth+1)
+	}
 }
 
 // command handles a backslash command; returns false to quit.
@@ -130,6 +180,7 @@ func command(db *beas.DB, line string) bool {
   \explain SELECT ...         the plan Query would use
   \explain analyze SELECT ... execute and report estimated vs actual per step
   \optimizer on|off           toggle the cost-based plan optimizer
+  \trace on|off               print each query's span trace
   \baseline pg|mysql|mariadb SELECT ...
   \approx BUDGET SELECT ...   resource-bounded approximation
   \constraints  \queries  \q NAME  \tables
@@ -224,6 +275,22 @@ func command(db *beas.DB, line string) bool {
 			return true
 		}
 		fmt.Printf("cost-based optimizer: %v\n", db.OptimizerEnabled())
+	case "\\trace":
+		switch strings.ToLower(strings.TrimSpace(rest)) {
+		case "on":
+			// Sample everything into a tiny ring: the shell only ever
+			// shows the latest trace.
+			shellTracer = beas.NewTracer(beas.TracerOptions{SampleRate: 1, RingSize: 8})
+			db.SetTracer(shellTracer)
+		case "off":
+			shellTracer = nil
+			db.SetTracer(nil)
+		case "":
+		default:
+			fmt.Println("usage: \\trace [on|off]")
+			return true
+		}
+		fmt.Printf("tracing: %v\n", shellTracer != nil)
 	case "\\baseline":
 		name, sql, ok := strings.Cut(rest, " ")
 		if !ok {

@@ -18,9 +18,15 @@
 //	beasd -data ./beasdata -tlc 2            # durable store, TLC-seeded once
 //	beasd -data ./beasdata -snapshot-every 50000
 //
+// Observability: -trace records query-lifecycle span traces (GET /trace,
+// /trace/<id>; every traced response carries an X-Beas-Trace-Id header),
+// GET /metrics serves Prometheus text exposition, -slow-query-ms /
+// -slow-query-fetch write a JSON-lines slow-query log, and -debug-addr
+// serves net/http/pprof on a separate listener.
+//
 // Endpoints: POST /query, POST /check, POST /explain, GET /stats,
-// GET /healthz — see package internal/server for the wire format, and
-// the README for an example curl session.
+// GET /metrics, GET /trace, GET /healthz — see package internal/server
+// for the wire format, and the README for an example curl session.
 package main
 
 import (
@@ -29,6 +35,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	_ "net/http/pprof" // registered on the DefaultServeMux, served only via -debug-addr
 	"os"
 	"os/signal"
 	"runtime"
@@ -37,6 +44,7 @@ import (
 
 	beas "github.com/bounded-eval/beas"
 	"github.com/bounded-eval/beas/internal/cliutil"
+	"github.com/bounded-eval/beas/internal/obs"
 	"github.com/bounded-eval/beas/internal/server"
 )
 
@@ -57,6 +65,13 @@ func main() {
 	queueDepth := flag.Int("queue-depth", 0, "max requests waiting for a worker (default 64)")
 	timeout := flag.Duration("timeout", time.Minute, "per-query execution deadline; 0 disables it (a stalled client then holds the catalog read lock indefinitely)")
 	allowUncovered := flag.Bool("allow-uncovered", false, "admit queries not covered by the access schema (no a-priori bound)")
+	trace := flag.Bool("trace", false, "record query-lifecycle span traces (GET /trace, X-Beas-Trace-Id headers)")
+	traceSample := flag.Float64("trace-sample", 0.01, "fraction of traces retained in the ring; slow and rejected queries are always kept (with -trace)")
+	traceRing := flag.Int("trace-ring", 256, "number of recent traces retained for GET /trace/<id>")
+	slowMS := flag.Int("slow-query-ms", 0, "log queries at least this slow as JSON lines (0 disables the latency test)")
+	slowFetch := flag.Int64("slow-query-fetch", 0, "log queries fetching at least this many tuples (0 disables the volume test)")
+	slowLogPath := flag.String("slow-query-log", "", "slow-query log file, appended to (default: stderr)")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this separate address (empty disables profiling)")
 	flag.Parse()
 
 	pol, err := server.ParsePolicy(*policy)
@@ -89,6 +104,32 @@ func main() {
 		db.SetVectorized(false)
 	}
 
+	var tracer *beas.Tracer
+	if *trace {
+		tracer = beas.NewTracer(beas.TracerOptions{
+			SampleRate:    *traceSample,
+			SlowThreshold: time.Duration(*slowMS) * time.Millisecond,
+			RingSize:      *traceRing,
+		})
+		// Queries that bypass the HTTP layer (none today, but embedders
+		// share the DB) get traced too.
+		db.SetTracer(tracer)
+	}
+	var slowLog *obs.SlowLog
+	if *slowMS > 0 || *slowFetch > 0 {
+		slowW := os.Stderr
+		if *slowLogPath != "" {
+			f, err := os.OpenFile(*slowLogPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "beasd: opening slow-query log:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			slowW = f
+		}
+		slowLog = obs.NewSlowLog(slowW, time.Duration(*slowMS)*time.Millisecond, *slowFetch, nil)
+	}
+
 	srv := server.New(db, server.Config{
 		MaxConcurrent:  *workers,
 		QueueDepth:     *queueDepth,
@@ -97,8 +138,21 @@ func main() {
 		AllowUncovered: *allowUncovered,
 		ApproxBudget:   *approxBudget,
 		QueryTimeout:   *timeout,
+		Tracer:         tracer,
+		SlowQueryLog:   slowLog,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	// The pprof listener is separate from the service address on purpose:
+	// profiles stay off the public surface unless explicitly exposed.
+	if *debugAddr != "" {
+		go func() {
+			fmt.Printf("beasd: pprof on %s/debug/pprof/\n", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "beasd: debug listener:", err)
+			}
+		}()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

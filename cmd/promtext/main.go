@@ -1,0 +1,89 @@
+// Command promtext validates Prometheus text-exposition scrapes — the
+// lint half of the restart/soak CI job. It parses and lints a scrape
+// (TYPE/HELP placement, sample syntax, histogram +Inf completeness and
+// bucket monotonicity, duplicate series), and can diff two scrapes for
+// counter regressions: a counter that went backwards across a
+// kill-9/recovery cycle means monitoring state was partially lost.
+//
+// Usage:
+//
+//	promtext lint [FILE]                 # lint a scrape ("-" or no arg = stdin)
+//	promtext compare BEFORE AFTER        # lint both, fail on counter regressions
+//	promtext compare -allow-reset B A    # a full reset to 0 is fine (process restart)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/bounded-eval/beas/internal/obs"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "lint":
+		path := "-"
+		if len(os.Args) > 2 {
+			path = os.Args[2]
+		}
+		exp := load(path)
+		if err := obs.Lint(exp); err != nil {
+			fail(err)
+		}
+		fmt.Printf("promtext: %s: %d samples in %d families, lint clean\n", path, len(exp.Samples), len(exp.Types))
+	case "compare":
+		fs := flag.NewFlagSet("compare", flag.ExitOnError)
+		allowReset := fs.Bool("allow-reset", false, "tolerate counters that reset to exactly 0 (fresh process)")
+		fs.Parse(os.Args[2:])
+		if fs.NArg() != 2 {
+			usage()
+		}
+		before, after := load(fs.Arg(0)), load(fs.Arg(1))
+		if err := obs.Lint(before); err != nil {
+			fail(fmt.Errorf("%s: %w", fs.Arg(0), err))
+		}
+		if err := obs.Lint(after); err != nil {
+			fail(fmt.Errorf("%s: %w", fs.Arg(1), err))
+		}
+		if err := obs.CompareCounters(before, after, *allowReset); err != nil {
+			fail(err)
+		}
+		fmt.Println("promtext: both scrapes lint clean, no counter regressions")
+	default:
+		usage()
+	}
+}
+
+func load(path string) *obs.Exposition {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	exp, err := obs.ParsePrometheus(r)
+	if err != nil {
+		fail(fmt.Errorf("%s: %w", path, err))
+	}
+	return exp
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "promtext:", err)
+	os.Exit(1)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  promtext lint [FILE]                    lint a text-exposition scrape (default stdin)
+  promtext compare [-allow-reset] B A     lint both scrapes and fail on counter regressions`)
+	os.Exit(2)
+}

@@ -34,6 +34,7 @@ import (
 	"github.com/bounded-eval/beas/internal/analyze"
 	"github.com/bounded-eval/beas/internal/exec"
 	"github.com/bounded-eval/beas/internal/iter"
+	"github.com/bounded-eval/beas/internal/obs"
 	"github.com/bounded-eval/beas/internal/value"
 )
 
@@ -76,9 +77,18 @@ func RunParallelContext(ctx context.Context, p *Plan, par int) ([]value.Row, *St
 			break
 		}
 	}
+	tail0 := time.Now()
 	out, err := exec.FinishWeightedParallel(ctx, q, rows, weights, layout, par)
+	tailDur := time.Since(tail0)
 	st.RowsOut = int64(len(out))
 	st.Duration = time.Since(start)
+	emitStepSpans(ctx, start, st)
+	if tr, parent := obs.FromContext(ctx); tr != nil {
+		tr.AddSpan(parent, "exec.tail", tail0, tailDur,
+			obs.Attr{Key: "rows", Val: st.RowsOut},
+			obs.Attr{Key: "parallel", Val: par},
+		)
+	}
 	if err != nil {
 		return nil, st, err
 	}

@@ -126,7 +126,7 @@ func StreamContext(ctx context.Context, p *Plan) (iter.Iterator, *Stats) {
 				batch:   batch,
 			}
 		}
-		out = iter.Counted(exec.StreamCol(q, cur, layout), &st.RowsOut)
+		out = iter.Counted(execTail(ctx, exec.StreamCol(q, cur, layout), start), &st.RowsOut)
 	} else {
 		cur := iter.FromRows([]value.Row{make(value.Row, layout.Len())}, nil)
 		for i := range p.Steps {
@@ -141,10 +141,13 @@ func StreamContext(ctx context.Context, p *Plan) (iter.Iterator, *Stats) {
 				fetched: &st.Fetched,
 			}
 		}
-		out = iter.Counted(exec.Stream(q, cur, layout), &st.RowsOut)
+		out = iter.Counted(execTail(ctx, exec.Stream(q, cur, layout), start), &st.RowsOut)
 	}
 	out = iter.WithContext(ctx, out)
-	return iter.OnClose(out, func() { st.Duration = time.Since(start) }), st
+	return iter.OnClose(out, func() {
+		st.Duration = time.Since(start)
+		emitStepSpans(ctx, start, st)
+	}), st
 }
 
 // wBucket is one memoised index bucket: distinct partial tuples with

@@ -31,6 +31,7 @@ import (
 	"github.com/bounded-eval/beas/internal/analyze"
 	"github.com/bounded-eval/beas/internal/exec"
 	"github.com/bounded-eval/beas/internal/iter"
+	"github.com/bounded-eval/beas/internal/obs"
 	"github.com/bounded-eval/beas/internal/stats"
 	"github.com/bounded-eval/beas/internal/storage"
 	"github.com/bounded-eval/beas/internal/value"
@@ -392,6 +393,18 @@ func (e *Engine) StreamContext(ctx context.Context, q *analyze.Query, sources []
 		}
 		st.RowsOut = tailTr.rowsOut
 		st.Duration = time.Since(start)
+		if trace, parent := obs.FromContext(ctx); trace != nil {
+			for _, o := range st.Ops {
+				attrs := []obs.Attr{
+					{Key: "rowsIn", Val: o.RowsIn},
+					{Key: "rowsOut", Val: o.RowsOut},
+				}
+				if o.EstRows != 0 {
+					attrs = append(attrs, obs.Attr{Key: "estRows", Val: o.EstRows})
+				}
+				trace.AddSpan(parent, "op "+o.Op, start, o.Duration, attrs...)
+			}
+		}
 	})
 	return final, st, nil
 }

@@ -1,0 +1,360 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Labels are a metric's constant label set. BEAS metrics are
+// pre-registered per label combination (no dynamic label churn), so a
+// metric instance is identified by name + sorted labels.
+type Labels map[string]string
+
+// metricKind selects the Prometheus TYPE line.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+// Counter is a monotonically increasing counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative deltas are ignored: counters are monotone).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a settable instantaneous value.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the stored value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket histogram: counts per upper edge plus an
+// implicit +Inf bucket, a sum and a total count. Observation is
+// lock-free.
+type Histogram struct {
+	edges   []float64 // sorted upper edges, +Inf excluded
+	counts  []atomic.Int64
+	inf     atomic.Int64
+	sumBits atomic.Uint64 // float64 bits, CAS-added
+	n       atomic.Int64
+}
+
+// Observe files v into its bucket.
+func (h *Histogram) Observe(v float64) {
+	idx := sort.SearchFloat64s(h.edges, v)
+	if idx < len(h.edges) {
+		h.counts[idx].Add(1)
+	} else {
+		h.inf.Add(1)
+	}
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			break
+		}
+	}
+	h.n.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.n.Load() }
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Buckets returns the non-cumulative per-bucket counts; the final entry
+// is the +Inf overflow bucket. Edges returns the matching upper edges
+// (without +Inf).
+func (h *Histogram) Buckets() []int64 {
+	out := make([]int64, len(h.counts)+1)
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	out[len(h.counts)] = h.inf.Load()
+	return out
+}
+
+// Edges returns the bucket upper edges (exclusive of +Inf).
+func (h *Histogram) Edges() []float64 { return h.edges }
+
+// ExpBuckets returns n upper edges start, start*factor, ... — the
+// log-spaced buckets every latency and size histogram here uses.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// LatencyBuckets spans 100µs..~100s in half-decades, in seconds.
+var LatencyBuckets = ExpBuckets(1e-4, math.Sqrt(10), 13)
+
+// RatioBuckets bucket a [0,1] ratio — the deduced-bound accuracy signal
+// (actual fetched / bound M). Anything above 1 (the bound was violated)
+// lands in the +Inf bucket.
+var RatioBuckets = []float64{0.001, 0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0}
+
+// metric is one registered time series family member.
+type metric struct {
+	name   string
+	help   string
+	kind   metricKind
+	labels Labels
+
+	counter  *Counter
+	gauge    *Gauge
+	gaugeFn  func() float64
+	counterF func() int64
+	hist     *Histogram
+}
+
+// labelString renders {k="v",...} with sorted keys ("" for no labels).
+func labelString(l Labels) string {
+	if len(l) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, l[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Registry holds metrics and renders them in the Prometheus text
+// exposition format. Registration is get-or-create: registering the
+// same name + label set twice returns the same instance, so independent
+// components can share a registry without coordination.
+type Registry struct {
+	mu    sync.Mutex
+	byKey map[string]*metric
+	order []*metric
+	start time.Time
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byKey: make(map[string]*metric), start: time.Now()}
+}
+
+// StartTime is when the registry was created (process-uptime anchor).
+func (r *Registry) StartTime() time.Time { return r.start }
+
+func (r *Registry) get(name string, labels Labels, mk func() *metric) *metric {
+	key := name + labelString(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.byKey[key]; ok {
+		return m
+	}
+	m := mk()
+	r.byKey[key] = m
+	r.order = append(r.order, m)
+	return m
+}
+
+// Counter registers (or returns) a counter.
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	m := r.get(name, labels, func() *metric {
+		return &metric{name: name, help: help, kind: kindCounter, labels: labels, counter: &Counter{}}
+	})
+	return m.counter
+}
+
+// Gauge registers (or returns) a settable gauge.
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
+	m := r.get(name, labels, func() *metric {
+		return &metric{name: name, help: help, kind: kindGauge, labels: labels, gauge: &Gauge{}}
+	})
+	return m.gauge
+}
+
+// GaugeFunc registers a gauge computed at scrape time.
+func (r *Registry) GaugeFunc(name, help string, labels Labels, fn func() float64) {
+	m := r.get(name, labels, func() *metric {
+		return &metric{name: name, help: help, kind: kindGauge, labels: labels}
+	})
+	m.gaugeFn = fn
+}
+
+// CounterFunc registers a counter whose value is read at scrape time
+// (for counters another subsystem already maintains, e.g. plan-cache
+// hits).
+func (r *Registry) CounterFunc(name, help string, labels Labels, fn func() int64) {
+	m := r.get(name, labels, func() *metric {
+		return &metric{name: name, help: help, kind: kindCounter, labels: labels}
+	})
+	m.counterF = fn
+}
+
+// Histogram registers (or returns) a histogram over the given upper
+// edges (+Inf is implicit). Edges must be sorted ascending.
+func (r *Registry) Histogram(name, help string, edges []float64, labels Labels) *Histogram {
+	m := r.get(name, labels, func() *metric {
+		h := &Histogram{edges: append([]float64(nil), edges...), counts: make([]atomic.Int64, len(edges))}
+		return &metric{name: name, help: help, kind: kindHistogram, labels: labels, hist: h}
+	})
+	return m.hist
+}
+
+// RegisterGoRuntime adds Go runtime and process gauges (goroutines,
+// heap, GC, uptime).
+func (r *Registry) RegisterGoRuntime() {
+	r.GaugeFunc("go_goroutines", "Number of goroutines.", nil, func() float64 {
+		return float64(runtime.NumGoroutine())
+	})
+	r.GaugeFunc("go_memstats_heap_alloc_bytes", "Bytes of allocated heap objects.", nil, func() float64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return float64(ms.HeapAlloc)
+	})
+	r.GaugeFunc("go_memstats_heap_objects", "Number of allocated heap objects.", nil, func() float64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return float64(ms.HeapObjects)
+	})
+	r.CounterFunc("go_gc_cycles_total", "Completed GC cycles.", nil, func() int64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return int64(ms.NumGC)
+	})
+	r.GaugeFunc("process_uptime_seconds", "Seconds since the metrics registry was created.", nil, func() float64 {
+		return time.Since(r.start).Seconds()
+	})
+}
+
+// fmtFloat renders a sample value: integral values without a mantissa,
+// everything else in shortest-round-trip form (what Prometheus parsers
+// expect).
+func fmtFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// withLabel renders labels plus one extra pair (for histogram le).
+func withLabel(l Labels, k, v string) string {
+	merged := make(Labels, len(l)+1)
+	for lk, lv := range l {
+		merged[lk] = lv
+	}
+	merged[k] = v
+	return labelString(merged)
+}
+
+// WritePrometheus renders every registered metric in the text
+// exposition format (version 0.0.4): # HELP / # TYPE headers grouped
+// per family, histograms as cumulative _bucket/_sum/_count series.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	metrics := make([]*metric, len(r.order))
+	copy(metrics, r.order)
+	r.mu.Unlock()
+
+	// Group by family name, keeping families in registration order so
+	// the exposition is stable across scrapes.
+	seen := make(map[string]bool)
+	var families []string
+	byName := make(map[string][]*metric)
+	for _, m := range metrics {
+		if !seen[m.name] {
+			seen[m.name] = true
+			families = append(families, m.name)
+		}
+		byName[m.name] = append(byName[m.name], m)
+	}
+	for _, name := range families {
+		group := byName[name]
+		first := group[0]
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n",
+			name, first.help, name, typeName(first.kind)); err != nil {
+			return err
+		}
+		for _, m := range group {
+			ls := labelString(m.labels)
+			switch m.kind {
+			case kindCounter:
+				v := int64(0)
+				if m.counter != nil {
+					v = m.counter.Value()
+				} else if m.counterF != nil {
+					v = m.counterF()
+				}
+				fmt.Fprintf(w, "%s%s %d\n", m.name, ls, v)
+			case kindGauge:
+				v := 0.0
+				if m.gaugeFn != nil {
+					v = m.gaugeFn()
+				} else if m.gauge != nil {
+					v = m.gauge.Value()
+				}
+				fmt.Fprintf(w, "%s%s %s\n", m.name, ls, fmtFloat(v))
+			case kindHistogram:
+				h := m.hist
+				buckets := h.Buckets()
+				cum := int64(0)
+				for i, edge := range h.edges {
+					cum += buckets[i]
+					fmt.Fprintf(w, "%s_bucket%s %d\n", m.name, withLabel(m.labels, "le", fmtFloat(edge)), cum)
+				}
+				cum += buckets[len(buckets)-1]
+				fmt.Fprintf(w, "%s_bucket%s %d\n", m.name, withLabel(m.labels, "le", "+Inf"), cum)
+				fmt.Fprintf(w, "%s_sum%s %s\n", m.name, ls, fmtFloat(h.Sum()))
+				fmt.Fprintf(w, "%s_count%s %d\n", m.name, ls, h.Count())
+			}
+		}
+	}
+	return nil
+}
+
+func typeName(k metricKind) string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}

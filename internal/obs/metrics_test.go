@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestHistogramBucketing(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_hist", "h.", []float64{0, 1, 10}, nil)
+	// SearchFloat64s semantics: a value lands in the first bucket whose
+	// edge is >= v (Prometheus le = inclusive upper edge).
+	for _, v := range []float64{0, 0.5, 1, 1.0000001, 10, 11, 1e9} {
+		h.Observe(v)
+	}
+	got := h.Buckets()
+	want := []int64{1, 2, 2, 2} // le=0: {0}; le=1: {0.5,1}; le=10: {1.0000001,10}; +Inf: {11,1e9}
+	if len(got) != len(want) {
+		t.Fatalf("bucket count = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bucket[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if h.Count() != 7 {
+		t.Errorf("Count = %d, want 7", h.Count())
+	}
+	if sum := h.Sum(); math.Abs(sum-(0+0.5+1+1.0000001+10+11+1e9)) > 1e-3 {
+		t.Errorf("Sum = %v", sum)
+	}
+}
+
+func TestHistogramSumConcurrent(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_sum", "h.", []float64{1}, nil)
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 1000; i++ {
+				h.Observe(0.5)
+			}
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	if got := h.Sum(); math.Abs(got-2000) > 1e-9 {
+		t.Errorf("Sum = %v, want 2000 (CAS loop lost updates)", got)
+	}
+	if h.Count() != 4000 {
+		t.Errorf("Count = %d, want 4000", h.Count())
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(1, 10, 4)
+	want := []float64{1, 10, 100, 1000}
+	for i := range want {
+		if math.Abs(b[i]-want[i]) > 1e-9 {
+			t.Errorf("bucket[%d] = %v, want %v", i, b[i], want[i])
+		}
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("c_total", "c.", Labels{"k": "v"})
+	b := r.Counter("c_total", "c.", Labels{"k": "v"})
+	if a != b {
+		t.Fatal("same name+labels returned distinct counters")
+	}
+	c := r.Counter("c_total", "c.", Labels{"k": "w"})
+	if a == c {
+		t.Fatal("distinct labels returned the same counter")
+	}
+}
+
+// TestPrometheusGolden pins the exposition format byte-for-byte for a
+// small registry — the contract promtext and external scrapers parse.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("beas_test_total", "Things counted.", nil)
+	c.Add(3)
+	r.Counter("beas_labeled_total", "Labeled things.", Labels{"outcome": "ok"}).Add(2)
+	r.Counter("beas_labeled_total", "Labeled things.", Labels{"outcome": "failed"}).Inc()
+	g := r.Gauge("beas_test_gauge", "A level.", nil)
+	g.Set(2.5)
+	h := r.Histogram("beas_test_seconds", "A latency.", []float64{0.1, 1}, nil)
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP beas_test_total Things counted.
+# TYPE beas_test_total counter
+beas_test_total 3
+# HELP beas_labeled_total Labeled things.
+# TYPE beas_labeled_total counter
+beas_labeled_total{outcome="ok"} 2
+beas_labeled_total{outcome="failed"} 1
+# HELP beas_test_gauge A level.
+# TYPE beas_test_gauge gauge
+beas_test_gauge 2.5
+# HELP beas_test_seconds A latency.
+# TYPE beas_test_seconds histogram
+beas_test_seconds_bucket{le="0.1"} 1
+beas_test_seconds_bucket{le="1"} 2
+beas_test_seconds_bucket{le="+Inf"} 3
+beas_test_seconds_sum 5.55
+beas_test_seconds_count 3
+`
+	if sb.String() != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", sb.String(), want)
+	}
+}
+
+// TestExpositionLintRoundTrip: everything the registry writes must pass
+// its own linter — including the Go runtime gauges.
+func TestExpositionLintRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.RegisterGoRuntime()
+	r.Counter("beas_things_total", "Things.", Labels{"mode": "bounded"}).Add(7)
+	h := r.Histogram("beas_lat_seconds", "Latency.", LatencyBuckets, nil)
+	h.Observe(0.003)
+	h.Observe(120)
+	r.Histogram("beas_ratio", "Ratio.", RatioBuckets, nil).Observe(0.42)
+	r.GaugeFunc("beas_live", "Live level.", nil, func() float64 { return 4 })
+	r.CounterFunc("beas_external_total", "External counter.", nil, func() int64 { return 9 })
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	exp, err := ParsePrometheus(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("parsing own exposition: %v\n%s", err, sb.String())
+	}
+	if err := Lint(exp); err != nil {
+		t.Fatalf("linting own exposition: %v\n%s", err, sb.String())
+	}
+}
+
+func TestCounterIgnoresNegative(t *testing.T) {
+	var c Counter
+	c.Add(5)
+	c.Add(-3)
+	if c.Value() != 5 {
+		t.Errorf("Value = %d, want 5 (negative deltas must be ignored)", c.Value())
+	}
+}

@@ -1,0 +1,371 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is a small validator for the Prometheus text exposition
+// format (the promtext lint of cmd/promtext and the restart CI job):
+// it checks structural validity — TYPE/HELP placement, sample syntax,
+// histogram completeness and bucket monotonicity — and can diff two
+// scrapes to detect counters that went backwards (e.g. state lost
+// across a crash-recovery cycle that should have been monotone).
+
+// Sample is one parsed exposition sample.
+type Sample struct {
+	Name   string // full series name including _bucket/_sum/_count
+	Labels string // normalized sorted label string ("" when none)
+	Value  float64
+}
+
+// Exposition is one parsed scrape.
+type Exposition struct {
+	Types   map[string]string // family -> counter|gauge|histogram|...
+	Samples []Sample
+}
+
+// Key returns the sample's identity (name + labels).
+func (s Sample) Key() string { return s.Name + s.Labels }
+
+// ParsePrometheus parses text exposition format, failing on the first
+// structural error.
+func ParsePrometheus(r io.Reader) (*Exposition, error) {
+	exp := &Exposition{Types: make(map[string]string)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	helped := make(map[string]bool)
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				if len(fields) >= 2 && (fields[1] == "HELP" || fields[1] == "TYPE") {
+					return nil, fmt.Errorf("line %d: malformed %s comment", lineNo, fields[1])
+				}
+				continue // free-form comment
+			}
+			name := fields[2]
+			if fields[1] == "HELP" {
+				if helped[name] {
+					return nil, fmt.Errorf("line %d: duplicate HELP for %s", lineNo, name)
+				}
+				helped[name] = true
+				continue
+			}
+			typ := fields[3]
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return nil, fmt.Errorf("line %d: unknown metric type %q for %s", lineNo, typ, name)
+			}
+			if _, dup := exp.Types[name]; dup {
+				return nil, fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+			}
+			exp.Types[name] = typ
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		exp.Samples = append(exp.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return exp, nil
+}
+
+// parseSample parses `name{labels} value [timestamp]`.
+func parseSample(line string) (Sample, error) {
+	var s Sample
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		s.Name = rest[:i]
+		j := strings.IndexByte(rest, '}')
+		if j < i {
+			return s, fmt.Errorf("unbalanced label braces in %q", line)
+		}
+		var err error
+		s.Labels, err = normalizeLabels(rest[i+1 : j])
+		if err != nil {
+			return s, err
+		}
+		rest = strings.TrimSpace(rest[j+1:])
+	} else {
+		fields := strings.Fields(rest)
+		if len(fields) < 2 {
+			return s, fmt.Errorf("sample %q needs a name and a value", line)
+		}
+		s.Name = fields[0]
+		rest = strings.Join(fields[1:], " ")
+	}
+	if !validMetricName(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return s, fmt.Errorf("sample %q needs a value (and at most a timestamp)", line)
+	}
+	v, err := parseValue(fields[0])
+	if err != nil {
+		return s, fmt.Errorf("sample %q: bad value: %w", line, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parseValue(v string) (float64, error) {
+	switch v {
+	case "+Inf", "Inf":
+		return strconv.ParseFloat("+Inf", 64)
+	case "-Inf":
+		return strconv.ParseFloat("-Inf", 64)
+	case "NaN":
+		return strconv.ParseFloat("NaN", 64)
+	}
+	return strconv.ParseFloat(v, 64)
+}
+
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		ok := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// normalizeLabels validates k="v" pairs and re-renders them sorted, so
+// two scrapes compare by identity regardless of label order.
+func normalizeLabels(body string) (string, error) {
+	body = strings.TrimSuffix(strings.TrimSpace(body), ",")
+	if body == "" {
+		return "", nil
+	}
+	var pairs []string
+	rest := body
+	for rest != "" {
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 {
+			return "", fmt.Errorf("label pair %q has no '='", rest)
+		}
+		key := strings.TrimSpace(rest[:eq])
+		if !validMetricName(key) || strings.Contains(key, ":") {
+			return "", fmt.Errorf("invalid label name %q", key)
+		}
+		rest = strings.TrimSpace(rest[eq+1:])
+		if len(rest) == 0 || rest[0] != '"' {
+			return "", fmt.Errorf("label %q value is not quoted", key)
+		}
+		// Find the closing quote, honouring backslash escapes.
+		end := -1
+		for i := 1; i < len(rest); i++ {
+			if rest[i] == '\\' {
+				i++
+				continue
+			}
+			if rest[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return "", fmt.Errorf("label %q value has no closing quote", key)
+		}
+		val := rest[1:end]
+		pairs = append(pairs, fmt.Sprintf("%s=%q", key, val))
+		rest = strings.TrimSpace(rest[end+1:])
+		rest = strings.TrimPrefix(rest, ",")
+		rest = strings.TrimSpace(rest)
+	}
+	sort.Strings(pairs)
+	return "{" + strings.Join(pairs, ",") + "}", nil
+}
+
+// baseFamily strips a histogram sample suffix down to its family name.
+func baseFamily(name string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suf) {
+			return strings.TrimSuffix(name, suf)
+		}
+	}
+	return name
+}
+
+// Lint checks semantic validity beyond parsing: every sample belongs to
+// a declared family, histograms have +Inf buckets with cumulative
+// (non-decreasing) counts matching _count, and no series is duplicated.
+func Lint(exp *Exposition) error {
+	seen := make(map[string]bool)
+	// histogram family+labels(-le) -> cumulative bucket values in order
+	type histState struct {
+		last    float64
+		infSeen bool
+		inf     float64
+	}
+	hists := make(map[string]*histState)
+	counts := make(map[string]float64)
+	for _, s := range exp.Samples {
+		if seen[s.Key()] {
+			return fmt.Errorf("duplicate series %s%s", s.Name, s.Labels)
+		}
+		seen[s.Key()] = true
+		fam := baseFamily(s.Name)
+		typ, ok := exp.Types[fam]
+		if !ok {
+			if typ, ok = exp.Types[s.Name]; !ok {
+				return fmt.Errorf("series %s has no TYPE declaration", s.Name)
+			}
+			fam = s.Name
+		}
+		if typ != "histogram" && typ != "summary" && fam != s.Name {
+			return fmt.Errorf("series %s uses a histogram suffix but %s is a %s", s.Name, fam, typ)
+		}
+		if typ == "histogram" {
+			switch {
+			case strings.HasSuffix(s.Name, "_bucket"):
+				le, rest, err := extractLE(s.Labels)
+				if err != nil {
+					return fmt.Errorf("series %s%s: %w", s.Name, s.Labels, err)
+				}
+				key := fam + rest
+				st := hists[key]
+				if st == nil {
+					st = &histState{}
+					hists[key] = st
+				}
+				if le == "+Inf" {
+					st.infSeen = true
+					st.inf = s.Value
+				}
+				if s.Value < st.last {
+					return fmt.Errorf("histogram %s%s: bucket counts decrease at le=%s", fam, rest, le)
+				}
+				st.last = s.Value
+			case strings.HasSuffix(s.Name, "_count"):
+				counts[fam+s.Labels] = s.Value
+			}
+		}
+	}
+	for key, st := range hists {
+		if !st.infSeen {
+			return fmt.Errorf("histogram %s has no +Inf bucket", key)
+		}
+		if c, ok := counts[key]; ok && c != st.inf {
+			return fmt.Errorf("histogram %s: +Inf bucket %v != _count %v", key, st.inf, c)
+		}
+	}
+	return nil
+}
+
+// extractLE pulls the le label out of a normalized label string,
+// returning the remaining labels as identity.
+func extractLE(labels string) (le, rest string, err error) {
+	if labels == "" {
+		return "", "", fmt.Errorf("bucket sample has no le label")
+	}
+	body := strings.TrimSuffix(strings.TrimPrefix(labels, "{"), "}")
+	var kept []string
+	for _, pair := range splitPairs(body) {
+		if strings.HasPrefix(pair, "le=") {
+			le, err = strconv.Unquote(strings.TrimPrefix(pair, "le="))
+			if err != nil {
+				return "", "", fmt.Errorf("bad le value: %w", err)
+			}
+			continue
+		}
+		kept = append(kept, pair)
+	}
+	if le == "" {
+		return "", "", fmt.Errorf("bucket sample has no le label")
+	}
+	if len(kept) == 0 {
+		return le, "", nil
+	}
+	return le, "{" + strings.Join(kept, ",") + "}", nil
+}
+
+// splitPairs splits normalized (already-quoted, comma-joined) label
+// pairs.
+func splitPairs(body string) []string {
+	var out []string
+	rest := body
+	for rest != "" {
+		// Pairs are k="v"; values may contain escaped quotes or commas.
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 {
+			out = append(out, rest)
+			break
+		}
+		end := eq + 1
+		if end < len(rest) && rest[end] == '"' {
+			for i := end + 1; i < len(rest); i++ {
+				if rest[i] == '\\' {
+					i++
+					continue
+				}
+				if rest[i] == '"' {
+					end = i
+					break
+				}
+			}
+		}
+		stop := end + 1
+		out = append(out, rest[:stop])
+		rest = strings.TrimPrefix(rest[stop:], ",")
+	}
+	return out
+}
+
+// CompareCounters diffs two scrapes and returns an error listing every
+// counter series present in both whose value decreased — the regression
+// signal for the restart/soak job. Within one process lifetime
+// (allowReset false) counters must be monotonic, full stop. Across a
+// restart (allowReset true) any decrease is read as a process reset —
+// the Prometheus convention, since a restarted server may have re-grown
+// its counters by scrape time. Series present only on one side are
+// ignored.
+func CompareCounters(before, after *Exposition, allowReset bool) error {
+	bv := make(map[string]float64)
+	for _, s := range before.Samples {
+		if before.Types[baseFamily(s.Name)] == "counter" || before.Types[s.Name] == "counter" {
+			bv[s.Key()] = s.Value
+		}
+	}
+	var regressed []string
+	for _, s := range after.Samples {
+		if after.Types[baseFamily(s.Name)] != "counter" && after.Types[s.Name] != "counter" {
+			continue
+		}
+		b, ok := bv[s.Key()]
+		if !ok {
+			continue
+		}
+		if s.Value < b {
+			if allowReset {
+				continue
+			}
+			regressed = append(regressed, fmt.Sprintf("%s%s: %v -> %v", s.Name, s.Labels, b, s.Value))
+		}
+	}
+	if len(regressed) > 0 {
+		sort.Strings(regressed)
+		return fmt.Errorf("counter(s) regressed:\n  %s", strings.Join(regressed, "\n  "))
+	}
+	return nil
+}

@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func parseOK(t *testing.T, text string) *Exposition {
+	t.Helper()
+	exp, err := ParsePrometheus(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return exp
+}
+
+func TestLintAcceptsValidExposition(t *testing.T) {
+	exp := parseOK(t, `# HELP a_total Things.
+# TYPE a_total counter
+a_total{x="1"} 5
+a_total{x="2"} 3
+# HELP h_seconds Latency.
+# TYPE h_seconds histogram
+h_seconds_bucket{le="0.1"} 1
+h_seconds_bucket{le="+Inf"} 2
+h_seconds_sum 1.5
+h_seconds_count 2
+`)
+	if err := Lint(exp); err != nil {
+		t.Fatalf("lint: %v", err)
+	}
+}
+
+func TestLintFailures(t *testing.T) {
+	cases := []struct {
+		name, text, wantErr string
+	}{
+		{"no type", "a_total 1\n", "no TYPE"},
+		{"duplicate series", "# TYPE a_total counter\na_total 1\na_total 2\n", "duplicate series"},
+		{"missing inf", "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_count 1\n", "no +Inf"},
+		{"inf vs count", "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 2\nh_count 3\n", "!= _count"},
+		{"non-monotone", "# TYPE h histogram\nh_bucket{le=\"1\"} 3\nh_bucket{le=\"2\"} 1\nh_bucket{le=\"+Inf\"} 3\nh_count 3\n", "decrease"},
+		{"suffix on counter", "# TYPE x_bucket counter\n# TYPE x counter\nx_bucket{le=\"1\"} 1\n", "histogram suffix"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			exp, err := ParsePrometheus(strings.NewReader(c.text))
+			if err != nil {
+				t.Fatalf("parse should succeed (lint's job to fail): %v", err)
+			}
+			err = Lint(exp)
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("Lint = %v, want error containing %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+func TestParseFailures(t *testing.T) {
+	for _, text := range []string{
+		"a_total oops\n",                            // non-numeric value
+		"9bad_name 1\n",                             // invalid metric name
+		"a{k=unquoted} 1\n",                         // unquoted label value
+		"# TYPE a wat\na 1\n",                       // unknown type
+		"# TYPE a counter\n# TYPE a counter\na 1\n", // duplicate TYPE
+	} {
+		if _, err := ParsePrometheus(strings.NewReader(text)); err == nil {
+			t.Errorf("ParsePrometheus(%q) succeeded, want error", text)
+		}
+	}
+}
+
+func TestParseNormalizesLabelOrder(t *testing.T) {
+	a := parseOK(t, "# TYPE m counter\nm{b=\"2\",a=\"1\"} 1\n")
+	b := parseOK(t, "# TYPE m counter\nm{a=\"1\",b=\"2\"} 1\n")
+	if a.Samples[0].Key() != b.Samples[0].Key() {
+		t.Errorf("label order changed identity: %q vs %q", a.Samples[0].Key(), b.Samples[0].Key())
+	}
+}
+
+func TestCompareCounters(t *testing.T) {
+	before := parseOK(t, "# TYPE a_total counter\na_total 5\n# TYPE g gauge\ng 100\n")
+	regressed := parseOK(t, "# TYPE a_total counter\na_total 3\n# TYPE g gauge\ng 1\n")
+	grown := parseOK(t, "# TYPE a_total counter\na_total 9\n# TYPE g gauge\ng 1\n")
+	reset := parseOK(t, "# TYPE a_total counter\na_total 0\n")
+
+	if err := CompareCounters(before, grown, false); err != nil {
+		t.Errorf("grown counter flagged: %v", err)
+	}
+	if err := CompareCounters(before, regressed, false); err == nil || !strings.Contains(err.Error(), "a_total") {
+		t.Errorf("regressed counter not flagged: %v", err)
+	}
+	// Gauges may move freely — only a_total should ever be reported.
+	if err := CompareCounters(before, reset, false); err == nil {
+		t.Error("reset flagged as OK without -allow-reset")
+	}
+	if err := CompareCounters(before, reset, true); err != nil {
+		t.Errorf("full reset rejected with allowReset: %v", err)
+	}
+	// A restarted process may have re-grown the counter by scrape time:
+	// any decrease reads as a reset when allowed.
+	if err := CompareCounters(before, regressed, true); err != nil {
+		t.Errorf("partial re-growth after restart rejected with allowReset: %v", err)
+	}
+}

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// SlowStep is one fetch step of a slow-query log entry: the deduced
+// bounds, the optimizer's estimates and the actual counters, so a log
+// line alone is enough to see whether the a-priori bound M was honest
+// for the query it describes.
+type SlowStep struct {
+	Atom       string  `json:"atom"`
+	Constraint string  `json:"constraint"`
+	KeyBound   uint64  `json:"keyBound,omitempty"`
+	OutBound   uint64  `json:"outBound,omitempty"`
+	EstKeys    float64 `json:"estKeys,omitempty"`
+	EstFetched float64 `json:"estFetched,omitempty"`
+	Keys       int64   `json:"keys"`
+	Fetched    int64   `json:"fetched"`
+	Rows       int64   `json:"rows"`
+	DurationMS float64 `json:"durationMs"`
+}
+
+// SlowEntry is one JSON line of the slow-query log.
+type SlowEntry struct {
+	Time       time.Time  `json:"ts"`
+	TraceID    string     `json:"traceId,omitempty"`
+	SQL        string     `json:"sql"`
+	Mode       string     `json:"mode"`
+	Outcome    string     `json:"outcome"` // ok | canceled | failed | disconnected
+	Bound      uint64     `json:"bound,omitempty"`
+	Fetched    int64      `json:"tuplesFetched"`
+	Scanned    int64      `json:"tuplesScanned,omitempty"`
+	Rows       int64      `json:"rows"`
+	DurationMS float64    `json:"durationMs"`
+	Steps      []SlowStep `json:"steps,omitempty"`
+}
+
+// SlowLog writes structured slow-query entries as JSON lines. A query
+// qualifies when its latency reaches MinDuration or its fetched-tuple
+// count reaches MinFetched (either threshold ≤ 0 disables that test; a
+// nil *SlowLog, or one with no writer, logs nothing).
+type SlowLog struct {
+	mu          sync.Mutex
+	w           io.Writer
+	minDur      time.Duration
+	minFetch    int64
+	logged      *Counter // optional: counts emitted entries
+	nowOverride func() time.Time
+}
+
+// NewSlowLog creates a slow-query log writing to w. logged, when
+// non-nil, is incremented per emitted entry (wire it to the metrics
+// registry).
+func NewSlowLog(w io.Writer, minDur time.Duration, minFetch int64, logged *Counter) *SlowLog {
+	return &SlowLog{w: w, minDur: minDur, minFetch: minFetch, logged: logged}
+}
+
+// SetLogged wires (or replaces) the emitted-entry counter after
+// construction — servers use it to point an externally built log at
+// their metrics registry. Safe on a nil log.
+func (l *SlowLog) SetLogged(c *Counter) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.logged = c
+	l.mu.Unlock()
+}
+
+// Qualifies reports whether a query with this latency and fetch volume
+// would be logged.
+func (l *SlowLog) Qualifies(d time.Duration, fetched int64) bool {
+	if l == nil || l.w == nil {
+		return false
+	}
+	if l.minDur > 0 && d >= l.minDur {
+		return true
+	}
+	return l.minFetch > 0 && fetched >= l.minFetch
+}
+
+// Observe logs e when it qualifies. Timestamps default to now.
+func (l *SlowLog) Observe(e SlowEntry) {
+	if !l.Qualifies(time.Duration(e.DurationMS*float64(time.Millisecond)), e.Fetched) {
+		return
+	}
+	if e.Time.IsZero() {
+		if l.nowOverride != nil {
+			e.Time = l.nowOverride()
+		} else {
+			e.Time = time.Now()
+		}
+	}
+	line, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	line = append(line, '\n')
+	l.mu.Lock()
+	l.w.Write(line)
+	logged := l.logged
+	l.mu.Unlock()
+	if logged != nil {
+		logged.Inc()
+	}
+}

@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSlowLogThresholds(t *testing.T) {
+	var buf bytes.Buffer
+	var logged Counter
+	l := NewSlowLog(&buf, 100*time.Millisecond, 1000, &logged)
+
+	l.Observe(SlowEntry{SQL: "fast", DurationMS: 5, Fetched: 10})                  // neither threshold
+	l.Observe(SlowEntry{SQL: "slow", DurationMS: 250, Fetched: 10, Outcome: "ok"}) // latency
+	l.Observe(SlowEntry{SQL: "fat", DurationMS: 5, Fetched: 5000, Outcome: "ok"})  // volume
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("logged %d entries, want 2:\n%s", len(lines), buf.String())
+	}
+	if logged.Value() != 2 {
+		t.Errorf("logged counter = %d, want 2", logged.Value())
+	}
+	var e SlowEntry
+	if err := json.Unmarshal([]byte(lines[0]), &e); err != nil {
+		t.Fatalf("entry is not valid JSON: %v", err)
+	}
+	if e.SQL != "slow" || e.Time.IsZero() {
+		t.Errorf("first entry = %+v", e)
+	}
+}
+
+func TestSlowLogDisabled(t *testing.T) {
+	var nilLog *SlowLog
+	if nilLog.Qualifies(time.Hour, 1<<40) {
+		t.Error("nil log qualifies")
+	}
+	nilLog.Observe(SlowEntry{})  // must not panic
+	nilLog.SetLogged(&Counter{}) // must not panic
+	l := NewSlowLog(nil, time.Millisecond, 1, nil)
+	if l.Qualifies(time.Hour, 1<<40) {
+		t.Error("writerless log qualifies")
+	}
+	zero := NewSlowLog(&bytes.Buffer{}, 0, 0, nil)
+	if zero.Qualifies(time.Hour, 1<<40) {
+		t.Error("both thresholds disabled but log qualifies")
+	}
+}

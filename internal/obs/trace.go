@@ -1,0 +1,383 @@
+// Package obs is BEAS's zero-dependency observability layer: a
+// lightweight span tracer for the query lifecycle, a generic metrics
+// registry with Prometheus text exposition, a structured slow-query
+// log, and a linter for the exposition format.
+//
+// Everything here is built from the standard library only and is safe
+// for concurrent use. The guiding constraint is that observability off
+// must cost (almost) nothing: a nil *Tracer records nothing, StartSpan
+// on an untraced context is a single allocation-free Value lookup, and
+// metrics are lock-free atomics on the hot path.
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Attr is one key/value annotation on a span. Values are kept as native
+// Go types and converted only when a trace is rendered.
+type Attr struct {
+	Key string
+	Val any
+}
+
+// Span is one timed operation inside a trace: a node of the span tree.
+// Spans are created by Trace.StartSpan (live timing) or Trace.AddSpan
+// (after-the-fact, from already-measured statistics); both are safe for
+// concurrent use on the owning trace.
+type Span struct {
+	ID       uint64
+	Parent   uint64 // 0 = root
+	Name     string
+	Start    time.Time
+	Duration time.Duration
+	Attrs    []Attr
+
+	ended atomic.Bool
+}
+
+// End stamps the span's duration. Safe on a nil span (untraced
+// context) and idempotent.
+func (s *Span) End() {
+	if s == nil || !s.ended.CompareAndSwap(false, true) {
+		return
+	}
+	s.Duration = time.Since(s.Start)
+}
+
+// Set adds an attribute. Safe on a nil span.
+func (s *Span) Set(key string, val any) *Span {
+	if s == nil {
+		return nil
+	}
+	s.Attrs = append(s.Attrs, Attr{Key: key, Val: val})
+	return s
+}
+
+// Trace is one query's span tree under construction. The root span is
+// created with the trace; all other spans hang off it.
+type Trace struct {
+	ID    string
+	Start time.Time
+
+	mu    sync.Mutex
+	spans []*Span
+	next  uint64
+
+	Duration time.Duration
+	sampled  bool
+	kept     atomic.Bool
+	force    atomic.Bool
+}
+
+// Root returns the root span's ID (always 1).
+func (tr *Trace) Root() uint64 { return 1 }
+
+// StartSpan opens a live child span under parent. Safe on a nil trace
+// (returns nil, which every Span method tolerates).
+func (tr *Trace) StartSpan(parent uint64, name string) *Span {
+	if tr == nil {
+		return nil
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	tr.next++
+	sp := &Span{ID: tr.next, Parent: parent, Name: name, Start: time.Now()}
+	tr.spans = append(tr.spans, sp)
+	return sp
+}
+
+// AddSpan records an already-measured span — how executors report
+// per-step and per-operator timings that were accumulated in their own
+// statistics structures. Safe on a nil trace.
+func (tr *Trace) AddSpan(parent uint64, name string, start time.Time, d time.Duration, attrs ...Attr) *Span {
+	if tr == nil {
+		return nil
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	tr.next++
+	sp := &Span{ID: tr.next, Parent: parent, Name: name, Start: start, Duration: d, Attrs: attrs}
+	sp.ended.Store(true)
+	tr.spans = append(tr.spans, sp)
+	return sp
+}
+
+// ForceKeep marks the trace for retention regardless of sampling —
+// rejected and slow queries use it so they are always inspectable.
+// Safe on a nil trace.
+func (tr *Trace) ForceKeep() {
+	if tr != nil {
+		tr.force.Store(true)
+	}
+}
+
+// Spans snapshots the recorded spans in creation order.
+func (tr *Trace) Spans() []*Span {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	out := make([]*Span, len(tr.spans))
+	copy(out, tr.spans)
+	return out
+}
+
+// SpanNode is one node of the rendered span tree (the /trace/<id> JSON
+// shape).
+type SpanNode struct {
+	Name       string         `json:"name"`
+	StartUS    int64          `json:"startUs"` // offset from trace start
+	DurationUS int64          `json:"durationUs"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+	Children   []*SpanNode    `json:"children,omitempty"`
+}
+
+// TraceJSON is the /trace/<id> response shape.
+type TraceJSON struct {
+	ID         string    `json:"id"`
+	Start      time.Time `json:"start"`
+	DurationMS float64   `json:"durationMs"`
+	Root       *SpanNode `json:"root"`
+}
+
+// Tree renders the span tree. Orphan spans (parent never recorded) hang
+// off the root so nothing recorded is ever dropped.
+func (tr *Trace) Tree() *TraceJSON {
+	spans := tr.Spans()
+	nodes := make(map[uint64]*SpanNode, len(spans))
+	for _, s := range spans {
+		n := &SpanNode{
+			Name:       s.Name,
+			StartUS:    s.Start.Sub(tr.Start).Microseconds(),
+			DurationUS: s.Duration.Microseconds(),
+		}
+		if len(s.Attrs) > 0 {
+			n.Attrs = make(map[string]any, len(s.Attrs))
+			for _, a := range s.Attrs {
+				n.Attrs[a.Key] = a.Val
+			}
+		}
+		nodes[s.ID] = n
+	}
+	var root *SpanNode
+	for _, s := range spans {
+		if s.Parent == 0 {
+			root = nodes[s.ID]
+			continue
+		}
+		p, ok := nodes[s.Parent]
+		if !ok || s.Parent == s.ID {
+			p = nodes[1] // orphan: attach to the root span
+		}
+		if p != nil && p != nodes[s.ID] {
+			p.Children = append(p.Children, nodes[s.ID])
+		}
+	}
+	if root == nil && len(spans) > 0 {
+		root = nodes[spans[0].ID]
+	}
+	return &TraceJSON{ID: tr.ID, Start: tr.Start, DurationMS: float64(tr.Duration) / float64(time.Millisecond), Root: root}
+}
+
+// MarshalJSON renders the trace as its span tree.
+func (tr *Trace) MarshalJSON() ([]byte, error) { return json.Marshal(tr.Tree()) }
+
+// TracerOptions configures a Tracer.
+type TracerOptions struct {
+	// SampleRate is the fraction of queries whose traces are retained in
+	// the ring buffer (0 keeps only slow/forced traces, 1 keeps all).
+	// Every query still records spans while a tracer is installed; the
+	// rate only decides retention, so a query that turns out slow or
+	// rejected can be kept after the fact.
+	SampleRate float64
+	// SlowThreshold retains any trace at least this slow regardless of
+	// sampling (0 disables the slow path).
+	SlowThreshold time.Duration
+	// RingSize is the number of recent traces retained (default 256).
+	RingSize int
+}
+
+// Tracer samples and retains query traces in a fixed-size ring. A nil
+// *Tracer is a valid "tracing off" tracer: StartTrace returns nil and
+// every downstream span call no-ops.
+type Tracer struct {
+	opts TracerOptions
+	ctr  atomic.Uint64
+	idhi uint64
+
+	mu   sync.Mutex
+	ring []*Trace
+	pos  int
+	byID map[string]*Trace
+}
+
+// NewTracer creates a tracer.
+func NewTracer(opts TracerOptions) *Tracer {
+	if opts.RingSize <= 0 {
+		opts.RingSize = 256
+	}
+	return &Tracer{
+		opts: opts,
+		idhi: rand.Uint64(),
+		ring: make([]*Trace, 0, opts.RingSize),
+		byID: make(map[string]*Trace),
+	}
+}
+
+// Enabled reports whether the tracer records anything. Safe on nil.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// StartTrace begins a new trace whose root span is name, annotated with
+// attrs. Returns nil on a nil tracer.
+func (t *Tracer) StartTrace(name string, attrs ...Attr) *Trace {
+	if t == nil {
+		return nil
+	}
+	n := t.ctr.Add(1)
+	tr := &Trace{
+		ID:      fmt.Sprintf("%016x%08x", t.idhi^(n*0x9e3779b97f4a7c15), uint32(n)),
+		Start:   time.Now(),
+		sampled: t.sampled(n),
+	}
+	tr.next = 1
+	root := &Span{ID: 1, Name: name, Start: tr.Start, Attrs: attrs}
+	tr.spans = append(tr.spans, root)
+	return tr
+}
+
+// sampled decides retention deterministically: rate 1/k keeps every
+// k-th trace, avoiding any RNG on the per-query path.
+func (t *Tracer) sampled(n uint64) bool {
+	r := t.opts.SampleRate
+	if r >= 1 {
+		return true
+	}
+	if r <= 0 {
+		return false
+	}
+	every := uint64(1/r + 0.5)
+	if every < 1 {
+		every = 1
+	}
+	return n%every == 0
+}
+
+// Finish stamps the trace's (and its root span's) duration and retains
+// it when sampled, slower than the slow threshold, or force-kept. Safe
+// on a nil tracer or nil trace; idempotent per trace.
+func (t *Tracer) Finish(tr *Trace) {
+	if t == nil || tr == nil || !tr.kept.CompareAndSwap(false, true) {
+		return
+	}
+	tr.Duration = time.Since(tr.Start)
+	tr.mu.Lock()
+	if len(tr.spans) > 0 && !tr.spans[0].ended.Swap(true) {
+		tr.spans[0].Duration = tr.Duration
+	}
+	tr.mu.Unlock()
+	slow := t.opts.SlowThreshold > 0 && tr.Duration >= t.opts.SlowThreshold
+	if !tr.sampled && !slow && !tr.force.Load() {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, tr)
+	} else {
+		delete(t.byID, t.ring[t.pos].ID)
+		t.ring[t.pos] = tr
+		t.pos = (t.pos + 1) % cap(t.ring)
+	}
+	t.byID[tr.ID] = tr
+}
+
+// Get returns a retained trace by ID, or nil.
+func (t *Tracer) Get(id string) *Trace {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.byID[id]
+}
+
+// TraceSummary is one line of the retained-trace listing.
+type TraceSummary struct {
+	ID         string    `json:"id"`
+	Name       string    `json:"name"`
+	Start      time.Time `json:"start"`
+	DurationMS float64   `json:"durationMs"`
+	Spans      int       `json:"spans"`
+}
+
+// Recent lists the retained traces, newest first.
+func (t *Tracer) Recent() []TraceSummary {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	traces := make([]*Trace, len(t.ring))
+	copy(traces, t.ring)
+	t.mu.Unlock()
+	sort.Slice(traces, func(i, j int) bool { return traces[i].Start.After(traces[j].Start) })
+	out := make([]TraceSummary, len(traces))
+	for i, tr := range traces {
+		name := ""
+		spans := tr.Spans()
+		if len(spans) > 0 {
+			name = spans[0].Name
+		}
+		out[i] = TraceSummary{
+			ID:         tr.ID,
+			Name:       name,
+			Start:      tr.Start,
+			DurationMS: float64(tr.Duration) / float64(time.Millisecond),
+			Spans:      len(spans),
+		}
+	}
+	return out
+}
+
+// ctxKey carries the active trace + span through a context.
+type ctxKey struct{}
+
+type ctxVal struct {
+	tr   *Trace
+	span uint64
+}
+
+// With returns ctx carrying tr with span as the current parent.
+func With(ctx context.Context, tr *Trace, span uint64) context.Context {
+	if tr == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, ctxVal{tr: tr, span: span})
+}
+
+// FromContext returns the active trace and current span ID, or (nil, 0)
+// on an untraced context.
+func FromContext(ctx context.Context) (*Trace, uint64) {
+	if v, ok := ctx.Value(ctxKey{}).(ctxVal); ok {
+		return v.tr, v.span
+	}
+	return nil, 0
+}
+
+// StartSpan opens a live span under the context's current span and
+// returns a child context with the new span as parent. On an untraced
+// context it returns (ctx, nil) without allocating; the nil span's End
+// and Set no-op.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	tr, parent := FromContext(ctx)
+	if tr == nil {
+		return ctx, nil
+	}
+	sp := tr.StartSpan(parent, name)
+	return context.WithValue(ctx, ctxKey{}, ctxVal{tr: tr, span: sp.ID}), sp
+}

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestTraceTreeShape(t *testing.T) {
+	tc := NewTracer(TracerOptions{SampleRate: 1})
+	tr := tc.StartTrace("query", Attr{Key: "sql", Val: "SELECT 1"})
+	ctx := With(context.Background(), tr, tr.Root())
+
+	cctx, check := StartSpan(ctx, "check")
+	_, inner := StartSpan(cctx, "optimize") // child of check
+	inner.Set("rewritten", true)
+	inner.End()
+	check.End()
+	tr.AddSpan(tr.Root(), "fetch R1", time.Now(), 3*time.Millisecond, Attr{Key: "keys", Val: int64(7)})
+	tc.Finish(tr)
+
+	tree := tr.Tree()
+	if tree.Root == nil || tree.Root.Name != "query" {
+		t.Fatalf("root = %+v", tree.Root)
+	}
+	if len(tree.Root.Children) != 2 {
+		t.Fatalf("root children = %d, want 2 (check, fetch)", len(tree.Root.Children))
+	}
+	var checkNode *SpanNode
+	for _, c := range tree.Root.Children {
+		if c.Name == "check" {
+			checkNode = c
+		}
+	}
+	if checkNode == nil || len(checkNode.Children) != 1 || checkNode.Children[0].Name != "optimize" {
+		t.Fatalf("check subtree wrong: %+v", checkNode)
+	}
+	if checkNode.Children[0].Attrs["rewritten"] != true {
+		t.Errorf("optimize attrs = %v", checkNode.Children[0].Attrs)
+	}
+}
+
+func TestTracerSampling(t *testing.T) {
+	tc := NewTracer(TracerOptions{SampleRate: 0.25, RingSize: 64})
+	for i := 0; i < 16; i++ {
+		tc.Finish(tc.StartTrace("q"))
+	}
+	if got := len(tc.Recent()); got != 4 {
+		t.Errorf("retained %d of 16 at rate 0.25, want 4 (deterministic sampling)", got)
+	}
+}
+
+func TestTracerForceKeepAndSlow(t *testing.T) {
+	tc := NewTracer(TracerOptions{SampleRate: 0, SlowThreshold: time.Hour})
+	tr := tc.StartTrace("fast")
+	tc.Finish(tr)
+	if len(tc.Recent()) != 0 {
+		t.Fatal("unsampled fast trace retained")
+	}
+	tr = tc.StartTrace("rejected")
+	tr.ForceKeep()
+	tc.Finish(tr)
+	rec := tc.Recent()
+	if len(rec) != 1 {
+		t.Fatalf("force-kept trace not retained: %d", len(rec))
+	}
+	if got := tc.Get(rec[0].ID); got != tr {
+		t.Error("Get(id) did not return the retained trace")
+	}
+}
+
+func TestTracerRingEviction(t *testing.T) {
+	tc := NewTracer(TracerOptions{SampleRate: 1, RingSize: 4})
+	var first *Trace
+	for i := 0; i < 6; i++ {
+		tr := tc.StartTrace("q")
+		if i == 0 {
+			first = tr
+		}
+		tc.Finish(tr)
+	}
+	if len(tc.Recent()) != 4 {
+		t.Errorf("ring holds %d, want 4", len(tc.Recent()))
+	}
+	if tc.Get(first.ID) != nil {
+		t.Error("evicted trace still resolvable by ID")
+	}
+}
+
+func TestNilTracerIsFree(t *testing.T) {
+	var tc *Tracer
+	tr := tc.StartTrace("q")
+	if tr != nil {
+		t.Fatal("nil tracer started a trace")
+	}
+	// Every downstream call must tolerate the nils.
+	tr.ForceKeep()
+	tr.AddSpan(1, "x", time.Now(), 0)
+	sp := tr.StartSpan(1, "y")
+	sp.Set("k", 1).End()
+	tc.Finish(tr)
+	if tc.Get("nope") != nil || tc.Recent() != nil || tc.Enabled() {
+		t.Fatal("nil tracer leaked state")
+	}
+	ctx, sp2 := StartSpan(context.Background(), "z")
+	if sp2 != nil {
+		t.Fatal("untraced context produced a span")
+	}
+	if gotTr, _ := FromContext(ctx); gotTr != nil {
+		t.Fatal("untraced context carries a trace")
+	}
+}
+
+func TestFinishIdempotent(t *testing.T) {
+	tc := NewTracer(TracerOptions{SampleRate: 1})
+	tr := tc.StartTrace("q")
+	tc.Finish(tr)
+	tc.Finish(tr)
+	if len(tc.Recent()) != 1 {
+		t.Errorf("double Finish retained %d copies", len(tc.Recent()))
+	}
+}

@@ -1,83 +1,147 @@
 package server
 
 import (
-	"sync/atomic"
 	"time"
 
 	beas "github.com/bounded-eval/beas"
+	"github.com/bounded-eval/beas/internal/obs"
 )
 
-// boundBuckets are the upper edges of the deduced-bound histogram, in
+// boundEdges are the upper edges of the deduced-bound histogram, in
 // tuples. A query's a-priori access bound M lands in the first bucket
 // whose edge is ≥ M; queries the checker cannot bound at all (not
 // covered) are counted separately. Powers of ten keep the histogram
 // readable across the orders of magnitude access schemas span.
-var boundBuckets = []uint64{0, 1, 10, 100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000, 100_000_000}
+var boundEdges = []float64{0, 1, 10, 100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000, 100_000_000}
 
 var boundLabels = []string{"0", "1", "10", "100", "1e3", "1e4", "1e5", "1e6", "1e7", "1e8", "+Inf"}
 
-// metrics is the server's monitoring state. Everything is an atomic so
-// concurrent request handlers update it without a lock; Snapshot reads
-// are consistent enough for monitoring (counters may be mid-update
-// relative to each other, never torn individually).
+// metrics is the server's monitoring state, backed by an obs.Registry so
+// the same counters serve both the JSON /stats view and the Prometheus
+// /metrics exposition. Registration is get-or-create, so servers sharing
+// a registry share the series. Everything is lock-free on the hot path;
+// snapshot reads are consistent enough for monitoring (counters may be
+// mid-update relative to each other, never torn individually).
 type metrics struct {
-	queries           atomic.Uint64 // /query requests carrying a statement (parse failures count as failed)
-	admitted          atomic.Uint64 // requests that reached execution
-	rejectedBudget    atomic.Uint64 // covered, but deduced bound exceeded the budget
-	rejectedUncovered atomic.Uint64 // not covered and AllowUncovered is off
-	rejectedBusy      atomic.Uint64 // worker pool and wait queue both full
-	downgraded        atomic.Uint64 // over-budget, rerouted to approximation
-	queued            atomic.Uint64 // over-budget, serialised through the heavy lane
-	canceled          atomic.Uint64 // client gone or deadline hit mid-execution
-	failed            atomic.Uint64 // execution errors other than cancellation
+	reg *obs.Registry
 
-	rowsStreamed  atomic.Int64
-	tuplesFetched atomic.Int64 // partial tuples via constraint indices (Σ |D_Q|)
-	tuplesScanned atomic.Int64 // base rows read by conventional scans
+	queries           *obs.Counter // /query requests carrying a statement (parse failures count as failed)
+	admitted          *obs.Counter // requests that reached execution
+	rejectedBudget    *obs.Counter // covered, but deduced bound exceeded the budget
+	rejectedUncovered *obs.Counter // not covered and AllowUncovered is off
+	rejectedBusy      *obs.Counter // worker pool and wait queue both full
+	downgraded        *obs.Counter // over-budget, rerouted to approximation
+	queued            *obs.Counter // over-budget, serialised through the heavy lane
 
-	modeBounded      atomic.Uint64
-	modePartial      atomic.Uint64
-	modeConventional atomic.Uint64
-	modeEmpty        atomic.Uint64
+	canceled     *obs.Counter // context cancelled or deadline hit mid-execution
+	failed       *obs.Counter // execution errors other than cancellation
+	disconnected *obs.Counter // client stopped reading mid-stream (write error)
 
-	boundHist      [11]atomic.Uint64 // parallel to boundLabels
-	boundUncovered atomic.Uint64
+	rowsStreamed  *obs.Counter // rows delivered on successfully completed streams
+	rowsAbandoned *obs.Counter // rows written before a cancel/disconnect/failure
+	tuplesFetched *obs.Counter // partial tuples via constraint indices (Σ |D_Q|)
+	tuplesScanned *obs.Counter // base rows read by conventional scans
+
+	modeBounded      *obs.Counter
+	modePartial      *obs.Counter
+	modeConventional *obs.Counter
+	modeEmpty        *obs.Counter
+
+	boundHist      *obs.Histogram // deduced access bound M per checked query
+	boundUncovered *obs.Counter
+	// boundRatio is the bound-accuracy signal: actual fetched / deduced
+	// bound M per completed bounded query. Ratios near 0 mean the bound
+	// was loose; a ratio in the +Inf bucket would mean the a-priori
+	// guarantee was violated.
+	boundRatio *obs.Histogram
+
+	latency      *obs.Histogram // end-to-end /query latency, seconds
+	stageCheck   *obs.Histogram // parse + check + admission, seconds
+	stageExecute *obs.Histogram // execution + streaming, seconds
+
+	slowLogged *obs.Counter
+}
+
+func newMetrics(reg *obs.Registry) *metrics {
+	adm := func(outcome string) *obs.Counter {
+		return reg.Counter("beas_admission_total", "Admission decisions by outcome.", obs.Labels{"outcome": outcome})
+	}
+	res := func(outcome string) *obs.Counter {
+		return reg.Counter("beas_query_results_total", "Executed queries by terminal outcome.", obs.Labels{"outcome": outcome})
+	}
+	mode := func(m string) *obs.Counter {
+		return reg.Counter("beas_query_mode_total", "Completed executions by evaluation mode.", obs.Labels{"mode": m})
+	}
+	stage := func(st string) *obs.Histogram {
+		return reg.Histogram("beas_stage_duration_seconds", "Per-stage query latency in seconds.", obs.LatencyBuckets, obs.Labels{"stage": st})
+	}
+	return &metrics{
+		reg:               reg,
+		queries:           reg.Counter("beas_queries_total", "Query requests carrying a statement.", nil),
+		admitted:          adm("admitted"),
+		rejectedBudget:    adm("rejected_budget"),
+		rejectedUncovered: adm("rejected_uncovered"),
+		rejectedBusy:      adm("rejected_busy"),
+		downgraded:        adm("downgraded"),
+		queued:            adm("queued"),
+		canceled:          res("canceled"),
+		failed:            res("failed"),
+		disconnected:      res("disconnected"),
+		rowsStreamed:      reg.Counter("beas_rows_streamed_total", "Result rows delivered on successfully completed streams.", nil),
+		rowsAbandoned:     reg.Counter("beas_rows_abandoned_total", "Result rows written to streams that ended in cancel, disconnect or failure.", nil),
+		tuplesFetched:     reg.Counter("beas_tuples_fetched_total", "Partial tuples fetched through constraint indices.", nil),
+		tuplesScanned:     reg.Counter("beas_tuples_scanned_total", "Base rows read by conventional scans.", nil),
+		modeBounded:       mode(string(beas.ModeBounded)),
+		modePartial:       mode(string(beas.ModePartial)),
+		modeConventional:  mode(string(beas.ModeConventional)),
+		modeEmpty:         mode(string(beas.ModeEmpty)),
+		boundHist:         reg.Histogram("beas_query_bound_tuples", "Deduced a-priori access bound M per checked query, in tuples.", boundEdges, nil),
+		boundUncovered:    reg.Counter("beas_bound_uncovered_total", "Checked queries with no deduced bound (not covered).", nil),
+		boundRatio:        reg.Histogram("beas_bound_accuracy_ratio", "Actual fetched tuples / deduced bound M per completed bounded query.", obs.RatioBuckets, nil),
+		latency:           reg.Histogram("beas_query_duration_seconds", "End-to-end query latency in seconds.", obs.LatencyBuckets, nil),
+		stageCheck:        stage("check"),
+		stageExecute:      stage("execute"),
+		slowLogged:        reg.Counter("beas_slow_queries_total", "Queries written to the slow-query log.", nil),
+	}
 }
 
 // observeBound files a checker verdict into the bound histogram.
 func (m *metrics) observeBound(info *beas.CheckInfo) {
 	if !info.Covered {
-		m.boundUncovered.Add(1)
+		m.boundUncovered.Inc()
 		return
 	}
-	bound := info.Bound
 	if info.EmptyGuaranteed {
-		bound = 0
+		m.boundHist.Observe(0)
+		return
 	}
-	for i, edge := range boundBuckets {
-		if bound <= edge {
-			m.boundHist[i].Add(1)
-			return
-		}
-	}
-	m.boundHist[len(boundBuckets)].Add(1)
+	m.boundHist.Observe(float64(info.Bound))
 }
 
 // observeResult folds a finished (or cancelled) execution's statistics
-// into the counters.
-func (m *metrics) observeResult(st *beas.Stats, rows int64) {
-	m.rowsStreamed.Add(rows)
+// into the counters. delivered says whether the stream completed and the
+// client got every row; rows written to an abandoned stream count
+// separately, so the streamed-row counter measures useful work only.
+func (m *metrics) observeResult(st *beas.Stats, rows int64, delivered bool) {
+	if delivered {
+		m.rowsStreamed.Add(rows)
+	} else {
+		m.rowsAbandoned.Add(rows)
+	}
 	m.tuplesFetched.Add(st.TuplesFetched)
 	m.tuplesScanned.Add(st.TuplesScanned)
+	if st.Covered && st.Bound > 0 && st.TuplesFetched > 0 {
+		m.boundRatio.Observe(float64(st.TuplesFetched) / float64(st.Bound))
+	}
 	switch st.Mode {
 	case beas.ModeBounded:
-		m.modeBounded.Add(1)
+		m.modeBounded.Inc()
 	case beas.ModePartial:
-		m.modePartial.Add(1)
+		m.modePartial.Inc()
 	case beas.ModeConventional:
-		m.modeConventional.Add(1)
+		m.modeConventional.Inc()
 	case beas.ModeEmpty:
-		m.modeEmpty.Add(1)
+		m.modeEmpty.Inc()
 	}
 }
 
@@ -87,7 +151,8 @@ type BoundBucket struct {
 	Count uint64 `json:"count"`
 }
 
-// StatsSnapshot is the JSON shape of the /stats endpoint.
+// StatsSnapshot is the JSON shape of the /stats endpoint — a view over
+// the same registry /metrics renders.
 type StatsSnapshot struct {
 	Queries           uint64 `json:"queries"`
 	Admitted          uint64 `json:"admitted"`
@@ -98,8 +163,10 @@ type StatsSnapshot struct {
 	Queued            uint64 `json:"queued"`
 	Canceled          uint64 `json:"canceled"`
 	Failed            uint64 `json:"failed"`
+	Disconnected      uint64 `json:"disconnected"`
 
 	RowsStreamed  int64 `json:"rowsStreamed"`
+	RowsAbandoned int64 `json:"rowsAbandoned"`
 	TuplesFetched int64 `json:"tuplesFetched"`
 	TuplesScanned int64 `json:"tuplesScanned"`
 
@@ -109,6 +176,9 @@ type StatsSnapshot struct {
 	// bound; BoundUncovered counts queries with no bound at all.
 	BoundHistogram []BoundBucket `json:"boundHistogram"`
 	BoundUncovered uint64        `json:"boundUncovered"`
+
+	// SlowQueries counts entries written to the slow-query log.
+	SlowQueries uint64 `json:"slowQueries"`
 
 	PlanCacheHits   uint64 `json:"planCacheHits"`
 	PlanCacheMisses uint64 `json:"planCacheMisses"`
@@ -170,28 +240,33 @@ type DurabilitySnapshot struct {
 	RecoveryConforms     bool    `json:"recoveryConforms"`
 }
 
+func cval(c *obs.Counter) uint64 { return uint64(c.Value()) }
+
 // snapshot captures the counters. db supplies the plan-cache numbers.
 func (m *metrics) snapshot(db *beas.DB) StatsSnapshot {
 	s := StatsSnapshot{
-		Queries:           m.queries.Load(),
-		Admitted:          m.admitted.Load(),
-		RejectedBudget:    m.rejectedBudget.Load(),
-		RejectedUncovered: m.rejectedUncovered.Load(),
-		RejectedBusy:      m.rejectedBusy.Load(),
-		Downgraded:        m.downgraded.Load(),
-		Queued:            m.queued.Load(),
-		Canceled:          m.canceled.Load(),
-		Failed:            m.failed.Load(),
-		RowsStreamed:      m.rowsStreamed.Load(),
-		TuplesFetched:     m.tuplesFetched.Load(),
-		TuplesScanned:     m.tuplesScanned.Load(),
+		Queries:           cval(m.queries),
+		Admitted:          cval(m.admitted),
+		RejectedBudget:    cval(m.rejectedBudget),
+		RejectedUncovered: cval(m.rejectedUncovered),
+		RejectedBusy:      cval(m.rejectedBusy),
+		Downgraded:        cval(m.downgraded),
+		Queued:            cval(m.queued),
+		Canceled:          cval(m.canceled),
+		Failed:            cval(m.failed),
+		Disconnected:      cval(m.disconnected),
+		RowsStreamed:      m.rowsStreamed.Value(),
+		RowsAbandoned:     m.rowsAbandoned.Value(),
+		TuplesFetched:     m.tuplesFetched.Value(),
+		TuplesScanned:     m.tuplesScanned.Value(),
 		Modes: map[string]uint64{
-			string(beas.ModeBounded):      m.modeBounded.Load(),
-			string(beas.ModePartial):      m.modePartial.Load(),
-			string(beas.ModeConventional): m.modeConventional.Load(),
-			string(beas.ModeEmpty):        m.modeEmpty.Load(),
+			string(beas.ModeBounded):      cval(m.modeBounded),
+			string(beas.ModePartial):      cval(m.modePartial),
+			string(beas.ModeConventional): cval(m.modeConventional),
+			string(beas.ModeEmpty):        cval(m.modeEmpty),
 		},
-		BoundUncovered: m.boundUncovered.Load(),
+		BoundUncovered: cval(m.boundUncovered),
+		SlowQueries:    cval(m.slowLogged),
 	}
 	s.PlanCacheHits, s.PlanCacheMisses = db.PlanCacheStats()
 	s.Parallelism = db.Parallelism()
@@ -212,9 +287,10 @@ func (m *metrics) snapshot(db *beas.DB) StatsSnapshot {
 			MaxFanout:    c.MaxFanout,
 		})
 	}
+	buckets := m.boundHist.Buckets()
 	s.BoundHistogram = make([]BoundBucket, len(boundLabels))
 	for i, l := range boundLabels {
-		s.BoundHistogram[i] = BoundBucket{LE: l, Count: m.boundHist[i].Load()}
+		s.BoundHistogram[i] = BoundBucket{LE: l, Count: uint64(buckets[i])}
 	}
 	if d := db.Durability(); d.Durable {
 		ds := &DurabilitySnapshot{

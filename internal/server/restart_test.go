@@ -7,7 +7,26 @@ import (
 	"testing"
 
 	beas "github.com/bounded-eval/beas"
+	"github.com/bounded-eval/beas/internal/obs"
 )
+
+// scrapeExposition fetches and lints one server's /metrics in-process.
+func scrapeExposition(t *testing.T, srv *Server) *obs.Exposition {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/metrics returned %d", rec.Code)
+	}
+	exp, err := obs.ParsePrometheus(rec.Body)
+	if err != nil {
+		t.Fatalf("parsing /metrics: %v", err)
+	}
+	if err := obs.Lint(exp); err != nil {
+		t.Fatalf("linting /metrics: %v", err)
+	}
+	return exp
+}
 
 // TestRestartRoundTrip is the beasd restart story end to end: serve a
 // durable database over HTTP, mutate it, shut down the way the daemon
@@ -27,7 +46,12 @@ func TestRestartRoundTrip(t *testing.T) {
 	db.MustRegisterConstraint("call({pnum} -> {region}, 10)")
 
 	const q = `{"sql": "SELECT region FROM call WHERE pnum = 2"}`
-	firstBody := serveQuery(t, db, q)
+	firstSrv := New(db, Config{})
+	firstBody := serveQueryOn(t, firstSrv, q)
+	// Scrape before the restart: a fresh process starts its counters at
+	// zero, so the after-scrape must either hold or be a full reset —
+	// promtext's counter-regression check with -allow-reset.
+	beforeExp := scrapeExposition(t, firstSrv)
 	if err := db.Close(); err != nil {
 		t.Fatalf("closing store: %v", err)
 	}
@@ -37,12 +61,28 @@ func TestRestartRoundTrip(t *testing.T) {
 		t.Fatalf("reopening store: %v", err)
 	}
 	defer re.Close()
-	secondBody := serveQuery(t, re, q)
+	srv := New(re, Config{})
+	secondBody := serveQueryOn(t, srv, q)
 	if firstBody != secondBody {
 		t.Errorf("query response changed across restart:\nbefore: %s\nafter:  %s", firstBody, secondBody)
 	}
-
-	srv := New(re, Config{})
+	afterExp := scrapeExposition(t, srv)
+	if err := obs.CompareCounters(beforeExp, afterExp, true); err != nil {
+		t.Errorf("counters regressed across restart: %v", err)
+	}
+	// WAL position is state, not process counters: it must survive.
+	walLSN := func(exp *obs.Exposition) float64 {
+		for _, s := range exp.Samples {
+			if s.Name == "beas_wal_last_lsn" {
+				return s.Value
+			}
+		}
+		t.Fatal("beas_wal_last_lsn missing from /metrics")
+		return 0
+	}
+	if b, a := walLSN(beforeExp), walLSN(afterExp); a < b {
+		t.Errorf("WAL LSN went backwards across restart: %v -> %v", b, a)
+	}
 	rec := httptest.NewRecorder()
 	srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/stats", nil))
 	var stats StatsSnapshot
@@ -73,12 +113,10 @@ func TestRestartRoundTrip(t *testing.T) {
 	}
 }
 
-// serveQuery runs one /query POST through a fresh server over db and
-// returns the NDJSON body minus the stats trailer (whose duration
-// varies run to run).
-func serveQuery(t *testing.T, db *beas.DB, body string) string {
+// serveQueryOn runs one /query POST through srv and returns the NDJSON
+// body minus the stats trailer (whose duration varies run to run).
+func serveQueryOn(t *testing.T, srv *Server, body string) string {
 	t.Helper()
-	srv := New(db, Config{})
 	rec := httptest.NewRecorder()
 	req := httptest.NewRequest("POST", "/query", strings.NewReader(body))
 	srv.Handler().ServeHTTP(rec, req)

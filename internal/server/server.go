@@ -28,8 +28,16 @@
 //	              actual keys, fetches and rows.
 //	GET  /stats   → counters, evaluation-mode totals, the deduced-bound
 //	              histogram, plan-cache hit rates, and the optimizer +
-//	              statistics-catalog section.
-//	GET  /healthz → liveness plus row/constraint counts.
+//	              statistics-catalog section (a JSON view over /metrics).
+//	GET  /metrics → the same registry in Prometheus text exposition:
+//	              latency and bound-accuracy histograms, admission and
+//	              outcome counters, WAL fsync latency, worker occupancy
+//	              and Go runtime stats.
+//	GET  /trace/  → recent retained query traces; /trace/<id> renders one
+//	              span tree (parse → check → optimize → fetch steps →
+//	              stream, with estimated-vs-actual counters).
+//	GET  /healthz → liveness plus row/constraint counts, uptime, WAL LSN
+//	              and last-snapshot age.
 package server
 
 import (
@@ -39,9 +47,11 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"strings"
 	"time"
 
 	beas "github.com/bounded-eval/beas"
+	"github.com/bounded-eval/beas/internal/obs"
 	"github.com/bounded-eval/beas/internal/value"
 )
 
@@ -109,6 +119,19 @@ type Config struct {
 	// stalled client can wedge the service for as long as it stalls.
 	// The timeout bounds that exposure (cmd/beasd defaults to 1m).
 	QueryTimeout time.Duration
+
+	// Metrics is the registry /metrics renders and /stats reads. nil
+	// creates a private one. The server registers its own counters, the
+	// database's instrumentation (plan cache, WAL) and Go runtime gauges
+	// on it; sharing one registry between servers merges their series.
+	Metrics *obs.Registry
+	// Tracer samples query-lifecycle traces. nil disables tracing: no
+	// spans are recorded, /trace answers 404 and responses carry no
+	// X-Beas-Trace-Id header.
+	Tracer *obs.Tracer
+	// SlowQueryLog, when non-nil, receives a JSON line for every query
+	// whose latency or fetch volume crosses its thresholds.
+	SlowQueryLog *obs.SlowLog
 }
 
 func (c Config) withDefaults() Config {
@@ -140,29 +163,63 @@ type Server struct {
 	heavy   chan struct{} // single-slot lane for PolicyQueue admissions
 	waiting chan struct{} // bounds the wait queue for worker slots
 
-	m   metrics
-	mux *http.ServeMux
+	m      *metrics
+	tracer *obs.Tracer  // nil = tracing off
+	slow   *obs.SlowLog // nil = no slow-query log
+	start  time.Time
+	mux    *http.ServeMux
 }
 
 // New creates a Server over db. The database may be shared with other
-// users; the server only takes read locks (queries) on it.
+// users; the server only takes read locks (queries) on it — but it does
+// wire the database's instrumentation (plan-cache, WAL) into its metrics
+// registry, so /metrics covers the full query lifecycle.
 func New(db *beas.DB, cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	s := &Server{
 		db:      db,
 		cfg:     cfg,
 		sem:     make(chan struct{}, cfg.MaxConcurrent),
 		heavy:   make(chan struct{}, 1),
 		waiting: make(chan struct{}, cfg.QueueDepth),
+		m:       newMetrics(reg),
+		tracer:  cfg.Tracer,
+		slow:    cfg.SlowQueryLog,
+		start:   time.Now(),
 	}
+	s.slow.SetLogged(s.m.slowLogged)
+	db.SetMetrics(reg)
+	reg.RegisterGoRuntime()
+	reg.GaugeFunc("beas_workers_busy", "Queries currently holding a worker slot.", nil, func() float64 {
+		return float64(len(s.sem))
+	})
+	reg.GaugeFunc("beas_workers_max", "Size of the worker pool.", nil, func() float64 {
+		return float64(cfg.MaxConcurrent)
+	})
+	reg.GaugeFunc("beas_queue_waiting", "Admitted requests waiting for a worker slot.", nil, func() float64 {
+		return float64(len(s.waiting))
+	})
+	reg.GaugeFunc("beas_heavy_lane_busy", "Whether the single-slot heavy lane is occupied (0 or 1).", nil, func() float64 {
+		return float64(len(s.heavy))
+	})
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/query", s.handleQuery)
 	s.mux.HandleFunc("/check", s.handleCheck)
 	s.mux.HandleFunc("/explain", s.handleExplain)
 	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/trace", s.handleTrace)
+	s.mux.HandleFunc("/trace/", s.handleTrace)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	return s
 }
+
+// Registry returns the metrics registry /metrics renders.
+func (s *Server) Registry() *obs.Registry { return s.m.reg }
 
 // Handler returns the HTTP handler tree.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -366,6 +423,80 @@ func canceled(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
+// traceRequest starts a trace for one request (no-op without a tracer)
+// and advertises its ID to the client before the response body starts.
+// The database reuses a trace it finds on the context, so the handler
+// owns the trace's lifecycle and must Finish it.
+func (s *Server) traceRequest(ctx context.Context, w http.ResponseWriter, name, sql string) (context.Context, *obs.Trace) {
+	tr := s.tracer.StartTrace(name, obs.Attr{Key: "sql", Val: sql})
+	if tr == nil {
+		return ctx, nil
+	}
+	w.Header().Set("X-Beas-Trace-Id", tr.ID)
+	return obs.With(ctx, tr, tr.Root()), tr
+}
+
+// Terminal outcomes of an executed query, as counted by
+// beas_query_results_total and reported in the slow-query log.
+const (
+	outcomeOK           = "ok"
+	outcomeCanceled     = "canceled"     // context cancelled or deadline hit
+	outcomeFailed       = "failed"       // execution error
+	outcomeDisconnected = "disconnected" // client stopped reading mid-stream
+)
+
+// finishQuery folds one terminal execution outcome into the counters,
+// the slow-query log and the trace retention policy. Rows that reached a
+// client which then vanished are accounted separately from delivered
+// rows; slow or non-ok queries force their trace into the ring.
+func (s *Server) finishQuery(sql, outcome string, st *beas.Stats, rows int64, start time.Time, tr *obs.Trace) {
+	d := time.Since(start)
+	s.m.observeResult(st, rows, outcome == outcomeOK)
+	switch outcome {
+	case outcomeCanceled:
+		s.m.canceled.Inc()
+	case outcomeFailed:
+		s.m.failed.Inc()
+	case outcomeDisconnected:
+		s.m.disconnected.Inc()
+	}
+	if outcome != outcomeOK {
+		tr.ForceKeep()
+	}
+	if !s.slow.Qualifies(d, st.TuplesFetched) {
+		return
+	}
+	tr.ForceKeep()
+	e := obs.SlowEntry{
+		SQL:        sql,
+		Mode:       string(st.Mode),
+		Outcome:    outcome,
+		Bound:      st.Bound,
+		Fetched:    st.TuplesFetched,
+		Scanned:    st.TuplesScanned,
+		Rows:       rows,
+		DurationMS: float64(d) / float64(time.Millisecond),
+	}
+	if tr != nil {
+		e.TraceID = tr.ID
+	}
+	for _, fs := range st.FetchSteps {
+		e.Steps = append(e.Steps, obs.SlowStep{
+			Atom:       fs.Atom,
+			Constraint: fs.Constraint,
+			KeyBound:   fs.KeyBound,
+			OutBound:   fs.OutBound,
+			EstKeys:    fs.EstKeys,
+			EstFetched: fs.EstFetched,
+			Keys:       fs.DistinctKey,
+			Fetched:    fs.Fetched,
+			Rows:       fs.RowsOut,
+			DurationMS: float64(fs.Duration) / float64(time.Millisecond),
+		})
+	}
+	s.slow.Observe(e)
+}
+
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	sql, err := readSQL(r)
 	if err != nil {
@@ -378,12 +509,19 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.QueryTimeout)
 		defer cancel()
 	}
+	start := time.Now()
+	ctx, tr := s.traceRequest(ctx, w, "query", sql)
+	defer s.tracer.Finish(tr)
+	defer func() { s.m.latency.Observe(time.Since(start).Seconds()) }()
 	s.m.queries.Add(1)
 
 	// Admission: the checker deduces the access bound without executing
 	// anything, so rejection costs zero data access.
+	c0 := time.Now()
 	info, err := s.db.CheckContext(ctx, sql)
+	s.m.stageCheck.Observe(time.Since(c0).Seconds())
 	if err != nil {
+		tr.ForceKeep()
 		if canceled(err) {
 			s.m.canceled.Add(1)
 		} else {
@@ -394,19 +532,33 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	s.m.observeBound(info)
 	dec := s.admit(info)
+	if tr != nil {
+		// Rejected queries are always retained: the trace shows the check
+		// that produced the over-budget bound, which is the whole story.
+		if dec == decideReject || dec == decideRejectUncovered {
+			tr.ForceKeep()
+		}
+		tr.AddSpan(tr.Root(), "admission", c0, time.Since(c0),
+			obs.Attr{Key: "decision", Val: string(dec)},
+			obs.Attr{Key: "covered", Val: info.Covered},
+			obs.Attr{Key: "bound", Val: info.Bound},
+		)
+	}
 	release, ok := s.gate(ctx, w, info, dec, "query")
 	if !ok {
 		return
 	}
 	defer release()
 
+	e0 := time.Now()
+	defer func() { s.m.stageExecute.Observe(time.Since(e0).Seconds()) }()
 	if dec == decideDowngrade {
 		s.m.admitted.Add(1)
 		s.m.downgraded.Add(1)
-		s.streamApprox(ctx, w, sql, info)
+		s.streamApprox(ctx, w, sql, info, start, tr)
 		return
 	}
-	s.streamQuery(ctx, w, sql, dec)
+	s.streamQuery(ctx, w, sql, dec, start, tr)
 }
 
 // gate enforces an admission decision's control flow for an executing
@@ -515,10 +667,13 @@ func (n *ndjson) fail(err error) {
 }
 
 // streamQuery executes sql through a streaming cursor and writes the
-// NDJSON response: header, row chunks, stats trailer.
-func (s *Server) streamQuery(ctx context.Context, w http.ResponseWriter, sql string, dec decision) {
+// NDJSON response: header, row chunks, stats trailer. start is when the
+// request began (for latency-based slow-query logging) and tr its trace
+// (nil when tracing is off).
+func (s *Server) streamQuery(ctx context.Context, w http.ResponseWriter, sql string, dec decision, start time.Time, tr *obs.Trace) {
 	ri, err := s.db.QueryIterContext(ctx, sql)
 	if err != nil {
+		tr.ForceKeep()
 		if canceled(err) {
 			s.m.canceled.Add(1)
 			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
@@ -539,6 +694,7 @@ func (s *Server) streamQuery(ctx context.Context, w http.ResponseWriter, sql str
 	st := ri.Stats()
 	if !st.Covered && !s.cfg.AllowUncovered {
 		ri.Close()
+		tr.ForceKeep()
 		s.m.rejectedUncovered.Add(1)
 		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{
 			Error: "query rejected: access schema changed during admission; no longer covered",
@@ -552,6 +708,7 @@ func (s *Server) streamQuery(ctx context.Context, w http.ResponseWriter, sql str
 		// the path those policies run through. A retry re-enters
 		// admission and gets the configured over-budget treatment.
 		ri.Close()
+		tr.ForceKeep()
 		s.m.rejectedBudget.Add(1)
 		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{
 			Error:  fmt.Sprintf("query rejected: access schema changed during admission; deduced bound is now %d, over budget %d — retry", st.Bound, s.cfg.BoundBudget),
@@ -573,12 +730,11 @@ func (s *Server) streamQuery(ctx context.Context, w http.ResponseWriter, sql str
 			// outcome, so a /stats reader that sees the canceled/failed
 			// tick also sees the work that preceded it.
 			ri.Close()
-			s.m.observeResult(ri.Stats(), rows)
+			outcome := outcomeFailed
 			if canceled(err) {
-				s.m.canceled.Add(1)
-			} else {
-				s.m.failed.Add(1)
+				outcome = outcomeCanceled
 			}
+			s.finishQuery(sql, outcome, ri.Stats(), rows, start, tr)
 			out.fail(err)
 			return
 		}
@@ -587,24 +743,33 @@ func (s *Server) streamQuery(ctx context.Context, w http.ResponseWriter, sql str
 		}
 		rows += int64(len(batch))
 		if err := out.chunk(batch); err != nil {
-			// The client is gone; stop pulling rows it will never see.
+			// The client is gone; stop pulling rows it will never see. A
+			// write error with the request context already cancelled is a
+			// deliberate cancellation (client cancel, deadline) reported
+			// through the connection; with a live context it is a plain
+			// disconnect. Either way the rows written so far were never
+			// delivered in full and count as abandoned.
 			ri.Close()
-			s.m.observeResult(ri.Stats(), rows)
-			s.m.canceled.Add(1)
+			outcome := outcomeDisconnected
+			if ctx.Err() != nil {
+				outcome = outcomeCanceled
+			}
+			s.finishQuery(sql, outcome, ri.Stats(), rows, start, tr)
 			return
 		}
 	}
 	ri.Close()
-	s.m.observeResult(ri.Stats(), rows)
+	s.finishQuery(sql, outcomeOK, ri.Stats(), rows, start, tr)
 	out.trailer(statsFrom(ri.Stats(), rows))
 }
 
 // streamApprox executes a downgraded query under the approximation
 // budget and writes the same NDJSON shape, with the accuracy lower bound
 // in the trailer.
-func (s *Server) streamApprox(ctx context.Context, w http.ResponseWriter, sql string, info *beas.CheckInfo) {
+func (s *Server) streamApprox(ctx context.Context, w http.ResponseWriter, sql string, info *beas.CheckInfo, start time.Time, tr *obs.Trace) {
 	res, coverage, err := s.db.QueryApproxContext(ctx, sql, s.cfg.ApproxBudget)
 	if err != nil {
+		tr.ForceKeep()
 		if canceled(err) {
 			s.m.canceled.Add(1)
 			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
@@ -619,12 +784,15 @@ func (s *Server) streamApprox(ctx context.Context, w http.ResponseWriter, sql st
 	for i := 0; i < len(res.Rows); i += 256 {
 		end := min(i+256, len(res.Rows))
 		if err := out.chunk(res.Rows[i:end]); err != nil {
-			s.m.observeResult(&res.Stats, int64(i))
-			s.m.canceled.Add(1)
+			outcome := outcomeDisconnected
+			if ctx.Err() != nil {
+				outcome = outcomeCanceled
+			}
+			s.finishQuery(sql, outcome, &res.Stats, int64(i), start, tr)
 			return
 		}
 	}
-	s.m.observeResult(&res.Stats, int64(len(res.Rows)))
+	s.finishQuery(sql, outcomeOK, &res.Stats, int64(len(res.Rows)), start, tr)
 	st := statsFrom(&res.Stats, int64(len(res.Rows)))
 	st.Coverage = coverage
 	out.trailer(st)
@@ -741,8 +909,12 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.QueryTimeout)
 		defer cancel()
 	}
+	start := time.Now()
+	ctx, tr := s.traceRequest(ctx, w, "explain", req.SQL)
+	defer s.tracer.Finish(tr)
 	info, err := s.db.CheckContext(ctx, req.SQL)
 	if err != nil {
+		tr.ForceKeep()
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
@@ -776,6 +948,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 
 	ri, err := s.db.QueryIterContext(ctx, req.SQL)
 	if err != nil {
+		tr.ForceKeep()
 		if canceled(err) {
 			s.m.canceled.Add(1)
 			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
@@ -795,6 +968,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	st := ri.Stats()
 	if !st.Covered && !s.cfg.AllowUncovered {
 		ri.Close()
+		tr.ForceKeep()
 		s.m.rejectedUncovered.Add(1)
 		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{
 			Error: "explain analyze rejected: access schema changed during admission; no longer covered",
@@ -803,6 +977,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	}
 	if st.Covered && s.cfg.BoundBudget > 0 && st.Bound > s.cfg.BoundBudget {
 		ri.Close()
+		tr.ForceKeep()
 		s.m.rejectedBudget.Add(1)
 		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{
 			Error:  fmt.Sprintf("explain analyze rejected: access schema changed during admission; deduced bound is now %d, over budget %d — retry", st.Bound, s.cfg.BoundBudget),
@@ -818,12 +993,14 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		batch, err := ri.NextBatch()
 		if err != nil {
 			ri.Close()
-			s.m.observeResult(ri.Stats(), rows)
+			outcome := outcomeFailed
 			if canceled(err) {
-				s.m.canceled.Add(1)
+				outcome = outcomeCanceled
+			}
+			s.finishQuery(req.SQL, outcome, ri.Stats(), rows, start, tr)
+			if outcome == outcomeCanceled {
 				writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
 			} else {
-				s.m.failed.Add(1)
 				writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 			}
 			return
@@ -835,7 +1012,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	}
 	ri.Close()
 	s.m.admitted.Add(1)
-	s.m.observeResult(ri.Stats(), rows)
+	s.finishQuery(req.SQL, outcomeOK, ri.Stats(), rows, start, tr)
 	ea := beas.NewExplainAnalysis(req.SQL, ri.Stats(), int(rows))
 	resp.Analyzed = true
 	resp.Mode = string(ea.Mode)
@@ -875,12 +1052,48 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.m.snapshot(s.db))
 }
 
+// handleMetrics renders the registry in the Prometheus text exposition
+// format (version 0.0.4).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.m.reg.WritePrometheus(w)
+}
+
+// handleTrace serves the retained-trace ring: /trace lists recent
+// traces, /trace/<id> renders one span tree.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if s.tracer == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "tracing disabled (start the server with a tracer)"})
+		return
+	}
+	id := strings.Trim(strings.TrimPrefix(r.URL.Path, "/trace"), "/")
+	if id == "" {
+		writeJSON(w, http.StatusOK, s.tracer.Recent())
+		return
+	}
+	tr := s.tracer.Get(id)
+	if tr == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "no retained trace with id " + id})
+		return
+	}
+	writeJSON(w, http.StatusOK, tr.Tree())
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"ok":          true,
-		"rows":        s.db.TotalRows(),
-		"constraints": len(s.db.Constraints()),
-		"workers":     s.cfg.MaxConcurrent,
-		"durable":     s.db.Durability().Durable,
-	})
+	d := s.db.Durability()
+	resp := map[string]any{
+		"ok":             true,
+		"rows":           s.db.TotalRows(),
+		"constraints":    len(s.db.Constraints()),
+		"workers":        s.cfg.MaxConcurrent,
+		"durable":        d.Durable,
+		"uptime_seconds": time.Since(s.start).Seconds(),
+	}
+	if d.Durable {
+		resp["wal_last_lsn"] = d.LastLSN
+		if !d.LastSnapshot.IsZero() {
+			resp["last_snapshot_age_seconds"] = time.Since(d.LastSnapshot).Seconds()
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

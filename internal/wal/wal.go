@@ -63,6 +63,21 @@ type Log struct {
 	size    int64    // bytes written to the current segment
 	lastLSN uint64   // LSN of the most recently appended (or recovered) record
 	buf     []byte   // reused frame buffer
+	obs     Observer
+}
+
+// Observer receives one event per appended record: the framed byte size
+// and the fsync latency (zero when the append did not fsync — deferred
+// appends and NoSync logs). It is called with the log's mutex held, so
+// it must be fast and must not call back into the log; metrics counters
+// and histograms qualify.
+type Observer func(bytes int, syncDur time.Duration)
+
+// SetObserver installs (or, with nil, removes) the append observer.
+func (l *Log) SetObserver(fn Observer) {
+	l.mu.Lock()
+	l.obs = fn
+	l.mu.Unlock()
 }
 
 // Append assigns the next LSN to rec, frames it and writes it to the
@@ -111,13 +126,19 @@ func (l *Log) append(rec *Record, sync bool) error {
 	if _, err := l.f.Write(l.buf); err != nil {
 		return fmt.Errorf("wal: appending record %d: %w", rec.LSN, err)
 	}
+	var syncDur time.Duration
 	if sync {
+		t0 := time.Now()
 		if err := l.f.Sync(); err != nil {
 			return fmt.Errorf("wal: syncing record %d: %w", rec.LSN, err)
 		}
+		syncDur = time.Since(t0)
 	}
 	l.size += int64(len(l.buf))
 	l.lastLSN = rec.LSN
+	if l.obs != nil {
+		l.obs(len(l.buf), syncDur)
+	}
 	return nil
 }
 

@@ -37,6 +37,13 @@ type Options struct {
 	// BatchSize is the columnar batch row capacity for vectorized
 	// execution (see DB.SetBatchSize). 0 keeps the default (256).
 	BatchSize int
+	// Tracer installs a query-lifecycle tracer (see DB.SetTracer). nil
+	// keeps tracing off.
+	Tracer *Tracer
+	// Metrics wires the database's internal instrumentation — plan
+	// cache, WAL appends and fsync latency, durability gauges — into a
+	// metrics registry (see DB.SetMetrics). nil skips the wiring.
+	Metrics *MetricsRegistry
 }
 
 const defaultSnapshotEvery = 100_000
@@ -152,6 +159,14 @@ func Open(dir string, opts *Options) (*DB, error) {
 		Conforms:        ok,
 	}
 	db.bumpCatalog()
+	if o.Tracer != nil {
+		db.SetTracer(o.Tracer)
+	}
+	if o.Metrics != nil {
+		// After db.wal is attached, so the WAL observer lands on the live
+		// log.
+		db.SetMetrics(o.Metrics)
+	}
 	return db, nil
 }
 

@@ -10,6 +10,7 @@ import (
 	"github.com/bounded-eval/beas/internal/core"
 	"github.com/bounded-eval/beas/internal/engine"
 	"github.com/bounded-eval/beas/internal/exec"
+	"github.com/bounded-eval/beas/internal/obs"
 	"github.com/bounded-eval/beas/internal/sqlparser"
 	"github.com/bounded-eval/beas/internal/value"
 )
@@ -50,7 +51,8 @@ type parsed struct {
 func (db *DB) parse(sql string) (*parsed, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	return db.parseLocked(sql)
+	p, _, err := db.parseLocked(sql)
+	return p, err
 }
 
 // parseLocked parses and analyses sql through the plan cache. The caller
@@ -64,24 +66,24 @@ func (db *DB) parse(sql string) (*parsed, error) {
 // our version check and our Store — a stale cachedParse can never be
 // re-inserted over a newer catalog. It also guarantees the caller
 // executes against the same catalog the analysis saw.
-func (db *DB) parseLocked(sql string) (*parsed, error) {
+func (db *DB) parseLocked(sql string) (*parsed, bool, error) {
 	if hit, ok := db.planCache.Load(sql); ok {
 		if c := hit.(*cachedParse); c.version == db.catalogVersion {
 			db.cacheHits.Add(1)
-			return c.p, nil
+			return c.p, true, nil
 		}
 	}
 	db.cacheMisses.Add(1)
 	stmt, err := sqlparser.Parse(sql)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	p := &parsed{}
 	all := false
 	for s := stmt; s != nil; s = s.Union {
 		q, err := analyze.Analyze(s.Select, db.schema)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		p.branches = append(p.branches, q)
 		p.unionAll = append(p.unionAll, all)
@@ -89,11 +91,21 @@ func (db *DB) parseLocked(sql string) (*parsed, error) {
 	}
 	for i := 1; i < len(p.branches); i++ {
 		if len(p.branches[i].Outputs) != len(p.branches[0].Outputs) {
-			return nil, fmt.Errorf("beas: UNION branches have different arities")
+			return nil, false, fmt.Errorf("beas: UNION branches have different arities")
 		}
 	}
 	db.planCache.Store(sql, &cachedParse{version: db.catalogVersion, p: p})
-	return p, nil
+	return p, false, nil
+}
+
+// parseSpanLocked is parseLocked under a "parse" span annotated with the
+// plan-cache outcome. Callers hold db.mu (read suffices).
+func (db *DB) parseSpanLocked(ctx context.Context, sql string) (*parsed, error) {
+	_, sp := obs.StartSpan(ctx, "parse")
+	p, hit, err := db.parseLocked(sql)
+	sp.Set("planCacheHit", hit)
+	sp.End()
+	return p, err
 }
 
 // Check runs the BE Checker: is the query covered by the registered
@@ -112,16 +124,18 @@ func (db *DB) CheckContext(ctx context.Context, sql string) (*CheckInfo, error) 
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	ctx, finish := db.startTrace(ctx, "check", sql)
+	defer finish()
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	p, err := db.parseLocked(sql)
+	p, err := db.parseSpanLocked(ctx, sql)
 	if err != nil {
 		return nil, err
 	}
 	info := &CheckInfo{Covered: true, EmptyGuaranteed: true}
 	var planText string
 	for i, q := range p.branches {
-		chk := db.rewriteLocked(q, core.Check(q, db.access))
+		chk := db.checkSpanLocked(ctx, q)
 		if !chk.EmptyGuaranteed {
 			info.EmptyGuaranteed = false
 		}
@@ -190,9 +204,11 @@ func (db *DB) query(ctx context.Context, sql string, allowFallback bool) (*Resul
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	ctx, finish := db.startTrace(ctx, "query", sql)
+	defer finish()
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	p, err := db.parseLocked(sql)
+	p, err := db.parseSpanLocked(ctx, sql)
 	if err != nil {
 		return nil, err
 	}
@@ -200,7 +216,7 @@ func (db *DB) query(ctx context.Context, sql string, allowFallback bool) (*Resul
 	res := &Result{Columns: p.branches[0].OutputNames(), Stats: Stats{Mode: ModeBounded, Covered: true, Optimized: db.optzr != nil}}
 	var rows []value.Row
 	for i, q := range p.branches {
-		chk := db.rewriteLocked(q, core.Check(q, db.access))
+		chk := db.checkSpanLocked(ctx, q)
 		var branchRows []value.Row
 		switch {
 		case chk.Covered:
@@ -239,7 +255,10 @@ func (db *DB) query(ctx context.Context, sql string, allowFallback bool) (*Resul
 // parallelism is on — and folds its statistics into res.
 func (db *DB) runBounded(ctx context.Context, plan *core.Plan, chk *core.CheckResult, res *Result) ([]value.Row, error) {
 	db.vecPlanLocked(plan)
-	rows, st, err := core.RunParallelContext(ctx, plan, db.par)
+	ectx, esp := obs.StartSpan(ctx, "execute")
+	rows, st, err := core.RunParallelContext(ectx, plan, db.par)
+	esp.Set("mode", "bounded").Set("fetched", st.Fetched).Set("rows", st.RowsOut)
+	esp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -259,7 +278,12 @@ func (db *DB) runPartial(ctx context.Context, q *analyze.Query, chk *core.CheckR
 	if err != nil {
 		return nil, err
 	}
-	rows, subStats, engStats, err := core.RunPartialContext(ctx, pp, q, db.fallback, db.par)
+	ectx, esp := obs.StartSpan(ctx, "execute")
+	rows, subStats, engStats, err := core.RunPartialContext(ectx, pp, q, db.fallback, db.par)
+	if subStats != nil && engStats != nil {
+		esp.Set("mode", "partial").Set("fetched", subStats.Fetched).Set("scanned", engStats.Scanned)
+	}
+	esp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -300,7 +324,7 @@ func (db *DB) QueryBaselineContext(ctx context.Context, sql string, baseline Bas
 	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	p, err := db.parseLocked(sql)
+	p, _, err := db.parseLocked(sql)
 	if err != nil {
 		return nil, err
 	}
@@ -344,7 +368,7 @@ func (db *DB) QueryApproxContext(ctx context.Context, sql string, budget int64) 
 	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	p, err := db.parseLocked(sql)
+	p, _, err := db.parseLocked(sql)
 	if err != nil {
 		return nil, 0, err
 	}

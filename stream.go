@@ -7,6 +7,7 @@ import (
 
 	"github.com/bounded-eval/beas/internal/core"
 	"github.com/bounded-eval/beas/internal/iter"
+	"github.com/bounded-eval/beas/internal/obs"
 	"github.com/bounded-eval/beas/internal/value"
 )
 
@@ -31,6 +32,7 @@ type RowIter struct {
 	it      iter.Iterator
 	res     *Result
 	final   []func() // fold per-branch execution stats into res at close
+	finish  func()   // finish the trace this cursor started (nil-safe set)
 	start   time.Time
 
 	batch  iter.Batch
@@ -60,14 +62,16 @@ func (db *DB) QueryIterContext(ctx context.Context, sql string) (*RowIter, error
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	ctx, finishTrace := db.startTrace(ctx, "query", sql)
 	db.mu.RLock()
 	ok := false
 	defer func() {
 		if !ok {
 			db.mu.RUnlock()
+			finishTrace()
 		}
 	}()
-	p, err := db.parseLocked(sql)
+	p, err := db.parseSpanLocked(ctx, sql)
 	if err != nil {
 		return nil, err
 	}
@@ -78,9 +82,10 @@ func (db *DB) QueryIterContext(ctx context.Context, sql string) (*RowIter, error
 		start:   time.Now(),
 		res:     &Result{Columns: p.branches[0].OutputNames(), Stats: Stats{Mode: ModeBounded, Covered: true, Optimized: db.optzr != nil}},
 	}
+	ri.finish = finishTrace
 	parts := make([]iter.Iterator, 0, len(p.branches))
 	for _, q := range p.branches {
-		chk := db.rewriteLocked(q, core.Check(q, db.access))
+		chk := db.checkSpanLocked(ctx, q)
 		if chk.Covered {
 			plan, err := core.NewPlan(q, chk)
 			if err != nil {
@@ -156,6 +161,18 @@ func (db *DB) QueryIterContext(ctx context.Context, sql string) (*RowIter, error
 		}
 	}
 	ri.it = &unionIter{parts: parts, dedupThrough: dedupThrough}
+	if tr, parent := obs.FromContext(ctx); tr != nil {
+		// The stream span measures time spent pulling result batches
+		// through the cursor — including the upstream pipeline; the fetch
+		// and operator spans break out where it went.
+		streamStart := time.Now()
+		ri.it = iter.Timed(ri.it, func(batches, rows int64, d time.Duration) {
+			tr.AddSpan(parent, "stream", streamStart, d,
+				obs.Attr{Key: "batches", Val: batches},
+				obs.Attr{Key: "rows", Val: rows},
+			)
+		})
+	}
 	ok = true
 	return ri, nil
 }
@@ -227,6 +244,9 @@ func (ri *RowIter) Close() error {
 		st.Mode = ModeEmpty
 	}
 	ri.db.mu.RUnlock()
+	if ri.finish != nil {
+		ri.finish()
+	}
 	if ri.err == nil {
 		ri.err = err
 	}
