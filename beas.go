@@ -24,6 +24,7 @@ package beas
 import (
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -487,6 +488,10 @@ func (db *DB) Delete(table string, where map[string]any) (int, error) {
 		}
 		conds = append(conds, wal.Cond{Col: t.Rel.Attrs[idx].Name, Val: vv})
 	}
+	// The conds order came from a map; sort so the logged WAL record is
+	// byte-identical across runs (replay and future replication compare
+	// record bytes).
+	sort.Slice(conds, func(i, j int) bool { return conds[i].Col < conds[j].Col })
 	match, err := condsMatcher(t, conds)
 	if err != nil {
 		return 0, err
@@ -517,6 +522,9 @@ func deleteWhere(t *storage.Table, where map[string]any) (int, error) {
 		}
 		conds = append(conds, cond{pos: pos, val: vv})
 	}
+	// Map order leaked into the evaluation order; sort by column
+	// position so the predicate is deterministic.
+	sort.Slice(conds, func(i, j int) bool { return conds[i].pos < conds[j].pos })
 	return t.Delete(func(r value.Row) bool {
 		for _, c := range conds {
 			if !value.Equal(r[c.pos], c.val) {

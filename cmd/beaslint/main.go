@@ -1,0 +1,113 @@
+// Command beaslint is the BEAS static-analysis suite. It mechanically
+// enforces the engine invariants that code review keeps re-litigating:
+// deterministic iteration in result paths, checked int64 arithmetic on
+// the value domain, NaN-total-order float comparisons, context
+// propagation, lock-ordering/no-callbacks-under-lock, and WAL
+// ack-after-fsync error discipline.
+//
+// Usage:
+//
+//	beaslint ./...            analyse packages (exit 1 on findings)
+//	beaslint -list            print the analyzer inventory
+//	go vet -vettool=$(pwd)/bin/beaslint ./...
+//
+// The last form speaks cmd/go's vet tool protocol: beaslint is invoked
+// once per package with a JSON config file and reads types from the
+// build cache's export data, so it composes with the standard vet
+// checks and needs no network or source re-type-checking.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/bounded-eval/beas/internal/lint/driver"
+	"github.com/bounded-eval/beas/internal/lint/loader"
+	"github.com/bounded-eval/beas/internal/lint/passes"
+	"github.com/bounded-eval/beas/internal/lint/unit"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("beaslint", flag.ContinueOnError)
+	list := fs.Bool("list", false, "list analyzers and exit")
+	version := fs.String("V", "", "version flag used by the go vet protocol")
+	flags := fs.Bool("flags", false, "print analyzer flags as JSON (go vet protocol)")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: beaslint [-list] package...\n")
+		fmt.Fprintf(os.Stderr, "       go vet -vettool=/path/to/beaslint ./...\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	switch {
+	case *version != "":
+		// go vet probes tools with -V=full and expects
+		// "<name> version <ver>" on stdout.
+		fmt.Printf("beaslint version v1 sha beas-static-analysis-suite\n")
+		return 0
+	case *flags:
+		fmt.Println("[]")
+		return 0
+	case *list:
+		for _, a := range passes.All() {
+			doc := a.Doc
+			if i := strings.IndexByte(doc, '\n'); i >= 0 {
+				doc = doc[:i]
+			}
+			fmt.Printf("%-10s %s\n", a.Name, doc)
+		}
+		return 0
+	}
+
+	rest := fs.Args()
+	if len(rest) == 0 {
+		fs.Usage()
+		return 2
+	}
+	// A single *.cfg argument means cmd/go is driving us as a vettool.
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return unit.Main(rest[0], passes.All(), os.Stderr)
+	}
+	return standalone(rest)
+}
+
+// standalone loads packages from source and analyses them, printing
+// diagnostics to stderr. Exit 1 signals findings, 2 a hard failure.
+func standalone(patterns []string) int {
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "beaslint: %v\n", err)
+		return 2
+	}
+	l, err := loader.New(loader.Config{Dir: wd})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "beaslint: %v\n", err)
+		return 2
+	}
+	pkgs, err := l.Load(patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "beaslint: %v\n", err)
+		return 2
+	}
+	diags, err := driver.Run(l.Fset(), pkgs, passes.All())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "beaslint: %v\n", err)
+		return 2
+	}
+	if len(diags) == 0 {
+		return 0
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", l.Fset().Position(d.Pos), d.Analyzer, d.Message)
+	}
+	fmt.Fprintf(os.Stderr, "beaslint: %d finding(s)\n", len(diags))
+	return 1
+}

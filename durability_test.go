@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"github.com/bounded-eval/beas/internal/value"
+	"github.com/bounded-eval/beas/internal/wal"
 )
 
 // ---------- helpers ----------
@@ -644,4 +645,54 @@ func BenchmarkDurableInsert(b *testing.B) {
 		defer db.Close()
 		run(b, db)
 	})
+}
+
+// TestDeleteWALCondOrderDeterministic pins the fix for a
+// nondeterministic WAL byte stream: Delete used to build the logged
+// Where conjunction by ranging over the caller's map, so the same
+// delete produced differently ordered — differently serialised —
+// records across runs. The logged conds must come out sorted by column
+// name regardless of map iteration order.
+func TestDeleteWALCondOrderDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, &Options{SnapshotEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.MustCreateTable("call", "pnum INT", "recnum INT", "date INT", "region STRING")
+	db.MustInsert("call", 1, 2, 3, "EDI")
+	if _, err := db.Delete("call", map[string]any{
+		"region": "EDI", "pnum": 1, "date": 3, "recnum": 2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Copy before Close: Close snapshots and truncates the log, and the
+	// assertion is about the record bytes as logged.
+	cut := copyDir(t, dir)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	log, rec, err := wal.Open(cut, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	var del *wal.Record
+	for _, r := range rec.Records {
+		if r.Type == wal.RecDelete {
+			del = r
+		}
+	}
+	if del == nil {
+		t.Fatal("no delete record recovered from the WAL")
+	}
+	got := make([]string, len(del.Where))
+	for i, c := range del.Where {
+		got[i] = c.Col
+	}
+	want := []string{"date", "pnum", "recnum", "region"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("logged delete conds in order %v, want sorted %v", got, want)
+	}
 }

@@ -1,0 +1,144 @@
+// Package analysis is a self-contained miniature of
+// golang.org/x/tools/go/analysis: just enough of the same API surface
+// (Analyzer, Pass, Diagnostic) for the beaslint passes to be written in
+// the standard shape, without the external dependency. Should the
+// x/tools module become available, the passes port by changing one
+// import path.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check. Name appears in diagnostics and
+// in //beas:nolint directives; Doc is the one-line summary printed by
+// beaslint -list (first line) followed by a longer description.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) (any, error)
+}
+
+// Pass carries one type-checked package through an analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. Set by the driver.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Analyzer: p.Analyzer.Name})
+}
+
+// Preorder walks every node of every file in depth-first preorder and
+// calls fn for nodes whose dynamic type matches one of the types
+// instances (all nodes when types is empty).
+func (p *Pass) Preorder(nodeTypes []ast.Node, fn func(ast.Node)) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				return false
+			}
+			if len(nodeTypes) == 0 {
+				fn(n)
+				return true
+			}
+			for _, t := range nodeTypes {
+				if sameNodeType(t, n) {
+					fn(n)
+					break
+				}
+			}
+			return true
+		})
+	}
+}
+
+// WithStack walks every node of every file, calling fn with the node
+// and the stack of its ancestors (outermost first, n excluded). If fn
+// returns false the subtree under n is skipped.
+func (p *Pass) WithStack(fn func(n ast.Node, stack []ast.Node) bool) {
+	for _, f := range p.Files {
+		var stack []ast.Node
+		var walk func(n ast.Node) bool
+		walk = func(n ast.Node) bool {
+			if !fn(n, stack) {
+				return false
+			}
+			stack = append(stack, n)
+			for _, c := range Children(n) {
+				walk(c)
+			}
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		walk(f)
+	}
+}
+
+// Children returns the direct child nodes of n in source order.
+func Children(n ast.Node) []ast.Node {
+	var out []ast.Node
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if first { // the root itself
+			first = false
+			return true
+		}
+		if c != nil {
+			out = append(out, c)
+		}
+		return false // don't descend; Inspect still visits siblings
+	})
+	return out
+}
+
+func sameNodeType(a, b ast.Node) bool {
+	switch a.(type) {
+	case *ast.RangeStmt:
+		_, ok := b.(*ast.RangeStmt)
+		return ok
+	case *ast.BinaryExpr:
+		_, ok := b.(*ast.BinaryExpr)
+		return ok
+	case *ast.UnaryExpr:
+		_, ok := b.(*ast.UnaryExpr)
+		return ok
+	case *ast.AssignStmt:
+		_, ok := b.(*ast.AssignStmt)
+		return ok
+	case *ast.CallExpr:
+		_, ok := b.(*ast.CallExpr)
+		return ok
+	case *ast.FuncDecl:
+		_, ok := b.(*ast.FuncDecl)
+		return ok
+	case *ast.FuncLit:
+		_, ok := b.(*ast.FuncLit)
+		return ok
+	case *ast.SendStmt:
+		_, ok := b.(*ast.SendStmt)
+		return ok
+	case *ast.SelectStmt:
+		_, ok := b.(*ast.SelectStmt)
+		return ok
+	default:
+		return fmt.Sprintf("%T", a) == fmt.Sprintf("%T", b)
+	}
+}

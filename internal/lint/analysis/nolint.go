@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// nolintPrefix introduces a suppression directive:
+//
+//	//beas:nolint analyzer1,analyzer2 -- reason the invariant is safe here
+//
+// The analyzer list and the reason are both mandatory; a directive
+// without either is itself a diagnostic, as is one naming an unknown
+// analyzer or one that suppresses nothing. A directive on a line of
+// code suppresses matching diagnostics on that line; a directive on a
+// line of its own suppresses them on the next code line.
+const nolintPrefix = "//beas:nolint"
+
+// Directive is one parsed //beas:nolint comment.
+type Directive struct {
+	Pos       token.Pos
+	Line      int // line whose diagnostics are suppressed
+	Analyzers []string
+	Reason    string
+	Used      bool
+}
+
+// ParseDirectives extracts the nolint directives of a file. Malformed
+// directives (missing analyzer list or reason) are returned as
+// diagnostics; known names come from the driver's analyzer inventory.
+func ParseDirectives(fset *token.FileSet, f *ast.File, known map[string]bool) ([]*Directive, []Diagnostic) {
+	codeLines := make(map[int]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case nil, *ast.Comment, *ast.CommentGroup:
+			return false
+		case *ast.Ident, *ast.BasicLit:
+			codeLines[fset.Position(n.Pos()).Line] = true
+		}
+		return true
+	})
+
+	var dirs []*Directive
+	var diags []Diagnostic
+	bad := func(pos token.Pos, format string, args ...any) {
+		diags = append(diags, Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Analyzer: "nolint"})
+	}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, nolintPrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(c.Text, nolintPrefix)
+			if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+				continue // e.g. //beas:nolintfoo — not ours
+			}
+			names, reason, hasReason := strings.Cut(rest, "--")
+			if !hasReason || strings.TrimSpace(reason) == "" {
+				bad(c.Pos(), "beas:nolint is missing its mandatory reason (want `//beas:nolint <analyzers> -- <reason>`)")
+				continue
+			}
+			var list []string
+			for _, n := range strings.FieldsFunc(names, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' }) {
+				if !known[n] {
+					bad(c.Pos(), "beas:nolint names unknown analyzer %q (known: %s)", n, strings.Join(sortedKeys(known), ", "))
+					continue
+				}
+				list = append(list, n)
+			}
+			if len(list) == 0 {
+				bad(c.Pos(), "beas:nolint names no analyzer to suppress")
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			if !codeLines[line] {
+				line++ // stand-alone comment applies to the next line
+			}
+			dirs = append(dirs, &Directive{Pos: c.Pos(), Line: line, Analyzers: list, Reason: strings.TrimSpace(reason)})
+		}
+	}
+	return dirs, diags
+}
+
+// Suppress filters diags through the directives of their file, marking
+// the directives that matched. Diagnostics from the "nolint" pseudo
+// analyzer are never suppressed.
+func Suppress(fset *token.FileSet, diags []Diagnostic, byFile map[string][]*Directive) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		if d.Analyzer != "nolint" {
+			for _, dir := range byFile[pos.Filename] {
+				if dir.Line != pos.Line {
+					continue
+				}
+				for _, a := range dir.Analyzers {
+					if a == d.Analyzer {
+						dir.Used = true
+						matched = true
+					}
+				}
+			}
+		}
+		if !matched {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// UnusedDirectives returns a diagnostic for every directive that
+// suppressed nothing: stale suppressions must be deleted, not
+// accumulated.
+func UnusedDirectives(byFile map[string][]*Directive) []Diagnostic {
+	var out []Diagnostic
+	for _, dirs := range byFile {
+		for _, dir := range dirs {
+			if !dir.Used {
+				out = append(out, Diagnostic{
+					Pos:      dir.Pos,
+					Message:  fmt.Sprintf("beas:nolint (%s) suppresses no diagnostic; delete the stale directive", strings.Join(dir.Analyzers, ",")),
+					Analyzer: "nolint",
+				})
+			}
+		}
+	}
+	return out
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

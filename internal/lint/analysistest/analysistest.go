@@ -1,0 +1,139 @@
+// Package analysistest runs one analyzer over golden testdata packages
+// and checks its diagnostics against // want annotations, mirroring
+// golang.org/x/tools/go/analysis/analysistest:
+//
+//	out = append(out, k) // want `leaks map iteration order`
+//
+// Each quoted (or backquoted) string after // want is a regular
+// expression; a line must produce one diagnostic per expectation and no
+// unexpected ones. Testdata packages live under <dir>/src/<pkg> and may
+// import real module packages (e.g. internal/value), which resolve
+// against the enclosing module. The full //beas:nolint policy runs too,
+// so directive behaviour is testable with the same annotations.
+package analysistest
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+	"testing"
+
+	"github.com/bounded-eval/beas/internal/lint/analysis"
+	"github.com/bounded-eval/beas/internal/lint/driver"
+	"github.com/bounded-eval/beas/internal/lint/loader"
+	"github.com/bounded-eval/beas/internal/lint/passes"
+)
+
+type lineKey struct {
+	file string
+	line int
+}
+
+// Run loads each testdata package, applies the analyzer (with the full
+// nolint policy) and compares diagnostics with // want annotations.
+func Run(t *testing.T, testdataDir string, a *analysis.Analyzer, pkgNames ...string) {
+	t.Helper()
+	l, err := loader.New(loader.Config{Dir: ".", ExtraRoots: []string{testdataDir + "/src"}})
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	for _, name := range pkgNames {
+		runPackage(t, l, a, name)
+	}
+}
+
+func runPackage(t *testing.T, l *loader.Loader, a *analysis.Analyzer, name string) {
+	t.Helper()
+	pkgs, err := l.Load(name)
+	if err != nil {
+		t.Fatalf("analysistest: loading %s: %v", name, err)
+	}
+	for _, pkg := range pkgs {
+		diags, err := driver.RunPackage(l.Fset(), pkg, []*analysis.Analyzer{a}, passes.Known())
+		if err != nil {
+			t.Fatalf("analysistest: %v", err)
+		}
+		wants := make(map[lineKey][]*regexp.Regexp)
+		for _, f := range pkg.Files {
+			collectWants(t, l.Fset(), f, wants)
+		}
+		compare(t, l.Fset(), diags, wants)
+	}
+}
+
+func compare(t *testing.T, fset *token.FileSet, diags []analysis.Diagnostic, wants map[lineKey][]*regexp.Regexp) {
+	t.Helper()
+	matched := make(map[lineKey][]bool)
+	for k, res := range wants {
+		matched[k] = make([]bool, len(res))
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		k := lineKey{pos.Filename, pos.Line}
+		ok := false
+		for i, re := range wants[k] {
+			if !matched[k][i] && re.MatchString(d.Message) {
+				matched[k][i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("%s: unexpected diagnostic [%s]: %s", pos, d.Analyzer, d.Message)
+		}
+	}
+	for k, res := range wants {
+		for i, re := range res {
+			if !matched[k][i] {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, re)
+			}
+		}
+	}
+}
+
+// collectWants parses // want comments into per-line expectations. The
+// annotated line is the comment's own line (want comments ride on the
+// flagged line).
+func collectWants(t *testing.T, fset *token.FileSet, f *ast.File, wants map[lineKey][]*regexp.Regexp) {
+	t.Helper()
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			exprs, ok := parseWant(c.Text)
+			if !ok {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			for _, e := range exprs {
+				re, err := regexp.Compile(e)
+				if err != nil {
+					t.Fatalf("%s: bad want regexp %q: %v", pos, e, err)
+				}
+				k := lineKey{pos.Filename, pos.Line}
+				wants[k] = append(wants[k], re)
+			}
+		}
+	}
+}
+
+var wantRE = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+// parseWant extracts the quoted regexps of a "// want" comment.
+func parseWant(text string) ([]string, bool) {
+	if !strings.HasPrefix(text, "//") {
+		return nil, false
+	}
+	idx := strings.Index(text, "want ")
+	if idx < 0 {
+		return nil, false
+	}
+	var out []string
+	for _, m := range wantRE.FindAllStringSubmatch(text[idx+len("want "):], -1) {
+		if m[1] != "" {
+			out = append(out, m[1])
+		} else if m[2] != "" {
+			out = append(out, m[2])
+		}
+	}
+	return out, len(out) > 0
+}

@@ -1,0 +1,105 @@
+// Package driver runs analyzers over loaded packages, applies the
+// //beas:nolint directive policy and orders diagnostics for output. It
+// is shared by the beaslint command (standalone and vettool modes) and
+// by the analysistest harness.
+package driver
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+
+	"github.com/bounded-eval/beas/internal/lint/analysis"
+	"github.com/bounded-eval/beas/internal/lint/loader"
+)
+
+// Run executes every analyzer over every package, suppresses
+// diagnostics covered by valid nolint directives, reports malformed and
+// stale directives, and returns everything sorted by position.
+func Run(fset *token.FileSet, pkgs []*loader.Package, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var all []analysis.Diagnostic
+	for _, pkg := range pkgs {
+		diags, err := RunPackage(fset, pkg, analyzers, known)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, diags...)
+	}
+	Sort(fset, all)
+	return all, nil
+}
+
+// RunPackage analyses one package unit. known is the analyzer-name set
+// nolint directives may reference (it may exceed analyzers when a
+// single pass runs under analysistest).
+func RunPackage(fset *token.FileSet, pkg *loader.Package, analyzers []*analysis.Analyzer, known map[string]bool) ([]analysis.Diagnostic, error) {
+	byFile := make(map[string][]*analysis.Directive)
+	var diags []analysis.Diagnostic
+	for _, f := range pkg.Files {
+		dirs, bad := analysis.ParseDirectives(fset, f, known)
+		byFile[fset.Position(f.Pos()).Filename] = dirs
+		diags = append(diags, bad...)
+	}
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+		}
+		pass.Report = func(d analysis.Diagnostic) {
+			if d.Analyzer == "" {
+				d.Analyzer = a.Name
+			}
+			diags = append(diags, d)
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("driver: %s on %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	diags = analysis.Suppress(fset, diags, byFile)
+	// A directive is stale only when every analyzer it names actually
+	// ran in this invocation and none produced a match.
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	scoped := make(map[string][]*analysis.Directive, len(byFile))
+	for file, dirs := range byFile {
+		for _, dir := range dirs {
+			allRan := true
+			for _, a := range dir.Analyzers {
+				if !ran[a] {
+					allRan = false
+				}
+			}
+			if allRan {
+				scoped[file] = append(scoped[file], dir)
+			}
+		}
+	}
+	diags = append(diags, analysis.UnusedDirectives(scoped)...)
+	return diags, nil
+}
+
+// Sort orders diagnostics by file, line, column, then analyzer.
+func Sort(fset *token.FileSet, diags []analysis.Diagnostic) {
+	sort.SliceStable(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+}

@@ -1,0 +1,337 @@
+// Package loader parses and type-checks packages of the current module
+// for beaslint using only the standard library: go/parser for syntax,
+// go/types for types, and the GOROOT source importer for standard
+// library dependencies. It needs no network, no module cache and no
+// pre-compiled export data, so the linter runs in a hermetic CI job.
+package loader
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed, type-checked package unit.
+type Package struct {
+	Path  string
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Config controls where import paths resolve from.
+type Config struct {
+	// Dir is the directory patterns are resolved against. The module
+	// root (nearest go.mod at or above Dir) anchors module-path imports.
+	Dir string
+	// ExtraRoots are searched before the module: an import path p
+	// resolves to root/p when that directory holds Go files. Used by
+	// analysistest to overlay testdata packages on the real module.
+	ExtraRoots []string
+}
+
+// Loader resolves, parses and type-checks packages with a shared
+// FileSet and package cache.
+type Loader struct {
+	fset       *token.FileSet
+	cfg        Config
+	moduleDir  string
+	modulePath string
+	std        types.Importer
+	pkgs       map[string]*Package
+	loading    map[string]bool
+}
+
+// New prepares a loader rooted at cfg.Dir (default ".").
+func New(cfg Config) (*Loader, error) {
+	if cfg.Dir == "" {
+		cfg.Dir = "."
+	}
+	abs, err := filepath.Abs(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	modDir, modPath, err := findModule(abs)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		fset:       fset,
+		cfg:        cfg,
+		moduleDir:  modDir,
+		modulePath: modPath,
+		std:        importer.ForCompiler(fset, "source", nil),
+		pkgs:       make(map[string]*Package),
+		loading:    make(map[string]bool),
+	}, nil
+}
+
+// Fset returns the loader's shared FileSet.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// ModulePath returns the module path from go.mod.
+func (l *Loader) ModulePath() string { return l.modulePath }
+
+// findModule walks up from dir to the nearest go.mod and reads its
+// module path.
+func findModule(dir string) (modDir, modPath string, err error) {
+	for d := dir; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("loader: %s/go.mod has no module line", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("loader: no go.mod at or above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// Load resolves patterns ("./...", "dir/...", plain directories or
+// import paths) to package units, parses and type-checks each, and
+// returns them sorted by import path.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	paths, err := l.expand(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, p := range paths {
+		pkg, err := l.load(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// expand turns CLI patterns into import paths.
+func (l *Loader) expand(patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var out []string
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive, pat = true, rest
+		}
+		if pat == "." || pat == "./" {
+			pat = ""
+		}
+		pat = strings.TrimPrefix(pat, "./")
+		// Overlay packages (analysistest testdata) resolve by their bare
+		// import path against ExtraRoots, like dirFor does.
+		if !recursive && l.inExtraRoots(pat) {
+			add(pat)
+			continue
+		}
+		root := filepath.Join(l.moduleDir, filepath.FromSlash(pat))
+		if !recursive {
+			if hasGoFiles(root) {
+				add(l.pathForDir(root))
+			} else {
+				return nil, fmt.Errorf("loader: no Go files in %s", root)
+			}
+			continue
+		}
+		err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != root && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				add(l.pathForDir(path))
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func (l *Loader) pathForDir(dir string) string {
+	rel, err := filepath.Rel(l.moduleDir, dir)
+	if err != nil || rel == "." {
+		return l.modulePath
+	}
+	return l.modulePath + "/" + filepath.ToSlash(rel)
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	return anyGo(entries)
+}
+
+func anyGo(entries []os.DirEntry) bool {
+	for _, e := range entries {
+		n := e.Name()
+		if !e.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// inExtraRoots reports whether path resolves to a Go package under one
+// of the configured overlay roots.
+func (l *Loader) inExtraRoots(path string) bool {
+	for _, root := range l.cfg.ExtraRoots {
+		if anyGoDir(filepath.Join(root, filepath.FromSlash(path))) {
+			return true
+		}
+	}
+	return false
+}
+
+// dirFor resolves an import path to a directory, or "" for non-module,
+// non-overlay (i.e. standard library) paths.
+func (l *Loader) dirFor(path string) string {
+	for _, root := range l.cfg.ExtraRoots {
+		d := filepath.Join(root, filepath.FromSlash(path))
+		if anyGoDir(d) {
+			return d
+		}
+	}
+	if path == l.modulePath {
+		return l.moduleDir
+	}
+	if rest, ok := strings.CutPrefix(path, l.modulePath+"/"); ok {
+		d := filepath.Join(l.moduleDir, filepath.FromSlash(rest))
+		if anyGoDir(d) {
+			return d
+		}
+	}
+	return ""
+}
+
+func anyGoDir(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	return anyGo(entries)
+}
+
+// Import implements types.Importer over the loader's cache, so
+// type-checking one module package recursively loads the module
+// packages it depends on.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if dir := l.dirFor(path); dir != "" {
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// load parses and type-checks one package unit (non-test files only).
+func (l *Loader) load(path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("loader: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir := l.dirFor(path)
+	if dir == "" {
+		return nil, fmt.Errorf("loader: cannot resolve %s to a directory", path)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		full := filepath.Join(dir, name)
+		f, err := parser.ParseFile(l.fset, full, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		if ignoredByBuildTag(f) {
+			continue
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("loader: no buildable Go files in %s", dir)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("loader: type-checking %s: %w", path, err)
+	}
+	pkg := &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// ignoredByBuildTag reports whether the file opts out of the default
+// build via a //go:build line mentioning "ignore".
+func ignoredByBuildTag(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.End() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if strings.HasPrefix(c.Text, "//go:build") && strings.Contains(c.Text, "ignore") {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,89 @@
+package loader
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLoadModulePackage type-checks a real module package, pulling its
+// module and standard-library dependencies through the import chain.
+func TestLoadModulePackage(t *testing.T) {
+	l, err := New(Config{Dir: "."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.ModulePath(); got != "github.com/bounded-eval/beas" {
+		t.Fatalf("module path = %q", got)
+	}
+	pkgs, err := l.Load("./internal/value")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.Types.Name() != "value" {
+		t.Fatalf("package name = %q", p.Types.Name())
+	}
+	if p.Types.Scope().Lookup("AddInt64") == nil {
+		t.Fatal("value.AddInt64 not in scope: type info incomplete")
+	}
+	if len(p.Info.Types) == 0 || len(p.Info.Uses) == 0 {
+		t.Fatal("expected populated type info")
+	}
+}
+
+// TestLoadTransitive loads a package whose imports span the module
+// (value, schema, storage) and the standard library (sort, sync).
+func TestLoadTransitive(t *testing.T) {
+	l, err := New(Config{Dir: "."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load("./internal/access")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deps := pkgs[0].Types.Imports()
+	var sawStorage bool
+	for _, d := range deps {
+		if strings.HasSuffix(d.Path(), "internal/storage") {
+			sawStorage = true
+		}
+	}
+	if !sawStorage {
+		t.Fatalf("access should import storage; imports: %v", deps)
+	}
+}
+
+// TestExpandRecursive expands ./... and finds both root and nested
+// packages while skipping testdata directories.
+func TestExpandRecursive(t *testing.T) {
+	l, err := New(Config{Dir: "."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := l.expand([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{
+		"github.com/bounded-eval/beas":                false,
+		"github.com/bounded-eval/beas/internal/value": false,
+		"github.com/bounded-eval/beas/cmd/beaslint":   false,
+	}
+	for _, p := range paths {
+		if strings.Contains(p, "testdata") {
+			t.Fatalf("testdata package leaked into expansion: %s", p)
+		}
+		if _, ok := want[p]; ok {
+			want[p] = true
+		}
+	}
+	for p, seen := range want {
+		if !seen {
+			t.Errorf("pattern ./... missed %s", p)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+// Package cmpfloat flags raw float64 comparisons where the engine's
+// NaN total order is required.
+//
+// value.Compare / value.CompareFloat64 define the engine's float order:
+// -Inf < ... < +Inf < NaN, NaN == NaN (PR 4). A raw < inside a sort
+// comparator returns false for NaN against everything, which makes sort
+// output depend on input order, and a raw == treats NaN as unequal to
+// itself, which poisons grouping, DISTINCT and plan-choice tie-breaks.
+// Functions that guard explicitly with math.IsNaN implement their own
+// NaN handling and are exempt from the equality rule.
+package cmpfloat
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/bounded-eval/beas/internal/lint/analysis"
+	"github.com/bounded-eval/beas/internal/lint/passes/lintutil"
+)
+
+// Analyzer is the cmpfloat pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "cmpfloat",
+	Doc: "float64 ordering and equality must respect the NaN total order\n\n" +
+		"In the deterministic packages plus analyze, a raw float64 comparison inside a " +
+		"sort.Slice/slices.SortFunc comparator, a float64 == or !=, or a sort.Float64s " +
+		"call ignores NaN and breaks value.Compare's total order (-Inf < ... < +Inf < " +
+		"NaN, NaN == NaN). Use value.CompareFloat64; functions calling math.IsNaN handle " +
+		"NaN explicitly and are exempt from the equality rule.",
+	Run: run,
+}
+
+var sortFuncs = map[string]bool{
+	"Slice": true, "SliceStable": true, "SliceIsSorted": true,
+	"SortFunc": true, "SortStableFunc": true, "Search": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !lintutil.IsDeterministic(pass.Pkg.Path()) && !lintutil.InScope(pass.Pkg.Path(), "analyze") {
+		return nil, nil
+	}
+	pass.WithStack(func(n ast.Node, stack []ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			checkSortCall(pass, e)
+		case *ast.BinaryExpr:
+			checkEquality(pass, e, stack)
+		}
+		return true
+	})
+	return nil, nil
+}
+
+// checkSortCall flags sort.Float64s outright and inspects comparator
+// literals passed to sort.* / slices.* for raw float64 comparisons.
+func checkSortCall(pass *analysis.Pass, call *ast.CallExpr) {
+	if lintutil.IsPkgCall(call, "sort", "Float64s") || lintutil.IsPkgCall(call, "slices", "Sort") {
+		if len(call.Args) > 0 && elemIsFloat64(pass, call.Args[0]) {
+			pass.Reportf(call.Pos(), "sorting raw float64s ignores the engine's NaN total order; sort with value.CompareFloat64")
+		}
+		return
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	if !ok || (pkg.Name != "sort" && pkg.Name != "slices") || !sortFuncs[sel.Sel.Name] {
+		return
+	}
+	for _, arg := range call.Args {
+		lit, ok := arg.(*ast.FuncLit)
+		if !ok {
+			continue
+		}
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			cmp, ok := n.(*ast.BinaryExpr)
+			if !ok || !isCompareOp(cmp.Op) {
+				return true
+			}
+			if floatOperand(pass, cmp) {
+				pass.Reportf(cmp.OpPos, "raw float64 %q in a sort comparator is not a total order under NaN; use value.CompareFloat64", cmp.Op)
+			}
+			return true
+		})
+	}
+}
+
+// checkEquality flags == / != between float64s outside NaN-aware
+// functions.
+func checkEquality(pass *analysis.Pass, e *ast.BinaryExpr, stack []ast.Node) {
+	if e.Op != token.EQL && e.Op != token.NEQ {
+		return
+	}
+	if !floatOperand(pass, e) {
+		return
+	}
+	// Comparisons folded at compile time cannot see runtime NaNs.
+	if tv := pass.TypesInfo.Types[ast.Expr(e)]; tv.Value != nil {
+		return
+	}
+	// Comparing against a compile-time constant is a sentinel test
+	// (rf == 0, est != 0); NaN != c evaluates correctly for those and
+	// no total order is involved.
+	if isConstant(pass, e.X) || isConstant(pass, e.Y) {
+		return
+	}
+	if body := lintutil.EnclosingFuncBody(stack); body != nil && lintutil.MentionsQualified(body, "math", "IsNaN") {
+		return // the function handles NaN explicitly
+	}
+	pass.Reportf(e.OpPos, "float64 %q ignores NaN (NaN != NaN poisons grouping and dedup); use value.CompareFloat64 == 0 or guard with math.IsNaN", e.Op)
+}
+
+func isCompareOp(op token.Token) bool {
+	switch op {
+	case token.LSS, token.GTR, token.LEQ, token.GEQ, token.EQL, token.NEQ:
+		return true
+	}
+	return false
+}
+
+// floatOperand reports whether either side of the comparison is a
+// float64 (or untyped float constant).
+func floatOperand(pass *analysis.Pass, e *ast.BinaryExpr) bool {
+	xt, yt := pass.TypesInfo.Types[e.X].Type, pass.TypesInfo.Types[e.Y].Type
+	return (xt != nil && lintutil.IsFloat64(xt)) || (yt != nil && lintutil.IsFloat64(yt))
+}
+
+// isConstant reports whether e has a compile-time value.
+func isConstant(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil
+}
+
+// elemIsFloat64 reports whether arg is a []float64.
+func elemIsFloat64(pass *analysis.Pass, arg ast.Expr) bool {
+	t := pass.TypesInfo.Types[arg].Type
+	if t == nil {
+		return false
+	}
+	sl, ok := t.Underlying().(*types.Slice)
+	return ok && lintutil.IsFloat64(sl.Elem())
+}

@@ -1,0 +1,12 @@
+package cmpfloat_test
+
+import (
+	"testing"
+
+	"github.com/bounded-eval/beas/internal/lint/analysistest"
+	"github.com/bounded-eval/beas/internal/lint/passes/cmpfloat"
+)
+
+func TestCmpfloat(t *testing.T) {
+	analysistest.Run(t, "testdata", cmpfloat.Analyzer, "opt")
+}

@@ -1,0 +1,31 @@
+package opt
+
+import "sort"
+
+// Positive cases: raw float64 comparisons where the NaN total order is
+// required.
+
+func sortScores(xs []float64) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] }) // want `raw float64 "<" in a sort comparator is not a total order under NaN`
+}
+
+type scored struct {
+	name string
+	est  float64
+}
+
+func sortScored(xs []scored) {
+	sort.SliceStable(xs, func(i, j int) bool { return xs[i].est < xs[j].est }) // want `raw float64 "<" in a sort comparator is not a total order under NaN`
+}
+
+func sortRaw(xs []float64) {
+	sort.Float64s(xs) // want `sorting raw float64s ignores the engine's NaN total order`
+}
+
+func sameEstimate(a, b float64) bool {
+	return a == b // want `float64 "==" ignores NaN`
+}
+
+func changed(a, b float64) bool {
+	return a != b // want `float64 "!=" ignores NaN`
+}

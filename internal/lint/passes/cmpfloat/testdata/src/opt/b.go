@@ -1,0 +1,30 @@
+package opt
+
+import (
+	"math"
+	"sort"
+
+	"github.com/bounded-eval/beas/internal/value"
+)
+
+// Negative cases: the total-order helper, sentinel tests against a
+// constant, explicit NaN handling, and non-float comparators.
+
+func sortTotal(xs []float64) {
+	sort.Slice(xs, func(i, j int) bool { return value.CompareFloat64(xs[i], xs[j]) < 0 })
+}
+
+func populated(est float64) bool {
+	return est != 0
+}
+
+func equalNaNAware(a, b float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.IsNaN(a) && math.IsNaN(b)
+	}
+	return a == b
+}
+
+func sortInts(xs []int) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}

@@ -1,0 +1,140 @@
+// Package ctxpass enforces context propagation through library code.
+//
+// PR 2 threaded context.Context through the whole public API so that
+// cancellation reaches joins, sorts and fetch steps mid-flight. That
+// chain is only as strong as its weakest call: a function that holds a
+// ctx but calls context.Background(), passes nil, or invokes the
+// non-Context variant of an API (Query instead of QueryContext) quietly
+// detaches everything downstream from the caller's deadline.
+package ctxpass
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/bounded-eval/beas/internal/lint/analysis"
+	"github.com/bounded-eval/beas/internal/lint/passes/lintutil"
+)
+
+// Analyzer is the ctxpass pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxpass",
+	Doc: "a function holding a context.Context must forward it\n\n" +
+		"In library packages (everything outside cmd/ and examples/), a function with a " +
+		"ctx parameter must not call context.Background() or context.TODO(), must not " +
+		"pass nil where a Context is expected, and must not call Foo when a FooContext " +
+		"variant exists on the same package or receiver — each of these detaches the " +
+		"callee from the caller's cancellation and deadline.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !lintutil.IsLibrary(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	pass.WithStack(func(n ast.Node, stack []ast.Node) bool {
+		fn, ok := n.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			return true
+		}
+		if ctxName := contextParam(pass.TypesInfo, fn.Type); ctxName != "" {
+			checkBody(pass, fn.Body, ctxName)
+		}
+		return true
+	})
+	return nil, nil
+}
+
+// contextParam returns the name of the function's context.Context
+// parameter, or "" (unnamed and blank parameters cannot be forwarded,
+// so they are not enforced).
+func contextParam(info *types.Info, ft *ast.FuncType) string {
+	if ft.Params == nil {
+		return ""
+	}
+	for _, field := range ft.Params.List {
+		tv, ok := info.Types[field.Type]
+		if !ok || !lintutil.IsContext(tv.Type) {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name != "_" {
+				return name.Name
+			}
+		}
+	}
+	return ""
+}
+
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt, ctxName string) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if lintutil.IsPkgCall(call, "context", "Background", "TODO") {
+			pass.Reportf(call.Pos(), "%s is in scope; forward it instead of starting a fresh context (cancellation chain breaks here)", ctxName)
+			return true
+		}
+		checkNilContextArg(pass, call, ctxName)
+		checkDroppedVariant(pass, call, ctxName)
+		return true
+	})
+}
+
+// checkNilContextArg flags nil passed for a context.Context parameter.
+func checkNilContextArg(pass *analysis.Pass, call *ast.CallExpr, ctxName string) {
+	sig, ok := pass.TypesInfo.Types[call.Fun].Type.(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		id, ok := arg.(*ast.Ident)
+		if !ok || id.Name != "nil" || i >= sig.Params().Len() {
+			continue
+		}
+		if lintutil.IsContext(sig.Params().At(i).Type()) {
+			pass.Reportf(arg.Pos(), "nil passed as context.Context; pass %s", ctxName)
+		}
+	}
+}
+
+// checkDroppedVariant flags a call to Foo when FooContext exists on the
+// same receiver type or package and takes a leading context.Context.
+func checkDroppedVariant(pass *analysis.Pass, call *ast.CallExpr, ctxName string) {
+	var callee *types.Func
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		callee, _ = lintutil.ObjOf(pass.TypesInfo, fun).(*types.Func)
+	case *ast.SelectorExpr:
+		callee, _ = lintutil.ObjOf(pass.TypesInfo, fun.Sel).(*types.Func)
+	}
+	if callee == nil {
+		return
+	}
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok || takesContext(sig) {
+		return // already the ctx-aware form
+	}
+	variant := callee.Name() + "Context"
+	var cand types.Object
+	if recv := sig.Recv(); recv != nil {
+		obj, _, _ := types.LookupFieldOrMethod(recv.Type(), true, callee.Pkg(), variant)
+		cand = obj
+	} else if callee.Pkg() != nil {
+		cand = callee.Pkg().Scope().Lookup(variant)
+	}
+	fn, ok := cand.(*types.Func)
+	if !ok {
+		return
+	}
+	if vsig, ok := fn.Type().(*types.Signature); ok && takesContext(vsig) {
+		pass.Reportf(call.Pos(), "call to %s drops %s; use %s", callee.Name(), ctxName, variant)
+	}
+}
+
+// takesContext reports whether the signature's first parameter is a
+// context.Context.
+func takesContext(sig *types.Signature) bool {
+	return sig.Params().Len() > 0 && lintutil.IsContext(sig.Params().At(0).Type())
+}

@@ -1,0 +1,12 @@
+package ctxpass_test
+
+import (
+	"testing"
+
+	"github.com/bounded-eval/beas/internal/lint/analysistest"
+	"github.com/bounded-eval/beas/internal/lint/passes/ctxpass"
+)
+
+func TestCtxpass(t *testing.T) {
+	analysistest.Run(t, "testdata", ctxpass.Analyzer, "engine")
+}

@@ -1,0 +1,35 @@
+package engine
+
+import "context"
+
+// Positive cases: a function holding a ctx that detaches its callees.
+
+type Store struct{}
+
+func (s *Store) Fetch(key string) error { return nil }
+
+func (s *Store) FetchContext(ctx context.Context, key string) error { return nil }
+
+func Query(q string) error { return nil }
+
+func QueryContext(ctx context.Context, q string) error { return nil }
+
+func detachFresh(ctx context.Context, s *Store) error {
+	return s.FetchContext(context.Background(), "k") // want `ctx is in scope; forward it instead of starting a fresh context`
+}
+
+func detachTODO(ctx context.Context, s *Store) error {
+	return s.FetchContext(context.TODO(), "k") // want `ctx is in scope; forward it instead of starting a fresh context`
+}
+
+func nilCtx(ctx context.Context, s *Store) error {
+	return s.FetchContext(nil, "k") // want `nil passed as context.Context; pass ctx`
+}
+
+func droppedMethodVariant(ctx context.Context, s *Store) error {
+	return s.Fetch("k") // want `call to Fetch drops ctx; use FetchContext`
+}
+
+func droppedFuncVariant(ctx context.Context) error {
+	return Query("SELECT 1") // want `call to Query drops ctx; use QueryContext`
+}

@@ -1,0 +1,18 @@
+package engine
+
+import "context"
+
+// Negative cases: forwarding correctly, and starting a root context in
+// a function that has none to forward.
+
+func forward(ctx context.Context, s *Store) error {
+	if err := s.FetchContext(ctx, "k"); err != nil {
+		return err
+	}
+	return QueryContext(ctx, "SELECT 1")
+}
+
+func root(s *Store) error {
+	ctx := context.Background()
+	return s.FetchContext(ctx, "k")
+}

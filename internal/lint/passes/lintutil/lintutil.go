@@ -1,0 +1,212 @@
+// Package lintutil holds the scope predicates and type tests shared by
+// the beaslint passes. Scope is decided by the final import-path
+// segment so that analysistest packages (testdata/src/exec, ...) are
+// treated exactly like the real engine packages they stand in for.
+package lintutil
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// PkgBase returns the final segment of an import path.
+func PkgBase(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// deterministicPkgs are the packages whose outputs must be bit-identical
+// across runs, worker counts and Go map layouts: the bounded executor
+// (core, exec), the fallback engine, the batch substrate, the optimizer
+// (plan choice feeds admission), the statistics catalog (estimates feed
+// plan choice) and the root package (result rows and WAL record bytes).
+var deterministicPkgs = map[string]bool{
+	"beas":   true,
+	"core":   true,
+	"engine": true,
+	"exec":   true,
+	"iter":   true,
+	"opt":    true,
+	"stats":  true,
+}
+
+// IsDeterministic reports whether the package's results are covered by
+// the bit-identity invariant.
+func IsDeterministic(pkgPath string) bool { return deterministicPkgs[PkgBase(pkgPath)] }
+
+// InScope reports whether the package's final segment is one of bases.
+func InScope(pkgPath string, bases ...string) bool {
+	b := PkgBase(pkgPath)
+	for _, want := range bases {
+		if b == want {
+			return true
+		}
+	}
+	return false
+}
+
+// IsLibrary reports whether the package is library code (not a command
+// or an example binary).
+func IsLibrary(pkgPath string) bool {
+	for _, seg := range strings.Split(pkgPath, "/") {
+		if seg == "cmd" || seg == "examples" || seg == "main" {
+			return false
+		}
+	}
+	return true
+}
+
+// IsInt64 reports whether t is exactly the basic type int64 (named
+// wrappers like time.Duration are excluded on purpose: they are not
+// value-domain integers).
+func IsInt64(t types.Type) bool {
+	b, ok := types.Unalias(t).(*types.Basic)
+	return ok && b.Kind() == types.Int64
+}
+
+// IsFloat64 reports whether t's core type is float64 (untyped float
+// constants count: they materialise as float64 in a comparison).
+func IsFloat64(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Float64 || b.Kind() == types.UntypedFloat)
+}
+
+// IsNamed reports whether t (after pointer stripping) is the named type
+// pkgSuffix.name, matching the defining package by path suffix so the
+// test holds for both "internal/value" and testdata overlays.
+func IsNamed(t types.Type, pkgSuffix, name string) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Name() != name || obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	return path == pkgSuffix || strings.HasSuffix(path, "/"+pkgSuffix)
+}
+
+// IsContext reports whether t is context.Context.
+func IsContext(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	n, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// RootIdent digs through selectors, indexes, stars and parens to the
+// leftmost identifier of an expression ((&b).x[i] -> b), or nil.
+func RootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		case *ast.CallExpr:
+			e = x.Fun
+		default:
+			return nil
+		}
+	}
+}
+
+// ObjOf resolves an identifier to its object through Uses then Defs.
+func ObjOf(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}
+
+// IsPkgCall reports whether call invokes pkgName.funcName (matched
+// syntactically on the qualified identifier, which is how the engine
+// code always spells sort/slices/math/context calls).
+func IsPkgCall(call *ast.CallExpr, pkgName string, funcNames ...string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || id.Name != pkgName {
+		return false
+	}
+	for _, fn := range funcNames {
+		if sel.Sel.Name == fn {
+			return true
+		}
+	}
+	return false
+}
+
+// MentionsQualified reports whether the subtree mentions the qualified
+// identifier pkg.name anywhere (e.g. math.IsNaN, math.MinInt64).
+func MentionsQualified(n ast.Node, pkg, name string) bool {
+	found := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		if found {
+			return false
+		}
+		if sel, ok := c.(*ast.SelectorExpr); ok {
+			if id, ok := sel.X.(*ast.Ident); ok && id.Name == pkg && sel.Sel.Name == name {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// EnclosingFuncBody returns the body of the innermost enclosing
+// function (declaration or literal) on the stack, or nil.
+func EnclosingFuncBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch f := stack[i].(type) {
+		case *ast.FuncDecl:
+			return f.Body
+		case *ast.FuncLit:
+			return f.Body
+		}
+	}
+	return nil
+}
+
+// UsesObject reports whether the subtree references obj.
+func UsesObject(info *types.Info, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := c.(*ast.Ident); ok && ObjOf(info, id) == obj {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,420 @@
+// Package lockorder enforces the engine's locking discipline in the
+// root package, access and storage.
+//
+// PR 2 fixed an observer race whose root cause was work performed under
+// a lock that had no business being there. The resulting discipline:
+//
+//   - no channel operation while any tracked lock is held (a blocked
+//     send under db.mu stalls every mutator);
+//   - no fsync while a shard or table lock is held (fsync under db.mu
+//     is the WAL's documented ack-after-fsync design and is allowed);
+//   - no observer callback (storage.Observer.OnInsert/OnDelete) and no
+//     call through a user-supplied function value while a lock is held
+//     (re-entry deadlocks; the copy-on-write observer list exists
+//     precisely so mutators can notify outside the lock);
+//   - db.mu is acquired before shard/table locks, never after.
+//
+// The analysis is intra-function and sequential: Lock()/defer Unlock()
+// open a held region, Unlock() closes it, branches inherit the state at
+// their entry.
+package lockorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/bounded-eval/beas/internal/lint/analysis"
+	"github.com/bounded-eval/beas/internal/lint/passes/lintutil"
+)
+
+// Analyzer is the lockorder pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc: "no channel ops, fsyncs or user-supplied callbacks under engine locks; db.mu before shard locks\n\n" +
+		"In the root package, access and storage: while a sync.Mutex/RWMutex is held, " +
+		"channel sends/receives/selects are forbidden, fsync is forbidden under " +
+		"shard/table locks (db.mu is the WAL's documented exception), observer callbacks " +
+		"and calls through func-typed values are forbidden (notify outside the lock via " +
+		"the copy-on-write observer list), and acquiring db.mu while an inner lock is " +
+		"held inverts the db.mu → shard-lock order.",
+	Run: run,
+}
+
+// lockClass ranks locks for the order rule.
+type lockClass int
+
+const (
+	classOther lockClass = iota // tracked, but outside the order rule
+	classDB                     // beas.DB.mu — the outermost lock
+	classInner                  // access/storage shard, index and table locks
+)
+
+func run(pass *analysis.Pass) (any, error) {
+	if !lintutil.InScope(pass.Pkg.Path(), "beas", "access", "storage") {
+		return nil, nil
+	}
+	closures := localClosures(pass)
+	pass.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		fn := n.(*ast.FuncDecl)
+		if fn.Body != nil {
+			w := &walker{pass: pass, closures: closures}
+			w.block(fn.Body.List, map[string]lockClass{})
+		}
+	})
+	return nil, nil
+}
+
+// localClosures collects variables bound to function literals in this
+// package: calling one under a lock runs visible same-package code, not
+// a caller-supplied callback, so the re-entry rule does not apply.
+func localClosures(pass *analysis.Pass) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	pass.Preorder([]ast.Node{(*ast.AssignStmt)(nil), (*ast.ValueSpec)(nil)}, func(n ast.Node) {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if len(st.Lhs) != len(st.Rhs) {
+				return
+			}
+			for i, rhs := range st.Rhs {
+				if _, ok := rhs.(*ast.FuncLit); !ok {
+					continue
+				}
+				if id, ok := st.Lhs[i].(*ast.Ident); ok {
+					if obj := lintutil.ObjOf(pass.TypesInfo, id); obj != nil {
+						out[obj] = true
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, v := range st.Values {
+				if _, ok := v.(*ast.FuncLit); !ok {
+					continue
+				}
+				if i < len(st.Names) {
+					if obj := lintutil.ObjOf(pass.TypesInfo, st.Names[i]); obj != nil {
+						out[obj] = true
+					}
+				}
+			}
+		}
+	})
+	return out
+}
+
+type walker struct {
+	pass     *analysis.Pass
+	closures map[types.Object]bool
+}
+
+// block walks statements in order, threading the held-lock set.
+// Branch bodies receive a copy of the entry state; the state after a
+// branch is the entry state (an unlock inside one arm of an if must not
+// leak "released" into the fall-through path).
+func (w *walker) block(stmts []ast.Stmt, held map[string]lockClass) {
+	for _, s := range stmts {
+		w.stmt(s, held)
+	}
+}
+
+func (w *walker) stmt(s ast.Stmt, held map[string]lockClass) {
+	switch st := s.(type) {
+	case *ast.ExprStmt:
+		w.expr(st.X, held)
+	case *ast.SendStmt:
+		if len(held) > 0 {
+			w.pass.Reportf(st.Pos(), "channel send while %s is held can block every path through the lock; move it outside the critical section", anyLock(held))
+		}
+		w.expr(st.Chan, held)
+		w.expr(st.Value, held)
+	case *ast.SelectStmt:
+		if len(held) > 0 {
+			w.pass.Reportf(st.Pos(), "select while %s is held can block every path through the lock; move it outside the critical section", anyLock(held))
+		}
+		w.block(st.Body.List, copyHeld(held))
+	case *ast.AssignStmt:
+		for _, e := range st.Rhs {
+			w.expr(e, held)
+		}
+		for _, e := range st.Lhs {
+			w.expr(e, held)
+		}
+	case *ast.DeferStmt:
+		// defer x.Unlock() pins the lock for the rest of the function:
+		// the held set keeps it. Other deferred work is not analysed.
+		if name, _, ok := w.lockCall(st.Call); ok && isUnlockName(callName(st.Call)) {
+			_ = name // held until function end by construction
+		} else {
+			w.expr(st.Call, held)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			w.expr(e, held)
+		}
+	case *ast.IfStmt:
+		if st.Init != nil {
+			w.stmt(st.Init, held)
+		}
+		w.expr(st.Cond, held)
+		w.block(st.Body.List, copyHeld(held))
+		if st.Else != nil {
+			w.stmt(st.Else, copyHeld(held))
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			w.stmt(st.Init, held)
+		}
+		if st.Cond != nil {
+			w.expr(st.Cond, held)
+		}
+		w.block(st.Body.List, copyHeld(held))
+	case *ast.RangeStmt:
+		if t := w.typeOf(st.X); t != nil {
+			if _, isChan := t.Underlying().(*types.Chan); isChan && len(held) > 0 {
+				w.pass.Reportf(st.Pos(), "range over a channel while %s is held blocks the critical section on the producer", anyLock(held))
+			}
+		}
+		w.expr(st.X, held)
+		w.block(st.Body.List, copyHeld(held))
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			w.stmt(st.Init, held)
+		}
+		w.block(st.Body.List, copyHeld(held))
+	case *ast.TypeSwitchStmt:
+		w.block(st.Body.List, copyHeld(held))
+	case *ast.CaseClause:
+		w.block(st.Body, copyHeld(held))
+	case *ast.CommClause:
+		w.block(st.Body, copyHeld(held))
+	case *ast.BlockStmt:
+		w.block(st.List, copyHeld(held))
+	case *ast.GoStmt:
+		// The goroutine runs outside the critical section; its body is
+		// walked with no inherited locks.
+		if lit, ok := st.Call.Fun.(*ast.FuncLit); ok {
+			w.block(lit.Body.List, map[string]lockClass{})
+		}
+	case *ast.LabeledStmt:
+		w.stmt(st.Stmt, held)
+	case *ast.DeclStmt:
+		// const/var declarations: walk initialisers.
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.expr(v, held)
+					}
+				}
+			}
+		}
+	}
+}
+
+// expr inspects an expression for lock transitions and violations.
+func (w *walker) expr(e ast.Expr, held map[string]lockClass) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false // not executed here
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW && len(held) > 0 {
+				w.pass.Reportf(x.Pos(), "channel receive while %s is held can block every path through the lock", anyLock(held))
+			}
+		case *ast.CallExpr:
+			w.call(x, held)
+		}
+		return true
+	})
+}
+
+// call handles lock transitions, fsyncs, observer and func-value calls.
+func (w *walker) call(call *ast.CallExpr, held map[string]lockClass) {
+	name := callName(call)
+	if key, class, ok := w.lockCall(call); ok {
+		switch {
+		case name == "Lock" || name == "RLock":
+			if class == classDB && holdsClass(held, classInner) {
+				w.pass.Reportf(call.Pos(), "acquiring %s while %s is held inverts the db.mu → shard-lock order (deadlock with any mutator)", key, lockOfClass(held, classInner))
+			}
+			held[key] = class
+		case isUnlockName(name):
+			delete(held, key)
+		}
+		return
+	}
+	if len(held) == 0 {
+		return
+	}
+	if w.isFsync(call) && holdsClass(held, classInner) {
+		w.pass.Reportf(call.Pos(), "fsync while %s is held serialises disk latency into the lock; sync outside the critical section", lockOfClass(held, classInner))
+		return
+	}
+	if w.isObserverCall(call) {
+		w.pass.Reportf(call.Pos(), "observer callback while %s is held can re-enter the engine and deadlock; snapshot the copy-on-write observer list and notify after unlocking", anyLock(held))
+		return
+	}
+	if target, ok := w.funcValueCall(call); ok {
+		w.pass.Reportf(call.Pos(), "call through user-supplied function %s while %s is held can re-enter the engine and deadlock; invoke it outside the critical section", target, anyLock(held))
+	}
+}
+
+// lockCall recognises m.Lock/RLock/Unlock/RUnlock on a sync.Mutex or
+// sync.RWMutex and returns the rendered lock expression and its class.
+func (w *walker) lockCall(call *ast.CallExpr) (key string, class lockClass, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", 0, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", 0, false
+	}
+	recv := w.typeOf(sel.X)
+	if recv == nil || !isMutex(recv) {
+		return "", 0, false
+	}
+	return types.ExprString(sel.X), w.classify(sel.X), true
+}
+
+// classify decides the order-rule class from the lock's owner: the
+// struct whose field the mutex is.
+func (w *walker) classify(lockExpr ast.Expr) lockClass {
+	sel, ok := lockExpr.(*ast.SelectorExpr)
+	if !ok {
+		return classOther
+	}
+	owner := w.typeOf(sel.X)
+	if owner == nil {
+		return classOther
+	}
+	if p, ok := owner.Underlying().(*types.Pointer); ok {
+		owner = p.Elem()
+	}
+	n, ok := types.Unalias(owner).(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return classOther
+	}
+	base := lintutil.PkgBase(n.Obj().Pkg().Path())
+	switch {
+	case base == "beas" && n.Obj().Name() == "DB":
+		return classDB
+	case base == "access" || base == "storage":
+		return classInner
+	default:
+		return classOther
+	}
+}
+
+// isFsync recognises Sync() on *os.File and on the WAL log.
+func (w *walker) isFsync(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Sync" {
+		return false
+	}
+	t := w.typeOf(sel.X)
+	return lintutil.IsNamed(t, "os", "File") || lintutil.IsNamed(t, "wal", "Log")
+}
+
+// isObserverCall recognises OnInsert/OnDelete invoked on the
+// storage.Observer interface.
+func (w *walker) isObserverCall(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if sel.Sel.Name != "OnInsert" && sel.Sel.Name != "OnDelete" {
+		return false
+	}
+	t := w.typeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	_, isIface := t.Underlying().(*types.Interface)
+	return isIface
+}
+
+// funcValueCall reports a call through a func-typed variable, field or
+// parameter (as opposed to a declared function or method).
+func (w *walker) funcValueCall(call *ast.CallExpr) (string, bool) {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return "", false
+	}
+	obj := lintutil.ObjOf(w.pass.TypesInfo, id)
+	v, ok := obj.(*types.Var)
+	if !ok || w.closures[v] {
+		return "", false
+	}
+	if _, isSig := v.Type().Underlying().(*types.Signature); !isSig {
+		return "", false
+	}
+	return types.ExprString(call.Fun), true
+}
+
+func (w *walker) typeOf(e ast.Expr) types.Type {
+	tv, ok := w.pass.TypesInfo.Types[e]
+	if !ok {
+		return nil
+	}
+	return tv.Type
+}
+
+func isMutex(t types.Type) bool {
+	return lintutil.IsNamed(t, "sync", "Mutex") || lintutil.IsNamed(t, "sync", "RWMutex")
+}
+
+func isUnlockName(name string) bool { return name == "Unlock" || name == "RUnlock" }
+
+func callName(call *ast.CallExpr) string {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		return sel.Sel.Name
+	}
+	return ""
+}
+
+func copyHeld(held map[string]lockClass) map[string]lockClass {
+	out := make(map[string]lockClass, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+func holdsClass(held map[string]lockClass, c lockClass) bool {
+	for _, v := range held {
+		if v == c {
+			return true
+		}
+	}
+	return false
+}
+
+// lockOfClass returns the name of a held lock of class c, choosing the
+// lexically smallest for deterministic diagnostics.
+func lockOfClass(held map[string]lockClass, c lockClass) string {
+	best := ""
+	for k, v := range held {
+		if v == c && (best == "" || k < best) {
+			best = k
+		}
+	}
+	return best
+}
+
+// anyLock names one held lock deterministically.
+func anyLock(held map[string]lockClass) string {
+	best := ""
+	for k := range held {
+		if best == "" || k < best {
+			best = k
+		}
+	}
+	return best
+}

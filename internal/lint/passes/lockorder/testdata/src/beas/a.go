@@ -1,0 +1,38 @@
+package beas
+
+import (
+	"os"
+	"sync"
+
+	"storage"
+)
+
+type DB struct {
+	mu  sync.RWMutex
+	f   *os.File
+	tbl *storage.Table
+}
+
+// orderBad inverts the documented db.mu → shard/table-lock order.
+func (db *DB) orderBad() {
+	db.tbl.Mu.Lock()
+	db.mu.Lock() // want `acquiring db.mu while db.tbl.Mu is held inverts the db.mu → shard-lock order`
+	db.mu.Unlock()
+	db.tbl.Mu.Unlock()
+}
+
+// orderGood takes the outer lock first.
+func (db *DB) orderGood() {
+	db.mu.Lock()
+	db.tbl.Mu.Lock()
+	db.tbl.Mu.Unlock()
+	db.mu.Unlock()
+}
+
+// syncUnderDBMu is the WAL's documented ack-after-fsync design: fsync
+// under db.mu alone is allowed.
+func (db *DB) syncUnderDBMu() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.f.Sync()
+}

@@ -1,0 +1,42 @@
+package storage
+
+import (
+	"os"
+	"sync"
+)
+
+type Row []int64
+
+type Observer interface {
+	OnInsert(rows []Row)
+	OnDelete(rows []Row)
+}
+
+type Table struct {
+	Mu        sync.Mutex
+	rows      []Row
+	observers []Observer
+	f         *os.File
+	done      chan struct{}
+}
+
+// Positive cases: work under the table lock that must happen outside.
+
+func (t *Table) insertBad(r Row, o Observer) {
+	t.Mu.Lock()
+	t.rows = append(t.rows, r)
+	o.OnInsert([]Row{r})               // want `observer callback while t.Mu is held`
+	t.done <- struct{}{}               // want `channel send while t.Mu is held`
+	if err := t.f.Sync(); err != nil { // want `fsync while t.Mu is held`
+		_ = err
+	}
+	t.Mu.Unlock()
+}
+
+func (t *Table) scanBad(fn func(Row)) {
+	t.Mu.Lock()
+	defer t.Mu.Unlock()
+	for _, r := range t.rows {
+		fn(r) // want `call through user-supplied function fn while t.Mu is held`
+	}
+}

@@ -1,0 +1,29 @@
+package storage
+
+// Negative cases: notify after unlocking (the copy-on-write pattern),
+// local closures under the lock, and channel work outside the critical
+// section.
+
+func (t *Table) insertGood(r Row) {
+	t.Mu.Lock()
+	t.rows = append(t.rows, r)
+	obs := append([]Observer(nil), t.observers...)
+	t.Mu.Unlock()
+	for _, o := range obs {
+		o.OnInsert([]Row{r})
+	}
+	t.done <- struct{}{}
+}
+
+func (t *Table) compact() {
+	keep := func(r Row) bool { return len(r) > 0 }
+	t.Mu.Lock()
+	defer t.Mu.Unlock()
+	kept := t.rows[:0]
+	for _, r := range t.rows {
+		if keep(r) {
+			kept = append(kept, r)
+		}
+	}
+	t.rows = kept
+}

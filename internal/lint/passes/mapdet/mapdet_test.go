@@ -1,0 +1,18 @@
+package mapdet_test
+
+import (
+	"testing"
+
+	"github.com/bounded-eval/beas/internal/lint/analysistest"
+	"github.com/bounded-eval/beas/internal/lint/passes/mapdet"
+)
+
+func TestMapdet(t *testing.T) {
+	analysistest.Run(t, "testdata", mapdet.Analyzer, "exec")
+}
+
+// TestOutOfScope loads the same kind of code under a package name that
+// is not in the deterministic set; the analyzer must stay silent.
+func TestOutOfScope(t *testing.T) {
+	analysistest.Run(t, "testdata", mapdet.Analyzer, "obs")
+}

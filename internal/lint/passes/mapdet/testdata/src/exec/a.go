@@ -1,0 +1,37 @@
+package exec
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+)
+
+// Positive cases: map iteration order reaching ordered output.
+
+func keysUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `append to out inside range over map m leaks map iteration order`
+	}
+	return out
+}
+
+func printUnsorted(m map[string]int, buf *bytes.Buffer) {
+	for k, v := range m {
+		fmt.Fprintf(buf, "%s=%d\n", k, v) // want `write to buf inside range over map m emits output in map iteration order`
+	}
+}
+
+func renderUnsorted(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want `write to b inside range over map m emits output in map iteration order`
+	}
+	return b.String()
+}
+
+func sendUnsorted(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want `channel send inside range over map m publishes map iteration order`
+	}
+}

@@ -1,0 +1,38 @@
+package exec
+
+// Directive policy: a valid //beas:nolint suppresses, a reasonless or
+// unknown-analyzer directive is itself a diagnostic, and a directive
+// that suppresses nothing is stale.
+
+func suppressed(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		//beas:nolint mapdet -- feeds a set downstream; proven order-insensitive
+		out = append(out, k)
+	}
+	return out
+}
+
+func reasonless(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		//beas:nolint mapdet // want `missing its mandatory reason`
+		out = append(out, k) // want `append to out inside range over map m leaks map iteration order`
+	}
+	return out
+}
+
+func unknownAnalyzer(m map[string]int) []string {
+	var keep []string
+	for k := range m {
+		//beas:nolint nosuchpass -- misdirected // want `unknown analyzer "nosuchpass"` `names no analyzer to suppress`
+		keep = append(keep, k) // want `append to keep inside range over map m leaks map iteration order`
+	}
+	return keep
+}
+
+//beas:nolint mapdet -- left behind after a refactor // want `suppresses no diagnostic; delete the stale directive`
+func stale(xs []string) []string {
+	out := append([]string(nil), xs...)
+	return out
+}

@@ -1,0 +1,13 @@
+package obs
+
+// Out-of-scope package: obs is not in the deterministic set, so the
+// same order-leaking pattern is allowed here (metrics labels are sorted
+// by their consumers).
+
+func labels(m map[string]string) []string {
+	var out []string
+	for k, v := range m {
+		out = append(out, k+"="+v)
+	}
+	return out
+}

@@ -1,0 +1,12 @@
+package ovfarith_test
+
+import (
+	"testing"
+
+	"github.com/bounded-eval/beas/internal/lint/analysistest"
+	"github.com/bounded-eval/beas/internal/lint/passes/ovfarith"
+)
+
+func TestOvfarith(t *testing.T) {
+	analysistest.Run(t, "testdata", ovfarith.Analyzer, "analyze")
+}

@@ -1,0 +1,36 @@
+package analyze
+
+import "github.com/bounded-eval/beas/internal/value"
+
+// Positive cases: raw int64 arithmetic on value-domain operands.
+
+// Batch mimics a columnar batch exposing an int64 column.
+type Batch struct{ ints []int64 }
+
+func (b Batch) Ints() []int64 { return b.ints }
+
+func sumPayload(a, b value.Value) int64 {
+	return a.I + b.I // want `raw int64 "\+" on value-domain operands wraps on overflow`
+}
+
+func subIndirect(v value.Value) int64 {
+	iv := v.I
+	return iv - 1 // want `raw int64 "-" on value-domain operands wraps on overflow`
+}
+
+func mulRow(r []value.Value) int64 {
+	return r[0].I * r[1].I // want `raw int64 "\*" on value-domain operands wraps on overflow`
+}
+
+func negate(v value.Value) int64 {
+	return -v.I // want `raw int64 negation of a value-domain operand wraps at math.MinInt64`
+}
+
+func foldColumn(b Batch) int64 {
+	xs := b.Ints()
+	var sum int64
+	for i := 0; i < len(xs); i++ {
+		sum += xs[i] // want `raw int64 "\+=" on value-domain operands wraps on overflow`
+	}
+	return sum
+}

@@ -1,0 +1,36 @@
+package analyze
+
+import (
+	"math"
+
+	"github.com/bounded-eval/beas/internal/value"
+)
+
+// Negative cases: non-value-domain counters, the checked helpers, and
+// MinInt64-guarded negation.
+
+func counter(n int64) int64 {
+	return n + 1
+}
+
+func loopBound(xs []int64) int {
+	total := 0
+	for i := 0; i < len(xs); i++ {
+		total += 2
+	}
+	return total
+}
+
+func addChecked(a, b value.Value) value.Value {
+	if s, ok := value.AddInt64(a.I, b.I); ok {
+		return value.NewInt(s)
+	}
+	return value.NewFloat(float64(a.I) + float64(b.I))
+}
+
+func negGuarded(v value.Value) value.Value {
+	if v.I == math.MinInt64 {
+		return value.NewFloat(-float64(math.MinInt64))
+	}
+	return value.NewInt(-v.I)
+}

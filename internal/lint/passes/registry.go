@@ -1,0 +1,34 @@
+// Package passes aggregates the beaslint analyzer inventory.
+package passes
+
+import (
+	"github.com/bounded-eval/beas/internal/lint/analysis"
+	"github.com/bounded-eval/beas/internal/lint/passes/cmpfloat"
+	"github.com/bounded-eval/beas/internal/lint/passes/ctxpass"
+	"github.com/bounded-eval/beas/internal/lint/passes/lockorder"
+	"github.com/bounded-eval/beas/internal/lint/passes/mapdet"
+	"github.com/bounded-eval/beas/internal/lint/passes/ovfarith"
+	"github.com/bounded-eval/beas/internal/lint/passes/walack"
+)
+
+// All returns the analyzer inventory in stable order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		cmpfloat.Analyzer,
+		ctxpass.Analyzer,
+		lockorder.Analyzer,
+		mapdet.Analyzer,
+		ovfarith.Analyzer,
+		walack.Analyzer,
+	}
+}
+
+// Known returns the analyzer-name set accepted in //beas:nolint
+// directives.
+func Known() map[string]bool {
+	out := make(map[string]bool)
+	for _, a := range All() {
+		out[a.Name] = true
+	}
+	return out
+}

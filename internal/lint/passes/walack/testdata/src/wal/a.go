@@ -1,0 +1,39 @@
+package wal
+
+import "os"
+
+type Record struct{ LSN uint64 }
+
+type Log struct {
+	f    *os.File
+	last uint64
+}
+
+func (l *Log) Append(r *Record) error { return nil }
+
+func (l *Log) Sync() error { return nil }
+
+// Positive cases: the durability error never reaches a check before
+// state changes or the call is acknowledged.
+
+func (l *Log) ackDropped(r *Record) {
+	l.Append(r)  // want `error from Append is dropped`
+	_ = l.Sync() // want `error from Sync is discarded with _`
+}
+
+func (l *Log) ackLateCheck(r *Record) error {
+	err := l.Append(r) // want `error from Append assigned to err but not checked by the next statement`
+	l.last = r.LSN
+	if err != nil {
+		return err
+	}
+	return nil
+}
+
+func (l *Log) ackAsync() {
+	go l.Sync() // want `error from Sync escapes into a go/defer statement unchecked`
+}
+
+func syncFileDropped(f *os.File) {
+	f.Sync() // want `error from Sync is dropped`
+}

@@ -1,0 +1,32 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+)
+
+// Negative cases: every durability error flows into a check or the
+// caller before any state changes.
+
+func (l *Log) ackChecked(r *Record) error {
+	if err := l.Append(r); err != nil {
+		return err
+	}
+	err := l.Sync()
+	if err != nil {
+		return fmt.Errorf("wal: syncing: %w", err)
+	}
+	l.last = r.LSN
+	return nil
+}
+
+func (l *Log) ackReturned(r *Record) error {
+	return l.Sync()
+}
+
+func syncFileChecked(f *os.File) error {
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	return nil
+}

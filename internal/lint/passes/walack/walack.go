@@ -1,0 +1,189 @@
+// Package walack enforces ack-after-fsync error discipline on the WAL.
+//
+// PR 3's durability contract: a mutation is acknowledged only after its
+// record is appended and fsync'd. An Append or Sync whose error is
+// dropped — or merely assigned and then ignored while state is mutated
+// — acknowledges a write the disk may not have, which recovery cannot
+// repair. In internal/wal and the DB mutators, every Append/Sync error
+// must be checked by the immediately following statement (or returned,
+// or tested in the if-statement that makes the call).
+package walack
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/bounded-eval/beas/internal/lint/analysis"
+	"github.com/bounded-eval/beas/internal/lint/passes/lintutil"
+)
+
+// Analyzer is the walack pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "walack",
+	Doc: "WAL Append/Sync errors must be checked before state mutates or success is returned\n\n" +
+		"In internal/wal and the root package, the error of Log.Append, Log.AppendDeferred, " +
+		"Log.Sync and (*os.File).Sync must flow into an if/return/switch immediately: a " +
+		"bare call, an assignment to _, or an err that is not tested by the next statement " +
+		"acknowledges a write the disk may not hold (ack-after-fsync ordering).",
+	Run: run,
+}
+
+// checkedMethods are the error-bearing durability calls.
+var checkedMethods = map[string]bool{
+	"Append": true, "AppendDeferred": true, "Sync": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !lintutil.InScope(pass.Pkg.Path(), "wal", "beas") {
+		return nil, nil
+	}
+	pass.WithStack(func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isDurabilityCall(pass.TypesInfo, call) {
+			return true
+		}
+		checkUsage(pass, call, stack)
+		return true
+	})
+	return nil, nil
+}
+
+// isDurabilityCall recognises Append/AppendDeferred/Sync on the WAL log
+// and Sync on *os.File.
+func isDurabilityCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !checkedMethods[sel.Sel.Name] {
+		return false
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok {
+		return false
+	}
+	return lintutil.IsNamed(tv.Type, "wal", "Log") || lintutil.IsNamed(tv.Type, "os", "File")
+}
+
+// checkUsage walks outward from the call to decide how its error is
+// consumed.
+func checkUsage(pass *analysis.Pass, call *ast.CallExpr, stack []ast.Node) {
+	name := call.Fun.(*ast.SelectorExpr).Sel.Name
+	// Find the innermost statement containing the call and the node
+	// directly above the call on the stack.
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch parent := stack[i].(type) {
+		case *ast.ExprStmt:
+			pass.Reportf(call.Pos(), "error from %s is dropped; check it before acknowledging the write (ack-after-fsync)", name)
+			return
+		case *ast.GoStmt, *ast.DeferStmt:
+			pass.Reportf(call.Pos(), "error from %s escapes into a go/defer statement unchecked; check it before acknowledging the write", name)
+			return
+		case *ast.ReturnStmt:
+			return // propagated to the caller
+		case *ast.IfStmt:
+			return // if err := l.Sync(); err != nil { ... }
+		case *ast.AssignStmt:
+			checkAssigned(pass, call, parent, stack[:i], name)
+			return
+		case *ast.CallExpr:
+			if parent != call {
+				return // argument to another call (e.g. wrapped in %w)
+			}
+		}
+	}
+}
+
+// checkAssigned verifies the assigned error variable is tested by the
+// statement immediately following the assignment.
+func checkAssigned(pass *analysis.Pass, call *ast.CallExpr, as *ast.AssignStmt, stack []ast.Node, name string) {
+	// The error is the last result; find which LHS receives it. For a
+	// single-result call that is Lhs[len-1] aligned with Rhs position.
+	idx := -1
+	for i, rhs := range as.Rhs {
+		if containsNode(rhs, call) {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return
+	}
+	// Single call with multiple results assigns left-to-right; the
+	// error is the final LHS. With 1:1 assignment it is Lhs[idx].
+	errLhs := as.Lhs[len(as.Lhs)-1]
+	if len(as.Lhs) == len(as.Rhs) {
+		errLhs = as.Lhs[idx]
+	}
+	id, ok := errLhs.(*ast.Ident)
+	if !ok {
+		return
+	}
+	if id.Name == "_" {
+		pass.Reportf(call.Pos(), "error from %s is discarded with _; check it before acknowledging the write (ack-after-fsync)", name)
+		return
+	}
+	obj := lintutil.ObjOf(pass.TypesInfo, id)
+	if obj == nil {
+		return
+	}
+	// The statement immediately after the assignment (same block) must
+	// mention the error object in a test or return.
+	block := enclosingBlockFor(stack, as)
+	if block == nil {
+		return
+	}
+	for i, s := range block.List {
+		if s != ast.Stmt(as) {
+			continue
+		}
+		if i+1 < len(block.List) && errChecked(pass.TypesInfo, block.List[i+1], obj) {
+			return
+		}
+		pass.Reportf(call.Pos(), "error from %s assigned to %s but not checked by the next statement; state must not change before the check (ack-after-fsync)", name, id.Name)
+		return
+	}
+}
+
+// errChecked reports whether stmt tests or propagates obj.
+func errChecked(info *types.Info, stmt ast.Stmt, obj types.Object) bool {
+	switch s := stmt.(type) {
+	case *ast.IfStmt:
+		if lintutil.UsesObject(info, s.Cond, obj) {
+			return true
+		}
+		if s.Init != nil && lintutil.UsesObject(info, s.Init, obj) {
+			return true
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			if lintutil.UsesObject(info, r, obj) {
+				return true
+			}
+		}
+	case *ast.SwitchStmt:
+		return lintutil.UsesObject(info, s, obj)
+	}
+	return false
+}
+
+func enclosingBlockFor(stack []ast.Node, stmt ast.Stmt) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if b, ok := stack[i].(*ast.BlockStmt); ok {
+			for _, s := range b.List {
+				if s == stmt {
+					return b
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func containsNode(root ast.Node, target ast.Node) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == target {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

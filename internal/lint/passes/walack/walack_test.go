@@ -1,0 +1,12 @@
+package walack_test
+
+import (
+	"testing"
+
+	"github.com/bounded-eval/beas/internal/lint/analysistest"
+	"github.com/bounded-eval/beas/internal/lint/passes/walack"
+)
+
+func TestWalack(t *testing.T) {
+	analysistest.Run(t, "testdata", walack.Analyzer, "wal")
+}

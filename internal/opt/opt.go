@@ -31,6 +31,7 @@ import (
 	"github.com/bounded-eval/beas/internal/core"
 	"github.com/bounded-eval/beas/internal/sqlparser"
 	"github.com/bounded-eval/beas/internal/stats"
+	"github.com/bounded-eval/beas/internal/value"
 )
 
 // defaultMaxNodes bounds the branch-and-bound search; queries have few
@@ -117,7 +118,9 @@ func (o *Optimizer) search(q *analyze.Query, as core.Provider, est *estimator, p
 	for i, s := range cands {
 		scored[i] = scoredStep{step: s, est: est.peek(s)}
 	}
-	sort.SliceStable(scored, func(i, j int) bool { return scored[i].est < scored[j].est })
+	sort.SliceStable(scored, func(i, j int) bool {
+		return value.CompareFloat64(scored[i].est, scored[j].est) < 0
+	})
 	for _, sc := range scored {
 		step := sc.step
 		// Admission pruning: never explore a derivation whose worst case

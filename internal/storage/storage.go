@@ -69,6 +69,7 @@ func (t *Table) Observe(o Observer) {
 func (t *Table) ObserveBuild(o Observer, build func(rows []value.Row) error) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	//beas:nolint lockorder -- the snapshot+register atomicity documented above requires build to run under t.mu; build must not call back into the table
 	if err := build(t.rows); err != nil {
 		return err
 	}
@@ -126,12 +127,15 @@ func (t *Table) InsertBulk(rows []value.Row) error {
 }
 
 // Delete removes all rows for which match returns true and reports how
-// many were removed.
+// many were removed. match must be a pure row predicate and must not
+// call back into the table: it runs under the write lock so the
+// decide-and-compact step is atomic against concurrent inserts.
 func (t *Table) Delete(match func(value.Row) bool) int {
 	t.mu.Lock()
 	kept := t.rows[:0]
 	var removed []value.Row
 	for _, r := range t.rows {
+		//beas:nolint lockorder -- match is a pure predicate by documented contract; deciding outside t.mu would let concurrent inserts slip between decision and compaction
 		if match(r) {
 			removed = append(removed, r)
 		} else {
@@ -191,6 +195,7 @@ func (t *Table) Version() uint64 {
 func (t *Table) WithRows(fn func(rows []value.Row, version uint64)) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
+	//beas:nolint lockorder -- fn is documented above as must-not-call-back-into-the-table; the point of WithRows is a snapshot under the read lock
 	fn(t.rows, t.version)
 }
 

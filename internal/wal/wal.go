@@ -206,7 +206,9 @@ func (l *Log) Rotate(snapLSN uint64) error {
 func (l *Log) startSegmentLocked(firstLSN uint64) error {
 	if l.f != nil {
 		if !l.opts.NoSync {
-			l.f.Sync()
+			if err := l.f.Sync(); err != nil {
+				return fmt.Errorf("wal: syncing segment before rotation: %w", err)
+			}
 		}
 		if err := l.f.Close(); err != nil {
 			return fmt.Errorf("wal: closing segment: %w", err)
@@ -266,7 +268,11 @@ func (l *Log) Close() error {
 		return nil
 	}
 	if !l.opts.NoSync {
-		l.f.Sync()
+		if err := l.f.Sync(); err != nil {
+			l.f.Close()
+			l.f = nil
+			return fmt.Errorf("wal: syncing on close: %w", err)
+		}
 	}
 	err := l.f.Close()
 	l.f = nil

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# lint.sh — the repo's full static-analysis gate, runnable offline.
+#
+#   scripts/lint.sh            gofmt + go vet + beaslint (both modes)
+#   scripts/lint.sh -fast      skip the vettool pass (single beaslint run)
+#
+# beaslint is exercised both standalone (its own loader, no build cache
+# needed) and as a vettool (go vet -vettool=...), which is how CI and
+# editors integrate it alongside the standard vet checks.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fast=0
+[ "${1:-}" = "-fast" ] && fast=1
+
+echo "==> gofmt"
+out=$(gofmt -l .)
+if [ -n "$out" ]; then
+  echo "gofmt needed on:" >&2
+  echo "$out" >&2
+  exit 1
+fi
+
+echo "==> go vet"
+go vet ./...
+
+echo "==> beaslint (standalone)"
+go run ./cmd/beaslint ./...
+
+if [ "$fast" = "0" ]; then
+  echo "==> beaslint (as go vet tool)"
+  mkdir -p bin
+  go build -o bin/beaslint ./cmd/beaslint
+  ./bin/beaslint -list
+  go vet -vettool="$PWD/bin/beaslint" ./...
+fi
+
+echo "lint OK"
