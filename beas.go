@@ -37,6 +37,7 @@ import (
 	"github.com/bounded-eval/beas/internal/engine"
 	"github.com/bounded-eval/beas/internal/obs"
 	"github.com/bounded-eval/beas/internal/opt"
+	"github.com/bounded-eval/beas/internal/qcache"
 	"github.com/bounded-eval/beas/internal/schema"
 	"github.com/bounded-eval/beas/internal/sqlparser"
 	"github.com/bounded-eval/beas/internal/stats"
@@ -78,15 +79,16 @@ type DB struct {
 	// (iter.BatchSize). Guarded by db.mu.
 	batch int
 
-	// planCache memoises parse + analysis per SQL text; catalogVersion
-	// invalidates it on any schema or access-schema change. Both the
-	// cache lookup and the store happen under db.mu (read suffices), so a
-	// stale entry can never be re-inserted after a concurrent DDL bumps
-	// the version — see parseLocked.
-	planCache      sync.Map // string -> *cachedParse
+	// qc is the unified query cache (internal/qcache): a bounded LRU of
+	// parsed statement templates — always on, replacing the old
+	// unbounded per-text plan cache — plus the opt-in semantic result
+	// tier of materialized bounded answers. catalogVersion invalidates
+	// templates on any schema or access-schema change. Both the
+	// template lookup and the store happen under db.mu (read suffices),
+	// so a stale template can never be re-inserted after a concurrent
+	// DDL bumps the version — see parseLocked.
+	qc             *qcache.Cache
 	catalogVersion uint64
-	cacheHits      atomic.Uint64
-	cacheMisses    atomic.Uint64
 
 	// tracer is the installed query-lifecycle tracer; nil means tracing
 	// off, in which case every span call on the query path degrades to a
@@ -109,19 +111,13 @@ type DB struct {
 	closed        bool
 }
 
-type cachedParse struct {
-	version uint64
-	p       *parsed
-}
-
-// bumpCatalog invalidates cached plans after DDL or access-schema
-// changes. Callers hold db.mu.
+// bumpCatalog invalidates cached templates and results after DDL or
+// access-schema changes: templates embed resolved schema state and
+// cached answers embed constraint indexes, so neither survives a
+// catalog change. Callers hold db.mu.
 func (db *DB) bumpCatalog() {
 	db.catalogVersion++
-	db.planCache.Range(func(k, _ any) bool {
-		db.planCache.Delete(k)
-		return true
-	})
+	db.qc.FlushAll()
 }
 
 // NewDB creates an empty database.
@@ -139,6 +135,7 @@ func NewDB() *DB {
 	db.access = access.NewSchema(db.store)
 	db.statsCat = stats.NewCatalog(db.store, db.access)
 	db.fallback = engine.New(db.store, engine.ProfilePostgres)
+	db.qc = qcache.New(0, 0, false)
 	return db
 }
 
@@ -160,6 +157,7 @@ func (db *DB) SetOptimizer(on bool) {
 		db.optzr = nil
 	}
 	db.rebuildFallbackLocked()
+	db.qc.FlushResults()
 }
 
 // OptimizerEnabled reports whether the cost-based optimizer is on.
@@ -195,6 +193,7 @@ func (db *DB) SetVectorized(on bool) {
 	defer db.mu.Unlock()
 	db.vecOff = !on
 	db.rebuildFallbackLocked()
+	db.qc.FlushResults()
 }
 
 // VectorizedEnabled reports whether columnar execution is on.
@@ -215,6 +214,7 @@ func (db *DB) SetBatchSize(n int) {
 	defer db.mu.Unlock()
 	db.batch = n
 	db.rebuildFallbackLocked()
+	db.qc.FlushResults()
 }
 
 // BatchSize reports the columnar batch row capacity (0 = default).
@@ -242,10 +242,68 @@ func (db *DB) rewriteLocked(q *analyze.Query, chk *core.CheckResult) *core.Check
 }
 
 // PlanCacheStats reports how many query parses were served from the
-// plan cache and how many had to parse and analyse from scratch (cold
-// text or a catalog change since the cached entry was stored).
+// template cache and how many had to parse and analyse from scratch
+// (cold text, a catalog change since the cached entry was stored, or
+// eviction from the bounded template tier).
 func (db *DB) PlanCacheStats() (hits, misses uint64) {
-	return db.cacheHits.Load(), db.cacheMisses.Load()
+	s := db.qc.Stats()
+	return s.TemplateHits, s.TemplateMisses
+}
+
+// SetResultCache turns the semantic result cache on or off (default
+// off). With it on, covered queries whose canonical form and
+// parameters match a cached fresh answer are served from the cache
+// without touching the checker or the indexes; answers are kept fresh
+// incrementally — a mutation that cannot overlap an entry's recorded
+// fetch keys leaves it live, a relevant one patches or invalidates
+// just that entry. Results are bit-identical to uncached execution
+// (row bags, order and data-derived statistics; timings and cost
+// estimates reflect the original run). Turning the cache off drops
+// every stored answer.
+func (db *DB) SetResultCache(on bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.qc.SetResults(on)
+}
+
+// SetResultCacheLimits adjusts the byte budgets of the unified query
+// cache: planMaxBytes bounds the parsed-template tier, resultMaxBytes
+// the materialized-answer tier (≤ 0 keeps the respective default).
+// Shrinking a budget evicts least-recently-used entries immediately.
+func (db *DB) SetResultCacheLimits(planMaxBytes, resultMaxBytes int64) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.qc.SetLimits(planMaxBytes, resultMaxBytes)
+}
+
+// ResultCacheEnabled reports whether the semantic result cache is on.
+func (db *DB) ResultCacheEnabled() bool {
+	return db.qc.ResultsEnabled()
+}
+
+// ResultCacheStats is a snapshot of the unified query-cache counters.
+type ResultCacheStats struct {
+	// Template tier (parse + analysis, always on).
+	TemplateHits    uint64
+	TemplateMisses  uint64
+	TemplateEntries int
+	TemplateBytes   int64
+	// Result tier (materialized answers, opt-in).
+	Hits          uint64
+	Misses        uint64
+	Stores        uint64
+	StoreRaces    uint64
+	Patches       uint64
+	Invalidations uint64
+	Evictions     uint64
+	Entries       int
+	Bytes         int64
+}
+
+// ResultCacheStats returns the current query-cache counters.
+func (db *DB) ResultCacheStats() ResultCacheStats {
+	s := db.qc.Stats()
+	return ResultCacheStats(s)
 }
 
 // SetParallelism sets the intra-query parallelism for subsequent
@@ -264,6 +322,7 @@ func (db *DB) SetParallelism(n int) {
 	defer db.mu.Unlock()
 	db.par = n
 	db.rebuildFallbackLocked()
+	db.qc.FlushResults()
 }
 
 // Parallelism reports the current intra-query parallelism (1 = serial).

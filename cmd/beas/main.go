@@ -180,6 +180,7 @@ func command(db *beas.DB, line string) bool {
   \explain SELECT ...         the plan Query would use
   \explain analyze SELECT ... execute and report estimated vs actual per step
   \optimizer on|off           toggle the cost-based plan optimizer
+  \cache on|off|stats         semantic result cache (identical answers, served from memory)
   \trace on|off               print each query's span trace
   \baseline pg|mysql|mariadb SELECT ...
   \approx BUDGET SELECT ...   resource-bounded approximation
@@ -275,6 +276,29 @@ func command(db *beas.DB, line string) bool {
 			return true
 		}
 		fmt.Printf("cost-based optimizer: %v\n", db.OptimizerEnabled())
+	case "\\cache":
+		switch strings.ToLower(strings.TrimSpace(rest)) {
+		case "on":
+			db.SetResultCache(true)
+		case "off":
+			db.SetResultCache(false)
+		case "stats":
+			s := db.ResultCacheStats()
+			fmt.Printf("result cache: %v\n", db.ResultCacheEnabled())
+			fmt.Printf("  results:   %d hits, %d misses, %d stores (%d dropped to races)\n",
+				s.Hits, s.Misses, s.Stores, s.StoreRaces)
+			fmt.Printf("  freshness: %d patches, %d invalidations, %d evictions\n",
+				s.Patches, s.Invalidations, s.Evictions)
+			fmt.Printf("  resident:  %d entries, %d bytes\n", s.Entries, s.Bytes)
+			fmt.Printf("  templates: %d hits, %d misses; %d entries, %d bytes\n",
+				s.TemplateHits, s.TemplateMisses, s.TemplateEntries, s.TemplateBytes)
+			return true
+		case "":
+		default:
+			fmt.Println("usage: \\cache [on|off|stats]")
+			return true
+		}
+		fmt.Printf("semantic result cache: %v\n", db.ResultCacheEnabled())
 	case "\\trace":
 		switch strings.ToLower(strings.TrimSpace(rest)) {
 		case "on":

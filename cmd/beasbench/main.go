@@ -30,6 +30,7 @@ func main() {
 	runs := flag.Int("runs", 3, "timing repetitions (the minimum is reported)")
 	jsonOut := flag.String("json", "", "also write machine-readable per-experiment timings (name, scale, runs, ns/op, rows fetched) to this file")
 	noVec := flag.Bool("novec", false, "disable vectorized (columnar) execution; use to record the scalar baseline")
+	rcache := flag.Bool("rcache", false, "enable the semantic result cache on the benchmark databases; use to record the warm-cache run the cache experiment compares against")
 	flag.Parse()
 
 	sc, err := parseScales(*scales)
@@ -37,7 +38,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "beasbench:", err)
 		os.Exit(2)
 	}
-	h := &harness{scale: *scale, scales: sc, runs: *runs, novec: *noVec}
+	h := &harness{scale: *scale, scales: sc, runs: *runs, novec: *noVec, rcache: *rcache}
 	defer func() {
 		if *jsonOut == "" {
 			return
@@ -60,9 +61,10 @@ func main() {
 		"approx":    h.approx,
 		"maint":     h.maint,
 		"vector":    h.vector,
+		"cache":     h.cache,
 	}
 	if *exp == "all" {
-		for _, name := range []string{"example2", "fig3", "fig4", "queries", "budget", "partial", "discovery", "approx", "maint", "vector"} {
+		for _, name := range []string{"example2", "fig3", "fig4", "queries", "budget", "partial", "discovery", "approx", "maint", "vector", "cache"} {
 			all[name]()
 		}
 		return
@@ -92,6 +94,7 @@ type harness struct {
 	scales []int
 	runs   int
 	novec  bool
+	rcache bool
 
 	dbCache map[int]*beas.DB
 	records []benchRecord
@@ -108,6 +111,11 @@ type benchRecord struct {
 	Rows          int    `json:"rows"`
 	TuplesFetched int64  `json:"tuplesFetched"`
 	TuplesScanned int64  `json:"tuplesScanned"`
+	// CacheHits / CacheMisses snapshot the database's cumulative
+	// result-cache counters when the record was filed (cache experiment
+	// only) — the hit-rate evidence behind the warm-vs-cold speedups.
+	CacheHits   uint64 `json:"cacheHits,omitempty"`
+	CacheMisses uint64 `json:"cacheMisses,omitempty"`
 }
 
 // record files one timing into the -json output.
@@ -119,6 +127,15 @@ func (h *harness) record(exp, name string, scale int, d time.Duration, res *beas
 		rec.TuplesScanned = res.Stats.TuplesScanned
 	}
 	h.records = append(h.records, rec)
+}
+
+// recordCache is record plus the database's cumulative result-cache
+// counters as hit-rate evidence.
+func (h *harness) recordCache(exp, name string, scale int, d time.Duration, res *beas.Result, db *beas.DB) {
+	h.record(exp, name, scale, d, res)
+	s := db.ResultCacheStats()
+	r := &h.records[len(h.records)-1]
+	r.CacheHits, r.CacheMisses = s.Hits, s.Misses
 }
 
 // benchOutput is the top-level -json document.
@@ -146,6 +163,9 @@ func (h *harness) db(scale int) *beas.DB {
 	db := beas.MustNewTLCDB(scale)
 	if h.novec {
 		db.SetVectorized(false)
+	}
+	if h.rcache {
+		db.SetResultCache(true)
 	}
 	h.dbCache[scale] = db
 	return db

@@ -62,6 +62,9 @@ func main() {
 	optimizer := flag.Bool("optimizer", false, "enable the cost-based plan optimizer (statistics-driven fetch-step ordering and join planning; results are identical, admission bounds unchanged)")
 	batchSize := flag.Int("batch-size", 0, "columnar batch row capacity for vectorized execution (0 = default 256)")
 	noVec := flag.Bool("novec", false, "disable vectorized (columnar) execution; results are identical, only speed changes")
+	resultCache := flag.Bool("result-cache", false, "enable the semantic result cache: repeat covered queries (and syntactic variants) are served from fresh materialized answers, kept fresh incrementally under mutations; results are identical")
+	resultCacheBytes := flag.Int64("result-cache-bytes", 0, "byte budget of the result-cache answer tier (0 = default 64 MiB)")
+	planCacheBytes := flag.Int64("plan-cache-bytes", 0, "byte budget of the parsed-template (plan) cache tier (0 = default 16 MiB)")
 	queueDepth := flag.Int("queue-depth", 0, "max requests waiting for a worker (default 64)")
 	timeout := flag.Duration("timeout", time.Minute, "per-query execution deadline; 0 disables it (a stalled client then holds the catalog read lock indefinitely)")
 	allowUncovered := flag.Bool("allow-uncovered", false, "admit queries not covered by the access schema (no a-priori bound)")
@@ -102,6 +105,12 @@ func main() {
 	}
 	if *noVec {
 		db.SetVectorized(false)
+	}
+	if *resultCacheBytes > 0 || *planCacheBytes > 0 {
+		db.SetResultCacheLimits(*planCacheBytes, *resultCacheBytes)
+	}
+	if *resultCache {
+		db.SetResultCache(true)
 	}
 
 	var tracer *beas.Tracer

@@ -696,3 +696,86 @@ func TestDeleteWALCondOrderDeterministic(t *testing.T) {
 		t.Fatalf("logged delete conds in order %v, want sorted %v", got, want)
 	}
 }
+
+// TestDurableCacheRecovery checks the result cache against the
+// durability boundary: a database that crashes (or snapshots and
+// reopens) with a warm cache must come back serving only answers that
+// reflect every pre-crash mutation — never a stale cached entry — while
+// the cache itself re-warms on the recovered data.
+func TestDurableCacheRecovery(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, &Options{ResultCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !db.ResultCacheEnabled() {
+		t.Fatal("Options.ResultCache did not enable the cache")
+	}
+	db.MustCreateTable("call", "pnum INT", "region STRING")
+	db.MustRegisterConstraint("call({pnum} -> {region}, 10)")
+	db.MustInsert("call", 1, "EDI")
+	db.MustInsert("call", 1, "GLA")
+	db.MustInsert("call", 2, "NYC")
+
+	const sql = "SELECT region FROM call WHERE pnum = 1"
+	// warm queries twice and requires both answers current. A mutated
+	// entry may legally serve patched on the first query (incremental
+	// maintenance); only wantCold forbids a hit — used right after an
+	// open, where any hit would mean a stale entry crossed the boundary.
+	warm := func(t *testing.T, d *DB, wantRows int, wantCold bool) {
+		t.Helper()
+		first, err := d.Query(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wantCold && first.Stats.CacheHit {
+			t.Fatal("first query after open must not be a cache hit")
+		}
+		if len(first.Rows) != wantRows {
+			t.Fatalf("query returned %d rows, want %d", len(first.Rows), wantRows)
+		}
+		second, err := d.Query(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !second.Stats.CacheHit {
+			t.Fatal("repeat query did not warm the cache")
+		}
+		if len(second.Rows) != wantRows {
+			t.Fatalf("cached answer has %d rows, want %d", len(second.Rows), wantRows)
+		}
+	}
+	warm(t, db, 2, true)
+
+	// Mutate past the warm entry, then crash without Close: the copy sees
+	// the WAL tail, not a snapshot.
+	db.MustInsert("call", 1, "ABZ")
+	crashDir := copyDir(t, dir)
+	re, err := Open(crashDir, &Options{ResultCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	warm(t, re, 3, true) // the recovered database must see all three rows, cold
+
+	// A post-recovery mutation must displace the re-warmed entry.
+	re.MustInsert("call", 1, "INV")
+	warm(t, re, 4, false)
+
+	// Snapshot + clean reopen with a warm cache on the original database.
+	warm(t, db, 3, false)
+	if err := db.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re2, err := Open(dir, &Options{ResultCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re2.Close()
+	warm(t, re2, 3, true)
+	re2.MustInsert("call", 1, "DND")
+	warm(t, re2, 4, false)
+}

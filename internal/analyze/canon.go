@@ -1,0 +1,278 @@
+package analyze
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/bounded-eval/beas/internal/value"
+)
+
+// Canonical reduces a resolved query to a normalized fingerprint plus an
+// extracted parameter vector, so that syntactically different statements
+// that are bag-equivalent modulo constants share one cache template.
+//
+// Normalizations applied:
+//   - tables by relation name and position, columns by (atom, attr) — all
+//     alias and case differences disappear;
+//   - WHERE conjuncts sorted by a canonical rendering, with exact
+//     duplicates removed for kinds where a duplicate cannot change the
+//     bounded plan (attr/attr predicates, comparisons, opaque residuals);
+//   - constants of equality/IN/comparison conjuncts extracted into the
+//     parameter vector (in sorted-conjunct order) and replaced by `?`
+//     placeholders, so a=3 and a=7 share a template;
+//   - attr/attr predicates ordered by column position, flipping the
+//     comparison operator when the operands swap.
+//
+// Constants embedded anywhere else (outputs, GROUP BY, HAVING, opaque
+// conjuncts) stay inline: they can change result values, not just probe
+// keys, so they are part of the template identity.
+//
+// shareable reports whether the fingerprint may be used as a cross-text
+// cache key. It is false when some equality class carries two or more
+// constant-bearing conjuncts (a = 3 AND a IN (4, 5)): the bounded plan
+// probes the intersection of candidate constants in conjunct order, so
+// reordering conjuncts could reorder result rows. Callers must then fall
+// back to a per-text key. The caveat that remains even when shareable:
+// AND is treated as order-insensitive, so two texts whose filters error
+// asymmetrically under reordering (e.g. short-circuited division by
+// zero) may surface the error from either order.
+func Canonical(q *Query) (fp string, params []value.Value, shareable bool) {
+	c := &canonizer{ok: true}
+
+	var b strings.Builder
+	b.WriteString("v1|from:")
+	for i, a := range q.Atoms {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strings.ToLower(a.Rel.Name))
+	}
+
+	// WHERE: render, sort, dedup, extract parameters.
+	rendered := make([]renderedConjunct, len(q.Conjuncts))
+	for i, cj := range q.Conjuncts {
+		rendered[i] = c.conjunct(cj)
+	}
+	sort.SliceStable(rendered, func(i, j int) bool { return rendered[i].key < rendered[j].key })
+	b.WriteString("|where:")
+	prevKey, prevParams := "", ""
+	emitted := false
+	for _, r := range rendered {
+		pk := value.Key(r.params)
+		if r.dedupable && r.key == prevKey && pk == prevParams {
+			continue
+		}
+		prevKey, prevParams = r.key, pk
+		if emitted {
+			b.WriteByte(';')
+		}
+		emitted = true
+		b.WriteString(r.key)
+		params = append(params, r.params...)
+	}
+
+	b.WriteString("|out:")
+	for i, o := range q.Outputs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%q=%s", o.Name, c.expr(o.Expr))
+	}
+
+	if q.IsAgg {
+		b.WriteString("|group:")
+		for i, g := range q.GroupBy {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(c.expr(g))
+		}
+		b.WriteString("|aggs:")
+		for i, a := range q.Aggs {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			star, distinct := "", ""
+			if a.Star {
+				star = "*"
+			}
+			if a.Distinct {
+				distinct = "D"
+			}
+			fmt.Fprintf(&b, "%s%s%s(%s)", a.Func, star, distinct, c.expr(a.Arg))
+		}
+		if q.Having != nil {
+			b.WriteString("|having:")
+			b.WriteString(c.expr(q.Having))
+		}
+	}
+
+	if q.Distinct {
+		b.WriteString("|distinct")
+	}
+	if len(q.OrderBy) > 0 {
+		b.WriteString("|order:")
+		for i, o := range q.OrderBy {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%d.%t", o.Col, o.Desc)
+		}
+	}
+	if q.Limit != nil {
+		fmt.Fprintf(&b, "|limit:%d", *q.Limit)
+	}
+	if q.Offset != nil {
+		fmt.Fprintf(&b, "|offset:%d", *q.Offset)
+	}
+
+	return b.String(), params, c.ok && constShareable(q)
+}
+
+// renderedConjunct is one conjunct reduced to a sortable canonical key
+// plus the constants it contributed to the parameter vector.
+type renderedConjunct struct {
+	key       string
+	params    []value.Value
+	dedupable bool
+}
+
+// canonizer tracks whether every expression form encountered had a
+// canonical rendering; an unknown form poisons shareability.
+type canonizer struct {
+	ok bool
+}
+
+func (c *canonizer) conjunct(cj Conjunct) renderedConjunct {
+	switch cj.Kind {
+	case EqAttrAttr:
+		a, b := cj.A, cj.B
+		if colLess(b, a) {
+			a, b = b, a
+		}
+		return renderedConjunct{key: "eq(" + colKey(a) + "," + colKey(b) + ")", dedupable: true}
+	case EqAttrConst:
+		return renderedConjunct{key: "eqc(" + colKey(cj.A) + ",?)", params: []value.Value{cj.Val}}
+	case InConsts:
+		return renderedConjunct{
+			key:    fmt.Sprintf("in(%s,?%d)", colKey(cj.A), len(cj.Vals)),
+			params: cj.Vals,
+		}
+	case CmpConst:
+		return renderedConjunct{
+			key:       fmt.Sprintf("cmp(%s,%s,?)", colKey(cj.A), cj.Op),
+			params:    []value.Value{cj.Val},
+			dedupable: true,
+		}
+	case CmpAttrAttr:
+		a, b, op := cj.A, cj.B, cj.Op
+		if colLess(b, a) {
+			a, b, op = b, a, flipOp(op)
+		}
+		return renderedConjunct{
+			key:       fmt.Sprintf("cmpa(%s,%s,%s)", colKey(a), op, colKey(b)),
+			dedupable: true,
+		}
+	default:
+		return renderedConjunct{key: "res:" + c.expr(cj.Expr), dedupable: true}
+	}
+}
+
+// expr renders a resolved expression with constants inline, columns
+// positional and aggregation slots numeric.
+func (c *canonizer) expr(e Expr) string {
+	switch x := e.(type) {
+	case nil:
+		return ""
+	case *ColRef:
+		return colKey(x.ID)
+	case *Const:
+		return constKey(x.Val)
+	case *PostRef:
+		return fmt.Sprintf("P%d", x.Slot)
+	case *Bin:
+		return "(" + c.expr(x.L) + " " + x.Op.String() + " " + c.expr(x.R) + ")"
+	case *Not:
+		return "not(" + c.expr(x.E) + ")"
+	case *Neg:
+		return "neg(" + c.expr(x.E) + ")"
+	case *InList:
+		parts := make([]string, len(x.Vals))
+		for i, v := range x.Vals {
+			parts[i] = constKey(v)
+		}
+		return fmt.Sprintf("in%s(%s;%s)", notTag(x.Not), c.expr(x.E), strings.Join(parts, ","))
+	case *LikeExpr:
+		return fmt.Sprintf("like%s(%s;%q)", notTag(x.Not), c.expr(x.E), x.Pattern)
+	case *IsNullExpr:
+		return fmt.Sprintf("isnull%s(%s)", notTag(x.Not), c.expr(x.E))
+	default:
+		c.ok = false
+		return fmt.Sprintf("unknown:%T", e)
+	}
+}
+
+func notTag(not bool) string {
+	if not {
+		return "!"
+	}
+	return ""
+}
+
+func colKey(id ColID) string { return fmt.Sprintf("C%d.%d", id.Atom, id.Attr) }
+
+// constKey renders a constant through the injective key encoding, so two
+// constants collide exactly when the engine treats them as the same value
+// (canonical NaN, no Int/Float cross-kind collisions).
+func constKey(v value.Value) string {
+	return fmt.Sprintf("K%q", value.AppendKey(nil, v))
+}
+
+func colLess(a, b ColID) bool {
+	if a.Atom != b.Atom {
+		return a.Atom < b.Atom
+	}
+	return a.Attr < b.Attr
+}
+
+// constShareable reports false when any attribute equality class holds
+// two or more constant-bearing conjuncts (EqAttrConst / InConsts): the
+// checker seeds such a class with the *intersection* of candidate
+// constants in conjunct order, so sorting the conjuncts could change the
+// probe — and therefore the result-row — order between texts.
+func constShareable(q *Query) bool {
+	parent := make(map[ColID]ColID)
+	var find func(ColID) ColID
+	find = func(x ColID) ColID {
+		p, ok := parent[x]
+		if !ok || p == x {
+			return x
+		}
+		r := find(p)
+		parent[x] = r
+		return r
+	}
+	union := func(a, b ColID) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for _, cj := range q.Conjuncts {
+		if cj.Kind == EqAttrAttr {
+			union(cj.A, cj.B)
+		}
+	}
+	counts := make(map[ColID]int)
+	for _, cj := range q.Conjuncts {
+		if cj.Kind == EqAttrConst || cj.Kind == InConsts {
+			r := find(cj.A)
+			counts[r]++
+			if counts[r] >= 2 {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,134 @@
+package analyze
+
+import (
+	"testing"
+
+	"github.com/bounded-eval/beas/internal/value"
+)
+
+func canonOf(t *testing.T, sql string) (string, []value.Value, bool) {
+	t.Helper()
+	return Canonical(analyzeSQL(t, sql))
+}
+
+func paramsKey(ps []value.Value) string { return value.Key(ps) }
+
+// TestCanonicalVariantsShare verifies that syntactic variants — case
+// changes, aliases, reordered conjuncts, duplicated predicates, flipped
+// comparisons — collapse to one fingerprint and parameter vector.
+func TestCanonicalVariantsShare(t *testing.T) {
+	groups := [][]string{
+		{
+			"SELECT recnum FROM call WHERE pnum = 3 AND date = 5",
+			"select C.recnum from call AS C where C.date = 5 and C.pnum = 3",
+			"SELECT  call.recnum  FROM  call  WHERE  call.pnum = 3  AND  call.date = 5",
+		},
+		{
+			"SELECT recnum FROM call, business WHERE call.pnum = business.pnum AND call.pnum = business.pnum",
+			"SELECT recnum FROM call, business WHERE business.pnum = call.pnum",
+		},
+		{
+			"SELECT recnum FROM call, business WHERE call.pnum < business.pnum",
+			"SELECT recnum FROM call, business WHERE business.pnum > call.pnum",
+		},
+	}
+	for gi, group := range groups {
+		fp0, ps0, ok0 := canonOf(t, group[0])
+		if !ok0 {
+			t.Fatalf("group %d: base statement not shareable", gi)
+		}
+		for vi, sql := range group[1:] {
+			fp, ps, ok := canonOf(t, sql)
+			if !ok {
+				t.Fatalf("group %d variant %d not shareable: %s", gi, vi+1, sql)
+			}
+			if fp != fp0 {
+				t.Fatalf("group %d variant %d fingerprint diverges:\n%s\nvs\n%s", gi, vi+1, fp, fp0)
+			}
+			if paramsKey(ps) != paramsKey(ps0) {
+				t.Fatalf("group %d variant %d params diverge: %v vs %v", gi, vi+1, ps, ps0)
+			}
+		}
+	}
+}
+
+// TestCanonicalParamExtraction verifies that probe constants leave the
+// fingerprint: statements differing only in constants share a template
+// and differ only in the parameter vector.
+func TestCanonicalParamExtraction(t *testing.T) {
+	fp3, ps3, _ := canonOf(t, "SELECT recnum FROM call WHERE pnum = 3")
+	fp7, ps7, _ := canonOf(t, "SELECT recnum FROM call WHERE pnum = 7")
+	if fp3 != fp7 {
+		t.Fatalf("constant-only difference changed the fingerprint:\n%s\nvs\n%s", fp3, fp7)
+	}
+	if paramsKey(ps3) == paramsKey(ps7) {
+		t.Fatal("different constants must yield different parameter vectors")
+	}
+	if len(ps3) != 1 || ps3[0].I != 3 {
+		t.Fatalf("params = %v, want [3]", ps3)
+	}
+}
+
+// TestCanonicalInListOrderPreserved pins a deliberate asymmetry: IN-list
+// constants are parameters (IN (1,4) and IN (2,9) share a template), but
+// their order is part of the answer identity — serial execution probes
+// candidates in textual order, so a permuted list returns the same bag
+// in a different row order and must not share a result key.
+func TestCanonicalInListOrderPreserved(t *testing.T) {
+	fpA, psA, okA := canonOf(t, "SELECT recnum FROM call WHERE pnum IN (1, 4)")
+	fpB, psB, okB := canonOf(t, "SELECT recnum FROM call WHERE pnum IN (4, 1)")
+	if !okA || !okB {
+		t.Fatal("single IN conjunct must be shareable")
+	}
+	if fpA != fpB {
+		t.Fatalf("IN lists of equal length must share a fingerprint:\n%s\nvs\n%s", fpA, fpB)
+	}
+	if paramsKey(psA) == paramsKey(psB) {
+		t.Fatal("permuted IN lists must differ in the parameter vector: probe order is answer order")
+	}
+	fpC, _, _ := canonOf(t, "SELECT recnum FROM call WHERE pnum IN (1, 4, 6)")
+	if fpC == fpA {
+		t.Fatal("IN lists of different lengths must not share a fingerprint")
+	}
+}
+
+// TestCanonicalMultiConstClassNotShareable: two constant-bearing
+// conjuncts on one equality class probe the intersection in conjunct
+// order; sorting could reorder the probe, so such statements fall back
+// to per-text identity.
+func TestCanonicalMultiConstClassNotShareable(t *testing.T) {
+	for _, sql := range []string{
+		"SELECT recnum FROM call WHERE pnum = 3 AND pnum IN (3, 4)",
+		"SELECT recnum FROM call WHERE pnum IN (1, 2) AND pnum IN (2, 3)",
+		"SELECT recnum FROM call, business WHERE call.pnum = business.pnum AND call.pnum = 1 AND business.pnum IN (1, 2)",
+	} {
+		if _, _, ok := canonOf(t, sql); ok {
+			t.Fatalf("multi-constant equality class must not be shareable: %s", sql)
+		}
+	}
+}
+
+// TestCanonicalShapeDistinguished: anything that changes the answer —
+// outputs, DISTINCT, ORDER BY, LIMIT, grouping, aggregates, non-probe
+// constants — must change the fingerprint.
+func TestCanonicalShapeDistinguished(t *testing.T) {
+	base := "SELECT recnum FROM call WHERE pnum = 3"
+	fps := map[string]string{}
+	for _, sql := range []string{
+		base,
+		"SELECT date FROM call WHERE pnum = 3",
+		"SELECT DISTINCT recnum FROM call WHERE pnum = 3",
+		"SELECT recnum FROM call WHERE pnum = 3 ORDER BY 1",
+		"SELECT recnum FROM call WHERE pnum = 3 ORDER BY 1 DESC",
+		"SELECT recnum FROM call WHERE pnum = 3 LIMIT 2",
+		"SELECT COUNT(*) FROM call WHERE pnum = 3",
+		"SELECT region, COUNT(*) FROM call WHERE pnum = 3 GROUP BY region",
+		"SELECT recnum + 1 FROM call WHERE pnum = 3",
+	} {
+		fp, _, _ := canonOf(t, sql)
+		if prev, dup := fps[fp]; dup {
+			t.Fatalf("distinct shapes share a fingerprint:\n%s\nand\n%s", prev, sql)
+		}
+		fps[fp] = sql
+	}
+}

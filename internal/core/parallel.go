@@ -29,6 +29,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sort"
 	"time"
 
 	"github.com/bounded-eval/beas/internal/analyze"
@@ -63,12 +64,19 @@ func RunParallelContext(ctx context.Context, p *Plan, par int) ([]value.Row, *St
 	rows := []value.Row{make(value.Row, layout.Len())}
 	var weights []int64 // nil = all weight 1
 	st.Steps = make([]StepStat, len(p.Steps))
+	if p.CollectKeys {
+		st.StepKeys = make([][]string, len(p.Steps))
+	}
 	for i := range p.Steps {
 		step := &p.Steps[i]
 		st.Steps[i] = statFor(q, step)
 		ss := &st.Steps[i]
+		var keys *[]string
+		if p.CollectKeys {
+			keys = &st.StepKeys[i]
+		}
 		var err error
-		rows, weights, err = runStepParallel(ctx, step, layout, rows, weights, par, ss, &st.Fetched)
+		rows, weights, err = runStepParallel(ctx, step, layout, rows, weights, par, ss, &st.Fetched, keys)
 		if err != nil {
 			st.Duration = time.Since(start)
 			return nil, st, err
@@ -123,7 +131,7 @@ func stepKeys(step *PlanStep, row value.Row, key []value.Value, kb *[]byte, comp
 
 // runStepParallel executes one fetch step over the materialised
 // weighted intermediate rows and returns the extended relation.
-func runStepParallel(ctx context.Context, step *PlanStep, layout *analyze.Layout, rows []value.Row, weights []int64, par int, ss *StepStat, fetched *int64) ([]value.Row, []int64, error) {
+func runStepParallel(ctx context.Context, step *PlanStep, layout *analyze.Layout, rows []value.Row, weights []int64, par int, ss *StepStat, fetched *int64, keys *[]string) ([]value.Row, []int64, error) {
 	t0 := time.Now()
 	defer func() { ss.Duration += time.Since(t0) }()
 	chunks := iter.Chunks(len(rows), par)
@@ -176,6 +184,16 @@ func runStepParallel(ctx context.Context, step *PlanStep, layout *analyze.Layout
 	}
 	ss.Fetched += stepFetched
 	*fetched += stepFetched
+	if keys != nil {
+		ks := make([]string, 0, len(memo))
+		for k := range memo {
+			ks = append(ks, k)
+		}
+		// The merged memo is a map; sort so the recorded set has one
+		// deterministic order regardless of worker interleaving.
+		sort.Strings(ks)
+		*keys = append(*keys, ks...)
+	}
 
 	// Phase 2: extend every input row through the memoised buckets and
 	// filter, emitting per-chunk outputs that concatenate in chunk order

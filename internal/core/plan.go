@@ -51,6 +51,11 @@ type Plan struct {
 	Vectorized bool
 	// BatchSize is the columnar batch row capacity (≤ 0 = default).
 	BatchSize int
+	// CollectKeys makes the executors record every distinct encoded key
+	// each step probed (including keys that hit an empty bucket) in
+	// Stats.StepKeys. The result cache uses the sets to subscribe an
+	// entry to exactly the index regions it read.
+	CollectKeys bool
 }
 
 // NewPlan turns a successful check into an executable bounded plan. It

@@ -55,6 +55,11 @@ type Stats struct {
 	Fetched  int64 // total partial tuples fetched = |D_Q|
 	RowsOut  int64 // final result rows
 	Duration time.Duration
+	// StepKeys, filled only when Plan.CollectKeys is set, lists the
+	// distinct encoded index keys each step probed (parallel to Steps).
+	// Empty-bucket probes are included: the cache must learn about rows
+	// later inserted under a key the query looked for and did not find.
+	StepKeys [][]string
 }
 
 // Run executes a bounded plan and returns the result rows and execution
@@ -105,6 +110,15 @@ func StreamContext(ctx context.Context, p *Plan) (iter.Iterator, *Stats) {
 	// constraint indices return distinct partial tuples with witness
 	// counts (SQL bag semantics are restored by the relational tail).
 	st.Steps = make([]StepStat, len(p.Steps))
+	if p.CollectKeys {
+		st.StepKeys = make([][]string, len(p.Steps))
+	}
+	stepKeysSink := func(i int) *[]string {
+		if p.CollectKeys {
+			return &st.StepKeys[i]
+		}
+		return nil
+	}
 
 	var out iter.Iterator
 	if p.Vectorized {
@@ -123,6 +137,7 @@ func StreamContext(ctx context.Context, p *Plan) (iter.Iterator, *Stats) {
 				layout:  layout,
 				ss:      &st.Steps[i],
 				fetched: &st.Fetched,
+				keys:    stepKeysSink(i),
 				batch:   batch,
 			}
 		}
@@ -139,6 +154,7 @@ func StreamContext(ctx context.Context, p *Plan) (iter.Iterator, *Stats) {
 				layout:  layout,
 				ss:      &st.Steps[i],
 				fetched: &st.Fetched,
+				keys:    stepKeysSink(i),
 			}
 		}
 		out = iter.Counted(execTail(ctx, exec.Stream(q, cur, layout), start), &st.RowsOut)
@@ -169,6 +185,7 @@ type stepOp struct {
 	layout  *analyze.Layout
 	ss      *StepStat
 	fetched *int64
+	keys    *[]string // when non-nil, collects each distinct probed key
 
 	memo map[string]wBucket
 	key  []value.Value
@@ -240,6 +257,7 @@ type colStepOp struct {
 	layout  *analyze.Layout
 	ss      *StepStat
 	fetched *int64
+	keys    *[]string // when non-nil, collects each distinct probed key
 	batch   int
 
 	memo    map[string]wBucket
@@ -313,6 +331,9 @@ func (s *colStepOp) expand(b *iter.ColBatch, row value.Row, w int64) error {
 			s.ss.DistinctKey++
 			s.ss.Fetched += int64(n)
 			*s.fetched += int64(n)
+			if s.keys != nil {
+				*s.keys = append(*s.keys, ks)
+			}
 		}
 		for yi, y := range bucket.rows {
 			out := s.outRow
@@ -353,6 +374,9 @@ func (s *stepOp) expand(b *iter.Batch, row value.Row, w int64) error {
 			s.ss.DistinctKey++
 			s.ss.Fetched += int64(n)
 			*s.fetched += int64(n)
+			if s.keys != nil {
+				*s.keys = append(*s.keys, ks)
+			}
 		}
 		for yi, y := range bucket.rows {
 			out := row.Clone()

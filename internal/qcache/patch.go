@@ -1,0 +1,399 @@
+// Incremental view maintenance for cached answers.
+//
+// A cached entry is patchable when its shape is simple enough that a
+// single-row mutation maps to a provably exact update of the
+// materialized answer — exact meaning the patched rows, their order
+// and the data-derived execution statistics are bit-identical to what
+// a fresh bounded execution would produce. Anything outside that shape
+// falls back to invalidating the one affected entry.
+//
+// Eligible shape: one UNION branch, one fetch step whose key
+// components are all single-candidate constants (so the plan probes
+// exactly one index bucket), no DISTINCT / ORDER BY / LIMIT / OFFSET /
+// GROUP BY / HAVING, optimizer off. Two sub-shapes:
+//
+//   - bag: plain projections. An insert that appends a brand-new
+//     Y-tuple to the bucket appends the projected row at the end of
+//     the cached bag (the executor emits bucket rows in order, and the
+//     index appends new tuples at the bucket end). A duplicate insert
+//     or any delete changes interior multiplicities or bucket order,
+//     so it invalidates.
+//   - aggregate: outputs are bare COUNT/SUM/MIN/MAX references.
+//     Inserts patch the single output row; SUM only accepts a
+//     new-tuple append folding at the end of the sequence (a duplicate
+//     changes an interior weight, which can move the int-overflow
+//     point or reorder float rounding). Deletes patch COUNT and leave
+//     MIN/MAX when the tuple still has witnesses; a fully removed
+//     tuple invalidates MIN/MAX entries (the extremum may have left).
+package qcache
+
+import (
+	"github.com/bounded-eval/beas/internal/analyze"
+	"github.com/bounded-eval/beas/internal/core"
+	"github.com/bounded-eval/beas/internal/sqlparser"
+	"github.com/bounded-eval/beas/internal/value"
+)
+
+// patchInfo is the precomputed patch metadata of an eligible entry.
+type patchInfo struct {
+	q       *analyze.Query
+	step    *core.PlanStep
+	layout  *analyze.Layout
+	key     string        // the single encoded probe key
+	keyVals []value.Value // the single candidate per key component
+	isAgg   bool
+	aggOut  []aggOutput // parallel to q.Outputs when isAgg
+}
+
+type aggOutput struct {
+	fn   sqlparser.AggFunc
+	arg  analyze.Expr
+	star bool
+}
+
+// buildPatchInfo decides eligibility at store time and caches what the
+// patch paths need. nil means mutations that hit the entry invalidate
+// it.
+func buildPatchInfo(req *StoreRequest) *patchInfo {
+	if req.OptimizerOn || req.Branches != 1 || req.Plan == nil || req.Query == nil {
+		return nil
+	}
+	q, plan := req.Query, req.Plan
+	if plan.Check == nil || plan.Check.EmptyGuaranteed || len(plan.Steps) != 1 {
+		return nil
+	}
+	if len(req.Result.Steps) != 1 {
+		return nil
+	}
+	if q.Distinct || len(q.OrderBy) > 0 || q.Limit != nil || q.Offset != nil ||
+		q.Having != nil || len(q.GroupBy) > 0 {
+		return nil
+	}
+	step := &plan.Steps[0]
+	keyVals := make([]value.Value, len(step.Keys))
+	var kb []byte
+	for i, ks := range step.Keys {
+		if len(ks.Consts) != 1 {
+			return nil
+		}
+		keyVals[i] = ks.Consts[0]
+		kb = value.AppendKey(kb, ks.Consts[0])
+	}
+	pi := &patchInfo{
+		q:       q,
+		step:    step,
+		layout:  plan.Layout,
+		key:     string(kb),
+		keyVals: keyVals,
+	}
+	if !q.IsAgg {
+		return pi
+	}
+	pi.isAgg = true
+	for _, o := range q.Outputs {
+		pr, ok := o.Expr.(*analyze.PostRef)
+		if !ok || pr.Slot < 0 || pr.Slot >= len(q.Aggs) {
+			return nil
+		}
+		a := q.Aggs[pr.Slot]
+		if a.Distinct {
+			return nil
+		}
+		switch a.Func {
+		case sqlparser.AggCount, sqlparser.AggSum, sqlparser.AggMin, sqlparser.AggMax:
+		default:
+			return nil
+		}
+		pi.aggOut = append(pi.aggOut, aggOutput{fn: a.Func, arg: a.Arg, star: a.Star})
+	}
+	return pi
+}
+
+// tryPatch folds one mutation into an eligible entry. It returns false
+// when the mutation cannot be replayed exactly; the caller then
+// invalidates the entry. It runs under c.mu with the table known to be
+// exactly at the event's version, so the constraint index reflects the
+// mutation and nothing later.
+func (c *Cache) tryPatch(e *entry, m *mutation) bool {
+	if m.inserted != nil {
+		return c.patchInsert(e, m.inserted)
+	}
+	return c.patchDelete(e, m.deleted)
+}
+
+// patchInsert replays one inserted base row.
+func (c *Cache) patchInsert(e *entry, row value.Row) bool {
+	pi := e.patch
+	if string(value.AppendRowKey(nil, row, pi.step.XAttrs)) != pi.key {
+		return true // key-disjoint: the entry's probe never sees this row
+	}
+	// Locate the row's Y-tuple in the post-insert bucket. A brand-new
+	// tuple sits at the end with a single witness; anything else is a
+	// duplicate whose witness count just grew.
+	bucket, counts, _ := pi.step.Index.FetchWeightedEncoded(pi.key)
+	ye := string(value.AppendRowKey(nil, row, pi.step.YAttrs))
+	pos := -1
+	var pb []byte
+	for i, br := range bucket {
+		pb = value.AppendRowKey(pb[:0], br, nil)
+		if string(pb) == ye {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 {
+		return false
+	}
+	newTuple := pos == len(bucket)-1 && counts[pos] == 1
+
+	out := make(value.Row, pi.layout.Len())
+	for i, slot := range pi.step.XSlots {
+		out[slot] = pi.keyVals[i]
+	}
+	for j, yi := range pi.step.YUsed {
+		out[pi.step.YSlots[j]] = bucket[pos][yi]
+	}
+	pass := true
+	for _, f := range pi.step.Filters {
+		ok, err := analyze.EvalBool(f.Expr, out, pi.layout)
+		if err != nil {
+			return false // a fresh run would surface this error
+		}
+		if !ok {
+			pass = false
+			break
+		}
+	}
+
+	if !pi.isAgg {
+		if !newTuple {
+			// Duplicate: the extra copy belongs next to its first
+			// occurrence in the middle of the bag, not at the end.
+			return false
+		}
+		var outRow value.Row
+		if pass {
+			outRow = make(value.Row, len(pi.q.Outputs))
+			for i, o := range pi.q.Outputs {
+				v, err := analyze.Eval(o.Expr, out, pi.layout)
+				if err != nil {
+					return false
+				}
+				outRow[i] = v
+			}
+		}
+		e.res.TuplesFetched++
+		e.res.Steps[0].Fetched++
+		if pass {
+			e.res.Steps[0].RowsOut++
+			e.res.Rows = append(e.res.Rows, outRow)
+			d := rowBytes(outRow)
+			e.bytes += d
+			c.resBytes += d
+		}
+		return true
+	}
+
+	old := e.res.Rows[0]
+	newRow := append(value.Row(nil), old...)
+	if pass {
+		for i, ao := range pi.aggOut {
+			cur := old[i]
+			switch ao.fn {
+			case sqlparser.AggCount:
+				if !ao.star {
+					v, err := analyze.Eval(ao.arg, out, pi.layout)
+					if err != nil {
+						return false
+					}
+					if v.IsNull() {
+						continue
+					}
+				}
+				newRow[i] = value.NewInt(cur.I + 1)
+			case sqlparser.AggSum:
+				if !newTuple {
+					// A duplicate raises an interior weight: the exact
+					// int64 running sum (and its overflow point) and the
+					// float fold order both change mid-sequence.
+					return false
+				}
+				v, err := analyze.Eval(ao.arg, out, pi.layout)
+				if err != nil {
+					return false
+				}
+				if v.IsNull() {
+					continue
+				}
+				switch {
+				case cur.IsNull() && (v.K == value.Int || v.K == value.Float):
+					newRow[i] = v
+				case cur.K == value.Int && v.K == value.Int:
+					s, ok := value.AddInt64(cur.I, v.I)
+					if !ok {
+						return false // fresh run falls back to the float shadow
+					}
+					newRow[i] = value.NewInt(s)
+				case cur.K == value.Float:
+					f, ok := v.AsFloat()
+					if !ok {
+						return false
+					}
+					newRow[i] = value.NewFloat(cur.F + f)
+				default:
+					// Int sum meeting a float term: the fresh result is
+					// the incremental float shadow, which the cached
+					// exact integer cannot reconstruct. Or non-numeric.
+					return false
+				}
+			case sqlparser.AggMin, sqlparser.AggMax:
+				v, err := analyze.Eval(ao.arg, out, pi.layout)
+				if err != nil {
+					return false
+				}
+				if v.IsNull() {
+					continue
+				}
+				if cur.IsNull() {
+					newRow[i] = v
+					continue
+				}
+				cmp, err := value.Compare(v, cur)
+				if err != nil {
+					continue // the aggregator ignores incomparable values
+				}
+				if (ao.fn == sqlparser.AggMin && cmp < 0) || (ao.fn == sqlparser.AggMax && cmp > 0) {
+					newRow[i] = v
+				}
+			}
+		}
+	}
+	if newTuple {
+		e.res.TuplesFetched++
+		e.res.Steps[0].Fetched++
+		if pass {
+			e.res.Steps[0].RowsOut++
+		}
+	}
+	// Swap in a fresh row slice: snapshots handed out by GetResult keep
+	// the old backing array, so cells are never mutated under a reader.
+	d := rowBytes(newRow) - rowBytes(old)
+	e.bytes += d
+	c.resBytes += d
+	e.res.Rows = []value.Row{newRow}
+	return true
+}
+
+// patchDelete replays one batched delete (all rows of one version
+// bump).
+func (c *Cache) patchDelete(e *entry, deleted []value.Row) bool {
+	pi := e.patch
+	if !pi.isAgg {
+		// The index swap-removes inside the bucket, destroying the row
+		// order a fresh run would emit.
+		return false
+	}
+	for _, ao := range pi.aggOut {
+		if ao.fn == sqlparser.AggSum {
+			return false // removing an interior term reorders the fold
+		}
+	}
+	var matched []value.Row
+	var kb []byte
+	for _, dr := range deleted {
+		kb = value.AppendRowKey(kb[:0], dr, pi.step.XAttrs)
+		if string(kb) == pi.key {
+			matched = append(matched, dr)
+		}
+	}
+	if len(matched) == 0 {
+		return true
+	}
+	// Which Y-tuples survive the whole batch? The index already
+	// reflects every removal of this version.
+	bucket, _, _ := pi.step.Index.FetchWeightedEncoded(pi.key)
+	present := make(map[string]bool, len(bucket))
+	var pb []byte
+	for _, br := range bucket {
+		pb = value.AppendRowKey(pb[:0], br, nil)
+		present[string(pb)] = true
+	}
+
+	hasMinMax := false
+	for _, ao := range pi.aggOut {
+		if ao.fn == sqlparser.AggMin || ao.fn == sqlparser.AggMax {
+			hasMinMax = true
+		}
+	}
+
+	countDelta := make([]int64, len(pi.aggOut))
+	groupSeen := make(map[string]bool)
+	var dFetched, dRowsOut int64
+	for _, dr := range matched {
+		out := make(value.Row, pi.layout.Len())
+		for i, slot := range pi.step.XSlots {
+			out[slot] = pi.keyVals[i]
+		}
+		for j, yi := range pi.step.YUsed {
+			out[pi.step.YSlots[j]] = dr[pi.step.YAttrs[yi]]
+		}
+		pass := true
+		for _, f := range pi.step.Filters {
+			ok, err := analyze.EvalBool(f.Expr, out, pi.layout)
+			if err != nil {
+				return false
+			}
+			if !ok {
+				pass = false
+				break
+			}
+		}
+		if pass {
+			for i, ao := range pi.aggOut {
+				if ao.fn != sqlparser.AggCount {
+					continue
+				}
+				if !ao.star {
+					v, err := analyze.Eval(ao.arg, out, pi.layout)
+					if err != nil {
+						return false
+					}
+					if v.IsNull() {
+						continue
+					}
+				}
+				countDelta[i]++
+			}
+		}
+		ye := string(value.AppendRowKey(nil, dr, pi.step.YAttrs))
+		if groupSeen[ye] {
+			continue
+		}
+		groupSeen[ye] = true
+		if !present[ye] {
+			// The tuple lost its last witness: it leaves the fetched
+			// set, and a departed extremum cannot be recomputed from
+			// the cached answer alone.
+			if hasMinMax {
+				return false
+			}
+			dFetched++
+			if pass {
+				dRowsOut++
+			}
+		}
+	}
+
+	old := e.res.Rows[0]
+	newRow := append(value.Row(nil), old...)
+	for i, d := range countDelta {
+		if d != 0 {
+			newRow[i] = value.NewInt(old[i].I - d)
+		}
+	}
+	e.res.TuplesFetched -= dFetched
+	e.res.Steps[0].Fetched -= dFetched
+	e.res.Steps[0].RowsOut -= dRowsOut
+	e.res.Rows = []value.Row{newRow}
+	return true
+}

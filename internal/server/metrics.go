@@ -183,6 +183,10 @@ type StatsSnapshot struct {
 	PlanCacheHits   uint64 `json:"planCacheHits"`
 	PlanCacheMisses uint64 `json:"planCacheMisses"`
 
+	// ResultCache is the semantic result cache section: the template
+	// (plan) tier is always live, the result tier only when enabled.
+	ResultCache ResultCacheSnapshot `json:"resultCache"`
+
 	// Parallelism is the served database's intra-query parallelism: how
 	// many worker goroutines a single bounded plan or hash join may use
 	// (1 = serial).
@@ -195,6 +199,20 @@ type StatsSnapshot struct {
 	// Durability is present when the served database is backed by the
 	// WAL + snapshot storage engine.
 	Durability *DurabilitySnapshot `json:"durability,omitempty"`
+}
+
+// ResultCacheSnapshot is the semantic-result-cache section of /stats.
+type ResultCacheSnapshot struct {
+	Enabled       bool   `json:"enabled"`
+	Hits          uint64 `json:"hits"`
+	Misses        uint64 `json:"misses"`
+	Stores        uint64 `json:"stores"`
+	Patches       uint64 `json:"patches"`
+	Invalidations uint64 `json:"invalidations"`
+	Evictions     uint64 `json:"evictions"`
+	Entries       int    `json:"entries"`
+	Bytes         int64  `json:"bytes"`
+	TemplateBytes int64  `json:"templateBytes"`
 }
 
 // OptimizerSnapshot is the optimizer + statistics section of /stats.
@@ -269,6 +287,19 @@ func (m *metrics) snapshot(db *beas.DB) StatsSnapshot {
 		SlowQueries:    cval(m.slowLogged),
 	}
 	s.PlanCacheHits, s.PlanCacheMisses = db.PlanCacheStats()
+	rc := db.ResultCacheStats()
+	s.ResultCache = ResultCacheSnapshot{
+		Enabled:       db.ResultCacheEnabled(),
+		Hits:          rc.Hits,
+		Misses:        rc.Misses,
+		Stores:        rc.Stores,
+		Patches:       rc.Patches,
+		Invalidations: rc.Invalidations,
+		Evictions:     rc.Evictions,
+		Entries:       rc.Entries,
+		Bytes:         rc.Bytes,
+		TemplateBytes: rc.TemplateBytes,
+	}
 	s.Parallelism = db.Parallelism()
 	s.Optimizer.Enabled = db.OptimizerEnabled()
 	tables, cons := db.DataStats()

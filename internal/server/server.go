@@ -367,6 +367,8 @@ type statsJSON struct {
 	// Coverage is the deterministic accuracy lower bound of a downgraded
 	// (approximated) query; 1 means the answer is exact.
 	Coverage float64 `json:"coverage,omitempty"`
+	// CacheHit marks an answer served from the semantic result cache.
+	CacheHit bool `json:"cacheHit,omitempty"`
 }
 
 type trailer struct {
@@ -386,6 +388,7 @@ func statsFrom(st *beas.Stats, rows int64) statsJSON {
 		TuplesFetched:   st.TuplesFetched,
 		TuplesScanned:   st.TuplesScanned,
 		DurationMS:      float64(st.Duration) / float64(time.Millisecond),
+		CacheHit:        st.CacheHit,
 	}
 	for _, s := range st.FetchSteps {
 		out.FetchSteps = append(out.FetchSteps, stepJSON{
@@ -718,6 +721,17 @@ func (s *Server) streamQuery(ctx context.Context, w http.ResponseWriter, sql str
 		return
 	}
 	s.m.admitted.Add(1)
+
+	// Surface the semantic-result-cache outcome before the body starts:
+	// a hit streams the materialized answer without re-executing.
+	switch {
+	case !s.db.ResultCacheEnabled():
+		w.Header().Set("X-Beas-Cache", "off")
+	case st.CacheHit:
+		w.Header().Set("X-Beas-Cache", "hit")
+	default:
+		w.Header().Set("X-Beas-Cache", "miss")
+	}
 
 	out := newNDJSON(w)
 	out.header(queryHeader{Columns: ri.Columns(), Admission: string(dec), Covered: st.Covered, Bound: st.Bound})

@@ -35,12 +35,27 @@ type Table struct {
 	// observers are notified of every mutation; the access-constraint
 	// indices register here so that maintenance is incremental.
 	observers []Observer
+	// vobservers receive version-stamped mutation batches, after the
+	// plain observers; the query-result cache registers here so it can
+	// order events against the versions cached entries were read at.
+	vobservers []VersionedObserver
 }
 
 // Observer receives table mutations. Implemented by access.Index.
 type Observer interface {
 	OnInsert(row value.Row)
 	OnDelete(row value.Row)
+}
+
+// VersionedObserver receives version-stamped mutation batches. Every
+// version bump produces exactly one OnMutation call, outside the table
+// lock and after all plain observers saw the mutation, carrying the
+// post-mutation version: an insert delivers the inserted row, a delete
+// delivers every row removed by that one (single-bump) Delete call.
+// Calls for concurrent mutations may arrive out of version order;
+// consumers that need ordering must buffer on the version.
+type VersionedObserver interface {
+	OnMutation(version uint64, inserted value.Row, deleted []value.Row)
 }
 
 // NewTable creates an empty table with the given schema.
@@ -93,6 +108,36 @@ func (t *Table) Unobserve(o Observer) {
 	}
 }
 
+// ObserveVersioned registers vo and returns the table version as of
+// registration, atomically: every later version bump produces exactly
+// one OnMutation with a version strictly greater than the returned one,
+// and no bump at or below it is delivered to vo.
+func (t *Table) ObserveVersioned(vo VersionedObserver) uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]VersionedObserver, len(t.vobservers), len(t.vobservers)+1)
+	copy(out, t.vobservers)
+	t.vobservers = append(out, vo)
+	return t.version
+}
+
+// UnobserveVersioned removes a previously registered versioned observer
+// (copy-on-write, like Observe). A notification already in flight may
+// still be delivered after removal; consumers discard by identity.
+func (t *Table) UnobserveVersioned(vo VersionedObserver) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i, x := range t.vobservers {
+		if x == vo {
+			obs := make([]VersionedObserver, 0, len(t.vobservers)-1)
+			obs = append(obs, t.vobservers[:i]...)
+			obs = append(obs, t.vobservers[i+1:]...)
+			t.vobservers = obs
+			return
+		}
+	}
+}
+
 func appendObservers(obs []Observer, o Observer) []Observer {
 	out := make([]Observer, len(obs), len(obs)+1)
 	copy(out, obs)
@@ -107,11 +152,19 @@ func (t *Table) Insert(row value.Row) error {
 	t.mu.Lock()
 	t.rows = append(t.rows, row)
 	t.version++
+	v := t.version
 	t.stats = nil
 	obs := t.observers
+	vobs := t.vobservers
 	t.mu.Unlock()
 	for _, o := range obs {
 		o.OnInsert(row)
+	}
+	// Versioned observers run after the plain ones, so when an event is
+	// processed at its own version the constraint indices already
+	// reflect it.
+	for _, vo := range vobs {
+		vo.OnMutation(v, row, nil)
 	}
 	return nil
 }
@@ -147,11 +200,20 @@ func (t *Table) Delete(match func(value.Row) bool) int {
 		t.version++
 		t.stats = nil
 	}
+	v := t.version
 	obs := t.observers
+	vobs := t.vobservers
 	t.mu.Unlock()
 	for _, r := range removed {
 		for _, o := range obs {
 			o.OnDelete(r)
+		}
+	}
+	// One batched versioned notification per version bump, after the
+	// plain observers so indices already reflect the removals.
+	if len(removed) > 0 {
+		for _, vo := range vobs {
+			vo.OnMutation(v, nil, removed)
 		}
 	}
 	return len(removed)

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/bounded-eval/beas/internal/access"
+	"github.com/bounded-eval/beas/internal/qcache"
 	"github.com/bounded-eval/beas/internal/schema"
 	"github.com/bounded-eval/beas/internal/storage"
 	"github.com/bounded-eval/beas/internal/value"
@@ -44,6 +45,18 @@ type Options struct {
 	// cache, WAL appends and fsync latency, durability gauges — into a
 	// metrics registry (see DB.SetMetrics). nil skips the wiring.
 	Metrics *MetricsRegistry
+	// ResultCache enables the semantic result cache (see
+	// DB.SetResultCache): fresh materialized answers of covered queries
+	// are served without re-execution and kept fresh incrementally under
+	// mutations. Off by default; answers are bit-identical either way.
+	ResultCache bool
+	// ResultCacheMaxBytes bounds the result tier's memory (approximate
+	// byte accounting, LRU eviction). 0 keeps the default (64 MiB).
+	ResultCacheMaxBytes int64
+	// PlanCacheMaxBytes bounds the parsed-template tier's memory. The
+	// template tier is always on — it replaces the former unbounded plan
+	// cache. 0 keeps the default (16 MiB).
+	PlanCacheMaxBytes int64
 }
 
 const defaultSnapshotEvery = 100_000
@@ -121,6 +134,10 @@ func Open(dir string, opts *Options) (*DB, error) {
 		return nil, fmt.Errorf("beas: opening %s: %w", dir, err)
 	}
 	db := NewDB()
+	// Replace the default cache before any statement can populate it:
+	// replay below mutates tables directly (observers attach lazily at
+	// the first Store, so replay events are never mis-seen either way).
+	db.qc = qcache.New(o.PlanCacheMaxBytes, o.ResultCacheMaxBytes, o.ResultCache)
 	if o.Parallelism > 1 {
 		db.SetParallelism(o.Parallelism)
 	}

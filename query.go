@@ -3,6 +3,7 @@ package beas
 import (
 	"context"
 	"fmt"
+	"strings"
 	"time"
 
 	"github.com/bounded-eval/beas/internal/analyze"
@@ -11,7 +12,9 @@ import (
 	"github.com/bounded-eval/beas/internal/engine"
 	"github.com/bounded-eval/beas/internal/exec"
 	"github.com/bounded-eval/beas/internal/obs"
+	"github.com/bounded-eval/beas/internal/qcache"
 	"github.com/bounded-eval/beas/internal/sqlparser"
+	"github.com/bounded-eval/beas/internal/storage"
 	"github.com/bounded-eval/beas/internal/value"
 )
 
@@ -44,36 +47,35 @@ type parsed struct {
 	unionAll []bool // unionAll[i] applies between branch i-1 and i
 }
 
-// parse analyses sql through the plan cache, taking the catalog read
-// lock for the duration. Callers that go on to execute use parseLocked
-// under their own lock instead, so analysis and execution see the same
-// catalog.
+// parse analyses sql through the template cache, taking the catalog
+// read lock for the duration. Callers that go on to execute use
+// parseLocked under their own lock instead, so analysis and execution
+// see the same catalog.
 func (db *DB) parse(sql string) (*parsed, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	p, _, err := db.parseLocked(sql)
-	return p, err
+	t, _, err := db.parseLocked(sql)
+	if err != nil {
+		return nil, err
+	}
+	return t.Parsed.(*parsed), nil
 }
 
-// parseLocked parses and analyses sql through the plan cache. The caller
-// must hold db.mu (read suffices) and keep holding it while it uses the
-// returned analysis.
+// parseLocked parses and analyses sql through the bounded template
+// cache. The caller must hold db.mu (read suffices) and keep holding it
+// while it uses the returned analysis.
 //
 // Holding the lock across the cache lookup, the analysis and the store
 // closes the store-after-invalidate race: catalogVersion only advances
 // under the write lock, so while we hold the read lock a concurrent DDL
 // can neither invalidate the entry we just validated nor slip between
-// our version check and our Store — a stale cachedParse can never be
+// our version check and our PutTemplate — a stale template can never be
 // re-inserted over a newer catalog. It also guarantees the caller
 // executes against the same catalog the analysis saw.
-func (db *DB) parseLocked(sql string) (*parsed, bool, error) {
-	if hit, ok := db.planCache.Load(sql); ok {
-		if c := hit.(*cachedParse); c.version == db.catalogVersion {
-			db.cacheHits.Add(1)
-			return c.p, true, nil
-		}
+func (db *DB) parseLocked(sql string) (*qcache.Template, bool, error) {
+	if t, ok := db.qc.GetTemplate(sql, db.catalogVersion); ok {
+		return t, true, nil
 	}
-	db.cacheMisses.Add(1)
 	stmt, err := sqlparser.Parse(sql)
 	if err != nil {
 		return nil, false, err
@@ -94,18 +96,52 @@ func (db *DB) parseLocked(sql string) (*parsed, bool, error) {
 			return nil, false, fmt.Errorf("beas: UNION branches have different arities")
 		}
 	}
-	db.planCache.Store(sql, &cachedParse{version: db.catalogVersion, p: p})
-	return p, false, nil
+	t := &qcache.Template{Text: sql, Parsed: p, Version: db.catalogVersion}
+	t.ResultKey, t.Shareable = resultKey(sql, p)
+	db.qc.PutTemplate(t)
+	return t, false, nil
+}
+
+// resultKey computes the canonical identity of a statement's answer:
+// the normalized fingerprints of all UNION branches (order and
+// UNION/UNION ALL placement preserved — branches contribute bound and
+// fetch statistics positionally) plus the extracted parameter vector.
+// Statements whose canonical form is not shareable — an unknown
+// expression shape, or an equality class carrying several
+// constant-bearing conjuncts whose order affects probe order — fall
+// back to the literal text, so they still cache, just without
+// cross-text sharing.
+func resultKey(sql string, p *parsed) (string, bool) {
+	var b strings.Builder
+	var params []value.Value
+	for i, q := range p.branches {
+		fp, ps, ok := analyze.Canonical(q)
+		if !ok {
+			return "!text\x00" + sql, false
+		}
+		if i > 0 {
+			if p.unionAll[i] {
+				b.WriteString("\x1fUA\x1f")
+			} else {
+				b.WriteString("\x1fU\x1f")
+			}
+		}
+		b.WriteString(fp)
+		params = append(params, ps...)
+	}
+	b.WriteByte(0)
+	b.WriteString(value.Key(params))
+	return b.String(), true
 }
 
 // parseSpanLocked is parseLocked under a "parse" span annotated with the
-// plan-cache outcome. Callers hold db.mu (read suffices).
-func (db *DB) parseSpanLocked(ctx context.Context, sql string) (*parsed, error) {
+// template-cache outcome. Callers hold db.mu (read suffices).
+func (db *DB) parseSpanLocked(ctx context.Context, sql string) (*qcache.Template, error) {
 	_, sp := obs.StartSpan(ctx, "parse")
-	p, hit, err := db.parseLocked(sql)
+	t, hit, err := db.parseLocked(sql)
 	sp.Set("planCacheHit", hit)
 	sp.End()
-	return p, err
+	return t, err
 }
 
 // Check runs the BE Checker: is the query covered by the registered
@@ -128,10 +164,11 @@ func (db *DB) CheckContext(ctx context.Context, sql string) (*CheckInfo, error) 
 	defer finish()
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	p, err := db.parseSpanLocked(ctx, sql)
+	tmpl, err := db.parseSpanLocked(ctx, sql)
 	if err != nil {
 		return nil, err
 	}
+	p := tmpl.Parsed.(*parsed)
 	info := &CheckInfo{Covered: true, EmptyGuaranteed: true}
 	var planText string
 	for i, q := range p.branches {
@@ -208,13 +245,55 @@ func (db *DB) query(ctx context.Context, sql string, allowFallback bool) (*Resul
 	defer finish()
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	p, err := db.parseSpanLocked(ctx, sql)
+	tmpl, err := db.parseSpanLocked(ctx, sql)
 	if err != nil {
 		return nil, err
 	}
+	p := tmpl.Parsed.(*parsed)
 	start := time.Now()
+
+	// Semantic result cache: serve a fresh materialized answer before
+	// even running the checker. A hit is only possible for fully covered
+	// statements, so the fallback policy cannot differ.
+	cacheOn := db.qc.ResultsEnabled()
+	if cacheOn {
+		_, sp := obs.StartSpan(ctx, "cache")
+		if cr, ok := db.qc.GetResult(tmpl.ResultKey); ok {
+			sp.Set("hit", true)
+			sp.End()
+			return db.serveCachedLocked(&cr, start), nil
+		}
+		sp.Set("hit", false)
+		sp.End()
+	}
+
+	// Storing an answer needs every base-table version from *before*
+	// execution: Store re-checks them so an interleaved mutation can
+	// never be double-counted (once in the answer, once as a patch).
+	cacheable := cacheOn
+	var tvs []qcache.TableVersion
+	if cacheable {
+		seen := make(map[*storage.Table]bool)
+		for _, q := range p.branches {
+			for _, a := range q.Atoms {
+				t, ok := db.store.Table(a.Rel.Name)
+				if !ok {
+					cacheable = false
+					break
+				}
+				if !seen[t] {
+					seen[t] = true
+					tvs = append(tvs, qcache.TableVersion{Table: t, Version: t.Version()})
+				}
+			}
+		}
+	}
+
 	res := &Result{Columns: p.branches[0].OutputNames(), Stats: Stats{Mode: ModeBounded, Covered: true, Optimized: db.optzr != nil}}
 	var rows []value.Row
+	var cacheSteps []core.StepStat
+	var regs []qcache.StepReg
+	var firstPlan *core.Plan
 	for i, q := range p.branches {
 		chk := db.checkSpanLocked(ctx, q)
 		var branchRows []value.Row
@@ -224,11 +303,32 @@ func (db *DB) query(ctx context.Context, sql string, allowFallback bool) (*Resul
 			if err != nil {
 				return nil, err
 			}
-			branchRows, err = db.runBounded(ctx, plan, chk, res)
+			plan.CollectKeys = cacheable
+			var st *core.Stats
+			branchRows, st, err = db.runBounded(ctx, plan, chk, res)
 			if err != nil {
 				return nil, err
 			}
+			if cacheable {
+				if i == 0 {
+					firstPlan = plan
+				}
+				for si := range plan.Steps {
+					t, ok := db.store.Table(q.Atoms[plan.Steps[si].Atom].Rel.Name)
+					if !ok {
+						cacheable = false
+						break
+					}
+					var keys []string
+					if st.StepKeys != nil {
+						keys = st.StepKeys[si]
+					}
+					regs = append(regs, qcache.StepReg{Table: t, Step: &plan.Steps[si], Keys: keys, StatIdx: len(cacheSteps) + si})
+				}
+				cacheSteps = append(cacheSteps, st.Steps...)
+			}
 		case allowFallback:
+			cacheable = false
 			var err error
 			branchRows, err = db.runPartial(ctx, q, chk, res)
 			if err != nil {
@@ -244,6 +344,27 @@ func (db *DB) query(ctx context.Context, sql string, allowFallback bool) (*Resul
 		}
 	}
 	res.Rows = rows
+	if cacheable {
+		db.qc.Store(&qcache.StoreRequest{
+			Key: tmpl.ResultKey,
+			Result: &qcache.CachedResult{
+				Columns:         res.Columns,
+				Rows:            rows,
+				Bound:           res.Stats.Bound,
+				ConstraintsUsed: res.Stats.ConstraintsUsed,
+				TuplesFetched:   res.Stats.TuplesFetched,
+				Steps:           cacheSteps,
+				Plan:            res.Stats.Plan,
+				Optimized:       res.Stats.Optimized,
+			},
+			Branches:    len(p.branches),
+			Query:       p.branches[0],
+			Plan:        firstPlan,
+			Steps:       regs,
+			Tables:      tvs,
+			OptimizerOn: db.optzr != nil,
+		})
+	}
 	res.Stats.Duration = time.Since(start)
 	if res.Stats.Mode == ModeBounded && res.Stats.TuplesFetched == 0 && res.Stats.Bound == 0 {
 		res.Stats.Mode = ModeEmpty
@@ -251,16 +372,42 @@ func (db *DB) query(ctx context.Context, sql string, allowFallback bool) (*Resul
 	return res, nil
 }
 
+// serveCachedLocked materializes a Result from a cache hit. Everything
+// data-derived — rows, order, bound, fetch statistics — is the stored
+// (patch-maintained) answer; Duration is this serve and CacheHit marks
+// the result. Callers hold db.mu (read suffices).
+func (db *DB) serveCachedLocked(cr *qcache.CachedResult, start time.Time) *Result {
+	res := &Result{Columns: cr.Columns, Rows: cr.Rows, Stats: Stats{
+		Mode:            ModeBounded,
+		Covered:         true,
+		Optimized:       db.optzr != nil,
+		Bound:           cr.Bound,
+		ConstraintsUsed: cr.ConstraintsUsed,
+		TuplesFetched:   cr.TuplesFetched,
+		Plan:            cr.Plan,
+		CacheHit:        true,
+	}}
+	for _, s := range cr.Steps {
+		res.Stats.FetchSteps = append(res.Stats.FetchSteps, StepStat(s))
+	}
+	res.Stats.Duration = time.Since(start)
+	if res.Stats.TuplesFetched == 0 && res.Stats.Bound == 0 {
+		res.Stats.Mode = ModeEmpty
+	}
+	return res
+}
+
 // runBounded executes a bounded plan — across db.par workers when
-// parallelism is on — and folds its statistics into res.
-func (db *DB) runBounded(ctx context.Context, plan *core.Plan, chk *core.CheckResult, res *Result) ([]value.Row, error) {
+// parallelism is on — and folds its statistics into res. The raw
+// executor stats are also returned for result-cache registration.
+func (db *DB) runBounded(ctx context.Context, plan *core.Plan, chk *core.CheckResult, res *Result) ([]value.Row, *core.Stats, error) {
 	db.vecPlanLocked(plan)
 	ectx, esp := obs.StartSpan(ctx, "execute")
 	rows, st, err := core.RunParallelContext(ectx, plan, db.par)
 	esp.Set("mode", "bounded").Set("fetched", st.Fetched).Set("rows", st.RowsOut)
 	esp.End()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	res.Stats.Bound = satAdd(res.Stats.Bound, chk.TotalBound)
 	res.Stats.ConstraintsUsed += chk.ConstraintsUsed
@@ -269,7 +416,7 @@ func (db *DB) runBounded(ctx context.Context, plan *core.Plan, chk *core.CheckRe
 		res.Stats.FetchSteps = append(res.Stats.FetchSteps, StepStat(s))
 	}
 	res.Stats.Plan += plan.Describe()
-	return rows, nil
+	return rows, st, nil
 }
 
 // runPartial executes a partially bounded plan and folds statistics.
@@ -324,10 +471,11 @@ func (db *DB) QueryBaselineContext(ctx context.Context, sql string, baseline Bas
 	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	p, _, err := db.parseLocked(sql)
+	tmpl, _, err := db.parseLocked(sql)
 	if err != nil {
 		return nil, err
 	}
+	p := tmpl.Parsed.(*parsed)
 	start := time.Now()
 	eng := engine.New(db.store, prof).WithVectorized(!db.vecOff).WithBatchSize(db.batch)
 	res := &Result{Columns: p.branches[0].OutputNames(), Stats: Stats{Mode: ModeConventional}}
@@ -361,24 +509,29 @@ func (db *DB) QueryApprox(sql string, budget int64) (*Result, float64, error) {
 }
 
 // QueryApproxContext is QueryApprox under a context: cancellation halts
-// the budgeted fetch loop and returns ctx's error.
+// the budgeted fetch loop and returns ctx's error. Like Query, it runs
+// under a trace (parse / check / optimize spans) and honors the
+// cost-based optimizer's step ordering.
 func (db *DB) QueryApproxContext(ctx context.Context, sql string, budget int64) (*Result, float64, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, 0, err
 	}
+	ctx, finish := db.startTrace(ctx, "approx", sql)
+	defer finish()
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	p, _, err := db.parseLocked(sql)
+	tmpl, err := db.parseSpanLocked(ctx, sql)
 	if err != nil {
 		return nil, 0, err
 	}
+	p := tmpl.Parsed.(*parsed)
 	start := time.Now()
-	res := &Result{Columns: p.branches[0].OutputNames(), Stats: Stats{Mode: ModeBounded, Covered: true}}
+	res := &Result{Columns: p.branches[0].OutputNames(), Stats: Stats{Mode: ModeBounded, Covered: true, Optimized: db.optzr != nil}}
 	coverage := 1.0
 	remaining := budget
 	var rows []value.Row
 	for i, q := range p.branches {
-		chk := core.Check(q, db.access)
+		chk := db.checkSpanLocked(ctx, q)
 		if !chk.Covered {
 			return nil, 0, fmt.Errorf("beas: approximation requires a covered query: %s", chk.Reason)
 		}

@@ -87,6 +87,12 @@ type Stats struct {
 	Duration   time.Duration
 	// Plan is a human-readable plan description.
 	Plan string
+	// CacheHit reports that the answer was served from the semantic
+	// result cache rather than executed. Cache metadata only: a hit
+	// carries the same rows, order and data-derived statistics the
+	// execution would have produced, so equivalence comparisons must
+	// ignore this field (and Duration).
+	CacheHit bool
 }
 
 // Result is a query result.

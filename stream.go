@@ -5,9 +5,12 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/bounded-eval/beas/internal/analyze"
 	"github.com/bounded-eval/beas/internal/core"
 	"github.com/bounded-eval/beas/internal/iter"
 	"github.com/bounded-eval/beas/internal/obs"
+	"github.com/bounded-eval/beas/internal/qcache"
+	"github.com/bounded-eval/beas/internal/storage"
 	"github.com/bounded-eval/beas/internal/value"
 )
 
@@ -41,6 +44,27 @@ type RowIter struct {
 	opened bool
 	closed bool
 	err    error
+
+	// Store-on-drain state for the semantic result cache. A cursor that
+	// streams a fully covered statement to exhaustion has materialised
+	// the complete bounded answer anyway (it is at most the deduced
+	// bound M rows), so Close admits it exactly like Query does; an
+	// abandoned or failed cursor has a partial answer and never stores.
+	cacheOK   bool
+	cacheKey  string
+	cacheTvs  []qcache.TableVersion
+	cacheBr   []cachedBranch
+	branches  int
+	cacheRows []value.Row
+	drained   bool
+}
+
+// cachedBranch pins one covered branch's plan, analysis and executor
+// statistics for result-cache registration at Close.
+type cachedBranch struct {
+	plan *core.Plan
+	q    *analyze.Query
+	st   *core.Stats
 }
 
 // QueryIter evaluates sql exactly like Query — bounded when covered,
@@ -71,10 +95,11 @@ func (db *DB) QueryIterContext(ctx context.Context, sql string) (*RowIter, error
 			finishTrace()
 		}
 	}()
-	p, err := db.parseSpanLocked(ctx, sql)
+	tmpl, err := db.parseSpanLocked(ctx, sql)
 	if err != nil {
 		return nil, err
 	}
+	p := tmpl.Parsed.(*parsed)
 
 	ri := &RowIter{
 		db:      db,
@@ -83,6 +108,58 @@ func (db *DB) QueryIterContext(ctx context.Context, sql string) (*RowIter, error
 		res:     &Result{Columns: p.branches[0].OutputNames(), Stats: Stats{Mode: ModeBounded, Covered: true, Optimized: db.optzr != nil}},
 	}
 	ri.finish = finishTrace
+
+	// Semantic result cache: a fresh materialized answer streams from the
+	// snapshot instead of re-executing. On a miss the cursor accumulates
+	// the bounded answer as it drains and stores it at Close — but only
+	// when the consumer read the stream to exhaustion without error.
+	if db.qc.ResultsEnabled() {
+		_, sp := obs.StartSpan(ctx, "cache")
+		if cr, hit := db.qc.GetResult(tmpl.ResultKey); hit {
+			sp.Set("hit", true)
+			sp.End()
+			ri.res.Stats.Bound = cr.Bound
+			ri.res.Stats.ConstraintsUsed = cr.ConstraintsUsed
+			ri.res.Stats.Plan = cr.Plan
+			ri.res.Stats.CacheHit = true
+			tf := cr.TuplesFetched
+			steps := cr.Steps
+			ri.final = append(ri.final, func() {
+				ri.res.Stats.TuplesFetched += tf
+				for _, s := range steps {
+					ri.res.Stats.FetchSteps = append(ri.res.Stats.FetchSteps, StepStat(s))
+				}
+			})
+			ri.it = iter.FromRows(cr.Rows, nil)
+			ok = true
+			return ri, nil
+		}
+		sp.Set("hit", false)
+		sp.End()
+	}
+
+	// Storing needs every base-table version from *before* execution:
+	// Store re-checks them so a mutation interleaved with the drain can
+	// never be double-counted (once in the answer, once as a patch).
+	cacheable := db.qc.ResultsEnabled()
+	var tvs []qcache.TableVersion
+	if cacheable {
+		seen := make(map[*storage.Table]bool)
+		for _, q := range p.branches {
+			for _, a := range q.Atoms {
+				t, ok := db.store.Table(a.Rel.Name)
+				if !ok {
+					cacheable = false
+					break
+				}
+				if !seen[t] {
+					seen[t] = true
+					tvs = append(tvs, qcache.TableVersion{Table: t, Version: t.Version()})
+				}
+			}
+		}
+	}
+
 	parts := make([]iter.Iterator, 0, len(p.branches))
 	for _, q := range p.branches {
 		chk := db.checkSpanLocked(ctx, q)
@@ -91,6 +168,7 @@ func (db *DB) QueryIterContext(ctx context.Context, sql string) (*RowIter, error
 			if err != nil {
 				return nil, err
 			}
+			plan.CollectKeys = cacheable
 			var it iter.Iterator
 			var cst *core.Stats
 			if db.par > 1 {
@@ -117,9 +195,13 @@ func (db *DB) QueryIterContext(ctx context.Context, sql string) (*RowIter, error
 					ri.res.Stats.FetchSteps = append(ri.res.Stats.FetchSteps, StepStat(s))
 				}
 			})
+			if cacheable {
+				ri.cacheBr = append(ri.cacheBr, cachedBranch{plan: plan, q: q, st: cst})
+			}
 			parts = append(parts, it)
 			continue
 		}
+		cacheable = false
 		// Not covered: partially bounded plan. The bounded sub-query runs
 		// eagerly here (its size is bounded by the access schema); the
 		// conventional join over it streams.
@@ -161,6 +243,10 @@ func (db *DB) QueryIterContext(ctx context.Context, sql string) (*RowIter, error
 		}
 	}
 	ri.it = &unionIter{parts: parts, dedupThrough: dedupThrough}
+	ri.cacheOK = cacheable
+	ri.cacheKey = tmpl.ResultKey
+	ri.cacheTvs = tvs
+	ri.branches = len(p.branches)
 	if tr, parent := obs.FromContext(ctx); tr != nil {
 		// The stream span measures time spent pulling result batches
 		// through the cursor — including the upstream pipeline; the fetch
@@ -200,8 +286,16 @@ func (ri *RowIter) NextBatch() ([]Row, error) {
 		return nil, err
 	}
 	if !ok {
+		ri.drained = true
 		ri.Close()
 		return nil, nil
+	}
+	if ri.cacheOK {
+		// Batch storage is reused between pulls; the cache keeps its own
+		// copy of each row.
+		for _, r := range ri.batch.Rows {
+			ri.cacheRows = append(ri.cacheRows, append(value.Row(nil), r...))
+		}
 	}
 	return ri.batch.Rows, nil
 }
@@ -243,6 +337,9 @@ func (ri *RowIter) Close() error {
 	if st.Mode == ModeBounded && st.TuplesFetched == 0 && st.Bound == 0 {
 		st.Mode = ModeEmpty
 	}
+	if ri.cacheOK && ri.drained && err == nil && ri.err == nil {
+		ri.storeDrainedLocked()
+	}
 	ri.db.mu.RUnlock()
 	if ri.finish != nil {
 		ri.finish()
@@ -251,6 +348,54 @@ func (ri *RowIter) Close() error {
 		ri.err = err
 	}
 	return err
+}
+
+// storeDrainedLocked admits the fully drained answer into the result
+// cache, registering the same per-step probed-key sets, base-table
+// versions and bound guards Query's store path does. Called under
+// db.mu (read) from Close, with execution statistics already folded.
+func (ri *RowIter) storeDrainedLocked() {
+	var cacheSteps []core.StepStat
+	var regs []qcache.StepReg
+	for _, cb := range ri.cacheBr {
+		for si := range cb.plan.Steps {
+			t, ok := ri.db.store.Table(cb.q.Atoms[cb.plan.Steps[si].Atom].Rel.Name)
+			if !ok {
+				return
+			}
+			var keys []string
+			if cb.st.StepKeys != nil {
+				keys = cb.st.StepKeys[si]
+			}
+			regs = append(regs, qcache.StepReg{Table: t, Step: &cb.plan.Steps[si], Keys: keys, StatIdx: len(cacheSteps) + si})
+		}
+		cacheSteps = append(cacheSteps, cb.st.Steps...)
+	}
+	st := &ri.res.Stats
+	var firstPlan *core.Plan
+	var q0 *analyze.Query
+	if len(ri.cacheBr) > 0 {
+		firstPlan, q0 = ri.cacheBr[0].plan, ri.cacheBr[0].q
+	}
+	ri.db.qc.Store(&qcache.StoreRequest{
+		Key: ri.cacheKey,
+		Result: &qcache.CachedResult{
+			Columns:         ri.res.Columns,
+			Rows:            ri.cacheRows,
+			Bound:           st.Bound,
+			ConstraintsUsed: st.ConstraintsUsed,
+			TuplesFetched:   st.TuplesFetched,
+			Steps:           cacheSteps,
+			Plan:            st.Plan,
+			Optimized:       st.Optimized,
+		},
+		Branches:    ri.branches,
+		Query:       q0,
+		Plan:        firstPlan,
+		Steps:       regs,
+		Tables:      ri.cacheTvs,
+		OptimizerOn: ri.db.optzr != nil,
+	})
 }
 
 // Stats returns the execution statistics. Counters accrue while the

@@ -5,6 +5,7 @@ import (
 
 	"github.com/bounded-eval/beas/internal/access"
 	"github.com/bounded-eval/beas/internal/engine"
+	"github.com/bounded-eval/beas/internal/qcache"
 	"github.com/bounded-eval/beas/internal/schema"
 	"github.com/bounded-eval/beas/internal/stats"
 	"github.com/bounded-eval/beas/internal/storage"
@@ -79,6 +80,7 @@ func newTLCBackedDB(sch *schema.Database, store *storage.Store) *DB {
 	db.access = access.NewSchema(store)
 	db.statsCat = stats.NewCatalog(store, db.access)
 	db.fallback = engine.New(store, engine.ProfilePostgres)
+	db.qc = qcache.New(0, 0, false)
 	return db
 }
 

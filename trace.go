@@ -96,6 +96,33 @@ func (db *DB) SetMetrics(reg *MetricsRegistry) {
 		_, m := db.PlanCacheStats()
 		return int64(m)
 	})
+	reg.CounterFunc("beas_result_cache_hits_total", "Queries served from the semantic result cache.", nil, func() int64 {
+		return int64(db.ResultCacheStats().Hits)
+	})
+	reg.CounterFunc("beas_result_cache_misses_total", "Result-cache lookups that missed (or found a stale entry).", nil, func() int64 {
+		return int64(db.ResultCacheStats().Misses)
+	})
+	reg.CounterFunc("beas_result_cache_stores_total", "Materialized answers admitted into the result cache.", nil, func() int64 {
+		return int64(db.ResultCacheStats().Stores)
+	})
+	reg.CounterFunc("beas_result_cache_patches_total", "Cached answers patched in place under mutations.", nil, func() int64 {
+		return int64(db.ResultCacheStats().Patches)
+	})
+	reg.CounterFunc("beas_result_cache_invalidations_total", "Cached answers invalidated by relevant mutations or DDL.", nil, func() int64 {
+		return int64(db.ResultCacheStats().Invalidations)
+	})
+	reg.CounterFunc("beas_result_cache_evictions_total", "Cached answers evicted by the byte budget (LRU).", nil, func() int64 {
+		return int64(db.ResultCacheStats().Evictions)
+	})
+	reg.GaugeFunc("beas_result_cache_entries", "Live entries in the result tier.", nil, func() float64 {
+		return float64(db.ResultCacheStats().Entries)
+	})
+	reg.GaugeFunc("beas_result_cache_bytes", "Approximate bytes held by the result tier.", nil, func() float64 {
+		return float64(db.ResultCacheStats().Bytes)
+	})
+	reg.GaugeFunc("beas_plan_cache_bytes", "Approximate bytes held by the template tier.", nil, func() float64 {
+		return float64(db.ResultCacheStats().TemplateBytes)
+	})
 	reg.GaugeFunc("beas_wal_size_bytes", "On-disk size of all live WAL segments.", nil, func() float64 {
 		return float64(db.Durability().WALBytes)
 	})
