@@ -96,6 +96,11 @@ type DB struct {
 	// queries in flight.
 	tracer atomic.Pointer[obs.Tracer]
 
+	// digests, when non-nil, aggregates per-fingerprint workload
+	// statistics across finished queries (SetDigests). Atomic like
+	// tracer: with digests off the query path pays one load + nil check.
+	digests atomic.Pointer[obs.DigestSet]
+
 	// Durable state (open.go). wal is nil for in-memory databases and
 	// after Close; walDir stays set so Durability keeps reporting. Every
 	// mutator appends its logical record under db.mu (write) before

@@ -18,6 +18,7 @@
 //	\baseline pg|mysql|mariadb SELECT ...;  run on an emulated DBMS
 //	\approx BUDGET SELECT ...;  resource-bounded approximation
 //	\trace on|off               print the span trace of each query
+//	\digests                    per-statement workload digests (latency, drift)
 //	\constraints                list the access schema
 //	\queries                    list the built-in TLC queries
 //	\q NAME                     run a built-in TLC query (e.g. \q Q1)
@@ -60,6 +61,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "beas:", err)
 		os.Exit(1)
 	}
+	// Digests are cheap (one atomic load per query when idle) and make
+	// \digests useful out of the box for interactive sessions.
+	db.SetDigests(beas.NewDigestSet(64))
 	fmt.Printf("BEAS shell — %d rows loaded, %d access constraints registered\n",
 		db.TotalRows(), len(db.Constraints()))
 	fmt.Println(`type SQL terminated by ';', or \help`)
@@ -184,8 +188,45 @@ func command(db *beas.DB, line string) bool {
   \trace on|off               print each query's span trace
   \baseline pg|mysql|mariadb SELECT ...
   \approx BUDGET SELECT ...   resource-bounded approximation
+  \digests                    per-statement workload digests (latency, drift)
   \constraints  \queries  \q NAME  \tables
   \snapshot  \durability  \quit`)
+	case "\\digests":
+		d := db.Digests()
+		if d == nil {
+			fmt.Println("workload digests are disabled")
+			return true
+		}
+		snaps := d.Snapshot()
+		if len(snaps) == 0 {
+			fmt.Println("no statements digested yet")
+			return true
+		}
+		fmt.Printf("  %-6s %6s %8s %8s %8s %8s  %-5s %s\n",
+			"calls", "errs", "p50ms", "p95ms", "totalms", "drift", "hit%", "statement")
+		for _, s := range snaps {
+			hitPct := 0.0
+			if s.Calls > 0 {
+				hitPct = 100 * float64(s.CacheHits) / float64(s.Calls)
+			}
+			drift := "-"
+			if s.EstCalls > 0 {
+				drift = fmt.Sprintf("%.2fx", s.DriftRatio)
+				if s.Drifting {
+					drift += "!"
+				}
+			}
+			// One table row per statement: collapse internal newlines
+			// before truncating.
+			sql := strings.Join(strings.Fields(s.ExampleSQL), " ")
+			if len(sql) > 60 {
+				sql = sql[:57] + "..."
+			}
+			fmt.Printf("  %-6d %6d %8.2f %8.2f %8.1f %8s  %4.0f%% %s\n",
+				s.Calls, s.Errors+s.Cancels, s.P50MS, s.P95MS, s.TotalMS, drift, hitPct, sql)
+		}
+		fmt.Printf("  %d statements retained (top-K by total time), %d observations, %d evicted\n",
+			len(snaps), d.Observations(), d.Evictions())
 	case "\\constraints":
 		for _, c := range db.Constraints() {
 			fmt.Println(" ", c)

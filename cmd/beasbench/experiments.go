@@ -315,6 +315,15 @@ func (h *harness) maint() {
 // the columnar scan, vectorized filters and columnar join/aggregate
 // tails engage. Run once with -novec to record BENCH_baseline.json and
 // once without for BENCH_columnar.json; cmd/benchgate compares the two.
+// vectorQueries are the E10 shapes: a selective scan, a join probe and a
+// grouped aggregate. The digest-overhead experiment (E12) times the same
+// shapes, so the two stay one list.
+var vectorQueries = []struct{ name, sql string }{
+	{"scan-filter", "SELECT pnum, duration, charge FROM call WHERE duration > 30 AND charge > 1.0 AND roaming_flag = 0"},
+	{"join-probe", "SELECT call.region, package.pid FROM call, package WHERE call.pnum = package.pnum"},
+	{"agg-group", "SELECT region, COUNT(*) AS calls, SUM(duration) AS total_s, MAX(charge) AS top FROM call GROUP BY region"},
+}
+
 func (h *harness) vector() {
 	mode := "vectorized"
 	if h.novec {
@@ -322,13 +331,8 @@ func (h *harness) vector() {
 	}
 	h.banner(fmt.Sprintf("E10: vectorized execution suite at scale %d — %s", h.scale, mode))
 	db := h.db(h.scale)
-	queries := []struct{ name, sql string }{
-		{"scan-filter", "SELECT pnum, duration, charge FROM call WHERE duration > 30 AND charge > 1.0 AND roaming_flag = 0"},
-		{"join-probe", "SELECT call.region, package.pid FROM call, package WHERE call.pnum = package.pnum"},
-		{"agg-group", "SELECT region, COUNT(*) AS calls, SUM(duration) AS total_s, MAX(charge) AS top FROM call GROUP BY region"},
-	}
 	var rows [][]string
-	for _, q := range queries {
+	for _, q := range vectorQueries {
 		d, res, err := h.timeBaseline(db, q.sql, beas.BaselinePostgres)
 		if err != nil {
 			fmt.Println("error:", err)
@@ -429,6 +433,87 @@ func (h *harness) cache() {
 	fmt.Printf("  cache counters: %d hits, %d misses, %d stores, %d invalidations, %d entries (%d bytes)\n",
 		s.Hits, s.Misses, s.Stores, s.Invalidations, s.Entries, s.Bytes)
 	fmt.Printf("  workload: cold %s ms, steady %s ms (%s)\n", ms(workloadCold), ms(workloadWarm), ratio(workloadCold, workloadWarm))
+}
+
+// digest (E12): workload-digest overhead — the vectorized suite shapes
+// timed with digests off and on, interleaved run by run in one process.
+// Separate processes differ by far more than the 2% the overhead gate
+// allows (allocator layout, CPU frequency, co-tenancy), so both
+// configurations share a process: -json receives the digests-on records
+// and -json-baseline the digests-off records under identical keys,
+// exactly the pair cmd/benchgate compares. Per-shape records are filed
+// under `digestshape` (informational); the gated record is the `digest`
+// suite aggregate.
+func (h *harness) digest() {
+	h.banner(fmt.Sprintf("E12: workload-digest overhead at scale %d — off vs on, interleaved", h.scale))
+	// A fresh database, not h.db's shared one: -digests must not leak a
+	// digest set into the off half of the comparison.
+	db := beas.MustNewTLCDB(h.scale)
+	if h.novec {
+		db.SetVectorized(false)
+	}
+	set := beas.NewDigestSet(128)
+
+	var rows [][]string
+	var totalOff, totalOn time.Duration
+	for _, q := range vectorQueries {
+		// db.Query, not QueryBaseline: the digest wrapper sits on the
+		// product query path, and the off half must pay exactly the same
+		// path minus one atomic load.
+		run := func(d *beas.DigestSet) (*beas.Result, error) {
+			db.SetDigests(d)
+			return db.Query(q.sql)
+		}
+		// One untimed warm-up per configuration.
+		for _, d := range []*beas.DigestSet{nil, set} {
+			if _, err := run(d); err != nil {
+				fmt.Println("error:", err)
+				return
+			}
+		}
+		offMin, onMin := time.Duration(1<<62), time.Duration(1<<62)
+		var offRes, onRes *beas.Result
+		for i := 0; i < h.runs; i++ {
+			// Alternate which configuration goes first: the second run of
+			// a pair tends to absorb the first run's GC debt, and that
+			// bias must not land on one side of the comparison.
+			order := []*beas.DigestSet{nil, set}
+			if i%2 == 1 {
+				order[0], order[1] = order[1], order[0]
+			}
+			for _, d := range order {
+				r, err := run(d)
+				if err != nil {
+					fmt.Println("error:", err)
+					return
+				}
+				if d == nil {
+					if r.Stats.Duration < offMin {
+						offMin = r.Stats.Duration
+					}
+					offRes = r
+				} else {
+					if r.Stats.Duration < onMin {
+						onMin = r.Stats.Duration
+					}
+					onRes = r
+				}
+			}
+		}
+		h.recordBaseline("digestshape", q.name, h.scale, offMin, offRes)
+		h.record("digestshape", q.name, h.scale, onMin, onRes)
+		totalOff += offMin
+		totalOn += onMin
+		rows = append(rows, []string{q.name, ms(offMin), ms(onMin),
+			fmt.Sprintf("%.3fx", float64(onMin)/float64(offMin))})
+	}
+	h.recordBaseline("digest", "suite-total", h.scale, totalOff, nil)
+	h.record("digest", "suite-total", h.scale, totalOn, nil)
+	rows = append(rows, []string{"suite-total", ms(totalOff), ms(totalOn),
+		fmt.Sprintf("%.3fx", float64(totalOn)/float64(totalOff))})
+	table([]string{"shape", "digests off (ms)", "digests on (ms)", "on/off"}, rows)
+	fmt.Printf("  digest set after the on-runs: %d fingerprints, %d observations\n",
+		set.Len(), set.Observations())
 }
 
 func indent(s, pad string) string {

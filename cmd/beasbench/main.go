@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	beasbench -exp example2|fig3|fig4|queries|budget|partial|discovery|approx|maint|all
+//	beasbench -exp example2|fig3|fig4|queries|budget|partial|discovery|approx|maint|vector|cache|digest|all
 //	          [-scale N] [-scales 1,2,5,10,20] [-runs 3]
 //
 // Scale factors stand in for the paper's 1 GB → 200 GB sweep: row counts
@@ -24,13 +24,15 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: example2, fig3, fig4, queries, budget, partial, discovery, approx, maint, vector, all")
+	exp := flag.String("exp", "all", "experiment: example2, fig3, fig4, queries, budget, partial, discovery, approx, maint, vector, cache, digest, all")
 	scale := flag.Int("scale", 5, "TLC scale factor for single-scale experiments")
 	scales := flag.String("scales", "1,2,5,10,20", "comma-separated scale factors for the fig4 sweep")
 	runs := flag.Int("runs", 3, "timing repetitions (the minimum is reported)")
 	jsonOut := flag.String("json", "", "also write machine-readable per-experiment timings (name, scale, runs, ns/op, rows fetched) to this file")
+	jsonBase := flag.String("json-baseline", "", "write the digest experiment's digests-off timings to this file; with -json it forms the baseline/current pair cmd/benchgate compares")
 	noVec := flag.Bool("novec", false, "disable vectorized (columnar) execution; use to record the scalar baseline")
 	rcache := flag.Bool("rcache", false, "enable the semantic result cache on the benchmark databases; use to record the warm-cache run the cache experiment compares against")
+	digests := flag.Bool("digests", false, "enable workload digests on the benchmark databases; use to measure the digest layer's overhead against a digests-off run")
 	flag.Parse()
 
 	sc, err := parseScales(*scales)
@@ -38,16 +40,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "beasbench:", err)
 		os.Exit(2)
 	}
-	h := &harness{scale: *scale, scales: sc, runs: *runs, novec: *noVec, rcache: *rcache}
+	h := &harness{scale: *scale, scales: sc, runs: *runs, novec: *noVec, rcache: *rcache, digests: *digests}
 	defer func() {
-		if *jsonOut == "" {
-			return
+		write := func(path string, recs []benchRecord) {
+			if path == "" {
+				return
+			}
+			if err := writeJSON(path, recs); err != nil {
+				fmt.Fprintln(os.Stderr, "beasbench:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("\nwrote %d timing records to %s\n", len(recs), path)
 		}
-		if err := h.writeJSON(*jsonOut); err != nil {
-			fmt.Fprintln(os.Stderr, "beasbench:", err)
-			os.Exit(1)
-		}
-		fmt.Printf("\nwrote %d timing records to %s\n", len(h.records), *jsonOut)
+		write(*jsonOut, h.records)
+		write(*jsonBase, h.baseRecords)
 	}()
 
 	all := map[string]func(){
@@ -62,9 +68,10 @@ func main() {
 		"maint":     h.maint,
 		"vector":    h.vector,
 		"cache":     h.cache,
+		"digest":    h.digest,
 	}
 	if *exp == "all" {
-		for _, name := range []string{"example2", "fig3", "fig4", "queries", "budget", "partial", "discovery", "approx", "maint", "vector", "cache"} {
+		for _, name := range []string{"example2", "fig3", "fig4", "queries", "budget", "partial", "discovery", "approx", "maint", "vector", "cache", "digest"} {
 			all[name]()
 		}
 		return
@@ -90,14 +97,18 @@ func parseScales(s string) ([]int, error) {
 }
 
 type harness struct {
-	scale  int
-	scales []int
-	runs   int
-	novec  bool
-	rcache bool
+	scale   int
+	scales  []int
+	runs    int
+	novec   bool
+	rcache  bool
+	digests bool
 
 	dbCache map[int]*beas.DB
 	records []benchRecord
+	// baseRecords is the -json-baseline sink: the digests-off half of
+	// the digest experiment's interleaved comparison.
+	baseRecords []benchRecord
 }
 
 // benchRecord is one machine-readable timing: the -json output feeds the
@@ -120,13 +131,22 @@ type benchRecord struct {
 
 // record files one timing into the -json output.
 func (h *harness) record(exp, name string, scale int, d time.Duration, res *beas.Result) {
+	h.records = append(h.records, h.makeRecord(exp, name, scale, d, res))
+}
+
+// recordBaseline files one timing into the -json-baseline output.
+func (h *harness) recordBaseline(exp, name string, scale int, d time.Duration, res *beas.Result) {
+	h.baseRecords = append(h.baseRecords, h.makeRecord(exp, name, scale, d, res))
+}
+
+func (h *harness) makeRecord(exp, name string, scale int, d time.Duration, res *beas.Result) benchRecord {
 	rec := benchRecord{Experiment: exp, Name: name, Scale: scale, Runs: h.runs, NsPerOp: d.Nanoseconds()}
 	if res != nil {
 		rec.Rows = len(res.Rows)
 		rec.TuplesFetched = res.Stats.TuplesFetched
 		rec.TuplesScanned = res.Stats.TuplesScanned
 	}
-	h.records = append(h.records, rec)
+	return rec
 }
 
 // recordCache is record plus the database's cumulative result-cache
@@ -144,8 +164,8 @@ type benchOutput struct {
 	Records []benchRecord `json:"records"`
 }
 
-func (h *harness) writeJSON(path string) error {
-	out, err := json.MarshalIndent(benchOutput{Schema: "beasbench/v1", Records: h.records}, "", "  ")
+func writeJSON(path string, recs []benchRecord) error {
+	out, err := json.MarshalIndent(benchOutput{Schema: "beasbench/v1", Records: recs}, "", "  ")
 	if err != nil {
 		return err
 	}
@@ -166,6 +186,9 @@ func (h *harness) db(scale int) *beas.DB {
 	}
 	if h.rcache {
 		db.SetResultCache(true)
+	}
+	if h.digests {
+		db.SetDigests(beas.NewDigestSet(128))
 	}
 	h.dbCache[scale] = db
 	return db

@@ -22,11 +22,17 @@
 // /trace/<id>; every traced response carries an X-Beas-Trace-Id header),
 // GET /metrics serves Prometheus text exposition, -slow-query-ms /
 // -slow-query-fetch write a JSON-lines slow-query log, and -debug-addr
-// serves net/http/pprof on a separate listener.
+// serves net/http/pprof on a separate listener. Workload digests are on
+// by default (-digest-topk; GET /digests aggregates per-fingerprint
+// latency, bound utilisation and estimate drift), and -capture turns on
+// the flight recorder: every admitted query is appended to a
+// size-rotated JSON-lines capture that cmd/beasreplay can re-execute
+// and diff against the recorded answers.
 //
 // Endpoints: POST /query, POST /check, POST /explain, GET /stats,
-// GET /metrics, GET /trace, GET /healthz — see package internal/server
-// for the wire format, and the README for an example curl session.
+// GET /metrics, GET /trace, GET /digests, GET /healthz — see package
+// internal/server for the wire format, and the README for an example
+// curl session.
 package main
 
 import (
@@ -74,6 +80,10 @@ func main() {
 	slowMS := flag.Int("slow-query-ms", 0, "log queries at least this slow as JSON lines (0 disables the latency test)")
 	slowFetch := flag.Int64("slow-query-fetch", 0, "log queries fetching at least this many tuples (0 disables the volume test)")
 	slowLogPath := flag.String("slow-query-log", "", "slow-query log file, appended to (default: stderr)")
+	captureDir := flag.String("capture", "", "flight-recorder directory: every admitted query is appended as a JSON line for replay with beasreplay (empty disables)")
+	captureBytes := flag.Int64("capture-bytes", 0, "capture segment rotation size in bytes (0 = default 8 MiB; the newest 8 segments are kept)")
+	digestTopK := flag.Int("digest-topk", 128, "workload digests: retain the top K statement fingerprints by total execution time (GET /digests; <= 0 disables)")
+	digestDrift := flag.Float64("digest-drift", 0, "flag a fingerprint as drifting when actual fetch volume differs from the optimizer estimate by this factor (0 = default 2)")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this separate address (empty disables profiling)")
 	flag.Parse()
 
@@ -124,6 +134,23 @@ func main() {
 		// share the DB) get traced too.
 		db.SetTracer(tracer)
 	}
+	if *digestTopK > 0 {
+		d := beas.NewDigestSet(*digestTopK)
+		if *digestDrift > 0 {
+			d.SetDriftThreshold(*digestDrift)
+		}
+		db.SetDigests(d)
+	}
+	var capture *obs.Recorder
+	if *captureDir != "" {
+		capture, err = obs.NewRecorder(*captureDir, *captureBytes, 0)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "beasd: opening capture dir:", err)
+			os.Exit(1)
+		}
+		defer capture.Close()
+		fmt.Printf("beasd: flight recorder on, capturing to %s\n", *captureDir)
+	}
 	var slowLog *obs.SlowLog
 	if *slowMS > 0 || *slowFetch > 0 {
 		slowW := os.Stderr
@@ -149,6 +176,7 @@ func main() {
 		QueryTimeout:   *timeout,
 		Tracer:         tracer,
 		SlowQueryLog:   slowLog,
+		Capture:        capture,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

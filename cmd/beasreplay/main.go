@@ -1,0 +1,107 @@
+// Command beasreplay re-executes a flight-recorder capture (written by
+// beasd -capture) and verifies the answers are bit-identical to the
+// recorded baselines: row count, order-sensitive row hash, deduced
+// bound and evaluation mode. It replays either against a running beasd
+// (-addr) or an embedded database built the same way the daemon builds
+// one (-tlc / -data), making it usable both as a regression oracle
+// ("does this build still answer yesterday's workload identically?")
+// and as a replica-consistency check.
+//
+// Usage:
+//
+//	beasreplay -capture ./capture -addr http://127.0.0.1:7171
+//	beasreplay -capture ./capture/capture-000001.jsonl -tlc 2
+//	beasreplay -capture ./capture -data ./beasdata -speed 10 -concurrency 4
+//
+// Only records with outcome "ok" are baselines; failures, cancels,
+// disconnects and approximated answers are skipped. Exit status: 0 when
+// every baseline matched, 1 on any mismatch or replay error, 2 on usage
+// errors.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	beas "github.com/bounded-eval/beas"
+	"github.com/bounded-eval/beas/internal/cliutil"
+	"github.com/bounded-eval/beas/internal/obs"
+	"github.com/bounded-eval/beas/internal/replay"
+)
+
+func main() {
+	capturePath := flag.String("capture", "", "capture directory or single capture-*.jsonl segment (required)")
+	addr := flag.String("addr", "", "replay against a running beasd at this base URL (e.g. http://127.0.0.1:7171)")
+	tlcScale := flag.Int("tlc", 0, "replay against an embedded TLC instance at this scale")
+	dataDir := flag.String("data", "", "replay against an embedded database opened from this data directory")
+	optimizer := flag.Bool("optimizer", false, "enable the cost-based optimizer on the embedded database")
+	speed := flag.Float64("speed", 0, "pace dispatch by recorded timestamps scaled by this factor (1 = real time, 2 = twice as fast; 0 = as fast as possible)")
+	concurrency := flag.Int("concurrency", 1, "statements in flight at once")
+	maxRecords := flag.Int("max", 0, "replay at most this many baseline records (0 = all)")
+	verbose := flag.Bool("v", false, "print every mismatch in full")
+	flag.Parse()
+
+	if *capturePath == "" {
+		fmt.Fprintln(os.Stderr, "beasreplay: -capture is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *addr != "" && (*dataDir != "" || *tlcScale > 0) {
+		fmt.Fprintln(os.Stderr, "beasreplay: -addr and -tlc/-data are mutually exclusive")
+		os.Exit(2)
+	}
+
+	recs, err := obs.LoadCapture(*capturePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "beasreplay: loading capture:", err)
+		os.Exit(2)
+	}
+	fmt.Printf("beasreplay: loaded %d records from %s\n", len(recs), *capturePath)
+
+	var target replay.Target
+	if *addr != "" {
+		target = &replay.HTTPTarget{Base: *addr, Client: &http.Client{Timeout: time.Minute}}
+	} else {
+		db, err := cliutil.OpenDB(*tlcScale, *dataDir, &beas.Options{}, func(format string, args ...any) {
+			fmt.Printf("beasreplay: "+format+"\n", args...)
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "beasreplay:", err)
+			os.Exit(2)
+		}
+		defer db.Close()
+		if *optimizer {
+			db.SetOptimizer(true)
+		}
+		target = &replay.DBTarget{DB: db}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	rep := replay.Run(ctx, recs, target, replay.Options{
+		Speed:       *speed,
+		Concurrency: *concurrency,
+		Limit:       *maxRecords,
+	})
+
+	fmt.Println("beasreplay:", rep.Summary())
+	if *verbose || len(rep.Mismatches) <= 10 {
+		for _, mm := range rep.Mismatches {
+			fmt.Printf("beasreplay: seq %d %s: want %s, got %s\n    %s\n", mm.Seq, mm.Field, mm.Want, mm.Got, mm.SQL)
+		}
+	} else {
+		for _, mm := range rep.Mismatches[:10] {
+			fmt.Printf("beasreplay: seq %d %s: want %s, got %s\n    %s\n", mm.Seq, mm.Field, mm.Want, mm.Got, mm.SQL)
+		}
+		fmt.Printf("beasreplay: ... and %d more (rerun with -v)\n", len(rep.Mismatches)-10)
+	}
+	if !rep.OK() {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,314 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func rec(sql string) CaptureRecord {
+	return CaptureRecord{SQL: sql, Outcome: OutcomeOK, Rows: 1, RowsHash: "deadbeef"}
+}
+
+func TestRecorderRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	r, err := NewRecorder(dir, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		r.Record(rec(fmt.Sprintf("SELECT %d", i)))
+	}
+	st := r.Stats()
+	if st.Records != 10 || st.Segments != 1 || st.WriteErrors != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r.Record(rec("after close")) // dropped silently
+
+	recs, err := LoadCapture(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 10 {
+		t.Fatalf("loaded %d records, want 10", len(recs))
+	}
+	for i, rc := range recs {
+		if rc.Seq != uint64(i+1) {
+			t.Fatalf("record %d has seq %d", i, rc.Seq)
+		}
+		if rc.V != CaptureFormatVersion {
+			t.Fatalf("record %d has version %d", i, rc.V)
+		}
+		if rc.SQL != fmt.Sprintf("SELECT %d", i) {
+			t.Fatalf("record %d sql = %q", i, rc.SQL)
+		}
+		if rc.Time.IsZero() {
+			t.Fatalf("record %d has no timestamp", i)
+		}
+	}
+}
+
+func TestRecorderRotationAndRetention(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments force a rotation every few records; retention keeps 3.
+	r, err := NewRecorder(dir, 512, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		r.Record(rec(fmt.Sprintf("SELECT %03d FROM somewhere_long_enough_to_rotate", i)))
+	}
+	st := r.Stats()
+	if st.Rotations == 0 {
+		t.Fatal("no rotations at 512-byte segments")
+	}
+	if st.Segments > 3 {
+		t.Fatalf("%d segments survive retention of 3", st.Segments)
+	}
+	r.Close()
+
+	segs, err := captureSegments(dir)
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("segments: %v, %v", segs, err)
+	}
+	for _, seg := range segs {
+		data, err := os.ReadFile(seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		first := strings.SplitN(string(data), "\n", 2)[0]
+		var hdr captureHeader
+		if err := json.Unmarshal([]byte(first), &hdr); err != nil || hdr.Format != captureFormatName || hdr.V != CaptureFormatVersion {
+			t.Fatalf("%s header = %q", seg, first)
+		}
+	}
+
+	// The retained tail is still loadable and strictly ordered.
+	recs, err := LoadCapture(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 || len(recs) >= 50 {
+		t.Fatalf("loaded %d records after pruning", len(recs))
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Seq != recs[i-1].Seq+1 {
+			t.Fatalf("gap in sequence: %d then %d", recs[i-1].Seq, recs[i].Seq)
+		}
+	}
+}
+
+// TestRecorderReopenStartsFreshSegment proves a restart never appends
+// into a possibly-torn tail: the new recorder writes a new segment after
+// the old ones, and both generations load in order.
+func TestRecorderReopenStartsFreshSegment(t *testing.T) {
+	dir := t.TempDir()
+	r1, err := NewRecorder(dir, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1.Record(rec("gen1"))
+	r1.Close()
+
+	r2, err := NewRecorder(dir, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Record(rec("gen2"))
+	r2.Close()
+
+	segs, _ := captureSegments(dir)
+	if len(segs) != 2 {
+		t.Fatalf("segments = %v, want 2 (reopen must not reuse the tail)", segs)
+	}
+	recs, err := LoadCapture(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].SQL != "gen1" || recs[1].SQL != "gen2" {
+		t.Fatalf("recs = %+v", recs)
+	}
+}
+
+// TestLoadCaptureTornTail: a partial final line — the signature of
+// kill -9 mid-write — is tolerated; the same corruption anywhere else
+// is an error.
+func TestLoadCaptureTornTail(t *testing.T) {
+	dir := t.TempDir()
+	r, err := NewRecorder(dir, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Record(rec("one"))
+	r.Record(rec("two"))
+	r.Close()
+	segs, _ := captureSegments(dir)
+	seg := segs[0]
+
+	f, err := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"v":1,"seq":3,"sql":"torn`) // no closing brace, no newline
+	f.Close()
+
+	recs, err := LoadCapture(dir)
+	if err != nil {
+		t.Fatalf("torn tail not tolerated: %v", err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("loaded %d records, want 2 (torn tail dropped)", len(recs))
+	}
+
+	// The same torn line mid-file is corruption, not a crash signature.
+	data, _ := os.ReadFile(seg)
+	lines := strings.SplitAfter(string(data), "\n")
+	corrupted := lines[0] + `{"v":1,"broken` + "\n" + strings.Join(lines[1:], "")
+	if err := os.WriteFile(seg, []byte(corrupted), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCapture(dir); err == nil {
+		t.Fatal("mid-file corruption loaded without error")
+	}
+}
+
+func TestLoadCaptureVersionRejection(t *testing.T) {
+	dir := t.TempDir()
+
+	newer := filepath.Join(dir, "capture-000001.jsonl")
+	hdr := fmt.Sprintf(`{"format":%q,"v":%d}`+"\n", captureFormatName, CaptureFormatVersion+1)
+	if err := os.WriteFile(newer, []byte(hdr), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCapture(dir); err == nil {
+		t.Fatal("newer-versioned header accepted")
+	}
+
+	body := fmt.Sprintf(`{"format":%q,"v":%d}`+"\n"+`{"v":%d,"seq":1,"sql":"x","outcome":"ok","rows":0,"tuplesFetched":0,"durationMs":0,"ts":"2026-01-01T00:00:00Z"}`+"\n",
+		captureFormatName, CaptureFormatVersion, CaptureFormatVersion+1)
+	if err := os.WriteFile(newer, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCapture(dir); err == nil {
+		t.Fatal("newer-versioned record accepted")
+	}
+}
+
+func TestLoadCaptureSingleFile(t *testing.T) {
+	dir := t.TempDir()
+	r, err := NewRecorder(dir, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Record(rec("only"))
+	r.Close()
+	segs, _ := captureSegments(dir)
+	recs, err := LoadCapture(segs[0])
+	if err != nil || len(recs) != 1 || recs[0].SQL != "only" {
+		t.Fatalf("recs=%+v err=%v", recs, err)
+	}
+	if _, err := LoadCapture(filepath.Join(dir, "missing.jsonl")); err == nil {
+		t.Fatal("missing file loaded")
+	}
+	if _, err := LoadCapture(t.TempDir()); err == nil {
+		t.Fatal("empty dir loaded")
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	r, err := NewRecorder(dir, 4096, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				r.Record(rec(fmt.Sprintf("SELECT %d_%d", g, i)))
+				if i%10 == 0 {
+					r.Stats()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := r.Stats(); st.Records != 200 || st.WriteErrors != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	r.Close()
+	recs, err := LoadCapture(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 200 {
+		t.Fatalf("loaded %d, want 200", len(recs))
+	}
+	seen := make(map[uint64]bool)
+	for _, rc := range recs {
+		if seen[rc.Seq] {
+			t.Fatalf("duplicate seq %d", rc.Seq)
+		}
+		seen[rc.Seq] = true
+	}
+}
+
+func TestRecorderNilSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(rec("x"))
+	if r.Stats() != (RecorderStats{}) || r.Dir() != "" || r.Close() != nil {
+		t.Fatal("nil recorder misbehaved")
+	}
+}
+
+func TestRowHash(t *testing.T) {
+	empty := NewRowHash()
+	if empty.Sum() == "" {
+		t.Fatal("empty hash is empty string")
+	}
+
+	a, b := NewRowHash(), NewRowHash()
+	a.Add([]any{int64(1), "x", 2.5, true, nil})
+	a.Add([]any{int64(2), "y", 0.0, false, nil})
+	b.Add([]any{int64(1), "x", 2.5, true, nil})
+	b.Add([]any{int64(2), "y", 0.0, false, nil})
+	if a.Sum() != b.Sum() {
+		t.Fatal("identical rows hash differently")
+	}
+	if a.Sum() == empty.Sum() {
+		t.Fatal("rows hash equals empty hash")
+	}
+
+	// Order matters: a replay returning the same rows reordered must
+	// hash differently.
+	c := NewRowHash()
+	c.Add([]any{int64(2), "y", 0.0, false, nil})
+	c.Add([]any{int64(1), "x", 2.5, true, nil})
+	if c.Sum() == a.Sum() {
+		t.Fatal("row order did not affect the hash")
+	}
+
+	// json.Number round-trips to the same bytes as the native value, so
+	// an HTTP replayer and the recording server agree.
+	d := NewRowHash()
+	d.Add([]any{json.Number("1"), "x", json.Number("2.5"), true, nil})
+	d.Add([]any{json.Number("2"), "y", json.Number("0"), false, nil})
+	if d.Sum() != a.Sum() {
+		t.Fatal("json.Number encoding diverged from native values")
+	}
+
+	bad := NewRowHash()
+	bad.Add([]any{make(chan int)})
+	if bad.Sum() != "!unhashable" {
+		t.Fatalf("unmarshalable row hashed to %q", bad.Sum())
+	}
+}

@@ -1,0 +1,494 @@
+package obs
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Digest outcome labels. Cancellation (context canceled or deadline
+// exceeded) is tracked apart from real errors: a workload whose clients
+// hang up looks very different from one whose statements fail.
+const (
+	OutcomeOK       = "ok"
+	OutcomeCanceled = "canceled"
+	OutcomeError    = "error"
+)
+
+// TextFingerprint is the fallback canonical identity for statements the
+// analyzer cannot normalize: a stable hash of the literal text. It
+// still groups repeated executions of the same statement.
+func TextFingerprint(sql string) string {
+	h := fnv.New64a()
+	h.Write([]byte(sql))
+	return fmt.Sprintf("text:%016x", h.Sum64())
+}
+
+// DigestID is the URL-safe identifier of a fingerprint (fingerprints
+// embed separator bytes and raw SQL fragments, so they cannot appear in
+// a path). /digests/<id> and snapshot JSON use it.
+func DigestID(fp string) string {
+	h := fnv.New64a()
+	h.Write([]byte(fp))
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// DigestObservation is one finished statement execution as seen by the
+// digest layer. Estimate fields are zero when the cost-based optimizer
+// produced no estimates for the statement.
+type DigestObservation struct {
+	Fingerprint string
+	SQL         string
+	Outcome     string // OutcomeOK | OutcomeCanceled | OutcomeError
+	Mode        string
+	CacheHit    bool
+	Duration    time.Duration
+	Rows        int64
+	Bound       uint64
+	Fetched     int64
+	Scanned     int64
+	EstKeys     float64
+	EstFetched  float64
+	ActualKeys  int64
+}
+
+// digestEntry is the rolling aggregate for one fingerprint. Latency is
+// kept as counts over LatencyBuckets so quantiles come for free and the
+// entry stays fixed-size no matter how many calls it absorbs.
+type digestEntry struct {
+	fp        string
+	sql       string // first-seen example text
+	calls     uint64
+	errors    uint64
+	cancels   uint64
+	cacheHits uint64
+	rows      int64
+	bound     uint64 // saturating sum of deduced bounds
+	fetched   int64
+	scanned   int64
+	totalDur  time.Duration
+	maxDur    time.Duration
+	lat       []int64 // LatencyBuckets counts + one +Inf overflow slot
+	modes     map[string]uint64
+
+	// Estimate honesty: actuals are accumulated only for calls that
+	// carried estimates, so the ratio compares like with like.
+	estCalls   uint64
+	estKeys    float64
+	estFetched float64
+	actKeys    int64
+	actFetched int64
+}
+
+// DigestSnapshot is the JSON-ready view of one fingerprint's aggregate.
+type DigestSnapshot struct {
+	ID          string            `json:"id"`
+	Fingerprint string            `json:"fingerprint"`
+	ExampleSQL  string            `json:"exampleSql"`
+	Calls       uint64            `json:"calls"`
+	Errors      uint64            `json:"errors,omitempty"`
+	Cancels     uint64            `json:"cancels,omitempty"`
+	CacheHits   uint64            `json:"cacheHits,omitempty"`
+	Rows        int64             `json:"rows"`
+	BoundSum    uint64            `json:"boundSum,omitempty"`
+	Fetched     int64             `json:"tuplesFetched"`
+	Scanned     int64             `json:"tuplesScanned,omitempty"`
+	TotalMS     float64           `json:"totalMs"`
+	MeanMS      float64           `json:"meanMs"`
+	P50MS       float64           `json:"p50Ms"`
+	P95MS       float64           `json:"p95Ms"`
+	MaxMS       float64           `json:"maxMs"`
+	Modes       map[string]uint64 `json:"modes,omitempty"`
+
+	// BoundUtilization is fetched/boundSum — how much of the deduced
+	// worst case the workload actually pays.
+	BoundUtilization float64 `json:"boundUtilization,omitempty"`
+
+	// Estimate drift. DriftRatio is actual/estimated tuples fetched over
+	// the calls that carried optimizer estimates; Drifting flags ratios
+	// past the set's threshold in either direction.
+	EstCalls   uint64  `json:"estCalls,omitempty"`
+	EstFetched float64 `json:"estFetched,omitempty"`
+	ActFetched int64   `json:"actualFetched,omitempty"`
+	DriftRatio float64 `json:"driftRatio,omitempty"`
+	Drifting   bool    `json:"drifting,omitempty"`
+}
+
+// DefaultDriftThreshold flags fingerprints whose actual fetch volume
+// departs from the optimizer's estimate by 2× in either direction.
+const DefaultDriftThreshold = 2.0
+
+// DigestSet keeps per-fingerprint rolling aggregates for the top-K
+// statements by total execution time. Eviction is deterministic: when a
+// new fingerprint would exceed K, the entry with the least accumulated
+// time goes (ties broken by larger fingerprint), so two runs observing
+// the same sequence keep the same set. All methods are safe on a nil
+// receiver and for concurrent use.
+type DigestSet struct {
+	mu           sync.Mutex
+	topK         int
+	drift        float64
+	entries      map[string]*digestEntry
+	observations uint64
+	evictions    uint64
+}
+
+// DefaultDigestTopK is the top-K retention used when NewDigestSet is
+// given a non-positive K.
+const DefaultDigestTopK = 128
+
+// NewDigestSet creates a digest set retaining the top topK fingerprints
+// by total execution time (topK <= 0 selects DefaultDigestTopK).
+func NewDigestSet(topK int) *DigestSet {
+	if topK <= 0 {
+		topK = DefaultDigestTopK
+	}
+	return &DigestSet{
+		topK:    topK,
+		drift:   DefaultDriftThreshold,
+		entries: make(map[string]*digestEntry),
+	}
+}
+
+// SetDriftThreshold replaces the est/actual ratio past which a
+// fingerprint is flagged as drifting (r <= 1 restores the default).
+func (d *DigestSet) SetDriftThreshold(r float64) {
+	if d == nil {
+		return
+	}
+	if r <= 1 {
+		r = DefaultDriftThreshold
+	}
+	d.mu.Lock()
+	d.drift = r
+	d.mu.Unlock()
+}
+
+// DriftThreshold returns the current drift flag threshold.
+func (d *DigestSet) DriftThreshold() float64 {
+	if d == nil {
+		return 0
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.drift
+}
+
+// Observe folds one finished execution into its fingerprint's
+// aggregate, creating (and possibly evicting) as needed.
+func (d *DigestSet) Observe(o DigestObservation) {
+	if d == nil {
+		return
+	}
+	if o.Fingerprint == "" {
+		o.Fingerprint = TextFingerprint(o.SQL)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.observations++
+	e := d.entries[o.Fingerprint]
+	if e == nil {
+		e = &digestEntry{
+			fp:    o.Fingerprint,
+			sql:   o.SQL,
+			lat:   make([]int64, len(LatencyBuckets)+1),
+			modes: make(map[string]uint64),
+		}
+		d.entries[o.Fingerprint] = e
+	}
+	e.calls++
+	switch o.Outcome {
+	case OutcomeCanceled:
+		e.cancels++
+	case OutcomeError:
+		e.errors++
+	}
+	if o.CacheHit {
+		e.cacheHits++
+	}
+	if o.Mode != "" {
+		e.modes[o.Mode]++
+	}
+	e.rows += o.Rows
+	if s := e.bound + o.Bound; s >= e.bound {
+		e.bound = s
+	} else {
+		e.bound = ^uint64(0)
+	}
+	e.fetched += o.Fetched
+	e.scanned += o.Scanned
+	e.totalDur += o.Duration
+	if o.Duration > e.maxDur {
+		e.maxDur = o.Duration
+	}
+	e.lat[bucketIndex(LatencyBuckets, o.Duration.Seconds())]++
+	if o.EstFetched > 0 || o.EstKeys > 0 {
+		e.estCalls++
+		e.estKeys += o.EstKeys
+		e.estFetched += o.EstFetched
+		e.actKeys += o.ActualKeys
+		e.actFetched += o.Fetched
+	}
+	// Evict only after the newcomer absorbed its observation, so a
+	// first call heavier than an incumbent's total wins its slot.
+	if len(d.entries) > d.topK {
+		d.evictLocked()
+	}
+}
+
+// bucketIndex returns the index of the first edge >= v, or len(edges)
+// for the +Inf overflow slot.
+func bucketIndex(edges []float64, v float64) int {
+	for i, e := range edges {
+		if v <= e {
+			return i
+		}
+	}
+	return len(edges)
+}
+
+// evictLocked removes the entry with the least total time; ties evict
+// the lexicographically larger fingerprint so the outcome never depends
+// on map iteration order.
+func (d *DigestSet) evictLocked() {
+	fps := make([]string, 0, len(d.entries))
+	for fp := range d.entries {
+		fps = append(fps, fp)
+	}
+	sort.Strings(fps)
+	victim := ""
+	var victimDur time.Duration
+	for _, fp := range fps {
+		e := d.entries[fp]
+		if victim == "" || e.totalDur < victimDur || (e.totalDur == victimDur && fp > victim) {
+			victim, victimDur = fp, e.totalDur
+		}
+	}
+	if victim != "" {
+		delete(d.entries, victim)
+		d.evictions++
+	}
+}
+
+// snapshotLocked renders one entry.
+func (d *DigestSet) snapshotLocked(e *digestEntry) DigestSnapshot {
+	s := DigestSnapshot{
+		ID:          DigestID(e.fp),
+		Fingerprint: e.fp,
+		ExampleSQL:  e.sql,
+		Calls:       e.calls,
+		Errors:      e.errors,
+		Cancels:     e.cancels,
+		CacheHits:   e.cacheHits,
+		Rows:        e.rows,
+		BoundSum:    e.bound,
+		Fetched:     e.fetched,
+		Scanned:     e.scanned,
+		TotalMS:     float64(e.totalDur) / float64(time.Millisecond),
+		MaxMS:       float64(e.maxDur) / float64(time.Millisecond),
+		P50MS:       e.quantileMS(0.50),
+		P95MS:       e.quantileMS(0.95),
+		EstCalls:    e.estCalls,
+		EstFetched:  e.estFetched,
+		ActFetched:  e.actFetched,
+	}
+	if e.calls > 0 {
+		s.MeanMS = s.TotalMS / float64(e.calls)
+	}
+	if e.bound > 0 {
+		s.BoundUtilization = float64(e.fetched) / float64(e.bound)
+	}
+	if len(e.modes) > 0 {
+		s.Modes = make(map[string]uint64, len(e.modes))
+		for m, n := range e.modes {
+			s.Modes[m] = n
+		}
+	}
+	if r, ok := e.driftRatio(); ok {
+		s.DriftRatio = r
+		s.Drifting = r >= d.drift || r <= 1/d.drift
+	}
+	return s
+}
+
+// driftRatio is actual/estimated tuples fetched over estimated calls.
+func (e *digestEntry) driftRatio() (float64, bool) {
+	if e.estCalls == 0 || e.estFetched <= 0 {
+		return 0, false
+	}
+	return float64(e.actFetched) / e.estFetched, true
+}
+
+// quantileMS reads the q-quantile (0 < q <= 1) off the latency bucket
+// counts: the upper edge of the bucket holding the q-th observation, or
+// the observed maximum for the overflow slot.
+func (e *digestEntry) quantileMS(q float64) float64 {
+	var total int64
+	for _, n := range e.lat {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	target := int64(q * float64(total))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, n := range e.lat {
+		cum += n
+		if cum >= target {
+			if i < len(LatencyBuckets) {
+				return LatencyBuckets[i] * 1000
+			}
+			return float64(e.maxDur) / float64(time.Millisecond)
+		}
+	}
+	return float64(e.maxDur) / float64(time.Millisecond)
+}
+
+// Snapshot returns every retained digest ordered by total execution
+// time, descending (fingerprint ascending on ties).
+func (d *DigestSet) Snapshot() []DigestSnapshot {
+	if d == nil {
+		return nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	entries := make([]*digestEntry, 0, len(d.entries))
+	for _, e := range d.entries {
+		entries = append(entries, e)
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].totalDur != entries[j].totalDur {
+			return entries[i].totalDur > entries[j].totalDur
+		}
+		return entries[i].fp < entries[j].fp
+	})
+	out := make([]DigestSnapshot, len(entries))
+	for i, e := range entries {
+		out[i] = d.snapshotLocked(e)
+	}
+	return out
+}
+
+// Get resolves one digest by DigestID or by raw fingerprint.
+func (d *DigestSet) Get(id string) (DigestSnapshot, bool) {
+	if d == nil {
+		return DigestSnapshot{}, false
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if e, ok := d.entries[id]; ok {
+		return d.snapshotLocked(e), true
+	}
+	fps := make([]string, 0, len(d.entries))
+	for fp := range d.entries {
+		fps = append(fps, fp)
+	}
+	sort.Strings(fps)
+	for _, fp := range fps {
+		if DigestID(fp) == id {
+			return d.snapshotLocked(d.entries[fp]), true
+		}
+	}
+	return DigestSnapshot{}, false
+}
+
+// Drift returns the currently flagged digests (worst ratio first).
+func (d *DigestSet) Drift() []DigestSnapshot {
+	var out []DigestSnapshot
+	for _, s := range d.Snapshot() {
+		if s.Drifting {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		wi, wj := driftSeverity(out[i].DriftRatio), driftSeverity(out[j].DriftRatio)
+		if wi != wj {
+			return wi > wj
+		}
+		return out[i].Fingerprint < out[j].Fingerprint
+	})
+	return out
+}
+
+// driftSeverity folds over- and under-estimates onto one scale: how
+// many × off the estimate is, whichever direction.
+func driftSeverity(r float64) float64 {
+	if r <= 0 {
+		return 0
+	}
+	if r < 1 {
+		return 1 / r
+	}
+	return r
+}
+
+// DriftCount returns how many retained fingerprints are flagged.
+func (d *DigestSet) DriftCount() int {
+	if d == nil {
+		return 0
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := 0
+	for _, e := range d.entries {
+		if r, ok := e.driftRatio(); ok && (r >= d.drift || r <= 1/d.drift) {
+			n++
+		}
+	}
+	return n
+}
+
+// WorstDriftRatio returns the largest drift severity over retained
+// fingerprints with estimates (1 = perfectly honest, 0 = no estimates).
+func (d *DigestSet) WorstDriftRatio() float64 {
+	if d == nil {
+		return 0
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	worst := 0.0
+	for _, e := range d.entries {
+		if r, ok := e.driftRatio(); ok {
+			if s := driftSeverity(r); s > worst {
+				worst = s
+			}
+		}
+	}
+	return worst
+}
+
+// Len returns how many fingerprints are retained.
+func (d *DigestSet) Len() int {
+	if d == nil {
+		return 0
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.entries)
+}
+
+// Observations returns the total number of executions folded in,
+// including ones whose entry was since evicted.
+func (d *DigestSet) Observations() uint64 {
+	if d == nil {
+		return 0
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.observations
+}
+
+// Evictions returns how many fingerprints were evicted.
+func (d *DigestSet) Evictions() uint64 {
+	if d == nil {
+		return 0
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.evictions
+}

@@ -1,0 +1,287 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func obsFor(fp string, dur time.Duration) DigestObservation {
+	return DigestObservation{
+		Fingerprint: fp,
+		SQL:         "SELECT * FROM t WHERE k = " + fp,
+		Outcome:     OutcomeOK,
+		Mode:        "bounded",
+		Duration:    dur,
+		Rows:        3,
+		Bound:       100,
+		Fetched:     10,
+	}
+}
+
+func TestDigestAggregation(t *testing.T) {
+	d := NewDigestSet(8)
+	d.Observe(obsFor("q1", 2*time.Millisecond))
+	d.Observe(obsFor("q1", 4*time.Millisecond))
+	o := obsFor("q1", time.Millisecond)
+	o.Outcome = OutcomeError
+	d.Observe(o)
+	o = obsFor("q1", time.Millisecond)
+	o.Outcome = OutcomeCanceled
+	o.CacheHit = true
+	d.Observe(o)
+
+	snaps := d.Snapshot()
+	if len(snaps) != 1 {
+		t.Fatalf("got %d digests, want 1", len(snaps))
+	}
+	s := snaps[0]
+	if s.Calls != 4 || s.Errors != 1 || s.Cancels != 1 || s.CacheHits != 1 {
+		t.Fatalf("calls/errors/cancels/cacheHits = %d/%d/%d/%d, want 4/1/1/1",
+			s.Calls, s.Errors, s.Cancels, s.CacheHits)
+	}
+	if s.Rows != 12 || s.Fetched != 40 || s.BoundSum != 400 {
+		t.Fatalf("rows/fetched/boundSum = %d/%d/%d, want 12/40/400", s.Rows, s.Fetched, s.BoundSum)
+	}
+	if s.Modes["bounded"] != 4 {
+		t.Fatalf("modes = %v, want bounded:4", s.Modes)
+	}
+	if s.TotalMS != 8 {
+		t.Fatalf("totalMs = %v, want 8", s.TotalMS)
+	}
+	if s.MeanMS != 2 {
+		t.Fatalf("meanMs = %v, want 2", s.MeanMS)
+	}
+	if s.MaxMS != 4 {
+		t.Fatalf("maxMs = %v, want 4", s.MaxMS)
+	}
+	if s.P50MS <= 0 || s.P95MS < s.P50MS {
+		t.Fatalf("quantiles p50=%v p95=%v", s.P50MS, s.P95MS)
+	}
+	if s.BoundUtilization != 0.1 {
+		t.Fatalf("boundUtilization = %v, want 0.1", s.BoundUtilization)
+	}
+	if d.Observations() != 4 {
+		t.Fatalf("observations = %d, want 4", d.Observations())
+	}
+}
+
+func TestDigestTextFingerprintFallback(t *testing.T) {
+	d := NewDigestSet(8)
+	d.Observe(DigestObservation{SQL: "oops", Outcome: OutcomeError, Duration: time.Millisecond})
+	d.Observe(DigestObservation{SQL: "oops", Outcome: OutcomeError, Duration: time.Millisecond})
+	snaps := d.Snapshot()
+	if len(snaps) != 1 || snaps[0].Calls != 2 {
+		t.Fatalf("text fallback did not group: %+v", snaps)
+	}
+	if snaps[0].Fingerprint != TextFingerprint("oops") {
+		t.Fatalf("fingerprint = %q", snaps[0].Fingerprint)
+	}
+}
+
+func TestDigestGetByIDAndFingerprint(t *testing.T) {
+	d := NewDigestSet(8)
+	d.Observe(obsFor("q1", time.Millisecond))
+	if _, ok := d.Get("q1"); !ok {
+		t.Fatal("Get by fingerprint failed")
+	}
+	if _, ok := d.Get(DigestID("q1")); !ok {
+		t.Fatal("Get by digest id failed")
+	}
+	if _, ok := d.Get("nope"); ok {
+		t.Fatal("Get on unknown id succeeded")
+	}
+}
+
+// TestDigestTopKEvictionDeterministic proves eviction never depends on
+// map iteration order: two sets fed the same observation sequence (one
+// of them twice, interleaved with snapshots) retain identical entries,
+// and the victim is always the entry with the least total time, larger
+// fingerprint on ties.
+func TestDigestTopKEvictionDeterministic(t *testing.T) {
+	seq := make([]DigestObservation, 0, 64)
+	for i := 0; i < 16; i++ {
+		// Durations collide on purpose (i%4) so ties are common.
+		seq = append(seq, obsFor(fmt.Sprintf("q%02d", i), time.Duration(1+i%4)*time.Millisecond))
+	}
+	for i := 0; i < 16; i++ {
+		seq = append(seq, obsFor(fmt.Sprintf("q%02d", (i*7)%16), time.Duration(1+i%3)*time.Millisecond))
+	}
+
+	retained := func(d *DigestSet) []string {
+		var fps []string
+		for _, s := range d.Snapshot() {
+			fps = append(fps, s.Fingerprint)
+		}
+		return fps
+	}
+
+	a, b := NewDigestSet(5), NewDigestSet(5)
+	for _, o := range seq {
+		a.Observe(o)
+	}
+	for i, o := range seq {
+		b.Observe(o)
+		if i%5 == 0 {
+			b.Snapshot() // must not perturb retention
+		}
+	}
+	fa, fb := retained(a), retained(b)
+	if fmt.Sprint(fa) != fmt.Sprint(fb) {
+		t.Fatalf("same sequence, different retention:\n  a=%v\n  b=%v", fa, fb)
+	}
+	if len(fa) != 5 {
+		t.Fatalf("retained %d entries, want 5", len(fa))
+	}
+	if a.Evictions() != b.Evictions() || a.Evictions() == 0 {
+		t.Fatalf("evictions a=%d b=%d", a.Evictions(), b.Evictions())
+	}
+}
+
+// TestDigestEvictionTieBreak pins the tie rule: equal total time evicts
+// the lexicographically larger fingerprint.
+func TestDigestEvictionTieBreak(t *testing.T) {
+	d := NewDigestSet(2)
+	d.Observe(obsFor("aa", time.Millisecond))
+	d.Observe(obsFor("bb", time.Millisecond))
+	d.Observe(obsFor("cc", 5*time.Millisecond)) // ties aa/bb at 1ms; bb must go
+	var fps []string
+	for _, s := range d.Snapshot() {
+		fps = append(fps, s.Fingerprint)
+	}
+	if fmt.Sprint(fps) != "[cc aa]" {
+		t.Fatalf("retained %v, want [cc aa]", fps)
+	}
+}
+
+// TestDigestNewcomerCanWin proves the newcomer's first observation is
+// accumulated before eviction runs, so a heavy first call displaces a
+// lighter incumbent instead of evicting itself.
+func TestDigestNewcomerCanWin(t *testing.T) {
+	d := NewDigestSet(2)
+	d.Observe(obsFor("aa", 10*time.Millisecond))
+	d.Observe(obsFor("bb", time.Millisecond))
+	d.Observe(obsFor("cc", 5*time.Millisecond))
+	if _, ok := d.Get("cc"); !ok {
+		t.Fatal("heavy newcomer was evicted in favour of a lighter incumbent")
+	}
+	if _, ok := d.Get("bb"); ok {
+		t.Fatal("lightest incumbent survived")
+	}
+}
+
+func TestDigestDriftFlagging(t *testing.T) {
+	d := NewDigestSet(8)
+	honest := obsFor("honest", time.Millisecond)
+	honest.EstFetched = 10 // actual Fetched is 10 → ratio 1
+	d.Observe(honest)
+	over := obsFor("underestimated", time.Millisecond)
+	over.EstFetched = 4 // actual 10 → ratio 2.5 past the default 2×
+	d.Observe(over)
+	under := obsFor("overestimated", time.Millisecond)
+	under.EstFetched = 30 // actual 10 → ratio 1/3 below 1/2
+	d.Observe(under)
+	none := obsFor("noestimates", time.Millisecond)
+	d.Observe(none)
+
+	if n := d.DriftCount(); n != 2 {
+		t.Fatalf("DriftCount = %d, want 2", n)
+	}
+	drifting := d.Drift()
+	if len(drifting) != 2 {
+		t.Fatalf("Drift() = %d entries, want 2", len(drifting))
+	}
+	// Worst first: 1/3 off (severity 3) beats 2.5.
+	if drifting[0].Fingerprint != "overestimated" {
+		t.Fatalf("worst drift = %q, want overestimated", drifting[0].Fingerprint)
+	}
+	if w := d.WorstDriftRatio(); w != 3 {
+		t.Fatalf("WorstDriftRatio = %v, want 3", w)
+	}
+	s, _ := d.Get("honest")
+	if s.Drifting || s.DriftRatio != 1 {
+		t.Fatalf("honest entry flagged: %+v", s)
+	}
+	s, _ = d.Get("noestimates")
+	if s.Drifting || s.EstCalls != 0 {
+		t.Fatalf("estimate-free entry flagged: %+v", s)
+	}
+
+	d.SetDriftThreshold(4)
+	if n := d.DriftCount(); n != 0 {
+		t.Fatalf("DriftCount at 4x threshold = %d, want 0", n)
+	}
+}
+
+// TestDigestConcurrent hammers one set from many goroutines; run with
+// -race -cpu 1,4. Totals must balance exactly afterwards.
+func TestDigestConcurrent(t *testing.T) {
+	const (
+		workers = 8
+		perG    = 500
+	)
+	d := NewDigestSet(16)
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				o := obsFor(fmt.Sprintf("q%02d", (g*perG+i)%32), time.Duration(1+i%7)*time.Millisecond)
+				if i%16 == 0 {
+					o.Outcome = OutcomeError
+				}
+				d.Observe(o)
+				if i%64 == 0 {
+					d.Snapshot()
+					d.DriftCount()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if got := d.Observations(); got != workers*perG {
+		t.Fatalf("observations = %d, want %d", got, workers*perG)
+	}
+	if d.Len() != 16 {
+		t.Fatalf("retained %d, want 16 (topK)", d.Len())
+	}
+	var calls uint64
+	for _, s := range d.Snapshot() {
+		calls += s.Calls
+	}
+	if calls == 0 || calls > workers*perG {
+		t.Fatalf("retained calls = %d out of %d observations", calls, workers*perG)
+	}
+}
+
+func TestDigestNilSafe(t *testing.T) {
+	var d *DigestSet
+	d.Observe(obsFor("x", time.Millisecond))
+	d.SetDriftThreshold(3)
+	if d.Snapshot() != nil || d.Drift() != nil {
+		t.Fatal("nil set returned snapshots")
+	}
+	if _, ok := d.Get("x"); ok {
+		t.Fatal("nil set resolved an id")
+	}
+	if d.Len() != 0 || d.Observations() != 0 || d.Evictions() != 0 ||
+		d.DriftCount() != 0 || d.WorstDriftRatio() != 0 || d.DriftThreshold() != 0 {
+		t.Fatal("nil set returned nonzero counters")
+	}
+}
+
+func TestBucketIndex(t *testing.T) {
+	edges := []float64{0.1, 1, 10}
+	cases := []struct {
+		v    float64
+		want int
+	}{{0.05, 0}, {0.1, 0}, {0.5, 1}, {1, 1}, {2, 2}, {10, 2}, {11, 3}}
+	for _, c := range cases {
+		if got := bucketIndex(edges, c.v); got != c.want {
+			t.Errorf("bucketIndex(%v) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}

@@ -24,19 +24,24 @@ type SlowStep struct {
 	DurationMS float64 `json:"durationMs"`
 }
 
-// SlowEntry is one JSON line of the slow-query log.
+// SlowEntry is one JSON line of the slow-query log. Fingerprint is the
+// statement's canonical identity and CacheHit marks answers served from
+// the result cache, so slow-log lines join against the workload digests
+// and a cached serve is distinguishable from a real execution.
 type SlowEntry struct {
-	Time       time.Time  `json:"ts"`
-	TraceID    string     `json:"traceId,omitempty"`
-	SQL        string     `json:"sql"`
-	Mode       string     `json:"mode"`
-	Outcome    string     `json:"outcome"` // ok | canceled | failed | disconnected
-	Bound      uint64     `json:"bound,omitempty"`
-	Fetched    int64      `json:"tuplesFetched"`
-	Scanned    int64      `json:"tuplesScanned,omitempty"`
-	Rows       int64      `json:"rows"`
-	DurationMS float64    `json:"durationMs"`
-	Steps      []SlowStep `json:"steps,omitempty"`
+	Time        time.Time  `json:"ts"`
+	TraceID     string     `json:"traceId,omitempty"`
+	SQL         string     `json:"sql"`
+	Fingerprint string     `json:"fingerprint,omitempty"`
+	Mode        string     `json:"mode"`
+	Outcome     string     `json:"outcome"` // ok | canceled | failed | disconnected
+	CacheHit    bool       `json:"cacheHit,omitempty"`
+	Bound       uint64     `json:"bound,omitempty"`
+	Fetched     int64      `json:"tuplesFetched"`
+	Scanned     int64      `json:"tuplesScanned,omitempty"`
+	Rows        int64      `json:"rows"`
+	DurationMS  float64    `json:"durationMs"`
+	Steps       []SlowStep `json:"steps,omitempty"`
 }
 
 // SlowLog writes structured slow-query entries as JSON lines. A query
@@ -49,6 +54,8 @@ type SlowLog struct {
 	minDur      time.Duration
 	minFetch    int64
 	logged      *Counter // optional: counts emitted entries
+	writeErrs   *Counter // optional: counts failed writes
+	dropped     uint64   // failed writes, counted even without a Counter
 	nowOverride func() time.Time
 }
 
@@ -69,6 +76,28 @@ func (l *SlowLog) SetLogged(c *Counter) {
 	l.mu.Lock()
 	l.logged = c
 	l.mu.Unlock()
+}
+
+// SetWriteErrors wires a counter incremented per failed log write — a
+// full disk or closed pipe silently swallowing slow queries is itself
+// an observability incident. Safe on a nil log.
+func (l *SlowLog) SetWriteErrors(c *Counter) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.writeErrs = c
+	l.mu.Unlock()
+}
+
+// WriteErrors returns how many entries failed to write.
+func (l *SlowLog) WriteErrors() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
 }
 
 // Qualifies reports whether a query with this latency and fetch volume
@@ -101,10 +130,17 @@ func (l *SlowLog) Observe(e SlowEntry) {
 	}
 	line = append(line, '\n')
 	l.mu.Lock()
-	l.w.Write(line)
+	_, werr := l.w.Write(line)
+	if werr != nil {
+		l.dropped++
+	}
 	logged := l.logged
+	writeErrs := l.writeErrs
 	l.mu.Unlock()
 	if logged != nil {
 		logged.Inc()
+	}
+	if werr != nil && writeErrs != nil {
+		writeErrs.Inc()
 	}
 }

@@ -61,6 +61,15 @@ type Template struct {
 	ResultKey string
 	Shareable bool
 
+	// Fingerprint is the canonical statement identity *without* the
+	// parameter vector — the workload-digest and capture-log key. For
+	// shareable statements it is the UNION-joined analyze.Canonical
+	// fingerprint (the prefix of ResultKey); otherwise a hash of the
+	// literal text. Params is the extracted constant vector in
+	// fingerprint placeholder order (nil when not shareable).
+	Fingerprint string
+	Params      []value.Value
+
 	bytes int64
 	elem  *list.Element
 }
@@ -332,7 +341,7 @@ func (c *Cache) PutTemplate(t *Template) {
 	// The parsed form is opaque, so its footprint is estimated from the
 	// text: analyzed ASTs in this engine run a small constant factor of
 	// the statement length, plus fixed per-entry overhead.
-	t.bytes = int64(len(t.Text))*8 + int64(len(t.ResultKey)) + 512
+	t.bytes = int64(len(t.Text))*8 + int64(len(t.ResultKey)) + int64(len(t.Fingerprint)) + 24*int64(len(t.Params)) + 512
 	if t.bytes > c.tmplCap {
 		return
 	}

@@ -1,0 +1,331 @@
+// Package replay re-executes a flight-recorder capture against a live
+// target — an embedded database or a running beasd — and diffs every
+// answer against its recorded baseline: row count, order-sensitive row
+// hash, deduced bound and evaluation mode. A clean replay proves the
+// target returns bit-identical answers to the capture; any drift
+// (data divergence, a planner change that reorders rows, a broken
+// access schema) surfaces as a mismatch tied to the recorded sequence
+// number.
+package replay
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	beas "github.com/bounded-eval/beas"
+	"github.com/bounded-eval/beas/internal/obs"
+	"github.com/bounded-eval/beas/internal/value"
+)
+
+// Outcome is what a target observed re-executing one statement.
+type Outcome struct {
+	Rows     int64
+	RowsHash string
+	Bound    uint64
+	Mode     string
+	Err      error
+}
+
+// Target replays one statement and reports what came back.
+type Target interface {
+	Replay(ctx context.Context, sql string) Outcome
+}
+
+// DBTarget replays against an embedded database. Rows are hashed over
+// the same JSON encoding the server streams, so hashes are directly
+// comparable with HTTP-recorded baselines.
+type DBTarget struct {
+	DB *beas.DB
+}
+
+// jsonValue mirrors the server's wire encoding of one value.
+func jsonValue(v value.Value) any {
+	switch v.K {
+	case value.Int:
+		return v.I
+	case value.Float:
+		return v.F
+	case value.String:
+		return v.S
+	case value.Bool:
+		return v.I != 0
+	default:
+		return nil
+	}
+}
+
+// Replay runs sql to completion and hashes the materialized answer.
+func (t *DBTarget) Replay(ctx context.Context, sql string) Outcome {
+	res, err := t.DB.QueryContext(ctx, sql)
+	if err != nil {
+		return Outcome{Err: err}
+	}
+	h := obs.NewRowHash()
+	for _, r := range res.Rows {
+		row := make([]any, len(r))
+		for i, v := range r {
+			row[i] = jsonValue(v)
+		}
+		h.Add(row)
+	}
+	return Outcome{
+		Rows:     int64(len(res.Rows)),
+		RowsHash: h.Sum(),
+		Bound:    res.Stats.Bound,
+		Mode:     string(res.Stats.Mode),
+	}
+}
+
+// HTTPTarget replays against a running beasd over its NDJSON /query
+// protocol. Rows are decoded with json.Number and re-marshalled
+// verbatim, so the hash covers exactly the bytes the server sent — a
+// replica answering with different content, order or encoding hashes
+// differently.
+type HTTPTarget struct {
+	Base   string // e.g. http://127.0.0.1:8080
+	Client *http.Client
+}
+
+type wireHeader struct {
+	Columns   []string `json:"columns"`
+	Admission string   `json:"admission"`
+	Bound     uint64   `json:"bound"`
+}
+
+type wireLine struct {
+	Rows  [][]any `json:"rows"`
+	Stats *struct {
+		Mode string `json:"mode"`
+		Rows int64  `json:"rows"`
+	} `json:"stats"`
+	Error string `json:"error"`
+}
+
+// Replay POSTs sql and consumes the NDJSON stream.
+func (t *HTTPTarget) Replay(ctx context.Context, sql string) Outcome {
+	client := t.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	body, _ := json.Marshal(map[string]string{"sql": sql})
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		strings.TrimRight(t.Base, "/")+"/query", strings.NewReader(string(body)))
+	if err != nil {
+		return Outcome{Err: err}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return Outcome{Err: err}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(msg, &e) == nil && e.Error != "" {
+			return Outcome{Err: fmt.Errorf("http %d: %s", resp.StatusCode, e.Error)}
+		}
+		return Outcome{Err: fmt.Errorf("http %d", resp.StatusCode)}
+	}
+
+	dec := json.NewDecoder(resp.Body)
+	dec.UseNumber()
+	var hdr wireHeader
+	if err := dec.Decode(&hdr); err != nil {
+		return Outcome{Err: fmt.Errorf("decoding header: %w", err)}
+	}
+	out := Outcome{Bound: hdr.Bound}
+	h := obs.NewRowHash()
+	sawTrailer := false
+	for {
+		var line wireLine
+		if err := dec.Decode(&line); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return Outcome{Err: fmt.Errorf("decoding stream: %w", err)}
+		}
+		switch {
+		case line.Error != "":
+			out.Err = fmt.Errorf("stream error: %s", line.Error)
+			return out
+		case line.Stats != nil:
+			out.Mode = line.Stats.Mode
+			sawTrailer = true
+		default:
+			for _, r := range line.Rows {
+				h.Add(r)
+				out.Rows++
+			}
+		}
+	}
+	if !sawTrailer {
+		out.Err = fmt.Errorf("stream ended without stats trailer")
+		return out
+	}
+	out.RowsHash = h.Sum()
+	return out
+}
+
+// Options tunes a replay run.
+type Options struct {
+	// Speed scales recorded inter-arrival gaps: 1 replays in real time,
+	// 2 twice as fast; <= 0 replays as fast as the target allows.
+	Speed float64
+	// Concurrency is the number of in-flight statements (min 1).
+	Concurrency int
+	// Limit caps how many baseline records are replayed (0 = all).
+	Limit int
+}
+
+// Mismatch is one divergence between a recorded baseline and the
+// target's answer.
+type Mismatch struct {
+	Seq   uint64 `json:"seq"`
+	SQL   string `json:"sql"`
+	Field string `json:"field"` // rows | rowsHash | bound | mode | error
+	Want  string `json:"want"`
+	Got   string `json:"got"`
+}
+
+// Report is the result of one replay run.
+type Report struct {
+	Total      int        `json:"total"`      // records in the capture
+	Replayed   int        `json:"replayed"`   // baselines re-executed
+	Skipped    int        `json:"skipped"`    // non-baseline records (errors, cancels, approximations)
+	Matched    int        `json:"matched"`    // baselines with bit-identical answers
+	Errors     int        `json:"errors"`     // replays that failed to execute
+	Mismatches []Mismatch `json:"mismatches"` // ordered by recorded sequence number
+	Duration   time.Duration
+}
+
+// OK reports whether every replayed baseline matched.
+func (r *Report) OK() bool { return r.Errors == 0 && len(r.Mismatches) == 0 }
+
+// Summary renders a one-line verdict.
+func (r *Report) Summary() string {
+	verdict := "OK"
+	if !r.OK() {
+		verdict = "MISMATCH"
+	}
+	return fmt.Sprintf("%s: %d/%d baselines matched (%d records, %d skipped, %d errors, %d mismatches) in %s",
+		verdict, r.Matched, r.Replayed, r.Total, r.Skipped, r.Errors, len(r.Mismatches), r.Duration.Round(time.Millisecond))
+}
+
+// diff compares one recorded baseline against the target's answer.
+func diff(rec obs.CaptureRecord, got Outcome) []Mismatch {
+	var out []Mismatch
+	mm := func(field, want, g string) {
+		out = append(out, Mismatch{Seq: rec.Seq, SQL: rec.SQL, Field: field, Want: want, Got: g})
+	}
+	if got.Err != nil {
+		mm("error", "ok", got.Err.Error())
+		return out
+	}
+	if got.Rows != rec.Rows {
+		mm("rows", fmt.Sprint(rec.Rows), fmt.Sprint(got.Rows))
+	}
+	if rec.RowsHash != "" && got.RowsHash != rec.RowsHash {
+		mm("rowsHash", rec.RowsHash, got.RowsHash)
+	}
+	if got.Bound != rec.Bound {
+		mm("bound", fmt.Sprint(rec.Bound), fmt.Sprint(got.Bound))
+	}
+	if rec.Mode != "" && got.Mode != rec.Mode {
+		mm("mode", rec.Mode, got.Mode)
+	}
+	return out
+}
+
+// Run replays every baseline record (outcome "ok") against target,
+// pacing dispatch by the recorded timestamps scaled by opts.Speed and
+// keeping up to opts.Concurrency statements in flight. Non-baseline
+// records — failures, cancellations, disconnects and approximated
+// answers — are counted as skipped: they carry no exact answer to
+// verify against.
+func Run(ctx context.Context, recs []obs.CaptureRecord, target Target, opts Options) *Report {
+	start := time.Now()
+	rep := &Report{Total: len(recs)}
+	var base time.Time
+	var work []obs.CaptureRecord
+	for _, rec := range recs {
+		if rec.Outcome != obs.OutcomeOK {
+			rep.Skipped++
+			continue
+		}
+		if opts.Limit > 0 && len(work) >= opts.Limit {
+			rep.Skipped++
+			continue
+		}
+		if base.IsZero() {
+			base = rec.Time
+		}
+		work = append(work, rec)
+	}
+
+	conc := opts.Concurrency
+	if conc < 1 {
+		conc = 1
+	}
+	jobs := make(chan obs.CaptureRecord)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < conc; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rec := range jobs {
+				got := target.Replay(ctx, rec.SQL)
+				mms := diff(rec, got)
+				mu.Lock()
+				rep.Replayed++
+				if got.Err != nil {
+					rep.Errors++
+				}
+				if len(mms) == 0 {
+					rep.Matched++
+				} else {
+					rep.Mismatches = append(rep.Mismatches, mms...)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+
+	for _, rec := range work {
+		if opts.Speed > 0 {
+			offset := time.Duration(float64(rec.Time.Sub(base)) / opts.Speed)
+			if wait := time.Until(start.Add(offset)); wait > 0 {
+				select {
+				case <-time.After(wait):
+				case <-ctx.Done():
+				}
+			}
+		}
+		if ctx.Err() != nil {
+			break
+		}
+		select {
+		case jobs <- rec:
+		case <-ctx.Done():
+		}
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	sort.Slice(rep.Mismatches, func(i, j int) bool { return rep.Mismatches[i].Seq < rep.Mismatches[j].Seq })
+	rep.Duration = time.Since(start)
+	return rep
+}

@@ -1,0 +1,220 @@
+package replay
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	beas "github.com/bounded-eval/beas"
+	"github.com/bounded-eval/beas/internal/obs"
+	"github.com/bounded-eval/beas/internal/server"
+)
+
+// newOrdersDB builds a database where customer c owns exactly itemsPer
+// items, covered by one access constraint — the same shape the server
+// tests use, so captures carry bounded, covered baselines.
+func newOrdersDB(tb testing.TB, customers, itemsPer int) *beas.DB {
+	tb.Helper()
+	db := beas.NewDB()
+	db.MustCreateTable("orders", "cust INT", "item INT")
+	for c := 0; c < customers; c++ {
+		for j := 0; j < itemsPer; j++ {
+			db.MustInsert("orders", c, c*10000+j)
+		}
+	}
+	db.MustRegisterConstraint(fmt.Sprintf("orders({cust} -> {item}, %d)", itemsPer))
+	return db
+}
+
+// record runs sqls against a capture-enabled server and returns the
+// loaded capture records.
+func record(t *testing.T, db *beas.DB, sqls []string) []obs.CaptureRecord {
+	t.Helper()
+	dir := t.TempDir()
+	rec, err := obs.NewRecorder(dir, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(db, server.Config{Capture: rec})
+	ts := httptest.NewServer(srv.Handler())
+	for _, sql := range sqls {
+		body, _ := json.Marshal(map[string]string{"sql": sql})
+		resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Drain fully: an unread body can register as a client disconnect
+		// on the server, recording the statement as a non-baseline.
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	ts.Close()
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := obs.LoadCapture(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+var workload = []string{
+	"SELECT item FROM orders WHERE cust = 1",
+	"SELECT item FROM orders WHERE cust = 2",
+	"SELECT item FROM orders WHERE cust = 1",  // repeat: same fingerprint, distinct record
+	"SELECT item FROM orders WHERE cust = 99", // covered key with zero rows
+	"SELECT cust, item FROM orders WHERE cust = 0",
+}
+
+// TestCaptureReplayRoundTripDB is the end-to-end oracle: queries
+// recorded over HTTP replay bit-identically against an independently
+// built copy of the same data through the embedded-DB target.
+func TestCaptureReplayRoundTripDB(t *testing.T) {
+	recs := record(t, newOrdersDB(t, 4, 5), workload)
+	if len(recs) != len(workload) {
+		t.Fatalf("captured %d records, want %d", len(recs), len(workload))
+	}
+	for i, rc := range recs {
+		if rc.Outcome != obs.OutcomeOK {
+			t.Fatalf("record %d outcome %q", i, rc.Outcome)
+		}
+		if rc.RowsHash == "" || rc.Fingerprint == "" {
+			t.Fatalf("record %d missing hash or fingerprint: %+v", i, rc)
+		}
+	}
+	// The two executions of the cust=1 statement share a fingerprint.
+	if recs[0].Fingerprint != recs[2].Fingerprint {
+		t.Fatalf("repeat executions got different fingerprints: %q vs %q", recs[0].Fingerprint, recs[2].Fingerprint)
+	}
+	// ... and identical answers.
+	if recs[0].RowsHash != recs[2].RowsHash {
+		t.Fatalf("repeat executions hashed differently: %q vs %q", recs[0].RowsHash, recs[2].RowsHash)
+	}
+
+	replica := newOrdersDB(t, 4, 5)
+	rep := Run(context.Background(), recs, &DBTarget{DB: replica}, Options{Concurrency: 2})
+	if !rep.OK() {
+		t.Fatalf("replay against identical replica diverged: %s\n%+v", rep.Summary(), rep.Mismatches)
+	}
+	if rep.Replayed != len(workload) || rep.Matched != len(workload) {
+		t.Fatalf("replayed/matched = %d/%d, want %d/%d: %s", rep.Replayed, rep.Matched, len(workload), len(workload), rep.Summary())
+	}
+}
+
+// TestCaptureReplayRoundTripHTTP replays the capture through the NDJSON
+// wire protocol against a second server over the same data.
+func TestCaptureReplayRoundTripHTTP(t *testing.T) {
+	recs := record(t, newOrdersDB(t, 4, 5), workload)
+
+	replica := server.New(newOrdersDB(t, 4, 5), server.Config{})
+	ts := httptest.NewServer(replica.Handler())
+	defer ts.Close()
+
+	rep := Run(context.Background(), recs, &HTTPTarget{Base: ts.URL}, Options{})
+	if !rep.OK() {
+		t.Fatalf("HTTP replay diverged: %s\n%+v", rep.Summary(), rep.Mismatches)
+	}
+	if rep.Matched != len(workload) {
+		t.Fatalf("matched %d of %d: %s", rep.Matched, len(workload), rep.Summary())
+	}
+}
+
+// TestReplayDetectsDivergence proves the diff bites: a replica with one
+// row changed fails the rows-hash (and row-count) comparison.
+func TestReplayDetectsDivergence(t *testing.T) {
+	recs := record(t, newOrdersDB(t, 4, 5), workload)
+
+	// Same shape, same cardinalities, constraint intact — but one of
+	// cust 1's item values differs, so only content diverges.
+	tampered := beas.NewDB()
+	tampered.MustCreateTable("orders", "cust INT", "item INT")
+	for c := 0; c < 4; c++ {
+		for j := 0; j < 5; j++ {
+			item := c*10000 + j
+			if c == 1 && j == 3 {
+				item = 424242
+			}
+			tampered.MustInsert("orders", c, item)
+		}
+	}
+	tampered.MustRegisterConstraint("orders({cust} -> {item}, 5)")
+	rep := Run(context.Background(), recs, &DBTarget{DB: tampered}, Options{})
+	if rep.OK() {
+		t.Fatal("replay against tampered replica reported OK")
+	}
+	// Both executions of the cust=1 statement must be flagged.
+	var rowMismatches int
+	for _, mm := range rep.Mismatches {
+		if mm.Field == "rows" || mm.Field == "rowsHash" {
+			rowMismatches++
+		}
+	}
+	if rowMismatches == 0 {
+		t.Fatalf("no rows/rowsHash mismatch in %+v", rep.Mismatches)
+	}
+	// Untouched statements still match.
+	if rep.Matched == 0 {
+		t.Fatalf("no statement matched on a mostly-identical replica: %s", rep.Summary())
+	}
+	// Mismatches come back ordered by recorded sequence.
+	for i := 1; i < len(rep.Mismatches); i++ {
+		if rep.Mismatches[i].Seq < rep.Mismatches[i-1].Seq {
+			t.Fatalf("mismatches out of order: %+v", rep.Mismatches)
+		}
+	}
+}
+
+// TestReplaySkipsNonBaselines: only outcome-"ok" records carry exact
+// answers; everything else is context and must be skipped, as must
+// records past the -max limit.
+func TestReplaySkipsNonBaselines(t *testing.T) {
+	now := time.Now()
+	recs := []obs.CaptureRecord{
+		{Seq: 1, Time: now, SQL: "SELECT item FROM orders WHERE cust = 1", Outcome: obs.OutcomeOK},
+		{Seq: 2, Time: now, SQL: "SELECT item FROM orders WHERE cust = 2", Outcome: "failed"},
+		{Seq: 3, Time: now, SQL: "SELECT item FROM orders WHERE cust = 3", Outcome: "approx", Coverage: 0.5},
+		{Seq: 4, Time: now, SQL: "SELECT item FROM orders WHERE cust = 0", Outcome: obs.OutcomeOK},
+	}
+	db := newOrdersDB(t, 4, 5)
+	// Fill in real baselines for the two ok records so they match.
+	for i := range recs {
+		if recs[i].Outcome != obs.OutcomeOK {
+			continue
+		}
+		got := (&DBTarget{DB: db}).Replay(context.Background(), recs[i].SQL)
+		recs[i].Rows, recs[i].RowsHash = got.Rows, got.RowsHash
+		recs[i].Bound, recs[i].Mode = got.Bound, got.Mode
+	}
+
+	rep := Run(context.Background(), recs, &DBTarget{DB: db}, Options{})
+	if !rep.OK() || rep.Replayed != 2 || rep.Skipped != 2 {
+		t.Fatalf("replayed/skipped = %d/%d, want 2/2: %s", rep.Replayed, rep.Skipped, rep.Summary())
+	}
+
+	rep = Run(context.Background(), recs, &DBTarget{DB: db}, Options{Limit: 1})
+	if rep.Replayed != 1 || rep.Skipped != 3 {
+		t.Fatalf("with limit 1: replayed/skipped = %d/%d, want 1/3", rep.Replayed, rep.Skipped)
+	}
+}
+
+// TestReplayReportsTargetErrors: a statement the target cannot execute
+// (here: a table the replica does not have) is an error, not a match.
+func TestReplayReportsTargetErrors(t *testing.T) {
+	recs := []obs.CaptureRecord{
+		{Seq: 1, SQL: "SELECT x FROM missing WHERE x = 1", Outcome: obs.OutcomeOK, Rows: 1},
+	}
+	rep := Run(context.Background(), recs, &DBTarget{DB: newOrdersDB(t, 1, 1)}, Options{})
+	if rep.OK() || rep.Errors != 1 {
+		t.Fatalf("errors = %d, want 1: %s", rep.Errors, rep.Summary())
+	}
+	if len(rep.Mismatches) != 1 || rep.Mismatches[0].Field != "error" {
+		t.Fatalf("mismatches = %+v", rep.Mismatches)
+	}
+}

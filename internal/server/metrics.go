@@ -59,7 +59,8 @@ type metrics struct {
 	stageCheck   *obs.Histogram // parse + check + admission, seconds
 	stageExecute *obs.Histogram // execution + streaming, seconds
 
-	slowLogged *obs.Counter
+	slowLogged    *obs.Counter
+	slowWriteErrs *obs.Counter
 }
 
 func newMetrics(reg *obs.Registry) *metrics {
@@ -102,6 +103,7 @@ func newMetrics(reg *obs.Registry) *metrics {
 		stageCheck:        stage("check"),
 		stageExecute:      stage("execute"),
 		slowLogged:        reg.Counter("beas_slow_queries_total", "Queries written to the slow-query log.", nil),
+		slowWriteErrs:     reg.Counter("beas_slow_log_write_errors_total", "Slow-query log entries lost to write failures.", nil),
 	}
 }
 
@@ -177,8 +179,17 @@ type StatsSnapshot struct {
 	BoundHistogram []BoundBucket `json:"boundHistogram"`
 	BoundUncovered uint64        `json:"boundUncovered"`
 
-	// SlowQueries counts entries written to the slow-query log.
-	SlowQueries uint64 `json:"slowQueries"`
+	// SlowQueries counts entries written to the slow-query log;
+	// SlowLogWriteErrors counts entries lost to failed writes.
+	SlowQueries        uint64 `json:"slowQueries"`
+	SlowLogWriteErrors uint64 `json:"slowLogWriteErrors"`
+
+	// Digests is present when the served database keeps workload
+	// digests; the aggregates themselves live at /digests.
+	Digests *DigestsSnapshot `json:"digests,omitempty"`
+
+	// Capture is present when the flight recorder is on.
+	Capture *CaptureSnapshot `json:"capture,omitempty"`
 
 	PlanCacheHits   uint64 `json:"planCacheHits"`
 	PlanCacheMisses uint64 `json:"planCacheMisses"`
@@ -243,6 +254,25 @@ type ConstraintStatsJSON struct {
 	MaxFanout    int     `json:"maxFanout"`
 }
 
+// DigestsSnapshot is the workload-digest section of /stats.
+type DigestsSnapshot struct {
+	Entries        int     `json:"entries"`
+	Observations   uint64  `json:"observations"`
+	Evictions      uint64  `json:"evictions"`
+	DriftThreshold float64 `json:"driftThreshold"`
+	DriftFlagged   int     `json:"driftFlagged"`
+}
+
+// CaptureSnapshot is the flight-recorder section of /stats.
+type CaptureSnapshot struct {
+	Dir         string `json:"dir"`
+	Records     uint64 `json:"records"`
+	Bytes       int64  `json:"bytes"`
+	Segments    int    `json:"segments"`
+	Rotations   uint64 `json:"rotations"`
+	WriteErrors uint64 `json:"writeErrors"`
+}
+
 // DurabilitySnapshot is the storage-engine section of /stats.
 type DurabilitySnapshot struct {
 	Dir                  string  `json:"dir"`
@@ -283,8 +313,18 @@ func (m *metrics) snapshot(db *beas.DB) StatsSnapshot {
 			string(beas.ModeConventional): cval(m.modeConventional),
 			string(beas.ModeEmpty):        cval(m.modeEmpty),
 		},
-		BoundUncovered: cval(m.boundUncovered),
-		SlowQueries:    cval(m.slowLogged),
+		BoundUncovered:     cval(m.boundUncovered),
+		SlowQueries:        cval(m.slowLogged),
+		SlowLogWriteErrors: cval(m.slowWriteErrs),
+	}
+	if d := db.Digests(); d != nil {
+		s.Digests = &DigestsSnapshot{
+			Entries:        d.Len(),
+			Observations:   d.Observations(),
+			Evictions:      d.Evictions(),
+			DriftThreshold: d.DriftThreshold(),
+			DriftFlagged:   d.DriftCount(),
+		}
 	}
 	s.PlanCacheHits, s.PlanCacheMisses = db.PlanCacheStats()
 	rc := db.ResultCacheStats()

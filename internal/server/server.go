@@ -132,6 +132,11 @@ type Config struct {
 	// SlowQueryLog, when non-nil, receives a JSON line for every query
 	// whose latency or fetch volume crosses its thresholds.
 	SlowQueryLog *obs.SlowLog
+	// Capture, when non-nil, is the query flight recorder: every
+	// executed /query (and downgraded approximation) appends one
+	// JSON-lines record — fingerprint, parameter vector, admission,
+	// mode, bound, row count and row hash — replayable with beasreplay.
+	Capture *obs.Recorder
 }
 
 func (c Config) withDefaults() Config {
@@ -163,11 +168,12 @@ type Server struct {
 	heavy   chan struct{} // single-slot lane for PolicyQueue admissions
 	waiting chan struct{} // bounds the wait queue for worker slots
 
-	m      *metrics
-	tracer *obs.Tracer  // nil = tracing off
-	slow   *obs.SlowLog // nil = no slow-query log
-	start  time.Time
-	mux    *http.ServeMux
+	m       *metrics
+	tracer  *obs.Tracer   // nil = tracing off
+	slow    *obs.SlowLog  // nil = no slow-query log
+	capture *obs.Recorder // nil = no flight recorder
+	start   time.Time
+	mux     *http.ServeMux
 }
 
 // New creates a Server over db. The database may be shared with other
@@ -189,9 +195,25 @@ func New(db *beas.DB, cfg Config) *Server {
 		m:       newMetrics(reg),
 		tracer:  cfg.Tracer,
 		slow:    cfg.SlowQueryLog,
+		capture: cfg.Capture,
 		start:   time.Now(),
 	}
 	s.slow.SetLogged(s.m.slowLogged)
+	s.slow.SetWriteErrors(s.m.slowWriteErrs)
+	if s.capture != nil {
+		reg.CounterFunc("beas_capture_records_total", "Queries appended to the flight-recorder capture log.", nil, func() int64 {
+			return int64(s.capture.Stats().Records)
+		})
+		reg.CounterFunc("beas_capture_write_errors_total", "Capture-log writes that failed (records dropped).", nil, func() int64 {
+			return int64(s.capture.Stats().WriteErrors)
+		})
+		reg.GaugeFunc("beas_capture_segments", "Capture-log segment files currently retained.", nil, func() float64 {
+			return float64(s.capture.Stats().Segments)
+		})
+		reg.GaugeFunc("beas_capture_bytes", "Bytes written across live capture-log segments.", nil, func() float64 {
+			return float64(s.capture.Stats().Bytes)
+		})
+	}
 	db.SetMetrics(reg)
 	reg.RegisterGoRuntime()
 	reg.GaugeFunc("beas_workers_busy", "Queries currently holding a worker slot.", nil, func() float64 {
@@ -214,6 +236,8 @@ func New(db *beas.DB, cfg Config) *Server {
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/trace", s.handleTrace)
 	s.mux.HandleFunc("/trace/", s.handleTrace)
+	s.mux.HandleFunc("/digests", s.handleDigests)
+	s.mux.HandleFunc("/digests/", s.handleDigests)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	return s
 }
@@ -225,7 +249,21 @@ func (s *Server) Registry() *obs.Registry { return s.m.reg }
 func (s *Server) Handler() http.Handler { return s.mux }
 
 // Stats snapshots the server's counters.
-func (s *Server) Stats() StatsSnapshot { return s.m.snapshot(s.db) }
+func (s *Server) Stats() StatsSnapshot {
+	snap := s.m.snapshot(s.db)
+	if s.capture != nil {
+		cs := s.capture.Stats()
+		snap.Capture = &CaptureSnapshot{
+			Dir:         cs.Dir,
+			Records:     cs.Records,
+			Bytes:       cs.Bytes,
+			Segments:    cs.Segments,
+			Rotations:   cs.Rotations,
+			WriteErrors: cs.WriteErrors,
+		}
+	}
+	return snap
+}
 
 // decision is the admission verdict for one request.
 type decision string
@@ -471,14 +509,16 @@ func (s *Server) finishQuery(sql, outcome string, st *beas.Stats, rows int64, st
 	}
 	tr.ForceKeep()
 	e := obs.SlowEntry{
-		SQL:        sql,
-		Mode:       string(st.Mode),
-		Outcome:    outcome,
-		Bound:      st.Bound,
-		Fetched:    st.TuplesFetched,
-		Scanned:    st.TuplesScanned,
-		Rows:       rows,
-		DurationMS: float64(d) / float64(time.Millisecond),
+		SQL:         sql,
+		Fingerprint: st.Fingerprint,
+		Mode:        string(st.Mode),
+		Outcome:     outcome,
+		CacheHit:    st.CacheHit,
+		Bound:       st.Bound,
+		Fetched:     st.TuplesFetched,
+		Scanned:     st.TuplesScanned,
+		Rows:        rows,
+		DurationMS:  float64(d) / float64(time.Millisecond),
 	}
 	if tr != nil {
 		e.TraceID = tr.ID
@@ -501,11 +541,10 @@ func (s *Server) finishQuery(sql, outcome string, st *beas.Stats, rows int64, st
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	sql, err := readSQL(r)
-	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
-		return
-	}
+	// The trace starts before the request is even validated, so every
+	// response — malformed bodies and admission rejections included —
+	// carries the X-Beas-Trace-Id header when tracing is on.
+	sql, rerr := readSQL(r)
 	ctx := r.Context()
 	if s.cfg.QueryTimeout > 0 {
 		var cancel context.CancelFunc
@@ -515,6 +554,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	ctx, tr := s.traceRequest(ctx, w, "query", sql)
 	defer s.tracer.Finish(tr)
+	if rerr != nil {
+		tr.ForceKeep()
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: rerr.Error()})
+		return
+	}
 	defer func() { s.m.latency.Observe(time.Since(start).Seconds()) }()
 	s.m.queries.Add(1)
 
@@ -648,11 +692,16 @@ func (n *ndjson) header(h queryHeader) {
 	n.flush()
 }
 
-// chunk writes one line of rows; an error means the client is gone.
-func (n *ndjson) chunk(rows []beas.Row) error {
+// chunk writes one line of rows, folding each row into hasher (when
+// capture is on) so the recorded hash covers exactly the bytes the
+// client saw; an encode error means the client is gone.
+func (n *ndjson) chunk(rows []beas.Row, hasher *obs.RowHash) error {
 	c := rowChunk{Rows: make([][]any, len(rows))}
 	for i, r := range rows {
 		c.Rows[i] = jsonRow(r)
+		if hasher != nil {
+			hasher.Add(c.Rows[i])
+		}
 	}
 	if err := n.enc.Encode(c); err != nil {
 		return err
@@ -736,6 +785,10 @@ func (s *Server) streamQuery(ctx context.Context, w http.ResponseWriter, sql str
 	out := newNDJSON(w)
 	out.header(queryHeader{Columns: ri.Columns(), Admission: string(dec), Covered: st.Covered, Bound: st.Bound})
 
+	var hasher *obs.RowHash
+	if s.capture != nil {
+		hasher = obs.NewRowHash()
+	}
 	var rows int64
 	for {
 		batch, err := ri.NextBatch()
@@ -749,6 +802,7 @@ func (s *Server) streamQuery(ctx context.Context, w http.ResponseWriter, sql str
 				outcome = outcomeCanceled
 			}
 			s.finishQuery(sql, outcome, ri.Stats(), rows, start, tr)
+			s.captureQuery(sql, string(dec), outcome, ri.Stats(), rows, hasher, 0, start, tr)
 			out.fail(err)
 			return
 		}
@@ -756,7 +810,7 @@ func (s *Server) streamQuery(ctx context.Context, w http.ResponseWriter, sql str
 			break
 		}
 		rows += int64(len(batch))
-		if err := out.chunk(batch); err != nil {
+		if err := out.chunk(batch, hasher); err != nil {
 			// The client is gone; stop pulling rows it will never see. A
 			// write error with the request context already cancelled is a
 			// deliberate cancellation (client cancel, deadline) reported
@@ -769,12 +823,53 @@ func (s *Server) streamQuery(ctx context.Context, w http.ResponseWriter, sql str
 				outcome = outcomeCanceled
 			}
 			s.finishQuery(sql, outcome, ri.Stats(), rows, start, tr)
+			s.captureQuery(sql, string(dec), outcome, ri.Stats(), rows, hasher, 0, start, tr)
 			return
 		}
 	}
 	ri.Close()
 	s.finishQuery(sql, outcomeOK, ri.Stats(), rows, start, tr)
+	s.captureQuery(sql, string(dec), outcomeOK, ri.Stats(), rows, hasher, 0, start, tr)
 	out.trailer(statsFrom(ri.Stats(), rows))
+}
+
+// captureQuery appends one flight-recorder line for a terminal query
+// outcome. The parameter vector comes from the statement's canonical
+// form (a template-cache hit at this point); the row hash covers the
+// rows as serialized on the wire, so a replay diff detects any change
+// in content, order or encoding.
+func (s *Server) captureQuery(sql, admission, outcome string, st *beas.Stats, rows int64, hasher *obs.RowHash, coverage float64, start time.Time, tr *obs.Trace) {
+	if s.capture == nil {
+		return
+	}
+	rec := obs.CaptureRecord{
+		SQL:         sql,
+		Fingerprint: st.Fingerprint,
+		Admission:   admission,
+		Mode:        string(st.Mode),
+		Outcome:     outcome,
+		Bound:       st.Bound,
+		Rows:        rows,
+		Fetched:     st.TuplesFetched,
+		Scanned:     st.TuplesScanned,
+		CacheHit:    st.CacheHit,
+		Coverage:    coverage,
+		DurationMS:  float64(time.Since(start)) / float64(time.Millisecond),
+	}
+	if hasher != nil {
+		rec.RowsHash = hasher.Sum()
+	}
+	if tr != nil {
+		rec.TraceID = tr.ID
+	}
+	for _, fs := range st.FetchSteps {
+		rec.Constraints = append(rec.Constraints, fs.Atom+"="+fs.Constraint)
+		rec.EstFetched += fs.EstFetched
+	}
+	if _, params, err := s.db.Canonicalize(sql); err == nil && len(params) > 0 {
+		rec.Params = jsonRow(beas.Row(params))
+	}
+	s.capture.Record(rec)
 }
 
 // streamApprox executes a downgraded query under the approximation
@@ -795,18 +890,31 @@ func (s *Server) streamApprox(ctx context.Context, w http.ResponseWriter, sql st
 	}
 	out := newNDJSON(w)
 	out.header(queryHeader{Columns: res.Columns, Admission: string(decideDowngrade), Covered: true, Bound: info.Bound})
+	var hasher *obs.RowHash
+	if s.capture != nil {
+		hasher = obs.NewRowHash()
+	}
 	for i := 0; i < len(res.Rows); i += 256 {
 		end := min(i+256, len(res.Rows))
-		if err := out.chunk(res.Rows[i:end]); err != nil {
+		if err := out.chunk(res.Rows[i:end], hasher); err != nil {
 			outcome := outcomeDisconnected
 			if ctx.Err() != nil {
 				outcome = outcomeCanceled
 			}
 			s.finishQuery(sql, outcome, &res.Stats, int64(i), start, tr)
+			s.captureQuery(sql, string(decideDowngrade), outcome, &res.Stats, int64(i), hasher, coverage, start, tr)
 			return
 		}
 	}
 	s.finishQuery(sql, outcomeOK, &res.Stats, int64(len(res.Rows)), start, tr)
+	// An approximated answer is not an exact baseline: record it with
+	// its coverage so a replay can tell it apart from exact results
+	// (replays only diff coverage-1.0 "approx-ok" records byte-exactly).
+	approxOutcome := outcomeOK
+	if coverage < 1 {
+		approxOutcome = "approx"
+	}
+	s.captureQuery(sql, string(decideDowngrade), approxOutcome, &res.Stats, int64(len(res.Rows)), hasher, coverage, start, tr)
 	st := statsFrom(&res.Stats, int64(len(res.Rows)))
 	st.Coverage = coverage
 	out.trailer(st)
@@ -903,19 +1011,20 @@ type explainResponse struct {
 }
 
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	// Like /query, the trace starts before validation so 4xx responses
+	// carry X-Beas-Trace-Id too.
 	var req explainRequest
+	var rerr error
 	if q := r.URL.Query().Get("q"); q != "" {
 		req.SQL = q
 		req.Analyze = r.URL.Query().Get("analyze") == "true"
 	} else if r.Body != nil {
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("decoding request body: %v", err)})
-			return
+			rerr = fmt.Errorf("decoding request body: %v", err)
 		}
 	}
-	if req.SQL == "" {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "empty sql"})
-		return
+	if rerr == nil && req.SQL == "" {
+		rerr = errors.New("empty sql")
 	}
 	ctx := r.Context()
 	if s.cfg.QueryTimeout > 0 {
@@ -926,6 +1035,11 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	ctx, tr := s.traceRequest(ctx, w, "explain", req.SQL)
 	defer s.tracer.Finish(tr)
+	if rerr != nil {
+		tr.ForceKeep()
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: rerr.Error()})
+		return
+	}
 	info, err := s.db.CheckContext(ctx, req.SQL)
 	if err != nil {
 		tr.ForceKeep()
@@ -1063,7 +1177,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.m.snapshot(s.db))
+	writeJSON(w, http.StatusOK, s.Stats())
 }
 
 // handleMetrics renders the registry in the Prometheus text exposition
@@ -1091,6 +1205,42 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, tr.Tree())
+}
+
+// digestsResponse is the GET /digests body: the retained per-fingerprint
+// aggregates, heaviest first.
+type digestsResponse struct {
+	DriftThreshold float64              `json:"driftThreshold"`
+	Observations   uint64               `json:"observations"`
+	Evictions      uint64               `json:"evictions,omitempty"`
+	Digests        []obs.DigestSnapshot `json:"digests"`
+}
+
+// handleDigests serves the workload digests: /digests lists every
+// retained fingerprint ordered by total execution time, /digests/<id>
+// resolves one by its DigestID.
+func (s *Server) handleDigests(w http.ResponseWriter, r *http.Request) {
+	d := s.db.Digests()
+	if d == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "digests disabled (start the server with digests enabled, e.g. beasd -digest-topk 128)"})
+		return
+	}
+	id := strings.Trim(strings.TrimPrefix(r.URL.Path, "/digests"), "/")
+	if id == "" {
+		writeJSON(w, http.StatusOK, digestsResponse{
+			DriftThreshold: d.DriftThreshold(),
+			Observations:   d.Observations(),
+			Evictions:      d.Evictions(),
+			Digests:        d.Snapshot(),
+		})
+		return
+	}
+	snap, ok := d.Get(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "no digest with id " + id})
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -97,9 +97,25 @@ func (db *DB) parseLocked(sql string) (*qcache.Template, bool, error) {
 		}
 	}
 	t := &qcache.Template{Text: sql, Parsed: p, Version: db.catalogVersion}
-	t.ResultKey, t.Shareable = resultKey(sql, p)
+	t.ResultKey, t.Fingerprint, t.Params, t.Shareable = resultKey(sql, p)
 	db.qc.PutTemplate(t)
 	return t, false, nil
+}
+
+// Canonicalize resolves sql to its canonical workload identity: the
+// normalized fingerprint shared by all syntactic variants of the
+// statement (the key of the workload digests and the capture log) and
+// the extracted parameter vector in placeholder order. Statements the
+// canonicalizer cannot share get a text-hash fingerprint and no
+// parameters. Nothing is executed.
+func (db *DB) Canonicalize(sql string) (string, []Value, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, _, err := db.parseLocked(sql)
+	if err != nil {
+		return "", nil, err
+	}
+	return t.Fingerprint, append([]Value(nil), t.Params...), nil
 }
 
 // resultKey computes the canonical identity of a statement's answer:
@@ -111,13 +127,18 @@ func (db *DB) parseLocked(sql string) (*qcache.Template, bool, error) {
 // constant-bearing conjuncts whose order affects probe order — fall
 // back to the literal text, so they still cache, just without
 // cross-text sharing.
-func resultKey(sql string, p *parsed) (string, bool) {
+//
+// The parameter-free fingerprint and the parameter vector are returned
+// alongside the key: the fingerprint groups all parameterizations of a
+// statement in the workload digests and the capture log. Non-shareable
+// statements get obs.TextFingerprint of the literal text and nil
+// parameters.
+func resultKey(sql string, p *parsed) (key, fingerprint string, params []value.Value, shareable bool) {
 	var b strings.Builder
-	var params []value.Value
 	for i, q := range p.branches {
 		fp, ps, ok := analyze.Canonical(q)
 		if !ok {
-			return "!text\x00" + sql, false
+			return "!text\x00" + sql, obs.TextFingerprint(sql), nil, false
 		}
 		if i > 0 {
 			if p.unionAll[i] {
@@ -129,9 +150,10 @@ func resultKey(sql string, p *parsed) (string, bool) {
 		b.WriteString(fp)
 		params = append(params, ps...)
 	}
+	fingerprint = b.String()
 	b.WriteByte(0)
 	b.WriteString(value.Key(params))
-	return b.String(), true
+	return b.String(), fingerprint, params, true
 }
 
 // parseSpanLocked is parseLocked under a "parse" span annotated with the
@@ -237,7 +259,26 @@ func (db *DB) QueryBoundedContext(ctx context.Context, sql string) (*Result, err
 	return db.query(ctx, sql, false)
 }
 
+// query runs queryEval and, when workload digests are enabled, folds
+// the statement's terminal outcome into the per-fingerprint aggregates.
+// With digests off the only cost is one atomic load.
 func (db *DB) query(ctx context.Context, sql string, allowFallback bool) (*Result, error) {
+	dig := db.digests.Load()
+	if dig == nil {
+		return db.queryEval(ctx, sql, allowFallback, nil)
+	}
+	start := time.Now()
+	var fp string
+	res, err := db.queryEval(ctx, sql, allowFallback, &fp)
+	observeQueryDigest(dig, fp, sql, res, err, time.Since(start))
+	return res, err
+}
+
+// queryEval is the evaluation core behind Query/QueryBounded. When
+// fpOut is non-nil it receives the statement's canonical fingerprint as
+// soon as analysis succeeds, so the caller can attribute errors that
+// happen after parse to the right digest entry.
+func (db *DB) queryEval(ctx context.Context, sql string, allowFallback bool, fpOut *string) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -248,6 +289,9 @@ func (db *DB) query(ctx context.Context, sql string, allowFallback bool) (*Resul
 	tmpl, err := db.parseSpanLocked(ctx, sql)
 	if err != nil {
 		return nil, err
+	}
+	if fpOut != nil {
+		*fpOut = tmpl.Fingerprint
 	}
 	p := tmpl.Parsed.(*parsed)
 	start := time.Now()
@@ -261,7 +305,9 @@ func (db *DB) query(ctx context.Context, sql string, allowFallback bool) (*Resul
 		if cr, ok := db.qc.GetResult(tmpl.ResultKey); ok {
 			sp.Set("hit", true)
 			sp.End()
-			return db.serveCachedLocked(&cr, start), nil
+			res := db.serveCachedLocked(&cr, start)
+			res.Stats.Fingerprint = tmpl.Fingerprint
+			return res, nil
 		}
 		sp.Set("hit", false)
 		sp.End()
@@ -289,7 +335,7 @@ func (db *DB) query(ctx context.Context, sql string, allowFallback bool) (*Resul
 		}
 	}
 
-	res := &Result{Columns: p.branches[0].OutputNames(), Stats: Stats{Mode: ModeBounded, Covered: true, Optimized: db.optzr != nil}}
+	res := &Result{Columns: p.branches[0].OutputNames(), Stats: Stats{Mode: ModeBounded, Covered: true, Optimized: db.optzr != nil, Fingerprint: tmpl.Fingerprint}}
 	var rows []value.Row
 	var cacheSteps []core.StepStat
 	var regs []qcache.StepReg
@@ -513,6 +559,18 @@ func (db *DB) QueryApprox(sql string, budget int64) (*Result, float64, error) {
 // under a trace (parse / check / optimize spans) and honors the
 // cost-based optimizer's step ordering.
 func (db *DB) QueryApproxContext(ctx context.Context, sql string, budget int64) (*Result, float64, error) {
+	dig := db.digests.Load()
+	if dig == nil {
+		return db.queryApprox(ctx, sql, budget, nil)
+	}
+	start := time.Now()
+	var fp string
+	res, cov, err := db.queryApprox(ctx, sql, budget, &fp)
+	observeQueryDigest(dig, fp, sql, res, err, time.Since(start))
+	return res, cov, err
+}
+
+func (db *DB) queryApprox(ctx context.Context, sql string, budget int64, fpOut *string) (*Result, float64, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, 0, err
 	}
@@ -524,9 +582,12 @@ func (db *DB) QueryApproxContext(ctx context.Context, sql string, budget int64) 
 	if err != nil {
 		return nil, 0, err
 	}
+	if fpOut != nil {
+		*fpOut = tmpl.Fingerprint
+	}
 	p := tmpl.Parsed.(*parsed)
 	start := time.Now()
-	res := &Result{Columns: p.branches[0].OutputNames(), Stats: Stats{Mode: ModeBounded, Covered: true, Optimized: db.optzr != nil}}
+	res := &Result{Columns: p.branches[0].OutputNames(), Stats: Stats{Mode: ModeBounded, Covered: true, Optimized: db.optzr != nil, Fingerprint: tmpl.Fingerprint}}
 	coverage := 1.0
 	remaining := budget
 	var rows []value.Row

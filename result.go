@@ -93,6 +93,11 @@ type Stats struct {
 	// execution would have produced, so equivalence comparisons must
 	// ignore this field (and Duration).
 	CacheHit bool
+	// Fingerprint is the statement's canonical identity (shared by all
+	// syntactic variants) — the key of the workload digests and the
+	// capture log. Metadata only, like CacheHit: equivalence comparisons
+	// must ignore it.
+	Fingerprint string
 }
 
 // Result is a query result.

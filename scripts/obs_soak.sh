@@ -1,8 +1,12 @@
 #!/usr/bin/env bash
-# Observability soak: run beasd with tracing + slow-query logging over a
-# durable store, exercise it, kill -9, recover, and verify that the
-# /metrics exposition stays lint-clean and no counter regresses except
-# by process restart (promtext compare -allow-reset).
+# Observability soak: run beasd with tracing, slow-query logging,
+# workload digests and the flight recorder over a durable store,
+# exercise it, kill -9, recover, and verify that
+#   - the /metrics exposition stays lint-clean and no counter regresses
+#     except by process restart (promtext compare -allow-reset),
+#   - the capture survives the crash (readable minus at most one torn
+#     tail line) and beasreplay reproduces every recorded baseline
+#     bit-identically against the recovered daemon.
 #
 # Usage: scripts/obs_soak.sh [workdir]   (defaults to a fresh mktemp -d)
 set -euo pipefail
@@ -14,11 +18,15 @@ BASE=http://$ADDR
 PID=
 
 go build -o "$DIR/beasd" ./cmd/beasd
+go build -o "$DIR/beasreplay" ./cmd/beasreplay
 
 start_beasd() {
+  # The capture directory is a sibling of the store, not inside it: the
+  # WAL recovery scan must never see capture segments.
   "$DIR/beasd" -addr "$ADDR" -tlc 1 -data "$DIR/store" \
     -trace -trace-sample 1 \
     -slow-query-fetch 1 -slow-query-log "$DIR/slow.jsonl" \
+    -capture "$DIR/capture" -digest-topk 64 \
     >>"$DIR/beasd.log" 2>&1 &
   PID=$!
 }
@@ -55,13 +63,25 @@ curl -sfi -XPOST "$BASE/query" \
   | grep -qi '^x-beas-trace-id:' || { echo "no X-Beas-Trace-Id header" >&2; exit 1; }
 curl -sf "$BASE/trace" | grep -q '"id"' || { echo "/trace listing empty" >&2; exit 1; }
 
+echo "== digests populated"
+curl -sf "$BASE/digests" | grep -q '"fingerprint"' \
+  || { echo "/digests has no entries after queries" >&2; exit 1; }
+
 echo "== scrape + lint (before)"
 curl -sf "$BASE/metrics" >"$DIR/before.prom"
 go run ./cmd/promtext lint "$DIR/before.prom"
+grep -q '^beas_digest_observations_total' "$DIR/before.prom" \
+  || { echo "beas_digest_observations_total missing from /metrics" >&2; exit 1; }
+grep -q '^beas_capture_records_total' "$DIR/before.prom" \
+  || { echo "beas_capture_records_total missing from /metrics" >&2; exit 1; }
 
 echo "== kill -9 and recover"
 kill -9 "$PID"
 wait "$PID" 2>/dev/null || true
+# Freeze the crash-time capture: this is the workload the recovered
+# daemon must answer identically. (The restarted recorder starts a new
+# segment and retention may prune old ones; the copy is the baseline.)
+cp -r "$DIR/capture" "$DIR/capture-run1"
 start_beasd
 wait_healthy
 run_queries
@@ -75,13 +95,23 @@ go run ./cmd/promtext compare -allow-reset "$DIR/before.prom" "$DIR/after.prom"
 run_queries
 curl -sf "$BASE/metrics" >"$DIR/after2.prom"
 go run ./cmd/promtext compare "$DIR/after.prom" "$DIR/after2.prom"
+grep -q '^beas_digest_observations_total' "$DIR/after2.prom" \
+  || { echo "digest counters missing after recovery" >&2; exit 1; }
 
 echo "== recovered healthz carries WAL position"
 curl -sf "$BASE/healthz" | grep -q '"wal_last_lsn"' \
   || { echo "healthz missing wal_last_lsn after recovery" >&2; exit 1; }
 
+echo "== replay crash-time capture against recovered daemon"
+# The capture survived kill -9 (minus at most one torn final line) and
+# the recovered store must answer every baseline bit-identically.
+"$DIR/beasreplay" -capture "$DIR/capture-run1" -addr "$BASE" \
+  || { echo "beasreplay found divergence after recovery" >&2; exit 1; }
+
 echo "== slow-query log captured entries"
 [ -s "$DIR/slow.jsonl" ] || { echo "slow-query log is empty" >&2; exit 1; }
 grep -q '"sql"' "$DIR/slow.jsonl" || { echo "slow-query log has no sql field" >&2; exit 1; }
+grep -q '"fingerprint"' "$DIR/slow.jsonl" \
+  || { echo "slow-query log has no fingerprint field" >&2; exit 1; }
 
 echo "OK: soak passed (workdir $DIR)"

@@ -45,6 +45,13 @@ type RowIter struct {
 	closed bool
 	err    error
 
+	// Workload-digest state: the set installed when the cursor opened,
+	// the statement text and a count of rows actually streamed. The
+	// observation happens once, at Close, with the terminal outcome.
+	digests *obs.DigestSet
+	sql     string
+	rowsOut int64
+
 	// Store-on-drain state for the semantic result cache. A cursor that
 	// streams a fully covered statement to exhaustion has materialised
 	// the complete bounded answer anyway (it is at most the deduced
@@ -105,7 +112,9 @@ func (db *DB) QueryIterContext(ctx context.Context, sql string) (*RowIter, error
 		db:      db,
 		columns: p.branches[0].OutputNames(),
 		start:   time.Now(),
-		res:     &Result{Columns: p.branches[0].OutputNames(), Stats: Stats{Mode: ModeBounded, Covered: true, Optimized: db.optzr != nil}},
+		res:     &Result{Columns: p.branches[0].OutputNames(), Stats: Stats{Mode: ModeBounded, Covered: true, Optimized: db.optzr != nil, Fingerprint: tmpl.Fingerprint}},
+		digests: db.digests.Load(),
+		sql:     sql,
 	}
 	ri.finish = finishTrace
 
@@ -290,6 +299,7 @@ func (ri *RowIter) NextBatch() ([]Row, error) {
 		ri.Close()
 		return nil, nil
 	}
+	ri.rowsOut += int64(len(ri.batch.Rows))
 	if ri.cacheOK {
 		// Batch storage is reused between pulls; the cache keeps its own
 		// copy of each row.
@@ -346,6 +356,11 @@ func (ri *RowIter) Close() error {
 	}
 	if ri.err == nil {
 		ri.err = err
+	}
+	if ri.digests != nil {
+		// Outside the catalog lock: the digest set has its own mutex and
+		// the cursor is single-consumer, so its stats are stable here.
+		ri.digests.Observe(digestObservation(st.Fingerprint, ri.sql, st, ri.rowsOut, ri.err, st.Duration))
 	}
 	return err
 }

@@ -129,6 +129,21 @@ func (db *DB) SetMetrics(reg *MetricsRegistry) {
 	reg.GaugeFunc("beas_wal_last_lsn", "Sequence number of the most recent WAL record.", nil, func() float64 {
 		return float64(db.Durability().LastLSN)
 	})
+	reg.GaugeFunc("beas_digest_entries", "Fingerprints retained by the workload digest set.", nil, func() float64 {
+		return float64(db.Digests().Len())
+	})
+	reg.CounterFunc("beas_digest_observations_total", "Finished executions folded into the workload digests.", nil, func() int64 {
+		return int64(db.Digests().Observations())
+	})
+	reg.CounterFunc("beas_digest_evictions_total", "Digest fingerprints evicted by the top-K retention.", nil, func() int64 {
+		return int64(db.Digests().Evictions())
+	})
+	reg.GaugeFunc("beas_digest_drift_flagged", "Fingerprints whose actual fetch volume drifted past the estimate threshold.", nil, func() float64 {
+		return float64(db.Digests().DriftCount())
+	})
+	reg.GaugeFunc("beas_digest_drift_worst_ratio", "Largest est-vs-actual drift severity over retained fingerprints (1 = honest, 0 = no estimates).", nil, func() float64 {
+		return db.Digests().WorstDriftRatio()
+	})
 	appends := reg.Counter("beas_wal_appends_total", "WAL records appended.", nil)
 	bytes := reg.Counter("beas_wal_append_bytes_total", "Framed bytes appended to the WAL.", nil)
 	fsync := reg.Histogram("beas_wal_fsync_seconds", "Per-record WAL fsync latency in seconds.", obs.LatencyBuckets, nil)
